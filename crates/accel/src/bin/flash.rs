@@ -1,0 +1,242 @@
+//! `flash` — command-line interface to the FLASH accelerator models.
+//!
+//! ```text
+//! flash report <resnet18|resnet50|vgg16>     network latency/energy report
+//! flash layer <c> <h> <m> <k> [stride] [pad]
+//!                                      one layer's workload & schedule
+//! flash sparsity <resnet18|resnet50|vgg16>   per-layer weight sparsity
+//! flash dse <layer-index> [evals]      explore ResNet-50 layer numerics
+//! flash gantt <resnet18|resnet50|vgg16>   simulated engine occupancy
+//! flash demo                           run a small private convolution
+//! ```
+
+use flash_accel::config::FlashConfig;
+use flash_accel::inference::run_network;
+use flash_accel::schedule::schedule_layer;
+use flash_accel::workload::layer_workload;
+use flash_nn::layers::ConvLayerSpec;
+use flash_nn::resnet::{resnet18_conv_layers, resnet50_conv_layers, vgg16_conv_layers};
+use flash_nn::Network;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  flash report <resnet18|resnet50|vgg16>\n  flash layer <c> <h> <m> <k> [stride] [pad]\n  flash sparsity <resnet18|resnet50|vgg16>\n  flash dse <layer-index> [evals]\n  flash gantt <resnet18|resnet50|vgg16>\n  flash demo"
+    );
+    std::process::exit(2)
+}
+
+fn network(name: &str) -> Network {
+    match name {
+        "resnet18" => resnet18_conv_layers(),
+        "resnet50" => resnet50_conv_layers(),
+        "vgg16" => vgg16_conv_layers(),
+        other => {
+            eprintln!("unknown network '{other}' (expected resnet18|resnet50|vgg16)");
+            std::process::exit(2)
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("report") => cmd_report(&network(args.get(1).map(String::as_str).unwrap_or(""))),
+        Some("layer") => cmd_layer(&args[1..]),
+        Some("sparsity") => cmd_sparsity(&network(args.get(1).map(String::as_str).unwrap_or(""))),
+        Some("dse") => cmd_dse(&args[1..]),
+        Some("gantt") => cmd_gantt(&network(args.get(1).map(String::as_str).unwrap_or(""))),
+        Some("demo") => cmd_demo(),
+        _ => usage(),
+    }
+}
+
+fn cmd_gantt(net: &Network) {
+    use flash_accel::sim::simulate_layer;
+    let cfg = FlashConfig::paper_default();
+    println!("per-layer engine occupancy (simulated; each bar spans the layer makespan)");
+    println!("{:<24} {:>10}  {:<22} {:<22}", "layer", "cycles", "weight PEs", "point-wise");
+    for spec in &net.convs {
+        let w = layer_workload(spec, cfg.n());
+        let sim = simulate_layer(&w, &cfg.arch, &cfg.pe);
+        let bar = |util: f64| -> String {
+            let filled = (util.clamp(0.0, 1.0) * 20.0).round() as usize;
+            format!("[{}{}]", "#".repeat(filled), ".".repeat(20 - filled))
+        };
+        println!(
+            "{:<24} {:>10}  {} {:>4.0}% {} {:>4.0}%",
+            spec.name,
+            sim.finish,
+            bar(sim.weight_utilization),
+            sim.weight_utilization * 100.0,
+            bar(sim.pointwise_utilization),
+            sim.pointwise_utilization * 100.0
+        );
+    }
+}
+
+fn cmd_report(net: &Network) {
+    let cfg = FlashConfig::paper_default();
+    let run = run_network(net, &cfg);
+    println!("network: {} ({} conv layers + fc)", run.name, net.convs.len());
+    println!(
+        "transform latency: {:.3} ms   (CHAM model: {:.1} ms, speedup {:.1}x)",
+        run.transform_latency_s * 1e3,
+        run.cham_latency_s * 1e3,
+        run.speedup_vs_cham()
+    );
+    println!(
+        "full-system latency (incl. point-wise): {:.3} ms",
+        run.total_latency_s * 1e3
+    );
+    println!(
+        "datapath energy: {:.2} mJ   energy reduction vs F1: {:.1} %",
+        run.total_datapath_energy_uj / 1e3,
+        run.energy_reduction_vs_f1() * 100.0
+    );
+    println!();
+    println!(
+        "{:<26} {:>8} {:>10} {:>10} {:>9} {:>22}",
+        "layer", "wt-xfms", "sparse/ea", "cycles", "energy uJ", "bottleneck"
+    );
+    for l in &run.layers {
+        println!(
+            "{:<26} {:>8} {:>10} {:>10} {:>9.1} {:>22}",
+            l.workload.name,
+            l.workload.weight_transforms,
+            l.workload.weight_mults_sparse_each,
+            l.perf.cycles,
+            l.energy.total_pj() / 1e6,
+            l.perf.bottleneck
+        );
+    }
+}
+
+fn cmd_layer(args: &[String]) {
+    if args.len() < 4 {
+        usage();
+    }
+    let p = |i: usize, d: usize| args.get(i).map(|s| s.parse().unwrap_or(d)).unwrap_or(d);
+    let spec = ConvLayerSpec {
+        name: "cli.layer".into(),
+        c: p(0, 1),
+        h: p(1, 8),
+        w: p(1, 8),
+        m: p(2, 1),
+        k: p(3, 3),
+        stride: p(4, 1),
+        pad: p(5, 0),
+    };
+    let cfg = FlashConfig::paper_default();
+    let w = layer_workload(&spec, cfg.n());
+    let perf = schedule_layer(&w, &cfg.arch, &cfg.pe);
+    println!("layer: {}x{}x{} -> {} ch, {}x{} kernel, stride {}, pad {}",
+        spec.c, spec.h, spec.w, spec.m, spec.k, spec.k, spec.stride, spec.pad);
+    println!("weight polynomials: {} (sparsity {:.2} %)", w.weight_transforms, w.sparsity * 100.0);
+    println!(
+        "mults per weight transform: {} sparse vs {} dense ({:.1} % reduced)",
+        w.weight_mults_sparse_each,
+        w.weight_mults_dense_each,
+        w.sparse_reduction() * 100.0
+    );
+    println!(
+        "transforms: {} activation + {} inverse; point-wise: {} complex muls",
+        w.act_transforms, w.inverse_transforms, w.pointwise
+    );
+    println!(
+        "schedule: {} cycles ({:.2} us @1 GHz), bottleneck: {}",
+        perf.cycles,
+        perf.latency_s * 1e6,
+        perf.bottleneck
+    );
+}
+
+fn cmd_sparsity(net: &Network) {
+    println!("{:<26} {:>6} {:>10} {:>10} {:>10}", "layer", "kernel", "valid", "sparsity", "polys");
+    for l in &net.convs {
+        let s = flash_nn::sparsity::layer_weight_sparsity(l, 4096);
+        println!(
+            "{:<26} {:>4}x{} {:>10} {:>9.2}% {:>10}",
+            l.name,
+            l.k,
+            l.k,
+            s.valid_per_poly,
+            s.sparsity * 100.0,
+            s.weight_polys
+        );
+    }
+}
+
+fn cmd_dse(args: &[String]) {
+    use flash_dse::bayesopt::{optimize_multi, BoConfig};
+    use flash_dse::objective::Objective;
+    use flash_dse::pareto::pareto_front;
+    use flash_dse::space::DesignSpace;
+    use rand::SeedableRng;
+
+    let layer_idx: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(28);
+    let evals_budget: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(200);
+    let net = resnet50_conv_layers();
+    let spec = net.layer(layer_idx);
+    let he = flash_he::HeParams::flash_default();
+    let sp = flash_nn::sparsity::layer_weight_sparsity(spec, he.n);
+    println!("DSE for layer {layer_idx} = {} ({} valid coeffs)", spec.name, sp.valid_per_poly);
+    let space = DesignSpace::flash_default(he.n);
+    let obj = Objective::from_layer(space, sp.valid_per_poly, 8.0, (he.t / 2) as f64);
+    let per_weight = (evals_budget / 4).max(8);
+    let cfg = BoConfig {
+        init: per_weight / 3,
+        iters: per_weight - per_weight / 3,
+        candidates: 128,
+        ..BoConfig::default()
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(layer_idx as u64);
+    let evals = optimize_multi(&obj, &[0.2, 0.4, 0.6, 0.8], &cfg, &mut rng);
+    let front = pareto_front(&evals);
+    println!("{} evaluations, {} Pareto-optimal:", evals.len(), front.len());
+    for e in &front {
+        println!(
+            "  power {:.3} mW, error variance {:.3e}, mean dw {:.1}, mean k {:.1}",
+            e.power,
+            e.error_variance,
+            e.point.mean_width(obj.space()),
+            e.point.k.iter().sum::<usize>() as f64 / e.point.k.len() as f64
+        );
+    }
+}
+
+fn cmd_demo() {
+    use flash_accel::hconv::FlashHconv;
+    use flash_he::SecretKey;
+    use flash_nn::quant::Quantizer;
+    use rand::SeedableRng;
+
+    let cfg = FlashConfig::test_small();
+    let layer = ConvLayerSpec {
+        name: "demo".into(),
+        c: 2,
+        h: 6,
+        w: 6,
+        m: 2,
+        k: 3,
+        stride: 1,
+        pad: 1,
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let sk = SecretKey::generate(&cfg.he, &mut rng);
+    let x = layer.sample_input(Quantizer::a4(), &mut rng);
+    let w = layer.sample_weights(Quantizer::w4(), &mut rng);
+    let engine = FlashHconv::new(cfg);
+    let (y, stats) = engine.run_layer(&sk, &layer, &x, &w, &mut rng);
+    let want: Vec<i64> = flash_nn::layers::conv_reference(&x, &w, &layer)
+        .iter()
+        .map(|&v| engine.ring().to_signed(engine.ring().reduce(v)))
+        .collect();
+    assert_eq!(y, want);
+    println!(
+        "private conv OK: {} outputs, {} B up / {} B down, {} weight transforms",
+        y.len(),
+        stats.upload_bytes,
+        stats.download_bytes,
+        stats.weight_transforms
+    );
+}

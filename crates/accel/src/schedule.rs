@@ -1,0 +1,171 @@
+//! Scheduling one layer's workload onto the FLASH architecture.
+//!
+//! The engines run as a pipeline (weight PEs → point-wise multipliers →
+//! accumulators, with FP PEs feeding activation spectra and draining
+//! inverse transforms), so the steady-state layer latency is set by the
+//! busiest engine plus a small pipeline-fill term.
+
+use crate::workload::LayerWorkload;
+use flash_hw::arch::FlashArch;
+use flash_hw::cost::CostModel;
+use flash_hw::energy::{hconv_energy, DesignPoint, EnergyReport};
+use flash_sparse::schedule::PeModel;
+
+/// Per-engine busy cycles and the resulting latency of one layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerPerf {
+    /// Busy cycles of the approximate (weight) PE array.
+    pub weight_cycles: u64,
+    /// Busy cycles of the FP PE array (activation + inverse).
+    pub fp_fft_cycles: u64,
+    /// Busy cycles of the point-wise multiplier array.
+    pub pointwise_cycles: u64,
+    /// Busy cycles of the accumulator array.
+    pub accum_cycles: u64,
+    /// Steady-state total cycles (max engine + fill).
+    pub cycles: u64,
+    /// Wall-clock latency in seconds.
+    pub latency_s: f64,
+    /// The limiting engine.
+    pub bottleneck: &'static str,
+}
+
+/// Schedules a workload onto an architecture.
+pub fn schedule_layer(w: &LayerWorkload, arch: &FlashArch, pe: &PeModel) -> LayerPerf {
+    let m = w.n / 2;
+    // Weight transforms: each PE runs one transform at a time.
+    let sparse_cycles_each = w
+        .weight_mults_sparse_each
+        .div_ceil(pe.bus_per_pe as u64)
+        + m.trailing_zeros() as u64 * pe.stage_overhead as u64;
+    let weight_waves = w.weight_transforms.div_ceil(arch.approx_pes as u64);
+    let weight_cycles = weight_waves * sparse_cycles_each;
+
+    // FP transforms (dense).
+    let dense_cycles_each = w
+        .weight_mults_dense_each
+        .div_ceil(pe.bus_per_pe as u64)
+        + m.trailing_zeros() as u64 * pe.stage_overhead as u64;
+    let fp_waves = (w.act_transforms + w.inverse_transforms).div_ceil(arch.fp_pes as u64);
+    let fp_fft_cycles = fp_waves * dense_cycles_each;
+
+    // Point-wise and accumulation arrays.
+    let pointwise_cycles = w.pointwise.div_ceil(arch.pointwise_muls as u64);
+    let accum_cycles = w.accum_adds.div_ceil(arch.fp_accs as u64);
+
+    let cycles_max = weight_cycles
+        .max(fp_fft_cycles)
+        .max(pointwise_cycles)
+        .max(accum_cycles);
+    let bottleneck = if cycles_max == weight_cycles {
+        "weight transforms"
+    } else if cycles_max == pointwise_cycles {
+        "point-wise multiply"
+    } else if cycles_max == fp_fft_cycles {
+        "FP transforms"
+    } else {
+        "accumulation"
+    };
+    let fill = sparse_cycles_each + dense_cycles_each;
+    let cycles = cycles_max + fill;
+    LayerPerf {
+        weight_cycles,
+        fp_fft_cycles,
+        pointwise_cycles,
+        accum_cycles,
+        cycles,
+        latency_s: cycles as f64 / (arch.freq_ghz * 1e9),
+        bottleneck,
+    }
+}
+
+/// Energy of one layer at a design point (bottom-up tally).
+pub fn layer_energy(w: &LayerWorkload, point: &DesignPoint, model: &CostModel) -> EnergyReport {
+    hconv_energy(&w.to_hconv_ops(), point, model)
+}
+
+/// Chip-level energy of one layer: engine power × layer latency,
+/// attributing each component's power over the whole layer time (the
+/// whole chip is on). This is what compares against F1's chip-level
+/// energy.
+pub fn layer_chip_energy_uj(perf: &LayerPerf, arch: &FlashArch, model: &CostModel) -> f64 {
+    let p_w = arch.total_cost(model).power_w();
+    p_w * perf.latency_s * 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::layer_workload;
+    use flash_hw::units::BuKind;
+    use flash_nn::layers::ConvLayerSpec;
+
+    fn spec(c: usize, h: usize, m: usize, k: usize) -> ConvLayerSpec {
+        ConvLayerSpec { name: "t".into(), c, h, w: h, m, k, stride: 1, pad: 1 }
+    }
+
+    #[test]
+    fn weight_transforms_are_no_longer_the_bottleneck() {
+        // After sparsifying weight transforms, the paper observes the
+        // bottleneck moves to the FP side (point-wise products and the
+        // dense ciphertext transforms) for wide 3x3 layers.
+        let w = layer_workload(&spec(64, 56, 64, 3), 4096);
+        let perf = schedule_layer(&w, &FlashArch::paper_default(), &PeModel::default());
+        assert_ne!(perf.bottleneck, "weight transforms");
+        assert!(perf.pointwise_cycles > perf.weight_cycles);
+    }
+
+    #[test]
+    fn dense_weight_transforms_would_bottleneck() {
+        // With the dense dataflow (no sparsity), weight transforms
+        // dominate — the original Figure 1 situation.
+        let w = layer_workload(&spec(64, 56, 64, 3), 4096);
+        let dense_each = w.weight_mults_dense_each;
+        let mut dense_w = w.clone();
+        dense_w.weight_mults_sparse_each = dense_each;
+        let perf = schedule_layer(&dense_w, &FlashArch::paper_default(), &PeModel::default());
+        assert_eq!(perf.bottleneck, "weight transforms");
+    }
+
+    #[test]
+    fn latency_positive_and_consistent() {
+        let w = layer_workload(&spec(32, 28, 32, 3), 4096);
+        let arch = FlashArch::paper_default();
+        let perf = schedule_layer(&w, &arch, &PeModel::default());
+        assert!(perf.cycles >= perf.weight_cycles);
+        assert!((perf.latency_s - perf.cycles as f64 / 1e9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn chip_energy_scales_with_latency() {
+        let w = layer_workload(&spec(32, 28, 32, 3), 4096);
+        let arch = FlashArch::paper_default();
+        let model = CostModel::cmos28();
+        let perf = schedule_layer(&w, &arch, &PeModel::default());
+        let e = layer_chip_energy_uj(&perf, &arch, &model);
+        assert!(e > 0.0);
+        let mut w2 = w.clone();
+        w2.accumulate(&w);
+        let perf2 = schedule_layer(&w2, &arch, &PeModel::default());
+        let e2 = layer_chip_energy_uj(&perf2, &arch, &model);
+        assert!(e2 > 1.5 * e);
+    }
+
+    #[test]
+    fn flash_layer_energy_below_fp_baseline() {
+        let w = layer_workload(&spec(64, 28, 64, 3), 4096);
+        let model = CostModel::cmos28();
+        let flash = layer_energy(
+            &w,
+            &DesignPoint { label: "FLASH", weight_bu: BuKind::flash_approx(), sparse: true },
+            &model,
+        );
+        let fp = layer_energy(
+            &w,
+            &DesignPoint { label: "FFT (FP)", weight_bu: BuKind::flash_fp(), sparse: false },
+            &model,
+        );
+        assert!(flash.weight_pj < 0.05 * fp.weight_pj);
+        assert!(flash.total_pj() < fp.total_pj());
+    }
+}

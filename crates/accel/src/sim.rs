@@ -1,0 +1,181 @@
+//! Discrete-event simulation of one layer on the FLASH engine arrays.
+//!
+//! The analytic model in [`crate::schedule`] assumes perfect pipelining
+//! (layer latency = busiest engine). This simulator tracks the actual
+//! dependency chain — activation spectra and weight spectra must exist
+//! before point-wise products, which must finish before the inverse
+//! transforms — at transform-job granularity, with the point-wise array
+//! modeled as a fluid server. It bounds how much the dependency structure
+//! can stretch the analytic estimate.
+
+use crate::workload::LayerWorkload;
+use flash_hw::arch::FlashArch;
+use flash_sparse::schedule::PeModel;
+
+/// Simulation outcome for one layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimResult {
+    /// Cycle at which the last activation/weight transform finishes.
+    pub transforms_done: u64,
+    /// Cycle at which the point-wise stream drains.
+    pub pointwise_done: u64,
+    /// Cycle at which the last inverse transform finishes (= layer done).
+    pub finish: u64,
+    /// Utilization of the weight-PE array over the makespan.
+    pub weight_utilization: f64,
+    /// Utilization of the point-wise array over the makespan.
+    pub pointwise_utilization: f64,
+}
+
+/// Completion cycle of job `k` (0-based) in a pool of `p` identical
+/// servers running `len`-cycle jobs from cycle 0.
+#[inline]
+fn pool_completion(k: u64, p: u64, len: u64) -> u64 {
+    (k / p + 1) * len
+}
+
+/// Simulates one layer.
+pub fn simulate_layer(w: &LayerWorkload, arch: &FlashArch, pe: &PeModel) -> SimResult {
+    let m = w.n / 2;
+    let stages = m.trailing_zeros() as u64 * pe.stage_overhead as u64;
+    let sparse_len = w.weight_mults_sparse_each.div_ceil(pe.bus_per_pe as u64) + stages;
+    let dense_len = w.weight_mults_dense_each.div_ceil(pe.bus_per_pe as u64) + stages;
+
+    let p_w = arch.approx_pes as u64;
+    let p_fp = arch.fp_pes as u64;
+    let pw_rate = arch.pointwise_muls as u64; // complex muls per cycle
+
+    // --- activation transforms run first on the FP pool.
+    let act_jobs = w.act_transforms;
+    let act_done = if act_jobs == 0 {
+        0
+    } else {
+        pool_completion(act_jobs - 1, p_fp, dense_len)
+    };
+
+    // --- weight transforms stream on the approximate pool; each
+    // completed weight polynomial releases its share of point-wise work.
+    let weight_jobs = w.weight_transforms.max(1);
+    let pw_per_weight = w.pointwise / weight_jobs;
+    let mut backlog: u64 = 0; // released, unprocessed point-wise work
+    let mut now: u64 = 0;
+    let mut pw_done_at: u64 = 0;
+    let waves = weight_jobs.div_ceil(p_w);
+    let mut transforms_done = act_done;
+    for wave in 0..waves {
+        let t = (wave + 1) * sparse_len;
+        let jobs_in_wave = if wave == waves - 1 {
+            weight_jobs - wave * p_w
+        } else {
+            p_w
+        };
+        // point-wise for this wave's weight polys also needs the
+        // activation spectra; drain the backlog until the release time
+        let release = t.max(act_done);
+        let drained = release.saturating_sub(now) * pw_rate;
+        backlog = backlog.saturating_sub(drained);
+        now = now.max(release);
+        backlog += jobs_in_wave * pw_per_weight;
+        pw_done_at = now + backlog.div_ceil(pw_rate);
+        transforms_done = transforms_done.max(t);
+    }
+    // account for rounding remainder
+    let residual_pw = w.pointwise - pw_per_weight * weight_jobs;
+    backlog += residual_pw;
+    let pointwise_done = now + backlog.div_ceil(pw_rate);
+    let pointwise_done = pointwise_done.max(pw_done_at);
+
+    // --- inverse transforms start once their inputs are accumulated
+    // (conservatively: after the point-wise stream drains) and share the
+    // FP pool with the (already finished) activation transforms.
+    let inv_jobs = w.inverse_transforms;
+    let finish = if inv_jobs == 0 {
+        pointwise_done
+    } else {
+        pointwise_done.max(act_done) + pool_completion(inv_jobs - 1, p_fp, dense_len)
+    };
+
+    let weight_busy = weight_jobs * sparse_len / p_w.min(weight_jobs).max(1);
+    SimResult {
+        transforms_done,
+        pointwise_done,
+        finish,
+        weight_utilization: weight_busy as f64 / finish.max(1) as f64,
+        pointwise_utilization: (w.pointwise as f64 / pw_rate as f64) / finish.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::schedule_layer;
+    use crate::workload::layer_workload;
+    use flash_nn::layers::ConvLayerSpec;
+
+    fn spec(c: usize, h: usize, m: usize, k: usize) -> ConvLayerSpec {
+        ConvLayerSpec { name: "sim".into(), c, h, w: h, m, k, stride: 1, pad: 1 }
+    }
+
+    #[test]
+    fn simulation_brackets_analytic_model() {
+        let arch = FlashArch::paper_default();
+        let pe = PeModel::default();
+        for layer in [spec(64, 56, 64, 3), spec(32, 28, 64, 3), spec(256, 14, 256, 1)] {
+            let w = layer_workload(&layer, 4096);
+            let analytic = schedule_layer(&w, &arch, &pe);
+            let sim = simulate_layer(&w, &arch, &pe);
+            // dependencies can only lengthen the schedule...
+            assert!(
+                sim.finish >= analytic.cycles.saturating_sub(analytic.cycles / 10),
+                "{}: sim {} below analytic {}",
+                layer.name,
+                sim.finish,
+                analytic.cycles
+            );
+            // ...but the pipeline overlap keeps it within the serial sum.
+            let serial = analytic.weight_cycles
+                + analytic.fp_fft_cycles
+                + analytic.pointwise_cycles
+                + analytic.accum_cycles;
+            assert!(
+                sim.finish <= serial + 2 * analytic.cycles,
+                "{}: sim {} vs serial {serial}",
+                layer.name,
+                sim.finish
+            );
+        }
+    }
+
+    #[test]
+    fn utilizations_are_sane() {
+        let arch = FlashArch::paper_default();
+        let pe = PeModel::default();
+        let w = layer_workload(&spec(64, 56, 64, 3), 4096);
+        let sim = simulate_layer(&w, &arch, &pe);
+        assert!(sim.weight_utilization > 0.0 && sim.weight_utilization <= 1.0 + 1e-9);
+        assert!(sim.pointwise_utilization > 0.0 && sim.pointwise_utilization <= 1.0 + 1e-9);
+        assert!(sim.transforms_done <= sim.finish);
+        assert!(sim.pointwise_done <= sim.finish);
+    }
+
+    #[test]
+    fn pointwise_heavy_layer_is_pointwise_bound_in_sim_too() {
+        let arch = FlashArch::paper_default();
+        let pe = PeModel::default();
+        let w = layer_workload(&spec(64, 56, 64, 3), 4096);
+        let sim = simulate_layer(&w, &arch, &pe);
+        // the point-wise drain dominates the transform completion
+        assert!(sim.pointwise_done > sim.transforms_done);
+        assert!(sim.pointwise_utilization > 0.3);
+    }
+
+    #[test]
+    fn tiny_layer_simulates_quickly_and_finishes() {
+        let arch = FlashArch::paper_default();
+        let pe = PeModel::default();
+        let w = layer_workload(&spec(2, 8, 2, 3), 4096);
+        let sim = simulate_layer(&w, &arch, &pe);
+        assert!(sim.finish > 0);
+        assert!(sim.finish < 100_000);
+    }
+}

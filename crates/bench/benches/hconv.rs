@@ -1,0 +1,60 @@
+//! Criterion benchmarks of the homomorphic-convolution protocol at a
+//! test-scale ring (`N = 256`): backend comparison for `ct ⊠ pt` and the
+//! full client/server round.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flash_2pc::protocol::ConvProtocol;
+use flash_he::encoding::ConvShape;
+use flash_he::{HeParams, Poly, PolyMulBackend, SecretKey};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_backends(c: &mut Criterion) {
+    let p = HeParams::test_256();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let a = Poly::uniform(p.n, p.q, &mut rng);
+    let mut w = vec![0i64; p.n];
+    for i in 0..9 {
+        w[i * 25] = 5 - i as i64;
+    }
+    let approx = PolyMulBackend::approx(flash_accel::config::FlashConfig::numerics_for(
+        p.n, 30, 12,
+    ));
+    let mut group = c.benchmark_group("ct_x_pt_n256");
+    for (name, backend) in [
+        ("ntt", PolyMulBackend::Ntt),
+        ("fft_f64", PolyMulBackend::FftF64),
+        ("approx_fxp", approx),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(backend.mul_ct_pt(black_box(&a), black_box(&w), p.ntt(), p.fft())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_protocol(c: &mut Criterion) {
+    let p = HeParams::test_256();
+    let shape = ConvShape { c: 2, h: 6, w: 6, m: 2, k: 3 };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let sk = SecretKey::generate(&p, &mut rng);
+    let x: Vec<i64> = (0..shape.input_len()).map(|i| (i as i64 % 15) - 7).collect();
+    let w: Vec<i64> = (0..shape.m * shape.kernel_len())
+        .map(|i| (i as i64 % 13) - 6)
+        .collect();
+    let mut group = c.benchmark_group("hconv_protocol_n256");
+    group.sample_size(20);
+    for (name, backend) in [("ntt", PolyMulBackend::Ntt), ("fft_f64", PolyMulBackend::FftF64)] {
+        let proto = ConvProtocol::new(p.clone(), shape, backend);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut r = rand::rngs::StdRng::seed_from_u64(3);
+                black_box(proto.run(&sk, &x, &w, &mut r))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends, bench_protocol);
+criterion_main!(benches);

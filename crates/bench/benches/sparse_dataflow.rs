@@ -1,0 +1,40 @@
+//! Criterion benchmarks of the end-to-end performance model: per-layer
+//! workload extraction and whole-network scheduling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flash_accel::config::FlashConfig;
+use flash_accel::inference::run_network;
+use flash_accel::workload::layer_workload;
+use flash_nn::layers::ConvLayerSpec;
+use flash_nn::resnet::resnet18_conv_layers;
+use std::hint::black_box;
+
+fn bench_workload_extraction(c: &mut Criterion) {
+    let spec = ConvLayerSpec {
+        name: "layer1.0.conv1".into(),
+        c: 64,
+        h: 56,
+        w: 56,
+        m: 64,
+        k: 3,
+        stride: 1,
+        pad: 1,
+    };
+    c.bench_function("layer_workload_56x56", |b| {
+        b.iter(|| black_box(layer_workload(black_box(&spec), 4096)))
+    });
+}
+
+fn bench_network_model(c: &mut Criterion) {
+    let cfg = FlashConfig::paper_default();
+    let net = resnet18_conv_layers();
+    let mut group = c.benchmark_group("network_model");
+    group.sample_size(10);
+    group.bench_function("resnet18_full_run", |b| {
+        b.iter(|| black_box(run_network(black_box(&net), &cfg)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_workload_extraction, bench_network_model);
+criterion_main!(benches);

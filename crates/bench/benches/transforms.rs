@@ -1,0 +1,127 @@
+//! Criterion benchmarks of the transform kernels: exact NTT vs `f64`
+//! negacyclic FFT vs fixed-point approximate FFT vs sparse FFT, at the
+//! paper's `N = 4096`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flash_fft::fixed_fft::FixedNegacyclicFft;
+use flash_fft::NegacyclicFft;
+use flash_he::HeParams;
+use flash_math::C64;
+use flash_ntt::transform::forward;
+use flash_sparse::executor::SparseFft;
+use std::hint::black_box;
+
+fn bench_transforms(c: &mut Criterion) {
+    let p = HeParams::flash_default();
+    let n = p.n;
+    let mut group = c.benchmark_group("transforms_n4096");
+
+    // Exact NTT (the baseline datapath).
+    let data: Vec<u64> = (0..n as u64).map(|i| i * 7919 % p.q).collect();
+    group.bench_function("ntt_forward", |b| {
+        b.iter(|| {
+            let mut v = data.clone();
+            forward(&mut v, p.ntt());
+            black_box(v)
+        })
+    });
+
+    // f64 negacyclic FFT.
+    let plan = NegacyclicFft::new(n);
+    let real: Vec<f64> = (0..n).map(|i| ((i * 31) % 256) as f64 - 128.0).collect();
+    group.bench_function("fft_f64_forward", |b| {
+        b.iter(|| black_box(plan.forward(black_box(&real))))
+    });
+
+    // Fixed-point approximate FFT at the FLASH operating point.
+    let cfg = flash_accel::config::FlashConfig::numerics_for(n, 27, 5);
+    let fixed = FixedNegacyclicFft::new(cfg);
+    let weights: Vec<i64> = (0..n).map(|i| if i % 455 == 0 { 5 } else { 0 }).collect();
+    group.bench_function("approx_fxp_forward", |b| {
+        b.iter(|| black_box(fixed.forward(black_box(&weights))))
+    });
+
+    // Sparse executor on a Cheetah-like weight pattern.
+    let sp = SparseFft::new(n / 2);
+    let mut folded = vec![C64::ZERO; n / 2];
+    for i in 0..9 {
+        folded[i * 64] = C64::new(3.0, -1.0);
+    }
+    group.bench_function("sparse_fft_9nnz", |b| {
+        b.iter(|| black_box(sp.transform(black_box(&folded))))
+    });
+
+    // Dense reference through the same executor.
+    let dense: Vec<C64> = (0..n / 2)
+        .map(|i| C64::new((i % 17) as f64, (i % 5) as f64))
+        .collect();
+    group.bench_function("sparse_fft_dense_input", |b| {
+        b.iter(|| black_box(sp.transform(black_box(&dense))))
+    });
+
+    group.finish();
+}
+
+fn bench_radix_and_rns(c: &mut Criterion) {
+    use flash_fft::dft::Direction;
+    use flash_fft::radix4::fft_radix4;
+    use flash_he::rns::{RnsParams, RnsSecretKey};
+    use flash_he::Poly;
+    use rand::SeedableRng;
+
+    let mut group = c.benchmark_group("variants");
+    // radix-4 vs radix-2 at 2048 points
+    let m = 2048;
+    let x: Vec<C64> = (0..m).map(|i| C64::new((i % 37) as f64, -((i % 11) as f64))).collect();
+    let plan = flash_fft::fft64::FftPlan::new(m);
+    group.bench_function("radix2_2048", |b| {
+        b.iter(|| {
+            let mut v = x.clone();
+            plan.transform(&mut v, Direction::Negative);
+            black_box(v)
+        })
+    });
+    group.bench_function("radix4_2048", |b| {
+        b.iter(|| black_box(fft_radix4(black_box(&x), Direction::Negative)))
+    });
+
+    // single-limb vs double-limb BFV plaintext multiplication
+    let p1 = HeParams::test_256();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let sk1 = flash_he::SecretKey::generate(&p1, &mut rng);
+    let m1 = Poly::uniform(p1.n, p1.t, &mut rng);
+    let ct1 = sk1.encrypt(&m1, &mut rng);
+    let mut w = vec![0i64; p1.n];
+    for i in 0..9 {
+        w[i * 17] = 5 - i as i64;
+    }
+    group.bench_function("bfv_mul_plain_1limb", |b| {
+        b.iter(|| {
+            black_box(ct1.mul_plain_signed(&w, &p1, &flash_he::PolyMulBackend::Ntt))
+        })
+    });
+    let p2 = RnsParams::test_double();
+    let sk2 = RnsSecretKey::generate(&p2, &mut rng);
+    let m2 = Poly::uniform(p2.n, p2.t, &mut rng);
+    let ct2 = sk2.encrypt(&m2, &mut rng);
+    group.bench_function("bfv_mul_plain_2limb", |b| {
+        b.iter(|| black_box(ct2.mul_plain_signed(&w, &p2)))
+    });
+    group.finish();
+}
+
+fn bench_mult_counting(c: &mut Criterion) {
+    use flash_sparse::pattern::SparsityPattern;
+    use flash_sparse::symbolic::analyze;
+    let mut group = c.benchmark_group("dataflow_analysis");
+    for nnz in [1usize, 9, 144] {
+        let p = SparsityPattern::from_indices(2048, (0..nnz).map(|i| (i * 193) % 2048));
+        group.bench_with_input(BenchmarkId::new("analyze_2048", nnz), &p, |b, p| {
+            b.iter(|| black_box(analyze(black_box(&p.bit_reversed()))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transforms, bench_radix_and_rns, bench_mult_counting);
+criterion_main!(benches);

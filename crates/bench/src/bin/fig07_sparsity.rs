@@ -1,0 +1,53 @@
+//! Regenerates **Figure 7**: the coefficient sparsity of encoded weight
+//! polynomials across ResNet layers.
+
+use flash_bench::{banner, pct, subhead};
+use flash_nn::resnet::{resnet18_conv_layers, resnet50_conv_layers};
+use flash_nn::sparsity::layer_weight_sparsity;
+
+fn main() {
+    banner("Figure 7: weight-polynomial coefficient sparsity (N = 4096)");
+    for net in [resnet18_conv_layers(), resnet50_conv_layers()] {
+        subhead(&net.name);
+        let mut all = Vec::new();
+        println!("{:<26} {:>6} {:>10} {:>10}", "layer", "k", "valid/N", "sparsity");
+        for l in &net.convs {
+            let s = layer_weight_sparsity(l, 4096);
+            println!(
+                "{:<26} {:>4}x{} {:>5}/4096 {:>10}",
+                l.name,
+                l.k,
+                l.k,
+                s.valid_per_poly,
+                pct(s.sparsity)
+            );
+            all.push(s.sparsity);
+        }
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        println!(
+            "summary: min {} median {} max {}  (paper: \"more than 90%\")",
+            pct(all[0]),
+            pct(all[all.len() / 2]),
+            pct(all[all.len() - 1])
+        );
+    }
+
+    // The paper's concrete example: H = W = 58 (padded 56), k = 3.
+    subhead("paper example: 58x58 padded image, 3x3 kernel");
+    let spec = flash_nn::layers::ConvLayerSpec {
+        name: "resnet50 stage-1 3x3".into(),
+        c: 64,
+        h: 56,
+        w: 56,
+        m: 64,
+        k: 3,
+        stride: 1,
+        pad: 1,
+    };
+    let s = layer_weight_sparsity(&spec, 4096);
+    println!(
+        "valid = {} of 4096 coefficients -> sparsity {} ; pattern: k runs of k values, W apart",
+        s.valid_per_poly,
+        pct(s.sparsity)
+    );
+}

@@ -1,0 +1,72 @@
+//! Regenerates **Figure 11(b)(c)**: the DSE solution clouds and Pareto
+//! fronts for two representative ResNet-50 layers (the paper's layers 28
+//! and 41), plotting normalized weight-FFT power vs. HConv output error
+//! variance.
+
+use flash_bench::{banner, subhead};
+use flash_dse::bayesopt::{optimize_multi, random_search, BoConfig};
+use flash_dse::objective::Objective;
+use flash_dse::pareto::{hypervolume, pareto_front};
+use flash_dse::space::DesignSpace;
+use flash_nn::resnet::resnet50_conv_layers;
+use flash_nn::sparsity::layer_weight_sparsity;
+use rand::SeedableRng;
+
+fn main() {
+    banner("Figure 11(b)(c): approximate-FFT DSE for ResNet-50 layers 28 and 41");
+    let net = resnet50_conv_layers();
+    let he = flash_he::HeParams::flash_default();
+
+    for (fig, layer_idx) in [("(b)", 28usize), ("(c)", 41)] {
+        let spec = net.layer(layer_idx);
+        let sp = layer_weight_sparsity(spec, he.n);
+        subhead(&format!(
+            "figure {fig}: layer {layer_idx} = {} ({}x{} kernel, {} valid coeffs)",
+            spec.name, spec.k, spec.k, sp.valid_per_poly
+        ));
+
+        let space = DesignSpace::flash_default(he.n);
+        let obj = Objective::from_layer(space, sp.valid_per_poly, 8.0, (he.t / 2) as f64);
+        // ~1000 evaluations, as in the paper's clouds.
+        let weights: Vec<f64> = (1..=10).map(|i| i as f64 / 11.0).collect();
+        let cfg = BoConfig { init: 25, iters: 75, candidates: 256, ..BoConfig::default() };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(layer_idx as u64);
+        let evals = optimize_multi(&obj, &weights, &cfg, &mut rng);
+        println!("evaluated {} design points", evals.len());
+
+        let front = pareto_front(&evals);
+        println!("pareto front ({} points):", front.len());
+        println!("{:>10} {:>14} {:>8} {:>8}", "power mW", "err variance", "mean dw", "mean k");
+        let step = (front.len() / 8).max(1);
+        for e in front.iter().step_by(step) {
+            let dw = e.point.mean_width(obj.space());
+            let k: f64 =
+                e.point.k.iter().sum::<usize>() as f64 / e.point.k.len() as f64;
+            println!(
+                "{:>10.3} {:>14.3e} {:>8.1} {:>8.1}",
+                e.power, e.error_variance, dw, k
+            );
+        }
+
+        // Random search with the same budget, for the BO-vs-random story.
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(layer_idx as u64);
+        let rs = random_search(&obj, evals.len(), &mut rng2);
+        let rs_front = pareto_front(&rs);
+        let ref_p = front
+            .iter()
+            .chain(&rs_front)
+            .map(|e| e.power)
+            .fold(0.0f64, f64::max)
+            * 1.1;
+        let hv_bo = hypervolume(&front, ref_p, 20.0);
+        let hv_rs = hypervolume(&rs_front, ref_p, 20.0);
+        println!(
+            "hypervolume: bayesian {hv_bo:.1} vs random {hv_rs:.1} ({} better)",
+            if hv_bo >= hv_rs { "BO" } else { "random" }
+        );
+    }
+
+    println!();
+    println!("paper: 1000 solutions per layer; the front trades ~an order of");
+    println!("magnitude of power against many decades of error variance.");
+}

@@ -1,0 +1,46 @@
+//! Runs every table/figure regeneration binary in sequence.
+//!
+//! ```text
+//! cargo run --release -p flash-bench --bin paper_suite
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "fig01_breakdown",
+        "table02_multipliers",
+        "fig05_robustness",
+        "fig07_sparsity",
+        "fig11a_mult_reduction",
+        "fig11bc_dse",
+        "fig11de_ablation",
+        "fig12_breakdown",
+        "table03_efficiency",
+        "table04_e2e",
+        "suppl_twiddle_k",
+        "suppl_ablations",
+        "suppl_batching",
+        "suppl_communication",
+        "suppl_synthetic_accuracy",
+        "suppl_sizing",
+    ];
+    let exe = std::env::current_exe().expect("current exe path");
+    let dir = exe.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for bin in bins {
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+        if !status.success() {
+            failures.push(bin);
+        }
+    }
+    println!();
+    if failures.is_empty() {
+        println!("paper suite complete: all {} experiments regenerated.", bins.len());
+    } else {
+        println!("paper suite: FAILURES in {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,73 @@
+//! Supplementary: architecture sizing sweep.
+//!
+//! FLASH fixes 60 approximate PEs (matching CHAM's BU count) and 4 FP
+//! PEs. This sweep varies both array sizes and the point-wise multiplier
+//! count, reporting ResNet-50 transform latency, full-system latency and
+//! silicon cost — the capacity-balance view that explains the published
+//! configuration.
+
+use flash_accel::config::FlashConfig;
+use flash_accel::inference::run_network;
+use flash_bench::{banner, subhead};
+use flash_hw::cost::CostModel;
+use flash_nn::resnet::resnet50_conv_layers;
+
+fn main() {
+    banner("Supplementary: architecture sizing (ResNet-50)");
+    let net = resnet50_conv_layers();
+    let model = CostModel::cmos28();
+
+    subhead("approximate-PE count (weight array)");
+    println!(
+        "{:>6} {:>14} {:>14} {:>10} {:>9}",
+        "PEs", "tf-latency ms", "full-lat ms", "area mm2", "power W"
+    );
+    for pes in [15u32, 30, 60, 120, 240] {
+        let mut cfg = FlashConfig::paper_default();
+        cfg.arch.approx_pes = pes;
+        let run = run_network(&net, &cfg);
+        let cost = cfg.arch.total_cost(&model);
+        println!(
+            "{pes:>6} {:>14.2} {:>14.2} {:>10.2} {:>9.2}",
+            run.transform_latency_s * 1e3,
+            run.total_latency_s * 1e3,
+            cost.area_mm2(),
+            cost.power_w()
+        );
+    }
+
+    subhead("FP-PE count (activation/inverse array)");
+    for fp in [2u32, 4, 8, 16, 32] {
+        let mut cfg = FlashConfig::paper_default();
+        cfg.arch.fp_pes = fp;
+        let run = run_network(&net, &cfg);
+        let cost = cfg.arch.total_cost(&model);
+        println!(
+            "{fp:>6} {:>14.2} {:>14.2} {:>10.2} {:>9.2}",
+            run.transform_latency_s * 1e3,
+            run.total_latency_s * 1e3,
+            cost.area_mm2(),
+            cost.power_w()
+        );
+    }
+
+    subhead("point-wise multiplier count");
+    for pw in [32u32, 64, 128, 256, 512] {
+        let mut cfg = FlashConfig::paper_default();
+        cfg.arch.pointwise_muls = pw;
+        cfg.arch.fp_accs = pw;
+        let run = run_network(&net, &cfg);
+        let cost = cfg.arch.total_cost(&model);
+        println!(
+            "{pw:>6} {:>14.2} {:>14.2} {:>10.2} {:>9.2}",
+            run.transform_latency_s * 1e3,
+            run.total_latency_s * 1e3,
+            cost.area_mm2(),
+            cost.power_w()
+        );
+    }
+    println!();
+    println!("reading: the weight array saturates early (its work is already 98% pruned);");
+    println!("FP PEs bound the transform latency, and point-wise units bound the full");
+    println!("system — growing them trades silicon for the declared future bottleneck.");
+}

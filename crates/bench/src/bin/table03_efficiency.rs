@@ -1,0 +1,141 @@
+//! Regenerates **Table III**: area/power efficiency of FLASH vs published
+//! HE accelerators, on the ResNet-50 HConv workload.
+
+use flash_accel::config::FlashConfig;
+use flash_bench::{banner, subhead, times};
+use flash_hw::arch::FlashArch;
+use flash_hw::baselines::{paper_flash_rows, published_baselines};
+use flash_hw::cost::CostModel;
+use flash_hw::throughput::{array_mops, Efficiency};
+use flash_nn::resnet::resnet50_conv_layers;
+use flash_sparse::schedule::PeModel;
+
+fn main() {
+    banner("Table III: HConv efficiency comparison (ResNet-50, N = 2^12)");
+    let cfg = FlashConfig::paper_default();
+    let arch = FlashArch::paper_default();
+    let model = CostModel::cmos28();
+    let pe = PeModel::default();
+
+    // Workload-average sparse cycles per weight transform on ResNet-50.
+    let net = resnet50_conv_layers();
+    let mut transforms = 0u64;
+    let mut cycles = 0u64;
+    let mut t33 = 0u64;
+    let mut c33 = 0u64;
+    for spec in &net.convs {
+        let w = flash_accel::workload::layer_workload(spec, cfg.n());
+        let each = w.weight_mults_sparse_each.div_ceil(pe.bus_per_pe as u64)
+            + 11 * pe.stage_overhead as u64;
+        transforms += w.weight_transforms;
+        cycles += w.weight_transforms * each;
+        if spec.k == 3 {
+            t33 += w.weight_transforms;
+            c33 += w.weight_transforms * each;
+        }
+    }
+    let avg_cycles = cycles as f64 / transforms as f64;
+    let avg_cycles_33 = c33 as f64 / t33 as f64;
+    let weight_mops = array_mops(arch.approx_pes, avg_cycles, arch.freq_ghz, 1.0);
+    let weight_cost = arch.weight_engine_cost(&model);
+    let weight_eff = Efficiency {
+        mops: weight_mops,
+        area_mm2: weight_cost.area_mm2(),
+        power_w: weight_cost.power_w(),
+    };
+
+    // FP array adds its dense-transform rate for the "all transforms" row.
+    let dense_cycles = (cfg.n() as f64 / 2.0 / 2.0 * 11.0) / pe.bus_per_pe as f64 + 22.0;
+    let fp_mops = array_mops(arch.fp_pes, dense_cycles, arch.freq_ghz, 1.0);
+    let total_cost = arch.total_cost(&model);
+    let all_eff = Efficiency {
+        mops: weight_mops + fp_mops,
+        area_mm2: total_cost.area_mm2(),
+        power_w: total_cost.power_w(),
+    };
+
+    subhead("rows (MOPS | mm^2 | W | MOPS/mm^2 | MOPS/W)");
+    println!(
+        "{:<28} {:>9} {:>8} {:>8} {:>11} {:>9}",
+        "accelerator", "MOPS", "mm^2", "W", "MOPS/mm^2", "MOPS/W"
+    );
+    for r in published_baselines() {
+        match r.efficiency() {
+            Some(e) => println!(
+                "{:<28} {:>9.2} {:>8.2} {:>8.2} {:>11.2} {:>9.2}",
+                format!("{} ({} N=2^{})", r.name, r.technology, (r.n as f64).log2()),
+                r.mops,
+                e.area_mm2,
+                e.power_w,
+                e.area_eff(),
+                e.power_eff()
+            ),
+            None => println!(
+                "{:<28} {:>9.2} {:>8} {:>8} {:>11} {:>9}",
+                format!("{} ({} N=2^{})", r.name, r.technology, (r.n as f64).log2()),
+                r.mops,
+                "-",
+                "-",
+                "-",
+                "-"
+            ),
+        }
+    }
+    // A conservative row using only the 3x3 layers (whose ~85-87 %
+    // dataflow reduction matches the paper's quoted >86 %; our aligned
+    // encoding makes 1x1 transforms far cheaper than the paper's
+    // average, so the mixed row overshoots).
+    let weight_eff_33 = Efficiency {
+        mops: array_mops(arch.approx_pes, avg_cycles_33, arch.freq_ghz, 1.0),
+        area_mm2: weight_cost.area_mm2(),
+        power_w: weight_cost.power_w(),
+    };
+    for (label, e, paper) in [
+        ("FLASH weight transforms", weight_eff, paper_flash_rows::WEIGHT),
+        ("FLASH weight (3x3 layers)", weight_eff_33, paper_flash_rows::WEIGHT),
+        ("FLASH all transforms", all_eff, paper_flash_rows::ALL),
+    ] {
+        println!(
+            "{label:<28} {:>9.2} {:>8.2} {:>8.2} {:>11.2} {:>9.2}",
+            e.mops,
+            e.area_mm2,
+            e.power_w,
+            e.area_eff(),
+            e.power_eff()
+        );
+        println!(
+            "{:<28} {:>9.2} {:>8.2} {:>8.2} {:>11.2} {:>9.2}",
+            "  (paper)", paper.0, paper.1, paper.2, paper.3, paper.4
+        );
+    }
+
+    subhead("improvement over the best/worst ASIC baselines");
+    let asics: Vec<Efficiency> = published_baselines()
+        .iter()
+        .filter_map(|r| r.efficiency())
+        .collect();
+    let pe_min = asics.iter().map(|e| e.power_eff()).fold(f64::INFINITY, f64::min);
+    let pe_max = asics.iter().map(|e| e.power_eff()).fold(0.0, f64::max);
+    println!(
+        "weight transforms power efficiency: {} ~ {}  (paper: 81.8x ~ 90.7x)",
+        times(weight_eff.power_eff() / pe_max),
+        times(weight_eff.power_eff() / pe_min)
+    );
+    println!(
+        "all transforms power efficiency:    {} ~ {}  (paper: 8.7x ~ 9.7x)",
+        times(all_eff.power_eff() / pe_max),
+        times(all_eff.power_eff() / pe_min)
+    );
+    let ae_min = asics.iter().map(|e| e.area_eff()).fold(f64::INFINITY, f64::min);
+    let ae_max = asics.iter().map(|e| e.area_eff()).fold(0.0, f64::max);
+    println!(
+        "weight transforms area efficiency:  {} ~ {}  (paper: 15.6x ~ 26.2x)",
+        times(weight_eff.area_eff() / ae_max),
+        times(weight_eff.area_eff() / ae_min)
+    );
+    println!(
+        "all transforms area efficiency:     {} ~ {}  (paper: 2.8x ~ 4.7x)",
+        times(all_eff.area_eff() / ae_max),
+        times(all_eff.area_eff() / ae_min)
+    );
+}

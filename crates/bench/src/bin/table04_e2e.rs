@@ -1,0 +1,73 @@
+//! Regenerates **Table IV**: end-to-end latency and accuracy of the
+//! linear layers of ResNet-18/-50 on FLASH vs the CHAM baseline.
+
+use flash_accel::config::FlashConfig;
+use flash_accel::inference::{accuracy_estimate, run_network};
+use flash_bench::{banner, subhead, times};
+use flash_hw::baselines::paper_table4;
+use flash_nn::resnet::{resnet18_conv_layers, resnet50_conv_layers};
+
+fn main() {
+    banner("Table IV: linear-layer latency & accuracy, CHAM vs FLASH");
+    let cfg = FlashConfig::paper_default();
+
+    for (net, cham_paper, flash_paper, baseline_acc) in [
+        (
+            resnet18_conv_layers(),
+            paper_table4::CHAM_RESNET18,
+            paper_table4::FLASH_RESNET18,
+            0.6845,
+        ),
+        (
+            resnet50_conv_layers(),
+            paper_table4::CHAM_RESNET50,
+            paper_table4::FLASH_RESNET50,
+            0.7424,
+        ),
+    ] {
+        subhead(&net.name);
+        let run = run_network(&net, &cfg);
+        let acc = accuracy_estimate(&cfg, baseline_acc, 7);
+        println!(
+            "{:<24} {:>14} {:>14} {:>12}",
+            "", "latency (ms)", "speedup", "accuracy (%)"
+        );
+        println!(
+            "{:<24} {:>14.2} {:>14} {:>12.2}",
+            "CHAM (measured model)",
+            run.cham_latency_s * 1e3,
+            "1.00x",
+            baseline_acc * 100.0
+        );
+        println!(
+            "{:<24} {:>14.2} {:>14} {:>12.2}",
+            "CHAM (paper)", cham_paper.0, "1.00x", cham_paper.1
+        );
+        println!(
+            "{:<24} {:>14.2} {:>14} {:>12.2}",
+            "FLASH (measured)",
+            run.transform_latency_s * 1e3,
+            times(run.speedup_vs_cham()),
+            acc * 100.0
+        );
+        println!(
+            "{:<24} {:>14.2} {:>14} {:>12.2}",
+            "FLASH (paper)",
+            flash_paper.0,
+            times(flash_paper.1),
+            flash_paper.2
+        );
+        println!(
+            "accuracy drop: measured {:.2} pts vs paper {:.2} pts",
+            (baseline_acc - acc) * 100.0,
+            cham_paper.1 - flash_paper.2
+        );
+        println!(
+            "note: latency counts transform work (the accelerator's critical path);"
+        );
+        println!(
+            "      full-system latency incl. point-wise streaming: {:.2} ms",
+            run.total_latency_s * 1e3
+        );
+    }
+}

@@ -1,0 +1,314 @@
+//! A from-scratch Gaussian-process Bayesian optimizer.
+//!
+//! Squared-exponential kernel, Cholesky-factored posterior, expected
+//! improvement maximized over random candidates. The multi-objective
+//! front is obtained by sweeping the scalarization weight (Figure 10's
+//! "Bayesian optimization algorithms ... solve the optimization problem
+//! iteratively").
+
+use crate::objective::{Evaluation, Objective};
+use flash_nn::robustness::phi;
+use rand::Rng;
+
+/// A Gaussian-process surrogate over `[0,1]^d`.
+#[derive(Debug, Clone)]
+pub struct Gp {
+    xs: Vec<Vec<f64>>,
+    /// Cholesky factor `L` of `K + σ_n² I` (lower triangular, row-major).
+    chol: Vec<Vec<f64>>,
+    /// `α = K⁻¹ y`.
+    alpha: Vec<f64>,
+    length_scale: f64,
+    signal_var: f64,
+    y_mean: f64,
+}
+
+impl Gp {
+    /// Fits a GP to observations `(xs, ys)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` and `ys` differ in length or are empty.
+    pub fn fit(xs: Vec<Vec<f64>>, ys: &[f64], length_scale: f64, noise: f64) -> Self {
+        assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
+        assert!(!xs.is_empty(), "need at least one observation");
+        let n = xs.len();
+        let y_mean = ys.iter().sum::<f64>() / n as f64;
+        let yc: Vec<f64> = ys.iter().map(|y| y - y_mean).collect();
+        let signal_var = (yc.iter().map(|y| y * y).sum::<f64>() / n as f64).max(1e-12);
+        let mut k = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..=i {
+                let v = signal_var * rbf(&xs[i], &xs[j], length_scale);
+                k[i][j] = v;
+                k[j][i] = v;
+            }
+            k[i][i] += noise + 1e-9;
+        }
+        let chol = cholesky(&k);
+        let alpha = chol_solve(&chol, &yc);
+        Self {
+            xs,
+            chol,
+            alpha,
+            length_scale,
+            signal_var,
+            y_mean,
+        }
+    }
+
+    /// Posterior mean and variance at `x`.
+    pub fn predict(&self, x: &[f64]) -> (f64, f64) {
+        let kx: Vec<f64> = self
+            .xs
+            .iter()
+            .map(|xi| self.signal_var * rbf(xi, x, self.length_scale))
+            .collect();
+        let mean = self.y_mean + kx.iter().zip(&self.alpha).map(|(a, b)| a * b).sum::<f64>();
+        // v = L⁻¹ kx; var = k(x,x) − vᵀv
+        let v = forward_solve(&self.chol, &kx);
+        let var = (self.signal_var - v.iter().map(|a| a * a).sum::<f64>()).max(1e-12);
+        (mean, var)
+    }
+}
+
+fn rbf(a: &[f64], b: &[f64], ell: f64) -> f64 {
+    let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    (-d2 / (2.0 * ell * ell)).exp()
+}
+
+/// Dense Cholesky factorization (lower triangular).
+fn cholesky(k: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let n = k.len();
+    let mut l = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = k[i][j];
+            for t in 0..j {
+                s -= l[i][t] * l[j][t];
+            }
+            if i == j {
+                l[i][j] = s.max(1e-12).sqrt();
+            } else {
+                l[i][j] = s / l[j][j];
+            }
+        }
+    }
+    l
+}
+
+/// Solves `L y = b`.
+fn forward_solve(l: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
+    let n = b.len();
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut s = b[i];
+        for j in 0..i {
+            s -= l[i][j] * y[j];
+        }
+        y[i] = s / l[i][i];
+    }
+    y
+}
+
+/// Solves `(L Lᵀ) x = b`.
+fn chol_solve(l: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
+    let n = b.len();
+    let y = forward_solve(l, b);
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = y[i];
+        for j in i + 1..n {
+            s -= l[j][i] * x[j];
+        }
+        x[i] = s / l[i][i];
+    }
+    x
+}
+
+/// Expected improvement of minimizing at posterior `(mean, var)` against
+/// incumbent `best`.
+fn expected_improvement(mean: f64, var: f64, best: f64) -> f64 {
+    let sd = var.sqrt();
+    if sd < 1e-12 {
+        return 0.0;
+    }
+    let z = (best - mean) / sd;
+    let pdf = (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt();
+    sd * (z * phi(z) + pdf)
+}
+
+/// Configuration of one BO run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoConfig {
+    /// Random initial design size.
+    pub init: usize,
+    /// BO iterations after initialization.
+    pub iters: usize,
+    /// Candidates scored by EI per iteration.
+    pub candidates: usize,
+    /// GP length scale in the normalized space.
+    pub length_scale: f64,
+    /// GP observation noise.
+    pub noise: f64,
+}
+
+impl Default for BoConfig {
+    fn default() -> Self {
+        Self {
+            init: 12,
+            iters: 25,
+            candidates: 256,
+            length_scale: 0.4,
+            noise: 1e-4,
+        }
+    }
+}
+
+/// Runs single-objective BO for one scalarization weight; returns every
+/// evaluation made.
+pub fn optimize_scalarized<R: Rng>(
+    objective: &Objective,
+    weight: f64,
+    cfg: &BoConfig,
+    rng: &mut R,
+) -> Vec<Evaluation> {
+    let space = *objective.space();
+    let mut evals: Vec<Evaluation> = Vec::new();
+    let mut xs: Vec<Vec<f64>> = Vec::new();
+    let mut ys: Vec<f64> = Vec::new();
+    for _ in 0..cfg.init {
+        let p = space.sample(rng);
+        let e = objective.evaluate(&p);
+        xs.push(space.encode(&p));
+        ys.push(objective.scalarize(&e, weight));
+        evals.push(e);
+    }
+    for _ in 0..cfg.iters {
+        let gp = Gp::fit(xs.clone(), &ys, cfg.length_scale, cfg.noise);
+        let best = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        let mut best_x: Option<Vec<f64>> = None;
+        let mut best_ei = -1.0;
+        for _ in 0..cfg.candidates {
+            let x: Vec<f64> = (0..space.dims()).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let (m, v) = gp.predict(&x);
+            let ei = expected_improvement(m, v, best);
+            if ei > best_ei {
+                best_ei = ei;
+                best_x = Some(x);
+            }
+        }
+        let x = best_x.expect("candidates > 0");
+        let p = space.decode(&x);
+        let e = objective.evaluate(&p);
+        xs.push(space.encode(&p));
+        ys.push(objective.scalarize(&e, weight));
+        evals.push(e);
+    }
+    evals
+}
+
+/// Sweeps scalarization weights to populate the multi-objective scatter
+/// (the paper's 1000-solution clouds in Figure 11(b)(c)).
+pub fn optimize_multi<R: Rng>(
+    objective: &Objective,
+    weights: &[f64],
+    cfg: &BoConfig,
+    rng: &mut R,
+) -> Vec<Evaluation> {
+    let mut all = Vec::new();
+    for &w in weights {
+        all.extend(optimize_scalarized(objective, w, cfg, rng));
+    }
+    all
+}
+
+/// Pure random search baseline with the same evaluation budget.
+pub fn random_search<R: Rng>(
+    objective: &Objective,
+    budget: usize,
+    rng: &mut R,
+) -> Vec<Evaluation> {
+    (0..budget)
+        .map(|_| objective.evaluate(&objective.space().sample(rng)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pareto::pareto_front;
+    use crate::space::DesignSpace;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gp_interpolates_training_points() {
+        let xs = vec![vec![0.0], vec![0.5], vec![1.0]];
+        let ys = [1.0, 0.0, 1.0];
+        let gp = Gp::fit(xs.clone(), &ys, 0.3, 1e-6);
+        for (x, y) in xs.iter().zip(&ys) {
+            let (m, v) = gp.predict(x);
+            assert!((m - y).abs() < 0.05, "mean {m} vs {y}");
+            assert!(v < 0.05, "var {v} should be small at data");
+        }
+        // far from data the variance grows
+        let (_, v) = gp.predict(&[3.0]);
+        assert!(v > 0.1);
+    }
+
+    #[test]
+    fn ei_prefers_uncertain_low_mean() {
+        let a = expected_improvement(0.0, 1.0, 0.5);
+        let b = expected_improvement(1.0, 1.0, 0.5);
+        let c = expected_improvement(0.0, 0.01, 0.5);
+        assert!(a > b, "lower mean is better");
+        assert!(a > c, "higher variance is better at equal mean");
+        assert!(expected_improvement(0.0, 0.0, 0.5) == 0.0);
+    }
+
+    #[test]
+    fn bo_beats_random_on_scalarized_objective() {
+        let space = DesignSpace::flash_default(64);
+        let obj = Objective::from_layer(space, 5, 8.0, 1024.0);
+        let cfg = BoConfig { init: 8, iters: 12, candidates: 128, ..BoConfig::default() };
+        let best = |evs: &[Evaluation]| {
+            evs.iter()
+                .map(|e| obj.scalarize(e, 0.5))
+                .fold(f64::INFINITY, f64::min)
+        };
+        // Average over several seeds: BO is stochastic and can lose to
+        // random search on individual tiny-budget runs.
+        let mut bo_sum = 0.0;
+        let mut rs_sum = 0.0;
+        for seed in 0..5u64 {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let bo = optimize_scalarized(&obj, 0.5, &cfg, &mut rng);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let rs = random_search(&obj, bo.len(), &mut rng);
+            bo_sum += best(&bo);
+            rs_sum += best(&rs);
+        }
+        assert!(
+            bo_sum <= rs_sum + 0.05,
+            "bo mean {} vs rs mean {}",
+            bo_sum / 5.0,
+            rs_sum / 5.0
+        );
+    }
+
+    #[test]
+    fn multi_weight_sweep_produces_a_front() {
+        let space = DesignSpace::flash_default(64);
+        let obj = Objective::from_layer(space, 5, 8.0, 1024.0);
+        let cfg = BoConfig { init: 6, iters: 6, candidates: 64, ..BoConfig::default() };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let evals = optimize_multi(&obj, &[0.1, 0.5, 0.9], &cfg, &mut rng);
+        assert_eq!(evals.len(), 3 * 12);
+        let front = pareto_front(&evals);
+        assert!(front.len() >= 2, "front should have multiple points");
+        // the front spans a real trade-off
+        let pmin = front.iter().map(|e| e.power).fold(f64::INFINITY, f64::min);
+        let pmax = front.iter().map(|e| e.power).fold(0.0, f64::max);
+        assert!(pmax > pmin);
+    }
+}

@@ -1,0 +1,26 @@
+//! Design-space exploration for the approximate FFT (Section IV-C).
+//!
+//! The optimization problem: choose per-stage data widths `dw_i` and
+//! twiddle quantization levels `k_i` minimizing weight-FFT power subject
+//! to a bound on the HConv output error variance. Error estimation uses
+//! the analytical model of `flash-fft`; power estimation uses the
+//! LUT-calibrated butterfly-unit costs of `flash-hw` — exactly the fast
+//! estimation pipeline of the paper's Figure 10. The search runs Bayesian
+//! optimization (Gaussian process + expected improvement) over a
+//! scalarization-weight sweep, yielding the Pareto scatter of
+//! Figure 11(b)(c); pure random search is included as a baseline.
+//!
+//! * [`space`] — the parameter space and design points.
+//! * [`objective`] — (power, error-variance) evaluation.
+//! * [`bayesopt`] — a from-scratch GP/EI optimizer.
+//! * [`pareto`] — non-dominated filtering and hypervolume.
+
+pub mod bayesopt;
+pub mod nsga2;
+pub mod objective;
+pub mod pareto;
+pub mod space;
+
+pub use objective::{Evaluation, Objective};
+pub use pareto::pareto_front;
+pub use space::{DesignPoint, DesignSpace};

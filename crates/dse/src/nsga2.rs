@@ -1,0 +1,244 @@
+//! NSGA-II: a genetic multi-objective baseline for the DSE.
+//!
+//! The paper uses Bayesian optimization; NSGA-II is the standard
+//! evolutionary alternative and serves as the ablation comparator for
+//! that design choice (both populate the Figure 11(b)(c) fronts).
+
+use crate::objective::{Evaluation, Objective};
+use crate::space::DesignPoint;
+use rand::Rng;
+
+/// NSGA-II run parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NsgaConfig {
+    /// Population size (kept constant across generations).
+    pub population: usize,
+    /// Number of generations.
+    pub generations: usize,
+}
+
+impl Default for NsgaConfig {
+    fn default() -> Self {
+        Self {
+            population: 40,
+            generations: 20,
+        }
+    }
+}
+
+/// Runs NSGA-II, returning every evaluation performed (the final
+/// population plus history).
+pub fn nsga2<R: Rng>(objective: &Objective, cfg: &NsgaConfig, rng: &mut R) -> Vec<Evaluation> {
+    let space = *objective.space();
+    let mut all: Vec<Evaluation> = Vec::new();
+    let mut pop: Vec<Evaluation> = (0..cfg.population)
+        .map(|_| objective.evaluate(&space.sample(rng)))
+        .collect();
+    all.extend(pop.iter().cloned());
+
+    for _ in 0..cfg.generations {
+        // Offspring via binary-tournament parents, uniform crossover and
+        // step mutation.
+        let ranks = rank_and_crowd(&pop);
+        let mut offspring = Vec::with_capacity(cfg.population);
+        while offspring.len() < cfg.population {
+            let a = tournament(&pop, &ranks, rng);
+            let b = tournament(&pop, &ranks, rng);
+            let mut child = crossover(&pop[a].point, &pop[b].point, rng);
+            mutate(&mut child, objective, rng);
+            offspring.push(objective.evaluate(&child));
+        }
+        all.extend(offspring.iter().cloned());
+        // Environmental selection over the union.
+        pop.extend(offspring);
+        pop = select(pop, cfg.population);
+    }
+    all
+}
+
+/// `(rank, crowding)` per individual; rank 0 = non-dominated.
+fn rank_and_crowd(pop: &[Evaluation]) -> Vec<(u32, f64)> {
+    let n = pop.len();
+    let mut rank = vec![0u32; n];
+    // simple O(n²) non-dominated sorting
+    let dominates = |a: &Evaluation, b: &Evaluation| {
+        (a.power <= b.power && a.error_variance <= b.error_variance)
+            && (a.power < b.power || a.error_variance < b.error_variance)
+    };
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut level = 0u32;
+    while !remaining.is_empty() {
+        let front: Vec<usize> = remaining
+            .iter()
+            .copied()
+            .filter(|&i| !remaining.iter().any(|&j| j != i && dominates(&pop[j], &pop[i])))
+            .collect();
+        for &i in &front {
+            rank[i] = level;
+        }
+        remaining.retain(|i| !front.contains(i));
+        level += 1;
+        if front.is_empty() {
+            // numerical ties; dump the rest at this level
+            for &i in &remaining {
+                rank[i] = level;
+            }
+            break;
+        }
+    }
+    // crowding distance within each front, per objective
+    let mut crowd = vec![0.0f64; n];
+    for l in 0..=level {
+        let mut idx: Vec<usize> = (0..n).filter(|&i| rank[i] == l).collect();
+        if idx.len() < 3 {
+            for &i in &idx {
+                crowd[i] = f64::INFINITY;
+            }
+            continue;
+        }
+        for key in [0usize, 1] {
+            let get = |i: usize| {
+                if key == 0 {
+                    pop[i].power
+                } else {
+                    pop[i].error_variance.max(1e-30).log10()
+                }
+            };
+            idx.sort_by(|&a, &b| get(a).partial_cmp(&get(b)).unwrap());
+            let span = (get(idx[idx.len() - 1]) - get(idx[0])).max(1e-12);
+            crowd[idx[0]] = f64::INFINITY;
+            crowd[*idx.last().unwrap()] = f64::INFINITY;
+            for w in idx.windows(3) {
+                crowd[w[1]] += (get(w[2]) - get(w[0])) / span;
+            }
+        }
+    }
+    rank.into_iter().zip(crowd).collect()
+}
+
+fn tournament<R: Rng>(pop: &[Evaluation], ranks: &[(u32, f64)], rng: &mut R) -> usize {
+    let a = rng.gen_range(0..pop.len());
+    let b = rng.gen_range(0..pop.len());
+    let better = |x: usize, y: usize| {
+        ranks[x].0 < ranks[y].0 || (ranks[x].0 == ranks[y].0 && ranks[x].1 > ranks[y].1)
+    };
+    if better(a, b) {
+        a
+    } else {
+        b
+    }
+}
+
+fn crossover<R: Rng>(a: &DesignPoint, b: &DesignPoint, rng: &mut R) -> DesignPoint {
+    let frac = a
+        .frac
+        .iter()
+        .zip(&b.frac)
+        .map(|(&x, &y)| if rng.gen_bool(0.5) { x } else { y })
+        .collect();
+    let k = a
+        .k
+        .iter()
+        .zip(&b.k)
+        .map(|(&x, &y)| if rng.gen_bool(0.5) { x } else { y })
+        .collect();
+    DesignPoint { frac, k }
+}
+
+fn mutate<R: Rng>(p: &mut DesignPoint, objective: &Objective, rng: &mut R) {
+    let space = objective.space();
+    for f in p.frac.iter_mut() {
+        if rng.gen_bool(0.15) {
+            let step: i32 = rng.gen_range(-2..=2);
+            *f = (*f as i32 + step).clamp(space.frac_bits.0 as i32, space.frac_bits.1 as i32)
+                as u32;
+        }
+    }
+    for k in p.k.iter_mut() {
+        if rng.gen_bool(0.15) {
+            let step: i32 = rng.gen_range(-2..=2);
+            *k = (*k as i32 + step).clamp(space.k.0 as i32, space.k.1 as i32) as usize;
+        }
+    }
+}
+
+/// Environmental selection: keep the best `target` by (rank, crowding).
+fn select(pop: Vec<Evaluation>, target: usize) -> Vec<Evaluation> {
+    let ranks = rank_and_crowd(&pop);
+    let mut idx: Vec<usize> = (0..pop.len()).collect();
+    idx.sort_by(|&a, &b| {
+        ranks[a]
+            .0
+            .cmp(&ranks[b].0)
+            .then(ranks[b].1.partial_cmp(&ranks[a].1).unwrap_or(std::cmp::Ordering::Equal))
+    });
+    idx.truncate(target);
+    idx.into_iter().map(|i| pop[i].clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bayesopt::random_search;
+    use crate::pareto::{hypervolume, pareto_front};
+    use crate::space::DesignSpace;
+    use rand::SeedableRng;
+
+    fn objective() -> Objective {
+        let space = DesignSpace::flash_default(64);
+        Objective::from_layer(space, 5, 8.0, 1024.0)
+    }
+
+    #[test]
+    fn population_evolves_toward_the_front() {
+        let obj = objective();
+        let cfg = NsgaConfig { population: 16, generations: 8 };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let evals = nsga2(&obj, &cfg, &mut rng);
+        assert_eq!(evals.len(), 16 * 9);
+        // the final generation's front should dominate the initial one
+        let early = pareto_front(&evals[..16]);
+        let late = pareto_front(&evals[evals.len() - 16..]);
+        let ref_p = evals.iter().map(|e| e.power).fold(0.0f64, f64::max) * 1.1;
+        let hv_early = hypervolume(&early, ref_p, 20.0);
+        let hv_late = hypervolume(&late, ref_p, 20.0);
+        assert!(
+            hv_late >= hv_early * 0.95,
+            "front should not regress: {hv_early} -> {hv_late}"
+        );
+    }
+
+    #[test]
+    fn nsga_competitive_with_random_search() {
+        let obj = objective();
+        let cfg = NsgaConfig { population: 16, generations: 8 };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let ga = nsga2(&obj, &cfg, &mut rng);
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(4);
+        let rs = random_search(&obj, ga.len(), &mut rng2);
+        let ref_p = ga
+            .iter()
+            .chain(&rs)
+            .map(|e| e.power)
+            .fold(0.0f64, f64::max)
+            * 1.1;
+        let hv_ga = hypervolume(&pareto_front(&ga), ref_p, 20.0);
+        let hv_rs = hypervolume(&pareto_front(&rs), ref_p, 20.0);
+        assert!(hv_ga >= hv_rs * 0.9, "GA {hv_ga} vs RS {hv_rs}");
+    }
+
+    #[test]
+    fn crossover_and_mutation_stay_in_bounds() {
+        let obj = objective();
+        let space = obj.space();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let a = space.sample(&mut rng);
+            let b = space.sample(&mut rng);
+            let mut c = crossover(&a, &b, &mut rng);
+            mutate(&mut c, &obj, &mut rng);
+            assert!(c.frac.iter().all(|f| (space.frac_bits.0..=space.frac_bits.1).contains(f)));
+            assert!(c.k.iter().all(|k| (space.k.0..=space.k.1).contains(k)));
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! The (power, error) objective of the DSE — Figure 10's fast evaluation
+//! pipeline: analytical error model + LUT-based hardware cost.
+
+use crate::space::{DesignPoint, DesignSpace};
+use flash_fft::error::analytical_product_error_variance;
+use flash_hw::cost::CostModel;
+use flash_hw::units::BuKind;
+
+/// One evaluated candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// The candidate configuration.
+    pub point: DesignPoint,
+    /// Normalized weight-FFT power (mean per-stage BU power in mW).
+    pub power: f64,
+    /// Estimated HConv output error variance.
+    pub error_variance: f64,
+}
+
+/// The evaluation context of one convolution layer.
+#[derive(Debug, Clone)]
+pub struct Objective {
+    space: DesignSpace,
+    cost: CostModel,
+    /// Variance of one weight-polynomial coefficient (sparsity-weighted).
+    pub weight_var: f64,
+    /// Variance of one (center-lifted) activation coefficient.
+    pub act_var: f64,
+    /// Cached log10-error extremes of the space (computing them means two
+    /// full analytical evaluations; `scalarize` is called once per DSE
+    /// candidate).
+    error_bounds: std::cell::OnceCell<(f64, f64)>,
+}
+
+impl Objective {
+    /// Creates an objective for a layer characterized by its weight
+    /// density and activation magnitude.
+    pub fn new(space: DesignSpace, weight_var: f64, act_var: f64) -> Self {
+        Self {
+            space,
+            cost: CostModel::cmos28(),
+            weight_var,
+            act_var,
+            error_bounds: std::cell::OnceCell::new(),
+        }
+    }
+
+    /// Builds an objective from layer statistics: `nnz` non-zero weight
+    /// coefficients of magnitude ≤ `w_max` in an `n`-degree polynomial,
+    /// and activation coefficients of magnitude ≤ `a_max`.
+    pub fn from_layer(space: DesignSpace, nnz: usize, w_max: f64, a_max: f64) -> Self {
+        let occupancy = nnz as f64 / space.n as f64;
+        let weight_var = occupancy * w_max * w_max / 3.0;
+        let act_var = a_max * a_max / 3.0;
+        Self::new(space, weight_var, act_var)
+    }
+
+    /// The search space.
+    pub fn space(&self) -> &DesignSpace {
+        &self.space
+    }
+
+    /// Evaluates one candidate: per-stage BU power (area-proportional,
+    /// the paper's LUT summation) and the analytical error variance.
+    pub fn evaluate(&self, point: &DesignPoint) -> Evaluation {
+        let cfg = point.to_config(&self.space);
+        let error_variance = analytical_product_error_variance(&cfg, self.weight_var, self.act_var);
+        // Pipelined FFT: one BU segment per stage; total power is the sum
+        // of per-stage BU power at that stage's width and twiddle level.
+        let power: f64 = point
+            .frac
+            .iter()
+            .zip(&point.k)
+            .map(|(&f, &k)| {
+                let bu = BuKind::Approx {
+                    data_bits: 1 + self.space.int_bits + f,
+                    k: k as u32,
+                    mux_inputs: 8,
+                };
+                bu.cost(&self.cost).power_mw
+            })
+            .sum::<f64>()
+            / point.frac.len() as f64;
+        Evaluation {
+            point: point.clone(),
+            power,
+            error_variance,
+        }
+    }
+
+    /// Scalarized minimization target: `w·norm_power + (1−w)·norm_log_err`.
+    /// Both terms are normalized against the space extremes so the weight
+    /// sweep covers the front evenly.
+    pub fn scalarize(&self, eval: &Evaluation, w: f64) -> f64 {
+        let p_lo = self.power_at(self.space.frac_bits.0, self.space.k.0);
+        let p_hi = self.power_at(self.space.frac_bits.1, self.space.k.1);
+        let norm_p = (eval.power - p_lo) / (p_hi - p_lo).max(1e-9);
+        // errors span many decades; compress with log10
+        let e = eval.error_variance.max(1e-30).log10();
+        let (e_lo, e_hi) = self.error_log_bounds();
+        let norm_e = (e - e_lo) / (e_hi - e_lo).max(1e-9);
+        w * norm_p + (1.0 - w) * norm_e
+    }
+
+    fn power_at(&self, frac: u32, k: usize) -> f64 {
+        let bu = BuKind::Approx {
+            data_bits: 1 + self.space.int_bits + frac,
+            k: k as u32,
+            mux_inputs: 8,
+        };
+        bu.cost(&self.cost).power_mw
+    }
+
+    fn error_log_bounds(&self) -> (f64, f64) {
+        *self.error_bounds.get_or_init(|| self.error_log_bounds_uncached())
+    }
+
+    fn error_log_bounds_uncached(&self) -> (f64, f64) {
+        let widest = DesignPoint {
+            frac: vec![self.space.frac_bits.1; self.space.stages()],
+            k: vec![self.space.k.1; self.space.stages()],
+        };
+        let narrowest = DesignPoint {
+            frac: vec![self.space.frac_bits.0; self.space.stages()],
+            k: vec![self.space.k.0; self.space.stages()],
+        };
+        let lo = self
+            .evaluate(&widest)
+            .error_variance
+            .max(1e-30)
+            .log10();
+        let hi = self
+            .evaluate(&narrowest)
+            .error_variance
+            .max(1e-30)
+            .log10();
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::DesignSpace;
+
+    fn objective() -> Objective {
+        let space = DesignSpace::flash_default(256);
+        Objective::from_layer(space, 9, 8.0, (1u32 << 15) as f64)
+    }
+
+    fn obj_from(space: DesignSpace) -> Objective {
+        Objective::from_layer(space, 9, 8.0, (1u32 << 15) as f64)
+    }
+
+    #[test]
+    fn wider_is_pricier_and_more_accurate() {
+        let o = objective();
+        let narrow = DesignPoint { frac: vec![4; 8], k: vec![2; 8] };
+        let wide = DesignPoint { frac: vec![24; 8], k: vec![20; 8] };
+        let en = o.evaluate(&narrow);
+        let ew = o.evaluate(&wide);
+        assert!(ew.power > en.power);
+        assert!(ew.error_variance < en.error_variance / 100.0);
+    }
+
+    #[test]
+    fn scalarization_tradeoff() {
+        let o = objective();
+        let narrow = o.evaluate(&DesignPoint { frac: vec![4; 8], k: vec![2; 8] });
+        let wide = o.evaluate(&DesignPoint { frac: vec![24; 8], k: vec![20; 8] });
+        // all-power weight prefers narrow; all-error weight prefers wide
+        assert!(o.scalarize(&narrow, 1.0) < o.scalarize(&wide, 1.0));
+        assert!(o.scalarize(&wide, 0.0) < o.scalarize(&narrow, 0.0));
+    }
+
+    #[test]
+    fn from_layer_statistics() {
+        let space = DesignSpace::flash_default(4096);
+        let o = obj_from(space);
+        assert!(o.weight_var > 0.0 && o.weight_var < 1.0);
+        assert!(o.act_var > 1e8);
+    }
+}

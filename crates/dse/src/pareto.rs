@@ -1,0 +1,86 @@
+//! Pareto-front extraction and hypervolume for (power, error) scatter
+//! plots.
+
+use crate::objective::Evaluation;
+
+/// Returns the non-dominated subset (minimizing both power and error
+/// variance), sorted by ascending power.
+pub fn pareto_front(evals: &[Evaluation]) -> Vec<Evaluation> {
+    let mut sorted: Vec<&Evaluation> = evals.iter().collect();
+    sorted.sort_by(|a, b| {
+        a.power
+            .partial_cmp(&b.power)
+            .unwrap()
+            .then(a.error_variance.partial_cmp(&b.error_variance).unwrap())
+    });
+    let mut front: Vec<Evaluation> = Vec::new();
+    let mut best_err = f64::INFINITY;
+    for e in sorted {
+        if e.error_variance < best_err {
+            best_err = e.error_variance;
+            front.push(e.clone());
+        }
+    }
+    front
+}
+
+/// 2-D hypervolume dominated by the front relative to a reference point
+/// `(ref_power, ref_log_err)`, computed in (power, log10-error) space.
+/// Larger is better.
+pub fn hypervolume(front: &[Evaluation], ref_power: f64, ref_log_err: f64) -> f64 {
+    let mut pts: Vec<(f64, f64)> = front
+        .iter()
+        .map(|e| (e.power, e.error_variance.max(1e-30).log10()))
+        .filter(|&(p, e)| p < ref_power && e < ref_log_err)
+        .collect();
+    pts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let mut hv = 0.0;
+    let mut prev_err = ref_log_err;
+    for (p, e) in pts {
+        if e < prev_err {
+            hv += (ref_power - p) * (prev_err - e);
+            prev_err = e;
+        }
+    }
+    hv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::DesignPoint;
+
+    fn ev(power: f64, err: f64) -> Evaluation {
+        Evaluation {
+            point: DesignPoint { frac: vec![8], k: vec![5] },
+            power,
+            error_variance: err,
+        }
+    }
+
+    #[test]
+    fn dominated_points_removed() {
+        let evals = vec![ev(1.0, 1.0), ev(2.0, 2.0), ev(2.0, 0.5), ev(3.0, 0.1)];
+        let front = pareto_front(&evals);
+        let coords: Vec<(f64, f64)> = front.iter().map(|e| (e.power, e.error_variance)).collect();
+        assert_eq!(coords, vec![(1.0, 1.0), (2.0, 0.5), (3.0, 0.1)]);
+    }
+
+    #[test]
+    fn single_point_front() {
+        let evals = vec![ev(1.0, 1.0), ev(2.0, 1.0), ev(1.5, 2.0)];
+        let front = pareto_front(&evals);
+        assert_eq!(front.len(), 1);
+        assert_eq!(front[0].power, 1.0);
+    }
+
+    #[test]
+    fn hypervolume_grows_with_better_fronts() {
+        let weak = pareto_front(&[ev(2.0, 1e-2)]);
+        let strong = pareto_front(&[ev(1.0, 1e-4), ev(2.0, 1e-6)]);
+        let hv_weak = hypervolume(&weak, 5.0, 2.0);
+        let hv_strong = hypervolume(&strong, 5.0, 2.0);
+        assert!(hv_strong > hv_weak);
+        assert_eq!(hypervolume(&[], 5.0, 2.0), 0.0);
+    }
+}

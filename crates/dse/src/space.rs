@@ -1,0 +1,168 @@
+//! The approximate-FFT parameter space.
+
+use flash_fft::ApproxFftConfig;
+use flash_math::fixed::FxpFormat;
+use rand::Rng;
+
+/// Bounds of the per-stage parameter space for ring degree `n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DesignSpace {
+    /// Ring degree.
+    pub n: usize,
+    /// Fraction-bit range per stage (inclusive).
+    pub frac_bits: (u32, u32),
+    /// Twiddle quantization level range per stage (inclusive).
+    pub k: (usize, usize),
+    /// Fixed integer bits (sized for worst-case butterfly growth).
+    pub int_bits: u32,
+    /// Twiddle ROM resolution (max CSD shift).
+    pub max_shift: u32,
+}
+
+impl DesignSpace {
+    /// The FLASH search space at `N = 4096`: fraction bits 4..24, `k`
+    /// 2..20, integer bits covering 4-bit weights through 11 doubling
+    /// stages.
+    pub fn flash_default(n: usize) -> Self {
+        Self {
+            n,
+            frac_bits: (4, 24),
+            k: (2, 20),
+            int_bits: 16,
+            max_shift: 24,
+        }
+    }
+
+    /// Number of pipeline stages (dimensions come in pairs per stage).
+    pub fn stages(&self) -> usize {
+        ApproxFftConfig::stage_count(self.n)
+    }
+
+    /// Dimensionality of the normalized encoding (`2 × stages`).
+    pub fn dims(&self) -> usize {
+        2 * self.stages()
+    }
+
+    /// Samples a uniform random point.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> DesignPoint {
+        let stages = self.stages();
+        DesignPoint {
+            frac: (0..stages)
+                .map(|_| rng.gen_range(self.frac_bits.0..=self.frac_bits.1))
+                .collect(),
+            k: (0..stages)
+                .map(|_| rng.gen_range(self.k.0..=self.k.1))
+                .collect(),
+        }
+    }
+
+    /// Decodes a normalized `[0,1]^dims` vector into a design point
+    /// (used by the continuous-space optimizer).
+    pub fn decode(&self, x: &[f64]) -> DesignPoint {
+        assert_eq!(x.len(), self.dims(), "dimension mismatch");
+        let stages = self.stages();
+        let frac = (0..stages)
+            .map(|i| {
+                let t = x[i].clamp(0.0, 1.0);
+                let span = (self.frac_bits.1 - self.frac_bits.0) as f64;
+                self.frac_bits.0 + (t * span).round() as u32
+            })
+            .collect();
+        let k = (0..stages)
+            .map(|i| {
+                let t = x[stages + i].clamp(0.0, 1.0);
+                let span = (self.k.1 - self.k.0) as f64;
+                self.k.0 + (t * span).round() as usize
+            })
+            .collect();
+        DesignPoint { frac, k }
+    }
+
+    /// Encodes a design point into `[0,1]^dims`.
+    pub fn encode(&self, p: &DesignPoint) -> Vec<f64> {
+        let f_span = (self.frac_bits.1 - self.frac_bits.0).max(1) as f64;
+        let k_span = (self.k.1 - self.k.0).max(1) as f64;
+        p.frac
+            .iter()
+            .map(|&f| (f - self.frac_bits.0) as f64 / f_span)
+            .chain(p.k.iter().map(|&k| (k - self.k.0) as f64 / k_span))
+            .collect()
+    }
+}
+
+/// One candidate configuration: per-stage fraction bits and twiddle `k`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DesignPoint {
+    /// Fraction bits per stage.
+    pub frac: Vec<u32>,
+    /// Twiddle quantization level per stage.
+    pub k: Vec<usize>,
+}
+
+impl DesignPoint {
+    /// Materializes the point as an [`ApproxFftConfig`].
+    pub fn to_config(&self, space: &DesignSpace) -> ApproxFftConfig {
+        let fmts = self
+            .frac
+            .iter()
+            .map(|&f| FxpFormat::new(space.int_bits, f))
+            .collect();
+        let mut cfg = ApproxFftConfig::new(space.n, fmts, self.k.clone());
+        cfg.max_shift = space.max_shift;
+        cfg
+    }
+
+    /// Total datapath width (a compact descriptor for reports).
+    pub fn mean_width(&self, space: &DesignSpace) -> f64 {
+        let sum: u32 = self.frac.iter().map(|f| 1 + space.int_bits + f).sum();
+        sum as f64 / self.frac.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn space_dimensions() {
+        let s = DesignSpace::flash_default(4096);
+        assert_eq!(s.stages(), 12);
+        assert_eq!(s.dims(), 24);
+    }
+
+    #[test]
+    fn sample_in_bounds() {
+        let s = DesignSpace::flash_default(256);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let p = s.sample(&mut rng);
+            assert!(p.frac.iter().all(|&f| (4..=24).contains(&f)));
+            assert!(p.k.iter().all(|&k| (2..=20).contains(&k)));
+            assert_eq!(p.frac.len(), s.stages());
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = DesignSpace::flash_default(256);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let p = s.sample(&mut rng);
+            let x = s.encode(&p);
+            assert!(x.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            assert_eq!(s.decode(&x), p);
+        }
+    }
+
+    #[test]
+    fn to_config_is_valid() {
+        let s = DesignSpace::flash_default(256);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let p = s.sample(&mut rng);
+        let cfg = p.to_config(&s);
+        assert_eq!(cfg.degree(), 256);
+        assert_eq!(cfg.stage_formats().len(), s.stages());
+        assert!((20.0..42.0).contains(&p.mean_width(&s)));
+    }
+}

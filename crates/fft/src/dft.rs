@@ -1,0 +1,79 @@
+//! Naive discrete Fourier transform — the correctness oracle for the fast
+//! transforms.
+
+use flash_math::C64;
+
+/// Sign convention of the transform exponent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// `e^{-2πi jk/m}` (the usual engineering "forward").
+    Negative,
+    /// `e^{+2πi jk/m}`.
+    Positive,
+}
+
+impl Direction {
+    /// The sign as a float multiplier.
+    #[inline]
+    pub fn sign(self) -> f64 {
+        match self {
+            Direction::Negative => -1.0,
+            Direction::Positive => 1.0,
+        }
+    }
+}
+
+/// Computes the `O(m²)` DFT of `data` with the given exponent sign.
+/// No normalization is applied.
+pub fn dft(data: &[C64], dir: Direction) -> Vec<C64> {
+    let m = data.len();
+    let sign = dir.sign();
+    (0..m)
+        .map(|k| {
+            let mut acc = C64::ZERO;
+            for (j, &x) in data.iter().enumerate() {
+                let theta = sign * 2.0 * std::f64::consts::PI * (j * k % m) as f64 / m as f64;
+                acc += x * C64::expi(theta);
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dft_of_impulse_is_flat() {
+        let mut x = vec![C64::ZERO; 8];
+        x[0] = C64::ONE;
+        for dir in [Direction::Negative, Direction::Positive] {
+            let y = dft(&x, dir);
+            for v in y {
+                assert!((v - C64::ONE).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn dft_inverse_pair_roundtrips() {
+        let x: Vec<C64> = (0..16)
+            .map(|i| C64::new((i as f64).sin(), (i as f64 * 0.7).cos()))
+            .collect();
+        let y = dft(&x, Direction::Negative);
+        let z = dft(&y, Direction::Positive);
+        for (a, b) in x.iter().zip(&z) {
+            assert!((*a - b.scale(1.0 / 16.0)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let x: Vec<C64> = (0..8).map(|i| C64::new(i as f64, -(i as f64))).collect();
+        let y = dft(&x, Direction::Negative);
+        let ex: f64 = x.iter().map(|v| v.abs2()).sum();
+        let ey: f64 = y.iter().map(|v| v.abs2()).sum();
+        assert!((ey - 8.0 * ex).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,261 @@
+//! Error models for the approximate transform.
+//!
+//! The DSE of Section IV-C needs two things fast: the *error variance of
+//! HConv outputs* for a candidate configuration (the paper uses
+//! "analytical simulations") and a cross-check by bit-accurate Monte
+//! Carlo. Both live here.
+//!
+//! The analytical model tracks two injection sources per stage `s`:
+//! datapath requantization (variance `Δ_s²/12` per real component) and
+//! twiddle quantization (relative error `ε_s` scaled by the value power at
+//! that stage). Each injection is amplified by the remaining butterfly
+//! stages (error variance doubles per stage, since every output is the
+//! sum/difference of two prior values).
+
+use crate::fixed_fft::{ApproxFftConfig, FixedNegacyclicFft};
+use flash_math::stats::RunningStats;
+use flash_math::C64;
+use rand::Rng;
+
+/// Summary of an error distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ErrorReport {
+    /// Variance of the per-coefficient error.
+    pub variance: f64,
+    /// Largest absolute error observed.
+    pub max_abs: f64,
+    /// Mean error (should hover near zero for unbiased rounding).
+    pub mean: f64,
+    /// Number of coefficients sampled.
+    pub samples: u64,
+}
+
+impl ErrorReport {
+    fn from_stats(s: &RunningStats) -> Self {
+        Self {
+            variance: s.variance(),
+            max_abs: s.max().abs().max(s.min().abs()),
+            mean: s.mean(),
+            samples: s.count(),
+        }
+    }
+}
+
+/// Per-coefficient error of a negacyclic product where only the *weight*
+/// transform runs on the approximate datapath (activation transform,
+/// point-wise product and inverse stay in `f64`, as in FLASH).
+pub fn product_error(
+    fixed: &FixedNegacyclicFft,
+    weight: &[i64],
+    activation: &[f64],
+) -> Vec<f64> {
+    let n = fixed.config().degree();
+    assert_eq!(weight.len(), n);
+    assert_eq!(activation.len(), n);
+    let reference = crate::negacyclic::NegacyclicFft::new(n);
+    let fw_exact = fixed.forward_exact(weight);
+    let (fw_approx, _) = fixed.forward(weight);
+    let fx = reference.forward(activation);
+    let exact: Vec<C64> = fw_exact.iter().zip(&fx).map(|(w, x)| *w * *x).collect();
+    let approx: Vec<C64> = fw_approx.iter().zip(&fx).map(|(w, x)| *w * *x).collect();
+    let e = reference.inverse(&approx.iter().zip(&exact).map(|(a, b)| *a - *b).collect::<Vec<_>>());
+    e
+}
+
+/// Workload description for Monte-Carlo error estimation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorWorkload {
+    /// Weight coefficients are drawn uniformly from
+    /// `[-weight_mag, weight_mag]`.
+    pub weight_mag: i64,
+    /// Number of non-zero weight coefficients per polynomial (coefficient
+    /// encoding leaves weight plaintexts sparse).
+    pub weight_nnz: usize,
+    /// Activation coefficients are drawn uniformly from
+    /// `[-act_mag, act_mag]` (center-lifted ciphertext coefficients are
+    /// summarised by their magnitude).
+    pub act_mag: f64,
+}
+
+impl Default for ErrorWorkload {
+    fn default() -> Self {
+        Self {
+            weight_mag: 8,
+            weight_nnz: 9,
+            act_mag: 128.0,
+        }
+    }
+}
+
+/// Bit-accurate Monte-Carlo estimate of the HConv output error variance
+/// for a configuration.
+pub fn monte_carlo_error<R: Rng>(
+    cfg: &ApproxFftConfig,
+    workload: ErrorWorkload,
+    trials: usize,
+    rng: &mut R,
+) -> ErrorReport {
+    let fixed = FixedNegacyclicFft::new(cfg.clone());
+    let n = cfg.degree();
+    let mut stats = RunningStats::new();
+    for _ in 0..trials {
+        let mut w = vec![0i64; n];
+        for _ in 0..workload.weight_nnz {
+            let idx = rng.gen_range(0..n);
+            w[idx] = rng.gen_range(-workload.weight_mag..=workload.weight_mag);
+        }
+        let x: Vec<f64> = (0..n)
+            .map(|_| rng.gen_range(-workload.act_mag..=workload.act_mag).round())
+            .collect();
+        for e in product_error(&fixed, &w, &x) {
+            stats.push(e);
+        }
+    }
+    ErrorReport::from_stats(&stats)
+}
+
+/// Analytical estimate of the spectrum error power `E|ε_u|²` of the
+/// approximate weight transform for a configuration, given the variance
+/// of an input coefficient.
+///
+/// Twiddle quantization error uses the *measured* mean-squared error of
+/// the actual CSD tables (the paper's DSE likewise evaluates real twiddle
+/// sets analytically rather than worst-case bounds).
+pub fn analytical_spectrum_error_power(cfg: &ApproxFftConfig, input_var: f64) -> f64 {
+    use crate::twiddle::StageTwiddles;
+    let n = cfg.degree();
+    let total_stages = cfg.stage_formats().len(); // 1 + log2(m)
+    let butterfly_stages = total_stages - 1;
+    let mut acc = 0.0;
+    for (s, fmt) in cfg.stage_formats().iter().enumerate() {
+        // Requantization noise: Δ²/12 per real component, two components.
+        let delta = fmt.lsb();
+        let quant_var = delta * delta / 6.0;
+        // Twiddle quantization: measured MSE of the stage's quantized ROM.
+        let k = cfg.twiddle_k()[s];
+        let table = if s == 0 {
+            StageTwiddles::twist_stage(n, k, cfg.max_shift)
+        } else {
+            StageTwiddles::fft_stage(s as u32, k, cfg.max_shift)
+        };
+        let tw_mse = (0..table.len())
+            .map(|j| {
+                let t = table.get(j);
+                (t.value() - t.exact).abs2()
+            })
+            .sum::<f64>()
+            / table.len() as f64;
+        // Power of the value entering the multiplier: a node at depth s−1
+        // is a partial sum of 2^{s-1} folded inputs, each of complex power
+        // 2·input_var (stage 0 multiplies the folded input directly).
+        let depth_gain = if s == 0 { 1.0 } else { (1u64 << (s - 1)) as f64 };
+        let value_power = 2.0 * input_var * depth_gain;
+        let inject = quant_var + tw_mse * value_power;
+        // Amplification by remaining stages (variance doubles per stage).
+        let remaining = (butterfly_stages - s.min(butterfly_stages)) as u32;
+        acc += inject * (1u64 << remaining) as f64;
+    }
+    acc
+}
+
+/// Analytical estimate of the per-coefficient error variance of the HConv
+/// output: `Var(e_j) ≈ E|ε_u|² · σ_x²` (see module docs for the
+/// derivation through the inverse transform).
+pub fn analytical_product_error_variance(
+    cfg: &ApproxFftConfig,
+    weight_var: f64,
+    act_var: f64,
+) -> f64 {
+    analytical_spectrum_error_power(cfg, weight_var) * act_var
+}
+
+/// Worst-case value error of a `k`-term CSD quantization with shifts up to
+/// `max_shift`: each greedy term at least halves the residual, and the
+/// resolution floor is `2^{-max_shift-1}`.
+#[allow(dead_code)]
+fn csd_worst_error(k: usize, max_shift: u32) -> f64 {
+    let greedy = (0.5f64).powi(k as i32); // residual after k halvings of 1.0
+    let floor = (0.5f64).powi(max_shift as i32 + 1);
+    greedy.max(floor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_math::fixed::FxpFormat;
+    use rand::SeedableRng;
+
+    fn cfg(n: usize, int_bits: u32, frac: u32, k: usize) -> ApproxFftConfig {
+        ApproxFftConfig::uniform(n, FxpFormat::new(int_bits, frac), k)
+    }
+
+    #[test]
+    fn product_error_is_zero_for_wide_datapath() {
+        let c = cfg(64, 24, 30, 24);
+        let fixed = FixedNegacyclicFft::new(c);
+        let mut w = vec![0i64; 64];
+        w[3] = 5;
+        w[17] = -7;
+        let x: Vec<f64> = (0..64).map(|i| ((i * 31 % 256) as f64) - 128.0).collect();
+        let e = product_error(&fixed, &w, &x);
+        let max = e.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        assert!(max < 1e-3, "wide datapath should be near-exact, got {max}");
+    }
+
+    #[test]
+    fn monte_carlo_error_grows_with_coarser_format() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let coarse = monte_carlo_error(&cfg(128, 16, 6, 6), ErrorWorkload::default(), 3, &mut rng);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let fine = monte_carlo_error(&cfg(128, 16, 20, 20), ErrorWorkload::default(), 3, &mut rng);
+        assert!(
+            coarse.variance > fine.variance * 10.0,
+            "coarse {} vs fine {}",
+            coarse.variance,
+            fine.variance
+        );
+        assert!(coarse.samples == 3 * 128);
+    }
+
+    #[test]
+    fn analytical_tracks_monte_carlo_within_two_orders() {
+        let c = cfg(256, 16, 10, 8);
+        let wl = ErrorWorkload::default();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let mc = monte_carlo_error(&c, wl, 4, &mut rng);
+        // weight coefficient variance: nnz/n occupancy × uniform variance
+        let w_var = (wl.weight_nnz as f64 / 256.0)
+            * (wl.weight_mag as f64 * (wl.weight_mag as f64 + 1.0) / 3.0);
+        let act_var = wl.act_mag * wl.act_mag / 3.0;
+        let ana = analytical_product_error_variance(&c, w_var, act_var);
+        let ratio = ana / mc.variance.max(1e-30);
+        assert!(
+            (0.01..100.0).contains(&ratio),
+            "analytical {ana} vs monte-carlo {} (ratio {ratio})",
+            mc.variance
+        );
+    }
+
+    #[test]
+    fn analytical_is_monotone_in_precision() {
+        let mut prev = f64::INFINITY;
+        for frac in [18u32, 12, 8, 5] {
+            let v = analytical_product_error_variance(&cfg(4096, 16, frac, 18), 0.2, 5000.0);
+            assert!(v < prev || prev == f64::INFINITY || v > 0.0);
+            assert!(v.is_finite());
+            prev = v;
+        }
+        // Coarser fraction must produce strictly larger estimates.
+        let fine = analytical_product_error_variance(&cfg(4096, 16, 18, 18), 0.2, 5000.0);
+        let coarse = analytical_product_error_variance(&cfg(4096, 16, 5, 18), 0.2, 5000.0);
+        assert!(coarse > fine * 100.0);
+    }
+
+    #[test]
+    #[allow(dead_code)]
+fn csd_worst_error_bounds() {
+        assert!(csd_worst_error(1, 24) == 0.5);
+        assert!(csd_worst_error(24, 8) > csd_worst_error(24, 24));
+        assert!(csd_worst_error(5, 24) == (0.5f64).powi(5));
+    }
+}

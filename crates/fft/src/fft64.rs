@@ -1,0 +1,188 @@
+//! Iterative radix-2 Cooley–Tukey FFT over `f64` complex numbers.
+//!
+//! This is the full-precision dataflow of Figure 3: bit-reverse the input,
+//! then `log2 m` stages of CT butterflies. The same stage structure is
+//! reused by the fixed-point simulator and the sparse symbolic executor,
+//! so the twiddle indexing here is the reference for both.
+
+use crate::dft::Direction;
+use flash_math::bitrev::{bit_reverse_permute, log2_exact};
+use flash_math::C64;
+
+/// A reusable FFT plan for a fixed size `m` (power of two).
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    m: usize,
+    log_m: u32,
+    /// `e^{+2πi j/m}` for `j` in `0..m/2` — negated on the fly for the
+    /// negative direction.
+    roots_pos: Vec<C64>,
+}
+
+impl FftPlan {
+    /// Creates a plan for `m`-point transforms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not a power of two or `m < 2`.
+    pub fn new(m: usize) -> Self {
+        let log_m = log2_exact(m);
+        assert!(m >= 2, "FFT size must be at least 2");
+        let roots_pos = (0..m / 2)
+            .map(|j| C64::expi(2.0 * std::f64::consts::PI * j as f64 / m as f64))
+            .collect();
+        Self { m, log_m, roots_pos }
+    }
+
+    /// Transform size.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.m
+    }
+
+    /// Number of butterfly stages (`log2 m`).
+    #[inline]
+    pub fn stages(&self) -> u32 {
+        self.log_m
+    }
+
+    /// The twiddle `e^{sign·2πi j/m}` for `j < m/2`.
+    #[inline]
+    pub fn root(&self, j: usize, dir: Direction) -> C64 {
+        let w = self.roots_pos[j];
+        match dir {
+            Direction::Positive => w,
+            Direction::Negative => w.conj(),
+        }
+    }
+
+    /// In-place FFT (no normalization). Input in natural order, output in
+    /// natural order (an internal bit-reverse permutation is applied).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.size()`.
+    pub fn transform(&self, data: &mut [C64], dir: Direction) {
+        assert_eq!(data.len(), self.m, "data length must equal plan size");
+        bit_reverse_permute(data);
+        self.transform_bitrev_input(data, dir);
+    }
+
+    /// In-place FFT over *already bit-reversed* input — the raw butterfly
+    /// cascade of Figure 3, used directly by the accelerator model where
+    /// the permutation is free address wiring.
+    pub fn transform_bitrev_input(&self, data: &mut [C64], dir: Direction) {
+        assert_eq!(data.len(), self.m, "data length must equal plan size");
+        let m = self.m;
+        let mut len = 2usize; // butterfly block size at this stage
+        while len <= m {
+            let half = len / 2;
+            let stride = m / len; // twiddle index stride
+            for block in (0..m).step_by(len) {
+                for j in 0..half {
+                    let w = self.root(j * stride, dir);
+                    let u = data[block + j];
+                    let v = data[block + j + half] * w;
+                    data[block + j] = u + v;
+                    data[block + j + half] = u - v;
+                }
+            }
+            len *= 2;
+        }
+    }
+
+    /// Convenience: forward transform (negative exponent) of a copy.
+    pub fn forward(&self, data: &[C64]) -> Vec<C64> {
+        let mut v = data.to_vec();
+        self.transform(&mut v, Direction::Negative);
+        v
+    }
+
+    /// Convenience: unnormalized inverse (positive exponent) of a copy.
+    /// Divide by `m` to invert [`FftPlan::forward`].
+    pub fn backward(&self, data: &[C64]) -> Vec<C64> {
+        let mut v = data.to_vec();
+        self.transform(&mut v, Direction::Positive);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::dft;
+
+    fn max_err(a: &[C64], b: &[C64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn matches_naive_dft_both_directions() {
+        for m in [2usize, 4, 8, 32, 128] {
+            let plan = FftPlan::new(m);
+            let x: Vec<C64> = (0..m)
+                .map(|i| C64::new((i as f64 * 0.3).sin(), (i as f64 * 1.7).cos()))
+                .collect();
+            for dir in [Direction::Negative, Direction::Positive] {
+                let fast = {
+                    let mut v = x.clone();
+                    plan.transform(&mut v, dir);
+                    v
+                };
+                let slow = dft(&x, dir);
+                assert!(max_err(&fast, &slow) < 1e-9, "m={m} dir={dir:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_backward_roundtrip() {
+        let m = 256;
+        let plan = FftPlan::new(m);
+        let x: Vec<C64> = (0..m).map(|i| C64::new(i as f64, -(i as f64) / 3.0)).collect();
+        let y = plan.forward(&x);
+        let z: Vec<C64> = plan.backward(&y).iter().map(|v| v.scale(1.0 / m as f64)).collect();
+        assert!(max_err(&x, &z) < 1e-9);
+    }
+
+    #[test]
+    fn convolution_theorem_cyclic() {
+        // Cyclic convolution via FFT matches the schoolbook result.
+        let m = 16;
+        let plan = FftPlan::new(m);
+        let a: Vec<f64> = (0..m).map(|i| (i as f64 * 0.9).sin()).collect();
+        let b: Vec<f64> = (0..m).map(|i| (i as f64 * 0.4).cos()).collect();
+        let fa = plan.forward(&a.iter().map(|&x| C64::from(x)).collect::<Vec<_>>());
+        let fb = plan.forward(&b.iter().map(|&x| C64::from(x)).collect::<Vec<_>>());
+        let prod: Vec<C64> = fa.iter().zip(&fb).map(|(x, y)| *x * *y).collect();
+        let c: Vec<C64> = plan.backward(&prod).iter().map(|v| v.scale(1.0 / m as f64)).collect();
+        for k in 0..m {
+            let mut want = 0.0;
+            for i in 0..m {
+                want += a[i] * b[(m + k - i) % m];
+            }
+            assert!((c[k].re - want).abs() < 1e-9);
+            assert!(c[k].im.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bitrev_entry_point_consistent() {
+        let m = 64;
+        let plan = FftPlan::new(m);
+        let x: Vec<C64> = (0..m).map(|i| C64::new((i * i) as f64 % 17.0, 0.0)).collect();
+        let via_natural = plan.forward(&x);
+        let mut pre = x.clone();
+        flash_math::bitrev::bit_reverse_permute(&mut pre);
+        plan.transform_bitrev_input(&mut pre, Direction::Negative);
+        assert!(max_err(&via_natural, &pre) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "plan size")]
+    fn wrong_length_panics() {
+        let plan = FftPlan::new(8);
+        let mut v = vec![C64::ZERO; 4];
+        plan.transform(&mut v, Direction::Negative);
+    }
+}

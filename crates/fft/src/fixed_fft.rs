@@ -1,0 +1,508 @@
+//! Bit-accurate fixed-point negacyclic forward transform.
+//!
+//! This is FLASH's approximate weight-transform datapath: every stage
+//! (the fold/twist plus `log2(N/2)` butterfly stages) carries data in a
+//! configurable fixed-point format (`dw_i` of the paper's DSE problem) and
+//! multiplies by CSD-quantized twiddles through shift-add networks
+//! (quantization level `k_i`). Rounding, truncation and saturation are
+//! modelled exactly and counted, so the error seen by downstream BFV
+//! decryption is the error real hardware would produce.
+
+use crate::negacyclic::NegacyclicFft;
+use crate::twiddle::StageTwiddles;
+use flash_math::bitrev::{bit_reverse_permute, log2_exact};
+use flash_math::fixed::{requantize, to_f64, FxpFormat, Overflow, QuantStats, Rounding};
+use flash_math::C64;
+
+/// Configuration of the approximate fixed-point transform.
+///
+/// `stage_formats[0]` / `twiddle_k[0]` describe the fold/twist stage;
+/// entries `1..` describe the butterfly stages in execution order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApproxFftConfig {
+    n: usize,
+    stage_formats: Vec<FxpFormat>,
+    twiddle_k: Vec<usize>,
+    /// Largest shift allowed in twiddle CSD terms (ROM word length).
+    pub max_shift: u32,
+    /// Rounding mode applied at shift-add taps and requantization.
+    pub rounding: Rounding,
+    /// Overflow policy of the datapath registers.
+    pub overflow: Overflow,
+}
+
+impl ApproxFftConfig {
+    /// Number of pipeline stages for ring degree `n`: 1 twist stage +
+    /// `log2(n/2)` butterfly stages.
+    pub fn stage_count(n: usize) -> usize {
+        1 + log2_exact(n / 2) as usize
+    }
+
+    /// Creates a configuration with per-stage formats and twiddle levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors do not have exactly
+    /// [`ApproxFftConfig::stage_count`]`(n)` entries.
+    pub fn new(n: usize, stage_formats: Vec<FxpFormat>, twiddle_k: Vec<usize>) -> Self {
+        let stages = Self::stage_count(n);
+        assert_eq!(stage_formats.len(), stages, "need one format per stage");
+        assert_eq!(twiddle_k.len(), stages, "need one twiddle level per stage");
+        Self {
+            n,
+            stage_formats,
+            twiddle_k,
+            max_shift: 24,
+            rounding: Rounding::NearestEven,
+            overflow: Overflow::Saturate,
+        }
+    }
+
+    /// Creates a configuration with one format and one `k` for all stages
+    /// — the paper's "FXP FFT" ablation point.
+    pub fn uniform(n: usize, fmt: FxpFormat, k: usize) -> Self {
+        let stages = Self::stage_count(n);
+        Self::new(n, vec![fmt; stages], vec![k; stages])
+    }
+
+    /// Ring degree `N`.
+    pub fn degree(&self) -> usize {
+        self.n
+    }
+
+    /// Per-stage data formats.
+    pub fn stage_formats(&self) -> &[FxpFormat] {
+        &self.stage_formats
+    }
+
+    /// Per-stage twiddle quantization levels.
+    pub fn twiddle_k(&self) -> &[usize] {
+        &self.twiddle_k
+    }
+
+    /// Total datapath register bits across stages (a cheap area proxy
+    /// used by tests; the real cost model lives in `flash-hw`).
+    pub fn total_width_bits(&self) -> u32 {
+        self.stage_formats.iter().map(|f| f.total_bits()).sum()
+    }
+}
+
+/// A planned fixed-point negacyclic forward transform.
+#[derive(Debug, Clone)]
+pub struct FixedNegacyclicFft {
+    cfg: ApproxFftConfig,
+    stages: Vec<StageTwiddles>,
+    reference: NegacyclicFft,
+}
+
+impl FixedNegacyclicFft {
+    /// Builds the quantized twiddle ROMs for `cfg`.
+    pub fn new(cfg: ApproxFftConfig) -> Self {
+        let n = cfg.n;
+        let log_half = log2_exact(n / 2);
+        let mut stages = Vec::with_capacity(1 + log_half as usize);
+        stages.push(StageTwiddles::twist_stage(n, cfg.twiddle_k[0], cfg.max_shift));
+        for s in 1..=log_half {
+            stages.push(StageTwiddles::fft_stage(
+                s,
+                cfg.twiddle_k[s as usize],
+                cfg.max_shift,
+            ));
+        }
+        Self {
+            reference: NegacyclicFft::new(n),
+            cfg,
+            stages,
+        }
+    }
+
+    /// The configuration this plan was built from.
+    pub fn config(&self) -> &ApproxFftConfig {
+        &self.cfg
+    }
+
+    /// The quantized twiddles of stage `s` (0 = twist).
+    pub fn stage_twiddles(&self, s: usize) -> &StageTwiddles {
+        &self.stages[s]
+    }
+
+    /// Forward transform of an integer polynomial through the fixed-point
+    /// datapath. Returns the `N/2` complex spectrum as `f64` (for the FP
+    /// point-wise multiply that follows in the accelerator) and the
+    /// quantization statistics observed on the way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len()` differs from the ring degree.
+    pub fn forward(&self, a: &[i64]) -> (Vec<C64>, QuantStats) {
+        let n = self.cfg.n;
+        assert_eq!(a.len(), n, "polynomial length must equal ring degree");
+        let half = n / 2;
+        let mut stats = QuantStats::new();
+
+        // Stage 0: fold + twist. Input integers enter with frac = 0.
+        let fmt0 = self.cfg.stage_formats[0];
+        let twist = &self.stages[0];
+        let mut re = vec![0i128; half];
+        let mut im = vec![0i128; half];
+        // Inputs saturate into the stage-0 integer range *before* the
+        // fractional up-shift — a raw `<<` on an oversized input would
+        // silently wrap past i128 and zero the spectrum unflagged.
+        let int_max = fmt0.max_raw() >> fmt0.frac_bits;
+        let int_min = fmt0.min_raw() >> fmt0.frac_bits;
+        let clamp_in = |v: i64, stats: &mut QuantStats| -> i128 {
+            let c = (v as i128).clamp(int_min, int_max);
+            stats.record(flash_math::fixed::QuantFlags {
+                rounded: false,
+                overflowed: c != v as i128,
+            });
+            c << fmt0.frac_bits
+        };
+        for j in 0..half {
+            // (a_j + i a_{j+half}) * w, computed in raw integer domain:
+            // apply_i128 keeps frac alignment of the operand (0 here), so
+            // scale operands up to fmt0.frac first for fractional headroom.
+            let xr = clamp_in(a[j], &mut stats);
+            let xi = clamp_in(a[j + half], &mut stats);
+            let w = twist.get(j);
+            let rr = w.re.apply_i128(xr, self.cfg.rounding);
+            let ri = w.im.apply_i128(xi, self.cfg.rounding);
+            let ir = w.im.apply_i128(xr, self.cfg.rounding);
+            let ii = w.re.apply_i128(xi, self.cfg.rounding);
+            let (r, f1) = requantize(rr - ri, fmt0.frac_bits, fmt0, self.cfg.rounding, self.cfg.overflow);
+            let (i_, f2) = requantize(ir + ii, fmt0.frac_bits, fmt0, self.cfg.rounding, self.cfg.overflow);
+            stats.record(f1);
+            stats.record(f2);
+            re[j] = r;
+            im[j] = i_;
+        }
+
+        // Bit-reverse into butterfly order.
+        bit_reverse_permute(&mut re[..]);
+        bit_reverse_permute(&mut im[..]);
+
+        // Butterfly stages.
+        let log_half = log2_exact(half);
+        let mut cur_frac = fmt0.frac_bits;
+        for s in 1..=log_half as usize {
+            let fmt = self.cfg.stage_formats[s];
+            let tw = &self.stages[s];
+            let len = 1usize << s;
+            let halfb = len / 2;
+            for block in (0..half).step_by(len) {
+                for j in 0..halfb {
+                    let w = tw.get(j);
+                    let ur = re[block + j];
+                    let ui = im[block + j];
+                    let xr = re[block + j + halfb];
+                    let xi = im[block + j + halfb];
+                    // v = x * w via shift-add
+                    let vr = w.re.apply_i128(xr, self.cfg.rounding)
+                        - w.im.apply_i128(xi, self.cfg.rounding);
+                    let vi = w.im.apply_i128(xr, self.cfg.rounding)
+                        + w.re.apply_i128(xi, self.cfg.rounding);
+                    // butterfly outputs, requantized into the stage format
+                    for (slot, val) in [
+                        (block + j, (ur + vr, ui + vi)),
+                        (block + j + halfb, (ur - vr, ui - vi)),
+                    ] {
+                        let (r, f1) =
+                            requantize(val.0, cur_frac, fmt, self.cfg.rounding, self.cfg.overflow);
+                        let (i_, f2) =
+                            requantize(val.1, cur_frac, fmt, self.cfg.rounding, self.cfg.overflow);
+                        stats.record(f1);
+                        stats.record(f2);
+                        re[slot] = r;
+                        im[slot] = i_;
+                    }
+                }
+            }
+            cur_frac = fmt.frac_bits;
+        }
+
+        let out = (0..half)
+            .map(|j| C64::new(to_f64(re[j], cur_frac), to_f64(im[j], cur_frac)))
+            .collect();
+        (out, stats)
+    }
+
+    /// Inverse negacyclic transform through the same fixed-point
+    /// datapath: `N/2` spectrum points → `N` real coefficients. Uses the
+    /// conjugated twiddle ROMs (negation of the imaginary CSD terms is
+    /// free in hardware) and the exact `>> log2(N/2)` scaling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spectrum.len() != N/2`.
+    pub fn inverse(&self, spectrum: &[C64]) -> (Vec<f64>, QuantStats) {
+        let n = self.cfg.n;
+        let half = n / 2;
+        assert_eq!(spectrum.len(), half, "spectrum length must be N/2");
+        let log_half = log2_exact(half);
+        let mut stats = QuantStats::new();
+
+        // Enter the datapath at the first butterfly stage's format.
+        let fmt0 = self.cfg.stage_formats[1.min(self.cfg.stage_formats.len() - 1)];
+        let mut re: Vec<i128> = spectrum
+            .iter()
+            .map(|c| flash_math::fixed::from_f64(c.re, fmt0))
+            .collect();
+        let mut im: Vec<i128> = spectrum
+            .iter()
+            .map(|c| flash_math::fixed::from_f64(c.im, fmt0))
+            .collect();
+        bit_reverse_permute(&mut re[..]);
+        bit_reverse_permute(&mut im[..]);
+
+        let mut cur_frac = fmt0.frac_bits;
+        for s in 1..=log_half as usize {
+            let fmt = self.cfg.stage_formats[s];
+            let tw = &self.stages[s];
+            let len = 1usize << s;
+            let halfb = len / 2;
+            for block in (0..half).step_by(len) {
+                for j in 0..halfb {
+                    let w = tw.get(j);
+                    let ur = re[block + j];
+                    let ui = im[block + j];
+                    let xr = re[block + j + halfb];
+                    let xi = im[block + j + halfb];
+                    // v = x * conj(w): negated imaginary CSD terms
+                    let vr = w.re.apply_i128(xr, self.cfg.rounding)
+                        + w.im.apply_i128(xi, self.cfg.rounding);
+                    let vi = w.re.apply_i128(xi, self.cfg.rounding)
+                        - w.im.apply_i128(xr, self.cfg.rounding);
+                    for (slot, val) in [
+                        (block + j, (ur + vr, ui + vi)),
+                        (block + j + halfb, (ur - vr, ui - vi)),
+                    ] {
+                        let (r, f1) =
+                            requantize(val.0, cur_frac, fmt, self.cfg.rounding, self.cfg.overflow);
+                        let (i_, f2) =
+                            requantize(val.1, cur_frac, fmt, self.cfg.rounding, self.cfg.overflow);
+                        stats.record(f1);
+                        stats.record(f2);
+                        re[slot] = r;
+                        im[slot] = i_;
+                    }
+                }
+            }
+            cur_frac = fmt.frac_bits;
+        }
+
+        // Scale by 1/(N/2): an exact arithmetic shift in the fraction
+        // interpretation, then untwist by conj(ω^j) and unfold.
+        let twist = &self.stages[0];
+        let scale_frac = cur_frac + log_half; // value/2^log_half
+        let mut out = vec![0.0f64; n];
+        for j in 0..half {
+            let w = twist.get(j);
+            let xr = re[j];
+            let xi = im[j];
+            let rr = w.re.apply_i128(xr, self.cfg.rounding)
+                + w.im.apply_i128(xi, self.cfg.rounding);
+            let ii = w.re.apply_i128(xi, self.cfg.rounding)
+                - w.im.apply_i128(xr, self.cfg.rounding);
+            out[j] = to_f64(rr, scale_frac);
+            out[j + half] = to_f64(ii, scale_frac);
+        }
+        (out, stats)
+    }
+
+    /// The exact `f64` spectrum of the same input (reference datapath).
+    pub fn forward_exact(&self, a: &[i64]) -> Vec<C64> {
+        let af: Vec<f64> = a.iter().map(|&x| x as f64).collect();
+        self.reference.forward(&af)
+    }
+
+    /// Per-output spectrum error `approx − exact`.
+    pub fn spectrum_error(&self, a: &[i64]) -> Vec<C64> {
+        let (approx, _) = self.forward(a);
+        let exact = self.forward_exact(a);
+        approx.iter().zip(&exact).map(|(x, y)| *x - *y).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wide_cfg(n: usize) -> ApproxFftConfig {
+        // Generous format: enough integer bits for growth, many frac bits,
+        // near-exact twiddles.
+        let stages = ApproxFftConfig::stage_count(n);
+        let fmts = (0..stages)
+            .map(|_| FxpFormat::new(24, 30))
+            .collect::<Vec<_>>();
+        let mut cfg = ApproxFftConfig::new(n, fmts, vec![24; stages]);
+        cfg.max_shift = 30;
+        cfg
+    }
+
+    #[test]
+    fn stage_count_formula() {
+        assert_eq!(ApproxFftConfig::stage_count(8), 3); // twist + log2(4)
+        assert_eq!(ApproxFftConfig::stage_count(4096), 12); // twist + 11
+    }
+
+    #[test]
+    fn wide_config_matches_f64_reference() {
+        let n = 64;
+        let fft = FixedNegacyclicFft::new(wide_cfg(n));
+        let a: Vec<i64> = (0..n as i64).map(|i| (i * 5 % 17) - 8).collect();
+        let (approx, stats) = fft.forward(&a);
+        let exact = fft.forward_exact(&a);
+        let max_err = approx
+            .iter()
+            .zip(&exact)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f64::max);
+        assert!(max_err < 1e-4, "max_err = {max_err}");
+        assert_eq!(stats.overflowed, 0, "wide format must not saturate");
+    }
+
+    #[test]
+    fn narrow_format_increases_error_monotonically() {
+        let n = 128;
+        let a: Vec<i64> = (0..n as i64).map(|i| (i * 7 % 15) - 7).collect();
+        let mut prev_err = 0.0;
+        for frac in [22u32, 14, 8, 4] {
+            let stages = ApproxFftConfig::stage_count(n);
+            let cfg = ApproxFftConfig::new(
+                n,
+                vec![FxpFormat::new(16, frac); stages],
+                vec![20; stages],
+            );
+            let fft = FixedNegacyclicFft::new(cfg);
+            let err: f64 = fft
+                .spectrum_error(&a)
+                .iter()
+                .map(|e| e.abs2())
+                .sum::<f64>()
+                .sqrt();
+            assert!(
+                err >= prev_err / 1.5,
+                "error should grow as precision shrinks: frac={frac} err={err} prev={prev_err}"
+            );
+            prev_err = err;
+        }
+        assert!(prev_err > 1e-3, "4-bit fraction must show visible error");
+    }
+
+    #[test]
+    fn saturation_is_detected_on_tiny_int_bits() {
+        let n = 64;
+        let stages = ApproxFftConfig::stage_count(n);
+        // 3 integer bits cannot hold sums of 64 inputs of magnitude 8.
+        let cfg = ApproxFftConfig::new(
+            n,
+            vec![FxpFormat::new(3, 10); stages],
+            vec![12; stages],
+        );
+        let fft = FixedNegacyclicFft::new(cfg);
+        let a: Vec<i64> = vec![7; n];
+        let (_, stats) = fft.forward(&a);
+        assert!(stats.overflowed > 0, "expected saturation events");
+    }
+
+    #[test]
+    fn twiddle_k_controls_error() {
+        let n = 128;
+        let a: Vec<i64> = (0..n as i64).map(|i| (i % 13) - 6).collect();
+        let stages = ApproxFftConfig::stage_count(n);
+        let err_at = |k: usize| {
+            let cfg = ApproxFftConfig::new(
+                n,
+                vec![FxpFormat::new(18, 22); stages],
+                vec![k; stages],
+            );
+            let fft = FixedNegacyclicFft::new(cfg);
+            fft.spectrum_error(&a)
+                .iter()
+                .map(|e| e.abs2())
+                .sum::<f64>()
+                .sqrt()
+        };
+        let coarse = err_at(2);
+        let fine = err_at(12);
+        assert!(fine < coarse, "k=12 ({fine}) must beat k=2 ({coarse})");
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip_in_fixed_point() {
+        let n = 64;
+        let fft = FixedNegacyclicFft::new(wide_cfg(n));
+        let a: Vec<i64> = (0..n as i64).map(|i| (i * 3 % 17) - 8).collect();
+        let (spec, _) = fft.forward(&a);
+        let (back, stats) = fft.inverse(&spec);
+        for (x, y) in a.iter().zip(&back) {
+            assert!((*x as f64 - y).abs() < 1e-3, "{x} vs {y}");
+        }
+        assert_eq!(stats.overflowed, 0);
+    }
+
+    #[test]
+    fn inverse_matches_f64_reference() {
+        let n = 64;
+        let fft = FixedNegacyclicFft::new(wide_cfg(n));
+        let reference = crate::negacyclic::NegacyclicFft::new(n);
+        // random-ish spectrum from a real polynomial
+        let a: Vec<f64> = (0..n).map(|i| ((i * 11 % 23) as f64) - 11.0).collect();
+        let spec = reference.forward(&a);
+        let want = reference.inverse(&spec);
+        let (got, _) = fft.inverse(&spec);
+        for (x, y) in want.iter().zip(&got) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn narrow_inverse_degrades_but_stays_finite() {
+        let n = 64;
+        let stages = ApproxFftConfig::stage_count(n);
+        let cfg = ApproxFftConfig::new(n, vec![FxpFormat::new(10, 6); stages], vec![6; stages]);
+        let fft = FixedNegacyclicFft::new(cfg);
+        let reference = crate::negacyclic::NegacyclicFft::new(n);
+        let a: Vec<f64> = (0..n).map(|i| ((i % 13) as f64) - 6.0).collect();
+        let spec = reference.forward(&a);
+        let (got, _stats) = fft.inverse(&spec);
+        assert!(got.iter().all(|v| v.is_finite()));
+        // (QuantStats counts requantization events; the shift-add taps
+        // round internally without reporting, so only the numeric error
+        // is asserted here.)
+        let err: f64 = got
+            .iter()
+            .zip(reference.inverse(&spec))
+            .map(|(g, w)| (g - w).abs())
+            .fold(0.0, f64::max);
+        assert!(err > 1e-6, "visible error expected at 6 fraction bits");
+    }
+
+    #[test]
+    fn oversized_inputs_saturate_instead_of_wrapping_to_zero() {
+        // A legal 92-bit format with huge integer inputs: the stage-0
+        // up-shift must saturate (flagged), never wrap i128 silently.
+        let n = 8;
+        let cfg = ApproxFftConfig::new(
+            n,
+            vec![FxpFormat::new(1, 90); ApproxFftConfig::stage_count(n)],
+            vec![8; ApproxFftConfig::stage_count(n)],
+        );
+        let fft = FixedNegacyclicFft::new(cfg);
+        let (out, stats) = fft.forward(&vec![1i64 << 40; n]);
+        assert!(stats.overflowed > 0, "saturation must be flagged");
+        assert!(
+            out.iter().any(|c| c.re != 0.0 || c.im != 0.0),
+            "spectrum must not silently collapse to zero"
+        );
+    }
+
+    #[test]
+    fn zero_input_is_exact() {
+        let n = 32;
+        let fft = FixedNegacyclicFft::new(wide_cfg(n));
+        let (out, stats) = fft.forward(&vec![0i64; n]);
+        assert!(out.iter().all(|c| c.re == 0.0 && c.im == 0.0));
+        assert_eq!(stats.rounded, 0);
+    }
+}

@@ -1,0 +1,256 @@
+//! Negacyclic polynomial multiplication via the folded FFT.
+//!
+//! A real polynomial `a ∈ R[X]/(X^N + 1)` is determined on the odd powers
+//! of `ω = e^{iπ/N}`; conjugate symmetry leaves `N/2` independent
+//! evaluations. Folding `c_j = a_j + i·a_{j+N/2}` and twisting by `ω^j`
+//! reduces the transform to an `N/2`-point complex FFT with positive
+//! exponent:
+//!
+//! ```text
+//! A_{2u} = Σ_j (a_j + i a_{j+N/2}) ω^j · e^{+2πi u j / (N/2)}
+//! ```
+//!
+//! Point-wise products in this domain realize the negacyclic convolution
+//! (Klemsa's extended FT / the classic TFHE trick), which is the paper's
+//! Figure 4(b) pipeline and the source of its "N/2-point FFT vs N-point
+//! NTT" accounting.
+
+use crate::dft::Direction;
+use crate::fft64::FftPlan;
+use flash_math::modular::{center_lift, from_signed_i128};
+use flash_math::C64;
+
+/// A reusable negacyclic FFT plan for ring degree `n`.
+#[derive(Debug, Clone)]
+pub struct NegacyclicFft {
+    n: usize,
+    plan: FftPlan,
+    /// Twist factors `ω^j = e^{iπ j/N}` for `j` in `0..n/2`.
+    twist: Vec<C64>,
+    /// Inverse twist factors `ω^{-j}`.
+    twist_inv: Vec<C64>,
+}
+
+impl NegacyclicFft {
+    /// Creates a plan for degree `n` (a power of two, at least 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 4` or `n` is not a power of two.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 4 && n.is_power_of_two(), "degree must be a power of two >= 4");
+        let half = n / 2;
+        let twist: Vec<C64> = (0..half)
+            .map(|j| C64::expi(std::f64::consts::PI * j as f64 / n as f64))
+            .collect();
+        let twist_inv = twist.iter().map(|w| w.conj()).collect();
+        Self {
+            n,
+            plan: FftPlan::new(half),
+            twist,
+            twist_inv,
+        }
+    }
+
+    /// Ring degree `N`.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.n
+    }
+
+    /// The underlying `N/2`-point FFT plan (shared with the fixed-point
+    /// and sparse executors so all dataflows agree on stage structure).
+    #[inline]
+    pub fn plan(&self) -> &FftPlan {
+        &self.plan
+    }
+
+    /// Twist factor `ω^j` for `j < N/2`.
+    #[inline]
+    pub fn twist(&self, j: usize) -> C64 {
+        self.twist[j]
+    }
+
+    /// Folds and twists a real polynomial into the complex half vector
+    /// `d_j = (a_j + i·a_{j+N/2}) ω^j` — the input of the butterfly
+    /// network.
+    pub fn fold_twist(&self, a: &[f64]) -> Vec<C64> {
+        assert_eq!(a.len(), self.n, "polynomial length must equal degree");
+        let half = self.n / 2;
+        (0..half)
+            .map(|j| C64::new(a[j], a[j + half]) * self.twist[j])
+            .collect()
+    }
+
+    /// Forward negacyclic transform: `N` real coefficients → `N/2` complex
+    /// evaluations at `ω^{4u+1}`.
+    pub fn forward(&self, a: &[f64]) -> Vec<C64> {
+        let mut d = self.fold_twist(a);
+        self.plan.transform(&mut d, Direction::Positive);
+        d
+    }
+
+    /// Inverse negacyclic transform: `N/2` complex evaluations → `N` real
+    /// coefficients.
+    pub fn inverse(&self, spectrum: &[C64]) -> Vec<f64> {
+        let half = self.n / 2;
+        assert_eq!(spectrum.len(), half, "spectrum length must be N/2");
+        let mut d = spectrum.to_vec();
+        self.plan.transform(&mut d, Direction::Negative);
+        let scale = 1.0 / half as f64;
+        let mut out = vec![0.0; self.n];
+        for j in 0..half {
+            let c = d[j].scale(scale) * self.twist_inv[j];
+            out[j] = c.re;
+            out[j + half] = c.im;
+        }
+        out
+    }
+
+    /// Negacyclic product of two real polynomials in `f64`.
+    pub fn polymul_f64(&self, a: &[f64], b: &[f64]) -> Vec<f64> {
+        let fa = self.forward(a);
+        let fb = self.forward(b);
+        let prod: Vec<C64> = fa.iter().zip(&fb).map(|(x, y)| *x * *y).collect();
+        self.inverse(&prod)
+    }
+
+    /// Negacyclic product of two integer polynomials, rounded to the
+    /// nearest integer. Exact whenever the true product coefficients and
+    /// intermediate magnitudes stay within `f64`'s 53-bit mantissa
+    /// headroom (Klemsa's error-free regime).
+    pub fn polymul_i64(&self, a: &[i64], b: &[i64]) -> Vec<i128> {
+        let af: Vec<f64> = a.iter().map(|&x| x as f64).collect();
+        let bf: Vec<f64> = b.iter().map(|&x| x as f64).collect();
+        self.polymul_f64(&af, &bf)
+            .iter()
+            .map(|&x| x.round_ties_even() as i128)
+            .collect()
+    }
+
+    /// Negacyclic product of two ring elements mod `q`, computed through
+    /// the FFT with center-lifted operands. Rounding errors below the
+    /// noise budget are tolerated by BFV decryption (the paper's
+    /// kernel-level robustness); for small operands the result is exact.
+    pub fn polymul_mod(&self, a: &[u64], b: &[u64], q: u64) -> Vec<u64> {
+        let af: Vec<f64> = a.iter().map(|&x| center_lift(x, q) as f64).collect();
+        let bf: Vec<f64> = b.iter().map(|&x| center_lift(x, q) as f64).collect();
+        self.polymul_f64(&af, &bf)
+            .iter()
+            .map(|&x| from_signed_i128(x.round_ties_even() as i128, q))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_math::prime::ntt_prime;
+    use flash_ntt::polymul::negacyclic_mul_naive;
+    use flash_ntt::NttTables;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn forward_matches_direct_evaluation() {
+        let n = 8;
+        let plan = NegacyclicFft::new(n);
+        let a: Vec<f64> = vec![3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let f = plan.forward(&a);
+        // F_u should equal a(ω^{4u+1}) with ω = e^{iπ/N}.
+        for u in 0..n / 2 {
+            let x = C64::expi(std::f64::consts::PI * (4 * u + 1) as f64 / n as f64);
+            let mut val = C64::ZERO;
+            let mut xp = C64::ONE;
+            for &c in &a {
+                val += xp.scale(c);
+                xp *= x;
+            }
+            assert!((f[u] - val).abs() < 1e-9, "u={u}: {} vs {}", f[u], val);
+        }
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        let n = 64;
+        let plan = NegacyclicFft::new(n);
+        let a: Vec<f64> = (0..n).map(|i| ((i * i) % 23) as f64 - 11.0).collect();
+        let back = plan.inverse(&plan.forward(&a));
+        for (x, y) in a.iter().zip(&back) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn negacyclic_wraparound_sign() {
+        let n = 8;
+        let plan = NegacyclicFft::new(n);
+        // X^7 * X = -1
+        let mut a = vec![0i64; n];
+        a[7] = 1;
+        let mut b = vec![0i64; n];
+        b[1] = 1;
+        let c = plan.polymul_i64(&a, &b);
+        assert_eq!(c[0], -1);
+        assert!(c[1..].iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn matches_ntt_over_small_modulus() {
+        let n = 64usize;
+        let q = ntt_prime(20, n as u64).unwrap();
+        let plan = NegacyclicFft::new(n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..5 {
+            let a: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+            let b: Vec<u64> = (0..n).map(|_| rng.gen_range(0..128)).collect();
+            let got = plan.polymul_mod(&a, &b, q);
+            let want = negacyclic_mul_naive(&a, &b, q);
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn matches_ntt_at_n4096_small_weights() {
+        // The FLASH operating point: N = 4096, ~39-bit ciphertext modulus,
+        // 4-bit weights. f64 FFT must land within the noise budget; for
+        // this magnitude regime it is exact.
+        let n = 4096usize;
+        let q = ntt_prime(36, n as u64).unwrap();
+        let t = NttTables::new(n, q).unwrap();
+        let plan = NegacyclicFft::new(n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let a: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+        // sparse small weights (4-bit signed)
+        let mut b = vec![0u64; n];
+        for _ in 0..9 {
+            let idx = rng.gen_range(0..n);
+            let w: i64 = rng.gen_range(-8..8);
+            b[idx] = flash_math::modular::from_signed(w, q);
+        }
+        let got = plan.polymul_mod(&a, &b, q);
+        let want = flash_ntt::polymul::negacyclic_mul_ntt(&a, &b, &t);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn float_product_matches_schoolbook() {
+        let n = 16;
+        let plan = NegacyclicFft::new(n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let a: Vec<f64> = (0..n).map(|_| rng.gen_range(-4.0..4.0)).collect();
+        let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-4.0..4.0)).collect();
+        let got = plan.polymul_f64(&a, &b);
+        for k in 0..n {
+            let mut want = 0.0;
+            for i in 0..n {
+                for j in 0..n {
+                    if (i + j) % n == k {
+                        let sign = if i + j >= n { -1.0 } else { 1.0 };
+                        want += sign * a[i] * b[j];
+                    }
+                }
+            }
+            assert!((got[k] - want).abs() < 1e-8, "k={k}");
+        }
+    }
+}

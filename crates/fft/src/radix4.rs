@@ -1,0 +1,173 @@
+//! Radix-4 FFT — a datapath design-choice ablation.
+//!
+//! A radix-4 butterfly produces 4 outputs with 3 complex multiplications
+//! (multiplications by `±i` are wiring), cutting multiplier activations
+//! to 75 % of radix-2 at the cost of a wider BU. Accelerators like F1
+//! choose higher radices for exactly this trade; this module provides a
+//! verified radix-4 transform and its operation counts so the workspace's
+//! cost model can quantify the option (see `DESIGN.md`'s ablation list).
+
+use crate::dft::Direction;
+use flash_math::C64;
+use flash_ntt::ops::OpCount;
+
+/// Out-of-place radix-4 (with a radix-2 tail for odd `log2 m`) FFT.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two ≥ 1.
+pub fn fft_radix4(data: &[C64], dir: Direction) -> Vec<C64> {
+    let m = data.len();
+    assert!(m.is_power_of_two() && m >= 1, "length must be a power of two");
+    rec(data, dir)
+}
+
+fn rec(x: &[C64], dir: Direction) -> Vec<C64> {
+    let m = x.len();
+    match m {
+        1 => x.to_vec(),
+        2 => vec![x[0] + x[1], x[0] - x[1]],
+        _ if !m.is_multiple_of(4) => {
+            // radix-2 step for the odd power of two
+            let even: Vec<C64> = x.iter().step_by(2).copied().collect();
+            let odd: Vec<C64> = x.iter().skip(1).step_by(2).copied().collect();
+            let fe = rec(&even, dir);
+            let fo = rec(&odd, dir);
+            let sign = dir.sign();
+            let mut out = vec![C64::ZERO; m];
+            for k in 0..m / 2 {
+                let w = C64::expi(sign * 2.0 * std::f64::consts::PI * k as f64 / m as f64);
+                let t = w * fo[k];
+                out[k] = fe[k] + t;
+                out[k + m / 2] = fe[k] - t;
+            }
+            out
+        }
+        _ => {
+            let quarter = m / 4;
+            let parts: Vec<Vec<C64>> = (0..4)
+                .map(|r| {
+                    let sub: Vec<C64> = x.iter().skip(r).step_by(4).copied().collect();
+                    rec(&sub, dir)
+                })
+                .collect();
+            let sign = dir.sign();
+            // (−i) for the negative direction, (+i) for the positive.
+            let rot = C64::new(0.0, sign);
+            let mut out = vec![C64::ZERO; m];
+            for k in 0..quarter {
+                let w1 = C64::expi(sign * 2.0 * std::f64::consts::PI * k as f64 / m as f64);
+                let w2 = w1 * w1;
+                let w3 = w2 * w1;
+                let u0 = parts[0][k];
+                let u1 = w1 * parts[1][k];
+                let u2 = w2 * parts[2][k];
+                let u3 = w3 * parts[3][k];
+                let a02 = u0 + u2;
+                let s02 = u0 - u2;
+                let a13 = u1 + u3;
+                let s13 = (u1 - u3) * rot;
+                out[k] = a02 + a13;
+                out[k + quarter] = s02 + s13;
+                out[k + 2 * quarter] = a02 - a13;
+                out[k + 3 * quarter] = s02 - s13;
+            }
+            out
+        }
+    }
+}
+
+/// Complex-multiplication and addition counts of an `m`-point radix-4
+/// transform (3 general multiplications per radix-4 butterfly, 1 per
+/// radix-2 butterfly; `±i` rotations are free).
+pub fn radix4_ops(m: usize) -> OpCount {
+    match m {
+        0 | 1 => OpCount::default(),
+        2 => OpCount { mults: 0, adds: 2 },
+        _ if !m.is_multiple_of(4) => {
+            let sub = radix4_ops(m / 2);
+            OpCount {
+                mults: 2 * sub.mults + m as u64 / 2,
+                adds: 2 * sub.adds + m as u64,
+            }
+        }
+        _ => {
+            let sub = radix4_ops(m / 4);
+            OpCount {
+                mults: 4 * sub.mults + 3 * m as u64 / 4,
+                adds: 4 * sub.adds + 2 * m as u64,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft64::FftPlan;
+
+    fn max_err(a: &[C64], b: &[C64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn matches_radix2_for_powers_of_four() {
+        for m in [4usize, 16, 64, 256, 1024] {
+            let x: Vec<C64> = (0..m)
+                .map(|i| C64::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+                .collect();
+            let plan = FftPlan::new(m);
+            for dir in [Direction::Negative, Direction::Positive] {
+                let want = {
+                    let mut v = x.clone();
+                    plan.transform(&mut v, dir);
+                    v
+                };
+                let got = fft_radix4(&x, dir);
+                assert!(max_err(&got, &want) < 1e-9, "m={m} {dir:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_radix2_for_odd_log_sizes() {
+        for m in [2usize, 8, 32, 128, 2048] {
+            let x: Vec<C64> = (0..m).map(|i| C64::new(i as f64, -(i as f64) / 2.0)).collect();
+            let plan = FftPlan::new(m);
+            let mut want = x.clone();
+            plan.transform(&mut want, Direction::Negative);
+            let got = fft_radix4(&x, Direction::Negative);
+            assert!(max_err(&got, &want) < 1e-8, "m={m}");
+        }
+    }
+
+    #[test]
+    fn radix4_needs_fewer_multiplications() {
+        for m in [16usize, 256, 2048, 4096] {
+            let r2 = flash_ntt::ops::fft_complex_ops(m);
+            let r4 = radix4_ops(m);
+            assert!(
+                (r4.mults as f64) < 0.85 * r2.mults as f64,
+                "m={m}: radix4 {} vs radix2 {}",
+                r4.mults,
+                r2.mults
+            );
+        }
+        // the asymptotic ratio approaches 3/4
+        let r2 = flash_ntt::ops::fft_complex_ops(1 << 16);
+        let r4 = radix4_ops(1 << 16);
+        let ratio = r4.mults as f64 / r2.mults as f64;
+        assert!((0.70..0.85).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn impulse_and_linearity() {
+        let m = 64;
+        let mut x = vec![C64::ZERO; m];
+        x[0] = C64::ONE;
+        let y = fft_radix4(&x, Direction::Negative);
+        for v in y {
+            assert!((v - C64::ONE).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Twiddle-factor tables, plain and CSD-quantized.
+//!
+//! Every multiplier constant in the negacyclic pipeline — the twist
+//! factors `ω^j` and the FFT butterfly roots — is a power `e^{iπ t/N}`
+//! with `t ∈ Z_{2N}`. FLASH stores them quantized to `k` signed
+//! power-of-two terms per real/imaginary component and multiplies by
+//! shift-add (Figure 9). This module builds those per-stage ROMs and
+//! reports the statistics that size the hardware (digit counts, shift
+//! distributions, ROM footprint).
+
+use flash_math::csd::CsdCoeff;
+use flash_math::C64;
+
+/// A complex twiddle factor quantized component-wise to CSD form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedTwiddle {
+    /// Quantized real part.
+    pub re: CsdCoeff,
+    /// Quantized imaginary part.
+    pub im: CsdCoeff,
+    /// The exact (unquantized) value, kept for error analysis.
+    pub exact: C64,
+}
+
+impl QuantizedTwiddle {
+    /// Quantizes the exact twiddle `w` with at most `k` terms per
+    /// component and shifts bounded by `max_shift`.
+    pub fn new(w: C64, k: usize, max_shift: u32) -> Self {
+        Self {
+            re: CsdCoeff::quantize(w.re, k, max_shift),
+            im: CsdCoeff::quantize(w.im, k, max_shift),
+            exact: w,
+        }
+    }
+
+    /// The value actually realized by the shift-add network.
+    pub fn value(&self) -> C64 {
+        C64::new(self.re.value(), self.im.value())
+    }
+
+    /// Quantization error `|realized − exact|`.
+    pub fn error(&self) -> f64 {
+        (self.value() - self.exact).abs()
+    }
+
+    /// Total shift-add terms across both components (hardware adders).
+    pub fn total_terms(&self) -> usize {
+        self.re.num_terms() + self.im.num_terms()
+    }
+}
+
+/// The twiddles of one pipeline stage, quantized at one level `k`.
+///
+/// Stage 0 is the fold/twist stage (`N/2` distinct factors `ω^j`); stage
+/// `s ≥ 1` is the FFT butterfly stage with block length `2^s`
+/// (`2^{s-1}` distinct factors, shared across blocks).
+#[derive(Debug, Clone)]
+pub struct StageTwiddles {
+    twiddles: Vec<QuantizedTwiddle>,
+}
+
+impl StageTwiddles {
+    /// Builds the twist-stage table for ring degree `n`: `ω^j`,
+    /// `j ∈ 0..n/2`, `ω = e^{iπ/n}`.
+    pub fn twist_stage(n: usize, k: usize, max_shift: u32) -> Self {
+        let twiddles = (0..n / 2)
+            .map(|j| {
+                let w = C64::expi(std::f64::consts::PI * j as f64 / n as f64);
+                QuantizedTwiddle::new(w, k, max_shift)
+            })
+            .collect();
+        Self { twiddles }
+    }
+
+    /// Builds the FFT-stage table for an `m`-point transform at stage `s`
+    /// (1-based; block length `2^s`): roots `e^{+2πi j/2^s}`,
+    /// `j ∈ 0..2^{s-1}`.
+    pub fn fft_stage(s: u32, k: usize, max_shift: u32) -> Self {
+        let len = 1usize << s;
+        let twiddles = (0..len / 2)
+            .map(|j| {
+                let w = C64::expi(2.0 * std::f64::consts::PI * j as f64 / len as f64);
+                QuantizedTwiddle::new(w, k, max_shift)
+            })
+            .collect();
+        Self { twiddles }
+    }
+
+    /// The `j`-th twiddle of the stage.
+    #[inline]
+    pub fn get(&self, j: usize) -> &QuantizedTwiddle {
+        &self.twiddles[j]
+    }
+
+    /// Number of distinct twiddles in this stage.
+    pub fn len(&self) -> usize {
+        self.twiddles.len()
+    }
+
+    /// Whether the stage has no twiddles (never true for valid stages).
+    pub fn is_empty(&self) -> bool {
+        self.twiddles.is_empty()
+    }
+
+    /// Worst-case quantization error over the stage.
+    pub fn max_error(&self) -> f64 {
+        self.twiddles.iter().map(|t| t.error()).fold(0.0, f64::max)
+    }
+
+    /// Mean shift-add terms per twiddle component (the effective `k`).
+    pub fn mean_terms(&self) -> f64 {
+        if self.twiddles.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.twiddles.iter().map(|t| t.total_terms()).sum();
+        total as f64 / (2 * self.twiddles.len()) as f64
+    }
+}
+
+/// Digit-count statistics of the *exact* twiddle set at a given fraction
+/// resolution — the paper's observation that `k ≈ 18` digits are needed
+/// without retraining.
+pub fn natural_digit_counts(n: usize, frac_bits: u32) -> Vec<usize> {
+    let mut counts = Vec::with_capacity(n);
+    for t in 0..n {
+        let w = C64::expi(std::f64::consts::PI * t as f64 / n as f64);
+        counts.push(flash_math::csd::csd_digit_count(w.re, frac_bits));
+        counts.push(flash_math::csd::csd_digit_count(w.im, frac_bits));
+    }
+    counts
+}
+
+/// Distribution of the position of the `i`-th non-zero digit across a
+/// twiddle set — drives the MUX sizing of the paper's Figure 9 (FLASH
+/// "empirically reduces the MUX size to 8-to-1").
+pub fn digit_position_histogram(stage: &StageTwiddles, term_index: usize) -> Vec<u32> {
+    let mut shifts = Vec::new();
+    for t in 0..stage.len() {
+        let q = stage.get(t);
+        for coeff in [&q.re, &q.im] {
+            if let Some(term) = coeff.terms().nth(term_index) {
+                shifts.push(term.shift);
+            }
+        }
+    }
+    shifts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twist_stage_has_half_n_entries() {
+        let s = StageTwiddles::twist_stage(64, 8, 16);
+        assert_eq!(s.len(), 32);
+        assert!(!s.is_empty());
+        // ω^0 = 1 quantizes exactly with a single term.
+        assert_eq!(s.get(0).total_terms(), 1);
+        assert!((s.get(0).value() - C64::ONE).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fft_stage_sizes() {
+        assert_eq!(StageTwiddles::fft_stage(1, 4, 8).len(), 1);
+        assert_eq!(StageTwiddles::fft_stage(5, 4, 8).len(), 16);
+        // Stage 1 twiddle is exactly 1.
+        let s1 = StageTwiddles::fft_stage(1, 4, 8);
+        assert!((s1.get(0).value() - C64::ONE).abs() < 1e-15);
+    }
+
+    #[test]
+    fn error_decreases_with_k() {
+        let coarse = StageTwiddles::fft_stage(6, 2, 20);
+        let fine = StageTwiddles::fft_stage(6, 10, 20);
+        assert!(fine.max_error() < coarse.max_error());
+        assert!(fine.max_error() < 1e-4);
+    }
+
+    #[test]
+    fn natural_digit_count_is_around_paper_value() {
+        // At ~20 fraction bits the average CSD digit count of the twiddle
+        // set sits in the low tens — consistent with the paper's k ≈ 18
+        // observation for accuracy-neutral quantization.
+        let counts = natural_digit_counts(256, 20);
+        let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+        assert!(mean > 4.0 && mean < 20.0, "mean natural digits = {mean}");
+    }
+
+    #[test]
+    fn mean_terms_bounded_by_k() {
+        for k in [2usize, 5, 8] {
+            let s = StageTwiddles::twist_stage(128, k, 16);
+            assert!(s.mean_terms() <= k as f64 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn digit_positions_exist_for_first_term() {
+        let s = StageTwiddles::fft_stage(6, 5, 16);
+        let h = digit_position_histogram(&s, 0);
+        // every non-zero component contributes a first digit
+        assert!(h.len() > s.len());
+    }
+}

@@ -1,0 +1,157 @@
+//! Pluggable negacyclic multipliers for ciphertext × plaintext products.
+//!
+//! The choice of backend is exactly the design axis of the paper:
+//!
+//! * [`PolyMulBackend::Ntt`] — the exact modular datapath of baseline
+//!   accelerators (CHAM, F1, …).
+//! * [`PolyMulBackend::FftF64`] — Figure 4(b): transforms in floating
+//!   point; exact in practice at FLASH's parameters (Klemsa's error-free
+//!   regime), standing in for a wide (39-bit-mantissa) FP datapath.
+//! * [`PolyMulBackend::ApproxFft`] — FLASH's approximate fixed-point
+//!   *weight* transform; the ciphertext-side transform, point-wise product
+//!   and inverse stay in floating point, as in the FLASH architecture.
+//!
+//! For the approximate backend the *plaintext* operand must be small and
+//! signed (quantized weights); the ciphertext operand is center-lifted.
+
+use crate::poly::Poly;
+use flash_fft::fixed_fft::FixedNegacyclicFft;
+use flash_math::modular::{center_lift, from_signed_i128};
+use flash_math::C64;
+use flash_ntt::polymul::negacyclic_mul_ntt;
+use flash_ntt::NttTables;
+use std::sync::Arc;
+
+/// The negacyclic multiplier used for `ct ⊠ pt` products.
+#[derive(Debug, Clone)]
+pub enum PolyMulBackend {
+    /// Exact number-theoretic transform.
+    Ntt,
+    /// `f64` negacyclic FFT (exact at FLASH parameters).
+    FftF64,
+    /// Approximate fixed-point FFT for the plaintext (weight) transform.
+    ApproxFft(Arc<FixedNegacyclicFft>),
+}
+
+impl PolyMulBackend {
+    /// Builds the approximate backend from a configuration.
+    pub fn approx(cfg: flash_fft::ApproxFftConfig) -> Self {
+        PolyMulBackend::ApproxFft(Arc::new(FixedNegacyclicFft::new(cfg)))
+    }
+
+    /// Multiplies a ciphertext-ring polynomial `a` (mod `q`) by a small
+    /// signed plaintext polynomial `w` in the negacyclic ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ or (for `Ntt`) the tables do not match
+    /// `a`'s modulus.
+    pub fn mul_ct_pt(
+        &self,
+        a: &Poly,
+        w_signed: &[i64],
+        ntt: &NttTables,
+        fft: &flash_fft::NegacyclicFft,
+    ) -> Poly {
+        let q = a.modulus();
+        assert_eq!(a.len(), w_signed.len(), "operand lengths must match");
+        match self {
+            PolyMulBackend::Ntt => {
+                assert_eq!(ntt.modulus(), q, "NTT tables modulus mismatch");
+                let w = Poly::from_signed(w_signed, q);
+                Poly::from_coeffs(negacyclic_mul_ntt(a.coeffs(), w.coeffs(), ntt), q)
+            }
+            PolyMulBackend::FftF64 => {
+                let af: Vec<f64> = a.coeffs().iter().map(|&x| center_lift(x, q) as f64).collect();
+                let wf: Vec<f64> = w_signed.iter().map(|&x| x as f64).collect();
+                let prod = fft.polymul_f64(&af, &wf);
+                Poly::from_coeffs(
+                    prod.iter()
+                        .map(|&x| from_signed_i128(x.round_ties_even() as i128, q))
+                        .collect(),
+                    q,
+                )
+            }
+            PolyMulBackend::ApproxFft(fixed) => {
+                assert_eq!(fixed.config().degree(), a.len(), "approx plan degree mismatch");
+                let (fw, _) = fixed.forward(w_signed);
+                let af: Vec<f64> = a.coeffs().iter().map(|&x| center_lift(x, q) as f64).collect();
+                let fa = fft.forward(&af);
+                let spec: Vec<C64> = fa.iter().zip(&fw).map(|(x, y)| *x * *y).collect();
+                let prod = fft.inverse(&spec);
+                Poly::from_coeffs(
+                    prod.iter()
+                        .map(|&x| from_signed_i128(x.round_ties_even() as i128, q))
+                        .collect(),
+                    q,
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::HeParams;
+    use flash_fft::ApproxFftConfig;
+    use flash_math::fixed::FxpFormat;
+    use rand::{Rng, SeedableRng};
+
+    fn small_weights(n: usize, nnz: usize, rng: &mut impl Rng) -> Vec<i64> {
+        let mut w = vec![0i64; n];
+        for _ in 0..nnz {
+            w[rng.gen_range(0..n)] = rng.gen_range(-8..8);
+        }
+        w
+    }
+
+    #[test]
+    fn fft_backend_matches_ntt_backend() {
+        let p = HeParams::test_256();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let a = Poly::uniform(p.n, p.q, &mut rng);
+        let w = small_weights(p.n, 9, &mut rng);
+        let exact = PolyMulBackend::Ntt.mul_ct_pt(&a, &w, p.ntt(), p.fft());
+        let viaf = PolyMulBackend::FftF64.mul_ct_pt(&a, &w, p.ntt(), p.fft());
+        assert_eq!(exact, viaf);
+    }
+
+    #[test]
+    fn wide_approx_backend_matches_ntt() {
+        let p = HeParams::test_256();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let a = Poly::uniform(p.n, p.q, &mut rng);
+        let w = small_weights(p.n, 9, &mut rng);
+        // Very wide fixed-point datapath: error far below 0.5 per coeff
+        // even against ciphertext coefficients of magnitude q/2 ≈ 2^35.
+        let mut cfg = ApproxFftConfig::uniform(p.n, FxpFormat::new(20, 60), 60);
+        cfg.max_shift = 55;
+        let b = PolyMulBackend::approx(cfg);
+        let exact = PolyMulBackend::Ntt.mul_ct_pt(&a, &w, p.ntt(), p.fft());
+        let approx = b.mul_ct_pt(&a, &w, p.ntt(), p.fft());
+        assert_eq!(exact, approx);
+    }
+
+    #[test]
+    fn narrow_approx_backend_errs_within_budget() {
+        let p = HeParams::test_256();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let a = Poly::uniform(p.n, p.q, &mut rng);
+        let w = small_weights(p.n, 9, &mut rng);
+        let mut cfg = ApproxFftConfig::uniform(p.n, FxpFormat::new(16, 30), 24);
+        cfg.max_shift = 26;
+        let b = PolyMulBackend::approx(cfg);
+        let exact = PolyMulBackend::Ntt.mul_ct_pt(&a, &w, p.ntt(), p.fft());
+        let approx = b.mul_ct_pt(&a, &w, p.ntt(), p.fft());
+        // errors exist but are small relative to the noise ceiling
+        let diff = exact.sub(&approx);
+        let err = diff.inf_norm();
+        assert!(err > 0, "narrow datapath should introduce some error");
+        assert!(
+            err < p.noise_ceiling() / 4,
+            "error {err} must stay within the kernel-level budget {}",
+            p.noise_ceiling()
+        );
+    }
+}

@@ -1,0 +1,193 @@
+//! Ciphertexts and the homomorphic operations the hybrid protocol uses.
+//!
+//! The server-side evaluation of one homomorphic convolution is
+//! `(Enc({x}^C) ⊞ {x}^S) ⊠ w ⊟ s` — plaintext addition, plaintext
+//! multiplication (through a pluggable [`PolyMulBackend`]) and plaintext
+//! subtraction, plus ciphertext–ciphertext addition for accumulating
+//! partial sums across input-channel tiles.
+
+use crate::backend::PolyMulBackend;
+use crate::params::HeParams;
+use crate::poly::Poly;
+
+/// A BFV ciphertext `(c0, c1)` with `c0 + c1·s = Δ·m + e`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ciphertext {
+    c0: Poly,
+    c1: Poly,
+}
+
+impl Ciphertext {
+    /// Wraps two ciphertext-ring polynomials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the components disagree in modulus or length.
+    pub fn new(c0: Poly, c1: Poly) -> Self {
+        assert_eq!(c0.modulus(), c1.modulus(), "component modulus mismatch");
+        assert_eq!(c0.len(), c1.len(), "component length mismatch");
+        Self { c0, c1 }
+    }
+
+    /// First component.
+    pub fn c0(&self) -> &Poly {
+        &self.c0
+    }
+
+    /// Second component.
+    pub fn c1(&self) -> &Poly {
+        &self.c1
+    }
+
+    /// Ring degree.
+    pub fn len(&self) -> usize {
+        self.c0.len()
+    }
+
+    /// Whether the ciphertext is degenerate (zero-length).
+    pub fn is_empty(&self) -> bool {
+        self.c0.is_empty()
+    }
+
+    /// Serialized size in bytes (two polynomials of `⌈log2 q⌉`-bit words),
+    /// used for protocol communication accounting.
+    pub fn byte_size(&self) -> usize {
+        let q_bits = 64 - self.c0.modulus().leading_zeros() as usize;
+        2 * self.len() * q_bits.div_ceil(8)
+    }
+
+    /// Homomorphic ciphertext addition.
+    pub fn add_ct(&self, other: &Ciphertext) -> Ciphertext {
+        Ciphertext {
+            c0: self.c0.add(&other.c0),
+            c1: self.c1.add(&other.c1),
+        }
+    }
+
+    /// `ct ⊞ p`: adds a plaintext (`mod t`) into the message slot.
+    pub fn add_plain(&self, p: &Poly, params: &HeParams) -> Ciphertext {
+        assert_eq!(p.modulus(), params.t, "plaintext must be mod t");
+        let scaled = p.lift_to(params.q).scale(params.delta());
+        Ciphertext {
+            c0: self.c0.add(&scaled),
+            c1: self.c1.clone(),
+        }
+    }
+
+    /// `ct ⊟ p`: subtracts a plaintext from the message slot (the random
+    /// share mask of the protocol).
+    pub fn sub_plain(&self, p: &Poly, params: &HeParams) -> Ciphertext {
+        assert_eq!(p.modulus(), params.t, "plaintext must be mod t");
+        let scaled = p.lift_to(params.q).scale(params.delta());
+        Ciphertext {
+            c0: self.c0.sub(&scaled),
+            c1: self.c1.clone(),
+        }
+    }
+
+    /// `ct ⊠ w`: multiplies by a small signed plaintext polynomial through
+    /// the chosen backend (both components are transformed — the "2
+    /// transforms per ciphertext" of the accelerator's workload).
+    pub fn mul_plain_signed(
+        &self,
+        w_signed: &[i64],
+        params: &HeParams,
+        backend: &PolyMulBackend,
+    ) -> Ciphertext {
+        Ciphertext {
+            c0: backend.mul_ct_pt(&self.c0, w_signed, params.ntt(), params.fft()),
+            c1: backend.mul_ct_pt(&self.c1, w_signed, params.ntt(), params.fft()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::SecretKey;
+    use flash_math::modular::from_signed;
+    use rand::{Rng, SeedableRng};
+
+    fn setup() -> (HeParams, SecretKey, rand::rngs::StdRng) {
+        let p = HeParams::test_256();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let sk = SecretKey::generate(&p, &mut rng);
+        (p, sk, rng)
+    }
+
+    #[test]
+    fn add_plain_is_plaintext_addition() {
+        let (p, sk, mut rng) = setup();
+        let m1 = Poly::uniform(p.n, p.t, &mut rng);
+        let m2 = Poly::uniform(p.n, p.t, &mut rng);
+        let ct = sk.encrypt(&m1, &mut rng).add_plain(&m2, &p);
+        assert_eq!(sk.decrypt(&ct), m1.add(&m2));
+    }
+
+    #[test]
+    fn sub_plain_is_plaintext_subtraction() {
+        let (p, sk, mut rng) = setup();
+        let m1 = Poly::uniform(p.n, p.t, &mut rng);
+        let mask = Poly::uniform(p.n, p.t, &mut rng);
+        let ct = sk.encrypt(&m1, &mut rng).sub_plain(&mask, &p);
+        assert_eq!(sk.decrypt(&ct), m1.sub(&mask));
+    }
+
+    #[test]
+    fn add_ct_accumulates() {
+        let (p, sk, mut rng) = setup();
+        let m1 = Poly::uniform(p.n, p.t, &mut rng);
+        let m2 = Poly::uniform(p.n, p.t, &mut rng);
+        let ct = sk.encrypt(&m1, &mut rng).add_ct(&sk.encrypt(&m2, &mut rng));
+        assert_eq!(sk.decrypt(&ct), m1.add(&m2));
+    }
+
+    #[test]
+    fn mul_plain_matches_ring_product() {
+        let (p, sk, mut rng) = setup();
+        let m = Poly::uniform(p.n, p.t, &mut rng);
+        let mut w = vec![0i64; p.n];
+        for _ in 0..9 {
+            let i = rng.gen_range(0..p.n);
+            w[i] = rng.gen_range(-8..8);
+        }
+        for backend in [PolyMulBackend::Ntt, PolyMulBackend::FftF64] {
+            let ct = sk.encrypt(&m, &mut rng).mul_plain_signed(&w, &p, &backend);
+            // expected: m * w in the plaintext ring Z_t[X]/(X^N+1)
+            let w_t: Vec<u64> = w.iter().map(|&x| from_signed(x, p.t)).collect();
+            let expected = flash_ntt::polymul::negacyclic_mul_naive(m.coeffs(), &w_t, p.t);
+            assert_eq!(sk.decrypt(&ct).coeffs(), &expected[..]);
+        }
+    }
+
+    #[test]
+    fn mul_plain_noise_growth_is_bounded() {
+        let (p, sk, mut rng) = setup();
+        let m = Poly::uniform(p.n, p.t, &mut rng);
+        let mut w = vec![0i64; p.n];
+        for i in 0..9 {
+            w[i * 7] = if i % 2 == 0 { 7 } else { -8 };
+        }
+        let ct = sk.encrypt(&m, &mut rng);
+        let before = sk.noise(&ct, &m).inf_norm();
+        let ct2 = ct.mul_plain_signed(&w, &p, &PolyMulBackend::Ntt);
+        // product message mod t
+        let w_t: Vec<u64> = w.iter().map(|&x| from_signed(x, p.t)).collect();
+        let mw = Poly::from_coeffs(
+            flash_ntt::polymul::negacyclic_mul_naive(m.coeffs(), &w_t, p.t),
+            p.t,
+        );
+        let after = sk.noise(&ct2, &mw).inf_norm();
+        // growth bounded by ||w||_1-ish factor (9 coefficients of < 8)
+        assert!(after <= before * 9 * 8 + p.t, "noise grew too much: {before} -> {after}");
+        assert!(sk.noise_budget_bits(&ct2, &mw) > 0.0);
+    }
+
+    #[test]
+    fn byte_size_accounting() {
+        let (p, sk, mut rng) = setup();
+        let ct = sk.encrypt(&Poly::zero(p.n, p.t), &mut rng);
+        // 256 coeffs * 2 polys * ceil(36/8)=5 bytes
+        assert_eq!(ct.byte_size(), 2 * 256 * 5);
+    }
+}

@@ -1,0 +1,247 @@
+//! Secret keys, encryption and decryption.
+//!
+//! Symmetric-key BFV suffices for the hybrid protocol (the client both
+//! encrypts and decrypts): `ct = (c0, c1)` with `c1 = a` uniform and
+//! `c0 = −a·s + Δ·m + e`, so `c0 + c1·s = Δ·m + e`.
+
+use crate::cipher::Ciphertext;
+use crate::params::HeParams;
+use crate::poly::Poly;
+use flash_ntt::polymul::negacyclic_mul_ntt;
+use rand::Rng;
+
+/// A BFV secret key (ternary).
+#[derive(Debug, Clone)]
+pub struct SecretKey {
+    params: HeParams,
+    s: Poly,
+}
+
+/// A BFV public key: an encryption of zero `(p0, p1) = (−a·s + e, a)`.
+///
+/// The hybrid protocol itself only needs symmetric encryption (the
+/// client encrypts and decrypts), but a public key lets third parties
+/// contribute ciphertexts.
+#[derive(Debug, Clone)]
+pub struct PublicKey {
+    params: HeParams,
+    p0: Poly,
+    p1: Poly,
+}
+
+impl PublicKey {
+    /// The parameter set this key belongs to.
+    pub fn params(&self) -> &HeParams {
+        &self.params
+    }
+
+    /// Encrypts a plaintext with the public key:
+    /// `ct = (p0·u + e1 + Δ·m, p1·u + e2)` with ternary `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plaintext modulus or length mismatches.
+    pub fn encrypt<R: Rng>(&self, m: &Poly, rng: &mut R) -> Ciphertext {
+        let p = &self.params;
+        assert_eq!(m.modulus(), p.t, "plaintext must be mod t");
+        assert_eq!(m.len(), p.n, "plaintext length must be N");
+        let u = Poly::ternary(p.n, p.q, rng);
+        let e1 = Poly::gaussian(p.n, p.q, p.noise_std, rng);
+        let e2 = Poly::gaussian(p.n, p.q, p.noise_std, rng);
+        let scaled_m = m.lift_to(p.q).scale(p.delta());
+        let c0 = Poly::from_coeffs(
+            negacyclic_mul_ntt(self.p0.coeffs(), u.coeffs(), p.ntt()),
+            p.q,
+        )
+        .add(&e1)
+        .add(&scaled_m);
+        let c1 = Poly::from_coeffs(
+            negacyclic_mul_ntt(self.p1.coeffs(), u.coeffs(), p.ntt()),
+            p.q,
+        )
+        .add(&e2);
+        Ciphertext::new(c0, c1)
+    }
+}
+
+impl SecretKey {
+    /// Samples a fresh ternary secret key.
+    pub fn generate<R: Rng>(params: &HeParams, rng: &mut R) -> Self {
+        let s = Poly::ternary(params.n, params.q, rng);
+        Self {
+            params: params.clone(),
+            s,
+        }
+    }
+
+    /// The parameter set this key belongs to.
+    pub fn params(&self) -> &HeParams {
+        &self.params
+    }
+
+    /// Derives the matching public key (an encryption of zero).
+    pub fn public_key<R: Rng>(&self, rng: &mut R) -> PublicKey {
+        let p = &self.params;
+        let a = Poly::uniform(p.n, p.q, rng);
+        let e = Poly::gaussian(p.n, p.q, p.noise_std, rng);
+        let a_s = Poly::from_coeffs(
+            negacyclic_mul_ntt(a.coeffs(), self.s.coeffs(), p.ntt()),
+            p.q,
+        );
+        PublicKey {
+            params: p.clone(),
+            p0: e.sub(&a_s),
+            p1: a,
+        }
+    }
+
+    /// Encrypts a plaintext polynomial (`mod t`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plaintext modulus or length does not match the
+    /// parameters.
+    pub fn encrypt<R: Rng>(&self, m: &Poly, rng: &mut R) -> Ciphertext {
+        let p = &self.params;
+        assert_eq!(m.modulus(), p.t, "plaintext must be mod t");
+        assert_eq!(m.len(), p.n, "plaintext length must be N");
+        let a = Poly::uniform(p.n, p.q, rng);
+        let e = Poly::gaussian(p.n, p.q, p.noise_std, rng);
+        let scaled_m = m.lift_to(p.q).scale(p.delta());
+        let a_s = Poly::from_coeffs(
+            negacyclic_mul_ntt(a.coeffs(), self.s.coeffs(), p.ntt()),
+            p.q,
+        );
+        let c0 = scaled_m.add(&e).sub(&a_s);
+        Ciphertext::new(c0, a)
+    }
+
+    /// The raw decryption phase `c0 + c1·s` (mod `q`).
+    pub fn phase(&self, ct: &Ciphertext) -> Poly {
+        let p = &self.params;
+        let c1_s = Poly::from_coeffs(
+            negacyclic_mul_ntt(ct.c1().coeffs(), self.s.coeffs(), p.ntt()),
+            p.q,
+        );
+        ct.c0().add(&c1_s)
+    }
+
+    /// Decrypts a ciphertext: `round(t/q · (c0 + c1·s)) mod t`.
+    pub fn decrypt(&self, ct: &Ciphertext) -> Poly {
+        let p = &self.params;
+        let phase = self.phase(ct);
+        let coeffs = phase
+            .coeffs()
+            .iter()
+            .map(|&c| {
+                // round(t * c / q) mod t, in u128 to avoid overflow
+                let num = c as u128 * p.t as u128 + p.q as u128 / 2;
+                ((num / p.q as u128) % p.t as u128) as u64
+            })
+            .collect();
+        Poly::from_coeffs(coeffs, p.t)
+    }
+
+    /// Exact residual noise of a ciphertext that should decrypt to `m`:
+    /// center-lifted `c0 + c1·s − Δ·m`.
+    pub fn noise(&self, ct: &Ciphertext, m: &Poly) -> Poly {
+        let p = &self.params;
+        let expected = m.lift_to(p.q).scale(p.delta());
+        self.phase(ct).sub(&expected)
+    }
+
+    /// Remaining noise budget in bits: `log2(noise ceiling) −
+    /// log2(‖noise‖_∞)`. Negative means decryption failure is possible.
+    pub fn noise_budget_bits(&self, ct: &Ciphertext, m: &Poly) -> f64 {
+        let noise = self.noise(ct, m).inf_norm().max(1);
+        (self.params.noise_ceiling() as f64).log2() - (noise as f64).log2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let p = HeParams::test_256();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let sk = SecretKey::generate(&p, &mut rng);
+        for seed in 0..5u64 {
+            let mut mrng = rand::rngs::StdRng::seed_from_u64(seed);
+            let m = Poly::uniform(p.n, p.t, &mut mrng);
+            let ct = sk.encrypt(&m, &mut rng);
+            assert_eq!(sk.decrypt(&ct), m);
+        }
+    }
+
+    #[test]
+    fn fresh_noise_is_small() {
+        let p = HeParams::test_256();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let sk = SecretKey::generate(&p, &mut rng);
+        let m = Poly::uniform(p.n, p.t, &mut rng);
+        let ct = sk.encrypt(&m, &mut rng);
+        let noise = sk.noise(&ct, &m);
+        assert!(noise.inf_norm() < 40, "fresh noise should be a few sigma");
+        assert!(sk.noise_budget_bits(&ct, &m) > 10.0);
+    }
+
+    #[test]
+    fn decryption_robust_to_injected_error_below_ceiling() {
+        // Kernel-level robustness: adding error below q/(2t) to c0 leaves
+        // decryption unchanged — the foundation of FLASH's approximation.
+        let p = HeParams::test_256();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let sk = SecretKey::generate(&p, &mut rng);
+        let m = Poly::uniform(p.n, p.t, &mut rng);
+        let ct = sk.encrypt(&m, &mut rng);
+        let headroom = (p.noise_ceiling() / 2) as i64;
+        let inject = Poly::from_signed(&vec![headroom; p.n], p.q);
+        let noisy = Ciphertext::new(ct.c0().add(&inject), ct.c1().clone());
+        assert_eq!(sk.decrypt(&noisy), m);
+    }
+
+    #[test]
+    fn public_key_encryption_roundtrip() {
+        let p = HeParams::test_256();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let sk = SecretKey::generate(&p, &mut rng);
+        let pk = sk.public_key(&mut rng);
+        let m = Poly::uniform(p.n, p.t, &mut rng);
+        let ct = pk.encrypt(&m, &mut rng);
+        assert_eq!(sk.decrypt(&ct), m);
+        // pk encryption carries more noise than symmetric (u·e terms) but
+        // stays comfortably within budget.
+        let budget = sk.noise_budget_bits(&ct, &m);
+        assert!(budget > 3.0, "pk budget {budget}");
+        let sym = sk.encrypt(&m, &mut rng);
+        assert!(sk.noise(&ct, &m).inf_norm() >= sk.noise(&sym, &m).inf_norm());
+    }
+
+    #[test]
+    fn public_key_ciphertexts_compose_homomorphically() {
+        let p = HeParams::test_256();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+        let sk = SecretKey::generate(&p, &mut rng);
+        let pk = sk.public_key(&mut rng);
+        let m1 = Poly::uniform(p.n, p.t, &mut rng);
+        let m2 = Poly::uniform(p.n, p.t, &mut rng);
+        let ct = pk.encrypt(&m1, &mut rng).add_ct(&sk.encrypt(&m2, &mut rng));
+        assert_eq!(sk.decrypt(&ct), m1.add(&m2));
+    }
+
+    #[test]
+    fn decryption_fails_above_ceiling() {
+        let p = HeParams::test_256();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let sk = SecretKey::generate(&p, &mut rng);
+        let m = Poly::zero(p.n, p.t);
+        let ct = sk.encrypt(&m, &mut rng);
+        let too_much = (p.noise_ceiling() + p.noise_ceiling() / 2) as i64;
+        let inject = Poly::from_signed(&vec![too_much; p.n], p.q);
+        let noisy = Ciphertext::new(ct.c0().add(&inject), ct.c1().clone());
+        assert_ne!(sk.decrypt(&noisy), m);
+    }
+}

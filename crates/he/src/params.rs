@@ -1,0 +1,159 @@
+//! BFV parameter sets.
+//!
+//! The hybrid protocol with low-bit-width quantized CNNs runs at small
+//! parameters (the paper's point in Section III): `N = 4096`, a ~39-bit
+//! ciphertext modulus (matching CHAM's 39-bit NTT datapath) and a
+//! power-of-two plaintext modulus sized to the convolution sum-product
+//! bit-width.
+
+use flash_math::prime::ntt_prime;
+use std::fmt;
+use std::sync::Arc;
+
+use flash_fft::negacyclic::NegacyclicFft;
+use flash_ntt::NttTables;
+
+/// BFV parameters plus shared transform plans for the ring.
+#[derive(Clone)]
+pub struct HeParams {
+    /// Ring degree `N` (power of two).
+    pub n: usize,
+    /// Ciphertext modulus `q` (NTT-friendly prime).
+    pub q: u64,
+    /// Plaintext modulus `t` (a power of two, matching the 2PC share ring).
+    pub t: u64,
+    /// Standard deviation of the encryption error.
+    pub noise_std: f64,
+    ntt: Arc<NttTables>,
+    fft: Arc<NegacyclicFft>,
+}
+
+impl fmt::Debug for HeParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HeParams")
+            .field("n", &self.n)
+            .field("q", &self.q)
+            .field("t", &self.t)
+            .field("noise_std", &self.noise_std)
+            .finish()
+    }
+}
+
+impl PartialEq for HeParams {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.q == other.q && self.t == other.t
+    }
+}
+
+impl HeParams {
+    /// Builds a parameter set with `q` the largest prime below `2^q_bits`
+    /// satisfying both `q ≡ 1 (mod 2N)` (negacyclic NTT) and
+    /// `q ≡ 1 (mod t)` (so plaintext-ring wraparound carries multiply a
+    /// unit into the noise instead of `q mod t`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t ≥ q/2` (no noise budget), `t` is not a power of two,
+    /// or no suitable prime exists.
+    pub fn new(n: usize, q_bits: u32, t: u64, noise_std: f64) -> Self {
+        assert!(t.is_power_of_two(), "plaintext modulus must be a power of two");
+        assert!(
+            t < (1u64 << q_bits) / 2,
+            "plaintext modulus leaves no noise budget"
+        );
+        // Both 2N and t are powers of two, so the combined congruence is
+        // q ≡ 1 (mod max(2N, t)) — i.e. an NTT prime for degree
+        // max(N, t/2).
+        let n_eff = n.max((t / 2) as usize);
+        let q = ntt_prime(q_bits, n_eff as u64).expect("no NTT-friendly prime at this size");
+        assert!(t < q / 2, "plaintext modulus leaves no noise budget");
+        let ntt = Arc::new(NttTables::new(n, q).expect("params are NTT friendly"));
+        let fft = Arc::new(NegacyclicFft::new(n));
+        Self {
+            n,
+            q,
+            t,
+            noise_std,
+            ntt,
+            fft,
+        }
+    }
+
+    /// The FLASH/Cheetah operating point: `N = 4096`, 39-bit `q`,
+    /// `t = 2^21` (W4A4 convolution sum-products), σ = 3.2.
+    pub fn flash_default() -> Self {
+        Self::new(4096, 39, 1 << 21, 3.2)
+    }
+
+    /// A tiny parameter set for unit tests and doc examples
+    /// (`N = 8` — NOT secure, purely functional).
+    pub fn toy() -> Self {
+        Self::new(8, 30, 1 << 8, 1.0)
+    }
+
+    /// A mid-size set for integration tests (`N = 256`).
+    pub fn test_256() -> Self {
+        Self::new(256, 36, 1 << 16, 3.2)
+    }
+
+    /// `Δ = ⌊q/t⌋`, the plaintext scaling factor.
+    #[inline]
+    pub fn delta(&self) -> u64 {
+        self.q / self.t
+    }
+
+    /// The decryption noise budget ceiling `q/(2t)`: decryption is correct
+    /// while `‖noise‖_∞` stays below this.
+    #[inline]
+    pub fn noise_ceiling(&self) -> u64 {
+        self.q / (2 * self.t)
+    }
+
+    /// Shared exact-NTT tables for this ring.
+    #[inline]
+    pub fn ntt(&self) -> &NttTables {
+        &self.ntt
+    }
+
+    /// Shared `f64` negacyclic FFT plan for this ring.
+    #[inline]
+    pub fn fft(&self) -> &NegacyclicFft {
+        &self.fft
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_shape() {
+        let p = HeParams::flash_default();
+        assert_eq!(p.n, 4096);
+        assert_eq!(p.q % (2 * 4096), 1);
+        assert!(p.q < (1 << 39) && p.q > (1 << 38));
+        assert_eq!(p.t, 1 << 21);
+        assert!(p.delta() > (1 << 17));
+        assert!(p.noise_ceiling() >= (1 << 16));
+    }
+
+    #[test]
+    fn toy_params_work() {
+        let p = HeParams::toy();
+        assert_eq!(p.n, 8);
+        assert_eq!(p.ntt().degree(), 8);
+        assert_eq!(p.fft().degree(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_t() {
+        HeParams::new(8, 30, 100, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "noise budget")]
+    fn rejects_oversized_t() {
+        HeParams::new(8, 20, 1 << 20, 1.0);
+    }
+}

@@ -1,0 +1,262 @@
+//! Ring elements of `Z_m[X]/(X^N + 1)` and the samplers BFV needs.
+//!
+//! A [`Poly`] stores reduced coefficients together with its modulus, so
+//! plaintexts (`mod t`) and ciphertext components (`mod q`) cannot be
+//! mixed accidentally.
+
+use flash_math::modular::{add_mod, center_lift, from_signed, mul_mod, neg_mod, sub_mod};
+use rand::Rng;
+
+/// A polynomial with coefficients reduced modulo `modulus`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Poly {
+    coeffs: Vec<u64>,
+    modulus: u64,
+}
+
+impl Poly {
+    /// The zero polynomial of degree bound `n`.
+    pub fn zero(n: usize, modulus: u64) -> Self {
+        Self {
+            coeffs: vec![0; n],
+            modulus,
+        }
+    }
+
+    /// Builds a polynomial from already-reduced coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coefficient is not reduced.
+    pub fn from_coeffs(coeffs: Vec<u64>, modulus: u64) -> Self {
+        assert!(
+            coeffs.iter().all(|&c| c < modulus),
+            "coefficients must be reduced modulo {modulus}"
+        );
+        Self { coeffs, modulus }
+    }
+
+    /// Builds a polynomial from signed integers, reducing them.
+    pub fn from_signed(coeffs: &[i64], modulus: u64) -> Self {
+        Self {
+            coeffs: coeffs.iter().map(|&c| from_signed(c, modulus)).collect(),
+            modulus,
+        }
+    }
+
+    /// Uniformly random element (used for the RLWE mask `a`).
+    pub fn uniform<R: Rng>(n: usize, modulus: u64, rng: &mut R) -> Self {
+        Self {
+            coeffs: (0..n).map(|_| rng.gen_range(0..modulus)).collect(),
+            modulus,
+        }
+    }
+
+    /// Ternary polynomial with coefficients in `{-1, 0, 1}` (secret keys).
+    pub fn ternary<R: Rng>(n: usize, modulus: u64, rng: &mut R) -> Self {
+        Self {
+            coeffs: (0..n)
+                .map(|_| from_signed(rng.gen_range(-1i64..=1), modulus))
+                .collect(),
+            modulus,
+        }
+    }
+
+    /// Rounded-Gaussian error polynomial with standard deviation `std`
+    /// (Box–Muller).
+    pub fn gaussian<R: Rng>(n: usize, modulus: u64, std: f64, rng: &mut R) -> Self {
+        let coeffs = (0..n)
+            .map(|_| {
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                from_signed((z * std).round() as i64, modulus)
+            })
+            .collect();
+        Self { coeffs, modulus }
+    }
+
+    /// Degree bound `N`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Whether the polynomial has no coefficients (degenerate).
+    pub fn is_empty(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// The coefficient modulus.
+    #[inline]
+    pub fn modulus(&self) -> u64 {
+        self.modulus
+    }
+
+    /// The reduced coefficients.
+    #[inline]
+    pub fn coeffs(&self) -> &[u64] {
+        &self.coeffs
+    }
+
+    /// Coefficient `i`.
+    #[inline]
+    pub fn coeff(&self, i: usize) -> u64 {
+        self.coeffs[i]
+    }
+
+    /// Sets coefficient `i` (must be reduced).
+    pub fn set_coeff(&mut self, i: usize, v: u64) {
+        assert!(v < self.modulus);
+        self.coeffs[i] = v;
+    }
+
+    /// Center-lifted coefficients in `(-m/2, m/2]`.
+    pub fn lifted(&self) -> Vec<i64> {
+        self.coeffs
+            .iter()
+            .map(|&c| center_lift(c, self.modulus))
+            .collect()
+    }
+
+    /// Largest coefficient magnitude after center lift.
+    pub fn inf_norm(&self) -> u64 {
+        self.lifted().iter().map(|c| c.unsigned_abs()).max().unwrap_or(0)
+    }
+
+    /// Number of non-zero coefficients.
+    pub fn nnz(&self) -> usize {
+        self.coeffs.iter().filter(|&&c| c != 0).count()
+    }
+
+    /// Coefficient-wise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics on modulus or length mismatch.
+    pub fn add(&self, other: &Poly) -> Poly {
+        self.check_compat(other);
+        Poly {
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&other.coeffs)
+                .map(|(&a, &b)| add_mod(a, b, self.modulus))
+                .collect(),
+            modulus: self.modulus,
+        }
+    }
+
+    /// Coefficient-wise difference.
+    pub fn sub(&self, other: &Poly) -> Poly {
+        self.check_compat(other);
+        Poly {
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&other.coeffs)
+                .map(|(&a, &b)| sub_mod(a, b, self.modulus))
+                .collect(),
+            modulus: self.modulus,
+        }
+    }
+
+    /// Coefficient-wise negation.
+    pub fn neg(&self) -> Poly {
+        Poly {
+            coeffs: self.coeffs.iter().map(|&a| neg_mod(a, self.modulus)).collect(),
+            modulus: self.modulus,
+        }
+    }
+
+    /// Scales every coefficient by a constant.
+    pub fn scale(&self, k: u64) -> Poly {
+        Poly {
+            coeffs: self
+                .coeffs
+                .iter()
+                .map(|&a| mul_mod(a, k, self.modulus))
+                .collect(),
+            modulus: self.modulus,
+        }
+    }
+
+    /// Re-interprets the center-lifted coefficients in a different
+    /// modulus (used to lift plaintexts `mod t` into the ciphertext ring
+    /// `mod q`).
+    pub fn lift_to(&self, modulus: u64) -> Poly {
+        Poly {
+            coeffs: self.lifted().iter().map(|&c| from_signed(c, modulus)).collect(),
+            modulus,
+        }
+    }
+
+    fn check_compat(&self, other: &Poly) {
+        assert_eq!(self.modulus, other.modulus, "modulus mismatch");
+        assert_eq!(self.coeffs.len(), other.coeffs.len(), "length mismatch");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let a = Poly::from_signed(&[1, -2, 3, -4], 97);
+        let b = Poly::from_signed(&[5, 6, -7, 8], 97);
+        assert_eq!(a.add(&b).sub(&b), a);
+        assert_eq!(a.sub(&a), Poly::zero(4, 97));
+        assert_eq!(a.neg().neg(), a);
+        assert_eq!(a.scale(2), a.add(&a));
+    }
+
+    #[test]
+    fn lifted_and_norms() {
+        let a = Poly::from_signed(&[1, -2, 0, 40], 97);
+        assert_eq!(a.lifted(), vec![1, -2, 0, 40]);
+        assert_eq!(a.inf_norm(), 40);
+        assert_eq!(a.nnz(), 3);
+    }
+
+    #[test]
+    fn lift_to_preserves_signed_values() {
+        let a = Poly::from_signed(&[1, -2, 3, 0], 256);
+        let b = a.lift_to(0x3FFF_FFFF_F001);
+        assert_eq!(b.lifted(), vec![1, -2, 3, 0]);
+    }
+
+    #[test]
+    fn samplers_have_expected_shapes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let q = 1_073_479_681u64;
+        let u = Poly::uniform(1024, q, &mut rng);
+        assert!(u.coeffs().iter().all(|&c| c < q));
+        // uniform should be "large" on average
+        assert!(u.inf_norm() > q / 4);
+
+        let t = Poly::ternary(1024, q, &mut rng);
+        assert!(t.inf_norm() <= 1);
+        assert!(t.nnz() > 500, "ternary should be ~2/3 dense");
+
+        let g = Poly::gaussian(4096, q, 3.2, &mut rng);
+        assert!(g.inf_norm() < 30, "6-sigma-ish bound");
+        let mean: f64 = g.lifted().iter().map(|&x| x as f64).sum::<f64>() / 4096.0;
+        assert!(mean.abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "modulus mismatch")]
+    fn mixing_moduli_panics() {
+        let a = Poly::zero(4, 97);
+        let b = Poly::zero(4, 101);
+        let _ = a.add(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "reduced")]
+    fn unreduced_coeffs_rejected() {
+        Poly::from_coeffs(vec![97], 97);
+    }
+}

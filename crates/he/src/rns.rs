@@ -1,0 +1,497 @@
+//! Multi-limb (RNS) BFV for larger ciphertext moduli.
+//!
+//! The paper sizes `q` "by the required noise budgets": one ~39-bit prime
+//! suffices for W4A4 ResNets, but deeper accumulations (larger plaintext
+//! moduli, denser weights, transformer-scale layers) need more headroom.
+//! This module runs the same scheme over `Q = q₀·q₁·…` in residue form —
+//! every limb is an independent NTT-friendly prime, all polynomial
+//! arithmetic stays in 64-bit limbs, and only decryption reconstructs
+//! through the CRT.
+
+use crate::params::HeParams;
+use crate::poly::Poly;
+use flash_math::crt::CrtBasis;
+use flash_math::modular::mul_mod;
+use flash_math::prime::ntt_primes;
+use flash_ntt::polymul::negacyclic_mul_ntt;
+use flash_ntt::NttTables;
+use rand::Rng;
+use std::sync::Arc;
+
+/// RNS BFV parameters: a CRT basis of NTT-friendly primes.
+#[derive(Debug, Clone)]
+pub struct RnsParams {
+    /// Ring degree.
+    pub n: usize,
+    /// Plaintext modulus (`2^l`, shared with the 2PC ring).
+    pub t: u64,
+    /// Encryption noise standard deviation.
+    pub noise_std: f64,
+    basis: CrtBasis,
+    ntts: Vec<Arc<NttTables>>,
+    /// `Δ = ⌊Q/t⌋ mod q_i` per limb.
+    delta_limbs: Vec<u64>,
+}
+
+impl RnsParams {
+    /// Builds parameters with `limbs` primes just below `2^prime_bits`,
+    /// all `≡ 1 (mod max(2N, t))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not enough suitable primes exist, `t` is not a power of
+    /// two, or the product exceeds the CRT headroom.
+    pub fn new(n: usize, prime_bits: u32, limbs: usize, t: u64, noise_std: f64) -> Self {
+        assert!(t.is_power_of_two(), "plaintext modulus must be a power of two");
+        let n_eff = n.max((t / 2) as usize) as u64;
+        let primes = ntt_primes(prime_bits, n_eff, limbs);
+        assert_eq!(primes.len(), limbs, "not enough NTT primes at this size");
+        let basis = CrtBasis::new(primes.clone());
+        let q_prod = basis.product();
+        assert!(t as u128 * 4 < q_prod, "plaintext modulus leaves no noise budget");
+        let ntts = primes
+            .iter()
+            .map(|&q| Arc::new(NttTables::new(n, q).expect("NTT-friendly prime")))
+            .collect();
+        let delta = q_prod / t as u128;
+        let delta_limbs = primes.iter().map(|&q| (delta % q as u128) as u64).collect();
+        Self {
+            n,
+            t,
+            noise_std,
+            basis,
+            ntts,
+            delta_limbs,
+        }
+    }
+
+    /// A double-limb FLASH configuration: `Q ≈ 2^78` at `N = 4096`,
+    /// `t = 2^21` — roughly the square of the paper's single-limb budget.
+    pub fn flash_double() -> Self {
+        Self::new(4096, 39, 2, 1 << 21, 3.2)
+    }
+
+    /// A test-scale double-limb set (`N = 256`).
+    pub fn test_double() -> Self {
+        Self::new(256, 36, 2, 1 << 16, 3.2)
+    }
+
+    /// The CRT basis.
+    pub fn basis(&self) -> &CrtBasis {
+        &self.basis
+    }
+
+    /// Number of limbs.
+    pub fn limbs(&self) -> usize {
+        self.basis.len()
+    }
+
+    /// The modulus product `Q`.
+    pub fn q_product(&self) -> u128 {
+        self.basis.product()
+    }
+
+    /// The decryption noise ceiling `Q/(2t)`.
+    pub fn noise_ceiling(&self) -> u128 {
+        self.q_product() / (2 * self.t as u128)
+    }
+
+    /// The single-limb [`HeParams`]-equivalent noise ceiling, for budget
+    /// comparisons.
+    pub fn single_limb_ceiling(params: &HeParams) -> u128 {
+        params.noise_ceiling() as u128
+    }
+}
+
+/// A ring element in residue representation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RnsPoly {
+    limbs: Vec<Poly>,
+}
+
+impl RnsPoly {
+    /// The zero element.
+    pub fn zero(params: &RnsParams) -> Self {
+        Self {
+            limbs: params
+                .basis
+                .moduli()
+                .iter()
+                .map(|&q| Poly::zero(params.n, q))
+                .collect(),
+        }
+    }
+
+    /// Embeds small signed coefficients into every limb.
+    pub fn from_signed(coeffs: &[i64], params: &RnsParams) -> Self {
+        Self {
+            limbs: params
+                .basis
+                .moduli()
+                .iter()
+                .map(|&q| Poly::from_signed(coeffs, q))
+                .collect(),
+        }
+    }
+
+    /// Uniform element of `R_Q` (independent uniform limbs, by CRT).
+    pub fn uniform<R: Rng>(params: &RnsParams, rng: &mut R) -> Self {
+        Self {
+            limbs: params
+                .basis
+                .moduli()
+                .iter()
+                .map(|&q| Poly::uniform(params.n, q, rng))
+                .collect(),
+        }
+    }
+
+    /// Limb `i`.
+    pub fn limb(&self, i: usize) -> &Poly {
+        &self.limbs[i]
+    }
+
+    /// Coefficient-wise sum.
+    pub fn add(&self, other: &RnsPoly) -> RnsPoly {
+        RnsPoly {
+            limbs: self
+                .limbs
+                .iter()
+                .zip(&other.limbs)
+                .map(|(a, b)| a.add(b))
+                .collect(),
+        }
+    }
+
+    /// Coefficient-wise difference.
+    pub fn sub(&self, other: &RnsPoly) -> RnsPoly {
+        RnsPoly {
+            limbs: self
+                .limbs
+                .iter()
+                .zip(&other.limbs)
+                .map(|(a, b)| a.sub(b))
+                .collect(),
+        }
+    }
+
+    /// Negacyclic product with a small signed polynomial (per-limb NTT).
+    pub fn mul_signed(&self, w: &[i64], params: &RnsParams) -> RnsPoly {
+        RnsPoly {
+            limbs: self
+                .limbs
+                .iter()
+                .zip(&params.ntts)
+                .map(|(limb, ntt)| {
+                    let wq = Poly::from_signed(w, limb.modulus());
+                    Poly::from_coeffs(
+                        negacyclic_mul_ntt(limb.coeffs(), wq.coeffs(), ntt),
+                        limb.modulus(),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// CRT-reconstructs coefficient `i` into `(-Q/2, Q/2]`.
+    pub fn coeff_centered(&self, i: usize, params: &RnsParams) -> i128 {
+        let residues: Vec<u64> = self.limbs.iter().map(|l| l.coeff(i)).collect();
+        params.basis.reconstruct_centered(&residues)
+    }
+}
+
+/// An RNS BFV ciphertext.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RnsCiphertext {
+    c0: RnsPoly,
+    c1: RnsPoly,
+}
+
+impl RnsCiphertext {
+    /// `ct ⊞ pt` (plaintext mod `t`, scaled by Δ into every limb).
+    pub fn add_plain(&self, p: &Poly, params: &RnsParams) -> RnsCiphertext {
+        assert_eq!(p.modulus(), params.t, "plaintext must be mod t");
+        let scaled = scale_plaintext(p, params);
+        RnsCiphertext {
+            c0: self.c0.add(&scaled),
+            c1: self.c1.clone(),
+        }
+    }
+
+    /// `ct ⊟ pt`.
+    pub fn sub_plain(&self, p: &Poly, params: &RnsParams) -> RnsCiphertext {
+        assert_eq!(p.modulus(), params.t, "plaintext must be mod t");
+        let scaled = scale_plaintext(p, params);
+        RnsCiphertext {
+            c0: self.c0.sub(&scaled),
+            c1: self.c1.clone(),
+        }
+    }
+
+    /// `ct ⊠ w` for a small signed plaintext polynomial.
+    pub fn mul_plain_signed(&self, w: &[i64], params: &RnsParams) -> RnsCiphertext {
+        RnsCiphertext {
+            c0: self.c0.mul_signed(w, params),
+            c1: self.c1.mul_signed(w, params),
+        }
+    }
+
+    /// Homomorphic addition.
+    pub fn add_ct(&self, other: &RnsCiphertext) -> RnsCiphertext {
+        RnsCiphertext {
+            c0: self.c0.add(&other.c0),
+            c1: self.c1.add(&other.c1),
+        }
+    }
+}
+
+fn scale_plaintext(p: &Poly, params: &RnsParams) -> RnsPoly {
+    RnsPoly {
+        limbs: params
+            .basis
+            .moduli()
+            .iter()
+            .zip(&params.delta_limbs)
+            .map(|(&q, &delta)| {
+                let lifted = p.lift_to(q);
+                Poly::from_coeffs(
+                    lifted.coeffs().iter().map(|&c| mul_mod(c, delta, q)).collect(),
+                    q,
+                )
+            })
+            .collect(),
+    }
+}
+
+/// An RNS BFV secret key (one ternary secret, reduced into every limb).
+#[derive(Debug, Clone)]
+pub struct RnsSecretKey {
+    params: RnsParams,
+    s: RnsPoly,
+}
+
+impl RnsSecretKey {
+    /// Samples a fresh key.
+    pub fn generate<R: Rng>(params: &RnsParams, rng: &mut R) -> Self {
+        let s_signed: Vec<i64> = (0..params.n).map(|_| rng.gen_range(-1i64..=1)).collect();
+        Self {
+            s: RnsPoly::from_signed(&s_signed, params),
+            params: params.clone(),
+        }
+    }
+
+    /// The parameters.
+    pub fn params(&self) -> &RnsParams {
+        &self.params
+    }
+
+    /// Encrypts a plaintext (`mod t`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on modulus/length mismatch.
+    pub fn encrypt<R: Rng>(&self, m: &Poly, rng: &mut R) -> RnsCiphertext {
+        let p = &self.params;
+        assert_eq!(m.modulus(), p.t, "plaintext must be mod t");
+        assert_eq!(m.len(), p.n, "plaintext length must be N");
+        let a = RnsPoly::uniform(p, rng);
+        // one small error, embedded in every limb
+        let e_signed: Vec<i64> = {
+            let tmp = Poly::gaussian(p.n, 1 << 30, p.noise_std, rng);
+            tmp.lifted()
+        };
+        let e = RnsPoly::from_signed(&e_signed, p);
+        let a_s = RnsPoly {
+            limbs: a
+                .limbs
+                .iter()
+                .zip(&self.s.limbs)
+                .zip(&p.ntts)
+                .map(|((ai, si), ntt)| {
+                    Poly::from_coeffs(
+                        negacyclic_mul_ntt(ai.coeffs(), si.coeffs(), ntt),
+                        ai.modulus(),
+                    )
+                })
+                .collect(),
+        };
+        let scaled_m = scale_plaintext(m, p);
+        RnsCiphertext {
+            c0: scaled_m.add(&e).sub(&a_s),
+            c1: a,
+        }
+    }
+
+    /// The raw phase `c0 + c1·s`.
+    fn phase(&self, ct: &RnsCiphertext) -> RnsPoly {
+        let p = &self.params;
+        let c1_s = RnsPoly {
+            limbs: ct
+                .c1
+                .limbs
+                .iter()
+                .zip(&self.s.limbs)
+                .zip(&p.ntts)
+                .map(|((ci, si), ntt)| {
+                    Poly::from_coeffs(
+                        negacyclic_mul_ntt(ci.coeffs(), si.coeffs(), ntt),
+                        ci.modulus(),
+                    )
+                })
+                .collect(),
+        };
+        ct.c0.add(&c1_s)
+    }
+
+    /// Decrypts: CRT-reconstruct the phase and round by `t/Q`.
+    pub fn decrypt(&self, ct: &RnsCiphertext) -> Poly {
+        let p = &self.params;
+        let phase = self.phase(ct);
+        let q = p.q_product();
+        let half_q = (q / 2) as i128;
+        let coeffs: Vec<u64> = (0..p.n)
+            .map(|i| {
+                let x = phase.coeff_centered(i, p);
+                // round(t * x / Q) over the integers, then mod t
+                let num = x * p.t as i128;
+                let rounded = if num >= 0 {
+                    (num + half_q) / q as i128
+                } else {
+                    -((-num + half_q) / q as i128)
+                };
+                rounded.rem_euclid(p.t as i128) as u64
+            })
+            .collect();
+        Poly::from_coeffs(coeffs, p.t)
+    }
+
+    /// Exact residual noise magnitude (∞-norm over the CRT lift).
+    pub fn noise_inf(&self, ct: &RnsCiphertext, m: &Poly) -> u128 {
+        let p = &self.params;
+        let phase = self.phase(ct);
+        let expected = scale_plaintext(m, p);
+        let diff = phase.sub(&expected);
+        (0..p.n)
+            .map(|i| diff.coeff_centered(i, p).unsigned_abs())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Remaining noise budget in bits.
+    pub fn noise_budget_bits(&self, ct: &RnsCiphertext, m: &Poly) -> f64 {
+        let noise = self.noise_inf(ct, m).max(1);
+        (self.params.noise_ceiling() as f64).log2() - (noise as f64).log2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_math::modular::from_signed;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rns_encrypt_decrypt_roundtrip() {
+        let p = RnsParams::test_double();
+        assert_eq!(p.limbs(), 2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let sk = RnsSecretKey::generate(&p, &mut rng);
+        for seed in 0..3u64 {
+            let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+            let m = Poly::uniform(p.n, p.t, &mut r);
+            let ct = sk.encrypt(&m, &mut rng);
+            assert_eq!(sk.decrypt(&ct), m);
+        }
+    }
+
+    #[test]
+    fn rns_budget_dwarfs_single_limb() {
+        let p2 = RnsParams::test_double();
+        let p1 = HeParams::test_256();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let sk = RnsSecretKey::generate(&p2, &mut rng);
+        let m = Poly::uniform(p2.n, p2.t, &mut rng);
+        let ct = sk.encrypt(&m, &mut rng);
+        let budget = sk.noise_budget_bits(&ct, &m);
+        let single_ceiling_bits = (RnsParams::single_limb_ceiling(&p1) as f64).log2();
+        let double_ceiling_bits = (p2.noise_ceiling() as f64).log2();
+        assert!(double_ceiling_bits > single_ceiling_bits + 30.0);
+        assert!(budget > 45.0, "double-limb fresh budget {budget}");
+    }
+
+    #[test]
+    fn rns_homomorphic_algebra() {
+        let p = RnsParams::test_double();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let sk = RnsSecretKey::generate(&p, &mut rng);
+        let m1 = Poly::uniform(p.n, p.t, &mut rng);
+        let m2 = Poly::uniform(p.n, p.t, &mut rng);
+        let mut w = vec![0i64; p.n];
+        for i in 0..9 {
+            w[i * 11] = ((i as i64) % 15) - 7;
+        }
+        let ct = sk
+            .encrypt(&m1, &mut rng)
+            .add_plain(&m2, &p)
+            .mul_plain_signed(&w, &p);
+        let w_t: Vec<u64> = w.iter().map(|&x| from_signed(x, p.t)).collect();
+        let want = Poly::from_coeffs(
+            flash_ntt::polymul::negacyclic_mul_naive(m1.add(&m2).coeffs(), &w_t, p.t),
+            p.t,
+        );
+        assert_eq!(sk.decrypt(&ct), want);
+
+        let ct2 = ct.add_ct(&ct);
+        assert_eq!(sk.decrypt(&ct2), want.add(&want));
+
+        let mask = Poly::uniform(p.n, p.t, &mut rng);
+        assert_eq!(sk.decrypt(&ct.sub_plain(&mask, &p)), want.sub(&mask));
+    }
+
+    #[test]
+    fn dense_weights_break_single_limb_but_not_double() {
+        // With a deliberately small 25-bit single-limb modulus, a dense
+        // +-8 weight multiplication pushes the noise past the ceiling
+        // q/(2t) ≈ 2^8; the two-limb 50-bit product absorbs it easily.
+        let p1 = HeParams::new(256, 25, 1 << 16, 3.2);
+        let p2 = RnsParams::new(256, 25, 2, 1 << 16, 3.2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let w: Vec<i64> = (0..p1.n).map(|i| ((i as i64 * 7) % 15) - 7).collect();
+        let w_t: Vec<u64> = w.iter().map(|&x| from_signed(x, p1.t)).collect();
+
+        // single limb: decryption corrupts
+        let sk1 = crate::keys::SecretKey::generate(&p1, &mut rng);
+        let m = Poly::uniform(p1.n, p1.t, &mut rng);
+        let ct1 = sk1.encrypt(&m, &mut rng).mul_plain_signed(
+            &w,
+            &p1,
+            &crate::backend::PolyMulBackend::Ntt,
+        );
+        let want = Poly::from_coeffs(
+            flash_ntt::polymul::negacyclic_mul_naive(m.coeffs(), &w_t, p1.t),
+            p1.t,
+        );
+        assert_ne!(sk1.decrypt(&ct1), want, "single limb should overflow");
+
+        // double limb: decryption exact
+        let sk2 = RnsSecretKey::generate(&p2, &mut rng);
+        let ct2 = sk2.encrypt(&m, &mut rng).mul_plain_signed(&w, &p2);
+        assert_eq!(sk2.decrypt(&ct2), want);
+        assert!(sk2.noise_budget_bits(&ct2, &want) > 20.0);
+    }
+
+    #[test]
+    fn flash_double_parameters_build() {
+        let p = RnsParams::flash_double();
+        assert_eq!(p.n, 4096);
+        assert_eq!(p.limbs(), 2);
+        assert!(p.q_product() > 1u128 << 76);
+        // distinct primes, both NTT-friendly for the combined congruence
+        let m = p.basis().moduli();
+        assert_ne!(m[0], m[1]);
+        // combined congruence: q ≡ 1 mod max(2N, t) = 2^21
+        for &q in m {
+            assert_eq!(q % (1 << 21), 1);
+        }
+    }
+}

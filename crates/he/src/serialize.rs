@@ -1,0 +1,151 @@
+//! Wire serialization of ciphertexts and polynomials.
+//!
+//! The protocol's communication costs (Cheetah's headline advantage) are
+//! accounted from real byte strings: coefficients are packed
+//! little-endian into `⌈log2 q / 8⌉` bytes each, matching
+//! [`crate::Ciphertext::byte_size`].
+
+use crate::cipher::Ciphertext;
+use crate::poly::Poly;
+use std::fmt;
+
+/// Errors from deserialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer is shorter than the header/payload requires.
+    Truncated,
+    /// A decoded coefficient is not reduced modulo the modulus.
+    CoefficientOutOfRange { index: usize },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "wire buffer truncated"),
+            WireError::CoefficientOutOfRange { index } => {
+                write!(f, "coefficient {index} out of range for modulus")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Bytes per coefficient for a modulus.
+#[inline]
+pub fn coeff_bytes(modulus: u64) -> usize {
+    let bits = 64 - modulus.leading_zeros() as usize;
+    bits.div_ceil(8)
+}
+
+/// Serializes a polynomial's coefficients (the modulus and length travel
+/// in the session context, as in real protocol implementations).
+pub fn poly_to_bytes(p: &Poly) -> Vec<u8> {
+    let cb = coeff_bytes(p.modulus());
+    let mut out = Vec::with_capacity(p.len() * cb);
+    for &c in p.coeffs() {
+        out.extend_from_slice(&c.to_le_bytes()[..cb]);
+    }
+    out
+}
+
+/// Deserializes a polynomial of degree `n` modulo `modulus`.
+///
+/// # Errors
+///
+/// Returns [`WireError`] on truncation or unreduced coefficients.
+pub fn poly_from_bytes(buf: &[u8], n: usize, modulus: u64) -> Result<Poly, WireError> {
+    let cb = coeff_bytes(modulus);
+    if buf.len() < n * cb {
+        return Err(WireError::Truncated);
+    }
+    let mut coeffs = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut le = [0u8; 8];
+        le[..cb].copy_from_slice(&buf[i * cb..(i + 1) * cb]);
+        let c = u64::from_le_bytes(le);
+        if c >= modulus {
+            return Err(WireError::CoefficientOutOfRange { index: i });
+        }
+        coeffs.push(c);
+    }
+    Ok(Poly::from_coeffs(coeffs, modulus))
+}
+
+/// Serializes a ciphertext (`c0 ‖ c1`).
+pub fn ciphertext_to_bytes(ct: &Ciphertext) -> Vec<u8> {
+    let mut out = poly_to_bytes(ct.c0());
+    out.extend(poly_to_bytes(ct.c1()));
+    out
+}
+
+/// Deserializes a ciphertext of degree `n` modulo `q`.
+///
+/// # Errors
+///
+/// Returns [`WireError`] on truncation or unreduced coefficients.
+pub fn ciphertext_from_bytes(buf: &[u8], n: usize, q: u64) -> Result<Ciphertext, WireError> {
+    let half = n * coeff_bytes(q);
+    if buf.len() < 2 * half {
+        return Err(WireError::Truncated);
+    }
+    let c0 = poly_from_bytes(&buf[..half], n, q)?;
+    let c1 = poly_from_bytes(&buf[half..], n, q)?;
+    Ok(Ciphertext::new(c0, c1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::SecretKey;
+    use crate::params::HeParams;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poly_roundtrip() {
+        let p = HeParams::test_256();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let poly = Poly::uniform(p.n, p.q, &mut rng);
+        let bytes = poly_to_bytes(&poly);
+        assert_eq!(bytes.len(), p.n * coeff_bytes(p.q));
+        let back = poly_from_bytes(&bytes, p.n, p.q).unwrap();
+        assert_eq!(back, poly);
+    }
+
+    #[test]
+    fn ciphertext_roundtrip_and_size_matches_accounting() {
+        let p = HeParams::test_256();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let sk = SecretKey::generate(&p, &mut rng);
+        let m = Poly::uniform(p.n, p.t, &mut rng);
+        let ct = sk.encrypt(&m, &mut rng);
+        let bytes = ciphertext_to_bytes(&ct);
+        assert_eq!(bytes.len(), ct.byte_size(), "wire size must match accounting");
+        let back = ciphertext_from_bytes(&bytes, p.n, p.q).unwrap();
+        assert_eq!(back, ct);
+        assert_eq!(sk.decrypt(&back), m);
+    }
+
+    #[test]
+    fn truncated_buffers_rejected() {
+        let p = HeParams::toy();
+        let poly = Poly::zero(p.n, p.q);
+        let bytes = poly_to_bytes(&poly);
+        assert_eq!(
+            poly_from_bytes(&bytes[..bytes.len() - 1], p.n, p.q),
+            Err(WireError::Truncated)
+        );
+    }
+
+    #[test]
+    fn unreduced_coefficients_rejected() {
+        // All-ones bytes decode to a value >= q for a non-power modulus.
+        let p = HeParams::toy();
+        let cb = coeff_bytes(p.q);
+        let bytes = vec![0xFFu8; p.n * cb];
+        assert!(matches!(
+            poly_from_bytes(&bytes, p.n, p.q),
+            Err(WireError::CoefficientOutOfRange { index: 0 })
+        ));
+    }
+}

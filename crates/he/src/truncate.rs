@@ -1,0 +1,159 @@
+//! Response-ciphertext truncation (Cheetah's download compression).
+//!
+//! The masked response ciphertext only needs to survive *one* decryption,
+//! so its low-order coefficient bits — which carry nothing but noise
+//! headroom — can be dropped before download. Dropping `d0` bits of `c0`
+//! adds at most `2^{d0-1}` per coefficient to the noise; dropping `d1`
+//! bits of `c1` adds up to `2^{d1-1}·‖s‖₁` (the error passes through the
+//! `c1·s` product), so `c1` tolerates far less truncation than `c0`.
+
+use crate::cipher::Ciphertext;
+use crate::params::HeParams;
+use crate::poly::Poly;
+
+/// A ciphertext with truncated coefficients, as it travels on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TruncatedCiphertext {
+    /// High bits of `c0` (each coefficient right-shifted by `d0`).
+    c0_high: Vec<u64>,
+    /// High bits of `c1`.
+    c1_high: Vec<u64>,
+    /// Dropped bits of `c0`.
+    pub d0: u32,
+    /// Dropped bits of `c1`.
+    pub d1: u32,
+}
+
+impl TruncatedCiphertext {
+    /// Truncates a ciphertext, rounding each coefficient to the nearest
+    /// multiple of `2^d` (so the reconstruction error is centered).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shift is ≥ the modulus width.
+    pub fn truncate(ct: &Ciphertext, d0: u32, d1: u32, params: &HeParams) -> Self {
+        let q_bits = 64 - params.q.leading_zeros();
+        assert!(d0 < q_bits && d1 < q_bits, "cannot drop the whole coefficient");
+        let round = |c: u64, d: u32| -> u64 {
+            if d == 0 {
+                return c;
+            }
+            // nearest multiple of 2^d, wrapping mod q at the top
+            let half = 1u64 << (d - 1);
+            ((c.wrapping_add(half)) % params.q) >> d
+        };
+        Self {
+            c0_high: ct.c0().coeffs().iter().map(|&c| round(c, d0)).collect(),
+            c1_high: ct.c1().coeffs().iter().map(|&c| round(c, d1)).collect(),
+            d0,
+            d1,
+        }
+    }
+
+    /// Reconstructs a (noisier) ciphertext on the client side.
+    pub fn reconstruct(&self, params: &HeParams) -> Ciphertext {
+        let lift = |high: &[u64], d: u32| -> Poly {
+            Poly::from_coeffs(
+                high.iter().map(|&h| (h << d) % params.q).collect(),
+                params.q,
+            )
+        };
+        Ciphertext::new(lift(&self.c0_high, self.d0), lift(&self.c1_high, self.d1))
+    }
+
+    /// Wire size in bytes: each coefficient packs into
+    /// `⌈(log2 q − d)/8⌉` bytes.
+    pub fn byte_size(&self, params: &HeParams) -> usize {
+        let q_bits = (64 - params.q.leading_zeros()) as usize;
+        let bytes = |d: u32| (q_bits - d as usize).div_ceil(8);
+        self.c0_high.len() * bytes(self.d0) + self.c1_high.len() * bytes(self.d1)
+    }
+
+    /// Worst-case noise added by the truncation: `2^{d0-1}` from `c0`
+    /// plus `2^{d1-1}·‖s‖₁` from `c1` (ternary key: `‖s‖₁ ≤ N`).
+    pub fn noise_bound(&self, params: &HeParams) -> f64 {
+        let e0 = if self.d0 == 0 { 0.0 } else { (2.0f64).powi(self.d0 as i32 - 1) };
+        let e1 = if self.d1 == 0 { 0.0 } else { (2.0f64).powi(self.d1 as i32 - 1) };
+        e0 + e1 * params.n as f64
+    }
+}
+
+/// Picks the largest `(d0, d1)` whose truncation noise stays below
+/// `margin` times the remaining noise budget `budget_abs`.
+pub fn safe_truncation(params: &HeParams, budget_abs: f64, margin: f64) -> (u32, u32) {
+    let target = budget_abs * margin;
+    let mut d0 = 0u32;
+    while (2.0f64).powi(d0 as i32) < target && d0 < 40 {
+        d0 += 1;
+    }
+    d0 = d0.saturating_sub(1);
+    let mut d1 = 0u32;
+    while (2.0f64).powi(d1 as i32) * params.n as f64 / 2.0 < target / 2.0 && d1 < 40 {
+        d1 += 1;
+    }
+    d1 = d1.saturating_sub(1);
+    (d0, d1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::SecretKey;
+    use rand::SeedableRng;
+
+    fn setup() -> (HeParams, SecretKey, Poly, Ciphertext) {
+        let p = HeParams::test_256();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let sk = SecretKey::generate(&p, &mut rng);
+        let m = Poly::uniform(p.n, p.t, &mut rng);
+        let ct = sk.encrypt(&m, &mut rng);
+        (p, sk, m, ct)
+    }
+
+    #[test]
+    fn zero_truncation_is_identity_up_to_packing() {
+        let (p, sk, m, ct) = setup();
+        let t = TruncatedCiphertext::truncate(&ct, 0, 0, &p);
+        let back = t.reconstruct(&p);
+        assert_eq!(sk.decrypt(&back), m);
+        assert_eq!(t.byte_size(&p), ct.byte_size());
+    }
+
+    #[test]
+    fn safe_truncation_preserves_decryption_and_saves_bytes() {
+        let (p, sk, m, ct) = setup();
+        let budget = p.noise_ceiling() as f64 - sk.noise(&ct, &m).inf_norm() as f64;
+        let (d0, d1) = safe_truncation(&p, budget, 0.25);
+        assert!(d0 > 4, "should find real savings: d0={d0}");
+        let t = TruncatedCiphertext::truncate(&ct, d0, d1, &p);
+        let back = t.reconstruct(&p);
+        assert_eq!(sk.decrypt(&back), m, "d0={d0} d1={d1}");
+        let saved = 1.0 - t.byte_size(&p) as f64 / ct.byte_size() as f64;
+        assert!(saved > 0.1, "download shrank by {saved}");
+    }
+
+    #[test]
+    fn truncation_noise_within_bound() {
+        let (p, sk, m, ct) = setup();
+        let before = sk.noise(&ct, &m).inf_norm() as f64;
+        for (d0, d1) in [(4u32, 0u32), (8, 0), (10, 2)] {
+            let t = TruncatedCiphertext::truncate(&ct, d0, d1, &p);
+            let back = t.reconstruct(&p);
+            let after = sk.noise(&back, &m).inf_norm() as f64;
+            assert!(
+                after <= before + t.noise_bound(&p) + 1.0,
+                "d=({d0},{d1}): {after} > {before} + {}",
+                t.noise_bound(&p)
+            );
+        }
+    }
+
+    #[test]
+    fn reckless_truncation_breaks_decryption() {
+        let (p, sk, m, ct) = setup();
+        // dropping 18 bits of c1 injects noise of typical magnitude
+        // 2^17·√N ≫ the q/2t ceiling
+        let t = TruncatedCiphertext::truncate(&ct, 0, 18, &p);
+        assert_ne!(sk.decrypt(&t.reconstruct(&p)), m);
+    }
+}

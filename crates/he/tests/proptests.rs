@@ -1,0 +1,128 @@
+//! Property-based tests for the BFV scheme and the coefficient encoding.
+
+use flash_he::encoding::{direct_conv_stride1, ConvEncoder, ConvShape, TileAlignment};
+use flash_he::matvec::{matvec_reference, MatVecEncoder};
+use flash_he::serialize::{ciphertext_from_bytes, ciphertext_to_bytes};
+use flash_he::{HeParams, Poly, PolyMulBackend, SecretKey};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn encrypt_decrypt_always_roundtrips(seed in any::<u64>()) {
+        let p = HeParams::test_256();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let sk = SecretKey::generate(&p, &mut rng);
+        let m = Poly::uniform(p.n, p.t, &mut rng);
+        let ct = sk.encrypt(&m, &mut rng);
+        prop_assert_eq!(sk.decrypt(&ct), m);
+    }
+
+    #[test]
+    fn homomorphic_add_commutes_with_plain_add(seed in any::<u64>()) {
+        let p = HeParams::test_256();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let sk = SecretKey::generate(&p, &mut rng);
+        let m1 = Poly::uniform(p.n, p.t, &mut rng);
+        let m2 = Poly::uniform(p.n, p.t, &mut rng);
+        let a = sk.encrypt(&m1, &mut rng).add_plain(&m2, &p);
+        let b = sk.encrypt(&m2, &mut rng).add_plain(&m1, &p);
+        prop_assert_eq!(sk.decrypt(&a), sk.decrypt(&b));
+    }
+
+    #[test]
+    fn serialization_roundtrips(seed in any::<u64>()) {
+        let p = HeParams::test_256();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let sk = SecretKey::generate(&p, &mut rng);
+        let m = Poly::uniform(p.n, p.t, &mut rng);
+        let ct = sk.encrypt(&m, &mut rng);
+        let back = ciphertext_from_bytes(&ciphertext_to_bytes(&ct), p.n, p.q).unwrap();
+        prop_assert_eq!(back, ct);
+    }
+
+    #[test]
+    fn ntt_and_fft_backends_always_agree(seed in any::<u64>(), nnz in 1usize..16) {
+        let p = HeParams::test_256();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let a = Poly::uniform(p.n, p.q, &mut rng);
+        let mut w = vec![0i64; p.n];
+        for _ in 0..nnz {
+            let i = rng.gen_range(0..p.n);
+            w[i] = rng.gen_range(-8..8);
+        }
+        let x = PolyMulBackend::Ntt.mul_ct_pt(&a, &w, p.ntt(), p.fft());
+        let y = PolyMulBackend::FftF64.mul_ct_pt(&a, &w, p.ntt(), p.fft());
+        prop_assert_eq!(x, y);
+    }
+
+    #[test]
+    fn conv_encoding_correct_for_random_geometry(
+        c in 1usize..4,
+        h in 3usize..7,
+        w_dim in 3usize..7,
+        k in 1usize..3,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(k <= h && k <= w_dim);
+        let shape = ConvShape { c, h, w: w_dim, m: 2, k };
+        let n = 256usize;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let x: Vec<i64> = (0..shape.input_len()).map(|_| rng.gen_range(-8..8)).collect();
+        let f: Vec<i64> = (0..shape.m * shape.kernel_len()).map(|_| rng.gen_range(-8..8)).collect();
+        let fft = flash_fft::NegacyclicFft::new(n);
+        for align in [TileAlignment::Compact, TileAlignment::PowerOfTwo] {
+            let enc = ConvEncoder::with_alignment(shape, n, align);
+            let acts = enc.encode_activation(&x);
+            let mut y = vec![0i64; shape.output_len()];
+            for oc in 0..shape.m {
+                let wp = enc.encode_weight(&f[oc * shape.kernel_len()..][..shape.kernel_len()], oc);
+                for b in 0..enc.bands() {
+                    let mut acc = vec![0i64; n];
+                    for g in 0..enc.groups() {
+                        for (s, v) in acc
+                            .iter_mut()
+                            .zip(fft.polymul_i64(&acts[g * enc.bands() + b], &wp[g][b]))
+                        {
+                            *s += v as i64;
+                        }
+                    }
+                    enc.decode_band(&acc, b, oc, &mut y);
+                }
+            }
+            prop_assert_eq!(&y, &direct_conv_stride1(&x, &f, &shape), "{:?}", align);
+        }
+    }
+
+    #[test]
+    fn matvec_encoding_correct_for_random_geometry(
+        ni in 1usize..40,
+        no in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let n = 32usize;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let w: Vec<i64> = (0..ni * no).map(|_| rng.gen_range(-8..8)).collect();
+        let x: Vec<i64> = (0..ni).map(|_| rng.gen_range(-8..8)).collect();
+        let enc = MatVecEncoder::new(ni, no, n);
+        let fft = flash_fft::NegacyclicFft::new(n);
+        let xs = enc.encode_vector(&x);
+        let mut y = vec![0i64; no];
+        for rb in 0..enc.row_blocks() {
+            let mut acc = vec![0i64; n];
+            for (cc, xp) in xs.iter().enumerate() {
+                let wp = enc.encode_matrix(&w, rb, cc);
+                for (s, v) in acc.iter_mut().zip(fft.polymul_i64(xp, &wp)) {
+                    *s += v as i64;
+                }
+            }
+            enc.decode_block(&acc, rb, &mut y);
+        }
+        prop_assert_eq!(y, matvec_reference(&w, &x, ni, no));
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests for the RNS (multi-limb) BFV variant.
+
+use flash_he::poly::Poly;
+use flash_he::rns::{RnsCiphertext, RnsParams, RnsSecretKey};
+use flash_math::modular::from_signed;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn params() -> RnsParams {
+    RnsParams::test_double()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn rns_roundtrip_random_messages(seed in any::<u64>()) {
+        let p = params();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let sk = RnsSecretKey::generate(&p, &mut rng);
+        let m = Poly::uniform(p.n, p.t, &mut rng);
+        let ct = sk.encrypt(&m, &mut rng);
+        prop_assert_eq!(sk.decrypt(&ct), m);
+    }
+
+    #[test]
+    fn rns_algebra_matches_plaintext_ring(seed in any::<u64>(), nnz in 1usize..12) {
+        let p = params();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let sk = RnsSecretKey::generate(&p, &mut rng);
+        let m = Poly::uniform(p.n, p.t, &mut rng);
+        let add = Poly::uniform(p.n, p.t, &mut rng);
+        let mut w = vec![0i64; p.n];
+        for _ in 0..nnz {
+            let i = rng.gen_range(0..p.n);
+            w[i] = rng.gen_range(-8..8);
+        }
+        let ct = sk
+            .encrypt(&m, &mut rng)
+            .add_plain(&add, &p)
+            .mul_plain_signed(&w, &p);
+        let w_t: Vec<u64> = w.iter().map(|&x| from_signed(x, p.t)).collect();
+        let want = Poly::from_coeffs(
+            flash_ntt::polymul::negacyclic_mul_naive(m.add(&add).coeffs(), &w_t, p.t),
+            p.t,
+        );
+        prop_assert_eq!(sk.decrypt(&ct), want);
+    }
+
+    #[test]
+    fn rns_ct_addition_associative(seed in any::<u64>()) {
+        let p = params();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let sk = RnsSecretKey::generate(&p, &mut rng);
+        let ms: Vec<Poly> = (0..3).map(|_| Poly::uniform(p.n, p.t, &mut rng)).collect();
+        let cts: Vec<RnsCiphertext> = ms.iter().map(|m| sk.encrypt(m, &mut rng)).collect();
+        let left = cts[0].add_ct(&cts[1]).add_ct(&cts[2]);
+        let right = cts[0].add_ct(&cts[1].add_ct(&cts[2]));
+        prop_assert_eq!(sk.decrypt(&left), sk.decrypt(&right));
+        prop_assert_eq!(sk.decrypt(&left), ms[0].add(&ms[1]).add(&ms[2]));
+    }
+
+    #[test]
+    fn rns_noise_budget_stays_positive_through_hconv_shape(seed in any::<u64>()) {
+        let p = params();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let sk = RnsSecretKey::generate(&p, &mut rng);
+        let m = Poly::uniform(p.n, p.t, &mut rng);
+        let share = Poly::uniform(p.n, p.t, &mut rng);
+        let mut w = vec![0i64; p.n];
+        for i in 0..9 {
+            w[i * 13] = 7 - (i as i64 % 15);
+        }
+        let ct = sk
+            .encrypt(&m, &mut rng)
+            .add_plain(&share, &p)
+            .mul_plain_signed(&w, &p);
+        let w_t: Vec<u64> = w.iter().map(|&x| from_signed(x, p.t)).collect();
+        let want = Poly::from_coeffs(
+            flash_ntt::polymul::negacyclic_mul_naive(m.add(&share).coeffs(), &w_t, p.t),
+            p.t,
+        );
+        prop_assert!(sk.noise_budget_bits(&ct, &want) > 20.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! The FLASH accelerator architecture and its area/power breakdown.
+//!
+//! Figure 6 of the paper: 60 approximate FFT PEs (4 BUs each) carry the
+//! weight transforms; 4 FP PEs (4 BUs each) carry the activation
+//! transforms; arrays of FP multipliers and FP accumulators execute the
+//! point-wise products and channel accumulation. Everything runs at 1 GHz
+//! in 28 nm.
+
+use crate::cost::{CostModel, UnitCost};
+use crate::units::{fp_accumulator, pointwise_fp_mult, twiddle_rom, BuKind};
+
+/// Architecture parameters of a FLASH-like accelerator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlashArch {
+    /// Approximate (weight-transform) PEs.
+    pub approx_pes: u32,
+    /// Butterfly units per approximate PE.
+    pub approx_bus_per_pe: u32,
+    /// The approximate BU flavour.
+    pub approx_bu: BuKind,
+    /// FP (activation-transform) PEs.
+    pub fp_pes: u32,
+    /// Butterfly units per FP PE.
+    pub fp_bus_per_pe: u32,
+    /// Point-wise complex FP multipliers.
+    pub pointwise_muls: u32,
+    /// FP accumulators.
+    pub fp_accs: u32,
+    /// Clock frequency in GHz.
+    pub freq_ghz: f64,
+    /// Ring degree the twiddle ROMs are sized for.
+    pub n: usize,
+}
+
+impl FlashArch {
+    /// The paper's FLASH configuration.
+    pub fn paper_default() -> Self {
+        Self {
+            approx_pes: 60,
+            approx_bus_per_pe: 4,
+            approx_bu: BuKind::flash_approx(),
+            fp_pes: 4,
+            fp_bus_per_pe: 4,
+            pointwise_muls: 128,
+            fp_accs: 128,
+            freq_ghz: 1.0,
+            n: 4096,
+        }
+    }
+
+    /// Total approximate BUs.
+    pub fn approx_bus(&self) -> u32 {
+        self.approx_pes * self.approx_bus_per_pe
+    }
+
+    /// Total FP BUs.
+    pub fn fp_bus(&self) -> u32 {
+        self.fp_pes * self.fp_bus_per_pe
+    }
+
+    /// Area/power breakdown by component (the Figure 12 data).
+    pub fn breakdown(&self, m: &CostModel) -> ArchBreakdown {
+        let k = match self.approx_bu {
+            BuKind::Approx { k, .. } => k,
+            _ => 5,
+        };
+        // Twiddle ROM is shared across the PE array (the twiddle set is
+        // identical for every polynomial, as the paper notes).
+        let approx_bu = self.approx_bu.cost(m) * self.approx_bus() as f64
+            + twiddle_rom(m, self.n as u64 / 2, k, 6);
+        let fp_bu = BuKind::flash_fp().cost(m) * self.fp_bus() as f64;
+        let fp_mul = pointwise_fp_mult(m) * self.pointwise_muls as f64;
+        let fp_acc = fp_accumulator(m) * self.fp_accs as f64;
+        // Buffers: weight spectra stream through the pipeline; only the
+        // activation spectra and point-wise staging are double-buffered
+        // (2 complex polys per FP PE + staging for the multiplier array).
+        let words = (2 * self.fp_pes as u64 + 8) * (self.n as u64 / 2);
+        let buffers = m.memory(words * 96) + m.register(4096);
+        ArchBreakdown {
+            approx_bu,
+            fp_bu,
+            fp_mul,
+            fp_acc,
+            buffers,
+        }
+    }
+
+    /// The weight-transform engine alone (the paper's "Weight transforms"
+    /// row of Table III).
+    pub fn weight_engine_cost(&self, m: &CostModel) -> UnitCost {
+        let k = match self.approx_bu {
+            BuKind::Approx { k, .. } => k,
+            _ => 5,
+        };
+        self.approx_bu.cost(m) * self.approx_bus() as f64
+            + twiddle_rom(m, self.n as u64 / 2, k, 6)
+    }
+
+    /// The complete accelerator (the "All transforms in HConv" row).
+    pub fn total_cost(&self, m: &CostModel) -> UnitCost {
+        self.breakdown(m).total()
+    }
+}
+
+/// Component-level cost breakdown (Figure 12).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArchBreakdown {
+    /// Approximate butterfly units + twiddle ROMs.
+    pub approx_bu: UnitCost,
+    /// FP butterfly units.
+    pub fp_bu: UnitCost,
+    /// Point-wise FP multipliers.
+    pub fp_mul: UnitCost,
+    /// FP accumulators.
+    pub fp_acc: UnitCost,
+    /// Buffers and control.
+    pub buffers: UnitCost,
+}
+
+impl ArchBreakdown {
+    /// Sum over all components.
+    pub fn total(&self) -> UnitCost {
+        self.approx_bu + self.fp_bu + self.fp_mul + self.fp_acc + self.buffers
+    }
+
+    /// `(label, cost)` rows for reporting.
+    pub fn rows(&self) -> Vec<(&'static str, UnitCost)> {
+        vec![
+            ("Approx BU", self.approx_bu),
+            ("FP BU", self.fp_bu),
+            ("FP MUL", self.fp_mul),
+            ("FP ACC", self.fp_acc),
+            ("Buffers+Ctrl", self.buffers),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_arch_shape() {
+        let a = FlashArch::paper_default();
+        assert_eq!(a.approx_bus(), 240);
+        assert_eq!(a.fp_bus(), 16);
+    }
+
+    #[test]
+    fn weight_engine_near_paper_row() {
+        // Table III: weight transforms at 0.74 mm², 0.27 W.
+        let a = FlashArch::paper_default();
+        let m = CostModel::cmos28();
+        let c = a.weight_engine_cost(&m);
+        assert!(
+            (0.4..1.5).contains(&c.area_mm2()),
+            "weight engine area {} mm²",
+            c.area_mm2()
+        );
+        assert!(
+            (0.1..0.6).contains(&c.power_w()),
+            "weight engine power {} W",
+            c.power_w()
+        );
+    }
+
+    #[test]
+    fn total_near_paper_row() {
+        // Table III: all transforms at 4.22 mm², 2.56 W.
+        let a = FlashArch::paper_default();
+        let m = CostModel::cmos28();
+        let c = a.total_cost(&m);
+        assert!(
+            (2.0..7.0).contains(&c.area_mm2()),
+            "total area {} mm²",
+            c.area_mm2()
+        );
+        assert!(
+            (1.2..5.0).contains(&c.power_w()),
+            "total power {} W",
+            c.power_w()
+        );
+    }
+
+    #[test]
+    fn pointwise_dominates_fp_side() {
+        // The paper's observation: point-wise multiplication becomes the
+        // new bottleneck once weight transforms are optimized.
+        let a = FlashArch::paper_default();
+        let m = CostModel::cmos28();
+        let b = a.breakdown(&m);
+        assert!(b.fp_mul.power_mw > b.approx_bu.power_mw);
+        assert!(b.fp_mul.power_mw > b.fp_bu.power_mw);
+        assert!(b.fp_mul.area_um2 > b.fp_acc.area_um2);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let a = FlashArch::paper_default();
+        let m = CostModel::cmos28();
+        let b = a.breakdown(&m);
+        let sum: f64 = b.rows().iter().map(|(_, c)| c.area_um2).sum();
+        assert!((sum - b.total().area_um2).abs() < 1e-6);
+    }
+}

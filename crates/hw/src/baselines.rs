@@ -1,0 +1,187 @@
+//! Published baseline accelerator data (Table III) and the CHAM
+//! performance model used for Table IV.
+
+use crate::throughput::Efficiency;
+
+/// One row of the paper's Table III.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcceleratorRow {
+    /// Accelerator name.
+    pub name: &'static str,
+    /// Ring degree `N` the design targets.
+    pub n: usize,
+    /// Technology node label.
+    pub technology: &'static str,
+    /// Clock frequency in GHz.
+    pub freq_ghz: f64,
+    /// Normalized throughput in MOPS (may be absent for FPGA rows).
+    pub mops: f64,
+    /// Area in mm² (absent for FPGA designs).
+    pub area_mm2: Option<f64>,
+    /// Power in W (absent for FPGA designs).
+    pub power_w: Option<f64>,
+}
+
+impl AcceleratorRow {
+    /// Efficiency metrics when area/power are published.
+    pub fn efficiency(&self) -> Option<Efficiency> {
+        Some(Efficiency {
+            mops: self.mops,
+            area_mm2: self.area_mm2?,
+            power_w: self.power_w?,
+        })
+    }
+}
+
+/// The published baselines of Table III.
+pub fn published_baselines() -> Vec<AcceleratorRow> {
+    vec![
+        AcceleratorRow {
+            name: "HEAX",
+            n: 1 << 12,
+            technology: "FPGA",
+            freq_ghz: 0.3,
+            mops: 1.95,
+            area_mm2: None,
+            power_w: None,
+        },
+        AcceleratorRow {
+            name: "CHAM",
+            n: 1 << 12,
+            technology: "FPGA",
+            freq_ghz: 0.3,
+            mops: 2.93,
+            area_mm2: None,
+            power_w: None,
+        },
+        AcceleratorRow {
+            name: "F1",
+            n: 1 << 14,
+            technology: "14nm/12nm",
+            freq_ghz: 1.0,
+            mops: 583.33,
+            area_mm2: Some(36.32),
+            power_w: Some(76.80),
+        },
+        AcceleratorRow {
+            name: "BTS",
+            n: 1 << 17,
+            technology: "7nm",
+            freq_ghz: 1.2,
+            mops: 200.00,
+            area_mm2: Some(19.45),
+            power_w: Some(24.92),
+        },
+        AcceleratorRow {
+            name: "ARK",
+            n: 1 << 16,
+            technology: "7nm",
+            freq_ghz: 1.0,
+            mops: 333.33,
+            area_mm2: Some(34.90),
+            power_w: Some(39.60),
+        },
+    ]
+}
+
+/// The paper's reported FLASH rows (for regression comparison in the
+/// bench harness).
+pub mod paper_flash_rows {
+    /// Weight transforms: (MOPS, mm², W, MOPS/mm², MOPS/W).
+    pub const WEIGHT: (f64, f64, f64, f64, f64) = (186.34, 0.74, 0.27, 250.23, 688.82);
+    /// All transforms in HConv.
+    pub const ALL: (f64, f64, f64, f64, f64) = (187.90, 4.22, 2.56, 44.54, 73.48);
+}
+
+/// Table IV's published CHAM end-to-end results.
+pub mod paper_table4 {
+    /// (latency ms, accuracy %) for ResNet-18 linear layers on CHAM.
+    pub const CHAM_RESNET18: (f64, f64) = (35.9, 68.45);
+    /// ResNet-50 on CHAM.
+    pub const CHAM_RESNET50: (f64, f64) = (317.26, 74.24);
+    /// FLASH ResNet-18: (latency ms, speedup, accuracy %).
+    pub const FLASH_RESNET18: (f64, f64, f64) = (1.64, 21.84, 68.15);
+    /// FLASH ResNet-50.
+    pub const FLASH_RESNET50: (f64, f64, f64) = (4.96, 64.02, 74.19);
+}
+
+/// A performance model of CHAM for Table IV: the same BU count as FLASH
+/// (60 PEs × 4 modular BUs) at FPGA frequency, running *dense* NTTs of the
+/// full ring degree (no sparsity, no approximation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChamModel {
+    /// Processing elements (matches FLASH's 60).
+    pub pes: u32,
+    /// Modular BUs per PE.
+    pub bus_per_pe: u32,
+    /// FPGA clock in GHz.
+    pub freq_ghz: f64,
+}
+
+impl Default for ChamModel {
+    fn default() -> Self {
+        Self {
+            pes: 60,
+            bus_per_pe: 4,
+            freq_ghz: 0.3,
+        }
+    }
+}
+
+impl ChamModel {
+    /// Cycles for one dense `n`-point NTT on one PE.
+    pub fn ntt_cycles(&self, n: usize) -> u64 {
+        let log = n.trailing_zeros() as u64;
+        (n as u64 / 2 * log).div_ceil(self.bus_per_pe as u64)
+    }
+
+    /// Seconds to run `transforms` dense NTTs of degree `n` across the
+    /// PE array, plus `pointwise` modular MACs (1 per BU-cycle).
+    pub fn latency_s(&self, transforms: u64, n: usize, pointwise: u64) -> f64 {
+        let cyc_ntt = transforms.div_ceil(self.pes as u64) * self.ntt_cycles(n);
+        let cyc_pw = pointwise.div_ceil((self.pes * self.bus_per_pe) as u64);
+        (cyc_ntt + cyc_pw) as f64 / (self.freq_ghz * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_rows_present() {
+        let rows = published_baselines();
+        assert_eq!(rows.len(), 5);
+        let f1 = rows.iter().find(|r| r.name == "F1").unwrap();
+        let e = f1.efficiency().unwrap();
+        assert!((e.area_eff() - 16.06).abs() < 0.05);
+        assert!((e.power_eff() - 7.60).abs() < 0.05);
+        let bts = rows.iter().find(|r| r.name == "BTS").unwrap();
+        let e = bts.efficiency().unwrap();
+        assert!((e.area_eff() - 10.28).abs() < 0.05);
+        assert!((e.power_eff() - 8.03).abs() < 0.05);
+        let ark = rows.iter().find(|r| r.name == "ARK").unwrap();
+        let e = ark.efficiency().unwrap();
+        assert!((e.area_eff() - 9.55).abs() < 0.05);
+        assert!((e.power_eff() - 8.42).abs() < 0.05);
+    }
+
+    #[test]
+    fn fpga_rows_have_no_silicon_metrics() {
+        for r in published_baselines() {
+            if r.technology == "FPGA" {
+                assert!(r.efficiency().is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn cham_model_cycles() {
+        let c = ChamModel::default();
+        // dense 4096-pt NTT: 2048*12/4 = 6144 cycles
+        assert_eq!(c.ntt_cycles(4096), 6144);
+        // 60 transforms in one wave: one NTT time at 300 MHz = 20.5 µs
+        let t = c.latency_s(60, 4096, 0);
+        assert!((t - 6144.0 / 0.3e9).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,373 @@
+//! Unit hardware cost model, calibrated to the paper's Table II.
+//!
+//! All constants are for a commercial 28 nm node at 1 GHz (the paper's
+//! synthesis point); [`TechNode`] rescales results to other nodes using
+//! published logic-density/power factors. Calibration anchors:
+//!
+//! | Unit | Anchor |
+//! |------|--------|
+//! | Approx. FXP complex-by-CSD-twiddle mult, 39 b, k = 5 | 3211 µm², 1.11 mW |
+//! | Complex FP mult, 8+1+39 | 11744 µm², 8.26 mW |
+//! | CHAM modular mult, 39 b @28 nm | 3517 µm², 3.79 mW |
+//! | F1 modular mult, 32 b @14/12 nm | 1817 µm², 4.10 mW |
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul};
+
+/// Area (µm²) and power (mW) of a hardware unit at the model's node and
+/// frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct UnitCost {
+    /// Silicon area in µm².
+    pub area_um2: f64,
+    /// Power in mW at 1 GHz.
+    pub power_mw: f64,
+}
+
+impl UnitCost {
+    /// A zero cost.
+    pub const ZERO: UnitCost = UnitCost {
+        area_um2: 0.0,
+        power_mw: 0.0,
+    };
+
+    /// Creates a cost.
+    pub fn new(area_um2: f64, power_mw: f64) -> Self {
+        Self { area_um2, power_mw }
+    }
+
+    /// Area in mm².
+    pub fn area_mm2(&self) -> f64 {
+        self.area_um2 / 1e6
+    }
+
+    /// Power in W.
+    pub fn power_w(&self) -> f64 {
+        self.power_mw / 1e3
+    }
+
+    /// Energy per clock cycle in pJ (power / frequency at 1 GHz).
+    pub fn energy_per_cycle_pj(&self) -> f64 {
+        self.power_mw // 1 mW @ 1 GHz = 1 pJ/cycle
+    }
+}
+
+impl Add for UnitCost {
+    type Output = UnitCost;
+    fn add(self, rhs: UnitCost) -> UnitCost {
+        UnitCost::new(self.area_um2 + rhs.area_um2, self.power_mw + rhs.power_mw)
+    }
+}
+
+impl AddAssign for UnitCost {
+    fn add_assign(&mut self, rhs: UnitCost) {
+        *self = *self + rhs;
+    }
+}
+
+impl Mul<f64> for UnitCost {
+    type Output = UnitCost;
+    fn mul(self, k: f64) -> UnitCost {
+        UnitCost::new(self.area_um2 * k, self.power_mw * k)
+    }
+}
+
+impl fmt::Display for UnitCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.0} µm², {:.2} mW", self.area_um2, self.power_mw)
+    }
+}
+
+/// Technology node with area/power scaling factors relative to 28 nm
+/// (approximate published logic-density and energy ratios).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechNode {
+    /// Feature size label in nm.
+    pub nm: u32,
+    /// Area multiplier relative to 28 nm.
+    pub area_scale: f64,
+    /// Power multiplier relative to 28 nm (same frequency).
+    pub power_scale: f64,
+}
+
+impl TechNode {
+    /// The model's native 28 nm node.
+    pub fn n28() -> Self {
+        Self { nm: 28, area_scale: 1.0, power_scale: 1.0 }
+    }
+
+    /// 14 nm (≈2.2× density, ≈40 % less power).
+    pub fn n14() -> Self {
+        Self { nm: 14, area_scale: 0.45, power_scale: 0.60 }
+    }
+
+    /// 12 nm.
+    pub fn n12() -> Self {
+        Self { nm: 12, area_scale: 0.40, power_scale: 0.55 }
+    }
+
+    /// 7 nm.
+    pub fn n7() -> Self {
+        Self { nm: 7, area_scale: 0.18, power_scale: 0.35 }
+    }
+
+    /// Rescales a 28 nm cost to this node.
+    pub fn scale(&self, c: UnitCost) -> UnitCost {
+        UnitCost::new(c.area_um2 * self.area_scale, c.power_mw * self.power_scale)
+    }
+}
+
+/// The calibrated 28 nm component cost model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Ripple/CLA adder: µm² per bit.
+    pub add_area: f64,
+    /// Adder power: µW per bit.
+    pub add_power: f64,
+    /// Array multiplier: µm² per bit².
+    pub mult_area: f64,
+    /// Array multiplier power: µW per bit².
+    pub mult_power: f64,
+    /// MUX: µm² per input·bit.
+    pub mux_area: f64,
+    /// MUX power: µW per input·bit.
+    pub mux_power: f64,
+    /// Register: µm² per bit.
+    pub reg_area: f64,
+    /// Register power: µW per bit.
+    pub reg_power: f64,
+    /// FP packaging overhead (exponent datapath, normalization): µm²/bit.
+    pub fp_ovh_area: f64,
+    /// FP packaging overhead power: µW per bit.
+    pub fp_ovh_power: f64,
+    /// Activity factor of modular datapaths (long carry chains toggle
+    /// more than the FP average the multiplier constants were fit on).
+    pub modular_activity: f64,
+    /// SRAM: µm² per bit.
+    pub sram_area: f64,
+    /// SRAM dynamic power: µW per bit (amortized access).
+    pub sram_power: f64,
+}
+
+impl CostModel {
+    /// The calibrated 28 nm / 1 GHz model (see module docs for anchors).
+    pub fn cmos28() -> Self {
+        Self {
+            add_area: 1.5,
+            add_power: 0.9,
+            mult_area: 1.65,
+            mult_power: 1.19,
+            mux_area: 0.813,
+            mux_power: 0.226,
+            reg_area: 0.9,
+            reg_power: 0.35,
+            fp_ovh_area: 20.0,
+            fp_ovh_power: 10.0,
+            modular_activity: 1.6,
+            sram_area: 0.25,
+            sram_power: 0.005,
+        }
+    }
+
+    /// A `bits`-wide adder.
+    pub fn adder(&self, bits: u32) -> UnitCost {
+        UnitCost::new(self.add_area * bits as f64, self.add_power * bits as f64 / 1e3)
+    }
+
+    /// A `b1 × b2` array multiplier.
+    pub fn int_mult(&self, b1: u32, b2: u32) -> UnitCost {
+        let bb = (b1 * b2) as f64;
+        UnitCost::new(self.mult_area * bb, self.mult_power * bb / 1e3)
+    }
+
+    /// An `inputs`-to-1 MUX over a `bits`-wide word.
+    pub fn mux(&self, inputs: u32, bits: u32) -> UnitCost {
+        let ib = (inputs * bits) as f64;
+        UnitCost::new(self.mux_area * ib, self.mux_power * ib / 1e3)
+    }
+
+    /// A `bits`-wide register.
+    pub fn register(&self, bits: u32) -> UnitCost {
+        UnitCost::new(self.reg_area * bits as f64, self.reg_power * bits as f64 / 1e3)
+    }
+
+    /// The complex-by-quantized-twiddle shift-add multiplier of Figure 9:
+    /// `2k` shift MUXes (`mux_inputs`-to-1) and a `2k`-adder tree per
+    /// complex product, on `bits`-wide data. This is Table II's
+    /// "Approx. FXP Mul".
+    pub fn shift_add_complex_mult(&self, bits: u32, k: u32, mux_inputs: u32) -> UnitCost {
+        let taps = 2 * k; // k per real/imaginary twiddle component
+        let mux = self.mux(mux_inputs, bits) * taps as f64;
+        // adder tree: taps adders (tap sums + the final cross add/sub),
+        // slightly widened for carry growth
+        let adders = self.adder(bits + 6) * taps as f64;
+        mux + adders
+    }
+
+    /// A complex floating-point multiplier with `exp` exponent and `mant`
+    /// mantissa bits (4 real mantissa multipliers, 2 wide adders, exponent
+    /// and normalization overhead). Table II's "Complex FP Mul".
+    pub fn complex_fp_mult(&self, exp: u32, mant: u32) -> UnitCost {
+        let m1 = mant + 1; // hidden bit
+        self.int_mult(m1, m1) * 4.0
+            + self.adder(2 * m1) * 2.0
+            + UnitCost::new(
+                self.fp_ovh_area * (exp + mant + 1) as f64,
+                self.fp_ovh_power * (exp + mant + 1) as f64 / 1e3,
+            )
+    }
+
+    /// A floating-point adder (align shifter, mantissa adder, normalize).
+    pub fn fp_adder(&self, exp: u32, mant: u32) -> UnitCost {
+        let m1 = mant + 1;
+        self.adder(m1) * 3.0
+            + self.mux(4, m1) * 2.0
+            + UnitCost::new(
+                self.fp_ovh_area * exp as f64 * 0.5,
+                self.fp_ovh_power * exp as f64 * 0.5 / 1e3,
+            )
+    }
+
+    /// CHAM-style modular multiplier (special moduli with 3 non-zero
+    /// bits): full integer multiplier plus a shift-add reduction of wide
+    /// partial results. Matches Table II's CHAM row.
+    pub fn modular_mult_shiftadd(&self, bits: u32) -> UnitCost {
+        let core = self.int_mult(bits, bits) + self.adder(2 * bits) * 6.0 + self.mux(2, 2 * bits);
+        UnitCost::new(core.area_um2, core.power_mw * self.modular_activity)
+    }
+
+    /// F1-style modular multiplier (optimized Barrett/Montgomery with one
+    /// multiplier stage removed — ≈2.5 multiplier equivalents).
+    pub fn modular_mult_barrett(&self, bits: u32) -> UnitCost {
+        let core = self.int_mult(bits, bits) * 2.5 + self.adder(2 * bits) * 4.0;
+        UnitCost::new(core.area_um2, core.power_mw * self.modular_activity)
+    }
+
+    /// A modular adder (add + conditional subtract).
+    pub fn modular_adder(&self, bits: u32) -> UnitCost {
+        self.adder(bits) * 2.0 + self.mux(2, bits)
+    }
+
+    /// A generic fixed-point complex multiplier (4 array multipliers + 2
+    /// adders) — the datapath of the non-CSD "FXP FFT" ablation point.
+    pub fn complex_fxp_mult(&self, bits: u32) -> UnitCost {
+        self.int_mult(bits, bits) * 4.0 + self.adder(2 * bits) * 2.0
+    }
+
+    /// SRAM/ROM storage cost for `bits` of memory.
+    pub fn memory(&self, bits: u64) -> UnitCost {
+        UnitCost::new(self.sram_area * bits as f64, self.sram_power * bits as f64 / 1e3)
+    }
+}
+
+/// The paper's Table II anchor values for regression tests and the
+/// table-regeneration bench.
+pub mod anchors {
+    use super::UnitCost;
+
+    /// F1's 32-bit modular multiplier at 14/12 nm.
+    pub const F1_MODULAR_32: UnitCost = UnitCost { area_um2: 1817.0, power_mw: 4.10 };
+    /// CHAM's 35/39-bit modular multiplier at 28 nm.
+    pub const CHAM_MODULAR_39: UnitCost = UnitCost { area_um2: 3517.0, power_mw: 3.79 };
+    /// FLASH's complex FP multiplier (8+1+39) at 28 nm.
+    pub const FLASH_FP_COMPLEX: UnitCost = UnitCost { area_um2: 11744.0, power_mw: 8.26 };
+    /// FLASH's approximate FXP multiplier (39 b, k = 5) at 28 nm.
+    pub const FLASH_APPROX_FXP: UnitCost = UnitCost { area_um2: 3211.0, power_mw: 1.11 };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn within(model: UnitCost, anchor: UnitCost, tol: f64) -> bool {
+        (model.area_um2 - anchor.area_um2).abs() / anchor.area_um2 <= tol
+            && (model.power_mw - anchor.power_mw).abs() / anchor.power_mw <= tol
+    }
+
+    #[test]
+    fn approx_fxp_mult_matches_anchor() {
+        let m = CostModel::cmos28();
+        let c = m.shift_add_complex_mult(39, 5, 8);
+        assert!(
+            within(c, anchors::FLASH_APPROX_FXP, 0.10),
+            "model {c} vs anchor {}",
+            anchors::FLASH_APPROX_FXP
+        );
+    }
+
+    #[test]
+    fn complex_fp_mult_matches_anchor() {
+        let m = CostModel::cmos28();
+        let c = m.complex_fp_mult(8, 39);
+        assert!(
+            within(c, anchors::FLASH_FP_COMPLEX, 0.10),
+            "model {c} vs anchor {}",
+            anchors::FLASH_FP_COMPLEX
+        );
+    }
+
+    #[test]
+    fn cham_modular_mult_matches_anchor() {
+        let m = CostModel::cmos28();
+        let c = m.modular_mult_shiftadd(39);
+        assert!(
+            within(c, anchors::CHAM_MODULAR_39, 0.15),
+            "model {c} vs anchor {}",
+            anchors::CHAM_MODULAR_39
+        );
+    }
+
+    #[test]
+    fn f1_modular_mult_in_range() {
+        // Cross-node comparison: stay within 40 % of the published value.
+        let m = CostModel::cmos28();
+        let c = TechNode::n14().scale(m.modular_mult_barrett(32));
+        assert!(
+            within(c, anchors::F1_MODULAR_32, 0.40),
+            "model {c} vs anchor {}",
+            anchors::F1_MODULAR_32
+        );
+    }
+
+    #[test]
+    fn paper_power_ratio_preserved() {
+        // Table II's headline: the k=5 shift-add multiplier is ~3.4x more
+        // power-efficient than CHAM's modular multiplier and ~7.4x better
+        // than the complex FP multiplier.
+        let m = CostModel::cmos28();
+        let approx = m.shift_add_complex_mult(39, 5, 8).power_mw;
+        let cham = m.modular_mult_shiftadd(39).power_mw;
+        let fp = m.complex_fp_mult(8, 39).power_mw;
+        assert!((2.5..4.5).contains(&(cham / approx)), "cham/approx = {}", cham / approx);
+        assert!((6.0..9.0).contains(&(fp / approx)), "fp/approx = {}", fp / approx);
+    }
+
+    #[test]
+    fn costs_scale_monotonically() {
+        let m = CostModel::cmos28();
+        assert!(m.int_mult(32, 32).area_um2 < m.int_mult(64, 64).area_um2);
+        assert!(m.shift_add_complex_mult(39, 5, 8).power_mw < m.shift_add_complex_mult(39, 18, 8).power_mw);
+        assert!(m.adder(16).power_mw < m.adder(64).power_mw);
+        assert!(m.complex_fxp_mult(27).power_mw < m.complex_fxp_mult(39).power_mw);
+    }
+
+    #[test]
+    fn node_scaling() {
+        let c = UnitCost::new(1000.0, 10.0);
+        let s = TechNode::n7().scale(c);
+        assert!(s.area_um2 < 250.0);
+        assert!(s.power_mw < 4.0);
+        assert_eq!(TechNode::n28().scale(c), c);
+    }
+
+    #[test]
+    fn unit_cost_arithmetic() {
+        let a = UnitCost::new(100.0, 1.0);
+        let b = UnitCost::new(50.0, 0.5);
+        let s = a + b * 2.0;
+        assert_eq!(s.area_um2, 200.0);
+        assert_eq!(s.power_mw, 2.0);
+        assert_eq!(s.area_mm2(), 200.0 / 1e6);
+        assert_eq!(s.energy_per_cycle_pj(), 2.0);
+    }
+}

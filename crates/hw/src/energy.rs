@@ -1,0 +1,217 @@
+//! Per-operation and per-layer energy accounting — the substrate of the
+//! ablation study (Figure 11(d)(e)) and the "87 % energy reduction vs F1"
+//! headline.
+//!
+//! Energy is accumulated bottom-up: every counted complex multiplication
+//! (dense or sparse) costs one BU-cycle of the executing unit's energy;
+//! point-wise products and accumulations cost their FP units' energy.
+
+use crate::cost::CostModel;
+use crate::units::{fp_accumulator, pointwise_fp_mult, BuKind};
+
+/// Energy tally of one homomorphic convolution (or one layer), in pJ.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyReport {
+    /// Weight-transform energy.
+    pub weight_pj: f64,
+    /// Activation-transform (forward + inverse) energy.
+    pub act_pj: f64,
+    /// Point-wise multiplication energy.
+    pub pointwise_pj: f64,
+    /// Accumulation energy.
+    pub accum_pj: f64,
+}
+
+impl EnergyReport {
+    /// Total energy in pJ.
+    pub fn total_pj(&self) -> f64 {
+        self.weight_pj + self.act_pj + self.pointwise_pj + self.accum_pj
+    }
+
+    /// Total energy in µJ.
+    pub fn total_uj(&self) -> f64 {
+        self.total_pj() / 1e6
+    }
+
+    /// Element-wise sum.
+    pub fn add(&self, other: &EnergyReport) -> EnergyReport {
+        EnergyReport {
+            weight_pj: self.weight_pj + other.weight_pj,
+            act_pj: self.act_pj + other.act_pj,
+            pointwise_pj: self.pointwise_pj + other.pointwise_pj,
+            accum_pj: self.accum_pj + other.accum_pj,
+        }
+    }
+}
+
+/// An ablation design point: which BU executes weight transforms and
+/// whether the sparse dataflow is enabled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignPoint {
+    /// Human-readable label.
+    pub label: &'static str,
+    /// The weight-transform butterfly unit.
+    pub weight_bu: BuKind,
+    /// Whether skipping/merging is applied to weight transforms.
+    pub sparse: bool,
+}
+
+impl DesignPoint {
+    /// The five bars of Figure 11(d)(e).
+    pub fn ablation_points() -> Vec<DesignPoint> {
+        vec![
+            DesignPoint { label: "FFT (FP)", weight_bu: BuKind::flash_fp(), sparse: false },
+            DesignPoint { label: "FXP FFT", weight_bu: BuKind::fxp27(), sparse: false },
+            DesignPoint { label: "Sparse FFT (FP)", weight_bu: BuKind::flash_fp(), sparse: true },
+            DesignPoint { label: "Approx FFT", weight_bu: BuKind::flash_approx(), sparse: false },
+            DesignPoint { label: "FLASH", weight_bu: BuKind::flash_approx(), sparse: true },
+        ]
+    }
+}
+
+/// Operation counts of one HConv workload (all in complex-op units).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HconvOps {
+    /// Weight-transform multiplications with the *dense* dataflow.
+    pub weight_mults_dense: u64,
+    /// Weight-transform multiplications with the *sparse* dataflow.
+    pub weight_mults_sparse: u64,
+    /// Activation-side transform multiplications (forward + inverse,
+    /// dense; runs on FP BUs).
+    pub act_mults: u64,
+    /// Point-wise complex multiplications.
+    pub pointwise: u64,
+    /// Accumulation additions.
+    pub accums: u64,
+}
+
+/// Computes the energy of one workload at a design point.
+pub fn hconv_energy(ops: &HconvOps, point: &DesignPoint, m: &CostModel) -> EnergyReport {
+    let weight_ops = if point.sparse {
+        ops.weight_mults_sparse
+    } else {
+        ops.weight_mults_dense
+    };
+    let e_weight = point.weight_bu.energy_per_op_pj(m);
+    let e_fp_bu = BuKind::flash_fp().energy_per_op_pj(m);
+    let e_pw = pointwise_fp_mult(m).energy_per_cycle_pj();
+    let e_acc = fp_accumulator(m).energy_per_cycle_pj();
+    EnergyReport {
+        weight_pj: weight_ops as f64 * e_weight,
+        act_pj: ops.act_mults as f64 * e_fp_bu,
+        pointwise_pj: ops.pointwise as f64 * e_pw,
+        accum_pj: ops.accums as f64 * e_acc,
+    }
+}
+
+/// *Chip-level* energy of a workload on F1, derived from its published
+/// efficiency (76.8 W at 583.33 normalized M-transforms/s): the full-chip
+/// energy per unit of transform work, including memories and
+/// interconnect. This is the comparison behind the paper's "87 % energy
+/// reduction" headline (the datapath-only comparison of
+/// [`modular_baseline_energy`] is far smaller, since F1's raw multipliers
+/// are competitive — its overhead is chip-level).
+pub fn f1_chip_energy_uj(transform_work_units: f64) -> f64 {
+    // J per normalized transform = P / throughput.
+    let j_per_transform = 76.8 / 583.33e6;
+    transform_work_units * j_per_transform * 1e6
+}
+
+/// Energy of the same workload on a CHAM-style all-modular *datapath*
+/// (every transform dense on modular BUs, point-wise on modular
+/// multipliers) — the unit-level ablation baseline.
+pub fn modular_baseline_energy(ops: &HconvOps, m: &CostModel) -> EnergyReport {
+    let e_bu = BuKind::cham_modular().energy_per_op_pj(m);
+    let e_mult = m.modular_mult_shiftadd(39).energy_per_cycle_pj();
+    let e_add = m.modular_adder(39).energy_per_cycle_pj();
+    EnergyReport {
+        weight_pj: ops.weight_mults_dense as f64 * e_bu,
+        act_pj: ops.act_mults as f64 * e_bu,
+        pointwise_pj: ops.pointwise as f64 * e_mult,
+        accum_pj: ops.accums as f64 * e_add,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_ops() -> HconvOps {
+        // A ResNet-50-ish layer tile: weight transforms dominate the
+        // dense op count (many output channels), activation shared.
+        HconvOps {
+            weight_mults_dense: 11264 * 64, // 64 weight polys, dense 2048-pt FFT
+            weight_mults_sparse: 1500 * 64, // ~87 % reduced
+            act_mults: 11264 * 4,           // shared activation + inverse
+            pointwise: 2048 * 2 * 64,
+            accums: 2048 * 64,
+        }
+    }
+
+    #[test]
+    fn ablation_ordering_matches_paper() {
+        let m = CostModel::cmos28();
+        let ops = sample_ops();
+        let points = DesignPoint::ablation_points();
+        let weight_energy: Vec<f64> = points
+            .iter()
+            .map(|p| hconv_energy(&ops, p, &m).weight_pj)
+            .collect();
+        let fp = weight_energy[0];
+        let fxp = weight_energy[1];
+        let sparse = weight_energy[2];
+        let approx = weight_energy[3];
+        let flash = weight_energy[4];
+        // each single optimization reduces cost to roughly 10-50 %
+        assert!(fxp < 0.5 * fp, "fxp {fxp} vs fp {fp}");
+        assert!(sparse < 0.2 * fp, "sparse {sparse} vs fp {fp}");
+        assert!(approx < 0.2 * fp, "approx {approx} vs fp {fp}");
+        // combined: about 1-3 % of the FP baseline
+        assert!(flash < 0.05 * fp, "flash {flash} vs fp {fp}");
+        assert!(flash < sparse.min(approx));
+    }
+
+    #[test]
+    fn flash_beats_modular_datapath_baseline() {
+        // Datapath-only view: FLASH's weight-side savings are partially
+        // offset by FP point-wise units, so the unit-level reduction is
+        // moderate; the paper's 87 % headline is the *chip-level*
+        // comparison against F1 (see f1_chip_energy_uj and the
+        // flash-accel crate).
+        let m = CostModel::cmos28();
+        let ops = sample_ops();
+        let flash = hconv_energy(
+            &ops,
+            &DesignPoint { label: "FLASH", weight_bu: BuKind::flash_approx(), sparse: true },
+            &m,
+        );
+        let baseline = modular_baseline_energy(&ops, &m);
+        let reduction = 1.0 - flash.total_pj() / baseline.total_pj();
+        assert!(
+            (0.1..0.97).contains(&reduction),
+            "energy reduction {reduction}"
+        );
+    }
+
+    #[test]
+    fn f1_chip_energy_matches_published_efficiency() {
+        // One normalized transform on F1 costs ~131.6 nJ at chip level.
+        let e = f1_chip_energy_uj(1.0);
+        assert!((e - 0.1316).abs() < 0.001, "e = {e} µJ");
+        // Chip-level F1 energy dwarfs its datapath energy: the gap is the
+        // source of FLASH's headline reduction.
+        let m = CostModel::cmos28();
+        let per_bfly_pj = BuKind::cham_modular().energy_per_op_pj(&m);
+        let datapath_uj = 24576.0 * per_bfly_pj / 1e6;
+        assert!(e > 0.5 * datapath_uj, "chip {e} vs datapath {datapath_uj}");
+    }
+
+    #[test]
+    fn report_arithmetic() {
+        let a = EnergyReport { weight_pj: 1.0, act_pj: 2.0, pointwise_pj: 3.0, accum_pj: 4.0 };
+        assert_eq!(a.total_pj(), 10.0);
+        let b = a.add(&a);
+        assert_eq!(b.total_pj(), 20.0);
+        assert!((a.total_uj() - 1e-5).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,33 @@
+//! Hardware cost, architecture and energy models of FLASH and its
+//! baselines.
+//!
+//! The paper evaluates synthesized RTL (Synopsys DC, 28 nm, 1 GHz) and
+//! estimates DSE candidates with a pre-synthesized LUT of butterfly-unit
+//! costs. We substitute an analytical gate-level model *calibrated to the
+//! paper's own Table II anchors* (see DESIGN.md §3): component constants
+//! are fit so the modular, complex-FP and shift-add multiplier rows
+//! reproduce within a few percent, then every larger structure (butterfly
+//! units, PEs, the full accelerator) composes from those components.
+//!
+//! * [`cost`] — unit cost model (adders, multipliers, muxes, FP units,
+//!   modular multipliers, memories) with technology scaling.
+//! * [`units`] — butterfly-unit and point-wise-unit compositions.
+//! * [`arch`] — the FLASH architecture (60 approximate PEs × 4 BUs +
+//!   4 FP PEs + point-wise FP multipliers/accumulators) and its area/power
+//!   breakdown (Figure 12).
+//! * [`baselines`] — published numbers of HEAX/CHAM/F1/BTS/ARK
+//!   (Table III) and a CHAM performance model for Table IV.
+//! * [`throughput`] — transform-rate normalization (N=4096 NTT ↔ N=2048
+//!   FFT) and MOPS efficiency metrics.
+//! * [`energy`] — per-operation and per-layer energy accounting for the
+//!   ablation studies (Figure 11(d)(e)).
+
+pub mod arch;
+pub mod baselines;
+pub mod cost;
+pub mod energy;
+pub mod throughput;
+pub mod units;
+
+pub use arch::FlashArch;
+pub use cost::{CostModel, UnitCost};

@@ -1,0 +1,101 @@
+//! Transform-rate normalization and efficiency metrics (Table III).
+//!
+//! The paper's "Norm. Throughput" counts transforms per second normalized
+//! to an `N = 4096` NTT or an `N = 2048` complex FFT (the same work by the
+//! fold/twist equivalence). Transforms at other sizes scale by their
+//! `(N/2)·log2 N` butterfly work.
+
+/// The reference work unit: one `N = 4096` NTT (≡ one `N = 2048` FFT).
+pub const REF_NTT_N: usize = 4096;
+
+/// Work of one `n`-point NTT relative to the reference.
+pub fn ntt_work_units(n: usize) -> f64 {
+    let w = |n: usize| (n as f64 / 2.0) * (n as f64).log2();
+    w(n) / w(REF_NTT_N)
+}
+
+/// Work of one negacyclic FFT for ring degree `n` (an `n/2`-point complex
+/// FFT) relative to the reference.
+pub fn fft_work_units(n: usize) -> f64 {
+    let w = |m: usize| (m as f64 / 2.0) * (m as f64).log2();
+    w(n / 2) / w(REF_NTT_N / 2)
+}
+
+/// Mega-transforms per second ("MOPS" in the paper's normalization) from
+/// a per-transform cycle count.
+pub fn mops(transforms_per_sec: f64) -> f64 {
+    transforms_per_sec / 1e6
+}
+
+/// Efficiency metrics of one accelerator configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Efficiency {
+    /// Normalized throughput in MOPS.
+    pub mops: f64,
+    /// Area in mm².
+    pub area_mm2: f64,
+    /// Power in W.
+    pub power_w: f64,
+}
+
+impl Efficiency {
+    /// MOPS per mm².
+    pub fn area_eff(&self) -> f64 {
+        self.mops / self.area_mm2
+    }
+
+    /// MOPS per W.
+    pub fn power_eff(&self) -> f64 {
+        self.mops / self.power_w
+    }
+}
+
+/// Sustained normalized throughput of a PE array: `pes` processing
+/// elements each finishing one transform every `cycles_per_transform`
+/// cycles at `freq_ghz`, with each transform worth `work_units`.
+pub fn array_mops(
+    pes: u32,
+    cycles_per_transform: f64,
+    freq_ghz: f64,
+    work_units: f64,
+) -> f64 {
+    let per_pe = freq_ghz * 1e9 / cycles_per_transform;
+    mops(pes as f64 * per_pe * work_units)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_work_is_unity() {
+        assert!((ntt_work_units(4096) - 1.0).abs() < 1e-12);
+        assert!((fft_work_units(4096) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn work_scales_superlinearly() {
+        assert!(ntt_work_units(8192) > 2.0);
+        assert!(ntt_work_units(2048) < 0.5);
+        // N=2^17 (BTS) is ~45x the reference work
+        let w = ntt_work_units(1 << 17);
+        assert!((40.0..50.0).contains(&w), "w = {w}");
+    }
+
+    #[test]
+    fn efficiency_metrics() {
+        let e = Efficiency { mops: 100.0, area_mm2: 4.0, power_w: 2.0 };
+        assert_eq!(e.area_eff(), 25.0);
+        assert_eq!(e.power_eff(), 50.0);
+    }
+
+    #[test]
+    fn array_throughput() {
+        // 60 PEs, 2838 cycles per dense 2048-point FFT at 1 GHz:
+        let m = array_mops(60, 2838.0, 1.0, 1.0);
+        assert!((20.0..22.5).contains(&m), "mops = {m}");
+        // sparse transforms (~390 cycles) reach the paper's ~186 MOPS
+        let m = array_mops(60, 390.0, 1.0, 1.0);
+        assert!((140.0..170.0).contains(&m), "mops = {m}");
+    }
+}

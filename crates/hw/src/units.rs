@@ -1,0 +1,146 @@
+//! Butterfly units and point-wise units composed from the cost model.
+//!
+//! A butterfly unit (BU) executes one radix-2 butterfly per cycle:
+//! one complex multiplication (`v·ω`) plus a complex add and subtract.
+//! FLASH instantiates three flavours:
+//!
+//! * the **approximate BU** (weight transforms): shift-add complex
+//!   multiplier with CSD twiddles at quantization level `k`;
+//! * the **FP BU** (activation transforms): complex FP multiplier;
+//! * the **modular BU** (baseline NTT datapaths).
+
+use crate::cost::{CostModel, UnitCost};
+
+/// Butterfly-unit flavour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BuKind {
+    /// Shift-add CSD multiplier: `data_bits` wide, `k` terms per twiddle
+    /// component, `mux_inputs`-way shift MUXes.
+    Approx { data_bits: u32, k: u32, mux_inputs: u32 },
+    /// Generic fixed-point complex multiplier (the "FXP FFT" ablation).
+    Fxp { data_bits: u32 },
+    /// Floating point with `exp`/`mant` bits.
+    Fp { exp: u32, mant: u32 },
+    /// Modular (`bits`-wide ciphertext words), CHAM-style multiplier.
+    Modular { bits: u32 },
+}
+
+impl BuKind {
+    /// The FLASH approximate BU operating point (39-bit data, k = 5).
+    pub fn flash_approx() -> Self {
+        BuKind::Approx { data_bits: 39, k: 5, mux_inputs: 8 }
+    }
+
+    /// The FLASH FP BU (8+1+39, enough for exactness vs a 39-bit NTT).
+    pub fn flash_fp() -> Self {
+        BuKind::Fp { exp: 8, mant: 39 }
+    }
+
+    /// The 27-bit FXP ablation point of Figure 5(b).
+    pub fn fxp27() -> Self {
+        BuKind::Fxp { data_bits: 27 }
+    }
+
+    /// CHAM's 39-bit modular BU.
+    pub fn cham_modular() -> Self {
+        BuKind::Modular { bits: 39 }
+    }
+
+    /// Total cost of one butterfly unit.
+    pub fn cost(&self, m: &CostModel) -> UnitCost {
+        match *self {
+            BuKind::Approx { data_bits, k, mux_inputs } => {
+                // complex CSD mult + complex add & sub (4 real adders) +
+                // pipeline registers for the complex pair
+                m.shift_add_complex_mult(data_bits, k, mux_inputs)
+                    + m.adder(data_bits) * 4.0
+                    + m.register(4 * data_bits)
+            }
+            BuKind::Fxp { data_bits } => {
+                m.complex_fxp_mult(data_bits)
+                    + m.adder(data_bits) * 4.0
+                    + m.register(4 * data_bits)
+            }
+            BuKind::Fp { exp, mant } => {
+                m.complex_fp_mult(exp, mant)
+                    + m.fp_adder(exp, mant) * 4.0
+                    + m.register(4 * (exp + mant + 1))
+            }
+            BuKind::Modular { bits } => {
+                m.modular_mult_shiftadd(bits)
+                    + m.modular_adder(bits) * 2.0
+                    + m.register(2 * bits)
+            }
+        }
+    }
+
+    /// Energy of one butterfly (or one multiply-equivalent operation) in
+    /// pJ at 1 GHz.
+    pub fn energy_per_op_pj(&self, m: &CostModel) -> f64 {
+        self.cost(m).energy_per_cycle_pj()
+    }
+}
+
+/// The point-wise multiply unit (complex FP multiplier) of the FLASH
+/// datapath.
+pub fn pointwise_fp_mult(m: &CostModel) -> UnitCost {
+    m.complex_fp_mult(8, 39) + m.register(2 * 48)
+}
+
+/// The FP accumulator unit (complex FP adder + register).
+pub fn fp_accumulator(m: &CostModel) -> UnitCost {
+    m.fp_adder(8, 39) * 2.0 + m.register(2 * 48)
+}
+
+/// Twiddle ROM cost for one approximate PE: `entries` quantized twiddles
+/// of `2k` CSD terms, each term one sign bit + `shift_bits` of shift
+/// select.
+pub fn twiddle_rom(m: &CostModel, entries: u64, k: u32, shift_bits: u32) -> UnitCost {
+    let bits_per_entry = 2 * k * (1 + shift_bits);
+    m.memory(entries * bits_per_entry as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_bu_is_cheapest_per_op() {
+        let m = CostModel::cmos28();
+        let approx = BuKind::flash_approx().energy_per_op_pj(&m);
+        let fp = BuKind::flash_fp().energy_per_op_pj(&m);
+        let modular = BuKind::cham_modular().energy_per_op_pj(&m);
+        let fxp = BuKind::fxp27().energy_per_op_pj(&m);
+        assert!(approx < fxp, "approx {approx} < fxp27 {fxp}");
+        assert!(fxp < fp, "fxp27 {fxp} < fp {fp}");
+        assert!(approx < modular, "approx {approx} < modular {modular}");
+        // the paper's magnitude: FP BU several times the approximate BU
+        assert!(fp / approx > 4.0, "fp/approx = {}", fp / approx);
+    }
+
+    #[test]
+    fn bu_costs_are_positive_and_ordered_in_k() {
+        let m = CostModel::cmos28();
+        let k5 = BuKind::Approx { data_bits: 39, k: 5, mux_inputs: 8 }.cost(&m);
+        let k18 = BuKind::Approx { data_bits: 39, k: 18, mux_inputs: 8 }.cost(&m);
+        assert!(k5.area_um2 > 0.0 && k5.power_mw > 0.0);
+        assert!(k18.power_mw > 2.0 * k5.power_mw, "k18 {k18} vs k5 {k5}");
+    }
+
+    #[test]
+    fn pointwise_and_accumulator_costs() {
+        let m = CostModel::cmos28();
+        let pw = pointwise_fp_mult(&m);
+        let acc = fp_accumulator(&m);
+        assert!(pw.area_um2 > 10_000.0);
+        assert!(acc.area_um2 < pw.area_um2);
+    }
+
+    #[test]
+    fn rom_scales_with_k() {
+        let m = CostModel::cmos28();
+        let small = twiddle_rom(&m, 2048, 5, 6);
+        let big = twiddle_rom(&m, 2048, 18, 6);
+        assert!(big.area_um2 > 3.0 * small.area_um2);
+    }
+}

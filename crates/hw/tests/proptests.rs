@@ -1,0 +1,109 @@
+//! Property-based tests for the hardware cost model: costs must be
+//! positive, monotone in every size parameter, and additive.
+
+use flash_hw::cost::{CostModel, TechNode};
+use flash_hw::energy::{hconv_energy, DesignPoint, HconvOps};
+use flash_hw::throughput::{fft_work_units, ntt_work_units};
+use flash_hw::units::BuKind;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn unit_costs_positive_and_monotone(b1 in 4u32..64, b2 in 4u32..64) {
+        let m = CostModel::cmos28();
+        let c = m.int_mult(b1, b2);
+        prop_assert!(c.area_um2 > 0.0 && c.power_mw > 0.0);
+        let bigger = m.int_mult(b1 + 1, b2 + 1);
+        prop_assert!(bigger.area_um2 > c.area_um2);
+        prop_assert!(m.adder(b1 + 1).area_um2 > m.adder(b1).area_um2);
+    }
+
+    #[test]
+    fn shift_add_monotone_in_k_and_width(bits in 16u32..64, k in 1u32..24) {
+        let m = CostModel::cmos28();
+        let c = m.shift_add_complex_mult(bits, k, 8);
+        let ck = m.shift_add_complex_mult(bits, k + 1, 8);
+        let cw = m.shift_add_complex_mult(bits + 4, k, 8);
+        prop_assert!(ck.power_mw > c.power_mw);
+        prop_assert!(cw.area_um2 > c.area_um2);
+    }
+
+    #[test]
+    fn approx_bu_cheaper_than_fp_bu_at_any_k_below_natural(k in 1u32..12) {
+        let m = CostModel::cmos28();
+        let approx = BuKind::Approx { data_bits: 39, k, mux_inputs: 8 }.cost(&m);
+        let fp = BuKind::flash_fp().cost(&m);
+        prop_assert!(approx.power_mw < fp.power_mw, "k={k}");
+    }
+
+    #[test]
+    fn node_scaling_shrinks_costs(area in 1.0f64..1e6, power in 0.001f64..1e3) {
+        let c = flash_hw::cost::UnitCost::new(area, power);
+        for node in [TechNode::n14(), TechNode::n12(), TechNode::n7()] {
+            let s = node.scale(c);
+            prop_assert!(s.area_um2 < c.area_um2);
+            prop_assert!(s.power_mw < c.power_mw);
+        }
+    }
+
+    #[test]
+    fn work_units_scale_with_n(log_n in 10u32..18) {
+        let n = 1usize << log_n;
+        prop_assert!(ntt_work_units(2 * n) > 2.0 * ntt_work_units(n));
+        prop_assert!(fft_work_units(n) > 0.0);
+    }
+
+    #[test]
+    fn energy_additive_in_ops(
+        w in 1u64..1_000_000,
+        a in 1u64..1_000_000,
+        p in 1u64..1_000_000,
+    ) {
+        let m = CostModel::cmos28();
+        let point = DesignPoint {
+            label: "FLASH",
+            weight_bu: BuKind::flash_approx(),
+            sparse: true,
+        };
+        let ops = HconvOps {
+            weight_mults_dense: 10 * w,
+            weight_mults_sparse: w,
+            act_mults: a,
+            pointwise: p,
+            accums: p,
+        };
+        let double = HconvOps {
+            weight_mults_dense: 20 * w,
+            weight_mults_sparse: 2 * w,
+            act_mults: 2 * a,
+            pointwise: 2 * p,
+            accums: 2 * p,
+        };
+        let e1 = hconv_energy(&ops, &point, &m).total_pj();
+        let e2 = hconv_energy(&double, &point, &m).total_pj();
+        prop_assert!((e2 - 2.0 * e1).abs() < 1e-6 * e2.max(1.0));
+    }
+
+    #[test]
+    fn sparse_never_costs_more_than_dense(w in 1u64..1_000_000) {
+        let m = CostModel::cmos28();
+        let ops = HconvOps {
+            weight_mults_dense: 10 * w,
+            weight_mults_sparse: w,
+            act_mults: 0,
+            pointwise: 0,
+            accums: 0,
+        };
+        let sparse = hconv_energy(
+            &ops,
+            &DesignPoint { label: "s", weight_bu: BuKind::flash_approx(), sparse: true },
+            &m,
+        );
+        let dense = hconv_energy(
+            &ops,
+            &DesignPoint { label: "d", weight_bu: BuKind::flash_approx(), sparse: false },
+            &m,
+        );
+        prop_assert!(sparse.weight_pj <= dense.weight_pj);
+    }
+}

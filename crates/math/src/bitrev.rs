@@ -1,0 +1,108 @@
+//! Bit-reversal permutations.
+//!
+//! Both the NTT and the FFT in this workspace use decimation-in-time
+//! Cooley–Tukey butterflies over bit-reversed inputs, exactly as Figure 3
+//! of the paper. The sparse-dataflow analysis also needs to know where an
+//! encoded coefficient lands after bit-reverse, so the permutation is
+//! exposed as standalone functions.
+
+/// Reverses the lowest `bits` bits of `x`.
+///
+/// # Examples
+///
+/// ```
+/// use flash_math::bitrev::bit_reverse;
+/// // (110)_2 -> (011)_2, the m[6] -> m_br[3] example from the paper.
+/// assert_eq!(bit_reverse(6, 3), 3);
+/// assert_eq!(bit_reverse(1, 4), 8);
+/// ```
+#[inline]
+pub fn bit_reverse(x: usize, bits: u32) -> usize {
+    if bits == 0 {
+        return 0;
+    }
+    x.reverse_bits() >> (usize::BITS - bits)
+}
+
+/// Returns `log2(n)` for a power-of-two `n`.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two.
+#[inline]
+pub fn log2_exact(n: usize) -> u32 {
+    assert!(n.is_power_of_two(), "length {n} must be a power of two");
+    n.trailing_zeros()
+}
+
+/// Permutes `data` in place into bit-reversed order.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+pub fn bit_reverse_permute<T>(data: &mut [T]) {
+    let n = data.len();
+    let bits = log2_exact(n);
+    for i in 0..n {
+        let j = bit_reverse(i, bits);
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+}
+
+/// Returns the bit-reversal permutation as an index table:
+/// `table[i] = bit_reverse(i, log2(n))`.
+pub fn bit_reverse_table(n: usize) -> Vec<usize> {
+    let bits = log2_exact(n);
+    (0..n).map(|i| bit_reverse(i, bits)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reverse_is_involutive() {
+        for bits in 1..16u32 {
+            for x in [0usize, 1, 3, (1 << bits) - 1, (1 << bits) / 2] {
+                let x = x & ((1 << bits) - 1); // involution holds for x < 2^bits
+                assert_eq!(bit_reverse(bit_reverse(x, bits), bits), x);
+            }
+        }
+    }
+
+    #[test]
+    fn known_small_tables() {
+        assert_eq!(bit_reverse_table(8), vec![0, 4, 2, 6, 1, 5, 3, 7]);
+        assert_eq!(bit_reverse_table(4), vec![0, 2, 1, 3]);
+        assert_eq!(bit_reverse_table(1), vec![0]);
+    }
+
+    #[test]
+    fn permute_matches_table() {
+        let n = 32;
+        let mut v: Vec<usize> = (0..n).collect();
+        bit_reverse_permute(&mut v);
+        let t = bit_reverse_table(n);
+        for i in 0..n {
+            assert_eq!(v[i], t[i]);
+        }
+    }
+
+    #[test]
+    fn permute_twice_is_identity() {
+        let mut v: Vec<u32> = (0..64).map(|i| i * 7 + 3).collect();
+        let orig = v.clone();
+        bit_reverse_permute(&mut v);
+        bit_reverse_permute(&mut v);
+        assert_eq!(v, orig);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn permute_rejects_non_power_of_two() {
+        let mut v = [1, 2, 3];
+        bit_reverse_permute(&mut v);
+    }
+}

@@ -1,0 +1,239 @@
+//! A minimal `f64` complex number.
+//!
+//! The workspace deliberately avoids external numeric crates; [`C64`] is
+//! the full-precision reference arithmetic that the fixed-point butterfly
+//! units in [`crate::fixed`] approximate.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// The additive identity.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular coordinates.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Creates `e^{i·theta}` (a point on the unit circle).
+    #[inline]
+    pub fn expi(theta: f64) -> Self {
+        Self {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Creates a complex number from polar coordinates.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Self {
+            re: r * theta.cos(),
+            im: r * theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude `re² + im²`.
+    #[inline]
+    pub fn abs2(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.abs2().sqrt()
+    }
+
+    /// Scales both components by a real factor.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Self {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+
+    /// Multiplication by `i` (free in hardware: swap + negate).
+    #[inline]
+    pub fn mul_i(self) -> Self {
+        Self {
+            re: -self.im,
+            im: self.re,
+        }
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, rhs: C64) -> C64 {
+        C64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: C64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, rhs: C64) -> C64 {
+        C64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for C64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: C64) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        C64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for C64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: C64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, rhs: C64) -> C64 {
+        let d = rhs.abs2();
+        C64::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    #[inline]
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+impl Sum for C64 {
+    fn sum<I: Iterator<Item = C64>>(iter: I) -> C64 {
+        iter.fold(C64::ZERO, |a, b| a + b)
+    }
+}
+
+impl From<f64> for C64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        C64::new(re, 0.0)
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: C64, b: C64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn field_axioms_spotcheck() {
+        let a = C64::new(1.5, -2.0);
+        let b = C64::new(-0.25, 3.0);
+        let c = C64::new(4.0, 4.0);
+        assert!(close(a + b, b + a));
+        assert!(close(a * b, b * a));
+        assert!(close(a * (b + c), a * b + a * c));
+        assert!(close((a / b) * b, a));
+        assert!(close(a + (-a), C64::ZERO));
+    }
+
+    #[test]
+    fn conjugate_and_magnitude() {
+        let a = C64::new(3.0, 4.0);
+        assert_eq!(a.abs(), 5.0);
+        assert!(close(a * a.conj(), C64::new(25.0, 0.0)));
+    }
+
+    #[test]
+    fn expi_is_on_unit_circle() {
+        for k in 0..16 {
+            let t = std::f64::consts::PI * k as f64 / 8.0;
+            let w = C64::expi(t);
+            assert!((w.abs() - 1.0).abs() < 1e-15);
+        }
+        assert!(close(C64::expi(std::f64::consts::PI), C64::new(-1.0, 0.0)));
+    }
+
+    #[test]
+    fn mul_i_matches_multiplication() {
+        let a = C64::new(2.0, -7.0);
+        assert!(close(a.mul_i(), a * C64::I));
+    }
+
+    #[test]
+    fn sum_and_scale() {
+        let xs = [C64::new(1.0, 1.0), C64::new(2.0, -1.0), C64::new(-3.0, 0.5)];
+        let s: C64 = xs.iter().copied().sum();
+        assert!(close(s, C64::new(0.0, 0.5)));
+        assert!(close(s.scale(2.0), C64::new(0.0, 1.0)));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(C64::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(C64::new(1.0, -2.0).to_string(), "1-2i");
+    }
+}

@@ -1,0 +1,277 @@
+//! Canonical-signed-digit (CSD) quantization of twiddle factors.
+//!
+//! FLASH replaces the generic multiplier in the weight-transform butterfly
+//! by a shift-add network: the pre-known twiddle factor is quantized to at
+//! most `k` signed power-of-two terms, so `α × ω` becomes `k` shifted
+//! copies of `α` feeding an adder tree (Figure 9 of the paper). The
+//! quantization level `k` is the paper's main approximation knob
+//! (`k ≈ 18` preserves accuracy without retraining; `k = 5` after
+//! approximation-aware training).
+//!
+//! This module quantizes a real coefficient in `[-2, 2]` greedily into the
+//! nearest `k`-term signed power-of-two sum, evaluates the quantization
+//! error, and applies the shift-add product to integer operands exactly as
+//! the hardware would.
+
+use crate::fixed::Rounding;
+
+/// One signed power-of-two term `± 2^{-shift}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CsdTerm {
+    /// Right-shift amount (0 means the term is `±1`).
+    pub shift: u32,
+    /// Whether the term is subtracted.
+    pub neg: bool,
+}
+
+impl CsdTerm {
+    /// The real value of this term.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        let mag = (0.5f64).powi(self.shift as i32);
+        if self.neg {
+            -mag
+        } else {
+            mag
+        }
+    }
+}
+
+/// A coefficient represented as a sum of signed power-of-two terms.
+///
+/// # Examples
+///
+/// ```
+/// use flash_math::csd::CsdCoeff;
+/// // The paper's example: 21/32 = 2^-1 + 2^-3 + 2^-5.
+/// let c = CsdCoeff::quantize(21.0 / 32.0, 3, 8);
+/// assert_eq!(c.num_terms(), 3);
+/// assert!((c.value() - 21.0 / 32.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CsdCoeff {
+    terms: Vec<CsdTerm>,
+}
+
+impl CsdCoeff {
+    /// The zero coefficient (no terms).
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Greedily quantizes `x` into at most `k` signed power-of-two terms
+    /// with shifts bounded by `max_shift`.
+    ///
+    /// Greedy nearest-power-of-two selection produces the canonical signed
+    /// digit recoding for representable values and a near-optimal
+    /// approximation otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `|x| > 2.0` (twiddle components are in `[-1, 1]`; a small
+    /// margin is allowed for `√2`-style constants).
+    pub fn quantize(x: f64, k: usize, max_shift: u32) -> Self {
+        assert!(x.abs() <= 2.0, "coefficient {x} out of range for CSD");
+        let mut terms = Vec::new();
+        let mut residual = x;
+        let min_mag = (0.5f64).powi(max_shift as i32);
+        for _ in 0..k {
+            if residual == 0.0 {
+                break;
+            }
+            let mag = residual.abs();
+            // A residual at or below half the resolution floor is closer
+            // to zero than to any representable term (the `<=` matters:
+            // a tie would otherwise oscillate between canceling ±2^-max
+            // terms until the k budget is exhausted).
+            if mag <= min_mag / 2.0 {
+                break;
+            }
+            // Value-nearest power of two to |residual| within the shift
+            // budget: between 2^e and 2^{e+1} the arithmetic midpoint is
+            // 1.5·2^e, not the geometric one `log2().round()` would use.
+            let e_low = mag.log2().floor() as i32;
+            let exp = if mag - (2.0f64).powi(e_low) > (2.0f64).powi(e_low + 1) - mag {
+                e_low + 1
+            } else {
+                e_low
+            };
+            let exp = exp.clamp(-(max_shift as i32), 0);
+            let term_mag = (2.0f64).powi(exp);
+            let neg = residual < 0.0;
+            let shift = (-exp) as u32;
+            // Merge with an existing equal term only if signs cancel (should
+            // not happen with greedy selection, but keep the invariant).
+            terms.push(CsdTerm { shift, neg });
+            residual -= if neg { -term_mag } else { term_mag };
+        }
+        Self { terms }
+    }
+
+    /// Quantizes `x` with full precision at `frac_bits` resolution
+    /// (as many terms as the CSD recoding needs). Useful to measure the
+    /// "natural" digit count of a twiddle factor.
+    pub fn quantize_exact(x: f64, frac_bits: u32) -> Self {
+        // More than frac_bits terms can never be required by CSD.
+        Self::quantize(x, frac_bits as usize + 2, frac_bits)
+    }
+
+    /// Number of non-zero terms (the hardware cost driver `k`).
+    #[inline]
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Iterates over the terms.
+    pub fn terms(&self) -> impl Iterator<Item = &CsdTerm> {
+        self.terms.iter()
+    }
+
+    /// The exact real value represented by this coefficient.
+    pub fn value(&self) -> f64 {
+        self.terms.iter().map(|t| t.value()).sum()
+    }
+
+    /// The largest shift used (drives MUX sizing in the paper's Figure 9).
+    pub fn max_shift(&self) -> u32 {
+        self.terms.iter().map(|t| t.shift).max().unwrap_or(0)
+    }
+
+    /// Applies the shift-add product to an integer operand: computes
+    /// `raw × value()` where each term is an arithmetic right shift of
+    /// `raw` with the given rounding, exactly as the hardware adder tree
+    /// does. The result keeps the operand's fraction alignment.
+    pub fn apply_i128(&self, raw: i128, rounding: Rounding) -> i128 {
+        let mut acc = 0i128;
+        for t in &self.terms {
+            let shifted = shift_right(raw, t.shift, rounding);
+            if t.neg {
+                acc -= shifted;
+            } else {
+                acc += shifted;
+            }
+        }
+        acc
+    }
+}
+
+/// Arithmetic right shift with rounding (the per-term rounder in the
+/// shift-add multiplier).
+#[inline]
+fn shift_right(v: i128, shift: u32, rounding: Rounding) -> i128 {
+    if shift == 0 {
+        return v;
+    }
+    let (out, _) = crate::fixed::rescale(v, shift, 0, rounding);
+    out
+}
+
+/// Returns the CSD digit count of `x` at `frac_bits` resolution — the
+/// number of non-zero signed digits in the canonical recoding. This is the
+/// paper's "number of 1s in the binary format" metric `k`.
+pub fn csd_digit_count(x: f64, frac_bits: u32) -> usize {
+    CsdCoeff::quantize_exact(x, frac_bits).num_terms()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_21_over_32() {
+        let c = CsdCoeff::quantize(21.0 / 32.0, 5, 8);
+        // 21/32 = 0.65625 = 0.5 + 0.125 + 0.03125 = 2^-1 + 2^-3 + 2^-5
+        assert_eq!(c.num_terms(), 3);
+        assert!((c.value() - 0.65625).abs() < 1e-15);
+        assert_eq!(c.max_shift(), 5);
+    }
+
+    #[test]
+    fn csd_beats_plain_binary_for_0_9375() {
+        // 15/16 = 0.1111b needs 4 plain-binary ones but CSD gives 1 - 2^-4
+        // = 2 terms.
+        let c = CsdCoeff::quantize(0.9375, 8, 8);
+        assert_eq!(c.num_terms(), 2);
+        assert!((c.value() - 0.9375).abs() < 1e-15);
+    }
+
+    #[test]
+    fn k_truncation_controls_error() {
+        let x = std::f64::consts::FRAC_1_SQRT_2; // cos(pi/4), a real twiddle
+        let mut prev_err = f64::INFINITY;
+        for k in 1..=12 {
+            let c = CsdCoeff::quantize(x, k, 24);
+            let err = (c.value() - x).abs();
+            assert!(err <= prev_err + 1e-18, "error must not grow with k");
+            prev_err = err;
+        }
+        assert!(prev_err < 1e-6, "12-term CSD should be very accurate");
+    }
+
+    #[test]
+    fn negative_and_zero_values() {
+        let c = CsdCoeff::quantize(-0.65625, 5, 8);
+        assert!((c.value() + 0.65625).abs() < 1e-15);
+        let z = CsdCoeff::quantize(0.0, 5, 8);
+        assert_eq!(z.num_terms(), 0);
+        assert_eq!(z.value(), 0.0);
+        assert_eq!(CsdCoeff::zero().apply_i128(12345, Rounding::Truncate), 0);
+    }
+
+    #[test]
+    fn apply_matches_float_product_within_rounding() {
+        let x = 0.598_765;
+        let c = CsdCoeff::quantize(x, 8, 16);
+        let alpha: i128 = 1 << 20;
+        let got = c.apply_i128(alpha, Rounding::NearestEven);
+        let want = (alpha as f64 * c.value()).round() as i128;
+        // Each of the <=8 terms may round by 1/2 LSB.
+        assert!((got - want).abs() <= 8, "got {got} want {want}");
+    }
+
+    #[test]
+    fn apply_exact_for_exact_shifts() {
+        // 0.5 + 0.25: applying to a multiple of 4 is exact.
+        let c = CsdCoeff::quantize(0.75, 4, 4);
+        assert_eq!(c.apply_i128(16, Rounding::Truncate), 12);
+        assert_eq!(c.apply_i128(-16, Rounding::Truncate), -12);
+    }
+
+    #[test]
+    fn digit_count_of_ones_and_powers() {
+        assert_eq!(csd_digit_count(1.0, 16), 1);
+        assert_eq!(csd_digit_count(0.5, 16), 1);
+        assert_eq!(csd_digit_count(0.0, 16), 0);
+        assert_eq!(csd_digit_count(0.75, 16), 2); // 1 - 2^-2
+    }
+
+    #[test]
+    fn resolution_floor_tie_does_not_oscillate() {
+        // A residual exactly at half the resolution floor must terminate
+        // the greedy loop, not emit chains of canceling ±2^-max terms.
+        let c = CsdCoeff::quantize_exact((2.0f64).powi(-21), 20);
+        assert!(c.num_terms() <= 1, "got {} terms", c.num_terms());
+        // and mid-quantization ties must not burn the k budget
+        let c = CsdCoeff::quantize(0.5 + (2.0f64).powi(-21), 3, 20);
+        assert!(c.num_terms() <= 2, "got {} terms", c.num_terms());
+        assert!((c.value() - 0.5).abs() <= (2.0f64).powi(-21) + 1e-18);
+    }
+
+    #[test]
+    fn greedy_picks_value_nearest_power() {
+        // 0.71 lies between 0.5 and 1.0; 0.5 is nearer in value (0.21 vs
+        // 0.29) even though log2 rounding would pick 1.0.
+        let c = CsdCoeff::quantize(0.71, 1, 24);
+        assert_eq!(c.num_terms(), 1);
+        assert!((c.value() - 0.5).abs() < 1e-15, "picked {}", c.value());
+    }
+
+    #[test]
+    fn quantize_error_bounded_by_resolution() {
+        // With unlimited terms, the error is below the shift resolution.
+        for &x in &[0.1, 0.333, 0.7071067811865476, 0.999, -0.45] {
+            let c = CsdCoeff::quantize_exact(x, 20);
+            assert!((c.value() - x).abs() < (0.5f64).powi(19), "x={x}");
+        }
+    }
+}

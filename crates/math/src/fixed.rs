@@ -1,0 +1,372 @@
+//! Parameterized fixed-point arithmetic.
+//!
+//! The approximate FFT datapath in FLASH carries fixed-point values whose
+//! width can differ per butterfly stage (the DSE variable `dw_i`). This
+//! module models such values explicitly: a raw `i128` integer plus a
+//! [`FxpFormat`] describing how many integer and fraction bits the hardware
+//! register holds. Requantization between formats applies a configurable
+//! [`Rounding`] mode and an [`Overflow`] policy, and reports what happened
+//! through [`QuantFlags`] so error models can count rounding and
+//! saturation events.
+//!
+//! A signed format with `int_bits = i` and `frac_bits = f` occupies
+//! `1 + i + f` hardware bits and represents multiples of `2^-f` in
+//! `[-2^i, 2^i)`.
+
+use std::fmt;
+
+/// A signed fixed-point format: `1 + int_bits + frac_bits` hardware bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FxpFormat {
+    /// Number of integer (magnitude) bits, excluding the sign bit.
+    pub int_bits: u32,
+    /// Number of fraction bits.
+    pub frac_bits: u32,
+}
+
+impl FxpFormat {
+    /// Creates a format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total width `1 + int_bits + frac_bits` exceeds 96 bits
+    /// (products must still fit in `i128`).
+    pub fn new(int_bits: u32, frac_bits: u32) -> Self {
+        assert!(
+            1 + int_bits + frac_bits <= 96,
+            "fixed-point format too wide: {}",
+            1 + int_bits + frac_bits
+        );
+        Self {
+            int_bits,
+            frac_bits,
+        }
+    }
+
+    /// Total hardware register width in bits (sign + integer + fraction).
+    #[inline]
+    pub fn total_bits(&self) -> u32 {
+        1 + self.int_bits + self.frac_bits
+    }
+
+    /// The largest representable raw value, `2^(int+frac) - 1`.
+    #[inline]
+    pub fn max_raw(&self) -> i128 {
+        (1i128 << (self.int_bits + self.frac_bits)) - 1
+    }
+
+    /// The smallest representable raw value, `-2^(int+frac)`.
+    #[inline]
+    pub fn min_raw(&self) -> i128 {
+        -(1i128 << (self.int_bits + self.frac_bits))
+    }
+
+    /// The real value of one least-significant bit, `2^-frac_bits`.
+    #[inline]
+    pub fn lsb(&self) -> f64 {
+        (0.5f64).powi(self.frac_bits as i32)
+    }
+}
+
+impl fmt::Display for FxpFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}.{}", self.int_bits, self.frac_bits)
+    }
+}
+
+/// How requantization rounds when fraction bits are dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Rounding {
+    /// Round to nearest, ties to even (default; what a well-designed
+    /// datapath uses).
+    #[default]
+    NearestEven,
+    /// Round to nearest, ties away from zero (cheapest "add half" rounder).
+    NearestAway,
+    /// Truncate toward negative infinity (drop bits — free in hardware).
+    Truncate,
+}
+
+/// What happens when a value exceeds the destination format's range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Overflow {
+    /// Clamp to the representable extremes (saturating arithmetic).
+    #[default]
+    Saturate,
+    /// Wrap modulo the register width (two's-complement overflow).
+    Wrap,
+}
+
+/// Events observed during a requantization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QuantFlags {
+    /// The dropped fraction bits were non-zero (information was lost).
+    pub rounded: bool,
+    /// The value exceeded the representable range.
+    pub overflowed: bool,
+}
+
+/// Accumulated quantization statistics, used by the FFT error model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QuantStats {
+    /// Total requantizations performed.
+    pub total: u64,
+    /// Requantizations that lost fraction bits.
+    pub rounded: u64,
+    /// Requantizations that overflowed the destination range.
+    pub overflowed: u64,
+}
+
+impl QuantStats {
+    /// Creates an empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one requantization outcome.
+    #[inline]
+    pub fn record(&mut self, flags: QuantFlags) {
+        self.total += 1;
+        if flags.rounded {
+            self.rounded += 1;
+        }
+        if flags.overflowed {
+            self.overflowed += 1;
+        }
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: &QuantStats) {
+        self.total += other.total;
+        self.rounded += other.rounded;
+        self.overflowed += other.overflowed;
+    }
+}
+
+/// Rescales a raw value with `from_frac` fraction bits to `to_frac`
+/// fraction bits using the given rounding mode. The output range grows as
+/// needed within `i128`.
+///
+/// # Panics
+///
+/// Panics if an up-shift (`to_frac > from_frac`) would push the value
+/// past `i128` — silent wrap-around here would corrupt the datapath
+/// without setting any overflow flag.
+#[inline]
+pub fn rescale(raw: i128, from_frac: u32, to_frac: u32, rounding: Rounding) -> (i128, bool) {
+    if to_frac >= from_frac {
+        let shift = to_frac - from_frac;
+        if shift == 0 {
+            return (raw, false);
+        }
+        assert!(
+            raw == 0 || shift < 127 && raw.unsigned_abs().leading_zeros() > shift,
+            "rescale up-shift by {shift} overflows i128 for raw {raw}"
+        );
+        return (raw << shift, false);
+    }
+    let shift = from_frac - to_frac;
+    let dropped_mask = (1i128 << shift) - 1;
+    let dropped = raw & dropped_mask;
+    let floor = raw >> shift; // arithmetic shift: floor division
+    if dropped == 0 {
+        return (floor, false);
+    }
+    let half = 1i128 << (shift - 1);
+    let out = match rounding {
+        Rounding::Truncate => floor,
+        Rounding::NearestAway => {
+            // Round half away from zero on the *value*, i.e. half up for
+            // positives, half down for negatives.
+            if raw >= 0 {
+                (raw + half) >> shift
+            } else {
+                -(((-raw) + half) >> shift)
+            }
+        }
+        Rounding::NearestEven => {
+            if dropped > half {
+                floor + 1
+            } else if dropped < half {
+                floor
+            } else if floor & 1 == 1 {
+                floor + 1
+            } else {
+                floor
+            }
+        }
+    };
+    (out, true)
+}
+
+/// Requantizes `raw` (with `from_frac` fraction bits) into format `fmt`,
+/// applying the rounding mode and overflow policy.
+///
+/// Returns the new raw value (with `fmt.frac_bits` fraction bits) and the
+/// observed [`QuantFlags`].
+pub fn requantize(
+    raw: i128,
+    from_frac: u32,
+    fmt: FxpFormat,
+    rounding: Rounding,
+    overflow: Overflow,
+) -> (i128, QuantFlags) {
+    let (mut v, rounded) = rescale(raw, from_frac, fmt.frac_bits, rounding);
+    let mut overflowed = false;
+    if v > fmt.max_raw() || v < fmt.min_raw() {
+        overflowed = true;
+        match overflow {
+            Overflow::Saturate => {
+                v = if v > 0 { fmt.max_raw() } else { fmt.min_raw() };
+            }
+            Overflow::Wrap => {
+                let width = fmt.total_bits();
+                let modulus = 1i128 << width;
+                let mut w = v & (modulus - 1);
+                if w >= modulus / 2 {
+                    w -= modulus;
+                }
+                v = w;
+            }
+        }
+    }
+    (v, QuantFlags { rounded, overflowed })
+}
+
+/// Converts an `f64` into the raw representation of `fmt` (round to
+/// nearest, saturating).
+pub fn from_f64(x: f64, fmt: FxpFormat) -> i128 {
+    let scaled = x * (fmt.frac_bits as f64).exp2();
+    let v = scaled.round_ties_even();
+    // Pre-clamp in f64 only to make the i128 cast safe; the authoritative
+    // clamp happens in integer space (for wide formats, max_raw() as f64
+    // rounds *up* to 2^(int+frac), one past the representable range).
+    let v = v.clamp(-(2.0f64.powi(100)), 2.0f64.powi(100)) as i128;
+    v.clamp(fmt.min_raw(), fmt.max_raw())
+}
+
+/// Converts a raw value with `frac` fraction bits back to `f64`.
+#[inline]
+pub fn to_f64(raw: i128, frac: u32) -> f64 {
+    raw as f64 * (-(frac as f64)).exp2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_ranges() {
+        let fmt = FxpFormat::new(2, 3); // s2.3: 6 bits total
+        assert_eq!(fmt.total_bits(), 6);
+        assert_eq!(fmt.max_raw(), 31);
+        assert_eq!(fmt.min_raw(), -32);
+        assert_eq!(fmt.lsb(), 0.125);
+        assert_eq!(fmt.to_string(), "s2.3");
+    }
+
+    #[test]
+    fn rescale_up_is_exact() {
+        let (v, lost) = rescale(5, 2, 6, Rounding::NearestEven);
+        assert_eq!(v, 5 << 4);
+        assert!(!lost);
+    }
+
+    #[test]
+    fn rescale_down_rounding_modes() {
+        // raw 0b1011 with 2 frac bits = 2.75; dropping both frac bits:
+        assert_eq!(rescale(0b1011, 2, 0, Rounding::Truncate), (2, true));
+        assert_eq!(rescale(0b1011, 2, 0, Rounding::NearestAway), (3, true));
+        assert_eq!(rescale(0b1011, 2, 0, Rounding::NearestEven), (3, true));
+        // exact tie 2.5: even rounds to 2, away rounds to 3.
+        assert_eq!(rescale(0b1010, 2, 0, Rounding::NearestEven), (2, true));
+        assert_eq!(rescale(0b1010, 2, 0, Rounding::NearestAway), (3, true));
+        // tie 3.5: even rounds to 4.
+        assert_eq!(rescale(0b1110, 2, 0, Rounding::NearestEven), (4, true));
+        // negatives: -2.5 -> even -2, away -3; truncate floors to -3.
+        assert_eq!(rescale(-0b1010, 2, 0, Rounding::NearestEven), (-2, true));
+        assert_eq!(rescale(-0b1010, 2, 0, Rounding::NearestAway), (-3, true));
+        assert_eq!(rescale(-0b1010, 2, 0, Rounding::Truncate), (-3, true));
+    }
+
+    #[test]
+    fn requantize_saturates() {
+        let fmt = FxpFormat::new(2, 2); // range raw in [-16, 15]
+        let (v, f) = requantize(100, 2, fmt, Rounding::NearestEven, Overflow::Saturate);
+        assert_eq!(v, 15);
+        assert!(f.overflowed && !f.rounded);
+        let (v, f) = requantize(-100, 2, fmt, Rounding::NearestEven, Overflow::Saturate);
+        assert_eq!(v, -16);
+        assert!(f.overflowed);
+    }
+
+    #[test]
+    fn requantize_wraps_like_twos_complement() {
+        let fmt = FxpFormat::new(2, 2); // 5-bit register, raw range [-16, 15]
+        let (v, f) = requantize(17, 2, fmt, Rounding::NearestEven, Overflow::Wrap);
+        assert_eq!(v, 17 - 32);
+        assert!(f.overflowed);
+        let (v, _) = requantize(-17, 2, fmt, Rounding::NearestEven, Overflow::Wrap);
+        assert_eq!(v, 32 - 17);
+    }
+
+    #[test]
+    fn f64_roundtrip_within_lsb() {
+        let fmt = FxpFormat::new(3, 10);
+        for x in [-7.99, -1.0, -0.123, 0.0, 0.5, 3.14159, 7.9] {
+            let raw = from_f64(x, fmt);
+            let back = to_f64(raw, fmt.frac_bits);
+            assert!((back - x).abs() <= fmt.lsb() / 2.0 + 1e-12, "{x} -> {back}");
+        }
+        // saturation at the rails
+        assert_eq!(from_f64(1e9, fmt), fmt.max_raw());
+        assert_eq!(from_f64(-1e9, fmt), fmt.min_raw());
+    }
+
+    #[test]
+    fn from_f64_saturates_within_range_for_wide_formats() {
+        // (2^54 - 1) as f64 rounds up to 2^54; the clamp must happen in
+        // integer space so saturation never exceeds max_raw().
+        let fmt = FxpFormat::new(24, 30);
+        let v = from_f64(1e9, fmt);
+        assert!(v <= fmt.max_raw(), "{v} > {}", fmt.max_raw());
+        assert_eq!(from_f64(-1e12, fmt), fmt.min_raw());
+    }
+
+    #[test]
+    #[should_panic(expected = "up-shift")]
+    fn rescale_up_shift_overflow_panics_instead_of_wrapping() {
+        let _ = rescale(1i128 << 95, 0, 40, Rounding::NearestEven);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = QuantStats::new();
+        s.record(QuantFlags {
+            rounded: true,
+            overflowed: false,
+        });
+        s.record(QuantFlags {
+            rounded: false,
+            overflowed: true,
+        });
+        let mut t = QuantStats::new();
+        t.merge(&s);
+        t.record(QuantFlags::default());
+        assert_eq!(t.total, 3);
+        assert_eq!(t.rounded, 1);
+        assert_eq!(t.overflowed, 1);
+    }
+
+    #[test]
+    fn rounding_error_bounded_by_half_lsb() {
+        // Exhaustive check on a small format: |quantized - exact| <= lsb/2.
+        let fmt = FxpFormat::new(6, 4);
+        for raw in -4096i128..4096 {
+            let (v, _) = requantize(raw, 8, fmt, Rounding::NearestEven, Overflow::Saturate);
+            let exact = to_f64(raw, 8);
+            let got = to_f64(v, 4);
+            assert!((got - exact).abs() <= fmt.lsb() / 2.0 + 1e-12);
+        }
+    }
+}

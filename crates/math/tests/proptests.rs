@@ -1,0 +1,121 @@
+//! Property-based tests for the numeric foundations.
+
+use flash_math::bitrev::{bit_reverse, bit_reverse_permute};
+use flash_math::csd::CsdCoeff;
+use flash_math::fixed::{requantize, rescale, to_f64, FxpFormat, Overflow, Rounding};
+use flash_math::modular::{
+    add_mod, center_lift, from_signed, inv_mod, mul_mod, pow_mod, sub_mod, Montgomery, Shoup,
+};
+use proptest::prelude::*;
+
+const Q61: u64 = 0x1FFF_FFFF_FFE0_0001;
+const Q30: u64 = 1_073_479_681; // 30-bit NTT prime (≡ 1 mod 8192)
+
+fn residue(q: u64) -> impl Strategy<Value = u64> {
+    (0..q).prop_map(move |x| x)
+}
+
+proptest! {
+    #[test]
+    fn mod_ring_axioms(a in residue(Q61), b in residue(Q61), c in residue(Q61)) {
+        // commutativity + associativity of add/mul, distributivity
+        prop_assert_eq!(add_mod(a, b, Q61), add_mod(b, a, Q61));
+        prop_assert_eq!(mul_mod(a, b, Q61), mul_mod(b, a, Q61));
+        prop_assert_eq!(
+            mul_mod(a, add_mod(b, c, Q61), Q61),
+            add_mod(mul_mod(a, b, Q61), mul_mod(a, c, Q61), Q61)
+        );
+        prop_assert_eq!(sub_mod(add_mod(a, b, Q61), b, Q61), a);
+    }
+
+    #[test]
+    fn pow_fermat_little(a in 1..Q30) {
+        prop_assert_eq!(pow_mod(a, Q30 - 1, Q30), 1);
+    }
+
+    #[test]
+    fn inverse_is_two_sided(a in 1..Q30) {
+        let inv = inv_mod(a, Q30).unwrap();
+        prop_assert_eq!(mul_mod(a, inv, Q30), 1);
+        prop_assert_eq!(mul_mod(inv, a, Q30), 1);
+    }
+
+    #[test]
+    fn montgomery_agrees_with_plain(a in residue(Q61), b in residue(Q61)) {
+        let m = Montgomery::new(Q61).unwrap();
+        let got = m.from_mont(m.mul(m.to_mont(a), m.to_mont(b)));
+        prop_assert_eq!(got, mul_mod(a, b, Q61));
+    }
+
+    #[test]
+    fn shoup_agrees_with_plain(a in residue(Q61), w in residue(Q61)) {
+        let s = Shoup::new(w, Q61);
+        prop_assert_eq!(s.mul(a, Q61), mul_mod(a, w, Q61));
+    }
+
+    #[test]
+    fn center_lift_roundtrips(a in residue(Q30)) {
+        prop_assert_eq!(from_signed(center_lift(a, Q30), Q30), a);
+        prop_assert!(center_lift(a, Q30).unsigned_abs() <= Q30 / 2 + 1);
+    }
+
+    #[test]
+    fn bitrev_involution(bits in 1u32..20, x in any::<usize>()) {
+        let x = x & ((1usize << bits) - 1);
+        prop_assert_eq!(bit_reverse(bit_reverse(x, bits), bits), x);
+    }
+
+    #[test]
+    fn bitrev_permute_involution(log in 1u32..10, seed in any::<u64>()) {
+        let n = 1usize << log;
+        let mut v: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(seed | 1)).collect();
+        let orig = v.clone();
+        bit_reverse_permute(&mut v);
+        bit_reverse_permute(&mut v);
+        prop_assert_eq!(v, orig);
+    }
+
+    #[test]
+    fn rescale_error_bounded(raw in -(1i128 << 40)..(1i128 << 40), from in 0u32..20, to in 0u32..20) {
+        for mode in [Rounding::NearestEven, Rounding::NearestAway, Rounding::Truncate] {
+            let (out, _) = rescale(raw, from, to, mode);
+            let exact = to_f64(raw, from);
+            let got = to_f64(out, to);
+            // Error bounded by one output LSB (half for nearest modes).
+            let lsb = (-(to as f64)).exp2();
+            let bound = match mode {
+                Rounding::Truncate => lsb,
+                _ => lsb / 2.0 + 1e-15,
+            };
+            prop_assert!((got - exact).abs() <= bound, "mode {mode:?}: {got} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn requantize_always_in_range(raw in any::<i64>(), frac in 0u32..30) {
+        let fmt = FxpFormat::new(10, 10);
+        for ovf in [Overflow::Saturate, Overflow::Wrap] {
+            let (v, _) = requantize(raw as i128, frac, fmt, Rounding::NearestEven, ovf);
+            prop_assert!(v >= fmt.min_raw() && v <= fmt.max_raw());
+        }
+    }
+
+    #[test]
+    fn csd_error_shrinks_with_k(x in -1.0f64..1.0) {
+        let mut prev = f64::INFINITY;
+        for k in 1..10usize {
+            let err = (CsdCoeff::quantize(x, k, 20).value() - x).abs();
+            prop_assert!(err <= prev + 1e-15);
+            prev = err;
+        }
+    }
+
+    #[test]
+    fn csd_apply_tracks_value(x in -1.0f64..1.0, alpha in -(1i64 << 30)..(1i64 << 30)) {
+        let c = CsdCoeff::quantize(x, 6, 16);
+        let got = c.apply_i128(alpha as i128, Rounding::NearestEven) as f64;
+        let want = alpha as f64 * c.value();
+        // each of <=6 terms rounds by at most 1/2
+        prop_assert!((got - want).abs() <= 3.5, "{got} vs {want}");
+    }
+}

@@ -1,0 +1,200 @@
+//! Convolution layer specifications and integer reference execution.
+
+use crate::quant::Quantizer;
+use flash_he::encoding::{pad_input, ConvShape};
+use rand::Rng;
+
+/// A convolution layer of a quantized network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConvLayerSpec {
+    /// Human-readable name (e.g. `"layer2.0.conv1"`).
+    pub name: String,
+    /// Input channels.
+    pub c: usize,
+    /// Input height (pre-padding).
+    pub h: usize,
+    /// Input width (pre-padding).
+    pub w: usize,
+    /// Output channels.
+    pub m: usize,
+    /// Kernel size.
+    pub k: usize,
+    /// Stride (1 or 2 in ResNets).
+    pub stride: usize,
+    /// Symmetric zero padding.
+    pub pad: usize,
+}
+
+impl ConvLayerSpec {
+    /// Output height.
+    pub fn out_h(&self) -> usize {
+        (self.h + 2 * self.pad - self.k) / self.stride + 1
+    }
+
+    /// Output width.
+    pub fn out_w(&self) -> usize {
+        (self.w + 2 * self.pad - self.k) / self.stride + 1
+    }
+
+    /// Multiply-accumulates of the cleartext convolution.
+    pub fn macs(&self) -> u64 {
+        (self.m * self.c * self.k * self.k * self.out_h() * self.out_w()) as u64
+    }
+
+    /// Number of weight values.
+    pub fn weight_count(&self) -> usize {
+        self.m * self.c * self.k * self.k
+    }
+
+    /// The padded stride-1 [`ConvShape`] this layer encodes to (stride-2
+    /// layers are first decomposed; see
+    /// [`flash_he::encoding::stride2_decompose`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics for strides other than 1 and 2.
+    pub fn encoded_shape(&self) -> ConvShape {
+        match self.stride {
+            1 => ConvShape {
+                c: self.c,
+                h: self.h + 2 * self.pad,
+                w: self.w + 2 * self.pad,
+                m: self.m,
+                k: self.k,
+            },
+            2 => {
+                let hp = self.h + 2 * self.pad;
+                let wp = self.w + 2 * self.pad;
+                ConvShape {
+                    c: self.c,
+                    h: hp.div_ceil(2),
+                    w: wp.div_ceil(2),
+                    m: self.m,
+                    k: self.k.div_ceil(2),
+                }
+            }
+            s => panic!("unsupported stride {s}"),
+        }
+    }
+
+    /// Samples realistic quantized weights for this layer.
+    pub fn sample_weights<R: Rng>(&self, q: Quantizer, rng: &mut R) -> Vec<i64> {
+        (0..self.weight_count()).map(|_| q.sample(rng)).collect()
+    }
+
+    /// Samples a quantized input activation tensor.
+    pub fn sample_input<R: Rng>(&self, q: Quantizer, rng: &mut R) -> Vec<i64> {
+        (0..self.c * self.h * self.w).map(|_| q.sample(rng)).collect()
+    }
+}
+
+/// Integer reference convolution with stride and padding.
+pub fn conv_reference(x: &[i64], f: &[i64], spec: &ConvLayerSpec) -> Vec<i64> {
+    assert_eq!(x.len(), spec.c * spec.h * spec.w, "input size mismatch");
+    assert_eq!(f.len(), spec.weight_count(), "weight size mismatch");
+    let xp = pad_input(x, spec.c, spec.h, spec.w, spec.pad);
+    let (hp, wp) = (spec.h + 2 * spec.pad, spec.w + 2 * spec.pad);
+    let (oh, ow) = (spec.out_h(), spec.out_w());
+    let mut y = vec![0i64; spec.m * oh * ow];
+    for oc in 0..spec.m {
+        for p in 0..oh {
+            for q in 0..ow {
+                let mut acc = 0i64;
+                for c in 0..spec.c {
+                    for i in 0..spec.k {
+                        for j in 0..spec.k {
+                            let xv = xp[(c * hp + p * spec.stride + i) * wp + q * spec.stride + j];
+                            let fv = f[((oc * spec.c + c) * spec.k + i) * spec.k + j];
+                            acc += xv * fv;
+                        }
+                    }
+                }
+                y[(oc * oh + p) * ow + q] = acc;
+            }
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn spec(c: usize, h: usize, k: usize, stride: usize, pad: usize) -> ConvLayerSpec {
+        ConvLayerSpec {
+            name: "test".into(),
+            c,
+            h,
+            w: h,
+            m: 2,
+            k,
+            stride,
+            pad,
+        }
+    }
+
+    #[test]
+    fn output_dims() {
+        // the classic "same" 3x3: 8x8 stays 8x8
+        let s = spec(1, 8, 3, 1, 1);
+        assert_eq!((s.out_h(), s.out_w()), (8, 8));
+        // stride 2 halves
+        let s = spec(1, 8, 3, 2, 1);
+        assert_eq!((s.out_h(), s.out_w()), (4, 4));
+        // 7x7/2 pad 3 on 224 -> 112 (ResNet conv1)
+        let s = spec(3, 224, 7, 2, 3);
+        assert_eq!(s.out_h(), 112);
+    }
+
+    #[test]
+    fn macs_counting() {
+        let s = spec(4, 8, 3, 1, 1);
+        assert_eq!(s.macs(), (2 * 4 * 9 * 64) as u64);
+    }
+
+    #[test]
+    fn conv_reference_identity_kernel() {
+        // 1x1 kernel of value 1 reproduces the input channel-summed.
+        let s = ConvLayerSpec {
+            name: "id".into(),
+            c: 1,
+            h: 4,
+            w: 4,
+            m: 1,
+            k: 1,
+            stride: 1,
+            pad: 0,
+        };
+        let x: Vec<i64> = (0..16).collect();
+        let y = conv_reference(&x, &[1], &s);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn conv_reference_matches_stride1_oracle() {
+        let s = spec(2, 6, 3, 1, 0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let x = s.sample_input(Quantizer::a4(), &mut rng);
+        let f = s.sample_weights(Quantizer::w4(), &mut rng);
+        let shape = ConvShape { c: 2, h: 6, w: 6, m: 2, k: 3 };
+        assert_eq!(
+            conv_reference(&x, &f, &s),
+            flash_he::encoding::direct_conv_stride1(&x, &f, &shape)
+        );
+    }
+
+    #[test]
+    fn encoded_shape_for_strides() {
+        let s1 = spec(2, 8, 3, 1, 1);
+        assert_eq!(
+            s1.encoded_shape(),
+            ConvShape { c: 2, h: 10, w: 10, m: 2, k: 3 }
+        );
+        let s2 = spec(2, 8, 3, 2, 1);
+        assert_eq!(
+            s2.encoded_shape(),
+            ConvShape { c: 2, h: 5, w: 5, m: 2, k: 2 }
+        );
+    }
+}

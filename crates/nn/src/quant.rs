@@ -1,0 +1,188 @@
+//! Symmetric quantization and re-quantization.
+//!
+//! The hybrid protocol runs over low-bit-width quantized tensors: W4A4
+//! convolutions accumulate into a wide sum-product (SP) which the
+//! *re-quantization* step scales back down to the activation width,
+//! discarding low-order bits — the paper's layer-level error absorption.
+
+use rand::Rng;
+
+/// A symmetric signed quantizer with `bits` of precision
+/// (range `[-2^{bits-1}, 2^{bits-1} - 1]`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantizer {
+    /// Bit width (including sign).
+    pub bits: u32,
+    /// Real-value scale: `real ≈ q · scale`.
+    pub scale: f64,
+}
+
+impl Quantizer {
+    /// The standard 4-bit weight quantizer of a W4A4 network.
+    pub fn w4() -> Self {
+        Self { bits: 4, scale: 1.0 / 8.0 }
+    }
+
+    /// The standard 4-bit activation quantizer.
+    pub fn a4() -> Self {
+        Self { bits: 4, scale: 1.0 / 8.0 }
+    }
+
+    /// Smallest representable value.
+    pub fn min(&self) -> i64 {
+        -(1i64 << (self.bits - 1))
+    }
+
+    /// Largest representable value.
+    pub fn max(&self) -> i64 {
+        (1i64 << (self.bits - 1)) - 1
+    }
+
+    /// Quantizes a real value (round to nearest, clamp).
+    pub fn quantize(&self, x: f64) -> i64 {
+        let q = (x / self.scale).round() as i64;
+        q.clamp(self.min(), self.max())
+    }
+
+    /// Reconstructs the real value.
+    pub fn dequantize(&self, q: i64) -> f64 {
+        q as f64 * self.scale
+    }
+
+    /// Samples a quantized value with a centered, roughly bell-shaped
+    /// distribution (sum of three uniforms), matching the weight/
+    /// activation histograms of trained quantized networks better than a
+    /// flat uniform.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> i64 {
+        let span = self.max() as f64;
+        let x: f64 = (0..3).map(|_| rng.gen_range(-1.0..1.0)).sum::<f64>() / 3.0;
+        ((x * span).round() as i64).clamp(self.min(), self.max())
+    }
+}
+
+/// The re-quantization step of one layer: scale the wide sum-product down
+/// by a power-of-two shift, then clamp into the activation range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Requantizer {
+    /// Right-shift applied to the sum-product.
+    pub shift: u32,
+    /// Output activation bit width.
+    pub out_bits: u32,
+}
+
+impl Requantizer {
+    /// Picks a shift so that `max_sp` maps near the top of the output
+    /// range (how per-layer scales are calibrated in practice).
+    pub fn calibrate(max_sp: i64, out_bits: u32) -> Self {
+        let out_max = (1i64 << (out_bits - 1)) - 1;
+        let mut shift = 0;
+        let mut v = max_sp.abs().max(1);
+        while v > out_max {
+            v >>= 1;
+            shift += 1;
+        }
+        Self { shift, out_bits }
+    }
+
+    /// Re-quantizes one sum-product value (round-to-nearest shift, clamp).
+    pub fn apply(&self, sp: i64) -> i64 {
+        let rounded = if self.shift == 0 {
+            sp
+        } else {
+            let half = 1i64 << (self.shift - 1);
+            // round half away from zero
+            if sp >= 0 {
+                (sp + half) >> self.shift
+            } else {
+                -((-sp + half) >> self.shift)
+            }
+        };
+        let out_max = (1i64 << (self.out_bits - 1)) - 1;
+        rounded.clamp(-out_max - 1, out_max)
+    }
+
+    /// Whether an additive error `err` on the sum-product can change the
+    /// re-quantized output of value `sp` (the layer-level absorption
+    /// predicate).
+    pub fn flips(&self, sp: i64, err: i64) -> bool {
+        self.apply(sp + err) != self.apply(sp)
+    }
+}
+
+/// The maximum possible absolute sum-product of a conv layer:
+/// `C·k² · max|w| · max|x|` — sizes the plaintext modulus `t`.
+pub fn max_sum_product(c: usize, k: usize, w_bits: u32, a_bits: u32) -> i64 {
+    let w_max = 1i64 << (w_bits - 1);
+    let a_max = 1i64 << (a_bits - 1);
+    (c * k * k) as i64 * w_max * a_max
+}
+
+/// The plaintext bit width needed for that sum-product (the paper's "t is
+/// determined by maximum SP bit-width").
+pub fn required_plain_bits(c: usize, k: usize, w_bits: u32, a_bits: u32) -> u32 {
+    64 - (max_sum_product(c, k, w_bits, a_bits) as u64).leading_zeros() + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn quantizer_range_and_roundtrip() {
+        let q = Quantizer::w4();
+        assert_eq!(q.min(), -8);
+        assert_eq!(q.max(), 7);
+        assert_eq!(q.quantize(0.5), 4);
+        assert_eq!(q.quantize(10.0), 7); // clamps
+        assert_eq!(q.quantize(-10.0), -8);
+        assert!((q.dequantize(q.quantize(0.25)) - 0.25).abs() < q.scale / 2.0);
+    }
+
+    #[test]
+    fn samples_stay_in_range_and_center() {
+        let q = Quantizer::a4();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let xs: Vec<i64> = (0..10000).map(|_| q.sample(&mut rng)).collect();
+        assert!(xs.iter().all(|&x| (q.min()..=q.max()).contains(&x)));
+        let mean = xs.iter().sum::<i64>() as f64 / xs.len() as f64;
+        assert!(mean.abs() < 0.2);
+        // bell-shaped: zeros more common than extremes
+        let zeros = xs.iter().filter(|&&x| x == 0).count();
+        let sevens = xs.iter().filter(|&&x| x == 7).count();
+        assert!(zeros > 2 * sevens);
+    }
+
+    #[test]
+    fn requantizer_calibration() {
+        let r = Requantizer::calibrate(9 * 8 * 8 * 64, 4);
+        assert_eq!(r.out_bits, 4);
+        // the max SP maps into range
+        assert!(r.apply(9 * 8 * 8 * 64) <= 7);
+        assert!(r.apply(-9 * 8 * 8 * 64) >= -8);
+        assert_eq!(r.apply(0), 0);
+    }
+
+    #[test]
+    fn small_errors_are_absorbed() {
+        // Layer-level robustness: an error far below half the shift step
+        // rarely changes the output.
+        let r = Requantizer { shift: 10, out_bits: 4 };
+        let mut flips = 0;
+        for sp in (-4000..4000).step_by(17) {
+            if r.flips(sp, 3) {
+                flips += 1;
+            }
+        }
+        assert!(flips < 5, "tiny errors should almost never flip, got {flips}");
+        // Errors comparable to the step always can.
+        assert!(r.flips(511, 1024));
+    }
+
+    #[test]
+    fn sp_bits_for_resnet_layer() {
+        // 3x3 conv over 512 channels at W4A4: SP <= 512*9*8*8, 19 bits + sign
+        let bits = required_plain_bits(512, 3, 4, 4);
+        assert!((19..=21).contains(&bits), "bits = {bits}");
+    }
+}

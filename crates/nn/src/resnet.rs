@@ -1,0 +1,292 @@
+//! Layer tables of ResNet-18 and ResNet-50 (ImageNet geometry).
+//!
+//! Only the linear (convolution + fully-connected) layers matter for the
+//! hybrid protocol — non-linearities run under 2PC. The tables below
+//! enumerate every convolution in execution order with its exact input
+//! geometry, matching torchvision's reference models.
+
+use crate::layers::ConvLayerSpec;
+
+/// A network's linear-layer inventory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Network {
+    /// Model name (`"resnet18"` / `"resnet50"`).
+    pub name: String,
+    /// All convolutions in execution order.
+    pub convs: Vec<ConvLayerSpec>,
+    /// The fully-connected layers `(in_features, out_features)`, in
+    /// execution order (ResNets have one; VGG has three).
+    pub fcs: Vec<(usize, usize)>,
+}
+
+impl Network {
+    /// Total cleartext MACs over all conv layers.
+    pub fn total_macs(&self) -> u64 {
+        self.convs.iter().map(|l| l.macs()).sum::<u64>()
+            + self.fcs.iter().map(|&(i, o)| (i * o) as u64).sum::<u64>()
+    }
+
+    /// Looks a layer up by (1-based) index, the numbering used by the
+    /// paper's "layer 28 / layer 41 of ResNet-50".
+    pub fn layer(&self, index_1based: usize) -> &ConvLayerSpec {
+        &self.convs[index_1based - 1]
+    }
+}
+
+fn conv(name: String, c: usize, h: usize, m: usize, k: usize, stride: usize, pad: usize) -> ConvLayerSpec {
+    ConvLayerSpec {
+        name,
+        c,
+        h,
+        w: h,
+        m,
+        k,
+        stride,
+        pad,
+    }
+}
+
+/// The convolution layers of ResNet-18.
+pub fn resnet18_conv_layers() -> Network {
+    let mut v = Vec::new();
+    v.push(conv("conv1".into(), 3, 224, 64, 7, 2, 3));
+    // After 3x3/2 max-pool: 56x56.
+    let stages = [
+        (64usize, 64usize, 56usize, 1usize), // layer1
+        (64, 128, 56, 2),                    // layer2 (input H of first conv)
+        (128, 256, 28, 2),                   // layer3
+        (256, 512, 14, 2),                   // layer4
+    ];
+    for (si, &(c_in, c_out, h_in, first_stride)) in stages.iter().enumerate() {
+        let stage = si + 1;
+        for block in 0..2 {
+            let (bc, bh, bs) = if block == 0 {
+                (c_in, h_in, first_stride)
+            } else {
+                (c_out, h_in / first_stride, 1)
+            };
+            v.push(conv(format!("layer{stage}.{block}.conv1"), bc, bh, c_out, 3, bs, 1));
+            v.push(conv(
+                format!("layer{stage}.{block}.conv2"),
+                c_out,
+                h_in / first_stride,
+                c_out,
+                3,
+                1,
+                1,
+            ));
+            if block == 0 && (first_stride != 1 || c_in != c_out) {
+                v.push(conv(
+                    format!("layer{stage}.{block}.downsample"),
+                    c_in,
+                    h_in,
+                    c_out,
+                    1,
+                    first_stride,
+                    0,
+                ));
+            }
+        }
+    }
+    Network {
+        name: "resnet18".into(),
+        convs: v,
+        fcs: vec![(512, 1000)],
+    }
+}
+
+/// The convolution layers of ResNet-50 (bottleneck blocks, stride on the
+/// 3×3 as in torchvision).
+pub fn resnet50_conv_layers() -> Network {
+    let mut v = Vec::new();
+    v.push(conv("conv1".into(), 3, 224, 64, 7, 2, 3));
+    let stages = [
+        (256usize, 64usize, 56usize, 3usize, 1usize), // layer1: in 64 (after pool)
+        (512, 128, 56, 4, 2),                         // layer2
+        (1024, 256, 28, 6, 2),                        // layer3
+        (2048, 512, 14, 3, 2),                        // layer4
+    ];
+    let mut c_in = 64; // channels entering the stage
+    for (si, &(c_out, width, h_in, blocks, first_stride)) in stages.iter().enumerate() {
+        let stage = si + 1;
+        for block in 0..blocks {
+            let (bc, bh, bs) = if block == 0 {
+                (c_in, h_in, first_stride)
+            } else {
+                (c_out, h_in / first_stride, 1)
+            };
+            let h_mid = bh; // 1x1 keeps dims
+            v.push(conv(format!("layer{stage}.{block}.conv1"), bc, bh, width, 1, 1, 0));
+            v.push(conv(format!("layer{stage}.{block}.conv2"), width, h_mid, width, 3, bs, 1));
+            v.push(conv(
+                format!("layer{stage}.{block}.conv3"),
+                width,
+                h_in / first_stride,
+                c_out,
+                1,
+                1,
+                0,
+            ));
+            if block == 0 {
+                v.push(conv(
+                    format!("layer{stage}.{block}.downsample"),
+                    bc,
+                    bh,
+                    c_out,
+                    1,
+                    bs,
+                    0,
+                ));
+            }
+        }
+        c_in = c_out;
+    }
+    Network {
+        name: "resnet50".into(),
+        convs: v,
+        fcs: vec![(2048, 1000)],
+    }
+}
+
+/// The convolution layers of VGG-16 — not evaluated by the paper, but a
+/// useful stress case: all-3×3, no 1×1 layers, and a three-layer
+/// classifier head, so the sparse dataflow sees only its harder pattern
+/// class.
+pub fn vgg16_conv_layers() -> Network {
+    let cfg: [(usize, usize, usize, usize); 13] = [
+        (3, 64, 224, 1),
+        (64, 64, 224, 1),
+        (64, 128, 112, 2),
+        (128, 128, 112, 2),
+        (128, 256, 56, 3),
+        (256, 256, 56, 3),
+        (256, 256, 56, 3),
+        (256, 512, 28, 4),
+        (512, 512, 28, 4),
+        (512, 512, 28, 4),
+        (512, 512, 14, 5),
+        (512, 512, 14, 5),
+        (512, 512, 14, 5),
+    ];
+    let mut block_idx = vec![0usize; 6];
+    let convs = cfg
+        .iter()
+        .map(|&(c, m, h, stage)| {
+            block_idx[stage] += 1;
+            conv(format!("conv{stage}_{}", block_idx[stage]), c, h, m, 3, 1, 1)
+        })
+        .collect();
+    Network {
+        name: "vgg16".into(),
+        convs,
+        fcs: vec![(512 * 7 * 7, 4096), (4096, 4096), (4096, 1000)],
+    }
+}
+
+/// The three convolutions of one ResNet-50 stage-1 residual block
+/// (the Figure-1 profiling workload).
+pub fn resnet50_residual_block() -> Vec<ConvLayerSpec> {
+    vec![
+        conv("block.conv1".into(), 256, 56, 64, 1, 1, 0),
+        conv("block.conv2".into(), 64, 56, 64, 3, 1, 1),
+        conv("block.conv3".into(), 64, 56, 256, 1, 1, 0),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet18_inventory() {
+        let net = resnet18_conv_layers();
+        // 1 stem + 4 stages x (2 blocks x 2 convs) + 3 downsamples = 20
+        assert_eq!(net.convs.len(), 20);
+        assert_eq!(net.convs[0].out_h(), 112);
+        // last conv operates at 7x7 on 512 channels
+        let last = net.convs.last().unwrap();
+        assert_eq!(last.h, 7);
+        assert_eq!(last.m, 512);
+        // total macs ~ 1.8 GMACs for ResNet-18
+        let g = net.total_macs() as f64 / 1e9;
+        assert!((1.5..2.2).contains(&g), "GMACs = {g}");
+    }
+
+    #[test]
+    fn resnet50_inventory() {
+        let net = resnet50_conv_layers();
+        // 1 stem + 3*(3)+1 + 4*3+1 + 6*3+1 + 3*3+1 = 53
+        assert_eq!(net.convs.len(), 53);
+        // total macs ~ 4.1 GMACs for ResNet-50
+        let g = net.total_macs() as f64 / 1e9;
+        assert!((3.5..4.5).contains(&g), "GMACs = {g}");
+        // the paper's H = W = 56 (58 padded), k = 3 layers exist
+        assert!(net
+            .convs
+            .iter()
+            .any(|l| l.h == 56 && l.k == 3 && l.stride == 1 && l.pad == 1));
+    }
+
+    #[test]
+    fn resnet50_channel_flow_is_consistent() {
+        let net = resnet50_conv_layers();
+        // every 3x3 conv has matching in/out widths within its block
+        for l in &net.convs {
+            if l.name.ends_with("conv2") {
+                assert_eq!(l.c, l.m, "{}", l.name);
+            }
+        }
+        // stage outputs: 256, 512, 1024, 2048
+        assert!(net.convs.iter().any(|l| l.m == 2048));
+        assert_eq!(net.fcs, vec![(2048, 1000)]);
+    }
+
+    #[test]
+    fn paper_reference_layers_exist() {
+        let net = resnet50_conv_layers();
+        let l28 = net.layer(28);
+        let l41 = net.layer(41);
+        // both are mid/late-network layers at 28x28 or 14x14
+        assert!(l28.h == 28 || l28.h == 14, "layer 28 at H={}", l28.h);
+        assert!(l41.h == 14 || l41.h == 28, "layer 41 at H={}", l41.h);
+    }
+
+    #[test]
+    fn vgg16_inventory() {
+        let net = vgg16_conv_layers();
+        assert_eq!(net.convs.len(), 13);
+        assert!(net.convs.iter().all(|l| l.k == 3 && l.stride == 1));
+        // ~15.3 GMACs of convolution + 123M of FC
+        let g = net.total_macs() as f64 / 1e9;
+        assert!((14.0..17.0).contains(&g), "GMACs = {g}");
+        assert_eq!(net.fcs.len(), 3);
+        assert_eq!(net.fcs[0], (25088, 4096));
+        // channel flow chains
+        for w in net.convs.windows(2) {
+            assert_eq!(w[0].m, w[1].c, "{} -> {}", w[0].name, w[1].name);
+        }
+    }
+
+    #[test]
+    fn residual_block_shapes_chain() {
+        let block = resnet50_residual_block();
+        assert_eq!(block[0].m, block[1].c);
+        assert_eq!(block[1].m, block[2].c);
+        assert_eq!(block[2].m, 256);
+        for l in &block {
+            assert_eq!(l.out_h(), 56);
+        }
+    }
+
+    #[test]
+    fn downsample_dimensions() {
+        let net = resnet18_conv_layers();
+        let ds: Vec<_> = net.convs.iter().filter(|l| l.name.contains("downsample")).collect();
+        assert_eq!(ds.len(), 3);
+        for d in ds {
+            assert_eq!(d.k, 1);
+            assert_eq!(d.stride, 2);
+            assert_eq!(d.m, 2 * d.c);
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! A small synthetic CNN for *measured* end-to-end robustness.
+//!
+//! The margin model in [`crate::robustness`] is a calibrated proxy; this
+//! module complements it with a direct experiment: build a random W4A4
+//! CNN, label inputs by the exact network's own argmax (so the "task" is
+//! perfectly learnable by construction), then re-run inference with
+//! HConv-level errors injected at every convolution and measure how often
+//! the argmax survives — the network-level robustness of Section III-A,
+//! observed rather than modeled.
+
+use crate::layers::{conv_reference, ConvLayerSpec};
+use crate::quant::{Quantizer, Requantizer};
+use flash_he::matvec::matvec_reference;
+use rand::Rng;
+
+/// A fixed random quantized CNN: a few conv layers, global average
+/// pooling, one FC classifier.
+#[derive(Debug, Clone)]
+pub struct SyntheticCnn {
+    layers: Vec<ConvLayerSpec>,
+    weights: Vec<Vec<i64>>,
+    requants: Vec<Requantizer>,
+    fc: (usize, usize),
+    fc_weights: Vec<i64>,
+}
+
+impl SyntheticCnn {
+    /// Builds a CNN with the given conv specs (channel flow must chain)
+    /// and `classes` outputs, calibrating each re-quantizer on random
+    /// data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if consecutive layer channels do not chain.
+    pub fn generate<R: Rng>(layers: Vec<ConvLayerSpec>, classes: usize, rng: &mut R) -> Self {
+        for w in layers.windows(2) {
+            assert_eq!(w[0].m, w[1].c, "channel flow must chain");
+        }
+        let wq = Quantizer::w4();
+        let weights: Vec<Vec<i64>> = layers.iter().map(|l| l.sample_weights(wq, rng)).collect();
+        // calibrate requantizers with one random forward pass
+        let mut requants = Vec::with_capacity(layers.len());
+        let mut x = layers[0].sample_input(Quantizer::a4(), rng);
+        for (l, w) in layers.iter().zip(&weights) {
+            let y = conv_reference(&x, w, l);
+            let max_sp = y.iter().map(|v| v.abs()).max().unwrap_or(1).max(1);
+            let rq = Requantizer::calibrate(max_sp, 4);
+            x = y.iter().map(|&v| rq.apply(v)).collect();
+            requants.push(rq);
+        }
+        let last = layers.last().expect("at least one layer");
+        let fc_in = last.m; // after global average pooling
+        let fc_weights = (0..classes * fc_in).map(|_| wq.sample(rng)).collect();
+        Self {
+            layers,
+            weights,
+            requants,
+            fc: (fc_in, classes),
+            fc_weights,
+        }
+    }
+
+    /// The input tensor size.
+    pub fn input_len(&self) -> usize {
+        let l = &self.layers[0];
+        l.c * l.h * l.w
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.fc.1
+    }
+
+    /// Exact integer inference; returns the logits.
+    pub fn logits(&self, x: &[i64]) -> Vec<i64> {
+        self.logits_with_errors(x, &vec![0.0; self.layers.len()], &mut NoRng)
+    }
+
+    /// Inference with zero-mean Gaussian errors of the given per-layer
+    /// standard deviation injected into every conv sum-product (the
+    /// decrypted HConv error of the approximate datapath).
+    pub fn logits_with_errors<R: Rng>(
+        &self,
+        x: &[i64],
+        error_std: &[f64],
+        rng: &mut R,
+    ) -> Vec<i64> {
+        assert_eq!(x.len(), self.input_len(), "input size mismatch");
+        assert_eq!(error_std.len(), self.layers.len(), "one std per layer");
+        let mut act = x.to_vec();
+        for ((l, w), (rq, &std)) in self
+            .layers
+            .iter()
+            .zip(&self.weights)
+            .zip(self.requants.iter().zip(error_std))
+        {
+            let mut y = conv_reference(&act, w, l);
+            if std > 0.0 {
+                for v in y.iter_mut() {
+                    *v += gaussian(rng, std).round() as i64;
+                }
+            }
+            // ReLU + requantize (the 2PC non-linear stage)
+            act = y.iter().map(|&v| rq.apply(v.max(0))).collect();
+        }
+        // global average pooling per channel
+        let last = self.layers.last().unwrap();
+        let spatial = last.out_h() * last.out_w();
+        let pooled: Vec<i64> = (0..last.m)
+            .map(|c| act[c * spatial..(c + 1) * spatial].iter().sum::<i64>() / spatial as i64)
+            .collect();
+        matvec_reference(&self.fc_weights, &pooled, self.fc.0, self.fc.1)
+    }
+
+    /// Top-1 class of the logits.
+    pub fn argmax(logits: &[i64]) -> usize {
+        logits
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, v)| *v)
+            .map(|(i, _)| i)
+            .expect("non-empty logits")
+    }
+
+    /// Measures argmax agreement between exact and error-injected
+    /// inference over `samples` random inputs.
+    pub fn agreement<R: Rng>(&self, error_std: &[f64], samples: usize, rng: &mut R) -> f64 {
+        let aq = Quantizer::a4();
+        let mut agree = 0usize;
+        for _ in 0..samples {
+            let x: Vec<i64> = (0..self.input_len()).map(|_| aq.sample(rng)).collect();
+            let exact = Self::argmax(&self.logits(&x));
+            let noisy = Self::argmax(&self.logits_with_errors(&x, error_std, rng));
+            if exact == noisy {
+                agree += 1;
+            }
+        }
+        agree as f64 / samples as f64
+    }
+}
+
+fn gaussian<R: Rng>(rng: &mut R, std: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos() * std
+}
+
+/// A deterministic RNG stub for the zero-error path.
+struct NoRng;
+
+impl rand::RngCore for NoRng {
+    fn next_u32(&mut self) -> u32 {
+        unreachable!("zero-error path must not sample")
+    }
+    fn next_u64(&mut self) -> u64 {
+        unreachable!("zero-error path must not sample")
+    }
+    fn fill_bytes(&mut self, _dest: &mut [u8]) {
+        unreachable!("zero-error path must not sample")
+    }
+    fn try_fill_bytes(&mut self, _dest: &mut [u8]) -> Result<(), rand::Error> {
+        unreachable!("zero-error path must not sample")
+    }
+}
+
+/// A standard 3-conv test network (8×8 inputs, 4→8→8→8 channels, 10
+/// classes).
+pub fn small_testnet<R: Rng>(rng: &mut R) -> SyntheticCnn {
+    let spec = |name: &str, c: usize, m: usize| ConvLayerSpec {
+        name: name.into(),
+        c,
+        h: 8,
+        w: 8,
+        m,
+        k: 3,
+        stride: 1,
+        pad: 1,
+    };
+    SyntheticCnn::generate(
+        vec![spec("conv1", 4, 8), spec("conv2", 8, 8), spec("conv3", 8, 8)],
+        10,
+        rng,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_inference_is_deterministic() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let net = small_testnet(&mut rng);
+        let x: Vec<i64> = (0..net.input_len()).map(|i| ((i as i64) % 15) - 7).collect();
+        assert_eq!(net.logits(&x), net.logits(&x));
+        assert_eq!(net.classes(), 10);
+    }
+
+    #[test]
+    fn zero_error_agreement_is_perfect() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let net = small_testnet(&mut rng);
+        let stds = vec![0.0; 3];
+        let a = net.agreement(&stds, 30, &mut rng);
+        assert_eq!(a, 1.0);
+    }
+
+    #[test]
+    fn small_errors_mostly_absorbed_large_errors_not() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let net = small_testnet(&mut rng);
+        // estimate the SP scale from the first requantizer's step
+        let tiny = vec![2.0; 3];
+        let huge = vec![50_000.0; 3];
+        let a_tiny = net.agreement(&tiny, 60, &mut rng);
+        let a_huge = net.agreement(&huge, 60, &mut rng);
+        assert!(a_tiny > 0.9, "tiny errors should be absorbed: {a_tiny}");
+        assert!(a_huge < a_tiny, "huge errors must hurt: {a_huge} vs {a_tiny}");
+    }
+
+    #[test]
+    fn agreement_monotone_in_error_scale() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let net = small_testnet(&mut rng);
+        let mut prev = 1.1;
+        for scale in [0.0, 20.0, 2_000.0, 200_000.0] {
+            let a = net.agreement(&vec![scale; 3], 40, &mut rng);
+            assert!(a <= prev + 0.15, "agreement at {scale}: {a} vs prev {prev}");
+            prev = a;
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Precomputed twiddle tables for the negacyclic NTT.
+//!
+//! For ring degree `N` and prime `q ≡ 1 (mod 2N)`, a primitive `2N`-th
+//! root of unity ψ exists. The merged negacyclic NTT consumes powers of ψ
+//! in bit-reversed order; the inverse consumes powers of ψ⁻¹. All powers
+//! carry Shoup precomputations so the hot loop needs no division.
+
+use flash_math::bitrev::{bit_reverse, log2_exact};
+use flash_math::modular::{inv_mod, mul_mod, Shoup};
+use flash_math::prime::{is_prime, primitive_nth_root};
+use std::fmt;
+
+/// Errors from table construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NttError {
+    /// `n` is not a power of two.
+    DegreeNotPowerOfTwo(usize),
+    /// `q` is not prime.
+    ModulusNotPrime(u64),
+    /// `q ≢ 1 (mod 2N)`, so no primitive `2N`-th root exists.
+    ModulusNotNttFriendly { q: u64, n: usize },
+}
+
+impl fmt::Display for NttError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NttError::DegreeNotPowerOfTwo(n) => {
+                write!(f, "ring degree {n} is not a power of two")
+            }
+            NttError::ModulusNotPrime(q) => write!(f, "modulus {q} is not prime"),
+            NttError::ModulusNotNttFriendly { q, n } => {
+                write!(f, "modulus {q} is not congruent to 1 mod {}", 2 * n)
+            }
+        }
+    }
+}
+
+impl std::error::Error for NttError {}
+
+/// Precomputed tables for a negacyclic NTT of degree `n` modulo `q`.
+#[derive(Debug, Clone)]
+pub struct NttTables {
+    n: usize,
+    q: u64,
+    log_n: u32,
+    /// ψ^bitrev(i) with Shoup precomputation (forward twiddles).
+    psi_rev: Vec<Shoup>,
+    /// ψ^{-bitrev(i)} with Shoup precomputation (inverse twiddles).
+    psi_inv_rev: Vec<Shoup>,
+    /// N^{-1} mod q for the inverse transform scaling.
+    n_inv: Shoup,
+}
+
+impl NttTables {
+    /// Builds tables for degree `n` (a power of two) and prime
+    /// `q ≡ 1 (mod 2n)`, `q < 2^62`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`NttError`] when the parameters do not admit a
+    /// negacyclic NTT.
+    pub fn new(n: usize, q: u64) -> Result<Self, NttError> {
+        if !n.is_power_of_two() || n < 2 {
+            return Err(NttError::DegreeNotPowerOfTwo(n));
+        }
+        if !is_prime(q) {
+            return Err(NttError::ModulusNotPrime(q));
+        }
+        if !(q - 1).is_multiple_of(2 * n as u64) {
+            return Err(NttError::ModulusNotNttFriendly { q, n });
+        }
+        let log_n = log2_exact(n);
+        let psi = primitive_nth_root(2 * n as u64, q);
+        let psi_inv = inv_mod(psi, q).expect("psi invertible mod prime");
+
+        let mut psi_pows = vec![0u64; n];
+        let mut psi_inv_pows = vec![0u64; n];
+        psi_pows[0] = 1;
+        psi_inv_pows[0] = 1;
+        for i in 1..n {
+            psi_pows[i] = mul_mod(psi_pows[i - 1], psi, q);
+            psi_inv_pows[i] = mul_mod(psi_inv_pows[i - 1], psi_inv, q);
+        }
+        let psi_rev = (0..n)
+            .map(|i| Shoup::new(psi_pows[bit_reverse(i, log_n)], q))
+            .collect();
+        let psi_inv_rev = (0..n)
+            .map(|i| Shoup::new(psi_inv_pows[bit_reverse(i, log_n)], q))
+            .collect();
+        let n_inv = Shoup::new(inv_mod(n as u64, q).expect("n invertible"), q);
+        Ok(Self {
+            n,
+            q,
+            log_n,
+            psi_rev,
+            psi_inv_rev,
+            n_inv,
+        })
+    }
+
+    /// Ring degree `N`.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.n
+    }
+
+    /// Modulus `q`.
+    #[inline]
+    pub fn modulus(&self) -> u64 {
+        self.q
+    }
+
+    /// `log2(N)` — the number of butterfly stages.
+    #[inline]
+    pub fn log_degree(&self) -> u32 {
+        self.log_n
+    }
+
+    /// Forward twiddle `ψ^bitrev(i)`.
+    #[inline]
+    pub(crate) fn psi_rev(&self, i: usize) -> &Shoup {
+        &self.psi_rev[i]
+    }
+
+    /// Inverse twiddle `ψ^{-bitrev(i)}`.
+    #[inline]
+    pub(crate) fn psi_inv_rev(&self, i: usize) -> &Shoup {
+        &self.psi_inv_rev[i]
+    }
+
+    /// `N^{-1} mod q`.
+    #[inline]
+    pub(crate) fn n_inv(&self) -> &Shoup {
+        &self.n_inv
+    }
+
+    /// The primitive 2N-th root ψ used by this table (ψ^bitrev(1) = ψ^{N/2}
+    /// … exposed for testing and for twiddle-storage cost modeling).
+    pub fn psi(&self) -> u64 {
+        // bitrev(1) over log_n bits is n/2, so psi_rev[1] = psi^{n/2}.
+        // Recover psi itself from the stored power of smallest exponent:
+        // psi_rev covers all exponents 0..n; exponent 1 sits at index
+        // bitrev(1) = n/2.
+        self.psi_rev[self.n / 2].value()
+    }
+
+    /// Twiddle ROM size in entries (forward + inverse), for memory cost
+    /// modeling: `2N` words of `ceil(log2 q)` bits.
+    pub fn rom_entries(&self) -> usize {
+        2 * self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_math::modular::pow_mod;
+    use flash_math::prime::ntt_prime;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(matches!(
+            NttTables::new(6, 97),
+            Err(NttError::DegreeNotPowerOfTwo(6))
+        ));
+        assert!(matches!(
+            NttTables::new(8, 100),
+            Err(NttError::ModulusNotPrime(100))
+        ));
+        // 97 - 1 = 96 is divisible by 16 but not by 64.
+        assert!(matches!(
+            NttTables::new(32, 97),
+            Err(NttError::ModulusNotNttFriendly { .. })
+        ));
+    }
+
+    #[test]
+    fn psi_has_order_2n() {
+        let q = ntt_prime(20, 16).unwrap();
+        let t = NttTables::new(16, q).unwrap();
+        let psi = t.psi();
+        assert_eq!(pow_mod(psi, 32, q), 1);
+        assert_ne!(pow_mod(psi, 16, q), 1);
+        // psi^N = -1: the negacyclic signature.
+        assert_eq!(pow_mod(psi, 16, q), q - 1);
+    }
+
+    #[test]
+    fn table_sizes() {
+        let q = ntt_prime(30, 64).unwrap();
+        let t = NttTables::new(64, q).unwrap();
+        assert_eq!(t.degree(), 64);
+        assert_eq!(t.log_degree(), 6);
+        assert_eq!(t.rom_entries(), 128);
+        assert_eq!(t.modulus(), q);
+    }
+
+    #[test]
+    fn large_degree_4096_builds() {
+        let q = ntt_prime(39, 4096).unwrap();
+        let t = NttTables::new(4096, q).unwrap();
+        assert_eq!(pow_mod(t.psi(), 4096, q), q - 1);
+    }
+}

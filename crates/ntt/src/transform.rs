@@ -1,0 +1,199 @@
+//! In-place negacyclic NTT transforms.
+//!
+//! The forward transform is the merged Cooley–Tukey negacyclic NTT
+//! (Longa–Naehrig formulation): the multiplication by ψ-powers that turns
+//! a cyclic NTT into a negacyclic one is folded into the butterfly
+//! twiddles. The inverse uses Gentleman–Sande butterflies with ψ⁻¹ powers
+//! and a final scaling by `N⁻¹`.
+//!
+//! Outputs of [`forward`] are in bit-reversed order; [`inverse`] consumes
+//! bit-reversed order and returns natural order, so
+//! `inverse(forward(a)) == a` without explicit permutation — exactly how
+//! hardware pipelines chain the two.
+
+use crate::tables::NttTables;
+use flash_math::modular::{add_mod, sub_mod};
+
+/// In-place forward negacyclic NTT (Cooley–Tukey, natural input →
+/// bit-reversed output).
+///
+/// # Panics
+///
+/// Panics if `a.len()` differs from the table degree.
+pub fn forward(a: &mut [u64], tables: &NttTables) {
+    let n = tables.degree();
+    assert_eq!(a.len(), n, "input length must equal ring degree");
+    let q = tables.modulus();
+    let mut t = n;
+    let mut m = 1;
+    while m < n {
+        t /= 2;
+        for i in 0..m {
+            let j1 = 2 * i * t;
+            let s = tables.psi_rev(m + i);
+            for j in j1..j1 + t {
+                let u = a[j];
+                let v = s.mul(a[j + t], q);
+                a[j] = add_mod(u, v, q);
+                a[j + t] = sub_mod(u, v, q);
+            }
+        }
+        m *= 2;
+    }
+}
+
+/// In-place inverse negacyclic NTT (Gentleman–Sande, bit-reversed input →
+/// natural output), including the `N⁻¹` scaling.
+///
+/// # Panics
+///
+/// Panics if `a.len()` differs from the table degree.
+pub fn inverse(a: &mut [u64], tables: &NttTables) {
+    let n = tables.degree();
+    assert_eq!(a.len(), n, "input length must equal ring degree");
+    let q = tables.modulus();
+    let mut t = 1;
+    let mut m = n;
+    while m > 1 {
+        let h = m / 2;
+        let mut j1 = 0;
+        for i in 0..h {
+            let s = tables.psi_inv_rev(h + i);
+            for j in j1..j1 + t {
+                let u = a[j];
+                let v = a[j + t];
+                a[j] = add_mod(u, v, q);
+                a[j + t] = s.mul(sub_mod(u, v, q), q);
+            }
+            j1 += 2 * t;
+        }
+        t *= 2;
+        m = h;
+    }
+    let n_inv = tables.n_inv();
+    for x in a.iter_mut() {
+        *x = n_inv.mul(*x, q);
+    }
+}
+
+/// Point-wise product of two NTT-domain vectors (the "point-wise
+/// multiplication" unit of the accelerator).
+///
+/// # Panics
+///
+/// Panics on length mismatch with the tables.
+pub fn pointwise_mul(a: &[u64], b: &[u64], tables: &NttTables) -> Vec<u64> {
+    let n = tables.degree();
+    assert_eq!(a.len(), n);
+    assert_eq!(b.len(), n);
+    let q = tables.modulus();
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| flash_math::modular::mul_mod(x, y, q))
+        .collect()
+}
+
+/// Accumulating point-wise multiply-add: `acc += a ⊙ b` in the NTT domain.
+pub fn pointwise_mul_acc(acc: &mut [u64], a: &[u64], b: &[u64], tables: &NttTables) {
+    let n = tables.degree();
+    assert_eq!(acc.len(), n);
+    assert_eq!(a.len(), n);
+    assert_eq!(b.len(), n);
+    let q = tables.modulus();
+    for i in 0..n {
+        acc[i] = add_mod(acc[i], flash_math::modular::mul_mod(a[i], b[i], q), q);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_math::modular::{mul_mod, pow_mod};
+    use flash_math::prime::ntt_prime;
+
+    fn tables(n: usize, bits: u32) -> NttTables {
+        let q = ntt_prime(bits, n as u64).unwrap();
+        NttTables::new(n, q).unwrap()
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        for n in [4usize, 8, 64, 1024] {
+            let t = tables(n, 30);
+            let q = t.modulus();
+            let mut a: Vec<u64> = (0..n as u64).map(|i| (i * 7 + 3) % q).collect();
+            let orig = a.clone();
+            forward(&mut a, &t);
+            assert_ne!(a, orig, "transform should change the vector");
+            inverse(&mut a, &t);
+            assert_eq!(a, orig);
+        }
+    }
+
+    #[test]
+    fn transform_is_linear() {
+        let t = tables(16, 30);
+        let q = t.modulus();
+        let a: Vec<u64> = (0..16).map(|i| (i * i + 1) % q).collect();
+        let b: Vec<u64> = (0..16).map(|i| (i * 31 + 5) % q).collect();
+        let sum: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| add_mod(x, y, q)).collect();
+
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        let mut fs = sum.clone();
+        forward(&mut fa, &t);
+        forward(&mut fb, &t);
+        forward(&mut fs, &t);
+        for i in 0..16 {
+            assert_eq!(fs[i], add_mod(fa[i], fb[i], q));
+        }
+    }
+
+    #[test]
+    fn forward_evaluates_at_odd_psi_powers() {
+        // The negacyclic NTT evaluates a(X) at X = ψ^(2k+1). Check against
+        // direct evaluation for a small case.
+        let n = 8usize;
+        let t = tables(n, 20);
+        let q = t.modulus();
+        let psi = t.psi();
+        let a: Vec<u64> = vec![3, 1, 4, 1, 5, 9, 2, 6];
+        let mut f = a.clone();
+        forward(&mut f, &t);
+        // Output index j (bit-reversed order) holds a(ψ^{2*bitrev(j)+1}).
+        for j in 0..n {
+            let k = flash_math::bitrev::bit_reverse(j, 3);
+            let x = pow_mod(psi, (2 * k + 1) as u64, q);
+            let mut val = 0u64;
+            let mut xp = 1u64;
+            for &c in &a {
+                val = add_mod(val, mul_mod(c, xp, q), q);
+                xp = mul_mod(xp, x, q);
+            }
+            assert_eq!(f[j], val, "output {j}");
+        }
+    }
+
+    #[test]
+    fn pointwise_ops() {
+        let t = tables(8, 20);
+        let q = t.modulus();
+        let a = vec![1u64, 2, 3, 4, 5, 6, 7, 8];
+        let b = vec![2u64; 8];
+        let p = pointwise_mul(&a, &b, &t);
+        assert_eq!(p, vec![2, 4, 6, 8, 10, 12, 14, 16]);
+        let mut acc = vec![1u64; 8];
+        pointwise_mul_acc(&mut acc, &a, &b, &t);
+        for i in 0..8 {
+            assert_eq!(acc[i], (1 + 2 * (i as u64 + 1)) % q);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ring degree")]
+    fn length_mismatch_panics() {
+        let t = tables(8, 20);
+        let mut a = vec![0u64; 4];
+        forward(&mut a, &t);
+    }
+}

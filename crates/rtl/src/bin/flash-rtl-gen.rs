@@ -1,0 +1,77 @@
+//! `flash-rtl-gen` — emit the FLASH approximate-datapath RTL bundle.
+//!
+//! ```text
+//! flash-rtl-gen [out_dir] [k] [width]
+//! ```
+//!
+//! Writes one butterfly-unit module and one twiddle ROM image per FFT
+//! stage of the `N = 4096` (2048-point) pipeline, plus a manifest with
+//! the structural statistics and model-cost cross-check.
+
+use flash_fft::twiddle::StageTwiddles;
+use flash_hw::cost::CostModel;
+use flash_rtl::butterfly::emit_butterfly;
+use flash_rtl::rom::TwiddleRom;
+use flash_rtl::shift_add::ShiftCandidates;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn main() -> std::io::Result<()> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_dir = PathBuf::from(args.first().map(String::as_str).unwrap_or("rtl_out"));
+    let k: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let width: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(39);
+    std::fs::create_dir_all(&out_dir)?;
+
+    let m = CostModel::cmos28();
+    let mut manifest = String::new();
+    writeln!(manifest, "# FLASH RTL bundle: k = {k}, data width = {width}").unwrap();
+    writeln!(manifest, "# stage  module              rom_words  rom_bits  adders_bits  mux_in_bits").unwrap();
+
+    let stages = 11u32; // 2048-point pipeline
+    let mut total_bits = 0u64;
+    for s in 1..=stages {
+        let stage = StageTwiddles::fft_stage(s, k, 24);
+        let cands = ShiftCandidates::from_stage(&stage, k, 8);
+        let name = format!("flash_bu_s{s}");
+        let (text, stats) = emit_butterfly(&name, width, &cands);
+        std::fs::write(out_dir.join(format!("{name}.v")), text)?;
+        let rom = TwiddleRom::pack(&stage, &cands);
+        std::fs::write(out_dir.join(format!("twiddle_s{s}.hex")), rom.to_hex())?;
+        // self-checking testbench with golden vectors from the Rust model
+        let inputs = [(1i64 << 30, 0i64), (0, 1 << 30), (123_456_789, -987_654_321)];
+        let step = (stage.len() / 8).max(1);
+        let vectors =
+            flash_rtl::testbench::golden_vectors(&stage, &cands, &inputs, step);
+        let tb = flash_rtl::testbench::emit_testbench(
+            &format!("{name}_cmul"),
+            width,
+            &stage,
+            &cands,
+            &vectors,
+        );
+        std::fs::write(out_dir.join(format!("{name}_cmul_tb.v")), tb)?;
+        total_bits += rom.total_bits();
+        writeln!(
+            manifest,
+            "{s:>7}  {name:<18} {:>9} {:>9} {:>12} {:>12}",
+            rom.len(),
+            rom.total_bits(),
+            stats.adder_bits,
+            stats.mux_input_bits
+        )
+        .unwrap();
+    }
+    writeln!(manifest, "# total ROM bits: {total_bits}").unwrap();
+    let model = m.memory(total_bits);
+    writeln!(
+        manifest,
+        "# hw-model ROM estimate: {:.0} um^2, {:.3} mW",
+        model.area_um2, model.power_mw
+    )
+    .unwrap();
+    std::fs::write(out_dir.join("MANIFEST.txt"), &manifest)?;
+    println!("wrote {} stages to {}", stages, out_dir.display());
+    print!("{manifest}");
+    Ok(())
+}

@@ -1,0 +1,124 @@
+//! The approximate butterfly unit: one CSD complex multiplier plus the
+//! complex add/subtract pair, with registered outputs.
+
+use crate::netlist::ModuleStats;
+use crate::shift_add::{emit_csd_cmul, ShiftCandidates};
+use std::fmt::Write as _;
+
+/// Emits the butterfly-unit module (and its embedded multiplier module).
+/// Computes `out_u = u + w·v`, `out_v = u − w·v` on `width`-bit complex
+/// fixed-point data, registered on `clk`.
+pub fn emit_butterfly(
+    name: &str,
+    width: u32,
+    cands: &ShiftCandidates,
+) -> (String, ModuleStats) {
+    let mul_name = format!("{name}_cmul");
+    let (mul_text, mut stats) = emit_csd_cmul(&mul_name, width, cands);
+    let ow = width + 2;
+    let sel_total = cands.total_sel_bits();
+    let k = cands.k();
+
+    let mut v = String::new();
+    writeln!(v, "{mul_text}").unwrap();
+    writeln!(v, "// radix-2 approximate butterfly: u ± w*v").unwrap();
+    writeln!(v, "module {name} (").unwrap();
+    writeln!(v, "  input  wire clk,").unwrap();
+    for p in ["ur", "ui", "vr", "vi"] {
+        writeln!(v, "  input  wire signed [{}:0] {p},", width - 1).unwrap();
+    }
+    for p in ["sel_re", "sel_im"] {
+        writeln!(v, "  input  wire [{}:0] {p},", sel_total - 1).unwrap();
+    }
+    for p in ["neg_re", "neg_im", "zero_re", "zero_im"] {
+        writeln!(v, "  input  wire [{}:0] {p},", k - 1).unwrap();
+    }
+    for p in ["our", "oui"] {
+        writeln!(v, "  output reg signed [{}:0] {p},", ow).unwrap();
+    }
+    writeln!(v, "  output reg signed [{}:0] ovr,", ow).unwrap();
+    writeln!(v, "  output reg signed [{}:0] ovi", ow).unwrap();
+    writeln!(v, ");").unwrap();
+    writeln!(v, "  wire signed [{}:0] wr, wi;", ow - 1).unwrap();
+    writeln!(v, "  {mul_name} mul (").unwrap();
+    writeln!(v, "    .xr(vr), .xi(vi),").unwrap();
+    writeln!(v, "    .sel_re(sel_re), .sel_im(sel_im),").unwrap();
+    writeln!(v, "    .neg_re(neg_re), .neg_im(neg_im),").unwrap();
+    writeln!(v, "    .zero_re(zero_re), .zero_im(zero_im),").unwrap();
+    writeln!(v, "    .pr(wr), .pi(wi)").unwrap();
+    writeln!(v, "  );").unwrap();
+    writeln!(v, "  always @(posedge clk) begin").unwrap();
+    writeln!(v, "    our <= ur + wr;").unwrap();
+    writeln!(v, "    oui <= ui + wi;").unwrap();
+    writeln!(v, "    ovr <= ur - wr;").unwrap();
+    writeln!(v, "    ovi <= ui - wi;").unwrap();
+    writeln!(v, "  end").unwrap();
+    writeln!(v, "endmodule").unwrap();
+
+    stats.adder_bits += 4 * (ow as u64 + 1); // the four output add/subs
+    stats.reg_bits += 4 * (ow as u64 + 1); // registered outputs
+    stats.wires += 2;
+    (v, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_fft::twiddle::StageTwiddles;
+    use flash_hw::cost::CostModel;
+    use flash_hw::units::BuKind;
+
+    fn bu(k: usize) -> (String, ModuleStats) {
+        let stage = StageTwiddles::fft_stage(8, k, 16);
+        let cands = ShiftCandidates::from_stage(&stage, k, 8);
+        emit_butterfly("flash_bu", 39, &cands)
+    }
+
+    #[test]
+    fn butterfly_module_structure() {
+        let (text, stats) = bu(5);
+        // two modules in the file: the multiplier and the BU
+        assert_eq!(text.matches("\nmodule ").count() + 1, 3); // csd_cmul + bu (+1 for leading)
+        assert!(text.contains("flash_bu_cmul mul ("));
+        assert!(text.contains("always @(posedge clk)"));
+        assert!(text.contains("our <= ur + wr;"));
+        assert!(stats.reg_bits > 0);
+    }
+
+    #[test]
+    fn emitted_stats_agree_with_cost_model() {
+        // The netlist tally priced with the shared constants must land
+        // within ~3x of the flash-hw BU estimate: the RTL instantiates the
+        // shift MUX datapath once per (input component × twiddle
+        // component) pairing (4k muxes) where the Table-II-calibrated
+        // model charges the paper's shared-datapath 2k figure, so the
+        // emitted netlist is expectedly heavier but of the same order.
+        let m = CostModel::cmos28();
+        let (_, stats) = bu(5);
+        let rtl_cost = stats.cost(&m);
+        let model_cost = BuKind::flash_approx().cost(&m);
+        let ratio = rtl_cost.area_um2 / model_cost.area_um2;
+        assert!(
+            (0.8..3.0).contains(&ratio),
+            "RTL {} vs model {} (ratio {ratio})",
+            rtl_cost,
+            model_cost
+        );
+    }
+
+    #[test]
+    fn stats_scale_with_k_like_the_model() {
+        let m = CostModel::cmos28();
+        let (_, s5) = bu(5);
+        let (_, s18) = bu(18);
+        let rtl_ratio = s18.cost(&m).area_um2 / s5.cost(&m).area_um2;
+        let model_ratio = BuKind::Approx { data_bits: 39, k: 18, mux_inputs: 8 }
+            .cost(&m)
+            .area_um2
+            / BuKind::flash_approx().cost(&m).area_um2;
+        assert!(
+            (rtl_ratio / model_ratio - 1.0).abs() < 0.5,
+            "k-scaling: rtl {rtl_ratio} vs model {model_ratio}"
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Synthesizable Verilog generators for FLASH's approximate datapath.
+//!
+//! The paper evaluates hand-written RTL synthesized with Design Compiler;
+//! an open-source release of such an accelerator ships the *generators*,
+//! because the interesting modules are parameterized by data that only
+//! exists at design time — the CSD-quantized twiddle ROM contents and the
+//! per-stage bit-widths chosen by the DSE. This crate emits:
+//!
+//! * [`shift_add`] — the complex-by-quantized-twiddle multiplier of
+//!   Figure 9 (shift MUXes + adder tree), specialized per `k`;
+//! * [`butterfly`] — the radix-2 approximate butterfly unit;
+//! * [`rom`] — twiddle ROM initialization files (CSD-encoded words and
+//!   a `readmemh`-compatible hex dump);
+//! * [`netlist`] — structural statistics of emitted modules
+//!   (adder/mux/register tallies), cross-checked against the `flash-hw`
+//!   cost model so the area/power numbers and the RTL describe the same
+//!   hardware.
+//!
+//! The output is plain Verilog-2001, one module per string; no external
+//! tools are invoked. A golden-file test pins the emitted text so
+//! generator changes are reviewable.
+
+pub mod butterfly;
+pub mod netlist;
+pub mod rom;
+pub mod shift_add;
+pub mod testbench;
+
+pub use netlist::ModuleStats;

@@ -1,0 +1,72 @@
+//! Structural statistics of emitted modules.
+//!
+//! Generators tally the datapath resources they instantiate; the tallies
+//! are cross-checked against the `flash-hw` analytical cost model so that
+//! the RTL and the area/power numbers describe the same hardware.
+
+use flash_hw::cost::{CostModel, UnitCost};
+
+/// Resource tally of one emitted module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ModuleStats {
+    /// Two-input adders/subtractors, weighted by bit width (sum of
+    /// widths).
+    pub adder_bits: u64,
+    /// MUX capacity as `inputs × width` summed over all muxes.
+    pub mux_input_bits: u64,
+    /// Register bits.
+    pub reg_bits: u64,
+    /// Distinct wires declared (a sanity metric, not a cost driver).
+    pub wires: u64,
+}
+
+impl ModuleStats {
+    /// Merges another module's tally (e.g. a submodule instance).
+    pub fn merge(&mut self, other: &ModuleStats) {
+        self.adder_bits += other.adder_bits;
+        self.mux_input_bits += other.mux_input_bits;
+        self.reg_bits += other.reg_bits;
+        self.wires += other.wires;
+    }
+
+    /// Evaluates the tally under the analytical cost model (same
+    /// per-resource constants as `flash-hw`).
+    pub fn cost(&self, m: &CostModel) -> UnitCost {
+        UnitCost::new(
+            m.add_area * self.adder_bits as f64
+                + m.mux_area * self.mux_input_bits as f64
+                + m.reg_area * self.reg_bits as f64,
+            (m.add_power * self.adder_bits as f64
+                + m.mux_power * self.mux_input_bits as f64
+                + m.reg_power * self.reg_bits as f64)
+                / 1e3,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ModuleStats { adder_bits: 10, mux_input_bits: 20, reg_bits: 5, wires: 3 };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.adder_bits, 20);
+        assert_eq!(a.mux_input_bits, 40);
+        assert_eq!(a.reg_bits, 10);
+        assert_eq!(a.wires, 6);
+    }
+
+    #[test]
+    fn cost_is_linear_in_resources() {
+        let m = CostModel::cmos28();
+        let one = ModuleStats { adder_bits: 39, mux_input_bits: 312, reg_bits: 0, wires: 0 };
+        let two = ModuleStats { adder_bits: 78, mux_input_bits: 624, reg_bits: 0, wires: 0 };
+        let c1 = one.cost(&m);
+        let c2 = two.cost(&m);
+        assert!((c2.area_um2 - 2.0 * c1.area_um2).abs() < 1e-9);
+        assert!((c2.power_mw - 2.0 * c1.power_mw).abs() < 1e-12);
+    }
+}

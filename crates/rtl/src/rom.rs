@@ -1,0 +1,163 @@
+//! Twiddle ROM content generation.
+//!
+//! Each ROM word encodes one quantized twiddle: per digit, a MUX select,
+//! a sign bit and a zero-kill bit, for both the real and imaginary
+//! components. The word layout matches the ports of the emitted
+//! `csd_cmul` module; the output is a `$readmemh`-compatible hex file.
+
+use crate::shift_add::ShiftCandidates;
+use flash_fft::twiddle::StageTwiddles;
+use std::fmt::Write as _;
+
+/// The packed ROM image of one stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TwiddleRom {
+    words: Vec<u128>,
+    word_bits: u32,
+}
+
+impl TwiddleRom {
+    /// Packs a stage's quantized twiddles against its MUX candidate sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a word would exceed 128 bits (`k` beyond ~20 with 3-bit
+    /// selects).
+    pub fn pack(stage: &StageTwiddles, cands: &ShiftCandidates) -> Self {
+        let k = cands.k() as u32;
+        let sel_bits = cands.total_sel_bits();
+        // layout (LSB first): sel_re | sel_im | neg_re | neg_im |
+        // zero_re | zero_im
+        let word_bits = 2 * sel_bits + 4 * k;
+        assert!(word_bits <= 128, "ROM word too wide: {word_bits}");
+        let words = (0..stage.len())
+            .map(|j| {
+                let q = stage.get(j);
+                let enc_re = cands.encode(&q.re);
+                let enc_im = cands.encode(&q.im);
+                let mut w: u128 = 0;
+                let mut off = 0u32;
+                for enc in [&enc_re, &enc_im] {
+                    for (t, &(sel, _, _)) in enc.iter().enumerate() {
+                        w |= (sel as u128) << (off + sel_offset(cands, t));
+                    }
+                    off += sel_bits;
+                }
+                for enc in [&enc_re, &enc_im] {
+                    for (t, &(_, neg, _)) in enc.iter().enumerate() {
+                        if neg {
+                            w |= 1u128 << (off + t as u32);
+                        }
+                    }
+                    off += k;
+                }
+                for enc in [&enc_re, &enc_im] {
+                    for (t, &(_, _, zero)) in enc.iter().enumerate() {
+                        if zero {
+                            w |= 1u128 << (off + t as u32);
+                        }
+                    }
+                    off += k;
+                }
+                w
+            })
+            .collect();
+        Self { words, word_bits }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the ROM is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Word width in bits.
+    pub fn word_bits(&self) -> u32 {
+        self.word_bits
+    }
+
+    /// Total ROM bits (the quantity the `flash-hw` memory model prices).
+    pub fn total_bits(&self) -> u64 {
+        self.words.len() as u64 * self.word_bits as u64
+    }
+
+    /// Raw words.
+    pub fn words(&self) -> &[u128] {
+        &self.words
+    }
+
+    /// Renders a `$readmemh` file.
+    pub fn to_hex(&self) -> String {
+        let digits = (self.word_bits as usize).div_ceil(4);
+        let mut out = String::with_capacity(self.words.len() * (digits + 1));
+        for w in &self.words {
+            writeln!(out, "{w:0digits$x}").unwrap();
+        }
+        out
+    }
+}
+
+fn sel_offset(cands: &ShiftCandidates, t: usize) -> u32 {
+    (0..t).map(|i| cands.sel_bits(i)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rom(k: usize) -> (TwiddleRom, StageTwiddles, ShiftCandidates) {
+        let stage = StageTwiddles::fft_stage(7, k, 16);
+        let cands = ShiftCandidates::from_stage(&stage, k, 8);
+        (TwiddleRom::pack(&stage, &cands), stage, cands)
+    }
+
+    #[test]
+    fn rom_dimensions() {
+        let (r, stage, cands) = rom(5);
+        assert_eq!(r.len(), stage.len());
+        assert_eq!(r.word_bits(), 2 * cands.total_sel_bits() + 4 * 5);
+        assert_eq!(r.total_bits(), r.len() as u64 * r.word_bits() as u64);
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let (r, _, _) = rom(5);
+        let hex = r.to_hex();
+        let lines: Vec<&str> = hex.lines().collect();
+        assert_eq!(lines.len(), r.len());
+        for (line, &w) in lines.iter().zip(r.words()) {
+            assert_eq!(u128::from_str_radix(line, 16).unwrap(), w);
+        }
+    }
+
+    #[test]
+    fn trivial_twiddle_encodes_with_zero_kills() {
+        // entry 0 is ω⁰ = 1 + 0i: one live real digit (shift 0, positive),
+        // an all-zero imaginary part.
+        let (r, _, cands) = rom(5);
+        let w0 = r.words()[0];
+        let sel_bits = cands.total_sel_bits();
+        let k = 5u32;
+        // zero_im field (the topmost k bits) must be all ones
+        let zero_im = (w0 >> (2 * sel_bits + 3 * k)) & ((1 << k) - 1);
+        assert_eq!(zero_im, (1 << k) - 1, "imaginary digits of ω⁰ are zero");
+        // zero_re must kill everything but the leading digit
+        let zero_re = (w0 >> (2 * sel_bits + 2 * k)) & ((1 << k) - 1);
+        assert_eq!(zero_re, ((1 << k) - 1) & !1, "only digit 0 of re is live");
+    }
+
+    #[test]
+    fn rom_bits_track_the_hw_memory_model() {
+        // flash-hw prices the shared twiddle ROM as 2k(1+shift_bits) bits
+        // per entry; the packed layout must be within ~1.5x of that.
+        let (r, _, _) = rom(5);
+        let model_bits_per_entry = 2 * 5 * (1 + 6) as u64;
+        let packed = r.word_bits() as u64;
+        let ratio = packed as f64 / model_bits_per_entry as f64;
+        assert!((0.5..1.5).contains(&ratio), "packed {packed} vs model {model_bits_per_entry}");
+    }
+}

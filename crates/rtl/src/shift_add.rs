@@ -1,0 +1,295 @@
+//! The Figure-9 multiplier: complex multiplication by a CSD-quantized
+//! twiddle implemented as shift MUXes feeding an adder tree.
+//!
+//! The generator is parameterized by the *stage's* twiddle set: each of
+//! the `k` digit positions gets a MUX over the distinct shift amounts
+//! that digit takes anywhere in the set (the paper empirically caps the
+//! MUX at 8-to-1). Per-twiddle select and sign words come from the ROM
+//! (see [`crate::rom`]).
+
+use crate::netlist::ModuleStats;
+use flash_fft::twiddle::StageTwiddles;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// The shift-candidate sets of one stage: `cands[t]` lists the distinct
+/// shifts that the `t`-th CSD digit uses across the stage's twiddles
+/// (real and imaginary components pooled, as they share MUX hardware).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShiftCandidates {
+    cands: Vec<Vec<u32>>,
+    k: usize,
+}
+
+impl ShiftCandidates {
+    /// Collects the candidates from a stage table, capping each MUX at
+    /// `max_mux` inputs (rarely-used shifts beyond the cap are folded to
+    /// the nearest kept candidate; the resulting value error is part of
+    /// the twiddle quantization error budget).
+    pub fn from_stage(stage: &StageTwiddles, k: usize, max_mux: usize) -> Self {
+        let mut sets: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); k];
+        for j in 0..stage.len() {
+            let q = stage.get(j);
+            for coeff in [&q.re, &q.im] {
+                for (t, term) in coeff.terms().enumerate().take(k) {
+                    sets[t].insert(term.shift);
+                }
+            }
+        }
+        let cands = sets
+            .into_iter()
+            .map(|s| {
+                let mut v: Vec<u32> = s.into_iter().collect();
+                if v.is_empty() {
+                    v.push(0);
+                }
+                v.truncate(max_mux);
+                v
+            })
+            .collect();
+        Self { cands, k }
+    }
+
+    /// The candidate shifts of digit `t`.
+    pub fn candidates(&self, t: usize) -> &[u32] {
+        &self.cands[t]
+    }
+
+    /// Select-field width for digit `t` (`⌈log2 candidates⌉`, min 1).
+    pub fn sel_bits(&self, t: usize) -> u32 {
+        (self.cands[t].len() as f64).log2().ceil().max(1.0) as u32
+    }
+
+    /// Total select bits across digits (one component's ROM field).
+    pub fn total_sel_bits(&self) -> u32 {
+        (0..self.k).map(|t| self.sel_bits(t)).sum()
+    }
+
+    /// Digit count `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Encodes one CSD coefficient into `(sel, neg, zero)` fields per
+    /// digit: the select index of the nearest candidate shift, the sign,
+    /// and a zero-kill flag for coefficients with fewer than `k` digits.
+    pub fn encode(&self, coeff: &flash_math::csd::CsdCoeff) -> Vec<(u32, bool, bool)> {
+        let mut out = Vec::with_capacity(self.k);
+        let terms: Vec<_> = coeff.terms().collect();
+        for t in 0..self.k {
+            match terms.get(t) {
+                Some(term) => {
+                    let cand = &self.cands[t];
+                    let idx = cand
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, &s)| s.abs_diff(term.shift))
+                        .map(|(i, _)| i as u32)
+                        .unwrap_or(0);
+                    out.push((idx, term.neg, false));
+                }
+                None => out.push((0, false, true)),
+            }
+        }
+        out
+    }
+}
+
+/// Evaluates the *encoded* multiplier semantics exactly as the emitted
+/// Verilog computes them (arithmetic right shifts, i.e. truncation):
+/// the golden model for generated testbenches, and the ground truth for
+/// encoding-fidelity tests.
+pub fn evaluate_encoded(
+    xr: i64,
+    xi: i64,
+    enc_re: &[(u32, bool, bool)],
+    enc_im: &[(u32, bool, bool)],
+    cands: &ShiftCandidates,
+) -> (i64, i64) {
+    let term = |x: i64, enc: &[(u32, bool, bool)]| -> i64 {
+        enc.iter()
+            .enumerate()
+            .map(|(t, &(sel, neg, zero))| {
+                if zero {
+                    return 0;
+                }
+                let s = cands.candidates(t)[sel as usize];
+                let v = x >> s; // arithmetic shift, as in the RTL
+                if neg {
+                    -v
+                } else {
+                    v
+                }
+            })
+            .sum()
+    };
+    let pr = term(xr, enc_re) - term(xi, enc_im);
+    let pi = term(xi, enc_re) + term(xr, enc_im);
+    (pr, pi)
+}
+
+/// Emits the `csd_cmul` Verilog module for a stage: complex input
+/// `(xr, xi)`, per-component select/sign/zero words, complex output.
+/// Returns the module text and its resource tally.
+pub fn emit_csd_cmul(
+    name: &str,
+    width: u32,
+    cands: &ShiftCandidates,
+) -> (String, ModuleStats) {
+    let k = cands.k();
+    let ow = width + 2; // headroom for the adder tree
+    let mut v = String::new();
+    let mut stats = ModuleStats::default();
+    let sel_total = cands.total_sel_bits();
+
+    writeln!(v, "// auto-generated by flash-rtl: do not edit").unwrap();
+    writeln!(v, "// complex multiply by a CSD-quantized twiddle, k = {k}").unwrap();
+    writeln!(v, "module {name} (").unwrap();
+    writeln!(v, "  input  wire signed [{}:0] xr,", width - 1).unwrap();
+    writeln!(v, "  input  wire signed [{}:0] xi,", width - 1).unwrap();
+    writeln!(v, "  input  wire [{}:0] sel_re,", sel_total - 1).unwrap();
+    writeln!(v, "  input  wire [{}:0] sel_im,", sel_total - 1).unwrap();
+    writeln!(v, "  input  wire [{}:0] neg_re,", k - 1).unwrap();
+    writeln!(v, "  input  wire [{}:0] neg_im,", k - 1).unwrap();
+    writeln!(v, "  input  wire [{}:0] zero_re,", k - 1).unwrap();
+    writeln!(v, "  input  wire [{}:0] zero_im,", k - 1).unwrap();
+    writeln!(v, "  output wire signed [{}:0] pr,", ow - 1).unwrap();
+    writeln!(v, "  output wire signed [{}:0] pi", ow - 1).unwrap();
+    writeln!(v, ");").unwrap();
+
+    // Shift MUX + sign for every (input component, coefficient component,
+    // digit) combination that the complex product needs.
+    for (xin, comp) in [("xr", "re"), ("xr", "im"), ("xi", "re"), ("xi", "im")] {
+        let mut off = 0u32;
+        for t in 0..k {
+            let cand = cands.candidates(t);
+            let sb = cands.sel_bits(t);
+            writeln!(v, "  // digit {t}: {xin} x w_{comp}").unwrap();
+            writeln!(v, "  reg signed [{}:0] t_{xin}_{comp}_{t};", ow - 1).unwrap();
+            writeln!(v, "  always @(*) begin").unwrap();
+            writeln!(
+                v,
+                "    case (sel_{comp}[{}:{}])",
+                off + sb - 1,
+                off
+            )
+            .unwrap();
+            for (i, &s) in cand.iter().enumerate() {
+                writeln!(v, "      {sb}'d{i}: t_{xin}_{comp}_{t} = {xin} >>> {s};").unwrap();
+            }
+            writeln!(v, "      default: t_{xin}_{comp}_{t} = {{{ow}{{1'b0}}}};").unwrap();
+            writeln!(v, "    endcase").unwrap();
+            writeln!(
+                v,
+                "    if (zero_{comp}[{t}]) t_{xin}_{comp}_{t} = {{{ow}{{1'b0}}}};"
+            )
+            .unwrap();
+            writeln!(
+                v,
+                "    if (neg_{comp}[{t}]) t_{xin}_{comp}_{t} = -t_{xin}_{comp}_{t};"
+            )
+            .unwrap();
+            writeln!(v, "  end").unwrap();
+            stats.mux_input_bits += (cand.len() as u64 + 1) * ow as u64;
+            stats.adder_bits += ow as u64; // the conditional negate
+            stats.wires += 1;
+            off += sb;
+        }
+    }
+
+    // Adder trees: wr-part = Σ t_xr_re, wi-part = Σ t_xr_im, etc.
+    for (out, pos, negp) in [("pr", ("xr", "re"), ("xi", "im")), ("pi", ("xi", "re"), ("xr", "im"))]
+    {
+        let plus: Vec<String> = (0..k).map(|t| format!("t_{}_{}_{t}", pos.0, pos.1)).collect();
+        let minus: Vec<String> = (0..k).map(|t| format!("t_{}_{}_{t}", negp.0, negp.1)).collect();
+        let sign = if out == "pr" { "-" } else { "+" };
+        writeln!(
+            v,
+            "  assign {out} = ({}) {sign} ({});",
+            plus.join(" + "),
+            minus.join(" + ")
+        )
+        .unwrap();
+        stats.adder_bits += (2 * k as u64 - 1) * ow as u64;
+        stats.wires += 1;
+    }
+    writeln!(v, "endmodule").unwrap();
+    (v, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_math::csd::CsdCoeff;
+
+    fn stage() -> StageTwiddles {
+        StageTwiddles::fft_stage(6, 5, 16)
+    }
+
+    #[test]
+    fn candidates_cover_stage_digits() {
+        let s = stage();
+        let c = ShiftCandidates::from_stage(&s, 5, 8);
+        assert_eq!(c.k(), 5);
+        for t in 0..5 {
+            assert!(!c.candidates(t).is_empty());
+            assert!(c.candidates(t).len() <= 8, "MUX cap respected");
+            assert!(c.sel_bits(t) >= 1 && c.sel_bits(t) <= 3);
+        }
+    }
+
+    #[test]
+    fn encode_roundtrips_known_coefficient() {
+        let s = stage();
+        let c = ShiftCandidates::from_stage(&s, 5, 8);
+        // 21/32 = 2^-1 + 2^-3 + 2^-5
+        let coeff = CsdCoeff::quantize(21.0 / 32.0, 5, 8);
+        let enc = c.encode(&coeff);
+        assert_eq!(enc.len(), 5);
+        // first three digits live, last two zero-killed
+        assert!(!enc[0].2 && !enc[1].2 && !enc[2].2);
+        assert!(enc[3].2 && enc[4].2);
+        // selected candidates decode to the right shifts where available
+        for (t, term) in coeff.terms().enumerate() {
+            let cand = c.candidates(t);
+            let sel = enc[t].0 as usize;
+            if cand.contains(&term.shift) {
+                assert_eq!(cand[sel], term.shift, "digit {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn emitted_verilog_is_structurally_sound() {
+        let s = stage();
+        let c = ShiftCandidates::from_stage(&s, 5, 8);
+        let (text, stats) = emit_csd_cmul("csd_cmul_s6", 39, &c);
+        assert!(text.starts_with("// auto-generated"));
+        assert!(text.contains("module csd_cmul_s6 ("));
+        assert!(text.contains("endmodule"));
+        // 4 component products x 5 digits = 20 mux cases blocks
+        assert_eq!(text.matches("case (sel_").count(), 20);
+        assert_eq!(text.matches("always @(*)").count(), 20);
+        // two output adder trees
+        assert!(text.contains("assign pr ="));
+        assert!(text.contains("assign pi ="));
+        // balanced module/endmodule and no unresolved placeholders
+        assert_eq!(text.matches("module csd_cmul_s6").count(), 1);
+        assert_eq!(text.matches("endmodule").count(), 1);
+        assert!(stats.adder_bits > 0 && stats.mux_input_bits > 0);
+    }
+
+    #[test]
+    fn stats_track_k() {
+        let s = stage();
+        let c5 = ShiftCandidates::from_stage(&s, 5, 8);
+        let big = StageTwiddles::fft_stage(6, 12, 16);
+        let c12 = ShiftCandidates::from_stage(&big, 12, 8);
+        let (_, s5) = emit_csd_cmul("m5", 39, &c5);
+        let (_, s12) = emit_csd_cmul("m12", 39, &c12);
+        // adders scale linearly with k; MUX capacity grows sublinearly
+        // because late digits have few distinct shift candidates.
+        assert!(s12.adder_bits > 2 * s5.adder_bits);
+        assert!(s12.mux_input_bits > s5.mux_input_bits * 14 / 10);
+    }
+}

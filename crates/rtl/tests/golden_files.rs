@@ -1,0 +1,28 @@
+//! Golden-file test: pins the emitted Verilog so that generator changes
+//! show up as reviewable diffs instead of silent RTL churn.
+
+use flash_fft::twiddle::StageTwiddles;
+use flash_rtl::shift_add::{emit_csd_cmul, ShiftCandidates};
+
+#[test]
+fn tiny_csd_cmul_matches_golden_file() {
+    let stage = StageTwiddles::fft_stage(2, 2, 4);
+    let cands = ShiftCandidates::from_stage(&stage, 2, 4);
+    let (text, _) = emit_csd_cmul("csd_cmul_tiny", 8, &cands);
+    let golden = include_str!("golden/csd_cmul_tiny.v");
+    assert_eq!(
+        text, golden,
+        "emitted RTL diverged from the golden file; if intentional, \
+         regenerate crates/rtl/tests/golden/csd_cmul_tiny.v"
+    );
+}
+
+#[test]
+fn generation_is_deterministic() {
+    let stage = StageTwiddles::fft_stage(5, 5, 16);
+    let cands = ShiftCandidates::from_stage(&stage, 5, 8);
+    let (a, sa) = emit_csd_cmul("m", 39, &cands);
+    let (b, sb) = emit_csd_cmul("m", 39, &cands);
+    assert_eq!(a, b);
+    assert_eq!(sa, sb);
+}

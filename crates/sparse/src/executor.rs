@@ -1,0 +1,225 @@
+//! Functional sparse FFT execution.
+//!
+//! [`SparseFft`] runs the same abstract traversal as
+//! [`crate::symbolic::analyze`] but carries concrete complex values, so the
+//! skipping/merging dataflow can be validated bit-for-bit (in `f64`)
+//! against the dense transform: the optimizations are exact rewrites, not
+//! approximations.
+
+use flash_math::bitrev::log2_exact;
+use flash_math::C64;
+
+/// Concrete node state during sparse execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Node {
+    Zero,
+    /// `ω^exp · inputs[src]`, materialized lazily.
+    Scaled { src: u32, exp: u32 },
+    Dense(C64),
+}
+
+/// A sparse FFT executor for `m`-point transforms with positive-exponent
+/// twiddles (`ω = e^{+2πi/m}`), matching the negacyclic forward transform.
+#[derive(Debug, Clone)]
+pub struct SparseFft {
+    m: usize,
+    log_m: u32,
+    /// `ω^j` for `j` in `0..m`.
+    roots: Vec<C64>,
+}
+
+impl SparseFft {
+    /// Creates an executor for `m`-point transforms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not a power of two ≥ 2.
+    pub fn new(m: usize) -> Self {
+        let log_m = log2_exact(m);
+        assert!(m >= 2);
+        let roots = (0..m)
+            .map(|j| C64::expi(2.0 * std::f64::consts::PI * j as f64 / m as f64))
+            .collect();
+        Self { m, log_m, roots }
+    }
+
+    /// Transform size.
+    pub fn size(&self) -> usize {
+        self.m
+    }
+
+    /// Executes the sparse dataflow over *bit-reversed* input values.
+    /// Zero entries drive skipping; isolated values ride merged chains.
+    /// Output is in natural order, identical (up to `f64` rounding) to the
+    /// dense positive-exponent FFT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.size()`.
+    pub fn transform_bitrev_input(&self, input: &[C64]) -> Vec<C64> {
+        assert_eq!(input.len(), self.m, "input length must equal transform size");
+        let m = self.m;
+        let half_m = (m / 2) as u32;
+        let mut state: Vec<Node> = input
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| {
+                if x == C64::ZERO {
+                    Node::Zero
+                } else {
+                    Node::Scaled { src: i as u32, exp: 0 }
+                }
+            })
+            .collect();
+
+        let value = |n: Node, input: &[C64]| -> C64 {
+            match n {
+                Node::Zero => C64::ZERO,
+                Node::Scaled { src, exp } => input[src as usize] * self.roots[exp as usize],
+                Node::Dense(v) => v,
+            }
+        };
+
+        for s in 1..=self.log_m {
+            let len = 1usize << s;
+            let half = len / 2;
+            let stride = (m / len) as u32;
+            for block in (0..m).step_by(len) {
+                for j in 0..half {
+                    let t = j as u32 * stride;
+                    let iu = block + j;
+                    let iv = block + j + half;
+                    let (u, v) = (state[iu], state[iv]);
+                    match (u, v) {
+                        (_, Node::Zero) => {
+                            // skipping: duplicate u
+                            state[iv] = u;
+                        }
+                        (Node::Zero, Node::Scaled { src, exp }) => {
+                            // merging: accumulate the exponent
+                            state[iu] = Node::Scaled {
+                                src,
+                                exp: (exp + t) % m as u32,
+                            };
+                            state[iv] = Node::Scaled {
+                                src,
+                                exp: (exp + t + half_m) % m as u32,
+                            };
+                        }
+                        (Node::Zero, Node::Dense(x)) => {
+                            let wv = x * self.roots[t as usize];
+                            state[iu] = Node::Dense(wv);
+                            state[iv] = Node::Dense(-wv);
+                        }
+                        (_, _) => {
+                            let uv = value(u, input);
+                            // fuse a scaled v chain into the butterfly twiddle
+                            let wv = match v {
+                                Node::Scaled { src, exp } => {
+                                    input[src as usize]
+                                        * self.roots[((exp + t) % m as u32) as usize]
+                                }
+                                Node::Dense(x) => x * self.roots[t as usize],
+                                Node::Zero => unreachable!(),
+                            };
+                            state[iu] = Node::Dense(uv + wv);
+                            state[iv] = Node::Dense(uv - wv);
+                        }
+                    }
+                }
+            }
+        }
+
+        state.into_iter().map(|n| value(n, input)).collect()
+    }
+
+    /// Convenience wrapper: natural-order input (bit-reverses internally).
+    pub fn transform(&self, input: &[C64]) -> Vec<C64> {
+        let mut v = input.to_vec();
+        flash_math::bitrev::bit_reverse_permute(&mut v);
+        self.transform_bitrev_input(&v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_fft::dft::Direction;
+    use flash_fft::fft64::FftPlan;
+    use rand::{Rng, SeedableRng};
+
+    fn max_err(a: &[C64], b: &[C64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+    }
+
+    fn dense_reference(input: &[C64]) -> Vec<C64> {
+        let plan = FftPlan::new(input.len());
+        let mut v = input.to_vec();
+        plan.transform(&mut v, Direction::Positive);
+        v
+    }
+
+    #[test]
+    fn dense_input_matches_fft() {
+        let m = 64;
+        let sp = SparseFft::new(m);
+        let x: Vec<C64> = (0..m)
+            .map(|i| C64::new((i as f64 * 0.37).sin(), (i as f64 * 0.91).cos()))
+            .collect();
+        assert!(max_err(&sp.transform(&x), &dense_reference(&x)) < 1e-9);
+    }
+
+    #[test]
+    fn single_value_merging_matches_fft() {
+        let m = 128;
+        let sp = SparseFft::new(m);
+        for src in [0usize, 1, 37, m - 1] {
+            let mut x = vec![C64::ZERO; m];
+            x[src] = C64::new(2.5, -1.25);
+            assert!(
+                max_err(&sp.transform(&x), &dense_reference(&x)) < 1e-10,
+                "src={src}"
+            );
+        }
+    }
+
+    #[test]
+    fn contiguous_prefix_skipping_matches_fft() {
+        let m = 64;
+        let sp = SparseFft::new(m);
+        // Contiguous in the bit-reversed domain: populate positions whose
+        // bit-reverse lands in 0..8.
+        let mut x = vec![C64::ZERO; m];
+        for i in 0..m {
+            if flash_math::bitrev::bit_reverse(i, 6) < 8 {
+                x[i] = C64::new(i as f64, -(i as f64) / 2.0);
+            }
+        }
+        assert!(max_err(&sp.transform(&x), &dense_reference(&x)) < 1e-9);
+    }
+
+    #[test]
+    fn random_sparse_patterns_match_fft() {
+        let m = 256;
+        let sp = SparseFft::new(m);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        for density in [1usize, 3, 9, 40, 200] {
+            let mut x = vec![C64::ZERO; m];
+            for _ in 0..density {
+                let i = rng.gen_range(0..m);
+                x[i] = C64::new(rng.gen_range(-8.0..8.0), rng.gen_range(-8.0..8.0));
+            }
+            assert!(
+                max_err(&sp.transform(&x), &dense_reference(&x)) < 1e-9,
+                "density={density}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_zero_input_gives_zero_output() {
+        let sp = SparseFft::new(32);
+        let out = sp.transform(&vec![C64::ZERO; 32]);
+        assert!(out.iter().all(|&v| v == C64::ZERO));
+    }
+}

@@ -1,0 +1,52 @@
+//! Sparsity-aware FFT dataflow — FLASH's "skipping" and "merging"
+//! optimizations (Section IV-B of the paper).
+//!
+//! Cheetah's coefficient encoding leaves weight plaintexts more than 90 %
+//! sparse. This crate exploits that structure in the butterfly network:
+//!
+//! * **Skipping** — when the second butterfly operand is zero, both
+//!   outputs are copies of the first; a contiguous valid prefix therefore
+//!   collapses the transform to a small butterfly network followed by
+//!   duplication (Figure 8(a)).
+//! * **Merging** — an isolated valid value propagates as `± ω^e · x`
+//!   through the stages; the chained twiddle multiplications collapse into
+//!   a single one whose exponent is the sum of the stage exponents
+//!   (Figure 8(b)), and negations/duplications stay free.
+//!
+//! Both fall out of one mechanism: symbolic execution of the butterfly
+//! network over the node lattice `Zero ⊑ Scaled ⊑ Dense`
+//! ([`symbolic`]). The same traversal counts multiplications for the
+//! cost model ([`symbolic::analyze`]) and computes actual spectra
+//! ([`executor::SparseFft`]), which are bit-identical to the dense
+//! transform in `f64`.
+//!
+//! * [`pattern`] — sparsity patterns, folding of negacyclic weight
+//!   polynomials into the half-size FFT domain.
+//! * [`symbolic`] — the multiplication-counting analysis.
+//! * [`executor`] — a functional sparse FFT executor.
+//! * [`schedule`] — mapping counted operations onto butterfly units
+//!   (cycle model for the accelerator).
+//!
+//! # Examples
+//!
+//! ```
+//! use flash_sparse::pattern::SparsityPattern;
+//! use flash_sparse::symbolic::analyze;
+//!
+//! // One isolated non-zero value in a 16-point network: the paper's
+//! // Example 4.2. Merging collapses the 32 classical multiplications to
+//! // one per distinct twiddle exponent (3 here; the paper charges the
+//! // trivial ω⁰ too and says 4).
+//! let p = SparsityPattern::from_indices(16, [6]);
+//! let counts = analyze(&p.bit_reversed());
+//! assert_eq!(counts.mults(), 3);
+//! ```
+
+pub mod executor;
+pub mod pattern;
+pub mod pipeline;
+pub mod schedule;
+pub mod symbolic;
+
+pub use pattern::SparsityPattern;
+pub use symbolic::{analyze, DataflowCounts};

@@ -1,0 +1,24 @@
+//! The hybrid HE/2PC private-inference protocol (Cheetah-style).
+//!
+//! Linear layers run under homomorphic encryption over *arithmetic secret
+//! shares*: an `l`-bit activation `x` is split into `{x}^C + {x}^S ≡ x
+//! (mod 2^l)` between client and server. For one convolution the client
+//! sends `Enc({x}^C)`; the server computes
+//! `(Enc({x}^C) ⊞ {x}^S) ⊠ w ⊟ s` with a fresh random mask `s` and returns
+//! it; after decryption the client holds `{y}^C = y − s` while the server
+//! keeps `{y}^S = s` — the output is again secret-shared and feeds the 2PC
+//! non-linear layer.
+//!
+//! * [`shares`] — the additive share ring `Z_{2^l}`.
+//! * [`protocol`] — client/server simulation of homomorphic convolution,
+//!   including tiling, group accumulation and communication accounting.
+
+pub mod matvec;
+pub mod nonlinear;
+pub mod protocol;
+pub mod rns_protocol;
+pub mod shares;
+
+pub use matvec::MatVecProtocol;
+pub use protocol::{ConvProtocol, ProtocolStats};
+pub use shares::ShareRing;

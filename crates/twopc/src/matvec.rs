@@ -1,0 +1,198 @@
+//! The hybrid-protocol fully-connected (matrix–vector) layer.
+//!
+//! Same flow as the convolution protocol: the client sends encrypted
+//! input-vector shares, the server folds in its share, multiplies by the
+//! weight-matrix polynomials, masks, and returns; the output is again
+//! secret-shared.
+
+use crate::protocol::ProtocolStats;
+use crate::shares::ShareRing;
+use flash_he::matvec::MatVecEncoder;
+use flash_he::{Ciphertext, HeParams, Poly, PolyMulBackend, SecretKey};
+use rand::Rng;
+
+/// One FC layer's protocol instance.
+#[derive(Debug, Clone)]
+pub struct MatVecProtocol {
+    params: HeParams,
+    encoder: MatVecEncoder,
+    backend: PolyMulBackend,
+    ring: ShareRing,
+}
+
+impl MatVecProtocol {
+    /// Plans `y = W·x` with `W ∈ Z^{no×ni}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not a power of two ≥ 4.
+    pub fn new(params: HeParams, ni: usize, no: usize, backend: PolyMulBackend) -> Self {
+        let l = params.t.trailing_zeros();
+        assert!(params.t.is_power_of_two() && l >= 2, "t must be 2^l");
+        let encoder = MatVecEncoder::new(ni, no, params.n);
+        Self {
+            ring: ShareRing::new(l),
+            params,
+            encoder,
+            backend,
+        }
+    }
+
+    /// The tiling plan.
+    pub fn encoder(&self) -> &MatVecEncoder {
+        &self.encoder
+    }
+
+    /// The share ring.
+    pub fn ring(&self) -> ShareRing {
+        self.ring
+    }
+
+    /// Runs the protocol; `x` is the cleartext input (shared internally),
+    /// `w` the server's row-major weight matrix. Returns `(client share,
+    /// server share)` of `y` plus the wire statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatches.
+    pub fn run<R: Rng>(
+        &self,
+        sk: &SecretKey,
+        x: &[i64],
+        w: &[i64],
+        rng: &mut R,
+    ) -> ((Vec<u64>, Vec<u64>), ProtocolStats) {
+        let enc = &self.encoder;
+        let p = &self.params;
+        assert_eq!(x.len(), enc.input_dim(), "input dimension mismatch");
+        assert_eq!(
+            w.len(),
+            enc.input_dim() * enc.output_dim(),
+            "matrix size mismatch"
+        );
+        let mut stats = ProtocolStats::default();
+
+        let (x_client, x_server) = self.ring.share_vec(x, rng);
+        let xc: Vec<i64> = x_client.iter().map(|&v| v as i64).collect();
+        let xs: Vec<i64> = x_server.iter().map(|&v| v as i64).collect();
+
+        // Client: encrypt its share per column chunk.
+        let cts: Vec<Ciphertext> = enc
+            .encode_vector(&xc)
+            .iter()
+            .map(|poly| sk.encrypt(&Poly::from_signed(poly, p.t), rng))
+            .collect();
+        stats.ciphertexts_up = cts.len();
+        stats.upload_bytes = cts.iter().map(|c| c.byte_size()).sum();
+
+        // Server: fold in its share.
+        let cts_sum: Vec<Ciphertext> = cts
+            .iter()
+            .zip(enc.encode_vector(&xs))
+            .map(|(ct, tile)| ct.add_plain(&Poly::from_signed(&tile, p.t), p))
+            .collect();
+        stats.activation_transforms = 2 * cts_sum.len();
+
+        let no = enc.output_dim();
+        let mut y_client = vec![0u64; no];
+        let mut y_server = vec![0u64; no];
+        for rb in 0..enc.row_blocks() {
+            let mut acc: Option<Ciphertext> = None;
+            for (cc, ct) in cts_sum.iter().enumerate() {
+                let wp = enc.encode_matrix(w, rb, cc);
+                let term = ct.mul_plain_signed(&wp, p, &self.backend);
+                stats.weight_transforms += 1;
+                stats.pointwise_muls += p.n as u64;
+                acc = Some(match acc {
+                    None => term,
+                    Some(a) => a.add_ct(&term),
+                });
+            }
+            let acc = acc.expect("at least one chunk");
+            let mask_vals: Vec<u64> = (0..p.n).map(|_| rng.gen_range(0..p.t)).collect();
+            let mask = Poly::from_coeffs(mask_vals, p.t);
+            let masked = acc.sub_plain(&mask, p);
+            stats.inverse_transforms += 2;
+            stats.ciphertexts_down += 1;
+            stats.download_bytes += masked.byte_size();
+
+            // server share from the mask, client share from decryption
+            let mask_signed: Vec<i64> = mask.coeffs().iter().map(|&v| v as i64).collect();
+            let mut tmp = vec![0i64; no];
+            enc.decode_block(&mask_signed, rb, &mut tmp);
+            merge_block(enc, rb, &tmp, &mut y_server);
+            let dec = sk.decrypt(&masked);
+            let dec_signed: Vec<i64> = dec.coeffs().iter().map(|&v| v as i64).collect();
+            let mut tmp = vec![0i64; no];
+            enc.decode_block(&dec_signed, rb, &mut tmp);
+            merge_block(enc, rb, &tmp, &mut y_client);
+        }
+        ((y_client, y_server), stats)
+    }
+
+    /// Reconstructs the signed output from the two shares.
+    pub fn reconstruct(&self, client: &[u64], server: &[u64]) -> Vec<i64> {
+        self.ring.reconstruct_vec(client, server)
+    }
+}
+
+fn merge_block(enc: &MatVecEncoder, rb: usize, vals: &[i64], out: &mut [u64]) {
+    let row0 = rb * enc.rows_per_block();
+    let rows = enc.rows_per_block().min(enc.output_dim() - row0);
+    for i in 0..rows {
+        out[row0 + i] = vals[row0 + i] as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_he::matvec::matvec_reference;
+    use rand::SeedableRng;
+
+    fn run_case(ni: usize, no: usize, backend: PolyMulBackend, seed: u64) {
+        let params = HeParams::test_256();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let sk = SecretKey::generate(&params, &mut rng);
+        let proto = MatVecProtocol::new(params, ni, no, backend);
+        let x: Vec<i64> = (0..ni).map(|i| ((i as i64 * 13) % 15) - 7).collect();
+        let w: Vec<i64> = (0..ni * no).map(|i| ((i as i64 * 7) % 15) - 7).collect();
+        let ((yc, ys), stats) = proto.run(&sk, &x, &w, &mut rng);
+        let got = proto.reconstruct(&yc, &ys);
+        let ring = proto.ring();
+        let want: Vec<i64> = matvec_reference(&w, &x, ni, no)
+            .iter()
+            .map(|&v| ring.to_signed(ring.reduce(v)))
+            .collect();
+        assert_eq!(got, want, "ni={ni} no={no}");
+        assert_eq!(stats.ciphertexts_up, proto.encoder().col_chunks());
+        assert_eq!(stats.ciphertexts_down, proto.encoder().row_blocks());
+    }
+
+    #[test]
+    fn single_block_fc() {
+        run_case(16, 8, PolyMulBackend::Ntt, 1);
+    }
+
+    #[test]
+    fn row_blocked_fc() {
+        run_case(64, 12, PolyMulBackend::FftF64, 2);
+    }
+
+    #[test]
+    fn column_chunked_fc() {
+        run_case(300, 3, PolyMulBackend::Ntt, 3);
+    }
+
+    #[test]
+    fn fc_on_approximate_backend() {
+        let params = HeParams::test_256();
+        let mut cfg = flash_fft::ApproxFftConfig::uniform(
+            params.n,
+            flash_math::fixed::FxpFormat::new(18, 34),
+            30,
+        );
+        cfg.max_shift = 30;
+        run_case(32, 10, PolyMulBackend::approx(cfg), 4);
+    }
+}

@@ -1,0 +1,369 @@
+//! Client/server simulation of one homomorphic convolution.
+//!
+//! Both roles run in-process; the "wire" is accounted in
+//! [`ProtocolStats`]. The plaintext modulus `t = 2^l` of the BFV
+//! parameters doubles as the secret-share ring, so homomorphic sums over
+//! `Z_t` are exactly the share arithmetic of the 2PC layers around the
+//! convolution.
+
+use crate::shares::ShareRing;
+use flash_he::encoding::{ConvEncoder, ConvShape};
+use flash_he::{Ciphertext, HeParams, Poly, PolyMulBackend, SecretKey};
+use rand::Rng;
+
+/// Communication and workload accounting of one protocol run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProtocolStats {
+    /// Bytes of ciphertext sent client → server.
+    pub upload_bytes: usize,
+    /// Bytes of ciphertext sent server → client.
+    pub download_bytes: usize,
+    /// Ciphertexts the client uploads (`groups × bands`).
+    pub ciphertexts_up: usize,
+    /// Ciphertexts the server returns (`bands × out-channels`).
+    pub ciphertexts_down: usize,
+    /// Forward transforms of *weight* polynomials (the FLASH target).
+    pub weight_transforms: usize,
+    /// Forward transforms of activation (ciphertext) polynomials — two
+    /// per uploaded ciphertext (`c0` and `c1`).
+    pub activation_transforms: usize,
+    /// Inverse transforms — two per returned ciphertext.
+    pub inverse_transforms: usize,
+    /// Point-wise spectrum multiplications (complex/modular MACs).
+    pub pointwise_muls: u64,
+}
+
+/// The secret-shared output of one convolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConvOutputShares {
+    /// Client share, `m·out_h·out_w` row-major over `Z_{2^l}`.
+    pub client: Vec<u64>,
+    /// Server share, same layout.
+    pub server: Vec<u64>,
+}
+
+/// One convolution layer's protocol instance.
+#[derive(Debug, Clone)]
+pub struct ConvProtocol {
+    params: HeParams,
+    encoder: ConvEncoder,
+    backend: PolyMulBackend,
+    ring: ShareRing,
+    /// Response truncation `(d0, d1)` bits, if enabled (Cheetah's
+    /// download compression).
+    truncation: Option<(u32, u32)>,
+}
+
+impl ConvProtocol {
+    /// Plans a protocol run for a (pre-padded, stride-1) convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not a power of two ≥ 4 (share/plaintext rings must
+    /// coincide).
+    pub fn new(params: HeParams, shape: ConvShape, backend: PolyMulBackend) -> Self {
+        let l = params.t.trailing_zeros();
+        assert!(params.t.is_power_of_two() && l >= 2, "t must be 2^l");
+        let encoder = ConvEncoder::new(shape, params.n);
+        Self {
+            ring: ShareRing::new(l),
+            params,
+            encoder,
+            backend,
+            truncation: None,
+        }
+    }
+
+    /// Enables response-ciphertext truncation: the server drops `d0` low
+    /// bits of `c0` and `d1` of `c1` before download. The caller is
+    /// responsible for choosing a noise-safe pair (see
+    /// [`flash_he::truncate::safe_truncation`]).
+    pub fn with_truncation(mut self, d0: u32, d1: u32) -> Self {
+        self.truncation = Some((d0, d1));
+        self
+    }
+
+    /// The share ring `Z_{2^l}`.
+    pub fn ring(&self) -> ShareRing {
+        self.ring
+    }
+
+    /// The tiling plan.
+    pub fn encoder(&self) -> &ConvEncoder {
+        &self.encoder
+    }
+
+    /// Runs the protocol on a secret-shared activation.
+    ///
+    /// `x` is the *cleartext* activation (signed, already padded); it is
+    /// split into shares internally so tests can verify reconstruction.
+    /// `weights` is the full `m×c×k×k` kernel (server-side plaintext).
+    ///
+    /// # Panics
+    ///
+    /// Panics on size mismatches with the planned shape.
+    pub fn run<R: Rng>(
+        &self,
+        sk: &SecretKey,
+        x: &[i64],
+        weights: &[i64],
+        rng: &mut R,
+    ) -> (ConvOutputShares, ProtocolStats) {
+        let shape = *self.encoder.shape();
+        assert_eq!(x.len(), shape.input_len(), "activation size mismatch");
+        assert_eq!(
+            weights.len(),
+            shape.m * shape.kernel_len(),
+            "weight size mismatch"
+        );
+        let p = &self.params;
+        let mut stats = ProtocolStats::default();
+
+        // --- Secret-share the activation (normally pre-existing state).
+        let (x_client, x_server) = self.ring.share_vec(x, rng);
+        let xc_signed: Vec<i64> = x_client.iter().map(|&v| v as i64).collect();
+        let xs_signed: Vec<i64> = x_server.iter().map(|&v| v as i64).collect();
+
+        // --- Client: encode its share per tile and encrypt.
+        let enc = &self.encoder;
+        let client_tiles = enc.encode_activation(&xc_signed);
+        let cts: Vec<Ciphertext> = client_tiles
+            .iter()
+            .map(|tile| {
+                let m = Poly::from_signed(tile, p.t);
+                sk.encrypt(&m, rng)
+            })
+            .collect();
+        stats.ciphertexts_up = cts.len();
+        stats.upload_bytes = cts.iter().map(|c| c.byte_size()).sum();
+
+        // --- Server: fold in its share, multiply by weights, mask.
+        let server_tiles = enc.encode_activation(&xs_signed);
+        let cts_sum: Vec<Ciphertext> = cts
+            .iter()
+            .zip(&server_tiles)
+            .map(|(ct, tile)| ct.add_plain(&Poly::from_signed(tile, p.t), p))
+            .collect();
+        stats.activation_transforms = 2 * cts_sum.len();
+
+        let bands = enc.bands();
+        let out_len = shape.output_len();
+        let mut y_client = vec![0u64; out_len];
+        let mut y_server = vec![0u64; out_len];
+        let mut results = Vec::with_capacity(bands * shape.m);
+        let half_spectrum = (p.n / 2) as u64;
+
+        for oc in 0..shape.m {
+            let w_polys = enc.encode_weight(
+                &weights[oc * shape.kernel_len()..][..shape.kernel_len()],
+                oc,
+            );
+            for b in 0..bands {
+                let mut acc: Option<Ciphertext> = None;
+                for (g, w_poly) in w_polys.iter().enumerate() {
+                    let term =
+                        cts_sum[g * bands + b].mul_plain_signed(&w_poly[b], p, &self.backend);
+                    stats.weight_transforms += 1;
+                    stats.pointwise_muls += 2 * half_spectrum;
+                    acc = Some(match acc {
+                        None => term,
+                        Some(a) => a.add_ct(&term),
+                    });
+                }
+                let acc = acc.expect("at least one channel group");
+                // Fresh random mask: the server's output share.
+                let mask_vals: Vec<u64> = (0..p.n).map(|_| rng.gen_range(0..p.t)).collect();
+                let mask = Poly::from_coeffs(mask_vals, p.t);
+                let masked = acc.sub_plain(&mask, p);
+                stats.inverse_transforms += 2;
+                // Server keeps its share from the mask coefficients at the
+                // output positions.
+                let mask_signed: Vec<i64> = mask.coeffs().iter().map(|&v| v as i64).collect();
+                let mut tmp = vec![0i64; out_len];
+                enc.decode_band(&mask_signed, b, oc, &mut tmp);
+                self.merge_band(&tmp, b, oc, &mut y_server);
+                // Optional download compression: truncate, "send", and
+                // reconstruct on the client side.
+                let masked = match self.truncation {
+                    None => {
+                        stats.download_bytes += masked.byte_size();
+                        masked
+                    }
+                    Some((d0, d1)) => {
+                        let t = flash_he::truncate::TruncatedCiphertext::truncate(
+                            &masked, d0, d1, p,
+                        );
+                        stats.download_bytes += t.byte_size(p);
+                        t.reconstruct(p)
+                    }
+                };
+                results.push((b, oc, masked));
+            }
+        }
+        stats.ciphertexts_down = results.len();
+
+        // --- Client: decrypt and decode its share.
+        for (b, oc, ct) in &results {
+            let m = sk.decrypt(ct);
+            let coeffs: Vec<i64> = m.coeffs().iter().map(|&v| v as i64).collect();
+            let mut tmp = vec![0i64; out_len];
+            enc.decode_band(&coeffs, *b, *oc, &mut tmp);
+            self.merge_band(&tmp, *b, *oc, &mut y_client);
+        }
+
+        (
+            ConvOutputShares {
+                client: y_client,
+                server: y_server,
+            },
+            stats,
+        )
+    }
+
+    /// Reconstructs the signed output from the two shares.
+    pub fn reconstruct(&self, shares: &ConvOutputShares) -> Vec<i64> {
+        self.ring.reconstruct_vec(&shares.client, &shares.server)
+    }
+
+    /// Copies one decoded band (only its own output rows) into the
+    /// accumulated share tensor.
+    fn merge_band(&self, band_vals: &[i64], b: usize, oc: usize, out: &mut [u64]) {
+        let shape = self.encoder.shape();
+        let spec = self.encoder.band_spec(b);
+        for pp in 0..spec.rows_out {
+            for q in 0..shape.out_w() {
+                let idx = (oc * shape.out_h() + spec.out_row0 + pp) * shape.out_w() + q;
+                out[idx] = band_vals[idx] as u64;
+            }
+        }
+    }
+}
+
+/// Signed reference convolution reduced into `Z_{2^l}` (what the protocol
+/// must reproduce).
+pub fn expected_conv_mod(
+    x: &[i64],
+    weights: &[i64],
+    shape: &ConvShape,
+    ring: ShareRing,
+) -> Vec<i64> {
+    flash_he::encoding::direct_conv_stride1(x, weights, shape)
+        .iter()
+        .map(|&v| ring.to_signed(ring.reduce(v)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn run_case(shape: ConvShape, params: HeParams, backend: PolyMulBackend, seed: u64) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let sk = SecretKey::generate(&params, &mut rng);
+        let proto = ConvProtocol::new(params, shape, backend);
+        let x: Vec<i64> = (0..shape.input_len())
+            .map(|_| rng.gen_range(-8..8))
+            .collect();
+        let w: Vec<i64> = (0..shape.m * shape.kernel_len())
+            .map(|_| rng.gen_range(-8..8))
+            .collect();
+        let (shares, stats) = proto.run(&sk, &x, &w, &mut rng);
+        let got = proto.reconstruct(&shares);
+        let want = expected_conv_mod(&x, &w, &shape, proto.ring());
+        assert_eq!(got, want, "shape {shape}");
+        assert_eq!(stats.ciphertexts_up, proto.encoder().activation_polys());
+        assert_eq!(stats.ciphertexts_down, proto.encoder().result_polys());
+        assert!(stats.upload_bytes > 0 && stats.download_bytes > 0);
+    }
+
+    #[test]
+    fn single_tile_protocol_ntt() {
+        let shape = ConvShape { c: 2, h: 6, w: 6, m: 2, k: 3 };
+        run_case(shape, HeParams::test_256(), PolyMulBackend::Ntt, 1);
+    }
+
+    #[test]
+    fn single_tile_protocol_fft() {
+        let shape = ConvShape { c: 2, h: 6, w: 6, m: 2, k: 3 };
+        run_case(shape, HeParams::test_256(), PolyMulBackend::FftF64, 2);
+    }
+
+    #[test]
+    fn grouped_tiles_protocol() {
+        // 4 channels of 8x8 = 256 coefficients in N = 256 -> cg = 4? no:
+        // 4*64 = 256 fits exactly in one tile; force groups with c = 8.
+        let shape = ConvShape { c: 8, h: 8, w: 8, m: 1, k: 3 };
+        run_case(shape, HeParams::test_256(), PolyMulBackend::Ntt, 3);
+    }
+
+    #[test]
+    fn banded_tiles_protocol() {
+        // One 24x24 channel (576 > 256): row bands.
+        let shape = ConvShape { c: 1, h: 24, w: 24, m: 1, k: 3 };
+        run_case(shape, HeParams::test_256(), PolyMulBackend::FftF64, 4);
+    }
+
+    #[test]
+    fn approx_backend_protocol_exact_at_modest_precision() {
+        // FLASH's approximate weight transform at a comfortable operating
+        // point must not disturb any output (errors stay below q/2t).
+        let shape = ConvShape { c: 2, h: 6, w: 6, m: 2, k: 3 };
+        let params = HeParams::test_256();
+        let mut cfg = flash_fft::ApproxFftConfig::uniform(
+            params.n,
+            flash_math::fixed::FxpFormat::new(18, 34),
+            30,
+        );
+        cfg.max_shift = 30;
+        run_case(shape, params, PolyMulBackend::approx(cfg), 5);
+    }
+
+    #[test]
+    fn truncated_responses_stay_correct_and_shrink_download() {
+        let shape = ConvShape { c: 2, h: 6, w: 6, m: 2, k: 3 };
+        let params = HeParams::test_256();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let sk = SecretKey::generate(&params, &mut rng);
+        let x: Vec<i64> = (0..shape.input_len()).map(|i| ((i as i64) % 15) - 7).collect();
+        let w: Vec<i64> = (0..shape.m * shape.kernel_len())
+            .map(|i| ((i as i64 * 3) % 15) - 7)
+            .collect();
+
+        let plain = ConvProtocol::new(params.clone(), shape, PolyMulBackend::Ntt);
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(1);
+        let (_, base_stats) = plain.run(&sk, &x, &w, &mut r1);
+
+        // a conservative truncation well inside the budget
+        let trunc = ConvProtocol::new(params, shape, PolyMulBackend::Ntt).with_truncation(8, 2);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(1);
+        let (shares, stats) = trunc.run(&sk, &x, &w, &mut r2);
+        assert_eq!(
+            trunc.reconstruct(&shares),
+            expected_conv_mod(&x, &w, &shape, trunc.ring())
+        );
+        assert!(
+            stats.download_bytes < base_stats.download_bytes,
+            "truncation must shrink the response: {} vs {}",
+            stats.download_bytes,
+            base_stats.download_bytes
+        );
+    }
+
+    #[test]
+    fn shares_alone_reveal_nothing_obvious() {
+        // Sanity: the client share of a zero activation output is not zero
+        // (it is masked), and reconstruction needs both shares.
+        let shape = ConvShape { c: 1, h: 5, w: 5, m: 1, k: 3 };
+        let params = HeParams::test_256();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let sk = SecretKey::generate(&params, &mut rng);
+        let proto = ConvProtocol::new(params, shape, PolyMulBackend::Ntt);
+        let x = vec![0i64; shape.input_len()];
+        let w = vec![1i64; shape.kernel_len()];
+        let (shares, _) = proto.run(&sk, &x, &w, &mut rng);
+        assert!(shares.client.iter().any(|&v| v != 0), "client share is masked");
+        assert!(shares.server.iter().any(|&v| v != 0), "server share is the mask");
+        assert!(proto.reconstruct(&shares).iter().all(|&v| v == 0));
+    }
+}

@@ -1,0 +1,141 @@
+//! Arithmetic secret sharing over `Z_{2^l}`.
+
+use rand::Rng;
+
+/// The additive share ring `Z_{2^l}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShareRing {
+    l: u32,
+}
+
+impl ShareRing {
+    /// Creates the ring `Z_{2^l}`, `1 ≤ l ≤ 63`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `l` outside `1..=63`.
+    pub fn new(l: u32) -> Self {
+        assert!((1..=63).contains(&l), "share width must be in 1..=63 bits");
+        Self { l }
+    }
+
+    /// Bit width `l`.
+    pub fn bits(&self) -> u32 {
+        self.l
+    }
+
+    /// The ring modulus `2^l`.
+    pub fn modulus(&self) -> u64 {
+        1u64 << self.l
+    }
+
+    /// Reduces a signed value into `[0, 2^l)`.
+    #[inline]
+    pub fn reduce(&self, x: i64) -> u64 {
+        (x as u64) & (self.modulus() - 1)
+    }
+
+    /// Ring addition.
+    #[inline]
+    pub fn add(&self, a: u64, b: u64) -> u64 {
+        (a.wrapping_add(b)) & (self.modulus() - 1)
+    }
+
+    /// Ring subtraction.
+    #[inline]
+    pub fn sub(&self, a: u64, b: u64) -> u64 {
+        (a.wrapping_sub(b)) & (self.modulus() - 1)
+    }
+
+    /// Interprets a ring element as a signed value in
+    /// `[-2^{l-1}, 2^{l-1})` (the two's-complement reading quantized
+    /// networks use).
+    #[inline]
+    pub fn to_signed(&self, a: u64) -> i64 {
+        debug_assert!(a < self.modulus());
+        if a >= self.modulus() / 2 {
+            a as i64 - self.modulus() as i64
+        } else {
+            a as i64
+        }
+    }
+
+    /// Splits a signed vector into two additive shares.
+    pub fn share_vec<R: Rng>(&self, x: &[i64], rng: &mut R) -> (Vec<u64>, Vec<u64>) {
+        let mut client = Vec::with_capacity(x.len());
+        let mut server = Vec::with_capacity(x.len());
+        for &v in x {
+            let r = rng.gen_range(0..self.modulus());
+            server.push(r);
+            client.push(self.sub(self.reduce(v), r));
+        }
+        (client, server)
+    }
+
+    /// Reconstructs the signed vector from two shares.
+    pub fn reconstruct_vec(&self, a: &[u64], b: &[u64]) -> Vec<i64> {
+        assert_eq!(a.len(), b.len(), "share length mismatch");
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| self.to_signed(self.add(x, y)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn share_reconstruct_roundtrip() {
+        let ring = ShareRing::new(16);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let x: Vec<i64> = vec![0, 1, -1, 127, -128, 32767, -32768];
+        let (c, s) = ring.share_vec(&x, &mut rng);
+        assert_eq!(ring.reconstruct_vec(&c, &s), x);
+    }
+
+    #[test]
+    fn shares_look_uniform() {
+        let ring = ShareRing::new(8);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let x = vec![5i64; 4096];
+        let (c, _) = ring.share_vec(&x, &mut rng);
+        // client share of a constant must not be constant
+        let distinct: std::collections::HashSet<u64> = c.iter().copied().collect();
+        assert!(distinct.len() > 100);
+        let mean: f64 = c.iter().map(|&v| v as f64).sum::<f64>() / c.len() as f64;
+        assert!((mean - 127.5).abs() < 10.0, "share mean {mean}");
+    }
+
+    #[test]
+    fn ring_ops_wrap() {
+        let ring = ShareRing::new(8);
+        assert_eq!(ring.add(200, 100), 44);
+        assert_eq!(ring.sub(10, 20), 246);
+        assert_eq!(ring.to_signed(255), -1);
+        assert_eq!(ring.to_signed(127), 127);
+        assert_eq!(ring.reduce(-1), 255);
+    }
+
+    #[test]
+    fn additivity_of_linear_ops() {
+        // y = 3*x computed share-wise reconstructs to 3*x.
+        let ring = ShareRing::new(12);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let x: Vec<i64> = (-10..10).collect();
+        let (c, s) = ring.share_vec(&x, &mut rng);
+        let c3: Vec<u64> = c.iter().map(|&v| (v * 3) & (ring.modulus() - 1)).collect();
+        let s3: Vec<u64> = s.iter().map(|&v| (v * 3) & (ring.modulus() - 1)).collect();
+        let y = ring.reconstruct_vec(&c3, &s3);
+        let want: Vec<i64> = x.iter().map(|&v| v * 3).collect();
+        assert_eq!(y, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "share width")]
+    fn rejects_zero_width() {
+        ShareRing::new(0);
+    }
+}

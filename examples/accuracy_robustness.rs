@@ -1,0 +1,67 @@
+//! The error-resilience story, end to end: sweep the approximate-FFT
+//! knobs (data width `dw`, twiddle level `k`) and watch errors being
+//! absorbed at the kernel, layer and network levels.
+//!
+//! ```text
+//! cargo run --release -p flash-accel --example accuracy_robustness
+//! ```
+
+use flash_accel::config::FlashConfig;
+use flash_fft::error::{monte_carlo_error, ErrorWorkload};
+use flash_nn::quant::Requantizer;
+use flash_nn::robustness::{layer_flip_rate, MarginModel};
+use rand::SeedableRng;
+
+fn main() {
+    let he = flash_he::HeParams::flash_default();
+    println!(
+        "FLASH parameters: N = {}, q = 2^{:.1}, t = 2^{}, kernel budget q/2t = {}",
+        he.n,
+        (he.q as f64).log2(),
+        he.t.trailing_zeros(),
+        he.noise_ceiling()
+    );
+    let wl = ErrorWorkload {
+        weight_mag: 8,
+        weight_nnz: 9,
+        act_mag: (he.t / 2) as f64,
+    };
+    let requant = Requantizer::calibrate(576 * 64, 4);
+    let sps: Vec<i64> = (-(576 * 64)..(576 * 64)).step_by(23).collect();
+    let margin = MarginModel::new(0.7424);
+
+    println!();
+    println!(
+        "{:>4} {:>4} {:>14} {:>12} {:>10} {:>10}",
+        "dw", "k", "q-error std", "SP-err std", "flip rate", "accuracy"
+    );
+    for (dw, k) in [
+        (20u32, 2usize),
+        (22, 3),
+        (24, 4),
+        (27, 5), // the paper's trained operating point
+        (27, 18),
+        (33, 18),
+        (40, 24),
+    ] {
+        let cfg = FlashConfig::numerics_for(he.n, dw, k);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(dw as u64 * 31 + k as u64);
+        let err = monte_carlo_error(&cfg, wl, 2, &mut rng);
+        let sp_err = err.variance.sqrt() * he.t as f64 / he.q as f64;
+        let flip = layer_flip_rate(&requant, &sps, sp_err, &mut rng);
+        let acc = margin.accuracy(flip);
+        let marker = if dw == 27 && k == 5 { "  <- FLASH" } else { "" };
+        println!(
+            "{dw:>4} {k:>4} {:>14.1} {:>12.3} {:>10.5} {:>9.2}%{marker}",
+            err.variance.sqrt(),
+            sp_err,
+            flip,
+            acc * 100.0
+        );
+    }
+    println!();
+    println!("kernel level: q-domain errors below q/2t vanish at decryption;");
+    println!("layer level:  SP errors below half a re-quantization step never flip;");
+    println!("network level: residual flips barely move the margin-model accuracy.");
+    println!("(paper: 74.24% -> 74.19% at the trained k=5, 27-bit operating point)");
+}

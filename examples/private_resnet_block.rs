@@ -1,0 +1,99 @@
+//! Private inference of a (scaled-down) ResNet bottleneck block, plus the
+//! full-scale ResNet-18/-50 performance model.
+//!
+//! ```text
+//! cargo run --release -p flash-accel --example private_resnet_block
+//! ```
+//!
+//! Part 1 runs a miniature bottleneck block (1x1 → 3x3 → 1x1 with
+//! re-quantization between layers) through the hybrid protocol
+//! functionally, bit-checked against the cleartext pipeline. Part 2 runs
+//! the paper-scale workload/scheduling model over every linear layer of
+//! ResNet-18 and ResNet-50.
+
+use flash_accel::config::FlashConfig;
+use flash_accel::hconv::FlashHconv;
+use flash_accel::inference::run_network;
+use flash_he::SecretKey;
+use flash_nn::layers::{conv_reference, ConvLayerSpec};
+use flash_nn::quant::{Quantizer, Requantizer};
+use flash_nn::resnet::{resnet18_conv_layers, resnet50_conv_layers};
+use rand::SeedableRng;
+
+fn conv(name: &str, c: usize, h: usize, m: usize, k: usize, pad: usize) -> ConvLayerSpec {
+    ConvLayerSpec { name: name.into(), c, h, w: h, m, k, stride: 1, pad }
+}
+
+fn main() {
+    // ---------- Part 1: functional mini bottleneck block ----------
+    let cfg = FlashConfig::test_small();
+    let engine = FlashHconv::new(cfg.clone());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let sk = SecretKey::generate(&cfg.he, &mut rng);
+    let ring = engine.ring();
+
+    let block = [
+        conv("block.conv1", 4, 8, 2, 1, 0), // 1x1 squeeze
+        conv("block.conv2", 2, 8, 2, 3, 1), // 3x3
+        conv("block.conv3", 2, 8, 4, 1, 0), // 1x1 expand
+    ];
+
+    let mut x = block[0].sample_input(Quantizer::a4(), &mut rng);
+    let mut x_clear = x.clone();
+    println!("mini bottleneck block (functional, N = {}):", cfg.he.n);
+    for layer in &block {
+        let w = layer.sample_weights(Quantizer::w4(), &mut rng);
+        // private path
+        let (y_priv, stats) = engine.run_layer(&sk, layer, &x, &w, &mut rng);
+        // cleartext reference
+        let y_clear = conv_reference(&x_clear, &w, layer);
+        let expected: Vec<i64> = y_clear
+            .iter()
+            .map(|&v| ring.to_signed(ring.reduce(v)))
+            .collect();
+        assert_eq!(y_priv, expected, "{} mismatch", layer.name);
+        // re-quantize both paths identically (the 2PC non-linear stage)
+        let max_sp = y_clear.iter().map(|v| v.abs()).max().unwrap_or(1);
+        let rq = Requantizer::calibrate(max_sp, 4);
+        x = y_priv.iter().map(|&v| rq.apply(v)).collect();
+        x_clear = y_clear.iter().map(|&v| rq.apply(v)).collect();
+        assert_eq!(x, x_clear);
+        println!(
+            "  {}: {} outputs OK ({} cts up / {} down, {} weight transforms)",
+            layer.name,
+            y_priv.len(),
+            stats.ciphertexts_up,
+            stats.ciphertexts_down,
+            stats.weight_transforms
+        );
+    }
+    println!("  block output matches the cleartext pipeline bit-for-bit\n");
+
+    // ---------- Part 2: paper-scale performance model ----------
+    let paper_cfg = FlashConfig::paper_default();
+    for net in [resnet18_conv_layers(), resnet50_conv_layers()] {
+        let run = run_network(&net, &paper_cfg);
+        println!(
+            "{}: {} conv layers | transform latency {:.2} ms | CHAM {:.1} ms | speedup {:.1}x",
+            run.name,
+            run.layers.len(),
+            run.transform_latency_s * 1e3,
+            run.cham_latency_s * 1e3,
+            run.speedup_vs_cham()
+        );
+        println!(
+            "  energy: datapath {:.1} mJ, reduction vs F1 {:.1} %",
+            run.total_datapath_energy_uj / 1e3,
+            run.energy_reduction_vs_f1() * 100.0
+        );
+        // the three most expensive layers
+        let mut by_cycles: Vec<_> = run.layers.iter().collect();
+        by_cycles.sort_by_key(|l| std::cmp::Reverse(l.perf.cycles));
+        for l in by_cycles.iter().take(3) {
+            println!(
+                "  hottest: {:<22} {:>9} cycles, bottleneck: {}",
+                l.workload.name, l.perf.cycles, l.perf.bottleneck
+            );
+        }
+    }
+}
