@@ -54,7 +54,10 @@ fn cmd_gantt(net: &Network) {
     use flash_accel::sim::simulate_layer;
     let cfg = FlashConfig::paper_default();
     println!("per-layer engine occupancy (simulated; each bar spans the layer makespan)");
-    println!("{:<24} {:>10}  {:<22} {:<22}", "layer", "cycles", "weight PEs", "point-wise");
+    println!(
+        "{:<24} {:>10}  {:<22} {:<22}",
+        "layer", "cycles", "weight PEs", "point-wise"
+    );
     for spec in &net.convs {
         let w = layer_workload(spec, cfg.n());
         let sim = simulate_layer(&w, &cfg.arch, &cfg.pe);
@@ -77,7 +80,11 @@ fn cmd_gantt(net: &Network) {
 fn cmd_report(net: &Network) {
     let cfg = FlashConfig::paper_default();
     let run = run_network(net, &cfg);
-    println!("network: {} ({} conv layers + fc)", run.name, net.convs.len());
+    println!(
+        "network: {} ({} conv layers + fc)",
+        run.name,
+        net.convs.len()
+    );
     println!(
         "transform latency: {:.3} ms   (CHAM model: {:.1} ms, speedup {:.1}x)",
         run.transform_latency_s * 1e3,
@@ -129,9 +136,15 @@ fn cmd_layer(args: &[String]) {
     let cfg = FlashConfig::paper_default();
     let w = layer_workload(&spec, cfg.n());
     let perf = schedule_layer(&w, &cfg.arch, &cfg.pe);
-    println!("layer: {}x{}x{} -> {} ch, {}x{} kernel, stride {}, pad {}",
-        spec.c, spec.h, spec.w, spec.m, spec.k, spec.k, spec.stride, spec.pad);
-    println!("weight polynomials: {} (sparsity {:.2} %)", w.weight_transforms, w.sparsity * 100.0);
+    println!(
+        "layer: {}x{}x{} -> {} ch, {}x{} kernel, stride {}, pad {}",
+        spec.c, spec.h, spec.w, spec.m, spec.k, spec.k, spec.stride, spec.pad
+    );
+    println!(
+        "weight polynomials: {} (sparsity {:.2} %)",
+        w.weight_transforms,
+        w.sparsity * 100.0
+    );
     println!(
         "mults per weight transform: {} sparse vs {} dense ({:.1} % reduced)",
         w.weight_mults_sparse_each,
@@ -151,7 +164,10 @@ fn cmd_layer(args: &[String]) {
 }
 
 fn cmd_sparsity(net: &Network) {
-    println!("{:<26} {:>6} {:>10} {:>10} {:>10}", "layer", "kernel", "valid", "sparsity", "polys");
+    println!(
+        "{:<26} {:>6} {:>10} {:>10} {:>10}",
+        "layer", "kernel", "valid", "sparsity", "polys"
+    );
     for l in &net.convs {
         let s = flash_nn::sparsity::layer_weight_sparsity(l, 4096);
         println!(
@@ -179,7 +195,10 @@ fn cmd_dse(args: &[String]) {
     let spec = net.layer(layer_idx);
     let he = flash_he::HeParams::flash_default();
     let sp = flash_nn::sparsity::layer_weight_sparsity(spec, he.n);
-    println!("DSE for layer {layer_idx} = {} ({} valid coeffs)", spec.name, sp.valid_per_poly);
+    println!(
+        "DSE for layer {layer_idx} = {} ({} valid coeffs)",
+        spec.name, sp.valid_per_poly
+    );
     let space = DesignSpace::flash_default(he.n);
     let obj = Objective::from_layer(space, sp.valid_per_poly, 8.0, (he.t / 2) as f64);
     let per_weight = (evals_budget / 4).max(8);
@@ -192,7 +211,11 @@ fn cmd_dse(args: &[String]) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(layer_idx as u64);
     let evals = optimize_multi(&obj, &[0.2, 0.4, 0.6, 0.8], &cfg, &mut rng);
     let front = pareto_front(&evals);
-    println!("{} evaluations, {} Pareto-optimal:", evals.len(), front.len());
+    println!(
+        "{} evaluations, {} Pareto-optimal:",
+        evals.len(),
+        front.len()
+    );
     for e in &front {
         println!(
             "  power {:.3} mW, error variance {:.3e}, mean dw {:.1}, mean k {:.1}",

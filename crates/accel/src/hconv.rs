@@ -11,7 +11,8 @@ use flash_2pc::shares::ShareRing;
 use flash_he::encoding::{pad_input, stride2_decompose, strided_out_dims, ConvShape};
 use flash_he::{PolyMulBackend, SecretKey};
 use flash_nn::layers::ConvLayerSpec;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// A functional FLASH HConv engine.
 #[derive(Debug, Clone)]
@@ -58,23 +59,42 @@ impl FlashHconv {
         let (hp, wp) = (spec.h + 2 * spec.pad, spec.w + 2 * spec.pad);
         match spec.stride {
             1 => {
-                let shape = ConvShape { c: spec.c, h: hp, w: wp, m: spec.m, k: spec.k };
+                let shape = ConvShape {
+                    c: spec.c,
+                    h: hp,
+                    w: wp,
+                    m: spec.m,
+                    k: spec.k,
+                };
                 let proto = ConvProtocol::new(self.cfg.he.clone(), shape, self.backend.clone());
                 let (shares, stats) = proto.run(sk, &xp, weights, rng);
                 (proto.reconstruct(&shares), stats)
             }
             2 => {
-                let shape = ConvShape { c: spec.c, h: hp, w: wp, m: spec.m, k: spec.k };
+                let shape = ConvShape {
+                    c: spec.c,
+                    h: hp,
+                    w: wp,
+                    m: spec.m,
+                    k: spec.k,
+                };
                 let (sub, parts) = stride2_decompose(&xp, weights, &shape);
                 let (oh, ow) = strided_out_dims(hp, wp, spec.k, 2);
                 let ring = self.ring();
                 let mut sum = vec![0i64; spec.m * sub.out_h() * sub.out_w()];
                 let mut stats = ProtocolStats::default();
-                for (xs, fs) in &parts {
-                    let proto =
-                        ConvProtocol::new(self.cfg.he.clone(), sub, self.backend.clone());
-                    let (shares, s) = proto.run(sk, xs, fs, rng);
-                    let y = proto.reconstruct(&shares);
+                // One seed per phase, drawn sequentially up front, so the
+                // four stride-2 phases can run in parallel with the same
+                // results for any worker count.
+                let phase_seeds: Vec<u64> = parts.iter().map(|_| rng.next_u64()).collect();
+                let phase_results = flash_runtime::parallel_gen(parts.len(), |i| {
+                    let (xs, fs) = &parts[i];
+                    let proto = ConvProtocol::new(self.cfg.he.clone(), sub, self.backend.clone());
+                    let mut phase_rng = StdRng::seed_from_u64(phase_seeds[i]);
+                    let (shares, s) = proto.run(sk, xs, fs, &mut phase_rng);
+                    (proto.reconstruct(&shares), s)
+                });
+                for (y, s) in phase_results {
                     for (acc, v) in sum.iter_mut().zip(&y) {
                         *acc = ring.to_signed(ring.add(ring.reduce(*acc), ring.reduce(*v)));
                     }
@@ -139,7 +159,16 @@ mod tests {
     #[test]
     fn stride1_padded_layer_on_flash_numerics() {
         run_and_check(
-            ConvLayerSpec { name: "s1".into(), c: 2, h: 6, w: 6, m: 2, k: 3, stride: 1, pad: 1 },
+            ConvLayerSpec {
+                name: "s1".into(),
+                c: 2,
+                h: 6,
+                w: 6,
+                m: 2,
+                k: 3,
+                stride: 1,
+                pad: 1,
+            },
             1,
         );
     }
@@ -147,7 +176,16 @@ mod tests {
     #[test]
     fn stride2_layer_on_flash_numerics() {
         run_and_check(
-            ConvLayerSpec { name: "s2".into(), c: 2, h: 8, w: 8, m: 2, k: 3, stride: 2, pad: 1 },
+            ConvLayerSpec {
+                name: "s2".into(),
+                c: 2,
+                h: 8,
+                w: 8,
+                m: 2,
+                k: 3,
+                stride: 2,
+                pad: 1,
+            },
             2,
         );
     }
@@ -155,7 +193,16 @@ mod tests {
     #[test]
     fn pointwise_1x1_layer() {
         run_and_check(
-            ConvLayerSpec { name: "pw".into(), c: 4, h: 5, w: 5, m: 3, k: 1, stride: 1, pad: 0 },
+            ConvLayerSpec {
+                name: "pw".into(),
+                c: 4,
+                h: 5,
+                w: 5,
+                m: 3,
+                k: 1,
+                stride: 1,
+                pad: 0,
+            },
             3,
         );
     }
@@ -163,7 +210,16 @@ mod tests {
     #[test]
     fn downsample_1x1_stride2() {
         run_and_check(
-            ConvLayerSpec { name: "ds".into(), c: 2, h: 8, w: 8, m: 4, k: 1, stride: 2, pad: 0 },
+            ConvLayerSpec {
+                name: "ds".into(),
+                c: 2,
+                h: 8,
+                w: 8,
+                m: 4,
+                k: 1,
+                stride: 2,
+                pad: 0,
+            },
             4,
         );
     }
@@ -171,8 +227,16 @@ mod tests {
     #[test]
     fn approx_backend_agrees_with_ntt_backend() {
         let cfg = FlashConfig::test_small();
-        let spec =
-            ConvLayerSpec { name: "x".into(), c: 2, h: 6, w: 6, m: 2, k: 3, stride: 1, pad: 0 };
+        let spec = ConvLayerSpec {
+            name: "x".into(),
+            c: 2,
+            h: 6,
+            w: 6,
+            m: 2,
+            k: 3,
+            stride: 1,
+            pad: 0,
+        };
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let sk = SecretKey::generate(&cfg.he, &mut rng);
         let x = spec.sample_input(Quantizer::a4(), &mut rng);

@@ -72,7 +72,10 @@ impl NetworkRun {
 
     /// Total transform work in normalized units.
     pub fn transform_work_units(&self) -> f64 {
-        self.layers.iter().map(|l| l.workload.transform_work_units()).sum()
+        self.layers
+            .iter()
+            .map(|l| l.workload.transform_work_units())
+            .sum()
     }
 }
 
@@ -99,21 +102,24 @@ pub fn run_network(net: &Network, cfg: &FlashConfig) -> NetworkRun {
     let mut total_pointwise = 0u64;
     let mut weight_cycles_sum = 0u64;
     let mut fp_cycles_sum = 0u64;
-    // conv layers plus the final fully-connected layer
-    let mut workloads: Vec<LayerWorkload> = net
-        .convs
-        .iter()
-        .map(|spec| layer_workload(spec, cfg.n()))
-        .collect();
+    // conv layers plus the final fully-connected layer: workload
+    // extraction (symbolic sparsity analysis) and the per-layer
+    // perf/energy models are independent across layers, so both fan out;
+    // the totals fold below stays sequential in layer order.
+    let mut workloads: Vec<LayerWorkload> =
+        flash_runtime::parallel_map(&net.convs, |spec| layer_workload(spec, cfg.n()));
     for &(ni, no) in &net.fcs {
         workloads.push(crate::workload::fc_workload(ni, no, cfg.n()));
     }
-    for w in workloads {
-        let perf = schedule_layer(&w, &cfg.arch, &cfg.pe);
+    let evaluated = flash_runtime::parallel_map(&workloads, |w| {
+        let perf = schedule_layer(w, &cfg.arch, &cfg.pe);
+        let energy = layer_energy(w, &flash_point, &model);
+        let chip_uj = layer_chip_energy_uj(&perf, &cfg.arch, &model);
+        (perf, energy, chip_uj)
+    });
+    for (w, (perf, energy, chip_uj)) in workloads.into_iter().zip(evaluated) {
         weight_cycles_sum += perf.weight_cycles;
         fp_cycles_sum += perf.fp_fft_cycles;
-        let energy = layer_energy(&w, &flash_point, &model);
-        let chip_uj = layer_chip_energy_uj(&perf, &cfg.arch, &model);
         total_latency += perf.latency_s;
         total_chip_uj += chip_uj;
         total_datapath_uj += energy.total_pj() / 1e6;
@@ -151,24 +157,19 @@ pub fn run_network(net: &Network, cfg: &FlashConfig) -> NetworkRun {
 /// whole-HConv energy of a network at each design point, in µJ.
 pub fn ablation_energy(net: &Network, cfg: &FlashConfig) -> Vec<(&'static str, f64, f64)> {
     let model = CostModel::cmos28();
-    let workloads: Vec<LayerWorkload> = net
-        .convs
-        .iter()
-        .map(|s| layer_workload(s, cfg.n()))
-        .collect();
-    DesignPoint::ablation_points()
-        .into_iter()
-        .map(|p| {
-            let mut weight = 0.0;
-            let mut total = 0.0;
-            for w in &workloads {
-                let e = layer_energy(w, &p, &model);
-                weight += e.weight_pj / 1e6;
-                total += e.total_pj() / 1e6;
-            }
-            (p.label, weight, total)
-        })
-        .collect()
+    let workloads: Vec<LayerWorkload> =
+        flash_runtime::parallel_map(&net.convs, |s| layer_workload(s, cfg.n()));
+    let points = DesignPoint::ablation_points();
+    flash_runtime::parallel_map(&points, |p| {
+        let mut weight = 0.0;
+        let mut total = 0.0;
+        for w in &workloads {
+            let e = layer_energy(w, p, &model);
+            weight += e.weight_pj / 1e6;
+            total += e.total_pj() / 1e6;
+        }
+        (p.label, weight, total)
+    })
 }
 
 /// Estimates the network accuracy under FLASH's approximate numerics:

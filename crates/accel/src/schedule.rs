@@ -34,17 +34,13 @@ pub struct LayerPerf {
 pub fn schedule_layer(w: &LayerWorkload, arch: &FlashArch, pe: &PeModel) -> LayerPerf {
     let m = w.n / 2;
     // Weight transforms: each PE runs one transform at a time.
-    let sparse_cycles_each = w
-        .weight_mults_sparse_each
-        .div_ceil(pe.bus_per_pe as u64)
+    let sparse_cycles_each = w.weight_mults_sparse_each.div_ceil(pe.bus_per_pe as u64)
         + m.trailing_zeros() as u64 * pe.stage_overhead as u64;
     let weight_waves = w.weight_transforms.div_ceil(arch.approx_pes as u64);
     let weight_cycles = weight_waves * sparse_cycles_each;
 
     // FP transforms (dense).
-    let dense_cycles_each = w
-        .weight_mults_dense_each
-        .div_ceil(pe.bus_per_pe as u64)
+    let dense_cycles_each = w.weight_mults_dense_each.div_ceil(pe.bus_per_pe as u64)
         + m.trailing_zeros() as u64 * pe.stage_overhead as u64;
     let fp_waves = (w.act_transforms + w.inverse_transforms).div_ceil(arch.fp_pes as u64);
     let fp_fft_cycles = fp_waves * dense_cycles_each;
@@ -101,7 +97,16 @@ mod tests {
     use flash_nn::layers::ConvLayerSpec;
 
     fn spec(c: usize, h: usize, m: usize, k: usize) -> ConvLayerSpec {
-        ConvLayerSpec { name: "t".into(), c, h, w: h, m, k, stride: 1, pad: 1 }
+        ConvLayerSpec {
+            name: "t".into(),
+            c,
+            h,
+            w: h,
+            m,
+            k,
+            stride: 1,
+            pad: 1,
+        }
     }
 
     #[test]
@@ -157,12 +162,20 @@ mod tests {
         let model = CostModel::cmos28();
         let flash = layer_energy(
             &w,
-            &DesignPoint { label: "FLASH", weight_bu: BuKind::flash_approx(), sparse: true },
+            &DesignPoint {
+                label: "FLASH",
+                weight_bu: BuKind::flash_approx(),
+                sparse: true,
+            },
             &model,
         );
         let fp = layer_energy(
             &w,
-            &DesignPoint { label: "FFT (FP)", weight_bu: BuKind::flash_fp(), sparse: false },
+            &DesignPoint {
+                label: "FFT (FP)",
+                weight_bu: BuKind::flash_fp(),
+                sparse: false,
+            },
             &model,
         );
         assert!(flash.weight_pj < 0.05 * fp.weight_pj);

@@ -113,14 +113,27 @@ mod tests {
     use flash_nn::layers::ConvLayerSpec;
 
     fn spec(c: usize, h: usize, m: usize, k: usize) -> ConvLayerSpec {
-        ConvLayerSpec { name: "sim".into(), c, h, w: h, m, k, stride: 1, pad: 1 }
+        ConvLayerSpec {
+            name: "sim".into(),
+            c,
+            h,
+            w: h,
+            m,
+            k,
+            stride: 1,
+            pad: 1,
+        }
     }
 
     #[test]
     fn simulation_brackets_analytic_model() {
         let arch = FlashArch::paper_default();
         let pe = PeModel::default();
-        for layer in [spec(64, 56, 64, 3), spec(32, 28, 64, 3), spec(256, 14, 256, 1)] {
+        for layer in [
+            spec(64, 56, 64, 3),
+            spec(32, 28, 64, 3),
+            spec(256, 14, 256, 1),
+        ] {
             let w = layer_workload(&layer, 4096);
             let analytic = schedule_layer(&w, &arch, &pe);
             let sim = simulate_layer(&w, &arch, &pe);

@@ -21,7 +21,7 @@ use flash_hw::energy::HconvOps;
 use flash_nn::layers::ConvLayerSpec;
 use flash_ntt::ops::negacyclic_fft_ops;
 use flash_sparse::pattern::SparsityPattern;
-use flash_sparse::symbolic::{analyze, twist_mults};
+use flash_sparse::symbolic::{analyze_cached, twist_mults};
 
 /// The transform/operation inventory of one convolution layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -122,7 +122,9 @@ pub fn layer_workload(spec: &ConvLayerSpec, n: usize) -> LayerWorkload {
     let idx = enc.weight_indices(0);
     let poly_pattern = SparsityPattern::from_indices(n, idx.iter().copied());
     let folded = fold_pattern(&poly_pattern);
-    let counts = analyze(&folded.bit_reversed());
+    // Layers of one stage share a fold pattern, so the memoized analysis
+    // runs once per distinct geometry per process.
+    let counts = analyze_cached(&folded.bit_reversed()).0;
     let sparse_each = counts.mults() + twist_mults(&folded);
     let dense = negacyclic_fft_ops(n);
     let dense_each = dense.mults;
@@ -183,8 +185,25 @@ mod tests {
 
     const N: usize = 4096;
 
-    fn spec(name: &str, c: usize, h: usize, m: usize, k: usize, stride: usize, pad: usize) -> ConvLayerSpec {
-        ConvLayerSpec { name: name.into(), c, h, w: h, m, k, stride, pad }
+    fn spec(
+        name: &str,
+        c: usize,
+        h: usize,
+        m: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+    ) -> ConvLayerSpec {
+        ConvLayerSpec {
+            name: name.into(),
+            c,
+            h,
+            w: h,
+            m,
+            k,
+            stride,
+            pad,
+        }
     }
 
     #[test]
@@ -192,7 +211,11 @@ mod tests {
         // 64ch 56x56 3x3 -> 64ch: the Figure-1 regime.
         let w = layer_workload(&spec("l", 64, 56, 64, 3, 1, 1), N);
         assert!(w.weight_transforms > 10 * (w.act_transforms + w.inverse_transforms));
-        assert!(w.sparse_reduction() > 0.86, "reduction {}", w.sparse_reduction());
+        assert!(
+            w.sparse_reduction() > 0.86,
+            "reduction {}",
+            w.sparse_reduction()
+        );
         assert!(w.sparsity > 0.95);
     }
 
@@ -229,7 +252,7 @@ mod tests {
         let mut act = 0u64;
         for l in resnet50_residual_block() {
             let w = layer_workload(&l, N);
-            weight += w.weight_mults_sparse() * 0 + w.weight_mults_dense();
+            weight += w.weight_mults_dense();
             act += w.act_mults();
         }
         assert!(weight > 5 * act, "weight {weight} vs act {act}");
@@ -243,7 +266,11 @@ mod tests {
         assert_eq!(w.weight_transforms, 16 * 1024);
         assert!(w.sparsity > 0.99);
         // power-of-two progressions collapse to a tiny sub-network
-        assert!(w.sparse_reduction() > 0.97, "reduction {}", w.sparse_reduction());
+        assert!(
+            w.sparse_reduction() > 0.97,
+            "reduction {}",
+            w.sparse_reduction()
+        );
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! End-to-end determinism of the parallel runtime: the performance model
+//! and the functional HConv engine must produce bit-identical results at
+//! one worker and at eight.
+//!
+//! Single test function: `set_threads` is process-global, so the runs at
+//! different worker counts must not interleave with other tests.
+
+use flash_accel::config::FlashConfig;
+use flash_accel::hconv::FlashHconv;
+use flash_accel::inference::{ablation_energy, run_network, NetworkRun};
+use flash_he::SecretKey;
+use flash_nn::layers::ConvLayerSpec;
+use flash_nn::quant::Quantizer;
+use flash_nn::resnet18_conv_layers;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run_summary(run: &NetworkRun) -> Vec<u64> {
+    let mut v = vec![
+        run.total_latency_s.to_bits(),
+        run.transform_latency_s.to_bits(),
+        run.total_chip_energy_uj.to_bits(),
+        run.total_datapath_energy_uj.to_bits(),
+        run.cham_latency_s.to_bits(),
+        run.f1_energy_uj.to_bits(),
+    ];
+    for l in &run.layers {
+        v.push(l.workload.weight_transforms);
+        v.push(l.workload.weight_mults_sparse_each);
+        v.push(l.perf.weight_cycles);
+        v.push(l.chip_energy_uj.to_bits());
+    }
+    v
+}
+
+#[test]
+fn network_model_and_hconv_are_worker_count_invariant() {
+    let cfg = FlashConfig::paper_default();
+    let net = resnet18_conv_layers();
+
+    // --- Analytic model: run_network + ablation_energy.
+    flash_runtime::set_threads(1);
+    let run_seq = run_summary(&run_network(&net, &cfg));
+    let abl_seq = ablation_energy(&net, &cfg);
+    flash_runtime::set_threads(8);
+    let run_par = run_summary(&run_network(&net, &cfg));
+    let abl_par = ablation_energy(&net, &cfg);
+    assert_eq!(run_seq, run_par, "run_network must not depend on workers");
+    assert_eq!(abl_seq.len(), abl_par.len());
+    for (a, b) in abl_seq.iter().zip(&abl_par) {
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1.to_bits(), b.1.to_bits());
+        assert_eq!(a.2.to_bits(), b.2.to_bits());
+    }
+
+    // --- Functional engine: one stride-1 and one stride-2 layer.
+    let small = FlashConfig::test_small();
+    let layers = [
+        ConvLayerSpec {
+            name: "s1".into(),
+            c: 2,
+            h: 6,
+            w: 6,
+            m: 2,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        },
+        ConvLayerSpec {
+            name: "s2".into(),
+            c: 2,
+            h: 8,
+            w: 8,
+            m: 2,
+            k: 3,
+            stride: 2,
+            pad: 1,
+        },
+    ];
+    for spec in &layers {
+        let mut results = Vec::new();
+        for threads in [1usize, 8] {
+            flash_runtime::set_threads(threads);
+            let engine = FlashHconv::new(small.clone());
+            let mut rng = StdRng::seed_from_u64(7);
+            let sk = SecretKey::generate(&small.he, &mut rng);
+            let x = spec.sample_input(Quantizer::a4(), &mut rng);
+            let w = spec.sample_weights(Quantizer::w4(), &mut rng);
+            let (y, stats) = engine.run_layer(&sk, spec, &x, &w, &mut rng);
+            results.push((y, stats));
+        }
+        assert_eq!(
+            results[0], results[1],
+            "layer {} must be worker-count invariant",
+            spec.name
+        );
+    }
+    flash_runtime::set_threads(0);
+}

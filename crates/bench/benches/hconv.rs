@@ -17,9 +17,8 @@ fn bench_backends(c: &mut Criterion) {
     for i in 0..9 {
         w[i * 25] = 5 - i as i64;
     }
-    let approx = PolyMulBackend::approx(flash_accel::config::FlashConfig::numerics_for(
-        p.n, 30, 12,
-    ));
+    let approx =
+        PolyMulBackend::approx(flash_accel::config::FlashConfig::numerics_for(p.n, 30, 12));
     let mut group = c.benchmark_group("ct_x_pt_n256");
     for (name, backend) in [
         ("ntt", PolyMulBackend::Ntt),
@@ -35,16 +34,27 @@ fn bench_backends(c: &mut Criterion) {
 
 fn bench_protocol(c: &mut Criterion) {
     let p = HeParams::test_256();
-    let shape = ConvShape { c: 2, h: 6, w: 6, m: 2, k: 3 };
+    let shape = ConvShape {
+        c: 2,
+        h: 6,
+        w: 6,
+        m: 2,
+        k: 3,
+    };
     let mut rng = rand::rngs::StdRng::seed_from_u64(2);
     let sk = SecretKey::generate(&p, &mut rng);
-    let x: Vec<i64> = (0..shape.input_len()).map(|i| (i as i64 % 15) - 7).collect();
+    let x: Vec<i64> = (0..shape.input_len())
+        .map(|i| (i as i64 % 15) - 7)
+        .collect();
     let w: Vec<i64> = (0..shape.m * shape.kernel_len())
         .map(|i| (i as i64 % 13) - 6)
         .collect();
     let mut group = c.benchmark_group("hconv_protocol_n256");
     group.sample_size(20);
-    for (name, backend) in [("ntt", PolyMulBackend::Ntt), ("fft_f64", PolyMulBackend::FftF64)] {
+    for (name, backend) in [
+        ("ntt", PolyMulBackend::Ntt),
+        ("fft_f64", PolyMulBackend::FftF64),
+    ] {
         let proto = ConvProtocol::new(p.clone(), shape, backend);
         group.bench_function(name, |b| {
             b.iter(|| {

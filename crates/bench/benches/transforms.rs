@@ -72,7 +72,9 @@ fn bench_radix_and_rns(c: &mut Criterion) {
     let mut group = c.benchmark_group("variants");
     // radix-4 vs radix-2 at 2048 points
     let m = 2048;
-    let x: Vec<C64> = (0..m).map(|i| C64::new((i % 37) as f64, -((i % 11) as f64))).collect();
+    let x: Vec<C64> = (0..m)
+        .map(|i| C64::new((i % 37) as f64, -((i % 11) as f64)))
+        .collect();
     let plan = flash_fft::fft64::FftPlan::new(m);
     group.bench_function("radix2_2048", |b| {
         b.iter(|| {
@@ -96,9 +98,7 @@ fn bench_radix_and_rns(c: &mut Criterion) {
         w[i * 17] = 5 - i as i64;
     }
     group.bench_function("bfv_mul_plain_1limb", |b| {
-        b.iter(|| {
-            black_box(ct1.mul_plain_signed(&w, &p1, &flash_he::PolyMulBackend::Ntt))
-        })
+        b.iter(|| black_box(ct1.mul_plain_signed(&w, &p1, &flash_he::PolyMulBackend::Ntt)))
     });
     let p2 = RnsParams::test_double();
     let sk2 = RnsSecretKey::generate(&p2, &mut rng);
@@ -123,5 +123,10 @@ fn bench_mult_counting(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_transforms, bench_radix_and_rns, bench_mult_counting);
+criterion_group!(
+    benches,
+    bench_transforms,
+    bench_radix_and_rns,
+    bench_mult_counting
+);
 criterion_main!(benches);

@@ -1,0 +1,180 @@
+//! Machine-readable runtime benchmark: times the parallel hot paths at
+//! one worker and at `max(4, host parallelism)` workers and writes
+//! `BENCH_runtime.json`.
+//!
+//! Three thread-scaling benches (HConv layer, ResNet-18 network model,
+//! DSE evaluation batch) plus the machine-independent plan-cache
+//! cold/warm comparison. Thread speedups require physical cores: on a
+//! single-core host the honest result is ~1x, which is why
+//! `host_parallelism` is recorded alongside.
+
+use flash_accel::config::FlashConfig;
+use flash_accel::hconv::FlashHconv;
+use flash_accel::inference::run_network;
+use flash_bench::banner;
+use flash_dse::bayesopt::random_search;
+use flash_dse::{DesignSpace, Objective};
+use flash_he::SecretKey;
+use flash_nn::layers::ConvLayerSpec;
+use flash_nn::quant::Quantizer;
+use flash_nn::resnet18_conv_layers;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Median wall-clock milliseconds of `reps` runs of `f`.
+fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+struct Row {
+    name: &'static str,
+    threads: usize,
+    median_ms: f64,
+    speedup: f64,
+}
+
+fn main() {
+    banner("Runtime benchmark: parallel hot paths + plan cache");
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let many = host.max(4);
+    let mut rows: Vec<Row> = Vec::new();
+
+    // --- HConv layer (functional engine, small parameters).
+    let small = FlashConfig::test_small();
+    let spec = ConvLayerSpec {
+        name: "bench".into(),
+        c: 4,
+        h: 8,
+        w: 8,
+        m: 4,
+        k: 3,
+        stride: 1,
+        pad: 1,
+    };
+    let mut rng = StdRng::seed_from_u64(11);
+    let sk = SecretKey::generate(&small.he, &mut rng);
+    let x = spec.sample_input(Quantizer::a4(), &mut rng);
+    let w = spec.sample_weights(Quantizer::w4(), &mut rng);
+    let engine = FlashHconv::new(small.clone());
+    let hconv_run = |threads: usize| {
+        flash_runtime::set_threads(threads);
+        let mut lrng = StdRng::seed_from_u64(5);
+        median_ms(5, || {
+            let _ = engine.run_layer(&sk, &spec, &x, &w, &mut lrng);
+        })
+    };
+    let h1 = hconv_run(1);
+    let hn = hconv_run(many);
+    rows.push(Row {
+        name: "hconv_layer",
+        threads: 1,
+        median_ms: h1,
+        speedup: 1.0,
+    });
+    rows.push(Row {
+        name: "hconv_layer",
+        threads: many,
+        median_ms: hn,
+        speedup: h1 / hn,
+    });
+
+    // --- ResNet-18 network performance model at N = 4096. The symbolic
+    // analysis memo is cleared per iteration so each run does the full
+    // per-layer work the parallel fan-out is meant to hide.
+    let cfg = FlashConfig::paper_default();
+    let net = resnet18_conv_layers();
+    let net_run = |threads: usize| {
+        flash_runtime::set_threads(threads);
+        median_ms(7, || {
+            flash_sparse::symbolic::clear_analysis_cache();
+            let _ = run_network(&net, &cfg);
+        })
+    };
+    let n1 = net_run(1);
+    let nn = net_run(many);
+    rows.push(Row {
+        name: "run_network_resnet18",
+        threads: 1,
+        median_ms: n1,
+        speedup: 1.0,
+    });
+    rows.push(Row {
+        name: "run_network_resnet18",
+        threads: many,
+        median_ms: nn,
+        speedup: n1 / nn,
+    });
+
+    // --- Memoization win on the same model (warm memo, any threads).
+    flash_runtime::set_threads(1);
+    let warm = median_ms(7, || {
+        let _ = run_network(&net, &cfg);
+    });
+    rows.push(Row {
+        name: "run_network_resnet18_warm_cache",
+        threads: 1,
+        median_ms: warm,
+        speedup: n1 / warm,
+    });
+
+    // --- DSE candidate batch (256 analytical evaluations).
+    let objective = Objective::from_layer(DesignSpace::flash_default(2048), 9, 8.0, 1024.0);
+    let dse_run = |threads: usize| {
+        flash_runtime::set_threads(threads);
+        let mut drng = StdRng::seed_from_u64(23);
+        median_ms(5, || {
+            let _ = random_search(&objective, 256, &mut drng);
+        })
+    };
+    let d1 = dse_run(1);
+    let dn = dse_run(many);
+    rows.push(Row {
+        name: "dse_eval_batch",
+        threads: 1,
+        median_ms: d1,
+        speedup: 1.0,
+    });
+    rows.push(Row {
+        name: "dse_eval_batch",
+        threads: many,
+        median_ms: dn,
+        speedup: d1 / dn,
+    });
+    flash_runtime::set_threads(0);
+
+    // --- Report.
+    for r in &rows {
+        println!(
+            "{:34} threads={:2}  median {:9.3} ms  speedup {:5.2}x",
+            r.name, r.threads, r.median_ms, r.speedup
+        );
+    }
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"host_parallelism\": {host},\n"));
+    json.push_str(&format!("  \"threads_compared\": [1, {many}],\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"threads\": {}, \"median_ms\": {:.4}, \"speedup\": {:.3}}}{}\n",
+            r.name,
+            r.threads,
+            r.median_ms,
+            r.speedup,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_runtime.json", &json).expect("write BENCH_runtime.json");
+    println!("\nwrote BENCH_runtime.json");
+}

@@ -39,8 +39,12 @@ fn main() {
     let t_pw = t3.elapsed_s() / reps as f64;
 
     subhead("per-op software cost");
-    println!("forward NTT: {:.1} us, inverse NTT: {:.1} us, pointwise MAC pass: {:.1} us",
-        t_ntt * 1e6, t_intt * 1e6, t_pw * 1e6);
+    println!(
+        "forward NTT: {:.1} us, inverse NTT: {:.1} us, pointwise MAC pass: {:.1} us",
+        t_ntt * 1e6,
+        t_intt * 1e6,
+        t_pw * 1e6
+    );
 
     // Transform counts of the residual block.
     let mut weight_t = 0u64;
@@ -62,10 +66,26 @@ fn main() {
     let total = weight_s + act_s + inv_s + pw_s;
 
     subhead("block breakdown (computation only)");
-    println!("weight NTTs:      {weight_t:>7} transforms  {:>8.1} ms  {:>6}", weight_s * 1e3, pct(weight_s / total));
-    println!("activation NTTs:  {act_t:>7} transforms  {:>8.1} ms  {:>6}", act_s * 1e3, pct(act_s / total));
-    println!("inverse NTTs:     {inv_t:>7} transforms  {:>8.1} ms  {:>6}", inv_s * 1e3, pct(inv_s / total));
-    println!("point-wise MACs:  {pw:>7} passes      {:>8.1} ms  {:>6}", pw_s * 1e3, pct(pw_s / total));
+    println!(
+        "weight NTTs:      {weight_t:>7} transforms  {:>8.1} ms  {:>6}",
+        weight_s * 1e3,
+        pct(weight_s / total)
+    );
+    println!(
+        "activation NTTs:  {act_t:>7} transforms  {:>8.1} ms  {:>6}",
+        act_s * 1e3,
+        pct(act_s / total)
+    );
+    println!(
+        "inverse NTTs:     {inv_t:>7} transforms  {:>8.1} ms  {:>6}",
+        inv_s * 1e3,
+        pct(inv_s / total)
+    );
+    println!(
+        "point-wise MACs:  {pw:>7} passes      {:>8.1} ms  {:>6}",
+        pw_s * 1e3,
+        pct(pw_s / total)
+    );
     println!();
     println!("paper's observation: computation (not communication) dominates, and");
     println!("within it the weight-polynomial NTTs are the bottleneck.");

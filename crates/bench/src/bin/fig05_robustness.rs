@@ -20,10 +20,17 @@ fn main() {
     let he = flash_he::HeParams::flash_default();
     let n = he.n;
     let budget = he.noise_ceiling() as f64;
-    println!("params: N={n}, q=2^{:.1}, t=2^{:.0}, kernel budget q/2t = {budget:.0}",
-        (he.q as f64).log2(), (he.t as f64).log2());
+    println!(
+        "params: N={n}, q=2^{:.1}, t=2^{:.0}, kernel budget q/2t = {budget:.0}",
+        (he.q as f64).log2(),
+        (he.t as f64).log2()
+    );
 
-    let wl = ErrorWorkload { weight_mag: 8, weight_nnz: 9, act_mag: (he.t / 2) as f64 };
+    let wl = ErrorWorkload {
+        weight_mag: 8,
+        weight_nnz: 9,
+        act_mag: (he.t / 2) as f64,
+    };
     let requant = Requantizer::calibrate(576 * 64, 4);
     let sps: Vec<i64> = (-(576 * 64)..(576 * 64)).step_by(7).collect();
     let margin = MarginModel::new(0.7424);
@@ -45,7 +52,9 @@ fn main() {
     let mut first_kernel_exact = None;
     let mut first_layer_exact = None;
     let mut first_network_ok = None;
-    for dw in [16u32, 18, 20, 22, 24, 25, 26, 27, 28, 30, 33, 36, 40, 44, 48] {
+    for dw in [
+        16u32, 18, 20, 22, 24, 25, 26, 27, 28, 30, 33, 36, 40, 44, 48,
+    ] {
         let cfg = FlashConfig::numerics_for(n, dw.clamp(18, 40), 18);
         let mut rng = rand::rngs::StdRng::seed_from_u64(dw as u64);
         let err = monte_carlo_error(&cfg, wl, 2, &mut rng);

@@ -10,7 +10,10 @@ fn main() {
     for net in [resnet18_conv_layers(), resnet50_conv_layers()] {
         subhead(&net.name);
         let mut all = Vec::new();
-        println!("{:<26} {:>6} {:>10} {:>10}", "layer", "k", "valid/N", "sparsity");
+        println!(
+            "{:<26} {:>6} {:>10} {:>10}",
+            "layer", "k", "valid/N", "sparsity"
+        );
         for l in &net.convs {
             let s = layer_weight_sparsity(l, 4096);
             println!(

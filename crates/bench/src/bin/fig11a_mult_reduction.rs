@@ -56,7 +56,9 @@ fn main() {
     for nnz in [1usize, 9, 36, 144, 512] {
         let p = SparsityPattern::from_indices(
             N,
-            (0..nnz).map(|i| (i * 2654435761usize) % N).collect::<std::collections::BTreeSet<_>>(),
+            (0..nnz)
+                .map(|i| (i * 2654435761usize) % N)
+                .collect::<std::collections::BTreeSet<_>>(),
         );
         let sp = sparse_mults(&p);
         println!(

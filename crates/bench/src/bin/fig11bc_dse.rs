@@ -29,19 +29,26 @@ fn main() {
         let obj = Objective::from_layer(space, sp.valid_per_poly, 8.0, (he.t / 2) as f64);
         // ~1000 evaluations, as in the paper's clouds.
         let weights: Vec<f64> = (1..=10).map(|i| i as f64 / 11.0).collect();
-        let cfg = BoConfig { init: 25, iters: 75, candidates: 256, ..BoConfig::default() };
+        let cfg = BoConfig {
+            init: 25,
+            iters: 75,
+            candidates: 256,
+            ..BoConfig::default()
+        };
         let mut rng = rand::rngs::StdRng::seed_from_u64(layer_idx as u64);
         let evals = optimize_multi(&obj, &weights, &cfg, &mut rng);
         println!("evaluated {} design points", evals.len());
 
         let front = pareto_front(&evals);
         println!("pareto front ({} points):", front.len());
-        println!("{:>10} {:>14} {:>8} {:>8}", "power mW", "err variance", "mean dw", "mean k");
+        println!(
+            "{:>10} {:>14} {:>8} {:>8}",
+            "power mW", "err variance", "mean dw", "mean k"
+        );
         let step = (front.len() / 8).max(1);
         for e in front.iter().step_by(step) {
             let dw = e.point.mean_width(obj.space());
-            let k: f64 =
-                e.point.k.iter().sum::<usize>() as f64 / e.point.k.len() as f64;
+            let k: f64 = e.point.k.iter().sum::<usize>() as f64 / e.point.k.len() as f64;
             println!(
                 "{:>10.3} {:>14.3e} {:>8.1} {:>8.1}",
                 e.power, e.error_variance, dw, k

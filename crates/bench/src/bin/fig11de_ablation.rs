@@ -9,7 +9,10 @@ use flash_nn::resnet::{resnet18_conv_layers, resnet50_conv_layers};
 fn main() {
     banner("Figure 11(d)(e): energy ablation of sparse & approximate FFT");
     let cfg = FlashConfig::paper_default();
-    for (fig, net) in [("(d)", resnet50_conv_layers()), ("(e)", resnet18_conv_layers())] {
+    for (fig, net) in [
+        ("(d)", resnet50_conv_layers()),
+        ("(e)", resnet18_conv_layers()),
+    ] {
         subhead(&format!("figure {fig}: {}", net.name));
         let bars = ablation_energy(&net, &cfg);
         let fp_weight = bars[0].1;

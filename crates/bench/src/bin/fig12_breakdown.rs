@@ -47,8 +47,16 @@ fn main() {
         "0.27",
         format!("{:.2}", weight.power_w()),
     );
-    compare_row("all transforms area (mm^2)", "4.22", format!("{:.2}", total.area_mm2()));
-    compare_row("all transforms power (W)", "2.56", format!("{:.2}", total.power_w()));
+    compare_row(
+        "all transforms area (mm^2)",
+        "4.22",
+        format!("{:.2}", total.area_mm2()),
+    );
+    compare_row(
+        "all transforms power (W)",
+        "2.56",
+        format!("{:.2}", total.power_w()),
+    );
     println!();
     println!("paper's observation: after optimizing weight transforms, the point-wise");
     println!(

@@ -38,7 +38,10 @@ fn main() {
     }
     println!();
     if failures.is_empty() {
-        println!("paper suite complete: all {} experiments regenerated.", bins.len());
+        println!(
+            "paper suite complete: all {} experiments regenerated.",
+            bins.len()
+        );
     } else {
         println!("paper suite: FAILURES in {failures:?}");
         std::process::exit(1);

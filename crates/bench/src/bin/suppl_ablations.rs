@@ -32,11 +32,23 @@ fn main() {
     let bo = optimize_multi(
         &obj,
         &[0.2, 0.5, 0.8],
-        &BoConfig { init: 20, iters: 60, candidates: 192, ..BoConfig::default() },
+        &BoConfig {
+            init: 20,
+            iters: 60,
+            candidates: 192,
+            ..BoConfig::default()
+        },
         &mut rng,
     );
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-    let ga = nsga2(&obj, &NsgaConfig { population: 30, generations: 7 }, &mut rng);
+    let ga = nsga2(
+        &obj,
+        &NsgaConfig {
+            population: 30,
+            generations: 7,
+        },
+        &mut rng,
+    );
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     let rs = random_search(&obj, bo.len(), &mut rng);
 
@@ -47,7 +59,10 @@ fn main() {
         .map(|e| e.power)
         .fold(0.0f64, f64::max)
         * 1.1;
-    println!("{:>12} {:>8} {:>12} {:>12}", "optimizer", "evals", "front size", "hypervolume");
+    println!(
+        "{:>12} {:>8} {:>12} {:>12}",
+        "optimizer", "evals", "front size", "hypervolume"
+    );
     for (name, evals) in [("bayesian", &bo), ("nsga2", &ga), ("random", &rs)] {
         let front = pareto_front(evals);
         println!(
@@ -76,7 +91,13 @@ fn main() {
 
     // ---------------- alignment ablation ----------------
     subhead("tile alignment: compact vs power-of-two (ResNet-50 3x3 @56, N=4096)");
-    let shape = ConvShape { c: 64, h: 58, w: 58, m: 64, k: 3 };
+    let shape = ConvShape {
+        c: 64,
+        h: 58,
+        w: 58,
+        m: 64,
+        k: 3,
+    };
     println!(
         "{:>12} {:>10} {:>12} {:>14} {:>12}",
         "layout", "cts (g*b)", "sparse/ea", "dense/ea", "reduction"

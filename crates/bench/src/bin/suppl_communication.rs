@@ -51,11 +51,8 @@ fn main() {
                 let mut c = 0usize;
                 for l in &net.convs {
                     let phases = if l.stride == 2 { 4 } else { 1 };
-                    let enc = ConvEncoder::with_alignment(
-                        l.encoded_shape(),
-                        N,
-                        TileAlignment::Compact,
-                    );
+                    let enc =
+                        ConvEncoder::with_alignment(l.encoded_shape(), N, TileAlignment::Compact);
                     c += phases * enc.activation_polys();
                 }
                 c

@@ -29,12 +29,19 @@ fn main() {
         "{:>4} {:>4} {:>14} {:>12} {:>12}",
         "dw", "k", "q-err std", "SP-err std", "agreement"
     );
-    for (dw, k) in [(20u32, 2usize), (22, 3), (24, 4), (27, 5), (27, 18), (33, 18)] {
+    for (dw, k) in [
+        (20u32, 2usize),
+        (22, 3),
+        (24, 4),
+        (27, 5),
+        (27, 18),
+        (33, 18),
+    ] {
         let cfg = FlashConfig::numerics_for(he.n, dw, k);
         let mut erng = rand::rngs::StdRng::seed_from_u64(dw as u64 * 131 + k as u64);
         let err = monte_carlo_error(&cfg, wl, 2, &mut erng);
         let sp_std = err.variance.sqrt() * he.t as f64 / he.q as f64;
-        let agreement = net.agreement(&vec![sp_std; 3], samples, &mut rng);
+        let agreement = net.agreement(&[sp_std; 3], samples, &mut rng);
         let marker = if dw == 27 && k == 5 { "  <- FLASH" } else { "" };
         println!(
             "{dw:>4} {k:>4} {:>14.1} {:>12.3} {:>12}{marker}",
@@ -46,7 +53,7 @@ fn main() {
 
     subhead("stress: scaled-up error (what failing the layer budget looks like)");
     for scale in [100.0f64, 1_000.0, 10_000.0] {
-        let agreement = net.agreement(&vec![scale; 3], samples, &mut rng);
+        let agreement = net.agreement(&[scale; 3], samples, &mut rng);
         println!("SP error std {scale:>8.0}: agreement {:>7}", pct(agreement));
     }
     println!();

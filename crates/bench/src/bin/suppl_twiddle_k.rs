@@ -33,16 +33,24 @@ fn main() {
     }
 
     subhead("hardware cost at the trained (k=5) vs untrained (k=18) points");
-    let bu5 = BuKind::Approx { data_bits: 39, k: 5, mux_inputs: 8 }.cost(&m);
-    let bu18 = BuKind::Approx { data_bits: 39, k: 18, mux_inputs: 8 }.cost(&m);
+    let bu5 = BuKind::Approx {
+        data_bits: 39,
+        k: 5,
+        mux_inputs: 8,
+    }
+    .cost(&m);
+    let bu18 = BuKind::Approx {
+        data_bits: 39,
+        k: 18,
+        mux_inputs: 8,
+    }
+    .cost(&m);
     compare_row(
         "BU power reduction after training",
         "62.8%",
         pct(1.0 - bu5.power_mw / bu18.power_mw),
     );
-    println!(
-        "k=18 BU: {bu18} ; k=5 BU: {bu5}"
-    );
+    println!("k=18 BU: {bu18} ; k=5 BU: {bu5}");
     let eleven_bit = m.complex_fxp_mult(11);
     println!(
         "paper: k=5 multiplier power comparable to an 11-bit multiplier — \

@@ -11,28 +11,44 @@ fn main() {
     let f1 = TechNode::n14().scale(m.modular_mult_barrett(32));
     compare_row(
         "F1 modular mult (32b, 14nm)",
-        format!("{:.0} / {:.2}", anchors::F1_MODULAR_32.area_um2, anchors::F1_MODULAR_32.power_mw),
+        format!(
+            "{:.0} / {:.2}",
+            anchors::F1_MODULAR_32.area_um2,
+            anchors::F1_MODULAR_32.power_mw
+        ),
         format!("{:.0} / {:.2}", f1.area_um2, f1.power_mw),
     );
 
     let cham = m.modular_mult_shiftadd(39);
     compare_row(
         "CHAM modular mult (39b, 28nm)",
-        format!("{:.0} / {:.2}", anchors::CHAM_MODULAR_39.area_um2, anchors::CHAM_MODULAR_39.power_mw),
+        format!(
+            "{:.0} / {:.2}",
+            anchors::CHAM_MODULAR_39.area_um2,
+            anchors::CHAM_MODULAR_39.power_mw
+        ),
         format!("{:.0} / {:.2}", cham.area_um2, cham.power_mw),
     );
 
     let fp = m.complex_fp_mult(8, 39);
     compare_row(
         "Complex FP mult (8+1+39, 28nm)",
-        format!("{:.0} / {:.2}", anchors::FLASH_FP_COMPLEX.area_um2, anchors::FLASH_FP_COMPLEX.power_mw),
+        format!(
+            "{:.0} / {:.2}",
+            anchors::FLASH_FP_COMPLEX.area_um2,
+            anchors::FLASH_FP_COMPLEX.power_mw
+        ),
         format!("{:.0} / {:.2}", fp.area_um2, fp.power_mw),
     );
 
     let approx = m.shift_add_complex_mult(39, 5, 8);
     compare_row(
         "Approx FXP mult (39b, k=5, 28nm)",
-        format!("{:.0} / {:.2}", anchors::FLASH_APPROX_FXP.area_um2, anchors::FLASH_APPROX_FXP.power_mw),
+        format!(
+            "{:.0} / {:.2}",
+            anchors::FLASH_APPROX_FXP.area_um2,
+            anchors::FLASH_APPROX_FXP.power_mw
+        ),
         format!("{:.0} / {:.2}", approx.area_um2, approx.power_mw),
     );
 

@@ -91,8 +91,16 @@ fn main() {
         power_w: weight_cost.power_w(),
     };
     for (label, e, paper) in [
-        ("FLASH weight transforms", weight_eff, paper_flash_rows::WEIGHT),
-        ("FLASH weight (3x3 layers)", weight_eff_33, paper_flash_rows::WEIGHT),
+        (
+            "FLASH weight transforms",
+            weight_eff,
+            paper_flash_rows::WEIGHT,
+        ),
+        (
+            "FLASH weight (3x3 layers)",
+            weight_eff_33,
+            paper_flash_rows::WEIGHT,
+        ),
         ("FLASH all transforms", all_eff, paper_flash_rows::ALL),
     ] {
         println!(
@@ -114,7 +122,10 @@ fn main() {
         .iter()
         .filter_map(|r| r.efficiency())
         .collect();
-    let pe_min = asics.iter().map(|e| e.power_eff()).fold(f64::INFINITY, f64::min);
+    let pe_min = asics
+        .iter()
+        .map(|e| e.power_eff())
+        .fold(f64::INFINITY, f64::min);
     let pe_max = asics.iter().map(|e| e.power_eff()).fold(0.0, f64::max);
     println!(
         "weight transforms power efficiency: {} ~ {}  (paper: 81.8x ~ 90.7x)",
@@ -126,7 +137,10 @@ fn main() {
         times(all_eff.power_eff() / pe_max),
         times(all_eff.power_eff() / pe_min)
     );
-    let ae_min = asics.iter().map(|e| e.area_eff()).fold(f64::INFINITY, f64::min);
+    let ae_min = asics
+        .iter()
+        .map(|e| e.area_eff())
+        .fold(f64::INFINITY, f64::min);
     let ae_max = asics.iter().map(|e| e.area_eff()).fold(0.0, f64::max);
     println!(
         "weight transforms area efficiency:  {} ~ {}  (paper: 15.6x ~ 26.2x)",

@@ -62,9 +62,7 @@ fn main() {
             (baseline_acc - acc) * 100.0,
             cham_paper.1 - flash_paper.2
         );
-        println!(
-            "note: latency counts transform work (the accelerator's critical path);"
-        );
+        println!("note: latency counts transform work (the accelerator's critical path);");
         println!(
             "      full-system latency incl. point-wise streaming: {:.2} ms",
             run.total_latency_s * 1e3

@@ -84,8 +84,8 @@ fn cholesky(k: &[Vec<f64>]) -> Vec<Vec<f64>> {
     for i in 0..n {
         for j in 0..=i {
             let mut s = k[i][j];
-            for t in 0..j {
-                s -= l[i][t] * l[j][t];
+            for (&lit, &ljt) in l[i][..j].iter().zip(&l[j][..j]) {
+                s -= lit * ljt;
             }
             if i == j {
                 l[i][j] = s.max(1e-12).sqrt();
@@ -187,18 +187,25 @@ pub fn optimize_scalarized<R: Rng>(
     for _ in 0..cfg.iters {
         let gp = Gp::fit(xs.clone(), &ys, cfg.length_scale, cfg.noise);
         let best = ys.iter().cloned().fold(f64::INFINITY, f64::min);
-        let mut best_x: Option<Vec<f64>> = None;
+        // Candidates come off the caller's RNG stream; the GP posterior
+        // queries fan out, and the first-wins argmax below matches the
+        // sequential scan exactly.
+        let candidates: Vec<Vec<f64>> = (0..cfg.candidates)
+            .map(|_| (0..space.dims()).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
+        let eis = flash_runtime::parallel_map(&candidates, |x| {
+            let (m, v) = gp.predict(x);
+            expected_improvement(m, v, best)
+        });
+        let mut best_x: Option<&Vec<f64>> = None;
         let mut best_ei = -1.0;
-        for _ in 0..cfg.candidates {
-            let x: Vec<f64> = (0..space.dims()).map(|_| rng.gen_range(0.0..1.0)).collect();
-            let (m, v) = gp.predict(&x);
-            let ei = expected_improvement(m, v, best);
+        for (x, &ei) in candidates.iter().zip(&eis) {
             if ei > best_ei {
                 best_ei = ei;
                 best_x = Some(x);
             }
         }
-        let x = best_x.expect("candidates > 0");
+        let x = best_x.expect("candidates > 0").clone();
         let p = space.decode(&x);
         let e = objective.evaluate(&p);
         xs.push(space.encode(&p));
@@ -224,14 +231,11 @@ pub fn optimize_multi<R: Rng>(
 }
 
 /// Pure random search baseline with the same evaluation budget.
-pub fn random_search<R: Rng>(
-    objective: &Objective,
-    budget: usize,
-    rng: &mut R,
-) -> Vec<Evaluation> {
-    (0..budget)
-        .map(|_| objective.evaluate(&objective.space().sample(rng)))
-        .collect()
+pub fn random_search<R: Rng>(objective: &Objective, budget: usize, rng: &mut R) -> Vec<Evaluation> {
+    // Sampling stays on the caller's RNG stream; the (pure) evaluations
+    // fan out across workers.
+    let points: Vec<_> = (0..budget).map(|_| objective.space().sample(rng)).collect();
+    flash_runtime::parallel_map(&points, |p| objective.evaluate(p))
 }
 
 #[cfg(test)]
@@ -270,7 +274,12 @@ mod tests {
     fn bo_beats_random_on_scalarized_objective() {
         let space = DesignSpace::flash_default(64);
         let obj = Objective::from_layer(space, 5, 8.0, 1024.0);
-        let cfg = BoConfig { init: 8, iters: 12, candidates: 128, ..BoConfig::default() };
+        let cfg = BoConfig {
+            init: 8,
+            iters: 12,
+            candidates: 128,
+            ..BoConfig::default()
+        };
         let best = |evs: &[Evaluation]| {
             evs.iter()
                 .map(|e| obj.scalarize(e, 0.5))
@@ -300,7 +309,12 @@ mod tests {
     fn multi_weight_sweep_produces_a_front() {
         let space = DesignSpace::flash_default(64);
         let obj = Objective::from_layer(space, 5, 8.0, 1024.0);
-        let cfg = BoConfig { init: 6, iters: 6, candidates: 64, ..BoConfig::default() };
+        let cfg = BoConfig {
+            init: 6,
+            iters: 6,
+            candidates: 64,
+            ..BoConfig::default()
+        };
         let mut rng = rand::rngs::StdRng::seed_from_u64(11);
         let evals = optimize_multi(&obj, &[0.1, 0.5, 0.9], &cfg, &mut rng);
         assert_eq!(evals.len(), 3 * 12);

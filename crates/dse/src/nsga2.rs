@@ -31,23 +31,25 @@ impl Default for NsgaConfig {
 pub fn nsga2<R: Rng>(objective: &Objective, cfg: &NsgaConfig, rng: &mut R) -> Vec<Evaluation> {
     let space = *objective.space();
     let mut all: Vec<Evaluation> = Vec::new();
-    let mut pop: Vec<Evaluation> = (0..cfg.population)
-        .map(|_| objective.evaluate(&space.sample(rng)))
-        .collect();
+    // Sampling and variation stay on the caller's RNG stream; the (pure)
+    // batch evaluations fan out across workers each generation.
+    let initial: Vec<_> = (0..cfg.population).map(|_| space.sample(rng)).collect();
+    let mut pop: Vec<Evaluation> = flash_runtime::parallel_map(&initial, |p| objective.evaluate(p));
     all.extend(pop.iter().cloned());
 
     for _ in 0..cfg.generations {
         // Offspring via binary-tournament parents, uniform crossover and
         // step mutation.
         let ranks = rank_and_crowd(&pop);
-        let mut offspring = Vec::with_capacity(cfg.population);
-        while offspring.len() < cfg.population {
+        let mut children = Vec::with_capacity(cfg.population);
+        while children.len() < cfg.population {
             let a = tournament(&pop, &ranks, rng);
             let b = tournament(&pop, &ranks, rng);
             let mut child = crossover(&pop[a].point, &pop[b].point, rng);
             mutate(&mut child, objective, rng);
-            offspring.push(objective.evaluate(&child));
+            children.push(child);
         }
+        let offspring = flash_runtime::parallel_map(&children, |c| objective.evaluate(c));
         all.extend(offspring.iter().cloned());
         // Environmental selection over the union.
         pop.extend(offspring);
@@ -71,7 +73,11 @@ fn rank_and_crowd(pop: &[Evaluation]) -> Vec<(u32, f64)> {
         let front: Vec<usize> = remaining
             .iter()
             .copied()
-            .filter(|&i| !remaining.iter().any(|&j| j != i && dominates(&pop[j], &pop[i])))
+            .filter(|&i| {
+                !remaining
+                    .iter()
+                    .any(|&j| j != i && dominates(&pop[j], &pop[i]))
+            })
             .collect();
         for &i in &front {
             rank[i] = level;
@@ -136,12 +142,11 @@ fn crossover<R: Rng>(a: &DesignPoint, b: &DesignPoint, rng: &mut R) -> DesignPoi
         .zip(&b.frac)
         .map(|(&x, &y)| if rng.gen_bool(0.5) { x } else { y })
         .collect();
-    let k = a
-        .k
-        .iter()
-        .zip(&b.k)
-        .map(|(&x, &y)| if rng.gen_bool(0.5) { x } else { y })
-        .collect();
+    let k =
+        a.k.iter()
+            .zip(&b.k)
+            .map(|(&x, &y)| if rng.gen_bool(0.5) { x } else { y })
+            .collect();
     DesignPoint { frac, k }
 }
 
@@ -150,8 +155,8 @@ fn mutate<R: Rng>(p: &mut DesignPoint, objective: &Objective, rng: &mut R) {
     for f in p.frac.iter_mut() {
         if rng.gen_bool(0.15) {
             let step: i32 = rng.gen_range(-2..=2);
-            *f = (*f as i32 + step).clamp(space.frac_bits.0 as i32, space.frac_bits.1 as i32)
-                as u32;
+            *f =
+                (*f as i32 + step).clamp(space.frac_bits.0 as i32, space.frac_bits.1 as i32) as u32;
         }
     }
     for k in p.k.iter_mut() {
@@ -167,10 +172,12 @@ fn select(pop: Vec<Evaluation>, target: usize) -> Vec<Evaluation> {
     let ranks = rank_and_crowd(&pop);
     let mut idx: Vec<usize> = (0..pop.len()).collect();
     idx.sort_by(|&a, &b| {
-        ranks[a]
-            .0
-            .cmp(&ranks[b].0)
-            .then(ranks[b].1.partial_cmp(&ranks[a].1).unwrap_or(std::cmp::Ordering::Equal))
+        ranks[a].0.cmp(&ranks[b].0).then(
+            ranks[b]
+                .1
+                .partial_cmp(&ranks[a].1)
+                .unwrap_or(std::cmp::Ordering::Equal),
+        )
     });
     idx.truncate(target);
     idx.into_iter().map(|i| pop[i].clone()).collect()
@@ -192,7 +199,10 @@ mod tests {
     #[test]
     fn population_evolves_toward_the_front() {
         let obj = objective();
-        let cfg = NsgaConfig { population: 16, generations: 8 };
+        let cfg = NsgaConfig {
+            population: 16,
+            generations: 8,
+        };
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let evals = nsga2(&obj, &cfg, &mut rng);
         assert_eq!(evals.len(), 16 * 9);
@@ -211,17 +221,15 @@ mod tests {
     #[test]
     fn nsga_competitive_with_random_search() {
         let obj = objective();
-        let cfg = NsgaConfig { population: 16, generations: 8 };
+        let cfg = NsgaConfig {
+            population: 16,
+            generations: 8,
+        };
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
         let ga = nsga2(&obj, &cfg, &mut rng);
         let mut rng2 = rand::rngs::StdRng::seed_from_u64(4);
         let rs = random_search(&obj, ga.len(), &mut rng2);
-        let ref_p = ga
-            .iter()
-            .chain(&rs)
-            .map(|e| e.power)
-            .fold(0.0f64, f64::max)
-            * 1.1;
+        let ref_p = ga.iter().chain(&rs).map(|e| e.power).fold(0.0f64, f64::max) * 1.1;
         let hv_ga = hypervolume(&pareto_front(&ga), ref_p, 20.0);
         let hv_rs = hypervolume(&pareto_front(&rs), ref_p, 20.0);
         assert!(hv_ga >= hv_rs * 0.9, "GA {hv_ga} vs RS {hv_rs}");
@@ -237,7 +245,10 @@ mod tests {
             let b = space.sample(&mut rng);
             let mut c = crossover(&a, &b, &mut rng);
             mutate(&mut c, &obj, &mut rng);
-            assert!(c.frac.iter().all(|f| (space.frac_bits.0..=space.frac_bits.1).contains(f)));
+            assert!(c
+                .frac
+                .iter()
+                .all(|f| (space.frac_bits.0..=space.frac_bits.1).contains(f)));
             assert!(c.k.iter().all(|k| (space.k.0..=space.k.1).contains(k)));
         }
     }

@@ -29,7 +29,7 @@ pub struct Objective {
     /// Cached log10-error extremes of the space (computing them means two
     /// full analytical evaluations; `scalarize` is called once per DSE
     /// candidate).
-    error_bounds: std::cell::OnceCell<(f64, f64)>,
+    error_bounds: std::sync::OnceLock<(f64, f64)>,
 }
 
 impl Objective {
@@ -41,7 +41,7 @@ impl Objective {
             cost: CostModel::cmos28(),
             weight_var,
             act_var,
-            error_bounds: std::cell::OnceCell::new(),
+            error_bounds: std::sync::OnceLock::new(),
         }
     }
 
@@ -112,7 +112,9 @@ impl Objective {
     }
 
     fn error_log_bounds(&self) -> (f64, f64) {
-        *self.error_bounds.get_or_init(|| self.error_log_bounds_uncached())
+        *self
+            .error_bounds
+            .get_or_init(|| self.error_log_bounds_uncached())
     }
 
     fn error_log_bounds_uncached(&self) -> (f64, f64) {
@@ -124,16 +126,8 @@ impl Objective {
             frac: vec![self.space.frac_bits.0; self.space.stages()],
             k: vec![self.space.k.0; self.space.stages()],
         };
-        let lo = self
-            .evaluate(&widest)
-            .error_variance
-            .max(1e-30)
-            .log10();
-        let hi = self
-            .evaluate(&narrowest)
-            .error_variance
-            .max(1e-30)
-            .log10();
+        let lo = self.evaluate(&widest).error_variance.max(1e-30).log10();
+        let hi = self.evaluate(&narrowest).error_variance.max(1e-30).log10();
         (lo, hi)
     }
 }
@@ -155,8 +149,14 @@ mod tests {
     #[test]
     fn wider_is_pricier_and_more_accurate() {
         let o = objective();
-        let narrow = DesignPoint { frac: vec![4; 8], k: vec![2; 8] };
-        let wide = DesignPoint { frac: vec![24; 8], k: vec![20; 8] };
+        let narrow = DesignPoint {
+            frac: vec![4; 8],
+            k: vec![2; 8],
+        };
+        let wide = DesignPoint {
+            frac: vec![24; 8],
+            k: vec![20; 8],
+        };
         let en = o.evaluate(&narrow);
         let ew = o.evaluate(&wide);
         assert!(ew.power > en.power);
@@ -166,8 +166,14 @@ mod tests {
     #[test]
     fn scalarization_tradeoff() {
         let o = objective();
-        let narrow = o.evaluate(&DesignPoint { frac: vec![4; 8], k: vec![2; 8] });
-        let wide = o.evaluate(&DesignPoint { frac: vec![24; 8], k: vec![20; 8] });
+        let narrow = o.evaluate(&DesignPoint {
+            frac: vec![4; 8],
+            k: vec![2; 8],
+        });
+        let wide = o.evaluate(&DesignPoint {
+            frac: vec![24; 8],
+            k: vec![20; 8],
+        });
         // all-power weight prefers narrow; all-error weight prefers wide
         assert!(o.scalarize(&narrow, 1.0) < o.scalarize(&wide, 1.0));
         assert!(o.scalarize(&wide, 0.0) < o.scalarize(&narrow, 0.0));

@@ -52,7 +52,10 @@ mod tests {
 
     fn ev(power: f64, err: f64) -> Evaluation {
         Evaluation {
-            point: DesignPoint { frac: vec![8], k: vec![5] },
+            point: DesignPoint {
+                frac: vec![8],
+                k: vec![5],
+            },
             power,
             error_variance: err,
         }

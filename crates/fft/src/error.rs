@@ -15,7 +15,8 @@
 use crate::fixed_fft::{ApproxFftConfig, FixedNegacyclicFft};
 use flash_math::stats::RunningStats;
 use flash_math::C64;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Summary of an error distribution.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -44,21 +45,23 @@ impl ErrorReport {
 /// Per-coefficient error of a negacyclic product where only the *weight*
 /// transform runs on the approximate datapath (activation transform,
 /// point-wise product and inverse stay in `f64`, as in FLASH).
-pub fn product_error(
-    fixed: &FixedNegacyclicFft,
-    weight: &[i64],
-    activation: &[f64],
-) -> Vec<f64> {
+pub fn product_error(fixed: &FixedNegacyclicFft, weight: &[i64], activation: &[f64]) -> Vec<f64> {
     let n = fixed.config().degree();
     assert_eq!(weight.len(), n);
     assert_eq!(activation.len(), n);
-    let reference = crate::negacyclic::NegacyclicFft::new(n);
+    let reference = crate::negacyclic::NegacyclicFft::shared(n);
     let fw_exact = fixed.forward_exact(weight);
     let (fw_approx, _) = fixed.forward(weight);
     let fx = reference.forward(activation);
     let exact: Vec<C64> = fw_exact.iter().zip(&fx).map(|(w, x)| *w * *x).collect();
     let approx: Vec<C64> = fw_approx.iter().zip(&fx).map(|(w, x)| *w * *x).collect();
-    let e = reference.inverse(&approx.iter().zip(&exact).map(|(a, b)| *a - *b).collect::<Vec<_>>());
+    let e = reference.inverse(
+        &approx
+            .iter()
+            .zip(&exact)
+            .map(|(a, b)| *a - *b)
+            .collect::<Vec<_>>(),
+    );
     e
 }
 
@@ -95,10 +98,13 @@ pub fn monte_carlo_error<R: Rng>(
     trials: usize,
     rng: &mut R,
 ) -> ErrorReport {
-    let fixed = FixedNegacyclicFft::new(cfg.clone());
+    let fixed = FixedNegacyclicFft::shared(cfg);
     let n = cfg.degree();
-    let mut stats = RunningStats::new();
-    for _ in 0..trials {
+    // One seed per trial, drawn sequentially up front, so the parallel
+    // fan-out below produces the same trials for any worker count.
+    let seeds: Vec<u64> = (0..trials).map(|_| rng.next_u64()).collect();
+    let per_trial: Vec<Vec<f64>> = flash_runtime::parallel_map(&seeds, |&seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
         let mut w = vec![0i64; n];
         for _ in 0..workload.weight_nnz {
             let idx = rng.gen_range(0..n);
@@ -107,9 +113,11 @@ pub fn monte_carlo_error<R: Rng>(
         let x: Vec<f64> = (0..n)
             .map(|_| rng.gen_range(-workload.act_mag..=workload.act_mag).round())
             .collect();
-        for e in product_error(&fixed, &w, &x) {
-            stats.push(e);
-        }
+        product_error(&fixed, &w, &x)
+    });
+    let mut stats = RunningStats::new();
+    for e in per_trial.into_iter().flatten() {
+        stats.push(e);
     }
     ErrorReport::from_stats(&stats)
 }
@@ -148,7 +156,11 @@ pub fn analytical_spectrum_error_power(cfg: &ApproxFftConfig, input_var: f64) ->
         // Power of the value entering the multiplier: a node at depth s−1
         // is a partial sum of 2^{s-1} folded inputs, each of complex power
         // 2·input_var (stage 0 multiplies the folded input directly).
-        let depth_gain = if s == 0 { 1.0 } else { (1u64 << (s - 1)) as f64 };
+        let depth_gain = if s == 0 {
+            1.0
+        } else {
+            (1u64 << (s - 1)) as f64
+        };
         let value_power = 2.0 * input_var * depth_gain;
         let inject = quant_var + tw_mse * value_power;
         // Amplification by remaining stages (variance doubles per stage).
@@ -253,7 +265,7 @@ mod tests {
 
     #[test]
     #[allow(dead_code)]
-fn csd_worst_error_bounds() {
+    fn csd_worst_error_bounds() {
         assert!(csd_worst_error(1, 24) == 0.5);
         assert!(csd_worst_error(24, 8) > csd_worst_error(24, 24));
         assert!(csd_worst_error(5, 24) == (0.5f64).powi(5));

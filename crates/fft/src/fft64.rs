@@ -31,7 +31,11 @@ impl FftPlan {
         let roots_pos = (0..m / 2)
             .map(|j| C64::expi(2.0 * std::f64::consts::PI * j as f64 / m as f64))
             .collect();
-        Self { m, log_m, roots_pos }
+        Self {
+            m,
+            log_m,
+            roots_pos,
+        }
     }
 
     /// Transform size.
@@ -113,7 +117,10 @@ mod tests {
     use crate::dft::dft;
 
     fn max_err(a: &[C64], b: &[C64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]
@@ -139,9 +146,15 @@ mod tests {
     fn forward_backward_roundtrip() {
         let m = 256;
         let plan = FftPlan::new(m);
-        let x: Vec<C64> = (0..m).map(|i| C64::new(i as f64, -(i as f64) / 3.0)).collect();
+        let x: Vec<C64> = (0..m)
+            .map(|i| C64::new(i as f64, -(i as f64) / 3.0))
+            .collect();
         let y = plan.forward(&x);
-        let z: Vec<C64> = plan.backward(&y).iter().map(|v| v.scale(1.0 / m as f64)).collect();
+        let z: Vec<C64> = plan
+            .backward(&y)
+            .iter()
+            .map(|v| v.scale(1.0 / m as f64))
+            .collect();
         assert!(max_err(&x, &z) < 1e-9);
     }
 
@@ -155,7 +168,11 @@ mod tests {
         let fa = plan.forward(&a.iter().map(|&x| C64::from(x)).collect::<Vec<_>>());
         let fb = plan.forward(&b.iter().map(|&x| C64::from(x)).collect::<Vec<_>>());
         let prod: Vec<C64> = fa.iter().zip(&fb).map(|(x, y)| *x * *y).collect();
-        let c: Vec<C64> = plan.backward(&prod).iter().map(|v| v.scale(1.0 / m as f64)).collect();
+        let c: Vec<C64> = plan
+            .backward(&prod)
+            .iter()
+            .map(|v| v.scale(1.0 / m as f64))
+            .collect();
         for k in 0..m {
             let mut want = 0.0;
             for i in 0..m {
@@ -170,7 +187,9 @@ mod tests {
     fn bitrev_entry_point_consistent() {
         let m = 64;
         let plan = FftPlan::new(m);
-        let x: Vec<C64> = (0..m).map(|i| C64::new((i * i) as f64 % 17.0, 0.0)).collect();
+        let x: Vec<C64> = (0..m)
+            .map(|i| C64::new((i * i) as f64 % 17.0, 0.0))
+            .collect();
         let via_natural = plan.forward(&x);
         let mut pre = x.clone();
         flash_math::bitrev::bit_reverse_permute(&mut pre);

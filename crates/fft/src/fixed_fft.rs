@@ -13,6 +13,8 @@ use crate::twiddle::StageTwiddles;
 use flash_math::bitrev::{bit_reverse_permute, log2_exact};
 use flash_math::fixed::{requantize, to_f64, FxpFormat, Overflow, QuantStats, Rounding};
 use flash_math::C64;
+use flash_runtime::{CacheStats, Interner};
+use std::sync::Arc;
 
 /// Configuration of the approximate fixed-point transform.
 ///
@@ -85,14 +87,47 @@ impl ApproxFftConfig {
     pub fn total_width_bits(&self) -> u32 {
         self.stage_formats.iter().map(|f| f.total_bits()).sum()
     }
+
+    /// Canonical structural key: two configs compare equal iff they
+    /// produce bit-identical plans. Used by [`FixedNegacyclicFft::shared`].
+    fn plan_key(&self) -> PlanKey {
+        PlanKey {
+            n: self.n,
+            stage_formats: self
+                .stage_formats
+                .iter()
+                .map(|f| (f.int_bits, f.frac_bits))
+                .collect(),
+            twiddle_k: self.twiddle_k.clone(),
+            max_shift: self.max_shift,
+            rounding: self.rounding as u8,
+            overflow: self.overflow as u8,
+        }
+    }
 }
+
+/// Ord-comparable image of an [`ApproxFftConfig`] for plan interning.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct PlanKey {
+    n: usize,
+    stage_formats: Vec<(u32, u32)>,
+    twiddle_k: Vec<usize>,
+    max_shift: u32,
+    rounding: u8,
+    overflow: u8,
+}
+
+/// Process-wide plan cache: one `FixedNegacyclicFft` per distinct config.
+static SHARED_PLANS: Interner<PlanKey, FixedNegacyclicFft> = Interner::new();
 
 /// A planned fixed-point negacyclic forward transform.
 #[derive(Debug, Clone)]
 pub struct FixedNegacyclicFft {
     cfg: ApproxFftConfig,
     stages: Vec<StageTwiddles>,
-    reference: NegacyclicFft,
+    /// Exact `f64` plan of the same degree, interned process-wide so
+    /// many fixed-point plans of one degree share a single copy.
+    reference: Arc<NegacyclicFft>,
 }
 
 impl FixedNegacyclicFft {
@@ -101,7 +136,11 @@ impl FixedNegacyclicFft {
         let n = cfg.n;
         let log_half = log2_exact(n / 2);
         let mut stages = Vec::with_capacity(1 + log_half as usize);
-        stages.push(StageTwiddles::twist_stage(n, cfg.twiddle_k[0], cfg.max_shift));
+        stages.push(StageTwiddles::twist_stage(
+            n,
+            cfg.twiddle_k[0],
+            cfg.max_shift,
+        ));
         for s in 1..=log_half {
             stages.push(StageTwiddles::fft_stage(
                 s,
@@ -110,10 +149,28 @@ impl FixedNegacyclicFft {
             ));
         }
         Self {
-            reference: NegacyclicFft::new(n),
+            reference: NegacyclicFft::shared(n),
             cfg,
             stages,
         }
+    }
+
+    /// Like [`FixedNegacyclicFft::new`], but interned process-wide:
+    /// every call with a structurally equal config returns the same
+    /// `Arc` without requantizing the twiddle ROMs.
+    pub fn shared(cfg: &ApproxFftConfig) -> Arc<Self> {
+        SHARED_PLANS.intern_with(cfg.plan_key(), |_| FixedNegacyclicFft::new(cfg.clone()))
+    }
+
+    /// Hit/miss counters of the shared per-config plan cache.
+    pub fn shared_cache_stats() -> CacheStats {
+        SHARED_PLANS.stats()
+    }
+
+    /// Drops all shared plans (outstanding `Arc`s stay valid) and resets
+    /// the counters.
+    pub fn clear_shared_cache() {
+        SHARED_PLANS.clear()
     }
 
     /// The configuration this plan was built from.
@@ -169,8 +226,20 @@ impl FixedNegacyclicFft {
             let ri = w.im.apply_i128(xi, self.cfg.rounding);
             let ir = w.im.apply_i128(xr, self.cfg.rounding);
             let ii = w.re.apply_i128(xi, self.cfg.rounding);
-            let (r, f1) = requantize(rr - ri, fmt0.frac_bits, fmt0, self.cfg.rounding, self.cfg.overflow);
-            let (i_, f2) = requantize(ir + ii, fmt0.frac_bits, fmt0, self.cfg.rounding, self.cfg.overflow);
+            let (r, f1) = requantize(
+                rr - ri,
+                fmt0.frac_bits,
+                fmt0,
+                self.cfg.rounding,
+                self.cfg.overflow,
+            );
+            let (i_, f2) = requantize(
+                ir + ii,
+                fmt0.frac_bits,
+                fmt0,
+                self.cfg.rounding,
+                self.cfg.overflow,
+            );
             stats.record(f1);
             stats.record(f2);
             re[j] = r;
@@ -299,10 +368,10 @@ impl FixedNegacyclicFft {
             let w = twist.get(j);
             let xr = re[j];
             let xi = im[j];
-            let rr = w.re.apply_i128(xr, self.cfg.rounding)
-                + w.im.apply_i128(xi, self.cfg.rounding);
-            let ii = w.re.apply_i128(xi, self.cfg.rounding)
-                - w.im.apply_i128(xr, self.cfg.rounding);
+            let rr =
+                w.re.apply_i128(xr, self.cfg.rounding) + w.im.apply_i128(xi, self.cfg.rounding);
+            let ii =
+                w.re.apply_i128(xi, self.cfg.rounding) - w.im.apply_i128(xr, self.cfg.rounding);
             out[j] = to_f64(rr, scale_frac);
             out[j + half] = to_f64(ii, scale_frac);
         }
@@ -368,11 +437,8 @@ mod tests {
         let mut prev_err = 0.0;
         for frac in [22u32, 14, 8, 4] {
             let stages = ApproxFftConfig::stage_count(n);
-            let cfg = ApproxFftConfig::new(
-                n,
-                vec![FxpFormat::new(16, frac); stages],
-                vec![20; stages],
-            );
+            let cfg =
+                ApproxFftConfig::new(n, vec![FxpFormat::new(16, frac); stages], vec![20; stages]);
             let fft = FixedNegacyclicFft::new(cfg);
             let err: f64 = fft
                 .spectrum_error(&a)
@@ -394,11 +460,7 @@ mod tests {
         let n = 64;
         let stages = ApproxFftConfig::stage_count(n);
         // 3 integer bits cannot hold sums of 64 inputs of magnitude 8.
-        let cfg = ApproxFftConfig::new(
-            n,
-            vec![FxpFormat::new(3, 10); stages],
-            vec![12; stages],
-        );
+        let cfg = ApproxFftConfig::new(n, vec![FxpFormat::new(3, 10); stages], vec![12; stages]);
         let fft = FixedNegacyclicFft::new(cfg);
         let a: Vec<i64> = vec![7; n];
         let (_, stats) = fft.forward(&a);
@@ -411,11 +473,8 @@ mod tests {
         let a: Vec<i64> = (0..n as i64).map(|i| (i % 13) - 6).collect();
         let stages = ApproxFftConfig::stage_count(n);
         let err_at = |k: usize| {
-            let cfg = ApproxFftConfig::new(
-                n,
-                vec![FxpFormat::new(18, 22); stages],
-                vec![k; stages],
-            );
+            let cfg =
+                ApproxFftConfig::new(n, vec![FxpFormat::new(18, 22); stages], vec![k; stages]);
             let fft = FixedNegacyclicFft::new(cfg);
             fft.spectrum_error(&a)
                 .iter()

@@ -19,6 +19,8 @@ use crate::dft::Direction;
 use crate::fft64::FftPlan;
 use flash_math::modular::{center_lift, from_signed_i128};
 use flash_math::C64;
+use flash_runtime::{CacheStats, Interner};
+use std::sync::Arc;
 
 /// A reusable negacyclic FFT plan for ring degree `n`.
 #[derive(Debug, Clone)]
@@ -31,6 +33,9 @@ pub struct NegacyclicFft {
     twist_inv: Vec<C64>,
 }
 
+/// Process-wide plan cache: one `NegacyclicFft` per distinct degree.
+static SHARED_PLANS: Interner<usize, NegacyclicFft> = Interner::new();
+
 impl NegacyclicFft {
     /// Creates a plan for degree `n` (a power of two, at least 4).
     ///
@@ -38,7 +43,10 @@ impl NegacyclicFft {
     ///
     /// Panics if `n < 4` or `n` is not a power of two.
     pub fn new(n: usize) -> Self {
-        assert!(n >= 4 && n.is_power_of_two(), "degree must be a power of two >= 4");
+        assert!(
+            n >= 4 && n.is_power_of_two(),
+            "degree must be a power of two >= 4"
+        );
         let half = n / 2;
         let twist: Vec<C64> = (0..half)
             .map(|j| C64::expi(std::f64::consts::PI * j as f64 / n as f64))
@@ -50,6 +58,28 @@ impl NegacyclicFft {
             twist,
             twist_inv,
         }
+    }
+
+    /// Like [`NegacyclicFft::new`], but interned process-wide: every
+    /// call with the same degree returns the same `Arc` without
+    /// rebuilding twist tables or the FFT plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 4` or `n` is not a power of two.
+    pub fn shared(n: usize) -> Arc<Self> {
+        SHARED_PLANS.intern_with(n, |&n| NegacyclicFft::new(n))
+    }
+
+    /// Hit/miss counters of the shared per-degree plan cache.
+    pub fn shared_cache_stats() -> CacheStats {
+        SHARED_PLANS.stats()
+    }
+
+    /// Drops all shared plans (outstanding `Arc`s stay valid) and resets
+    /// the counters.
+    pub fn clear_shared_cache() {
+        SHARED_PLANS.clear()
     }
 
     /// Ring degree `N`.
@@ -157,7 +187,7 @@ mod tests {
         let a: Vec<f64> = vec![3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
         let f = plan.forward(&a);
         // F_u should equal a(ω^{4u+1}) with ω = e^{iπ/N}.
-        for u in 0..n / 2 {
+        for (u, &fu) in f.iter().enumerate() {
             let x = C64::expi(std::f64::consts::PI * (4 * u + 1) as f64 / n as f64);
             let mut val = C64::ZERO;
             let mut xp = C64::ONE;
@@ -165,7 +195,7 @@ mod tests {
                 val += xp.scale(c);
                 xp *= x;
             }
-            assert!((f[u] - val).abs() < 1e-9, "u={u}: {} vs {}", f[u], val);
+            assert!((fu - val).abs() < 1e-9, "u={u}: {fu} vs {val}");
         }
     }
 
@@ -240,17 +270,17 @@ mod tests {
         let a: Vec<f64> = (0..n).map(|_| rng.gen_range(-4.0..4.0)).collect();
         let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-4.0..4.0)).collect();
         let got = plan.polymul_f64(&a, &b);
-        for k in 0..n {
+        for (k, &gk) in got.iter().enumerate() {
             let mut want = 0.0;
-            for i in 0..n {
-                for j in 0..n {
+            for (i, &ai) in a.iter().enumerate() {
+                for (j, &bj) in b.iter().enumerate() {
                     if (i + j) % n == k {
                         let sign = if i + j >= n { -1.0 } else { 1.0 };
-                        want += sign * a[i] * b[j];
+                        want += sign * ai * bj;
                     }
                 }
             }
-            assert!((got[k] - want).abs() < 1e-8, "k={k}");
+            assert!((gk - want).abs() < 1e-8, "k={k}");
         }
     }
 }

@@ -18,7 +18,10 @@ use flash_ntt::ops::OpCount;
 /// Panics if `data.len()` is not a power of two ≥ 1.
 pub fn fft_radix4(data: &[C64], dir: Direction) -> Vec<C64> {
     let m = data.len();
-    assert!(m.is_power_of_two() && m >= 1, "length must be a power of two");
+    assert!(
+        m.is_power_of_two() && m >= 1,
+        "length must be a power of two"
+    );
     rec(data, dir)
 }
 
@@ -107,7 +110,10 @@ mod tests {
     use crate::fft64::FftPlan;
 
     fn max_err(a: &[C64], b: &[C64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]
@@ -132,7 +138,9 @@ mod tests {
     #[test]
     fn matches_radix2_for_odd_log_sizes() {
         for m in [2usize, 8, 32, 128, 2048] {
-            let x: Vec<C64> = (0..m).map(|i| C64::new(i as f64, -(i as f64) / 2.0)).collect();
+            let x: Vec<C64> = (0..m)
+                .map(|i| C64::new(i as f64, -(i as f64) / 2.0))
+                .collect();
             let plan = FftPlan::new(m);
             let mut want = x.clone();
             plan.transform(&mut want, Direction::Negative);

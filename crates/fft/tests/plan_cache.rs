@@ -1,0 +1,60 @@
+//! Interning semantics of the shared transform-plan caches.
+
+use flash_fft::fixed_fft::FixedNegacyclicFft;
+use flash_fft::{ApproxFftConfig, NegacyclicFft};
+use flash_math::fixed::FxpFormat;
+use std::sync::Arc;
+
+#[test]
+fn negacyclic_plans_are_interned_per_degree() {
+    let a = NegacyclicFft::shared(64);
+    let b = NegacyclicFft::shared(64);
+    let c = NegacyclicFft::shared(128);
+    assert!(Arc::ptr_eq(&a, &b), "same degree must share one plan");
+    assert!(!Arc::ptr_eq(&a, &c), "distinct degrees must not");
+    assert_eq!(c.degree(), 128);
+}
+
+#[test]
+fn shared_plan_computes_like_a_fresh_one() {
+    let shared = NegacyclicFft::shared(32);
+    let fresh = NegacyclicFft::new(32);
+    let x: Vec<f64> = (0..32).map(|i| (i as f64) - 15.5).collect();
+    let a = shared.forward(&x);
+    let b = fresh.forward(&x);
+    for (u, v) in a.iter().zip(&b) {
+        assert_eq!(u.re.to_bits(), v.re.to_bits());
+        assert_eq!(u.im.to_bits(), v.im.to_bits());
+    }
+}
+
+#[test]
+fn fixed_plans_intern_by_structural_config() {
+    let cfg = ApproxFftConfig::uniform(64, FxpFormat::new(12, 14), 8);
+    let a = FixedNegacyclicFft::shared(&cfg);
+    let b = FixedNegacyclicFft::shared(&cfg.clone());
+    assert!(Arc::ptr_eq(&a, &b), "equal configs must share one plan");
+
+    let mut coarser = ApproxFftConfig::uniform(64, FxpFormat::new(12, 14), 8);
+    coarser.max_shift = 12;
+    let c = FixedNegacyclicFft::shared(&coarser);
+    assert!(!Arc::ptr_eq(&a, &c), "differing max_shift must rebuild");
+
+    let other_fmt = ApproxFftConfig::uniform(64, FxpFormat::new(12, 10), 8);
+    let d = FixedNegacyclicFft::shared(&other_fmt);
+    assert!(!Arc::ptr_eq(&a, &d), "differing formats must rebuild");
+}
+
+#[test]
+fn shared_fixed_plan_matches_fresh_bit_for_bit() {
+    let cfg = ApproxFftConfig::uniform(64, FxpFormat::new(14, 12), 6);
+    let shared = FixedNegacyclicFft::shared(&cfg);
+    let fresh = FixedNegacyclicFft::new(cfg);
+    let w: Vec<i64> = (0..64).map(|i| (i as i64 % 17) - 8).collect();
+    let (a, _) = shared.forward(&w);
+    let (b, _) = fresh.forward(&w);
+    for (u, v) in a.iter().zip(&b) {
+        assert_eq!(u.re.to_bits(), v.re.to_bits());
+        assert_eq!(u.im.to_bits(), v.im.to_bits());
+    }
+}

@@ -1,0 +1,30 @@
+//! Monte-Carlo error estimation must not depend on the worker count.
+//!
+//! Single test function: `set_threads` is process-global, so the 1-thread
+//! and 8-thread runs must not interleave with other tests.
+
+use flash_fft::error::{monte_carlo_error, ErrorWorkload};
+use flash_fft::ApproxFftConfig;
+use flash_math::fixed::FxpFormat;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn monte_carlo_is_identical_for_any_worker_count() {
+    let cfg = ApproxFftConfig::uniform(128, FxpFormat::new(16, 10), 8);
+    let wl = ErrorWorkload::default();
+
+    flash_runtime::set_threads(1);
+    let mut rng = StdRng::seed_from_u64(42);
+    let seq = monte_carlo_error(&cfg, wl, 6, &mut rng);
+
+    flash_runtime::set_threads(8);
+    let mut rng = StdRng::seed_from_u64(42);
+    let par = monte_carlo_error(&cfg, wl, 6, &mut rng);
+    flash_runtime::set_threads(0);
+
+    assert_eq!(seq.samples, par.samples);
+    assert_eq!(seq.variance.to_bits(), par.variance.to_bits());
+    assert_eq!(seq.max_abs.to_bits(), par.max_abs.to_bits());
+    assert_eq!(seq.mean.to_bits(), par.mean.to_bits());
+}

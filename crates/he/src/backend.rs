@@ -36,7 +36,7 @@ pub enum PolyMulBackend {
 impl PolyMulBackend {
     /// Builds the approximate backend from a configuration.
     pub fn approx(cfg: flash_fft::ApproxFftConfig) -> Self {
-        PolyMulBackend::ApproxFft(Arc::new(FixedNegacyclicFft::new(cfg)))
+        PolyMulBackend::ApproxFft(FixedNegacyclicFft::shared(&cfg))
     }
 
     /// Multiplies a ciphertext-ring polynomial `a` (mod `q`) by a small
@@ -62,7 +62,11 @@ impl PolyMulBackend {
                 Poly::from_coeffs(negacyclic_mul_ntt(a.coeffs(), w.coeffs(), ntt), q)
             }
             PolyMulBackend::FftF64 => {
-                let af: Vec<f64> = a.coeffs().iter().map(|&x| center_lift(x, q) as f64).collect();
+                let af: Vec<f64> = a
+                    .coeffs()
+                    .iter()
+                    .map(|&x| center_lift(x, q) as f64)
+                    .collect();
                 let wf: Vec<f64> = w_signed.iter().map(|&x| x as f64).collect();
                 let prod = fft.polymul_f64(&af, &wf);
                 Poly::from_coeffs(
@@ -73,9 +77,17 @@ impl PolyMulBackend {
                 )
             }
             PolyMulBackend::ApproxFft(fixed) => {
-                assert_eq!(fixed.config().degree(), a.len(), "approx plan degree mismatch");
+                assert_eq!(
+                    fixed.config().degree(),
+                    a.len(),
+                    "approx plan degree mismatch"
+                );
                 let (fw, _) = fixed.forward(w_signed);
-                let af: Vec<f64> = a.coeffs().iter().map(|&x| center_lift(x, q) as f64).collect();
+                let af: Vec<f64> = a
+                    .coeffs()
+                    .iter()
+                    .map(|&x| center_lift(x, q) as f64)
+                    .collect();
                 let fa = fft.forward(&af);
                 let spec: Vec<C64> = fa.iter().zip(&fw).map(|(x, y)| *x * *y).collect();
                 let prod = fft.inverse(&spec);

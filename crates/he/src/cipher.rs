@@ -179,7 +179,10 @@ mod tests {
         );
         let after = sk.noise(&ct2, &mw).inf_norm();
         // growth bounded by ||w||_1-ish factor (9 coefficients of < 8)
-        assert!(after <= before * 9 * 8 + p.t, "noise grew too much: {before} -> {after}");
+        assert!(
+            after <= before * 9 * 8 + p.t,
+            "noise grew too much: {before} -> {after}"
+        );
         assert!(sk.noise_budget_bits(&ct2, &mw) > 0.0);
     }
 

@@ -441,11 +441,7 @@ pub fn pad_input(x: &[i64], c: usize, h: usize, w: usize, pad: usize) -> Vec<i64
 pub type Stride2Phases = Vec<(Vec<i64>, Vec<i64>)>;
 
 /// See [`Stride2Phases`] for the per-phase `(activation, kernel)` pairs.
-pub fn stride2_decompose(
-    x: &[i64],
-    f: &[i64],
-    shape: &ConvShape,
-) -> (ConvShape, Stride2Phases) {
+pub fn stride2_decompose(x: &[i64], f: &[i64], shape: &ConvShape) -> (ConvShape, Stride2Phases) {
     let s = shape;
     assert_eq!(x.len(), s.input_len());
     assert_eq!(f.len(), s.m * s.kernel_len());
@@ -506,7 +502,9 @@ mod tests {
 
     fn rand_conv(shape: &ConvShape, seed: u64) -> (Vec<i64>, Vec<i64>) {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let x: Vec<i64> = (0..shape.input_len()).map(|_| rng.gen_range(-8..8)).collect();
+        let x: Vec<i64> = (0..shape.input_len())
+            .map(|_| rng.gen_range(-8..8))
+            .collect();
         let f: Vec<i64> = (0..shape.m * shape.kernel_len())
             .map(|_| rng.gen_range(-8..8))
             .collect();
@@ -518,11 +516,12 @@ mod tests {
     fn check_encoded_conv(shape: ConvShape, n: usize, align: TileAlignment, seed: u64) {
         let (x, f) = rand_conv(&shape, seed);
         let enc = ConvEncoder::with_alignment(shape, n, align);
-        let fft = flash_fft::NegacyclicFft::new(n);
+        let fft = flash_fft::NegacyclicFft::shared(n);
         let acts = enc.encode_activation(&x);
         let mut y = vec![0i64; shape.output_len()];
         for oc in 0..shape.m {
-            let w_polys = enc.encode_weight(&f[oc * shape.kernel_len()..][..shape.kernel_len()], oc);
+            let w_polys =
+                enc.encode_weight(&f[oc * shape.kernel_len()..][..shape.kernel_len()], oc);
             for b in 0..enc.bands() {
                 let mut acc = vec![0i128; n];
                 for g in 0..enc.groups() {
@@ -549,15 +548,51 @@ mod tests {
 
     #[test]
     fn single_tile_conv_roundtrip() {
-        check_both(ConvShape { c: 2, h: 5, w: 4, m: 3, k: 3 }, 64, 1);
-        check_both(ConvShape { c: 1, h: 4, w: 4, m: 1, k: 1 }, 16, 2);
-        check_both(ConvShape { c: 3, h: 4, w: 4, m: 2, k: 2 }, 64, 3);
+        check_both(
+            ConvShape {
+                c: 2,
+                h: 5,
+                w: 4,
+                m: 3,
+                k: 3,
+            },
+            64,
+            1,
+        );
+        check_both(
+            ConvShape {
+                c: 1,
+                h: 4,
+                w: 4,
+                m: 1,
+                k: 1,
+            },
+            16,
+            2,
+        );
+        check_both(
+            ConvShape {
+                c: 3,
+                h: 4,
+                w: 4,
+                m: 2,
+                k: 2,
+            },
+            64,
+            3,
+        );
     }
 
     #[test]
     fn non_power_of_two_dims_roundtrip() {
         // 5x6 image: aligned layout pads the row stride to 8.
-        let shape = ConvShape { c: 2, h: 5, w: 6, m: 2, k: 3 };
+        let shape = ConvShape {
+            c: 2,
+            h: 5,
+            w: 6,
+            m: 2,
+            k: 3,
+        };
         let enc = ConvEncoder::with_alignment(shape, 128, TileAlignment::PowerOfTwo);
         assert_eq!(enc.row_stride(), 8);
         check_both(shape, 128, 9);
@@ -566,7 +601,13 @@ mod tests {
     #[test]
     fn channel_grouped_conv_roundtrip() {
         // c*h*w = 4*4*4 = 64 > 32 = n: two channel groups of 2.
-        let shape = ConvShape { c: 4, h: 4, w: 4, m: 2, k: 3 };
+        let shape = ConvShape {
+            c: 4,
+            h: 4,
+            w: 4,
+            m: 2,
+            k: 3,
+        };
         let enc = ConvEncoder::new(shape, 32);
         assert_eq!(enc.groups(), 2);
         assert_eq!(enc.bands(), 1);
@@ -576,7 +617,13 @@ mod tests {
     #[test]
     fn banded_conv_roundtrip() {
         // One channel image of 8x8 = 64 > 32 = n: row bands.
-        let shape = ConvShape { c: 1, h: 8, w: 8, m: 2, k: 3 };
+        let shape = ConvShape {
+            c: 1,
+            h: 8,
+            w: 8,
+            m: 2,
+            k: 3,
+        };
         let enc = ConvEncoder::new(shape, 32);
         assert!(enc.bands() > 1);
         check_both(shape, 32, 5);
@@ -584,7 +631,13 @@ mod tests {
 
     #[test]
     fn banded_multichannel_conv_roundtrip() {
-        let shape = ConvShape { c: 2, h: 8, w: 8, m: 1, k: 3 };
+        let shape = ConvShape {
+            c: 2,
+            h: 8,
+            w: 8,
+            m: 1,
+            k: 3,
+        };
         let enc = ConvEncoder::new(shape, 32);
         assert_eq!(enc.channels_per_group(), 1);
         assert_eq!(enc.groups(), 2);
@@ -594,7 +647,13 @@ mod tests {
     #[test]
     fn uneven_channel_group_padding() {
         // 3 channels into groups of 2: last group is half empty.
-        let shape = ConvShape { c: 3, h: 4, w: 4, m: 2, k: 2 };
+        let shape = ConvShape {
+            c: 3,
+            h: 4,
+            w: 4,
+            m: 2,
+            k: 2,
+        };
         let enc = ConvEncoder::new(shape, 32);
         assert_eq!(enc.channels_per_group(), 2);
         assert_eq!(enc.groups(), 2);
@@ -605,7 +664,13 @@ mod tests {
     fn weight_sparsity_matches_paper_structure() {
         // ResNet-like tile: 1 channel of 32x32 with 3x3 kernel in n=1024:
         // 9 of 1024 coefficients are valid (> 99 % sparse).
-        let shape = ConvShape { c: 1, h: 32, w: 32, m: 1, k: 3 };
+        let shape = ConvShape {
+            c: 1,
+            h: 32,
+            w: 32,
+            m: 1,
+            k: 3,
+        };
         let enc = ConvEncoder::new(shape, 1024);
         let idx = enc.weight_indices(0);
         assert_eq!(idx.len(), 9);
@@ -623,7 +688,13 @@ mod tests {
         // The FLASH layout: 1x1 kernels over 14x14 (aligned to 16x16
         // strides) put one valid coefficient at each multiple of 256 —
         // the pattern whose transform collapses to a tiny sub-network.
-        let shape = ConvShape { c: 20, h: 14, w: 14, m: 1, k: 1 };
+        let shape = ConvShape {
+            c: 20,
+            h: 14,
+            w: 14,
+            m: 1,
+            k: 1,
+        };
         let enc = ConvEncoder::with_alignment(shape, 4096, TileAlignment::PowerOfTwo);
         assert_eq!(enc.row_stride(), 16);
         let idx = enc.weight_indices(0);
@@ -650,7 +721,13 @@ mod tests {
 
     #[test]
     fn stride2_decomposition_matches_direct() {
-        let shape = ConvShape { c: 2, h: 8, w: 8, m: 2, k: 3 };
+        let shape = ConvShape {
+            c: 2,
+            h: 8,
+            w: 8,
+            m: 2,
+            k: 3,
+        };
         let (x, f) = rand_conv(&shape, 8);
         // direct strided reference
         let (oh, ow) = strided_out_dims(shape.h, shape.w, shape.k, 2);
@@ -698,6 +775,15 @@ mod tests {
     #[test]
     #[should_panic(expected = "exceeds the ring degree")]
     fn impossible_tiling_panics() {
-        ConvEncoder::new(ConvShape { c: 1, h: 16, w: 16, m: 1, k: 3 }, 32);
+        ConvEncoder::new(
+            ConvShape {
+                c: 1,
+                h: 16,
+                w: 16,
+                m: 1,
+                k: 3,
+            },
+            32,
+        );
     }
 }

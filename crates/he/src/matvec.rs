@@ -110,7 +110,10 @@ impl MatVecEncoder {
     /// Panics on out-of-range block indices or a size mismatch.
     pub fn encode_matrix(&self, w: &[i64], rb: usize, cc: usize) -> Vec<i64> {
         assert_eq!(w.len(), self.no * self.ni, "matrix size mismatch");
-        assert!(rb < self.row_blocks && cc < self.col_chunks, "block out of range");
+        assert!(
+            rb < self.row_blocks && cc < self.col_chunks,
+            "block out of range"
+        );
         let mut poly = vec![0i64; self.n];
         let row0 = rb * self.rows_per_block;
         let col0 = cc * self.nc;
@@ -164,7 +167,7 @@ mod tests {
         let w: Vec<i64> = (0..no * ni).map(|_| rng.gen_range(-8..8)).collect();
         let x: Vec<i64> = (0..ni).map(|_| rng.gen_range(-8..8)).collect();
         let enc = MatVecEncoder::new(ni, no, n);
-        let fft = flash_fft::NegacyclicFft::new(n);
+        let fft = flash_fft::NegacyclicFft::shared(n);
         let xs = enc.encode_vector(&x);
         let mut y = vec![0i64; no];
         for rb in 0..enc.row_blocks() {

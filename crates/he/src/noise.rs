@@ -190,7 +190,10 @@ mod tests {
         // worst ResNet-50 tile: 16 channels x 9 taps of 4-bit weights
         let w_l2 = (16.0f64 * 9.0 * 64.0).sqrt();
         let bits = hconv_budget_bits_avg(&p, w_l2, 16);
-        assert!(bits > 1.0, "paper parameters must leave budget: {bits} bits");
+        assert!(
+            bits > 1.0,
+            "paper parameters must leave budget: {bits} bits"
+        );
         // the worst-case bound is (expectedly) much tighter
         let wc = hconv_budget_bits(&p, 16.0 * 9.0 * 8.0, 16);
         assert!(wc < bits);

@@ -56,7 +56,10 @@ impl HeParams {
     /// Panics if `t ≥ q/2` (no noise budget), `t` is not a power of two,
     /// or no suitable prime exists.
     pub fn new(n: usize, q_bits: u32, t: u64, noise_std: f64) -> Self {
-        assert!(t.is_power_of_two(), "plaintext modulus must be a power of two");
+        assert!(
+            t.is_power_of_two(),
+            "plaintext modulus must be a power of two"
+        );
         assert!(
             t < (1u64 << q_bits) / 2,
             "plaintext modulus leaves no noise budget"
@@ -67,8 +70,8 @@ impl HeParams {
         let n_eff = n.max((t / 2) as usize);
         let q = ntt_prime(q_bits, n_eff as u64).expect("no NTT-friendly prime at this size");
         assert!(t < q / 2, "plaintext modulus leaves no noise budget");
-        let ntt = Arc::new(NttTables::new(n, q).expect("params are NTT friendly"));
-        let fft = Arc::new(NegacyclicFft::new(n));
+        let ntt = NttTables::shared(n, q).expect("params are NTT friendly");
+        let fft = NegacyclicFft::shared(n);
         Self {
             n,
             q,

@@ -121,7 +121,11 @@ impl Poly {
 
     /// Largest coefficient magnitude after center lift.
     pub fn inf_norm(&self) -> u64 {
-        self.lifted().iter().map(|c| c.unsigned_abs()).max().unwrap_or(0)
+        self.lifted()
+            .iter()
+            .map(|c| c.unsigned_abs())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Number of non-zero coefficients.
@@ -164,7 +168,11 @@ impl Poly {
     /// Coefficient-wise negation.
     pub fn neg(&self) -> Poly {
         Poly {
-            coeffs: self.coeffs.iter().map(|&a| neg_mod(a, self.modulus)).collect(),
+            coeffs: self
+                .coeffs
+                .iter()
+                .map(|&a| neg_mod(a, self.modulus))
+                .collect(),
             modulus: self.modulus,
         }
     }
@@ -186,7 +194,11 @@ impl Poly {
     /// `mod q`).
     pub fn lift_to(&self, modulus: u64) -> Poly {
         Poly {
-            coeffs: self.lifted().iter().map(|&c| from_signed(c, modulus)).collect(),
+            coeffs: self
+                .lifted()
+                .iter()
+                .map(|&c| from_signed(c, modulus))
+                .collect(),
             modulus,
         }
     }

@@ -42,16 +42,22 @@ impl RnsParams {
     /// Panics if not enough suitable primes exist, `t` is not a power of
     /// two, or the product exceeds the CRT headroom.
     pub fn new(n: usize, prime_bits: u32, limbs: usize, t: u64, noise_std: f64) -> Self {
-        assert!(t.is_power_of_two(), "plaintext modulus must be a power of two");
+        assert!(
+            t.is_power_of_two(),
+            "plaintext modulus must be a power of two"
+        );
         let n_eff = n.max((t / 2) as usize) as u64;
         let primes = ntt_primes(prime_bits, n_eff, limbs);
         assert_eq!(primes.len(), limbs, "not enough NTT primes at this size");
         let basis = CrtBasis::new(primes.clone());
         let q_prod = basis.product();
-        assert!(t as u128 * 4 < q_prod, "plaintext modulus leaves no noise budget");
+        assert!(
+            t as u128 * 4 < q_prod,
+            "plaintext modulus leaves no noise budget"
+        );
         let ntts = primes
             .iter()
-            .map(|&q| Arc::new(NttTables::new(n, q).expect("NTT-friendly prime")))
+            .map(|&q| NttTables::shared(n, q).expect("NTT-friendly prime"))
             .collect();
         let delta = q_prod / t as u128;
         let delta_limbs = primes.iter().map(|&q| (delta % q as u128) as u64).collect();
@@ -255,7 +261,11 @@ fn scale_plaintext(p: &Poly, params: &RnsParams) -> RnsPoly {
             .map(|(&q, &delta)| {
                 let lifted = p.lift_to(q);
                 Poly::from_coeffs(
-                    lifted.coeffs().iter().map(|&c| mul_mod(c, delta, q)).collect(),
+                    lifted
+                        .coeffs()
+                        .iter()
+                        .map(|&c| mul_mod(c, delta, q))
+                        .collect(),
                     q,
                 )
             })

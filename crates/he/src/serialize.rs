@@ -120,7 +120,11 @@ mod tests {
         let m = Poly::uniform(p.n, p.t, &mut rng);
         let ct = sk.encrypt(&m, &mut rng);
         let bytes = ciphertext_to_bytes(&ct);
-        assert_eq!(bytes.len(), ct.byte_size(), "wire size must match accounting");
+        assert_eq!(
+            bytes.len(),
+            ct.byte_size(),
+            "wire size must match accounting"
+        );
         let back = ciphertext_from_bytes(&bytes, p.n, p.q).unwrap();
         assert_eq!(back, ct);
         assert_eq!(sk.decrypt(&back), m);

@@ -33,7 +33,10 @@ impl TruncatedCiphertext {
     /// Panics if a shift is ≥ the modulus width.
     pub fn truncate(ct: &Ciphertext, d0: u32, d1: u32, params: &HeParams) -> Self {
         let q_bits = 64 - params.q.leading_zeros();
-        assert!(d0 < q_bits && d1 < q_bits, "cannot drop the whole coefficient");
+        assert!(
+            d0 < q_bits && d1 < q_bits,
+            "cannot drop the whole coefficient"
+        );
         let round = |c: u64, d: u32| -> u64 {
             if d == 0 {
                 return c;
@@ -72,8 +75,16 @@ impl TruncatedCiphertext {
     /// Worst-case noise added by the truncation: `2^{d0-1}` from `c0`
     /// plus `2^{d1-1}·‖s‖₁` from `c1` (ternary key: `‖s‖₁ ≤ N`).
     pub fn noise_bound(&self, params: &HeParams) -> f64 {
-        let e0 = if self.d0 == 0 { 0.0 } else { (2.0f64).powi(self.d0 as i32 - 1) };
-        let e1 = if self.d1 == 0 { 0.0 } else { (2.0f64).powi(self.d1 as i32 - 1) };
+        let e0 = if self.d0 == 0 {
+            0.0
+        } else {
+            (2.0f64).powi(self.d0 as i32 - 1)
+        };
+        let e1 = if self.d1 == 0 {
+            0.0
+        } else {
+            (2.0f64).powi(self.d1 as i32 - 1)
+        };
         e0 + e1 * params.n as f64
     }
 }

@@ -92,8 +92,7 @@ impl FlashArch {
             BuKind::Approx { k, .. } => k,
             _ => 5,
         };
-        self.approx_bu.cost(m) * self.approx_bus() as f64
-            + twiddle_rom(m, self.n as u64 / 2, k, 6)
+        self.approx_bu.cost(m) * self.approx_bus() as f64 + twiddle_rom(m, self.n as u64 / 2, k, 6)
     }
 
     /// The complete accelerator (the "All transforms in HConv" row).

@@ -93,22 +93,38 @@ pub struct TechNode {
 impl TechNode {
     /// The model's native 28 nm node.
     pub fn n28() -> Self {
-        Self { nm: 28, area_scale: 1.0, power_scale: 1.0 }
+        Self {
+            nm: 28,
+            area_scale: 1.0,
+            power_scale: 1.0,
+        }
     }
 
     /// 14 nm (≈2.2× density, ≈40 % less power).
     pub fn n14() -> Self {
-        Self { nm: 14, area_scale: 0.45, power_scale: 0.60 }
+        Self {
+            nm: 14,
+            area_scale: 0.45,
+            power_scale: 0.60,
+        }
     }
 
     /// 12 nm.
     pub fn n12() -> Self {
-        Self { nm: 12, area_scale: 0.40, power_scale: 0.55 }
+        Self {
+            nm: 12,
+            area_scale: 0.40,
+            power_scale: 0.55,
+        }
     }
 
     /// 7 nm.
     pub fn n7() -> Self {
-        Self { nm: 7, area_scale: 0.18, power_scale: 0.35 }
+        Self {
+            nm: 7,
+            area_scale: 0.18,
+            power_scale: 0.35,
+        }
     }
 
     /// Rescales a 28 nm cost to this node.
@@ -171,7 +187,10 @@ impl CostModel {
 
     /// A `bits`-wide adder.
     pub fn adder(&self, bits: u32) -> UnitCost {
-        UnitCost::new(self.add_area * bits as f64, self.add_power * bits as f64 / 1e3)
+        UnitCost::new(
+            self.add_area * bits as f64,
+            self.add_power * bits as f64 / 1e3,
+        )
     }
 
     /// A `b1 × b2` array multiplier.
@@ -188,7 +207,10 @@ impl CostModel {
 
     /// A `bits`-wide register.
     pub fn register(&self, bits: u32) -> UnitCost {
-        UnitCost::new(self.reg_area * bits as f64, self.reg_power * bits as f64 / 1e3)
+        UnitCost::new(
+            self.reg_area * bits as f64,
+            self.reg_power * bits as f64 / 1e3,
+        )
     }
 
     /// The complex-by-quantized-twiddle shift-add multiplier of Figure 9:
@@ -256,7 +278,10 @@ impl CostModel {
 
     /// SRAM/ROM storage cost for `bits` of memory.
     pub fn memory(&self, bits: u64) -> UnitCost {
-        UnitCost::new(self.sram_area * bits as f64, self.sram_power * bits as f64 / 1e3)
+        UnitCost::new(
+            self.sram_area * bits as f64,
+            self.sram_power * bits as f64 / 1e3,
+        )
     }
 }
 
@@ -266,13 +291,25 @@ pub mod anchors {
     use super::UnitCost;
 
     /// F1's 32-bit modular multiplier at 14/12 nm.
-    pub const F1_MODULAR_32: UnitCost = UnitCost { area_um2: 1817.0, power_mw: 4.10 };
+    pub const F1_MODULAR_32: UnitCost = UnitCost {
+        area_um2: 1817.0,
+        power_mw: 4.10,
+    };
     /// CHAM's 35/39-bit modular multiplier at 28 nm.
-    pub const CHAM_MODULAR_39: UnitCost = UnitCost { area_um2: 3517.0, power_mw: 3.79 };
+    pub const CHAM_MODULAR_39: UnitCost = UnitCost {
+        area_um2: 3517.0,
+        power_mw: 3.79,
+    };
     /// FLASH's complex FP multiplier (8+1+39) at 28 nm.
-    pub const FLASH_FP_COMPLEX: UnitCost = UnitCost { area_um2: 11744.0, power_mw: 8.26 };
+    pub const FLASH_FP_COMPLEX: UnitCost = UnitCost {
+        area_um2: 11744.0,
+        power_mw: 8.26,
+    };
     /// FLASH's approximate FXP multiplier (39 b, k = 5) at 28 nm.
-    pub const FLASH_APPROX_FXP: UnitCost = UnitCost { area_um2: 3211.0, power_mw: 1.11 };
+    pub const FLASH_APPROX_FXP: UnitCost = UnitCost {
+        area_um2: 3211.0,
+        power_mw: 1.11,
+    };
 }
 
 #[cfg(test)]
@@ -338,15 +375,26 @@ mod tests {
         let approx = m.shift_add_complex_mult(39, 5, 8).power_mw;
         let cham = m.modular_mult_shiftadd(39).power_mw;
         let fp = m.complex_fp_mult(8, 39).power_mw;
-        assert!((2.5..4.5).contains(&(cham / approx)), "cham/approx = {}", cham / approx);
-        assert!((6.0..9.0).contains(&(fp / approx)), "fp/approx = {}", fp / approx);
+        assert!(
+            (2.5..4.5).contains(&(cham / approx)),
+            "cham/approx = {}",
+            cham / approx
+        );
+        assert!(
+            (6.0..9.0).contains(&(fp / approx)),
+            "fp/approx = {}",
+            fp / approx
+        );
     }
 
     #[test]
     fn costs_scale_monotonically() {
         let m = CostModel::cmos28();
         assert!(m.int_mult(32, 32).area_um2 < m.int_mult(64, 64).area_um2);
-        assert!(m.shift_add_complex_mult(39, 5, 8).power_mw < m.shift_add_complex_mult(39, 18, 8).power_mw);
+        assert!(
+            m.shift_add_complex_mult(39, 5, 8).power_mw
+                < m.shift_add_complex_mult(39, 18, 8).power_mw
+        );
         assert!(m.adder(16).power_mw < m.adder(64).power_mw);
         assert!(m.complex_fxp_mult(27).power_mw < m.complex_fxp_mult(39).power_mw);
     }

@@ -60,11 +60,31 @@ impl DesignPoint {
     /// The five bars of Figure 11(d)(e).
     pub fn ablation_points() -> Vec<DesignPoint> {
         vec![
-            DesignPoint { label: "FFT (FP)", weight_bu: BuKind::flash_fp(), sparse: false },
-            DesignPoint { label: "FXP FFT", weight_bu: BuKind::fxp27(), sparse: false },
-            DesignPoint { label: "Sparse FFT (FP)", weight_bu: BuKind::flash_fp(), sparse: true },
-            DesignPoint { label: "Approx FFT", weight_bu: BuKind::flash_approx(), sparse: false },
-            DesignPoint { label: "FLASH", weight_bu: BuKind::flash_approx(), sparse: true },
+            DesignPoint {
+                label: "FFT (FP)",
+                weight_bu: BuKind::flash_fp(),
+                sparse: false,
+            },
+            DesignPoint {
+                label: "FXP FFT",
+                weight_bu: BuKind::fxp27(),
+                sparse: false,
+            },
+            DesignPoint {
+                label: "Sparse FFT (FP)",
+                weight_bu: BuKind::flash_fp(),
+                sparse: true,
+            },
+            DesignPoint {
+                label: "Approx FFT",
+                weight_bu: BuKind::flash_approx(),
+                sparse: false,
+            },
+            DesignPoint {
+                label: "FLASH",
+                weight_bu: BuKind::flash_approx(),
+                sparse: true,
+            },
         ]
     }
 }
@@ -182,7 +202,11 @@ mod tests {
         let ops = sample_ops();
         let flash = hconv_energy(
             &ops,
-            &DesignPoint { label: "FLASH", weight_bu: BuKind::flash_approx(), sparse: true },
+            &DesignPoint {
+                label: "FLASH",
+                weight_bu: BuKind::flash_approx(),
+                sparse: true,
+            },
             &m,
         );
         let baseline = modular_baseline_energy(&ops, &m);
@@ -208,7 +232,12 @@ mod tests {
 
     #[test]
     fn report_arithmetic() {
-        let a = EnergyReport { weight_pj: 1.0, act_pj: 2.0, pointwise_pj: 3.0, accum_pj: 4.0 };
+        let a = EnergyReport {
+            weight_pj: 1.0,
+            act_pj: 2.0,
+            pointwise_pj: 3.0,
+            accum_pj: 4.0,
+        };
         assert_eq!(a.total_pj(), 10.0);
         let b = a.add(&a);
         assert_eq!(b.total_pj(), 20.0);

@@ -53,12 +53,7 @@ impl Efficiency {
 /// Sustained normalized throughput of a PE array: `pes` processing
 /// elements each finishing one transform every `cycles_per_transform`
 /// cycles at `freq_ghz`, with each transform worth `work_units`.
-pub fn array_mops(
-    pes: u32,
-    cycles_per_transform: f64,
-    freq_ghz: f64,
-    work_units: f64,
-) -> f64 {
+pub fn array_mops(pes: u32, cycles_per_transform: f64, freq_ghz: f64, work_units: f64) -> f64 {
     let per_pe = freq_ghz * 1e9 / cycles_per_transform;
     mops(pes as f64 * per_pe * work_units)
 }
@@ -84,7 +79,11 @@ mod tests {
 
     #[test]
     fn efficiency_metrics() {
-        let e = Efficiency { mops: 100.0, area_mm2: 4.0, power_w: 2.0 };
+        let e = Efficiency {
+            mops: 100.0,
+            area_mm2: 4.0,
+            power_w: 2.0,
+        };
         assert_eq!(e.area_eff(), 25.0);
         assert_eq!(e.power_eff(), 50.0);
     }

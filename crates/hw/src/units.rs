@@ -16,7 +16,11 @@ use crate::cost::{CostModel, UnitCost};
 pub enum BuKind {
     /// Shift-add CSD multiplier: `data_bits` wide, `k` terms per twiddle
     /// component, `mux_inputs`-way shift MUXes.
-    Approx { data_bits: u32, k: u32, mux_inputs: u32 },
+    Approx {
+        data_bits: u32,
+        k: u32,
+        mux_inputs: u32,
+    },
     /// Generic fixed-point complex multiplier (the "FXP FFT" ablation).
     Fxp { data_bits: u32 },
     /// Floating point with `exp`/`mant` bits.
@@ -28,7 +32,11 @@ pub enum BuKind {
 impl BuKind {
     /// The FLASH approximate BU operating point (39-bit data, k = 5).
     pub fn flash_approx() -> Self {
-        BuKind::Approx { data_bits: 39, k: 5, mux_inputs: 8 }
+        BuKind::Approx {
+            data_bits: 39,
+            k: 5,
+            mux_inputs: 8,
+        }
     }
 
     /// The FLASH FP BU (8+1+39, enough for exactness vs a 39-bit NTT).
@@ -49,7 +57,11 @@ impl BuKind {
     /// Total cost of one butterfly unit.
     pub fn cost(&self, m: &CostModel) -> UnitCost {
         match *self {
-            BuKind::Approx { data_bits, k, mux_inputs } => {
+            BuKind::Approx {
+                data_bits,
+                k,
+                mux_inputs,
+            } => {
                 // complex CSD mult + complex add & sub (4 real adders) +
                 // pipeline registers for the complex pair
                 m.shift_add_complex_mult(data_bits, k, mux_inputs)
@@ -57,9 +69,7 @@ impl BuKind {
                     + m.register(4 * data_bits)
             }
             BuKind::Fxp { data_bits } => {
-                m.complex_fxp_mult(data_bits)
-                    + m.adder(data_bits) * 4.0
-                    + m.register(4 * data_bits)
+                m.complex_fxp_mult(data_bits) + m.adder(data_bits) * 4.0 + m.register(4 * data_bits)
             }
             BuKind::Fp { exp, mant } => {
                 m.complex_fp_mult(exp, mant)
@@ -67,9 +77,7 @@ impl BuKind {
                     + m.register(4 * (exp + mant + 1))
             }
             BuKind::Modular { bits } => {
-                m.modular_mult_shiftadd(bits)
-                    + m.modular_adder(bits) * 2.0
-                    + m.register(2 * bits)
+                m.modular_mult_shiftadd(bits) + m.modular_adder(bits) * 2.0 + m.register(2 * bits)
             }
         }
     }
@@ -121,8 +129,18 @@ mod tests {
     #[test]
     fn bu_costs_are_positive_and_ordered_in_k() {
         let m = CostModel::cmos28();
-        let k5 = BuKind::Approx { data_bits: 39, k: 5, mux_inputs: 8 }.cost(&m);
-        let k18 = BuKind::Approx { data_bits: 39, k: 18, mux_inputs: 8 }.cost(&m);
+        let k5 = BuKind::Approx {
+            data_bits: 39,
+            k: 5,
+            mux_inputs: 8,
+        }
+        .cost(&m);
+        let k18 = BuKind::Approx {
+            data_bits: 39,
+            k: 18,
+            mux_inputs: 8,
+        }
+        .cost(&m);
         assert!(k5.area_um2 > 0.0 && k5.power_mw > 0.0);
         assert!(k18.power_mw > 2.0 * k5.power_mw, "k18 {k18} vs k5 {k5}");
     }

@@ -67,7 +67,10 @@ impl CrtBasis {
 
     /// Reduces an unsigned big value into residues.
     pub fn decompose_u128(&self, x: u128) -> Vec<u64> {
-        self.moduli.iter().map(|&q| (x % q as u128) as u64).collect()
+        self.moduli
+            .iter()
+            .map(|&q| (x % q as u128) as u64)
+            .collect()
     }
 
     /// Reduces a signed value into residues.
@@ -93,10 +96,10 @@ impl CrtBasis {
             // subtract the already-known digits, in Z_qj
             let mut acc = residues[j] % qj;
             let mut radix = 1u64 % qj;
-            for i in 0..j {
-                let term = mul_mod(digits[i] % qj, radix, qj);
+            for (&di, &mi) in digits.iter().zip(&self.moduli).take(j) {
+                let term = mul_mod(di % qj, radix, qj);
                 acc = sub_mod(acc, term, qj);
-                radix = mul_mod(radix, self.moduli[i] % qj, qj);
+                radix = mul_mod(radix, mi % qj, qj);
             }
             // divide by the radix (q0·…·q_{j-1}) mod qj
             let mut digit = acc;
@@ -107,9 +110,9 @@ impl CrtBasis {
         }
         let mut value: u128 = 0;
         let mut radix: u128 = 1;
-        for j in 0..k {
-            value += digits[j] as u128 * radix;
-            radix *= self.moduli[j] as u128;
+        for (&d, &m) in digits.iter().zip(&self.moduli) {
+            value += d as u128 * radix;
+            radix *= m as u128;
         }
         value
     }

@@ -269,7 +269,7 @@ mod tests {
     #[test]
     fn quantize_error_bounded_by_resolution() {
         // With unlimited terms, the error is below the shift resolution.
-        for &x in &[0.1, 0.333, 0.7071067811865476, 0.999, -0.45] {
+        for &x in &[0.1, 0.333, std::f64::consts::FRAC_1_SQRT_2, 0.999, -0.45] {
             let c = CsdCoeff::quantize_exact(x, 20);
             assert!((c.value() - x).abs() < (0.5f64).powi(19), "x={x}");
         }

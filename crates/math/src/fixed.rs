@@ -230,7 +230,13 @@ pub fn requantize(
             }
         }
     }
-    (v, QuantFlags { rounded, overflowed })
+    (
+        v,
+        QuantFlags {
+            rounded,
+            overflowed,
+        },
+    )
 }
 
 /// Converts an `f64` into the raw representation of `fmt` (round to
@@ -313,7 +319,7 @@ mod tests {
     #[test]
     fn f64_roundtrip_within_lsb() {
         let fmt = FxpFormat::new(3, 10);
-        for x in [-7.99, -1.0, -0.123, 0.0, 0.5, 3.14159, 7.9] {
+        for x in [-7.99, -1.0, -0.123, 0.0, 0.5, std::f64::consts::PI, 7.9] {
             let raw = from_f64(x, fmt);
             let back = to_f64(raw, fmt.frac_bits);
             assert!((back - x).abs() <= fmt.lsb() / 2.0 + 1e-12, "{x} -> {back}");

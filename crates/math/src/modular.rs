@@ -303,10 +303,7 @@ mod tests {
         let q = 0x0FFF_F001u64;
         assert_eq!(from_signed_i128(-1, q), q - 1);
         assert_eq!(from_signed_i128(q as i128, q), 0);
-        assert_eq!(
-            from_signed_i128(-(q as i128) * 7 - 3, q),
-            q - 3
-        );
+        assert_eq!(from_signed_i128(-(q as i128) * 7 - 3, q), q - 3);
     }
 
     #[test]

@@ -218,7 +218,10 @@ mod tests {
     #[test]
     fn small_primes_classified() {
         let primes = [2u64, 3, 5, 7, 11, 13, 97, 65537, 4294967291];
-        let composites = [0u64, 1, 4, 9, 15, 91, 6601 /* Carmichael */, 4294967295];
+        let composites = [
+            0u64, 1, 4, 9, 15, 91, 6601, /* Carmichael */
+            4294967295,
+        ];
         for p in primes {
             assert!(is_prime(p), "{p} should be prime");
         }
@@ -236,7 +239,10 @@ mod tests {
 
     #[test]
     fn factors_of_highly_composite() {
-        assert_eq!(distinct_prime_factors(2 * 2 * 3 * 3 * 5 * 41), vec![2, 3, 5, 41]);
+        assert_eq!(
+            distinct_prime_factors(2 * 2 * 3 * 3 * 5 * 41),
+            vec![2, 3, 5, 41]
+        );
         assert_eq!(distinct_prime_factors(1), Vec::<u64>::new());
         assert_eq!(distinct_prime_factors(97), vec![97]);
         // Semiprime with large-ish factors exercises Pollard rho.

@@ -84,7 +84,9 @@ impl ConvLayerSpec {
 
     /// Samples a quantized input activation tensor.
     pub fn sample_input<R: Rng>(&self, q: Quantizer, rng: &mut R) -> Vec<i64> {
-        (0..self.c * self.h * self.w).map(|_| q.sample(rng)).collect()
+        (0..self.c * self.h * self.w)
+            .map(|_| q.sample(rng))
+            .collect()
     }
 }
 
@@ -177,7 +179,13 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let x = s.sample_input(Quantizer::a4(), &mut rng);
         let f = s.sample_weights(Quantizer::w4(), &mut rng);
-        let shape = ConvShape { c: 2, h: 6, w: 6, m: 2, k: 3 };
+        let shape = ConvShape {
+            c: 2,
+            h: 6,
+            w: 6,
+            m: 2,
+            k: 3,
+        };
         assert_eq!(
             conv_reference(&x, &f, &s),
             flash_he::encoding::direct_conv_stride1(&x, &f, &shape)
@@ -189,12 +197,24 @@ mod tests {
         let s1 = spec(2, 8, 3, 1, 1);
         assert_eq!(
             s1.encoded_shape(),
-            ConvShape { c: 2, h: 10, w: 10, m: 2, k: 3 }
+            ConvShape {
+                c: 2,
+                h: 10,
+                w: 10,
+                m: 2,
+                k: 3
+            }
         );
         let s2 = spec(2, 8, 3, 2, 1);
         assert_eq!(
             s2.encoded_shape(),
-            ConvShape { c: 2, h: 5, w: 5, m: 2, k: 2 }
+            ConvShape {
+                c: 2,
+                h: 5,
+                w: 5,
+                m: 2,
+                k: 2
+            }
         );
     }
 }

@@ -20,12 +20,18 @@ pub struct Quantizer {
 impl Quantizer {
     /// The standard 4-bit weight quantizer of a W4A4 network.
     pub fn w4() -> Self {
-        Self { bits: 4, scale: 1.0 / 8.0 }
+        Self {
+            bits: 4,
+            scale: 1.0 / 8.0,
+        }
     }
 
     /// The standard 4-bit activation quantizer.
     pub fn a4() -> Self {
-        Self { bits: 4, scale: 1.0 / 8.0 }
+        Self {
+            bits: 4,
+            scale: 1.0 / 8.0,
+        }
     }
 
     /// Smallest representable value.
@@ -167,14 +173,20 @@ mod tests {
     fn small_errors_are_absorbed() {
         // Layer-level robustness: an error far below half the shift step
         // rarely changes the output.
-        let r = Requantizer { shift: 10, out_bits: 4 };
+        let r = Requantizer {
+            shift: 10,
+            out_bits: 4,
+        };
         let mut flips = 0;
         for sp in (-4000..4000).step_by(17) {
             if r.flips(sp, 3) {
                 flips += 1;
             }
         }
-        assert!(flips < 5, "tiny errors should almost never flip, got {flips}");
+        assert!(
+            flips < 5,
+            "tiny errors should almost never flip, got {flips}"
+        );
         // Errors comparable to the step always can.
         assert!(r.flips(511, 1024));
     }

@@ -33,7 +33,15 @@ impl Network {
     }
 }
 
-fn conv(name: String, c: usize, h: usize, m: usize, k: usize, stride: usize, pad: usize) -> ConvLayerSpec {
+fn conv(
+    name: String,
+    c: usize,
+    h: usize,
+    m: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+) -> ConvLayerSpec {
     ConvLayerSpec {
         name,
         c,
@@ -65,7 +73,15 @@ pub fn resnet18_conv_layers() -> Network {
             } else {
                 (c_out, h_in / first_stride, 1)
             };
-            v.push(conv(format!("layer{stage}.{block}.conv1"), bc, bh, c_out, 3, bs, 1));
+            v.push(conv(
+                format!("layer{stage}.{block}.conv1"),
+                bc,
+                bh,
+                c_out,
+                3,
+                bs,
+                1,
+            ));
             v.push(conv(
                 format!("layer{stage}.{block}.conv2"),
                 c_out,
@@ -116,8 +132,24 @@ pub fn resnet50_conv_layers() -> Network {
                 (c_out, h_in / first_stride, 1)
             };
             let h_mid = bh; // 1x1 keeps dims
-            v.push(conv(format!("layer{stage}.{block}.conv1"), bc, bh, width, 1, 1, 0));
-            v.push(conv(format!("layer{stage}.{block}.conv2"), width, h_mid, width, 3, bs, 1));
+            v.push(conv(
+                format!("layer{stage}.{block}.conv1"),
+                bc,
+                bh,
+                width,
+                1,
+                1,
+                0,
+            ));
+            v.push(conv(
+                format!("layer{stage}.{block}.conv2"),
+                width,
+                h_mid,
+                width,
+                3,
+                bs,
+                1,
+            ));
             v.push(conv(
                 format!("layer{stage}.{block}.conv3"),
                 width,
@@ -168,12 +200,20 @@ pub fn vgg16_conv_layers() -> Network {
         (512, 512, 14, 5),
         (512, 512, 14, 5),
     ];
-    let mut block_idx = vec![0usize; 6];
+    let mut block_idx = [0usize; 6];
     let convs = cfg
         .iter()
         .map(|&(c, m, h, stage)| {
             block_idx[stage] += 1;
-            conv(format!("conv{stage}_{}", block_idx[stage]), c, h, m, 3, 1, 1)
+            conv(
+                format!("conv{stage}_{}", block_idx[stage]),
+                c,
+                h,
+                m,
+                3,
+                1,
+                1,
+            )
         })
         .collect();
     Network {
@@ -281,7 +321,11 @@ mod tests {
     #[test]
     fn downsample_dimensions() {
         let net = resnet18_conv_layers();
-        let ds: Vec<_> = net.convs.iter().filter(|l| l.name.contains("downsample")).collect();
+        let ds: Vec<_> = net
+            .convs
+            .iter()
+            .filter(|l| l.name.contains("downsample"))
+            .collect();
         assert_eq!(ds.len(), 3);
         for d in ds {
             assert_eq!(d.k, 1);

@@ -190,7 +190,10 @@ mod tests {
 
     #[test]
     fn flip_rate_monotone_in_error() {
-        let r = Requantizer { shift: 12, out_bits: 4 };
+        let r = Requantizer {
+            shift: 12,
+            out_bits: 4,
+        };
         let sps: Vec<i64> = (-30000..30000).step_by(61).collect();
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let low = layer_flip_rate(&r, &sps, 4.0, &mut rng);
@@ -211,11 +214,20 @@ mod tests {
 
     #[test]
     fn bitwidth_sweep_finds_threshold() {
-        let r = Requantizer { shift: 12, out_bits: 4 };
+        let r = Requantizer {
+            shift: 12,
+            out_bits: 4,
+        };
         let sps: Vec<i64> = (-20000..20000).step_by(37).collect();
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
         // synthetic error model: error halves per extra bit, huge at 16b
-        let dw = min_exact_bitwidth(&r, &sps, 16..=40, |w| (2.0f64).powi(34 - w as i32), &mut rng);
+        let dw = min_exact_bitwidth(
+            &r,
+            &sps,
+            16..=40,
+            |w| (2.0f64).powi(34 - w as i32),
+            &mut rng,
+        );
         let dw = dw.expect("some width must be exact");
         assert!((20..=36).contains(&dw), "threshold at {dw}");
     }

@@ -53,11 +53,7 @@ pub fn layer_weight_sparsity(spec: &ConvLayerSpec, n: usize) -> LayerSparsity {
 pub fn folded_fft_pattern(layer: &LayerSparsity) -> SparsityPattern {
     let mask = layer.pattern.mask();
     let half = layer.n / 2;
-    SparsityPattern::from_mask(
-        (0..half)
-            .map(|j| mask[j] || mask[j + half])
-            .collect(),
-    )
+    SparsityPattern::from_mask((0..half).map(|j| mask[j] || mask[j + half]).collect())
 }
 
 #[cfg(test)]
@@ -85,7 +81,10 @@ mod tests {
             sparsities.push(s.sparsity);
         }
         sparsities.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        assert!(sparsities[sparsities.len() / 2] > 0.9, "median must exceed 0.9");
+        assert!(
+            sparsities[sparsities.len() / 2] > 0.9,
+            "median must exceed 0.9"
+        );
     }
 
     #[test]
@@ -109,7 +108,11 @@ mod tests {
     #[test]
     fn folded_pattern_has_union_semantics() {
         let net = resnet50_conv_layers();
-        let l = net.convs.iter().find(|l| l.k == 3 && l.stride == 1).unwrap();
+        let l = net
+            .convs
+            .iter()
+            .find(|l| l.k == 3 && l.stride == 1)
+            .unwrap();
         let s = layer_weight_sparsity(l, N);
         let folded = folded_fft_pattern(&s);
         assert_eq!(folded.len(), N / 2);
@@ -120,7 +123,11 @@ mod tests {
     #[test]
     fn one_by_one_kernels_are_extremely_sparse() {
         let net = resnet50_conv_layers();
-        let l = net.convs.iter().find(|l| l.k == 1 && l.stride == 1).unwrap();
+        let l = net
+            .convs
+            .iter()
+            .find(|l| l.k == 1 && l.stride == 1)
+            .unwrap();
         let s = layer_weight_sparsity(l, N);
         // one valid coefficient per channel span
         assert!(s.sparsity > 0.99, "{}: {:.4}", l.name, s.sparsity);

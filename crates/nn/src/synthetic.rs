@@ -177,7 +177,11 @@ pub fn small_testnet<R: Rng>(rng: &mut R) -> SyntheticCnn {
         pad: 1,
     };
     SyntheticCnn::generate(
-        vec![spec("conv1", 4, 8), spec("conv2", 8, 8), spec("conv3", 8, 8)],
+        vec![
+            spec("conv1", 4, 8),
+            spec("conv2", 8, 8),
+            spec("conv3", 8, 8),
+        ],
         10,
         rng,
     )
@@ -192,7 +196,9 @@ mod tests {
     fn exact_inference_is_deterministic() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let net = small_testnet(&mut rng);
-        let x: Vec<i64> = (0..net.input_len()).map(|i| ((i as i64) % 15) - 7).collect();
+        let x: Vec<i64> = (0..net.input_len())
+            .map(|i| ((i as i64) % 15) - 7)
+            .collect();
         assert_eq!(net.logits(&x), net.logits(&x));
         assert_eq!(net.classes(), 10);
     }
@@ -216,7 +222,10 @@ mod tests {
         let a_tiny = net.agreement(&tiny, 60, &mut rng);
         let a_huge = net.agreement(&huge, 60, &mut rng);
         assert!(a_tiny > 0.9, "tiny errors should be absorbed: {a_tiny}");
-        assert!(a_huge < a_tiny, "huge errors must hurt: {a_huge} vs {a_tiny}");
+        assert!(
+            a_huge < a_tiny,
+            "huge errors must hurt: {a_huge} vs {a_tiny}"
+        );
     }
 
     #[test]
@@ -225,7 +234,7 @@ mod tests {
         let net = small_testnet(&mut rng);
         let mut prev = 1.1;
         for scale in [0.0, 20.0, 2_000.0, 200_000.0] {
-            let a = net.agreement(&vec![scale; 3], 40, &mut rng);
+            let a = net.agreement(&[scale; 3], 40, &mut rng);
             assert!(a <= prev + 0.15, "agreement at {scale}: {a} vs prev {prev}");
             prev = a;
         }

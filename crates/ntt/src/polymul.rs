@@ -35,15 +35,15 @@ pub fn negacyclic_mul_naive(a: &[u64], b: &[u64], q: u64) -> Vec<u64> {
     assert_eq!(a.len(), b.len(), "operand lengths must match");
     let n = a.len();
     let mut c = vec![0u64; n];
-    for i in 0..n {
-        if a[i] == 0 {
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
             continue;
         }
-        for j in 0..n {
-            if b[j] == 0 {
+        for (j, &bj) in b.iter().enumerate() {
+            if bj == 0 {
                 continue;
             }
-            let p = mul_mod(a[i], b[j], q);
+            let p = mul_mod(ai, bj, q);
             let k = i + j;
             if k < n {
                 c[k] = add_mod(c[k], p, q);
@@ -117,7 +117,10 @@ mod tests {
         for _ in 0..10 {
             let a: Vec<u64> = (0..64).map(|_| rng.gen_range(0..q)).collect();
             let b: Vec<u64> = (0..64).map(|_| rng.gen_range(0..q)).collect();
-            assert_eq!(negacyclic_mul_ntt(&a, &b, &t), negacyclic_mul_naive(&a, &b, q));
+            assert_eq!(
+                negacyclic_mul_ntt(&a, &b, &t),
+                negacyclic_mul_naive(&a, &b, q)
+            );
         }
     }
 
@@ -158,7 +161,10 @@ mod tests {
         let a: Vec<u64> = (0..16).map(|_| rng.gen_range(0..q)).collect();
         let b: Vec<u64> = (0..16).map(|_| rng.gen_range(0..q)).collect();
         let c: Vec<u64> = (0..16).map(|_| rng.gen_range(0..q)).collect();
-        assert_eq!(negacyclic_mul_ntt(&a, &b, &t), negacyclic_mul_ntt(&b, &a, &t));
+        assert_eq!(
+            negacyclic_mul_ntt(&a, &b, &t),
+            negacyclic_mul_ntt(&b, &a, &t)
+        );
         let ab_c = negacyclic_mul_ntt(&negacyclic_mul_ntt(&a, &b, &t), &c, &t);
         let a_bc = negacyclic_mul_ntt(&a, &negacyclic_mul_ntt(&b, &c, &t), &t);
         assert_eq!(ab_c, a_bc);

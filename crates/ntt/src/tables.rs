@@ -8,7 +8,9 @@
 use flash_math::bitrev::{bit_reverse, log2_exact};
 use flash_math::modular::{inv_mod, mul_mod, Shoup};
 use flash_math::prime::{is_prime, primitive_nth_root};
+use flash_runtime::{CacheStats, Interner};
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors from table construction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -148,6 +150,29 @@ impl NttTables {
     /// modeling: `2N` words of `ceil(log2 q)` bits.
     pub fn rom_entries(&self) -> usize {
         2 * self.n
+    }
+}
+
+/// Process-wide table cache: one `NttTables` per distinct `(n, q)`.
+static SHARED_TABLES: Interner<(usize, u64), NttTables> = Interner::new();
+
+impl NttTables {
+    /// Like [`NttTables::new`], but interned process-wide: every call
+    /// with the same `(n, q)` returns the same `Arc` without rebuilding
+    /// the twiddle tables. Construction errors are not cached.
+    pub fn shared(n: usize, q: u64) -> Result<Arc<NttTables>, NttError> {
+        SHARED_TABLES.try_intern_with((n, q), |&(n, q)| NttTables::new(n, q))
+    }
+
+    /// Hit/miss counters of the shared `(n, q)` cache.
+    pub fn shared_cache_stats() -> CacheStats {
+        SHARED_TABLES.stats()
+    }
+
+    /// Drops all shared tables (outstanding `Arc`s stay valid) and
+    /// resets the counters.
+    pub fn clear_shared_cache() {
+        SHARED_TABLES.clear()
     }
 }
 

@@ -161,7 +161,8 @@ mod tests {
         let mut f = a.clone();
         forward(&mut f, &t);
         // Output index j (bit-reversed order) holds a(ψ^{2*bitrev(j)+1}).
-        for j in 0..n {
+        assert_eq!(f.len(), n);
+        for (j, &fj) in f.iter().enumerate() {
             let k = flash_math::bitrev::bit_reverse(j, 3);
             let x = pow_mod(psi, (2 * k + 1) as u64, q);
             let mut val = 0u64;
@@ -170,7 +171,7 @@ mod tests {
                 val = add_mod(val, mul_mod(c, xp, q), q);
                 xp = mul_mod(xp, x, q);
             }
-            assert_eq!(f[j], val, "output {j}");
+            assert_eq!(fj, val, "output {j}");
         }
     }
 
@@ -184,8 +185,8 @@ mod tests {
         assert_eq!(p, vec![2, 4, 6, 8, 10, 12, 14, 16]);
         let mut acc = vec![1u64; 8];
         pointwise_mul_acc(&mut acc, &a, &b, &t);
-        for i in 0..8 {
-            assert_eq!(acc[i], (1 + 2 * (i as u64 + 1)) % q);
+        for (i, &ai) in acc.iter().enumerate() {
+            assert_eq!(ai, (1 + 2 * (i as u64 + 1)) % q);
         }
     }
 

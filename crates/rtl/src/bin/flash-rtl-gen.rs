@@ -25,8 +25,16 @@ fn main() -> std::io::Result<()> {
 
     let m = CostModel::cmos28();
     let mut manifest = String::new();
-    writeln!(manifest, "# FLASH RTL bundle: k = {k}, data width = {width}").unwrap();
-    writeln!(manifest, "# stage  module              rom_words  rom_bits  adders_bits  mux_in_bits").unwrap();
+    writeln!(
+        manifest,
+        "# FLASH RTL bundle: k = {k}, data width = {width}"
+    )
+    .unwrap();
+    writeln!(
+        manifest,
+        "# stage  module              rom_words  rom_bits  adders_bits  mux_in_bits"
+    )
+    .unwrap();
 
     let stages = 11u32; // 2048-point pipeline
     let mut total_bits = 0u64;
@@ -39,10 +47,13 @@ fn main() -> std::io::Result<()> {
         let rom = TwiddleRom::pack(&stage, &cands);
         std::fs::write(out_dir.join(format!("twiddle_s{s}.hex")), rom.to_hex())?;
         // self-checking testbench with golden vectors from the Rust model
-        let inputs = [(1i64 << 30, 0i64), (0, 1 << 30), (123_456_789, -987_654_321)];
+        let inputs = [
+            (1i64 << 30, 0i64),
+            (0, 1 << 30),
+            (123_456_789, -987_654_321),
+        ];
         let step = (stage.len() / 8).max(1);
-        let vectors =
-            flash_rtl::testbench::golden_vectors(&stage, &cands, &inputs, step);
+        let vectors = flash_rtl::testbench::golden_vectors(&stage, &cands, &inputs, step);
         let tb = flash_rtl::testbench::emit_testbench(
             &format!("{name}_cmul"),
             width,

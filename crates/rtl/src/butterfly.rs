@@ -8,11 +8,7 @@ use std::fmt::Write as _;
 /// Emits the butterfly-unit module (and its embedded multiplier module).
 /// Computes `out_u = u + w·v`, `out_v = u − w·v` on `width`-bit complex
 /// fixed-point data, registered on `clk`.
-pub fn emit_butterfly(
-    name: &str,
-    width: u32,
-    cands: &ShiftCandidates,
-) -> (String, ModuleStats) {
+pub fn emit_butterfly(name: &str, width: u32, cands: &ShiftCandidates) -> (String, ModuleStats) {
     let mul_name = format!("{name}_cmul");
     let (mul_text, mut stats) = emit_csd_cmul(&mul_name, width, cands);
     let ow = width + 2;
@@ -112,9 +108,13 @@ mod tests {
         let (_, s5) = bu(5);
         let (_, s18) = bu(18);
         let rtl_ratio = s18.cost(&m).area_um2 / s5.cost(&m).area_um2;
-        let model_ratio = BuKind::Approx { data_bits: 39, k: 18, mux_inputs: 8 }
-            .cost(&m)
-            .area_um2
+        let model_ratio = BuKind::Approx {
+            data_bits: 39,
+            k: 18,
+            mux_inputs: 8,
+        }
+        .cost(&m)
+        .area_um2
             / BuKind::flash_approx().cost(&m).area_um2;
         assert!(
             (rtl_ratio / model_ratio - 1.0).abs() < 0.5,

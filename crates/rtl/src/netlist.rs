@@ -50,7 +50,12 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = ModuleStats { adder_bits: 10, mux_input_bits: 20, reg_bits: 5, wires: 3 };
+        let mut a = ModuleStats {
+            adder_bits: 10,
+            mux_input_bits: 20,
+            reg_bits: 5,
+            wires: 3,
+        };
         let b = a;
         a.merge(&b);
         assert_eq!(a.adder_bits, 20);
@@ -62,8 +67,18 @@ mod tests {
     #[test]
     fn cost_is_linear_in_resources() {
         let m = CostModel::cmos28();
-        let one = ModuleStats { adder_bits: 39, mux_input_bits: 312, reg_bits: 0, wires: 0 };
-        let two = ModuleStats { adder_bits: 78, mux_input_bits: 624, reg_bits: 0, wires: 0 };
+        let one = ModuleStats {
+            adder_bits: 39,
+            mux_input_bits: 312,
+            reg_bits: 0,
+            wires: 0,
+        };
+        let two = ModuleStats {
+            adder_bits: 78,
+            mux_input_bits: 624,
+            reg_bits: 0,
+            wires: 0,
+        };
         let c1 = one.cost(&m);
         let c2 = two.cost(&m);
         assert!((c2.area_um2 - 2.0 * c1.area_um2).abs() < 1e-9);

@@ -158,6 +158,9 @@ mod tests {
         let model_bits_per_entry = 2 * 5 * (1 + 6) as u64;
         let packed = r.word_bits() as u64;
         let ratio = packed as f64 / model_bits_per_entry as f64;
-        assert!((0.5..1.5).contains(&ratio), "packed {packed} vs model {model_bits_per_entry}");
+        assert!(
+            (0.5..1.5).contains(&ratio),
+            "packed {packed} vs model {model_bits_per_entry}"
+        );
     }
 }

@@ -131,11 +131,7 @@ pub fn evaluate_encoded(
 /// Emits the `csd_cmul` Verilog module for a stage: complex input
 /// `(xr, xi)`, per-component select/sign/zero words, complex output.
 /// Returns the module text and its resource tally.
-pub fn emit_csd_cmul(
-    name: &str,
-    width: u32,
-    cands: &ShiftCandidates,
-) -> (String, ModuleStats) {
+pub fn emit_csd_cmul(name: &str, width: u32, cands: &ShiftCandidates) -> (String, ModuleStats) {
     let k = cands.k();
     let ow = width + 2; // headroom for the adder tree
     let mut v = String::new();
@@ -167,13 +163,7 @@ pub fn emit_csd_cmul(
             writeln!(v, "  // digit {t}: {xin} x w_{comp}").unwrap();
             writeln!(v, "  reg signed [{}:0] t_{xin}_{comp}_{t};", ow - 1).unwrap();
             writeln!(v, "  always @(*) begin").unwrap();
-            writeln!(
-                v,
-                "    case (sel_{comp}[{}:{}])",
-                off + sb - 1,
-                off
-            )
-            .unwrap();
+            writeln!(v, "    case (sel_{comp}[{}:{}])", off + sb - 1, off).unwrap();
             for (i, &s) in cand.iter().enumerate() {
                 writeln!(v, "      {sb}'d{i}: t_{xin}_{comp}_{t} = {xin} >>> {s};").unwrap();
             }
@@ -198,10 +188,16 @@ pub fn emit_csd_cmul(
     }
 
     // Adder trees: wr-part = Σ t_xr_re, wi-part = Σ t_xr_im, etc.
-    for (out, pos, negp) in [("pr", ("xr", "re"), ("xi", "im")), ("pi", ("xi", "re"), ("xr", "im"))]
-    {
-        let plus: Vec<String> = (0..k).map(|t| format!("t_{}_{}_{t}", pos.0, pos.1)).collect();
-        let minus: Vec<String> = (0..k).map(|t| format!("t_{}_{}_{t}", negp.0, negp.1)).collect();
+    for (out, pos, negp) in [
+        ("pr", ("xr", "re"), ("xi", "im")),
+        ("pi", ("xi", "re"), ("xr", "im")),
+    ] {
+        let plus: Vec<String> = (0..k)
+            .map(|t| format!("t_{}_{}_{t}", pos.0, pos.1))
+            .collect();
+        let minus: Vec<String> = (0..k)
+            .map(|t| format!("t_{}_{}_{t}", negp.0, negp.1))
+            .collect();
         let sign = if out == "pr" { "-" } else { "+" };
         writeln!(
             v,

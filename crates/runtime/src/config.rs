@@ -1,0 +1,58 @@
+//! Worker-count resolution.
+//!
+//! Precedence: programmatic [`set_threads`] override, then the
+//! `FLASH_THREADS` environment variable, then the host's available
+//! parallelism. The result is clamped to at least 1.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Programmatic override; 0 means "unset, consult the environment".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Force the worker count for all subsequent parallel regions in this
+/// process. `set_threads(0)` removes the override and restores
+/// `FLASH_THREADS` / host-parallelism resolution.
+///
+/// Intended for tests and benchmarks that need to compare thread counts
+/// within one process without mutating the environment.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// The worker count parallel regions will use right now.
+///
+/// Resolution order:
+/// 1. [`set_threads`] override, if non-zero;
+/// 2. `FLASH_THREADS`, if set to a positive integer (non-numeric or zero
+///    values are ignored);
+/// 3. [`std::thread::available_parallelism`], defaulting to 1 if the
+///    host cannot report it.
+pub fn max_threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(v) = std::env::var("FLASH_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn override_wins_and_clears() {
+        set_threads(3);
+        assert_eq!(max_threads(), 3);
+        set_threads(0);
+        assert!(max_threads() >= 1);
+    }
+}

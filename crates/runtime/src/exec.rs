@@ -1,0 +1,123 @@
+//! Scoped-thread chunked parallel map.
+//!
+//! The map is split into at most `max_threads()` contiguous chunks; each
+//! worker fills a fixed, disjoint index range of the output, so the
+//! result is identical to the sequential map for any worker count. With
+//! one worker (or when the input is smaller than the worker count) no
+//! threads are spawned at all.
+
+use crate::config::max_threads;
+
+/// Below this many items the spawn cost dwarfs the work; stay sequential.
+const MIN_PARALLEL_LEN: usize = 2;
+
+/// Parallel version of `items.iter().map(f).collect()`.
+///
+/// `f` must be a pure function of its argument for the determinism
+/// contract to hold (see the crate docs); the output at index `i` is
+/// always `f(&items[i])`.
+pub fn parallel_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    parallel_gen(items.len(), |i| f(&items[i]))
+}
+
+/// [`parallel_map`] with an explicit worker count instead of the global
+/// configuration.
+pub fn parallel_map_with<T, U, F>(threads: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    parallel_gen_with(threads, items.len(), |i| f(&items[i]))
+}
+
+/// Parallel version of `(0..len).map(f).collect()`.
+pub fn parallel_gen<U, F>(len: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    parallel_gen_with(max_threads(), len, f)
+}
+
+/// [`parallel_gen`] with an explicit worker count.
+pub fn parallel_gen_with<U, F>(threads: usize, len: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let workers = threads.max(1).min(len);
+    if workers <= 1 || len < MIN_PARALLEL_LEN {
+        return (0..len).map(f).collect();
+    }
+
+    // Contiguous chunks: worker w covers [w*base + min(w, extra) ..), the
+    // first `extra` workers taking one extra item. Chunk results are
+    // concatenated in worker order, so output order matches input order.
+    let base = len / workers;
+    let extra = len % workers;
+    let mut out: Vec<U> = Vec::with_capacity(len);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        let mut start = 0usize;
+        for w in 0..workers {
+            let chunk = base + usize::from(w < extra);
+            let range = start..start + chunk;
+            start += chunk;
+            handles.push(scope.spawn(move || range.map(f).collect::<Vec<U>>()));
+        }
+        for h in handles {
+            // A panic in a worker propagates here, matching the
+            // sequential behaviour of panicking out of the map.
+            out.extend(h.join().expect("parallel_gen worker panicked"));
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_for_all_worker_counts() {
+        let items: Vec<u64> = (0..97).map(|i| i * 31 + 7).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x.wrapping_mul(*x) ^ 0xabcd).collect();
+        for threads in [1, 2, 3, 4, 7, 16, 200] {
+            let got = parallel_map_with(threads, &items, |x| x.wrapping_mul(*x) ^ 0xabcd);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map_with(8, &empty, |x| *x).is_empty());
+        assert_eq!(parallel_map_with(8, &[5u32], |x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn gen_preserves_index_mapping() {
+        for threads in [1, 2, 5, 8] {
+            let v = parallel_gen_with(threads, 33, |i| i * i);
+            assert_eq!(v, (0..33).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates() {
+        let _ = parallel_gen_with(4, 8, |i| {
+            if i == 5 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}

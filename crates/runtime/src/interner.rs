@@ -1,0 +1,205 @@
+//! Plan interning: share one `Arc<V>` per distinct key process-wide.
+//!
+//! Backed by `Mutex<BTreeMap>` so a `static Interner` can be constructed
+//! in a `const` context (`BTreeMap::new` is const; `HashMap::new` is
+//! not). Plans are built rarely and looked up often, and the values are
+//! immutable once built, so a single mutex is not a contention concern —
+//! but note the build closure runs *inside* the lock, which serialises
+//! concurrent first-builds of the same plan (by design: each plan is
+//! built exactly once) and of different plans (an accepted cost; plan
+//! construction is milliseconds at the sizes this workspace uses).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Hit/miss counters for one cache, readable at any time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that returned an already-interned plan.
+    pub hits: u64,
+    /// Lookups that had to build the plan.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Entries built = misses (each miss builds exactly once).
+    pub fn builds(&self) -> u64 {
+        self.misses
+    }
+}
+
+/// A process-wide cache of immutable plan objects keyed by `K`.
+///
+/// Typical use is a `static`:
+///
+/// ```
+/// use flash_runtime::Interner;
+/// use std::sync::Arc;
+///
+/// static CACHE: Interner<usize, Vec<u64>> = Interner::new();
+///
+/// let a: Arc<Vec<u64>> = CACHE.intern_with(8, |n| (0..*n as u64).collect());
+/// let b = CACHE.intern_with(8, |_| unreachable!("already interned"));
+/// assert!(Arc::ptr_eq(&a, &b));
+/// ```
+pub struct Interner<K, V> {
+    map: Mutex<BTreeMap<K, Arc<V>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Ord + Clone, V> Interner<K, V> {
+    /// Const constructor, usable in `static` items.
+    pub const fn new() -> Self {
+        Interner {
+            map: Mutex::new(BTreeMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Return the interned value for `key`, building it with `build` on
+    /// first use. Every later call with an equal key returns a clone of
+    /// the same `Arc` (pointer-equal) without invoking `build`.
+    pub fn intern_with(&self, key: K, build: impl FnOnce(&K) -> V) -> Arc<V> {
+        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(v) = map.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(v);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let v = Arc::new(build(&key));
+        map.insert(key, Arc::clone(&v));
+        v
+    }
+
+    /// Fallible variant: `build` errors are returned without caching, so
+    /// a failed construction can be retried (or reported) by the caller.
+    pub fn try_intern_with<E>(
+        &self,
+        key: K,
+        build: impl FnOnce(&K) -> Result<V, E>,
+    ) -> Result<Arc<V>, E> {
+        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(v) = map.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(v));
+        }
+        let v = Arc::new(build(&key)?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        map.insert(key, Arc::clone(&v));
+        Ok(v)
+    }
+
+    /// Look up without building.
+    pub fn get(&self, key: &K) -> Option<Arc<V>> {
+        let map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        let found = map.get(key).cloned();
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Number of interned entries.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all interned entries (outstanding `Arc`s stay valid) and
+    /// reset the counters. For tests and memory-pressure escapes.
+    pub fn clear(&self) {
+        self.map.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl<K: Ord + Clone, V> Default for Interner<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interns_once_per_key() {
+        let cache: Interner<u32, String> = Interner::new();
+        let mut builds = 0;
+        let a = cache.intern_with(1, |k| {
+            builds += 1;
+            format!("plan-{k}")
+        });
+        let b = cache.intern_with(1, |k| {
+            builds += 1;
+            format!("plan-{k}")
+        });
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(builds, 1);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_distinct_plans() {
+        let cache: Interner<(usize, u64), u64> = Interner::new();
+        let a = cache.intern_with((8, 97), |&(n, q)| n as u64 * q);
+        let b = cache.intern_with((8, 193), |&(n, q)| n as u64 * q);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn try_intern_does_not_cache_errors() {
+        let cache: Interner<u8, u8> = Interner::new();
+        let err: Result<_, &str> = cache.try_intern_with(1, |_| Err("nope"));
+        assert!(err.is_err());
+        assert_eq!(cache.len(), 0);
+        let ok: Result<_, &str> = cache.try_intern_with(1, |_| Ok(7));
+        assert_eq!(*ok.unwrap(), 7);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let cache: Interner<u8, u8> = Interner::new();
+        let kept = cache.intern_with(1, |_| 9);
+        cache.clear();
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 0 });
+        assert_eq!(*kept, 9); // outstanding Arc unaffected
+    }
+
+    #[test]
+    fn concurrent_intern_builds_once() {
+        static CACHE: Interner<u32, u64> = Interner::new();
+        static BUILDS: AtomicU64 = AtomicU64::new(0);
+        let arcs: Vec<Arc<u64>> = crate::parallel_gen_with(8, 32, |_| {
+            CACHE.intern_with(42, |_| {
+                BUILDS.fetch_add(1, Ordering::SeqCst);
+                1234
+            })
+        });
+        assert_eq!(BUILDS.load(Ordering::SeqCst), 1);
+        for a in &arcs[1..] {
+            assert!(Arc::ptr_eq(&arcs[0], a));
+        }
+    }
+}

@@ -14,7 +14,10 @@ use flash_math::C64;
 enum Node {
     Zero,
     /// `ω^exp · inputs[src]`, materialized lazily.
-    Scaled { src: u32, exp: u32 },
+    Scaled {
+        src: u32,
+        exp: u32,
+    },
     Dense(C64),
 }
 
@@ -57,7 +60,11 @@ impl SparseFft {
     ///
     /// Panics if `input.len() != self.size()`.
     pub fn transform_bitrev_input(&self, input: &[C64]) -> Vec<C64> {
-        assert_eq!(input.len(), self.m, "input length must equal transform size");
+        assert_eq!(
+            input.len(),
+            self.m,
+            "input length must equal transform size"
+        );
         let m = self.m;
         let half_m = (m / 2) as u32;
         let mut state: Vec<Node> = input
@@ -67,7 +74,10 @@ impl SparseFft {
                 if x == C64::ZERO {
                     Node::Zero
                 } else {
-                    Node::Scaled { src: i as u32, exp: 0 }
+                    Node::Scaled {
+                        src: i as u32,
+                        exp: 0,
+                    }
                 }
             })
             .collect();
@@ -149,7 +159,10 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn max_err(a: &[C64], b: &[C64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f64::max)
     }
 
     fn dense_reference(input: &[C64]) -> Vec<C64> {
@@ -190,9 +203,9 @@ mod tests {
         // Contiguous in the bit-reversed domain: populate positions whose
         // bit-reverse lands in 0..8.
         let mut x = vec![C64::ZERO; m];
-        for i in 0..m {
+        for (i, xi) in x.iter_mut().enumerate() {
             if flash_math::bitrev::bit_reverse(i, 6) < 8 {
-                x[i] = C64::new(i as f64, -(i as f64) / 2.0);
+                *xi = C64::new(i as f64, -(i as f64) / 2.0);
             }
         }
         assert!(max_err(&sp.transform(&x), &dense_reference(&x)) < 1e-9);

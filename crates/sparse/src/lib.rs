@@ -49,4 +49,4 @@ pub mod schedule;
 pub mod symbolic;
 
 pub use pattern::SparsityPattern;
-pub use symbolic::{analyze, DataflowCounts};
+pub use symbolic::{analyze, analyze_cached, DataflowCounts};

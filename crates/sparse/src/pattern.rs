@@ -40,14 +40,19 @@ impl SparsityPattern {
     ///
     /// Panics if the mask length is not a power of two.
     pub fn from_mask(mask: Vec<bool>) -> Self {
-        assert!(mask.len().is_power_of_two(), "pattern size must be a power of two");
+        assert!(
+            mask.len().is_power_of_two(),
+            "pattern size must be a power of two"
+        );
         Self { mask }
     }
 
     /// A fully dense pattern.
     pub fn dense(m: usize) -> Self {
         assert!(m.is_power_of_two());
-        Self { mask: vec![true; m] }
+        Self {
+            mask: vec![true; m],
+        }
     }
 
     /// Folds the sparsity of a degree-`n` real polynomial into the
@@ -55,7 +60,10 @@ impl SparsityPattern {
     /// when coefficient `j` or `j + n/2` is non-zero.
     pub fn fold_from_poly<T: Copy + PartialEq + Default>(coeffs: &[T]) -> Self {
         let n = coeffs.len();
-        assert!(n.is_power_of_two() && n >= 4, "degree must be a power of two >= 4");
+        assert!(
+            n.is_power_of_two() && n >= 4,
+            "degree must be a power of two >= 4"
+        );
         let half = n / 2;
         let zero = T::default();
         let mask = (0..half)

@@ -54,7 +54,11 @@ mod tests {
 
     #[test]
     fn profile_total_matches_counts() {
-        for idx in [vec![0usize], vec![0, 1, 2, 3], (0..64).step_by(5).collect::<Vec<_>>()] {
+        for idx in [
+            vec![0usize],
+            vec![0, 1, 2, 3],
+            (0..64).step_by(5).collect::<Vec<_>>(),
+        ] {
             let (counts, profile) = profile_of(256, &idx);
             assert_eq!(profile.total(), counts.mults(), "{idx:?}");
             assert_eq!(profile.per_stage.len(), 8);
@@ -72,7 +76,10 @@ mod tests {
             // the stage-barrier simulation can only be slower than the
             // ideal work/BU estimate, and never by more than one extra
             // BU-round per stage
-            assert!(sim >= est.saturating_sub(1), "density {density}: sim {sim} < est {est}");
+            assert!(
+                sim >= est.saturating_sub(1),
+                "density {density}: sim {sim} < est {est}"
+            );
             let slack = profile.per_stage.len() as u64 + 1;
             assert!(
                 sim <= est + slack,
@@ -97,7 +104,11 @@ mod tests {
         let pe = PeModel::default();
         let (_, profile) = profile_of(64, &[7]);
         let sim = simulate_pe(&profile, &pe);
-        assert!(profile.per_stage.iter().all(|&w| w == 0), "{:?}", profile.per_stage);
+        assert!(
+            profile.per_stage.iter().all(|&w| w == 0),
+            "{:?}",
+            profile.per_stage
+        );
         assert!(sim.output_cycles > 0);
     }
 }

@@ -24,7 +24,9 @@
 
 use crate::pattern::SparsityPattern;
 use flash_math::bitrev::log2_exact;
+use flash_runtime::{CacheStats, Interner};
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Node state in the abstract interpretation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,6 +106,51 @@ pub fn analyze_with_profile(pattern_bitrev: &SparsityPattern) -> (DataflowCounts
 /// Panics if the pattern length is not a power of two ≥ 2.
 pub fn analyze(pattern_bitrev: &SparsityPattern) -> DataflowCounts {
     analyze_inner(pattern_bitrev).0
+}
+
+/// Canonical digest of a sparsity pattern: the mask packed into 64-bit
+/// words plus the exact length (two patterns share a key iff their masks
+/// are identical).
+type PatternKey = (usize, Vec<u64>);
+
+fn pattern_key(pattern: &SparsityPattern) -> PatternKey {
+    let mask = pattern.mask();
+    let mut words = vec![0u64; mask.len().div_ceil(64)];
+    for (i, &live) in mask.iter().enumerate() {
+        if live {
+            words[i / 64] |= 1 << (i % 64);
+        }
+    }
+    (mask.len(), words)
+}
+
+/// Process-wide memo of symbolic analyses, keyed by the pattern digest.
+static ANALYSIS_CACHE: Interner<PatternKey, (DataflowCounts, StageProfile)> = Interner::new();
+
+/// Memoized [`analyze_with_profile`]: the symbolic interpretation runs
+/// once per distinct bit-reversed pattern per process, and every later
+/// call with an identical mask returns the same `Arc`. Networks repeat
+/// heavily across layers of one CNN (all layers of a stage share a
+/// fold pattern), so this converts the per-layer `O(m log m)` sweep of
+/// `run_network` into a lookup.
+///
+/// # Panics
+///
+/// Panics if the pattern length is not a power of two ≥ 2.
+pub fn analyze_cached(pattern_bitrev: &SparsityPattern) -> Arc<(DataflowCounts, StageProfile)> {
+    ANALYSIS_CACHE.intern_with(pattern_key(pattern_bitrev), |_| {
+        analyze_inner(pattern_bitrev)
+    })
+}
+
+/// Hit/miss counters of the [`analyze_cached`] memo.
+pub fn analysis_cache_stats() -> CacheStats {
+    ANALYSIS_CACHE.stats()
+}
+
+/// Drops all memoized analyses and resets the counters.
+pub fn clear_analysis_cache() {
+    ANALYSIS_CACHE.clear()
 }
 
 fn analyze_inner(pattern_bitrev: &SparsityPattern) -> (DataflowCounts, StageProfile) {

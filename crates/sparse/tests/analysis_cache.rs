@@ -1,0 +1,48 @@
+//! Memoization semantics of the symbolic-analysis cache.
+
+use flash_sparse::symbolic::{analysis_cache_stats, analyze, analyze_cached, analyze_with_profile};
+use flash_sparse::SparsityPattern;
+use std::sync::Arc;
+
+#[test]
+fn analyze_cached_memoizes_and_matches_uncached() {
+    // Distinct patterns so this test owns its cache keys even though the
+    // memo is process-global.
+    let p1 = SparsityPattern::from_indices(256, [0usize, 3, 9, 17, 100]);
+    let p2 = SparsityPattern::from_indices(256, [1usize, 2, 250]);
+
+    let before = analysis_cache_stats();
+    let a1 = analyze_cached(&p1);
+    let a1_again = analyze_cached(&p1);
+    let a2 = analyze_cached(&p2);
+    let after = analysis_cache_stats();
+
+    // Same mask -> same Arc, no re-analysis; distinct mask -> new entry.
+    assert!(
+        Arc::ptr_eq(&a1, &a1_again),
+        "repeat lookup must hit the memo"
+    );
+    assert!(!Arc::ptr_eq(&a1, &a2));
+    assert!(after.hits > before.hits, "expected a recorded cache hit");
+    assert!(after.misses >= before.misses + 2);
+
+    // Memoized results agree exactly with the uncached entry points.
+    assert_eq!(a1.0, analyze(&p1));
+    let (counts, profile) = analyze_with_profile(&p2);
+    assert_eq!(a2.0, counts);
+    assert_eq!(a2.1, profile);
+}
+
+#[test]
+fn patterns_differing_only_in_length_do_not_collide() {
+    // Same set bits, different pattern lengths: the digest must keep the
+    // exact length so a 64-slot and a 128-slot network never share an
+    // analysis.
+    let short = SparsityPattern::from_indices(64, [0usize, 5, 9]);
+    let long = SparsityPattern::from_indices(128, [0usize, 5, 9]);
+    let a = analyze_cached(&short);
+    let b = analyze_cached(&long);
+    assert!(!Arc::ptr_eq(&a, &b));
+    assert_eq!(a.0.m, 64);
+    assert_eq!(b.0.m, 128);
+}

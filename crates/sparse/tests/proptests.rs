@@ -13,7 +13,9 @@ use proptest::prelude::*;
 fn pattern(log_m: u32, seed: u64, density_pct: usize) -> SparsityPattern {
     let m = 1usize << log_m;
     let mask: Vec<bool> = (0..m)
-        .map(|i| ((i as u64).wrapping_mul(seed | 1).wrapping_add(seed >> 7)) % 100 < density_pct as u64)
+        .map(|i| {
+            ((i as u64).wrapping_mul(seed | 1).wrapping_add(seed >> 7)) % 100 < density_pct as u64
+        })
         .collect();
     SparsityPattern::from_mask(mask)
 }

@@ -39,9 +39,18 @@ impl NonlinearModel {
         Self {
             share_bits,
             // ~λ-free silent-OT comparison: a few bits per share bit
-            compare: PrimitiveCost { bytes_per_elem: 4.0 * l / 8.0, rounds: (share_bits.ilog2() + 1) },
-            select: PrimitiveCost { bytes_per_elem: 2.0 * l / 8.0, rounds: 2 },
-            truncation: PrimitiveCost { bytes_per_elem: 3.0 * l / 8.0, rounds: 2 },
+            compare: PrimitiveCost {
+                bytes_per_elem: 4.0 * l / 8.0,
+                rounds: (share_bits.ilog2() + 1),
+            },
+            select: PrimitiveCost {
+                bytes_per_elem: 2.0 * l / 8.0,
+                rounds: 2,
+            },
+            truncation: PrimitiveCost {
+                bytes_per_elem: 3.0 * l / 8.0,
+                rounds: 2,
+            },
         }
     }
 
@@ -117,7 +126,10 @@ mod tests {
         // with Cheetah's reported totals dominating communication.
         let m = NonlinearModel::cheetah(21);
         let net = flash_nn::resnet50_conv_layers();
-        let elems = net.convs.iter().map(|l| (l.m * l.out_h() * l.out_w()) as u64);
+        let elems = net
+            .convs
+            .iter()
+            .map(|l| (l.m * l.out_h() * l.out_w()) as u64);
         let bytes = network_nonlinear_bytes(&m, elems);
         let mb = bytes / 1e6;
         assert!((50.0..2000.0).contains(&mb), "nonlinear traffic {mb} MB");

@@ -9,7 +9,8 @@
 use crate::shares::ShareRing;
 use flash_he::encoding::{ConvEncoder, ConvShape};
 use flash_he::{Ciphertext, HeParams, Poly, PolyMulBackend, SecretKey};
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Communication and workload accounting of one protocol run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -153,62 +154,87 @@ impl ConvProtocol {
         let mut results = Vec::with_capacity(bands * shape.m);
         let half_spectrum = (p.n / 2) as u64;
 
-        for oc in 0..shape.m {
+        // One mask seed per (oc, band) job, drawn sequentially up front,
+        // so the parallel fan-out below produces the same masks for any
+        // worker count.
+        let mask_seeds: Vec<u64> = (0..shape.m * bands).map(|_| rng.next_u64()).collect();
+
+        // --- Server fan-out: each output channel transforms its weights
+        // and runs the per-band multiply/accumulate/mask independently.
+        let per_oc = flash_runtime::parallel_gen(shape.m, |oc| {
             let w_polys = enc.encode_weight(
                 &weights[oc * shape.kernel_len()..][..shape.kernel_len()],
                 oc,
             );
-            for b in 0..bands {
-                let mut acc: Option<Ciphertext> = None;
-                for (g, w_poly) in w_polys.iter().enumerate() {
-                    let term =
-                        cts_sum[g * bands + b].mul_plain_signed(&w_poly[b], p, &self.backend);
-                    stats.weight_transforms += 1;
-                    stats.pointwise_muls += 2 * half_spectrum;
-                    acc = Some(match acc {
-                        None => term,
-                        Some(a) => a.add_ct(&term),
-                    });
-                }
-                let acc = acc.expect("at least one channel group");
-                // Fresh random mask: the server's output share.
-                let mask_vals: Vec<u64> = (0..p.n).map(|_| rng.gen_range(0..p.t)).collect();
-                let mask = Poly::from_coeffs(mask_vals, p.t);
-                let masked = acc.sub_plain(&mask, p);
-                stats.inverse_transforms += 2;
-                // Server keeps its share from the mask coefficients at the
-                // output positions.
-                let mask_signed: Vec<i64> = mask.coeffs().iter().map(|&v| v as i64).collect();
-                let mut tmp = vec![0i64; out_len];
-                enc.decode_band(&mask_signed, b, oc, &mut tmp);
-                self.merge_band(&tmp, b, oc, &mut y_server);
-                // Optional download compression: truncate, "send", and
-                // reconstruct on the client side.
-                let masked = match self.truncation {
-                    None => {
-                        stats.download_bytes += masked.byte_size();
-                        masked
+            (0..bands)
+                .map(|b| {
+                    let mut band_stats = ProtocolStats::default();
+                    let mut acc: Option<Ciphertext> = None;
+                    for (g, w_poly) in w_polys.iter().enumerate() {
+                        let term =
+                            cts_sum[g * bands + b].mul_plain_signed(&w_poly[b], p, &self.backend);
+                        band_stats.weight_transforms += 1;
+                        band_stats.pointwise_muls += 2 * half_spectrum;
+                        acc = Some(match acc {
+                            None => term,
+                            Some(a) => a.add_ct(&term),
+                        });
                     }
-                    Some((d0, d1)) => {
-                        let t = flash_he::truncate::TruncatedCiphertext::truncate(
-                            &masked, d0, d1, p,
-                        );
-                        stats.download_bytes += t.byte_size(p);
-                        t.reconstruct(p)
-                    }
-                };
+                    let acc = acc.expect("at least one channel group");
+                    // Fresh random mask: the server's output share.
+                    let mut mask_rng = StdRng::seed_from_u64(mask_seeds[oc * bands + b]);
+                    let mask_vals: Vec<u64> =
+                        (0..p.n).map(|_| mask_rng.gen_range(0..p.t)).collect();
+                    let mask = Poly::from_coeffs(mask_vals, p.t);
+                    let masked = acc.sub_plain(&mask, p);
+                    band_stats.inverse_transforms += 2;
+                    // Server keeps its share from the mask coefficients at
+                    // the output positions.
+                    let mask_signed: Vec<i64> = mask.coeffs().iter().map(|&v| v as i64).collect();
+                    let mut server_share = vec![0i64; out_len];
+                    enc.decode_band(&mask_signed, b, oc, &mut server_share);
+                    // Optional download compression: truncate, "send", and
+                    // reconstruct on the client side.
+                    let masked = match self.truncation {
+                        None => {
+                            band_stats.download_bytes += masked.byte_size();
+                            masked
+                        }
+                        Some((d0, d1)) => {
+                            let t = flash_he::truncate::TruncatedCiphertext::truncate(
+                                &masked, d0, d1, p,
+                            );
+                            band_stats.download_bytes += t.byte_size(p);
+                            t.reconstruct(p)
+                        }
+                    };
+                    (b, server_share, masked, band_stats)
+                })
+                .collect::<Vec<_>>()
+        });
+        for (oc, oc_results) in per_oc.into_iter().enumerate() {
+            for (b, server_share, masked, band_stats) in oc_results {
+                stats.weight_transforms += band_stats.weight_transforms;
+                stats.pointwise_muls += band_stats.pointwise_muls;
+                stats.inverse_transforms += band_stats.inverse_transforms;
+                stats.download_bytes += band_stats.download_bytes;
+                self.merge_band(&server_share, b, oc, &mut y_server);
                 results.push((b, oc, masked));
             }
         }
         stats.ciphertexts_down = results.len();
 
-        // --- Client: decrypt and decode its share.
-        for (b, oc, ct) in &results {
+        // --- Client: decrypt and decode its share (independent per
+        // response ciphertext; the merge stays sequential).
+        let decoded = flash_runtime::parallel_map(&results, |(b, oc, ct)| {
             let m = sk.decrypt(ct);
             let coeffs: Vec<i64> = m.coeffs().iter().map(|&v| v as i64).collect();
             let mut tmp = vec![0i64; out_len];
             enc.decode_band(&coeffs, *b, *oc, &mut tmp);
-            self.merge_band(&tmp, *b, *oc, &mut y_client);
+            tmp
+        });
+        for ((b, oc, _), tmp) in results.iter().zip(&decoded) {
+            self.merge_band(tmp, *b, *oc, &mut y_client);
         }
 
         (
@@ -279,13 +305,25 @@ mod tests {
 
     #[test]
     fn single_tile_protocol_ntt() {
-        let shape = ConvShape { c: 2, h: 6, w: 6, m: 2, k: 3 };
+        let shape = ConvShape {
+            c: 2,
+            h: 6,
+            w: 6,
+            m: 2,
+            k: 3,
+        };
         run_case(shape, HeParams::test_256(), PolyMulBackend::Ntt, 1);
     }
 
     #[test]
     fn single_tile_protocol_fft() {
-        let shape = ConvShape { c: 2, h: 6, w: 6, m: 2, k: 3 };
+        let shape = ConvShape {
+            c: 2,
+            h: 6,
+            w: 6,
+            m: 2,
+            k: 3,
+        };
         run_case(shape, HeParams::test_256(), PolyMulBackend::FftF64, 2);
     }
 
@@ -293,14 +331,26 @@ mod tests {
     fn grouped_tiles_protocol() {
         // 4 channels of 8x8 = 256 coefficients in N = 256 -> cg = 4? no:
         // 4*64 = 256 fits exactly in one tile; force groups with c = 8.
-        let shape = ConvShape { c: 8, h: 8, w: 8, m: 1, k: 3 };
+        let shape = ConvShape {
+            c: 8,
+            h: 8,
+            w: 8,
+            m: 1,
+            k: 3,
+        };
         run_case(shape, HeParams::test_256(), PolyMulBackend::Ntt, 3);
     }
 
     #[test]
     fn banded_tiles_protocol() {
         // One 24x24 channel (576 > 256): row bands.
-        let shape = ConvShape { c: 1, h: 24, w: 24, m: 1, k: 3 };
+        let shape = ConvShape {
+            c: 1,
+            h: 24,
+            w: 24,
+            m: 1,
+            k: 3,
+        };
         run_case(shape, HeParams::test_256(), PolyMulBackend::FftF64, 4);
     }
 
@@ -308,7 +358,13 @@ mod tests {
     fn approx_backend_protocol_exact_at_modest_precision() {
         // FLASH's approximate weight transform at a comfortable operating
         // point must not disturb any output (errors stay below q/2t).
-        let shape = ConvShape { c: 2, h: 6, w: 6, m: 2, k: 3 };
+        let shape = ConvShape {
+            c: 2,
+            h: 6,
+            w: 6,
+            m: 2,
+            k: 3,
+        };
         let params = HeParams::test_256();
         let mut cfg = flash_fft::ApproxFftConfig::uniform(
             params.n,
@@ -321,11 +377,19 @@ mod tests {
 
     #[test]
     fn truncated_responses_stay_correct_and_shrink_download() {
-        let shape = ConvShape { c: 2, h: 6, w: 6, m: 2, k: 3 };
+        let shape = ConvShape {
+            c: 2,
+            h: 6,
+            w: 6,
+            m: 2,
+            k: 3,
+        };
         let params = HeParams::test_256();
         let mut rng = rand::rngs::StdRng::seed_from_u64(17);
         let sk = SecretKey::generate(&params, &mut rng);
-        let x: Vec<i64> = (0..shape.input_len()).map(|i| ((i as i64) % 15) - 7).collect();
+        let x: Vec<i64> = (0..shape.input_len())
+            .map(|i| ((i as i64) % 15) - 7)
+            .collect();
         let w: Vec<i64> = (0..shape.m * shape.kernel_len())
             .map(|i| ((i as i64 * 3) % 15) - 7)
             .collect();
@@ -354,7 +418,13 @@ mod tests {
     fn shares_alone_reveal_nothing_obvious() {
         // Sanity: the client share of a zero activation output is not zero
         // (it is masked), and reconstruction needs both shares.
-        let shape = ConvShape { c: 1, h: 5, w: 5, m: 1, k: 3 };
+        let shape = ConvShape {
+            c: 1,
+            h: 5,
+            w: 5,
+            m: 1,
+            k: 3,
+        };
         let params = HeParams::test_256();
         let mut rng = rand::rngs::StdRng::seed_from_u64(6);
         let sk = SecretKey::generate(&params, &mut rng);
@@ -362,8 +432,14 @@ mod tests {
         let x = vec![0i64; shape.input_len()];
         let w = vec![1i64; shape.kernel_len()];
         let (shares, _) = proto.run(&sk, &x, &w, &mut rng);
-        assert!(shares.client.iter().any(|&v| v != 0), "client share is masked");
-        assert!(shares.server.iter().any(|&v| v != 0), "server share is the mask");
+        assert!(
+            shares.client.iter().any(|&v| v != 0),
+            "client share is masked"
+        );
+        assert!(
+            shares.server.iter().any(|&v| v != 0),
+            "server share is the mask"
+        );
         assert!(proto.reconstruct(&shares).iter().all(|&v| v == 0));
     }
 }

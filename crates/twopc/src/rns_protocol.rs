@@ -145,12 +145,20 @@ mod tests {
     #[test]
     fn rns_protocol_matches_cleartext_conv() {
         let p = RnsParams::test_double();
-        let shape = ConvShape { c: 2, h: 6, w: 6, m: 2, k: 3 };
+        let shape = ConvShape {
+            c: 2,
+            h: 6,
+            w: 6,
+            m: 2,
+            k: 3,
+        };
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let sk = RnsSecretKey::generate(&p, &mut rng);
         let proto = RnsConvProtocol::new(p, shape);
         use rand::Rng;
-        let x: Vec<i64> = (0..shape.input_len()).map(|_| rng.gen_range(-8..8)).collect();
+        let x: Vec<i64> = (0..shape.input_len())
+            .map(|_| rng.gen_range(-8..8))
+            .collect();
         let w: Vec<i64> = (0..shape.m * shape.kernel_len())
             .map(|_| rng.gen_range(-8..8))
             .collect();
@@ -164,12 +172,20 @@ mod tests {
         // flash-he's rns tests): fully dense ±8 kernels over many
         // channels.
         let p = RnsParams::new(256, 36, 2, 1 << 16, 3.2);
-        let shape = ConvShape { c: 4, h: 5, w: 5, m: 1, k: 5 };
+        let shape = ConvShape {
+            c: 4,
+            h: 5,
+            w: 5,
+            m: 1,
+            k: 5,
+        };
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         let sk = RnsSecretKey::generate(&p, &mut rng);
         let proto = RnsConvProtocol::new(p, shape);
         use rand::Rng;
-        let x: Vec<i64> = (0..shape.input_len()).map(|_| rng.gen_range(-8..8)).collect();
+        let x: Vec<i64> = (0..shape.input_len())
+            .map(|_| rng.gen_range(-8..8))
+            .collect();
         let w: Vec<i64> = (0..shape.m * shape.kernel_len())
             .map(|_| rng.gen_range(-8..8))
             .collect();
@@ -180,14 +196,24 @@ mod tests {
     #[test]
     fn rns_protocol_banded_geometry() {
         let p = RnsParams::new(256, 36, 2, 1 << 16, 3.2);
-        let shape = ConvShape { c: 1, h: 24, w: 24, m: 1, k: 3 };
+        let shape = ConvShape {
+            c: 1,
+            h: 24,
+            w: 24,
+            m: 1,
+            k: 3,
+        };
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let sk = RnsSecretKey::generate(&p, &mut rng);
         let proto = RnsConvProtocol::new(p, shape);
         assert!(proto.encoder().bands() > 1);
         use rand::Rng;
-        let x: Vec<i64> = (0..shape.input_len()).map(|_| rng.gen_range(-8..8)).collect();
-        let w: Vec<i64> = (0..shape.kernel_len()).map(|_| rng.gen_range(-8..8)).collect();
+        let x: Vec<i64> = (0..shape.input_len())
+            .map(|_| rng.gen_range(-8..8))
+            .collect();
+        let w: Vec<i64> = (0..shape.kernel_len())
+            .map(|_| rng.gen_range(-8..8))
+            .collect();
         let got = proto.run(&sk, &x, &w, &mut rng);
         assert_eq!(got, expected_conv_mod(&x, &w, &shape, proto.ring()));
     }

@@ -33,12 +33,21 @@ fn main() {
 
     // A quicker run than the paper's 1000 points — tune `weights`/`iters`
     // up for denser fronts.
-    let cfg = BoConfig { init: 10, iters: 20, candidates: 128, ..BoConfig::default() };
+    let cfg = BoConfig {
+        init: 10,
+        iters: 20,
+        candidates: 128,
+        ..BoConfig::default()
+    };
     let weights = [0.15, 0.5, 0.85];
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     let evals = optimize_multi(&obj, &weights, &cfg, &mut rng);
     let front = pareto_front(&evals);
-    println!("\n{} evaluations, {} Pareto-optimal:", evals.len(), front.len());
+    println!(
+        "\n{} evaluations, {} Pareto-optimal:",
+        evals.len(),
+        front.len()
+    );
     println!("{:>10} {:>14}   per-stage dw", "power mW", "err variance");
     for e in &front {
         let dws: Vec<u32> = e

@@ -21,7 +21,16 @@ use flash_nn::resnet::{resnet18_conv_layers, resnet50_conv_layers};
 use rand::SeedableRng;
 
 fn conv(name: &str, c: usize, h: usize, m: usize, k: usize, pad: usize) -> ConvLayerSpec {
-    ConvLayerSpec { name: name.into(), c, h, w: h, m, k, stride: 1, pad }
+    ConvLayerSpec {
+        name: name.into(),
+        c,
+        h,
+        w: h,
+        m,
+        k,
+        stride: 1,
+        pad,
+    }
 }
 
 fn main() {

@@ -43,8 +43,16 @@ fn main() {
     );
 
     // --- 3. The full protocol with compression enabled.
-    let shape = ConvShape { c: 2, h: 6, w: 6, m: 2, k: 3 };
-    let x: Vec<i64> = (0..shape.input_len()).map(|i| ((i as i64 * 5) % 15) - 7).collect();
+    let shape = ConvShape {
+        c: 2,
+        h: 6,
+        w: 6,
+        m: 2,
+        k: 3,
+    };
+    let x: Vec<i64> = (0..shape.input_len())
+        .map(|i| ((i as i64 * 5) % 15) - 7)
+        .collect();
     let w: Vec<i64> = (0..shape.m * shape.kernel_len())
         .map(|i| ((i as i64 * 3) % 15) - 7)
         .collect();

@@ -38,7 +38,13 @@ fn main() {
     );
 
     // --- A real weight polynomial: 3x3 kernel over a 56x56 image. ---
-    let shape = ConvShape { c: 1, h: 58, w: 58, m: 1, k: 3 };
+    let shape = ConvShape {
+        c: 1,
+        h: 58,
+        w: 58,
+        m: 1,
+        k: 3,
+    };
     let enc = ConvEncoder::with_alignment(shape, 4096, TileAlignment::PowerOfTwo);
     let idx = enc.weight_indices(0);
     let natural = SparsityPattern::from_indices(4096, idx.iter().copied());

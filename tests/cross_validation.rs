@@ -22,7 +22,13 @@ fn counting_and_execution_agree_on_real_patterns() {
     let n = 4096;
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
     for (c, h, k) in [(1usize, 58usize, 3usize), (4, 30, 3), (16, 16, 1)] {
-        let shape = ConvShape { c, h, w: h, m: 1, k };
+        let shape = ConvShape {
+            c,
+            h,
+            w: h,
+            m: 1,
+            k,
+        };
         let enc = ConvEncoder::with_alignment(shape, n, TileAlignment::PowerOfTwo);
         let idx = enc.weight_indices(0);
         // fold to the FFT half-domain
@@ -71,14 +77,8 @@ fn workload_counts_match_encoder_plan() {
             (enc.groups() * m) as u64,
             "({c},{h},{m},{k})"
         );
-        assert_eq!(
-            w.act_transforms,
-            (2 * enc.groups() * enc.bands()) as u64
-        );
-        assert_eq!(
-            w.pointwise,
-            (enc.groups() * enc.bands() * m * n) as u64
-        );
+        assert_eq!(w.act_transforms, (2 * enc.groups() * enc.bands()) as u64);
+        assert_eq!(w.pointwise, (enc.groups() * enc.bands() * m * n) as u64);
     }
 }
 
@@ -87,7 +87,11 @@ fn workload_counts_match_encoder_plan() {
 #[test]
 fn analytical_error_model_tracks_monte_carlo() {
     let n = 512;
-    let wl = ErrorWorkload { weight_mag: 8, weight_nnz: 9, act_mag: 4096.0 };
+    let wl = ErrorWorkload {
+        weight_mag: 8,
+        weight_nnz: 9,
+        act_mag: 4096.0,
+    };
     for (frac, k) in [(10u32, 8usize), (16, 12), (22, 18)] {
         let cfg = ApproxFftConfig::uniform(n, FxpFormat::new(16, frac), k);
         let mut rng = rand::rngs::StdRng::seed_from_u64(frac as u64);
@@ -112,7 +116,11 @@ fn error_monotone_along_dse_axes() {
     let a: Vec<i64> = (0..n as i64).map(|i| (i % 15) - 7).collect();
     let rms = |cfg: ApproxFftConfig| {
         let f = FixedNegacyclicFft::new(cfg);
-        f.spectrum_error(&a).iter().map(|e| e.abs2()).sum::<f64>().sqrt()
+        f.spectrum_error(&a)
+            .iter()
+            .map(|e| e.abs2())
+            .sum::<f64>()
+            .sqrt()
     };
     // fraction-bit axis at fixed k
     let coarse = rms(ApproxFftConfig::uniform(n, FxpFormat::new(16, 6), 16));

@@ -9,7 +9,16 @@ use flash_nn::quant::{Quantizer, Requantizer};
 use rand::SeedableRng;
 
 fn spec(c: usize, h: usize, m: usize, k: usize, stride: usize, pad: usize) -> ConvLayerSpec {
-    ConvLayerSpec { name: format!("it.{c}x{h}k{k}s{stride}"), c, h, w: h, m, k, stride, pad }
+    ConvLayerSpec {
+        name: format!("it.{c}x{h}k{k}s{stride}"),
+        c,
+        h,
+        w: h,
+        m,
+        k,
+        stride,
+        pad,
+    }
 }
 
 /// All three backends agree bit-for-bit on a full protocol run.
@@ -97,7 +106,10 @@ fn noise_budget_survives_evaluation_chain() {
     let ct = ct.sub_plain(&mask, &p);
 
     // message after the same plaintext algebra
-    let w_t: Vec<u64> = w.iter().map(|&x| flash_math::modular::from_signed(x, p.t)).collect();
+    let w_t: Vec<u64> = w
+        .iter()
+        .map(|&x| flash_math::modular::from_signed(x, p.t))
+        .collect();
     let mw = Poly::from_coeffs(
         flash_ntt::polymul::negacyclic_mul_naive(m.add(&share).coeffs(), &w_t, p.t),
         p.t,

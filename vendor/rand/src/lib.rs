@@ -1,0 +1,298 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the small API subset it actually uses: `RngCore`, the `Rng`
+//! extension trait (`gen_range` over integer/float ranges, `gen_bool`),
+//! `SeedableRng`, and a deterministic `rngs::StdRng`.
+//!
+//! The streams produced here are NOT the upstream `rand` streams (StdRng
+//! upstream is ChaCha12; here it is xoshiro256**). Everything in this
+//! workspace treats seeded RNG output as "arbitrary but reproducible",
+//! never as a golden value, so only determinism matters: the same seed
+//! always yields the same stream across runs, threads, and platforms.
+
+use std::fmt;
+
+/// Opaque error type mirroring `rand::Error`.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rand stub error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Core RNG interface: raw integer output and byte filling.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+/// Types that can be sampled uniformly from a range by [`Rng::gen_range`].
+pub trait SampleUniform: Sized {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let lo_w = lo as $wide;
+                let hi_w = hi as $wide;
+                let span = if inclusive {
+                    (hi_w.wrapping_sub(lo_w) as u128).wrapping_add(1)
+                } else {
+                    assert!(lo < hi, "gen_range: empty range");
+                    hi_w.wrapping_sub(lo_w) as u128
+                };
+                if span == 0 {
+                    // Inclusive range covering the whole domain.
+                    return rng.next_u64() as $wide as $t;
+                }
+                let r = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                lo_w.wrapping_add(r as $wide) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+);
+
+impl SampleUniform for u128 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self {
+        if !inclusive {
+            assert!(lo < hi, "gen_range: empty range");
+        }
+        let span = if inclusive { hi - lo + 1 } else { hi - lo };
+        if span == 0 {
+            return (rng.next_u64() as u128) << 64 | rng.next_u64() as u128;
+        }
+        let r = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+        lo + r
+    }
+}
+
+impl SampleUniform for i128 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self {
+        let span = u128::sample_range(
+            rng,
+            0,
+            if inclusive {
+                hi.wrapping_sub(lo) as u128
+            } else {
+                assert!(lo < hi, "gen_range: empty range");
+                (hi.wrapping_sub(lo) as u128).wrapping_sub(1)
+            },
+            true,
+        );
+        lo.wrapping_add(span as i128)
+    }
+}
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let _ = inclusive;
+                assert!(lo < hi || (inclusive && lo <= hi), "gen_range: empty range");
+                // 53-bit (or 24-bit) uniform fraction in [0, 1).
+                let frac = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                let v = lo as f64 + frac * (hi as f64 - lo as f64);
+                let v = v as $t;
+                if v >= hi && !inclusive { lo } else { v }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// Range arguments accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, *self.start(), *self.end(), true)
+    }
+}
+
+/// Extension methods over any [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    fn gen_range<T, B>(&mut self, range: B) -> T
+    where
+        T: SampleUniform,
+        B: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        let frac = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        frac < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable RNGs, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    type Seed: Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    fn seed_from_u64(mut state: u64) -> Self {
+        // SplitMix64 key expansion (same scheme upstream uses).
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub mod rngs {
+    use super::{Error, RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator standing in for `StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn next(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.next()
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next().to_le_bytes();
+                let n = chunk.len();
+                chunk.copy_from_slice(&bytes[..n]);
+            }
+        }
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+            self.fill_bytes(dest);
+            Ok(())
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&seed[i * 8..i * 8 + 8]);
+                *word = u64::from_le_bytes(b);
+            }
+            // Avoid the all-zero state, which is a fixed point of xoshiro.
+            if s == [0; 4] {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0xBF58_476D_1CE4_E5B9,
+                    0x94D0_49BB_1331_11EB,
+                    0x2545_F491_4F6C_DD1D,
+                ];
+            }
+            StdRng { s }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::Rng;
+
+        #[test]
+        fn deterministic_per_seed() {
+            let mut a = StdRng::seed_from_u64(42);
+            let mut b = StdRng::seed_from_u64(42);
+            let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+            let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+            assert_eq!(va, vb);
+            let mut c = StdRng::seed_from_u64(43);
+            assert_ne!(va[0], c.next_u64());
+        }
+
+        #[test]
+        fn gen_range_respects_bounds() {
+            let mut r = StdRng::seed_from_u64(7);
+            for _ in 0..1000 {
+                let x: i64 = r.gen_range(-8..8);
+                assert!((-8..8).contains(&x));
+                let y: u32 = r.gen_range(4u32..64);
+                assert!((4..64).contains(&y));
+                let z: i32 = r.gen_range(-2..=2);
+                assert!((-2..=2).contains(&z));
+                let f: f64 = r.gen_range(f64::EPSILON..1.0);
+                assert!((f64::EPSILON..1.0).contains(&f));
+                let u: usize = r.gen_range(0..3usize);
+                assert!(u < 3);
+            }
+        }
+    }
+}
