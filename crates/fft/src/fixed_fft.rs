@@ -13,7 +13,7 @@ use crate::twiddle::StageTwiddles;
 use flash_math::bitrev::{bit_reverse_permute, log2_exact};
 use flash_math::fixed::{requantize, to_f64, FxpFormat, Overflow, QuantStats, Rounding};
 use flash_math::C64;
-use flash_runtime::{CacheStats, Interner};
+use flash_runtime::{CacheStats, Interner, I128_SCRATCH};
 use std::sync::Arc;
 
 /// Configuration of the approximate fixed-point transform.
@@ -192,16 +192,31 @@ impl FixedNegacyclicFft {
     ///
     /// Panics if `a.len()` differs from the ring degree.
     pub fn forward(&self, a: &[i64]) -> (Vec<C64>, QuantStats) {
+        let mut out = vec![C64::ZERO; self.cfg.n / 2];
+        let stats = self.forward_into(a, &mut out);
+        (out, stats)
+    }
+
+    /// [`FixedNegacyclicFft::forward`] into a caller-provided spectrum
+    /// buffer. The datapath registers come from the scratch pool, so
+    /// repeated calls allocate nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len()` differs from the ring degree or
+    /// `out.len() != N/2`.
+    pub fn forward_into(&self, a: &[i64], out: &mut [C64]) -> QuantStats {
         let n = self.cfg.n;
         assert_eq!(a.len(), n, "polynomial length must equal ring degree");
         let half = n / 2;
+        assert_eq!(out.len(), half, "spectrum length must be N/2");
         let mut stats = QuantStats::new();
 
         // Stage 0: fold + twist. Input integers enter with frac = 0.
         let fmt0 = self.cfg.stage_formats[0];
         let twist = &self.stages[0];
-        let mut re = vec![0i128; half];
-        let mut im = vec![0i128; half];
+        let mut re = I128_SCRATCH.take(half);
+        let mut im = I128_SCRATCH.take(half);
         // Inputs saturate into the stage-0 integer range *before* the
         // fractional up-shift — a raw `<<` on an oversized input would
         // silently wrap past i128 and zero the spectrum unflagged.
@@ -289,10 +304,10 @@ impl FixedNegacyclicFft {
             cur_frac = fmt.frac_bits;
         }
 
-        let out = (0..half)
-            .map(|j| C64::new(to_f64(re[j], cur_frac), to_f64(im[j], cur_frac)))
-            .collect();
-        (out, stats)
+        for (j, o) in out.iter_mut().enumerate() {
+            *o = C64::new(to_f64(re[j], cur_frac), to_f64(im[j], cur_frac));
+        }
+        stats
     }
 
     /// Inverse negacyclic transform through the same fixed-point
@@ -304,22 +319,34 @@ impl FixedNegacyclicFft {
     ///
     /// Panics if `spectrum.len() != N/2`.
     pub fn inverse(&self, spectrum: &[C64]) -> (Vec<f64>, QuantStats) {
+        let mut out = vec![0.0f64; self.cfg.n];
+        let stats = self.inverse_into(spectrum, &mut out);
+        (out, stats)
+    }
+
+    /// [`FixedNegacyclicFft::inverse`] into a caller-provided coefficient
+    /// buffer. The datapath registers come from the scratch pool, so
+    /// repeated calls allocate nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spectrum.len() != N/2` or `out.len() != N`.
+    pub fn inverse_into(&self, spectrum: &[C64], out: &mut [f64]) -> QuantStats {
         let n = self.cfg.n;
         let half = n / 2;
         assert_eq!(spectrum.len(), half, "spectrum length must be N/2");
+        assert_eq!(out.len(), n, "output length must equal ring degree");
         let log_half = log2_exact(half);
         let mut stats = QuantStats::new();
 
         // Enter the datapath at the first butterfly stage's format.
         let fmt0 = self.cfg.stage_formats[1.min(self.cfg.stage_formats.len() - 1)];
-        let mut re: Vec<i128> = spectrum
-            .iter()
-            .map(|c| flash_math::fixed::from_f64(c.re, fmt0))
-            .collect();
-        let mut im: Vec<i128> = spectrum
-            .iter()
-            .map(|c| flash_math::fixed::from_f64(c.im, fmt0))
-            .collect();
+        let mut re = I128_SCRATCH.take(half);
+        let mut im = I128_SCRATCH.take(half);
+        for (j, c) in spectrum.iter().enumerate() {
+            re[j] = flash_math::fixed::from_f64(c.re, fmt0);
+            im[j] = flash_math::fixed::from_f64(c.im, fmt0);
+        }
         bit_reverse_permute(&mut re[..]);
         bit_reverse_permute(&mut im[..]);
 
@@ -363,7 +390,6 @@ impl FixedNegacyclicFft {
         // interpretation, then untwist by conj(ω^j) and unfold.
         let twist = &self.stages[0];
         let scale_frac = cur_frac + log_half; // value/2^log_half
-        let mut out = vec![0.0f64; n];
         for j in 0..half {
             let w = twist.get(j);
             let xr = re[j];
@@ -375,7 +401,7 @@ impl FixedNegacyclicFft {
             out[j] = to_f64(rr, scale_frac);
             out[j + half] = to_f64(ii, scale_frac);
         }
-        (out, stats)
+        stats
     }
 
     /// The exact `f64` spectrum of the same input (reference datapath).

@@ -42,4 +42,4 @@ pub mod radix4;
 pub mod twiddle;
 
 pub use fixed_fft::ApproxFftConfig;
-pub use negacyclic::NegacyclicFft;
+pub use negacyclic::{NegacyclicFft, C64_SCRATCH};

@@ -19,8 +19,14 @@ use crate::dft::Direction;
 use crate::fft64::FftPlan;
 use flash_math::modular::{center_lift, from_signed_i128};
 use flash_math::C64;
-use flash_runtime::{CacheStats, Interner};
+use flash_runtime::{CacheStats, Interner, F64_SCRATCH};
 use std::sync::Arc;
+
+flash_runtime::scratch_pool! {
+    /// Thread-local `C64` scratch pool shared by every spectrum staging
+    /// buffer in the workspace (negacyclic/fixed-point/sparse paths).
+    pub static C64_SCRATCH: C64
+}
 
 /// A reusable negacyclic FFT plan for ring degree `n`.
 #[derive(Debug, Clone)]
@@ -105,44 +111,98 @@ impl NegacyclicFft {
     /// `d_j = (a_j + i·a_{j+N/2}) ω^j` — the input of the butterfly
     /// network.
     pub fn fold_twist(&self, a: &[f64]) -> Vec<C64> {
+        let mut out = vec![C64::ZERO; self.n / 2];
+        self.fold_twist_into(a, &mut out);
+        out
+    }
+
+    /// [`NegacyclicFft::fold_twist`] into a caller-provided half vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != N` or `out.len() != N/2`.
+    pub fn fold_twist_into(&self, a: &[f64], out: &mut [C64]) {
         assert_eq!(a.len(), self.n, "polynomial length must equal degree");
         let half = self.n / 2;
-        (0..half)
-            .map(|j| C64::new(a[j], a[j + half]) * self.twist[j])
-            .collect()
+        assert_eq!(out.len(), half, "output length must be N/2");
+        for (j, o) in out.iter_mut().enumerate() {
+            *o = C64::new(a[j], a[j + half]) * self.twist[j];
+        }
     }
 
     /// Forward negacyclic transform: `N` real coefficients → `N/2` complex
     /// evaluations at `ω^{4u+1}`.
     pub fn forward(&self, a: &[f64]) -> Vec<C64> {
-        let mut d = self.fold_twist(a);
-        self.plan.transform(&mut d, Direction::Positive);
+        let mut d = vec![C64::ZERO; self.n / 2];
+        self.forward_into(a, &mut d);
         d
     }
 
+    /// [`NegacyclicFft::forward`] into a caller-provided spectrum buffer
+    /// (no allocations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != N` or `out.len() != N/2`.
+    pub fn forward_into(&self, a: &[f64], out: &mut [C64]) {
+        self.fold_twist_into(a, out);
+        self.plan.transform(out, Direction::Positive);
+    }
+
     /// Inverse negacyclic transform: `N/2` complex evaluations → `N` real
-    /// coefficients.
+    /// coefficients. The spectrum is staged through the scratch pool (the
+    /// input slice is left untouched); callers that own a mutable
+    /// spectrum should use [`NegacyclicFft::inverse_into`] directly.
     pub fn inverse(&self, spectrum: &[C64]) -> Vec<f64> {
+        let mut d = C64_SCRATCH.take_copied(spectrum);
+        let mut out = vec![0.0; self.n];
+        self.inverse_into(&mut d, &mut out);
+        out
+    }
+
+    /// In-place inverse transform: consumes the spectrum buffer (its
+    /// contents are destroyed) and writes the `N` real coefficients into
+    /// `out`. Performs no allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spectrum.len() != N/2` or `out.len() != N`.
+    pub fn inverse_into(&self, spectrum: &mut [C64], out: &mut [f64]) {
         let half = self.n / 2;
         assert_eq!(spectrum.len(), half, "spectrum length must be N/2");
-        let mut d = spectrum.to_vec();
-        self.plan.transform(&mut d, Direction::Negative);
+        assert_eq!(out.len(), self.n, "output length must equal degree");
+        self.plan.transform(spectrum, Direction::Negative);
         let scale = 1.0 / half as f64;
-        let mut out = vec![0.0; self.n];
         for j in 0..half {
-            let c = d[j].scale(scale) * self.twist_inv[j];
+            let c = spectrum[j].scale(scale) * self.twist_inv[j];
             out[j] = c.re;
             out[j + half] = c.im;
         }
-        out
     }
 
     /// Negacyclic product of two real polynomials in `f64`.
     pub fn polymul_f64(&self, a: &[f64], b: &[f64]) -> Vec<f64> {
-        let fa = self.forward(a);
-        let fb = self.forward(b);
-        let prod: Vec<C64> = fa.iter().zip(&fb).map(|(x, y)| *x * *y).collect();
-        self.inverse(&prod)
+        let mut out = vec![0.0; self.n];
+        self.polymul_f64_into(a, b, &mut out);
+        out
+    }
+
+    /// [`NegacyclicFft::polymul_f64`] into a caller-provided buffer; all
+    /// spectrum staging comes from the scratch pool (no allocations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any length differs from the ring degree.
+    pub fn polymul_f64_into(&self, a: &[f64], b: &[f64], out: &mut [f64]) {
+        let half = self.n / 2;
+        let mut fa = C64_SCRATCH.take(half);
+        let mut fb = C64_SCRATCH.take(half);
+        self.forward_into(a, &mut fa);
+        self.forward_into(b, &mut fb);
+        for (x, y) in fa.iter_mut().zip(fb.iter()) {
+            *x *= *y;
+        }
+        self.inverse_into(&mut fa, out);
     }
 
     /// Negacyclic product of two integer polynomials, rounded to the
@@ -150,12 +210,19 @@ impl NegacyclicFft {
     /// intermediate magnitudes stay within `f64`'s 53-bit mantissa
     /// headroom (Klemsa's error-free regime).
     pub fn polymul_i64(&self, a: &[i64], b: &[i64]) -> Vec<i128> {
-        let af: Vec<f64> = a.iter().map(|&x| x as f64).collect();
-        let bf: Vec<f64> = b.iter().map(|&x| x as f64).collect();
-        self.polymul_f64(&af, &bf)
-            .iter()
-            .map(|&x| x.round_ties_even() as i128)
-            .collect()
+        assert_eq!(a.len(), self.n, "polynomial length must equal degree");
+        assert_eq!(b.len(), self.n, "polynomial length must equal degree");
+        let mut af = F64_SCRATCH.take(self.n);
+        let mut bf = F64_SCRATCH.take(self.n);
+        for (o, &x) in af.iter_mut().zip(a) {
+            *o = x as f64;
+        }
+        for (o, &x) in bf.iter_mut().zip(b) {
+            *o = x as f64;
+        }
+        let mut prod = F64_SCRATCH.take(self.n);
+        self.polymul_f64_into(&af, &bf, &mut prod);
+        prod.iter().map(|&x| x.round_ties_even() as i128).collect()
     }
 
     /// Negacyclic product of two ring elements mod `q`, computed through
@@ -163,10 +230,19 @@ impl NegacyclicFft {
     /// noise budget are tolerated by BFV decryption (the paper's
     /// kernel-level robustness); for small operands the result is exact.
     pub fn polymul_mod(&self, a: &[u64], b: &[u64], q: u64) -> Vec<u64> {
-        let af: Vec<f64> = a.iter().map(|&x| center_lift(x, q) as f64).collect();
-        let bf: Vec<f64> = b.iter().map(|&x| center_lift(x, q) as f64).collect();
-        self.polymul_f64(&af, &bf)
-            .iter()
+        assert_eq!(a.len(), self.n, "polynomial length must equal degree");
+        assert_eq!(b.len(), self.n, "polynomial length must equal degree");
+        let mut af = F64_SCRATCH.take(self.n);
+        let mut bf = F64_SCRATCH.take(self.n);
+        for (o, &x) in af.iter_mut().zip(a) {
+            *o = center_lift(x, q) as f64;
+        }
+        for (o, &x) in bf.iter_mut().zip(b) {
+            *o = center_lift(x, q) as f64;
+        }
+        let mut prod = F64_SCRATCH.take(self.n);
+        self.polymul_f64_into(&af, &bf, &mut prod);
+        prod.iter()
             .map(|&x| from_signed_i128(x.round_ties_even() as i128, q))
             .collect()
     }

@@ -1,0 +1,117 @@
+//! Proof that the transform hot paths are allocation-free at steady state.
+//!
+//! A counting [`GlobalAlloc`] wraps the system allocator; after a warm-up
+//! pass populates the thread-local scratch pools and plan caches, the
+//! counter is armed and every NTT/FFT kernel is driven again. Any heap
+//! allocation in the measured region fails the test.
+//!
+//! The file holds a single `#[test]` on purpose: the counter is global,
+//! and concurrent tests in the same binary would pollute it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+
+struct CountingAlloc;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ENABLED.load(Relaxed) {
+            ALLOCS.fetch_add(1, Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ENABLED.load(Relaxed) {
+            ALLOCS.fetch_add(1, Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ENABLED.load(Relaxed) {
+            ALLOCS.fetch_add(1, Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Runs `f` with the allocation counter armed and returns how many heap
+/// allocations it performed.
+fn count_allocs(f: impl FnOnce()) -> u64 {
+    ALLOCS.store(0, Relaxed);
+    ENABLED.store(true, Relaxed);
+    f();
+    ENABLED.store(false, Relaxed);
+    ALLOCS.load(Relaxed)
+}
+
+#[test]
+fn transform_hot_paths_allocate_nothing_at_steady_state() {
+    use flash_fft::negacyclic::NegacyclicFft;
+    use flash_math::C64;
+    use flash_ntt::polymul::negacyclic_mul_ntt_into;
+    use flash_ntt::transform::{forward, inverse, pointwise_mul_assign};
+    use flash_ntt::NttTables;
+
+    let n = 256;
+    let q = flash_math::prime::ntt_prime(40, n as u64).unwrap();
+    let tables = NttTables::new(n, q).unwrap();
+    let fft = NegacyclicFft::new(n);
+
+    let a: Vec<u64> = (0..n as u64).map(|i| (i * i + 7) % q).collect();
+    let b: Vec<u64> = (0..n as u64).map(|i| (3 * i + 11) % q).collect();
+    let af: Vec<f64> = (0..n).map(|i| ((i % 17) as f64) - 8.0).collect();
+    let bf: Vec<f64> = (0..n).map(|i| ((i % 5) as f64) - 2.0).collect();
+
+    let mut u = a.clone();
+    let mut ntt_out = vec![0u64; n];
+    let mut spec = vec![C64::ZERO; n / 2];
+    let mut fft_out = vec![0.0f64; n];
+
+    let drive =
+        |u: &mut Vec<u64>, ntt_out: &mut Vec<u64>, spec: &mut Vec<C64>, fft_out: &mut Vec<f64>| {
+            // NTT kernels: forward / pointwise / inverse plus the fused
+            // scratch-backed polynomial product.
+            forward(u, &tables);
+            pointwise_mul_assign(u, &b, &tables);
+            inverse(u, &tables);
+            negacyclic_mul_ntt_into(ntt_out, &a, &b, &tables);
+            // FFT kernels: fold/twist forward, pointwise, inverse, and the
+            // fused f64 product.
+            fft.forward_into(&af, spec);
+            fft.inverse_into(spec, fft_out);
+            fft.polymul_f64_into(&af, &bf, fft_out);
+        };
+
+    // Warm up twice: the first pass takes every pool miss, the second
+    // proves the pools reached steady state before we arm the counter.
+    drive(&mut u, &mut ntt_out, &mut spec, &mut fft_out);
+    drive(&mut u, &mut ntt_out, &mut spec, &mut fft_out);
+
+    let allocs = count_allocs(|| {
+        drive(&mut u, &mut ntt_out, &mut spec, &mut fft_out);
+        drive(&mut u, &mut ntt_out, &mut spec, &mut fft_out);
+    });
+    assert_eq!(
+        allocs, 0,
+        "transform hot paths allocated {allocs} times at steady state"
+    );
+
+    // Sanity: the counter itself works.
+    let observed = count_allocs(|| {
+        let v = vec![0u8; 64];
+        std::hint::black_box(&v);
+    });
+    assert!(observed >= 1, "counting allocator failed to observe a Vec");
+}

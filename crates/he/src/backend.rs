@@ -16,10 +16,13 @@
 
 use crate::poly::Poly;
 use flash_fft::fixed_fft::FixedNegacyclicFft;
-use flash_math::modular::{center_lift, from_signed_i128};
+use flash_fft::C64_SCRATCH;
+use flash_math::modular::{add_mod, center_lift, from_signed, from_signed_i128};
 use flash_math::C64;
 use flash_ntt::polymul::negacyclic_mul_ntt;
+use flash_ntt::transform::{forward, inverse, pointwise_mul_assign};
 use flash_ntt::NttTables;
+use flash_runtime::{F64_SCRATCH, U64_SCRATCH};
 use std::sync::Arc;
 
 /// The negacyclic multiplier used for `ct ⊠ pt` products.
@@ -97,6 +100,109 @@ impl PolyMulBackend {
                         .collect(),
                     q,
                 )
+            }
+        }
+    }
+
+    /// Fused multiply-accumulate over a ciphertext pair:
+    /// `acc0 += a0 ⊠ w` and `acc1 += a1 ⊠ w`.
+    ///
+    /// Bit-identical to [`PolyMulBackend::mul_ct_pt`] on each component
+    /// followed by a modular addition, but the weight transform runs
+    /// **once** per call (shared by both components instead of recomputed
+    /// per component) and every intermediate buffer comes from the
+    /// thread-local scratch pools, so steady-state calls allocate nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operand/accumulator lengths or moduli disagree, or (for
+    /// `Ntt`) the tables do not match the ciphertext modulus.
+    #[allow(clippy::too_many_arguments)]
+    pub fn mul_ct_pt_acc(
+        &self,
+        acc0: &mut Poly,
+        acc1: &mut Poly,
+        a0: &Poly,
+        a1: &Poly,
+        w_signed: &[i64],
+        ntt: &NttTables,
+        fft: &flash_fft::NegacyclicFft,
+    ) {
+        let q = a0.modulus();
+        let n = a0.len();
+        assert_eq!(a1.modulus(), q, "component modulus mismatch");
+        assert_eq!(a1.len(), n, "component length mismatch");
+        for acc in [&*acc0, &*acc1] {
+            assert_eq!(acc.modulus(), q, "accumulator modulus mismatch");
+            assert_eq!(acc.len(), n, "accumulator length mismatch");
+        }
+        assert_eq!(n, w_signed.len(), "operand lengths must match");
+        match self {
+            PolyMulBackend::Ntt => {
+                assert_eq!(ntt.modulus(), q, "NTT tables modulus mismatch");
+                let mut fw = U64_SCRATCH.take(n);
+                for (slot, &x) in fw.iter_mut().zip(w_signed) {
+                    *slot = from_signed(x, q);
+                }
+                forward(&mut fw, ntt);
+                for (acc, a) in [(acc0, a0), (acc1, a1)] {
+                    let mut fa = U64_SCRATCH.take_copied(a.coeffs());
+                    forward(&mut fa, ntt);
+                    pointwise_mul_assign(&mut fa, &fw, ntt);
+                    inverse(&mut fa, ntt);
+                    for (dst, &x) in acc.coeffs_mut().iter_mut().zip(fa.iter()) {
+                        *dst = add_mod(*dst, x, q);
+                    }
+                }
+            }
+            PolyMulBackend::FftF64 => {
+                let half = n / 2;
+                let mut fw = C64_SCRATCH.take(half);
+                {
+                    let mut wf = F64_SCRATCH.take(n);
+                    for (slot, &x) in wf.iter_mut().zip(w_signed) {
+                        *slot = x as f64;
+                    }
+                    fft.forward_into(&wf, &mut fw);
+                }
+                let mut af = F64_SCRATCH.take(n);
+                let mut fa = C64_SCRATCH.take(half);
+                let mut prod = F64_SCRATCH.take(n);
+                for (acc, a) in [(acc0, a0), (acc1, a1)] {
+                    for (slot, &x) in af.iter_mut().zip(a.coeffs()) {
+                        *slot = center_lift(x, q) as f64;
+                    }
+                    fft.forward_into(&af, &mut fa);
+                    for (x, &y) in fa.iter_mut().zip(fw.iter()) {
+                        *x *= y;
+                    }
+                    fft.inverse_into(&mut fa, &mut prod);
+                    for (dst, &x) in acc.coeffs_mut().iter_mut().zip(prod.iter()) {
+                        *dst = add_mod(*dst, from_signed_i128(x.round_ties_even() as i128, q), q);
+                    }
+                }
+            }
+            PolyMulBackend::ApproxFft(fixed) => {
+                assert_eq!(fixed.config().degree(), n, "approx plan degree mismatch");
+                let half = n / 2;
+                let mut fw = C64_SCRATCH.take(half);
+                let _ = fixed.forward_into(w_signed, &mut fw);
+                let mut af = F64_SCRATCH.take(n);
+                let mut fa = C64_SCRATCH.take(half);
+                let mut prod = F64_SCRATCH.take(n);
+                for (acc, a) in [(acc0, a0), (acc1, a1)] {
+                    for (slot, &x) in af.iter_mut().zip(a.coeffs()) {
+                        *slot = center_lift(x, q) as f64;
+                    }
+                    fft.forward_into(&af, &mut fa);
+                    for (x, &y) in fa.iter_mut().zip(fw.iter()) {
+                        *x *= y;
+                    }
+                    fft.inverse_into(&mut fa, &mut prod);
+                    for (dst, &x) in acc.coeffs_mut().iter_mut().zip(prod.iter()) {
+                        *dst = add_mod(*dst, from_signed_i128(x.round_ties_even() as i128, q), q);
+                    }
+                }
             }
         }
     }

@@ -29,6 +29,15 @@ impl Ciphertext {
         Self { c0, c1 }
     }
 
+    /// The transparent zero ciphertext — the identity for [`add_ct`]
+    /// (`Ciphertext::add_ct`), used to seed fused accumulation loops.
+    pub fn zero(n: usize, q: u64) -> Self {
+        Self {
+            c0: Poly::zero(n, q),
+            c1: Poly::zero(n, q),
+        }
+    }
+
     /// First component.
     pub fn c0(&self) -> &Poly {
         &self.c0
@@ -99,6 +108,30 @@ impl Ciphertext {
             c1: backend.mul_ct_pt(&self.c1, w_signed, params.ntt(), params.fft()),
         }
     }
+
+    /// Fused `acc ⊞= self ⊠ w`: multiplies by a small signed plaintext
+    /// polynomial and accumulates into `acc` without materializing the
+    /// intermediate ciphertext. Bit-identical to
+    /// `acc.add_ct(&self.mul_plain_signed(w, params, backend))`, but the
+    /// weight transform runs once per call (shared by both components)
+    /// and all intermediates come from the scratch pools.
+    pub fn mul_plain_signed_acc(
+        &self,
+        w_signed: &[i64],
+        params: &HeParams,
+        backend: &PolyMulBackend,
+        acc: &mut Ciphertext,
+    ) {
+        backend.mul_ct_pt_acc(
+            &mut acc.c0,
+            &mut acc.c1,
+            &self.c0,
+            &self.c1,
+            w_signed,
+            params.ntt(),
+            params.fft(),
+        );
+    }
 }
 
 #[cfg(test)]
@@ -157,6 +190,42 @@ mod tests {
             let w_t: Vec<u64> = w.iter().map(|&x| from_signed(x, p.t)).collect();
             let expected = flash_ntt::polymul::negacyclic_mul_naive(m.coeffs(), &w_t, p.t);
             assert_eq!(sk.decrypt(&ct).coeffs(), &expected[..]);
+        }
+    }
+
+    #[test]
+    fn fused_mul_acc_is_bit_identical_to_mul_then_add() {
+        let (p, sk, mut rng) = setup();
+        let mut cfg =
+            flash_fft::ApproxFftConfig::uniform(p.n, flash_math::fixed::FxpFormat::new(20, 60), 60);
+        cfg.max_shift = 55;
+        for backend in [
+            PolyMulBackend::Ntt,
+            PolyMulBackend::FftF64,
+            PolyMulBackend::approx(cfg),
+        ] {
+            let mut acc = Ciphertext::zero(p.n, p.q);
+            let mut reference: Option<Ciphertext> = None;
+            for round in 0..3u64 {
+                let m = Poly::uniform(p.n, p.t, &mut rng);
+                let ct = sk.encrypt(&m, &mut rng);
+                let mut w = vec![0i64; p.n];
+                for _ in 0..9 {
+                    let i = rng.gen_range(0..p.n);
+                    w[i] = rng.gen_range(-8..8);
+                }
+                ct.mul_plain_signed_acc(&w, &p, &backend, &mut acc);
+                let term = ct.mul_plain_signed(&w, &p, &backend);
+                reference = Some(match reference {
+                    None => term,
+                    Some(r) => r.add_ct(&term),
+                });
+                assert_eq!(
+                    acc,
+                    reference.clone().unwrap(),
+                    "fused MAC diverged at round {round}"
+                );
+            }
         }
     }
 

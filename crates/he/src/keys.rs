@@ -7,7 +7,9 @@
 use crate::cipher::Ciphertext;
 use crate::params::HeParams;
 use crate::poly::Poly;
-use flash_ntt::polymul::negacyclic_mul_ntt;
+use flash_math::modular::add_mod;
+use flash_ntt::polymul::{negacyclic_mul_ntt, negacyclic_mul_ntt_into};
+use flash_runtime::U64_SCRATCH;
 use rand::Rng;
 
 /// A BFV secret key (ternary).
@@ -117,13 +119,22 @@ impl SecretKey {
     }
 
     /// The raw decryption phase `c0 + c1·s` (mod `q`).
+    ///
+    /// Runs per ciphertext in the protocol's client step, so the `c1·s`
+    /// product stays in a scratch buffer; only the returned polynomial
+    /// is allocated.
     pub fn phase(&self, ct: &Ciphertext) -> Poly {
         let p = &self.params;
-        let c1_s = Poly::from_coeffs(
-            negacyclic_mul_ntt(ct.c1().coeffs(), self.s.coeffs(), p.ntt()),
-            p.q,
-        );
-        ct.c0().add(&c1_s)
+        let mut c1_s = U64_SCRATCH.take(p.n);
+        negacyclic_mul_ntt_into(&mut c1_s, ct.c1().coeffs(), self.s.coeffs(), p.ntt());
+        let coeffs = ct
+            .c0()
+            .coeffs()
+            .iter()
+            .zip(c1_s.iter())
+            .map(|(&a, &b)| add_mod(a, b, p.q))
+            .collect();
+        Poly::from_coeffs(coeffs, p.q)
     }
 
     /// Decrypts a ciphertext: `round(t/q · (c0 + c1·s)) mod t`.

@@ -105,6 +105,25 @@ impl Poly {
         self.coeffs[i]
     }
 
+    /// Mutable coefficient access for in-place kernels. Callers must keep
+    /// every coefficient reduced modulo [`Poly::modulus`].
+    #[inline]
+    pub(crate) fn coeffs_mut(&mut self) -> &mut [u64] {
+        &mut self.coeffs
+    }
+
+    /// In-place coefficient-wise sum: `self += other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on modulus or length mismatch.
+    pub fn add_assign(&mut self, other: &Poly) {
+        self.check_compat(other);
+        for (a, &b) in self.coeffs.iter_mut().zip(&other.coeffs) {
+            *a = add_mod(*a, b, self.modulus);
+        }
+    }
+
     /// Sets coefficient `i` (must be reduced).
     pub fn set_coeff(&mut self, i: usize, v: u64) {
         assert!(v < self.modulus);

@@ -11,10 +11,11 @@
 use crate::params::HeParams;
 use crate::poly::Poly;
 use flash_math::crt::CrtBasis;
-use flash_math::modular::mul_mod;
+use flash_math::modular::{from_signed, mul_mod};
 use flash_math::prime::ntt_primes;
-use flash_ntt::polymul::negacyclic_mul_ntt;
+use flash_ntt::polymul::{negacyclic_mul_ntt, negacyclic_mul_ntt_into};
 use flash_ntt::NttTables;
+use flash_runtime::U64_SCRATCH;
 use rand::Rng;
 use std::sync::Arc;
 
@@ -182,6 +183,8 @@ impl RnsPoly {
     }
 
     /// Negacyclic product with a small signed polynomial (per-limb NTT).
+    /// The reduced weight operand stays in a scratch buffer; only the
+    /// per-limb result polynomials are allocated.
     pub fn mul_signed(&self, w: &[i64], params: &RnsParams) -> RnsPoly {
         RnsPoly {
             limbs: self
@@ -189,11 +192,14 @@ impl RnsPoly {
                 .iter()
                 .zip(&params.ntts)
                 .map(|(limb, ntt)| {
-                    let wq = Poly::from_signed(w, limb.modulus());
-                    Poly::from_coeffs(
-                        negacyclic_mul_ntt(limb.coeffs(), wq.coeffs(), ntt),
-                        limb.modulus(),
-                    )
+                    let q = limb.modulus();
+                    let mut wq = U64_SCRATCH.take(w.len());
+                    for (slot, &x) in wq.iter_mut().zip(w) {
+                        *slot = from_signed(x, q);
+                    }
+                    let mut out = vec![0u64; limb.len()];
+                    negacyclic_mul_ntt_into(&mut out, limb.coeffs(), &wq, ntt);
+                    Poly::from_coeffs(out, q)
                 })
                 .collect(),
         }

@@ -241,13 +241,29 @@ impl Shoup {
     /// Computes `a * w mod q` (result in `[0, q)`; requires `q < 2^63`).
     #[inline]
     pub fn mul(&self, a: u64, q: u64) -> u64 {
-        let hi = ((self.w_shoup as u128 * a as u128) >> 64) as u64;
-        let r = (self.w.wrapping_mul(a)).wrapping_sub(hi.wrapping_mul(q));
+        let r = self.mul_lazy(a, q);
         if r >= q {
             r - q
         } else {
             r
         }
+    }
+
+    /// Harvey's lazy variant of [`Shoup::mul`]: skips the final
+    /// conditional subtraction, returning a value congruent to
+    /// `a * w mod q` in `[0, 2q)` — for *any* `a` (the operand need not
+    /// be reduced), requiring only `q < 2^63`.
+    ///
+    /// This is the butterfly inner product of lazy-reduction NTTs: stages
+    /// carry residues in `[0, 2q)`/`[0, 4q)` and normalize once at the
+    /// end, saving one compare-subtract per multiply.
+    #[inline]
+    pub fn mul_lazy(&self, a: u64, q: u64) -> u64 {
+        // With w' = ⌊w·2^64/q⌋ and hi = ⌊w'a/2^64⌋:
+        //   w·a − hi·q ∈ [0, q·(1 + a/2^64)) ⊂ [0, 2q),
+        // and since 2q < 2^64 the wrapping arithmetic below is exact.
+        let hi = ((self.w_shoup as u128 * a as u128) >> 64) as u64;
+        self.w.wrapping_mul(a).wrapping_sub(hi.wrapping_mul(q))
     }
 }
 
@@ -339,6 +355,21 @@ mod tests {
             assert_eq!(s.value(), w);
             for x in xs {
                 assert_eq!(s.mul(x, Q), mul_mod(x, w, Q), "w={w} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn shoup_lazy_is_congruent_and_bounded() {
+        let ws = [1u64, 2, Q - 1, 0xABCDEF, Q / 2];
+        // Unreduced operands up to u64::MAX are legal for mul_lazy.
+        let xs = [0u64, 1, Q - 1, 2 * Q + 5, 4 * Q - 1, u64::MAX];
+        for w in ws {
+            let s = Shoup::new(w, Q);
+            for x in xs {
+                let lazy = s.mul_lazy(x, Q);
+                assert!(lazy < 2 * Q, "w={w} x={x}: {lazy} not in [0, 2q)");
+                assert_eq!(lazy % Q, mul_mod(x % Q, w, Q), "w={w} x={x}: wrong residue");
             }
         }
     }

@@ -7,22 +7,39 @@
 //! Figure 11(a)).
 
 use crate::tables::NttTables;
-use crate::transform::{forward, inverse, pointwise_mul};
+use crate::transform::{forward, inverse, pointwise_mul_into};
 use flash_math::modular::{add_mod, mul_mod, sub_mod};
+use flash_runtime::U64_SCRATCH;
 
 /// Exact negacyclic product via the NTT.
+///
+/// Allocates the result vector; the operand transforms run in pooled
+/// scratch. On hot paths that already own an output buffer, prefer
+/// [`negacyclic_mul_ntt_into`], which allocates nothing in steady state.
 ///
 /// # Panics
 ///
 /// Panics if the operand lengths differ from the table degree.
 pub fn negacyclic_mul_ntt(a: &[u64], b: &[u64], tables: &NttTables) -> Vec<u64> {
-    let mut fa = a.to_vec();
-    let mut fb = b.to_vec();
+    let mut out = vec![0u64; tables.degree()];
+    negacyclic_mul_ntt_into(&mut out, a, b, tables);
+    out
+}
+
+/// Exact negacyclic product via the NTT, written into a caller-provided
+/// buffer. All intermediate storage comes from the thread-local scratch
+/// pool, so repeated calls perform no allocations.
+///
+/// # Panics
+///
+/// Panics if `out` or the operand lengths differ from the table degree.
+pub fn negacyclic_mul_ntt_into(out: &mut [u64], a: &[u64], b: &[u64], tables: &NttTables) {
+    let mut fa = U64_SCRATCH.take_copied(a);
+    let mut fb = U64_SCRATCH.take_copied(b);
     forward(&mut fa, tables);
     forward(&mut fb, tables);
-    let mut fc = pointwise_mul(&fa, &fb, tables);
-    inverse(&mut fc, tables);
-    fc
+    pointwise_mul_into(out, &fa, &fb, tables);
+    inverse(out, tables);
 }
 
 /// Schoolbook negacyclic product: `c_k = Σ_{i+j=k} a_i b_j − Σ_{i+j=k+N}

@@ -1,4 +1,4 @@
-//! In-place negacyclic NTT transforms.
+//! In-place negacyclic NTT transforms with lazy reduction.
 //!
 //! The forward transform is the merged Cooley–Tukey negacyclic NTT
 //! (Longa–Naehrig formulation): the multiplication by ψ-powers that turns
@@ -6,13 +6,22 @@
 //! twiddles. The inverse uses Gentleman–Sande butterflies with ψ⁻¹ powers
 //! and a final scaling by `N⁻¹`.
 //!
+//! Both directions use **Harvey lazy reduction**: butterflies keep
+//! residues in `[0, 2q)` (inverse) / `[0, 4q)` (forward) via
+//! [`Shoup::mul_lazy`] instead of fully reducing every intermediate, and
+//! a single normalization at the end brings the result back to `[0, q)`.
+//! The Shoup constants are unchanged and the output is bit-identical to
+//! the eager formulation — only the per-butterfly compare-subtracts are
+//! saved. This requires `q < 2^62` (four residues must fit in a `u64`),
+//! which [`NttTables`](crate::tables::NttTables) already guarantees.
+//!
 //! Outputs of [`forward`] are in bit-reversed order; [`inverse`] consumes
 //! bit-reversed order and returns natural order, so
 //! `inverse(forward(a)) == a` without explicit permutation — exactly how
 //! hardware pipelines chain the two.
 
 use crate::tables::NttTables;
-use flash_math::modular::{add_mod, sub_mod};
+use flash_math::modular::add_mod;
 
 /// In-place forward negacyclic NTT (Cooley–Tukey, natural input →
 /// bit-reversed output).
@@ -24,6 +33,8 @@ pub fn forward(a: &mut [u64], tables: &NttTables) {
     let n = tables.degree();
     assert_eq!(a.len(), n, "input length must equal ring degree");
     let q = tables.modulus();
+    debug_assert!(q < 1 << 62, "lazy reduction needs 4q to fit in u64");
+    let two_q = 2 * q;
     let mut t = n;
     let mut m = 1;
     while m < n {
@@ -32,13 +43,30 @@ pub fn forward(a: &mut [u64], tables: &NttTables) {
             let j1 = 2 * i * t;
             let s = tables.psi_rev(m + i);
             for j in j1..j1 + t {
-                let u = a[j];
-                let v = s.mul(a[j + t], q);
-                a[j] = add_mod(u, v, q);
-                a[j + t] = sub_mod(u, v, q);
+                // Lazy CT butterfly: inputs are in [0, 4q); u is pulled
+                // back to [0, 2q) and v = s·a[j+t] lands in [0, 2q) for
+                // any unreduced operand, so both outputs stay in [0, 4q).
+                let mut u = a[j];
+                if u >= two_q {
+                    u -= two_q;
+                }
+                let v = s.mul_lazy(a[j + t], q);
+                a[j] = u + v;
+                a[j + t] = u + two_q - v;
             }
         }
         m *= 2;
+    }
+    // Single final normalization [0, 4q) → [0, q).
+    for x in a.iter_mut() {
+        let mut v = *x;
+        if v >= two_q {
+            v -= two_q;
+        }
+        if v >= q {
+            v -= q;
+        }
+        *x = v;
     }
 }
 
@@ -52,6 +80,8 @@ pub fn inverse(a: &mut [u64], tables: &NttTables) {
     let n = tables.degree();
     assert_eq!(a.len(), n, "input length must equal ring degree");
     let q = tables.modulus();
+    debug_assert!(q < 1 << 62, "lazy reduction needs 4q to fit in u64");
+    let two_q = 2 * q;
     let mut t = 1;
     let mut m = n;
     while m > 1 {
@@ -60,16 +90,25 @@ pub fn inverse(a: &mut [u64], tables: &NttTables) {
         for i in 0..h {
             let s = tables.psi_inv_rev(h + i);
             for j in j1..j1 + t {
+                // Lazy GS butterfly with the [0, 2q) invariant: the sum is
+                // folded back below 2q, the difference (shifted into
+                // [0, 4q)) re-enters [0, 2q) through the lazy multiply.
                 let u = a[j];
                 let v = a[j + t];
-                a[j] = add_mod(u, v, q);
-                a[j + t] = s.mul(sub_mod(u, v, q), q);
+                let mut sum = u + v;
+                if sum >= two_q {
+                    sum -= two_q;
+                }
+                a[j] = sum;
+                a[j + t] = s.mul_lazy(u + two_q - v, q);
             }
             j1 += 2 * t;
         }
         t *= 2;
         m = h;
     }
+    // The eager N⁻¹ Shoup multiply fully reduces any u64 operand, so it
+    // doubles as the final normalization to [0, q).
     let n_inv = tables.n_inv();
     for x in a.iter_mut() {
         *x = n_inv.mul(*x, q);
@@ -78,6 +117,9 @@ pub fn inverse(a: &mut [u64], tables: &NttTables) {
 
 /// Point-wise product of two NTT-domain vectors (the "point-wise
 /// multiplication" unit of the accelerator).
+///
+/// Allocates the result; on hot paths prefer [`pointwise_mul_assign`] or
+/// [`pointwise_mul_into`], which reuse existing storage.
 ///
 /// # Panics
 ///
@@ -91,6 +133,38 @@ pub fn pointwise_mul(a: &[u64], b: &[u64], tables: &NttTables) -> Vec<u64> {
         .zip(b)
         .map(|(&x, &y)| flash_math::modular::mul_mod(x, y, q))
         .collect()
+}
+
+/// In-place point-wise product: `a[i] = a[i] · b[i] mod q`.
+///
+/// # Panics
+///
+/// Panics on length mismatch with the tables.
+pub fn pointwise_mul_assign(a: &mut [u64], b: &[u64], tables: &NttTables) {
+    let n = tables.degree();
+    assert_eq!(a.len(), n);
+    assert_eq!(b.len(), n);
+    let q = tables.modulus();
+    for (x, &y) in a.iter_mut().zip(b) {
+        *x = flash_math::modular::mul_mod(*x, y, q);
+    }
+}
+
+/// Point-wise product written into a caller-provided buffer:
+/// `out[i] = a[i] · b[i] mod q`.
+///
+/// # Panics
+///
+/// Panics on length mismatch with the tables.
+pub fn pointwise_mul_into(out: &mut [u64], a: &[u64], b: &[u64], tables: &NttTables) {
+    let n = tables.degree();
+    assert_eq!(out.len(), n);
+    assert_eq!(a.len(), n);
+    assert_eq!(b.len(), n);
+    let q = tables.modulus();
+    for (o, (&x, &y)) in out.iter_mut().zip(a.iter().zip(b)) {
+        *o = flash_math::modular::mul_mod(x, y, q);
+    }
 }
 
 /// Accumulating point-wise multiply-add: `acc += a ⊙ b` in the NTT domain.
@@ -128,6 +202,23 @@ mod tests {
             inverse(&mut a, &t);
             assert_eq!(a, orig);
         }
+    }
+
+    #[test]
+    fn outputs_are_fully_normalized() {
+        // Lazy reduction must not leak unreduced residues: every output
+        // of forward and inverse sits in [0, q), even at a large modulus
+        // near the 2^62 headroom bound.
+        let n = 256;
+        let q = ntt_prime(61, n as u64).unwrap();
+        let t = NttTables::new(n, q).unwrap();
+        let mut a: Vec<u64> = (0..n as u64)
+            .map(|i| (q - 1).wrapping_sub(i * 37) % q)
+            .collect();
+        forward(&mut a, &t);
+        assert!(a.iter().all(|&x| x < q), "forward must normalize");
+        inverse(&mut a, &t);
+        assert!(a.iter().all(|&x| x < q), "inverse must normalize");
     }
 
     #[test]
@@ -188,6 +279,21 @@ mod tests {
         for (i, &ai) in acc.iter().enumerate() {
             assert_eq!(ai, (1 + 2 * (i as u64 + 1)) % q);
         }
+    }
+
+    #[test]
+    fn pointwise_variants_agree() {
+        let t = tables(16, 25);
+        let q = t.modulus();
+        let a: Vec<u64> = (0..16).map(|i| (i * 977 + 13) % q).collect();
+        let b: Vec<u64> = (0..16).map(|i| (i * 31 + 5) % q).collect();
+        let want = pointwise_mul(&a, &b, &t);
+        let mut into = vec![0u64; 16];
+        pointwise_mul_into(&mut into, &a, &b, &t);
+        assert_eq!(into, want);
+        let mut assign = a.clone();
+        pointwise_mul_assign(&mut assign, &b, &t);
+        assert_eq!(assign, want);
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! Property-based equivalence tests for the lazy-reduction NTT.
+//!
+//! The butterflies keep intermediates in `[0, 4q)` (forward) and `[0, 2q)`
+//! (inverse) and normalize once at the end, so these tests pin the two
+//! properties that matter: outputs are *fully reduced* and the whole
+//! pipeline is *exactly* the negacyclic product — across random moduli
+//! and degrees, not just the fixtures the unit tests use.
+
+use flash_math::modular::{mul_mod, pow_mod};
+use flash_math::prime::ntt_prime;
+use flash_ntt::polymul::{negacyclic_mul_naive, negacyclic_mul_ntt, negacyclic_mul_ntt_into};
+use flash_ntt::transform::{forward, inverse, pointwise_mul, pointwise_mul_assign};
+use flash_ntt::NttTables;
+use proptest::prelude::*;
+
+/// A random (modulus bit-width, log2 degree) pair that always admits an
+/// NTT-friendly prime: `q ≡ 1 (mod 2n)` needs `bits > log_n + 1`.
+fn params() -> impl Strategy<Value = (u64, usize)> {
+    (2u32..=8, 0u32..=40).prop_map(|(log_n, bit_slack)| {
+        let n = 1usize << log_n;
+        let bits = (log_n + 14 + bit_slack).min(55);
+        let q = ntt_prime(bits, n as u64).expect("prime exists");
+        (q, n)
+    })
+}
+
+fn random_poly(n: usize, q: u64, seed: u64) -> Vec<u64> {
+    // splitmix64: deterministic operands without threading a Strategy
+    // through variable-length vectors (the vendored stub has no vec()).
+    let mut state = seed;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            (z ^ (z >> 31)) % q
+        })
+        .collect()
+}
+
+proptest! {
+    /// The lazy-butterfly NTT product equals the naive O(n²) negacyclic
+    /// product for random moduli and degrees.
+    #[test]
+    fn ntt_product_matches_naive(pq in params(), seed in any::<u64>()) {
+        let (q, n) = pq;
+        let tables = NttTables::new(n, q).unwrap();
+        let a = random_poly(n, q, seed);
+        let b = random_poly(n, q, seed ^ 0xDEAD_BEEF);
+        prop_assert_eq!(
+            negacyclic_mul_ntt(&a, &b, &tables),
+            negacyclic_mul_naive(&a, &b, q)
+        );
+    }
+
+    /// The scratch-backed `_into` variant is bit-identical to the
+    /// allocating form.
+    #[test]
+    fn into_variant_matches_allocating(pq in params(), seed in any::<u64>()) {
+        let (q, n) = pq;
+        let tables = NttTables::new(n, q).unwrap();
+        let a = random_poly(n, q, seed);
+        let b = random_poly(n, q, seed.rotate_left(17));
+        let mut out = vec![0u64; n];
+        negacyclic_mul_ntt_into(&mut out, &a, &b, &tables);
+        prop_assert_eq!(out, negacyclic_mul_ntt(&a, &b, &tables));
+    }
+
+    /// Forward then inverse is the identity, and every intermediate
+    /// output is fully normalized into `[0, q)` despite the lazy
+    /// butterflies.
+    #[test]
+    fn roundtrip_and_normalization(pq in params(), seed in any::<u64>()) {
+        let (q, n) = pq;
+        let tables = NttTables::new(n, q).unwrap();
+        let a = random_poly(n, q, seed);
+        let mut v = a.clone();
+        forward(&mut v, &tables);
+        prop_assert!(v.iter().all(|&x| x < q), "forward output not reduced");
+        inverse(&mut v, &tables);
+        prop_assert!(v.iter().all(|&x| x < q), "inverse output not reduced");
+        prop_assert_eq!(v, a);
+    }
+
+    /// The in-place pointwise product agrees with the allocating one and
+    /// stays reduced.
+    #[test]
+    fn pointwise_assign_matches(pq in params(), seed in any::<u64>()) {
+        let (q, n) = pq;
+        let tables = NttTables::new(n, q).unwrap();
+        let a = random_poly(n, q, seed);
+        let b = random_poly(n, q, !seed);
+        let want = pointwise_mul(&a, &b, &tables);
+        let mut got = a.clone();
+        pointwise_mul_assign(&mut got, &b, &tables);
+        prop_assert!(got.iter().all(|&x| x < q));
+        prop_assert_eq!(got, want);
+    }
+
+    /// Direct evaluation check: for small degrees, forward-transform
+    /// coefficient `k` (in bit-reversed order) must equal `a(ψ·ω^k)` —
+    /// the negacyclic NTT *is* multipoint evaluation at odd powers of ψ.
+    #[test]
+    fn forward_is_evaluation_at_psi_powers(log_n in 2u32..=6, seed in any::<u64>()) {
+        let n = 1usize << log_n;
+        let q = ntt_prime(30, n as u64).expect("prime exists");
+        let tables = NttTables::new(n, q).unwrap();
+        let psi = tables.psi();
+        let a = random_poly(n, q, seed);
+        let mut v = a.clone();
+        forward(&mut v, &tables);
+        for k in 0..n {
+            // ω = ψ², so evaluation point k is ψ^(2·k + 1).
+            let point = pow_mod(psi, (2 * k + 1) as u64, q);
+            let mut want = 0u64;
+            let mut x = 1u64;
+            for &c in &a {
+                want = (want + mul_mod(c, x, q)) % q;
+                x = mul_mod(x, point, q);
+            }
+            let idx = flash_math::bitrev::bit_reverse(k, log_n);
+            prop_assert_eq!(v[idx], want, "mismatch at evaluation point {}", k);
+        }
+    }
+}

@@ -51,7 +51,15 @@ where
     U: Send,
     F: Fn(usize) -> U + Sync,
 {
-    let workers = threads.max(1).min(len);
+    // Cap at the host's parallelism: oversubscribing physical cores only
+    // adds spawn/switch overhead (an oversized FLASH_THREADS on a small
+    // host used to *slow down* hconv_layer). Results are unaffected — the
+    // chunk → index mapping depends only on the effective worker count,
+    // and every count produces the sequential result bit-for-bit.
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let workers = threads.max(1).min(len).min(host);
     if workers <= 1 || len < MIN_PARALLEL_LEN {
         return (0..len).map(f).collect();
     }
@@ -108,6 +116,24 @@ mod tests {
             let v = parallel_gen_with(threads, 33, |i| i * i);
             assert_eq!(v, (0..33).map(|i| i * i).collect::<Vec<_>>());
         }
+    }
+
+    #[test]
+    fn workers_never_exceed_host_parallelism() {
+        let host = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        // Request far more workers than the host has; the number of
+        // distinct threads touching items must stay within the host's
+        // parallelism (+1 for the sequential fallback on the caller).
+        let ids = parallel_gen_with(4 * host + 13, 257, |_| std::thread::current().id());
+        let distinct: std::collections::HashSet<_> = ids.into_iter().collect();
+        assert!(
+            distinct.len() <= host,
+            "spawned {} distinct workers on a host with parallelism {}",
+            distinct.len(),
+            host
+        );
     }
 
     #[test]

@@ -19,6 +19,12 @@
 //!   `flash_fft::fixed_fft::FixedNegacyclicFft::shared`,
 //!   `flash_sparse::symbolic::analyze_cached`) so the dependency graph
 //!   stays acyclic; this crate depends only on `std`.
+//! * [`ScratchPool`] — thread-local, size-classed buffer pools with RAII
+//!   checkout ([`Scratch`]), making the transform hot paths
+//!   allocation-free in steady state. Concrete pools follow the same
+//!   placement rule as the interners: [`U64_SCRATCH`] / [`F64_SCRATCH`] /
+//!   [`I128_SCRATCH`] live here, the `C64` pool lives in `flash-fft`, and
+//!   new ones are declared with [`scratch_pool!`].
 //!
 //! # Determinism contract
 //!
@@ -31,7 +37,12 @@
 mod config;
 mod exec;
 mod interner;
+mod scratch;
 
 pub use config::{max_threads, set_threads};
 pub use exec::{parallel_gen, parallel_gen_with, parallel_map, parallel_map_with};
 pub use interner::{CacheStats, Interner};
+pub use scratch::{
+    PoolShelves, PoolStats, Scratch, ScratchPool, F64_SCRATCH, I128_SCRATCH, MAX_BUFFERS_PER_CLASS,
+    U64_SCRATCH,
+};

@@ -1,0 +1,427 @@
+//! Thread-local scratch-buffer pools for allocation-free hot paths.
+//!
+//! The transform hot loops (NTT/FFT forward/inverse, point-wise products,
+//! sparse execution) need short-lived working buffers of a handful of
+//! distinct sizes. Allocating them per call dominates once the arithmetic
+//! itself is cheap — the FLASH premise. A [`ScratchPool`] hands out
+//! recycled `Vec`s from a thread-local, size-classed free list behind an
+//! RAII [`Scratch`] guard: dropping the guard returns the buffer to the
+//! pool, so steady state performs zero allocator calls.
+//!
+//! Concrete pools live next to the element types they serve ([`U64_SCRATCH`],
+//! [`F64_SCRATCH`], [`I128_SCRATCH`] here; a `C64` pool in `flash-fft`),
+//! mirroring how plan caches live next to the plans they cache (see
+//! [`crate::Interner`]). New pools are declared with [`scratch_pool!`].
+//!
+//! # Ownership rules
+//!
+//! * Check out scratch for *transient* working storage whose lifetime ends
+//!   inside the call. When a buffer becomes the function's return value,
+//!   either allocate it normally or use [`Scratch::detach`] (which forfeits
+//!   recycling for that one buffer).
+//! * Guards nest freely; each checkout draws a distinct buffer, so a
+//!   function may hold several at once and callees may check out more.
+//! * Buffers are size-classed by the next power of two of the requested
+//!   length; at most [`MAX_BUFFERS_PER_CLASS`] are retained per class per
+//!   thread, so mixed sizes cannot grow the pool without bound.
+//!
+//! Hit/miss/bytes-recycled counters are process-wide atomics in the same
+//! style as [`crate::CacheStats`], so benchmarks can prove the recycling
+//! actually happens.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread::LocalKey;
+
+/// Retention cap: free buffers kept per size class per thread.
+pub const MAX_BUFFERS_PER_CLASS: usize = 8;
+
+/// Hit/miss/recycling counters for one pool, readable at any time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Checkouts served from a recycled buffer (no allocation).
+    pub hits: u64,
+    /// Checkouts that had to allocate a fresh buffer.
+    pub misses: u64,
+    /// Total capacity bytes handed out from recycled buffers.
+    pub bytes_recycled: u64,
+}
+
+impl PoolStats {
+    /// Fraction of checkouts served without allocating, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The thread-local free lists of one pool: size class (a power of two
+/// capacity) → stack of cleared buffers with at least that capacity.
+///
+/// Only [`scratch_pool!`] and the pool statics below should need to name
+/// this type; user code interacts with [`ScratchPool`] and [`Scratch`].
+pub struct PoolShelves<T> {
+    classes: BTreeMap<usize, Vec<Vec<T>>>,
+}
+
+impl<T> PoolShelves<T> {
+    /// Const constructor, usable in `thread_local!` initializers.
+    pub const fn new() -> Self {
+        PoolShelves {
+            classes: BTreeMap::new(),
+        }
+    }
+}
+
+impl<T> Default for PoolShelves<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A process-wide scratch pool for element type `T`, backed by
+/// thread-local free lists (no synchronization on the checkout path; the
+/// stats counters are the only shared state).
+///
+/// Construct as a `static`, normally via [`scratch_pool!`]:
+///
+/// ```
+/// flash_runtime::scratch_pool! {
+///     /// Example pool.
+///     static DEMO_SCRATCH: u32
+/// }
+///
+/// let first = DEMO_SCRATCH.take(100);
+/// assert_eq!(first.len(), 100);
+/// drop(first); // buffer returns to the pool
+/// let again = DEMO_SCRATCH.take(80); // same size class: recycled
+/// assert!(DEMO_SCRATCH.stats().hits >= 1);
+/// ```
+pub struct ScratchPool<T: 'static> {
+    shelves: &'static LocalKey<RefCell<PoolShelves<T>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    bytes_recycled: AtomicU64,
+}
+
+impl<T: 'static> ScratchPool<T> {
+    /// Const constructor over the pool's thread-local shelves; see
+    /// [`scratch_pool!`] for the one-line declaration form.
+    pub const fn new(shelves: &'static LocalKey<RefCell<PoolShelves<T>>>) -> Self {
+        ScratchPool {
+            shelves,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            bytes_recycled: AtomicU64::new(0),
+        }
+    }
+
+    /// Size class of a requested length: next power of two (min 1).
+    #[inline]
+    fn class_of(len: usize) -> usize {
+        len.next_power_of_two().max(1)
+    }
+
+    /// Pops a cleared buffer of the right class, or allocates one.
+    fn checkout(&'static self, len: usize) -> Vec<T> {
+        let class = Self::class_of(len);
+        let reused = self
+            .shelves
+            .try_with(|s| {
+                s.borrow_mut()
+                    .classes
+                    .get_mut(&class)
+                    .and_then(|shelf| shelf.pop())
+            })
+            .ok()
+            .flatten();
+        match reused {
+            Some(buf) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.bytes_recycled.fetch_add(
+                    (buf.capacity() * std::mem::size_of::<T>()) as u64,
+                    Ordering::Relaxed,
+                );
+                buf
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Vec::with_capacity(class)
+            }
+        }
+    }
+
+    /// Returns a buffer to its size-class shelf (or drops it if the shelf
+    /// is full or the thread is tearing down).
+    fn recycle(&self, mut buf: Vec<T>) {
+        let cap = buf.capacity();
+        if cap == 0 {
+            return;
+        }
+        // File under the largest power of two ≤ capacity, so every buffer
+        // on shelf `c` has capacity ≥ `c` and can serve a `take(len)` with
+        // class `c` without reallocating.
+        let class = if cap.is_power_of_two() {
+            cap
+        } else {
+            cap.next_power_of_two() / 2
+        };
+        buf.clear();
+        let _ = self.shelves.try_with(|s| {
+            let mut s = s.borrow_mut();
+            let shelf = s.classes.entry(class).or_default();
+            if shelf.len() < MAX_BUFFERS_PER_CLASS {
+                shelf.push(buf);
+            }
+        });
+    }
+
+    /// Checks out a buffer of exactly `len` default-initialized elements.
+    pub fn take(&'static self, len: usize) -> Scratch<T>
+    where
+        T: Copy + Default,
+    {
+        let mut buf = self.checkout(len);
+        buf.resize(len, T::default());
+        Scratch {
+            buf: Some(buf),
+            pool: self,
+        }
+    }
+
+    /// Checks out a buffer initialized to a copy of `src`.
+    pub fn take_copied(&'static self, src: &[T]) -> Scratch<T>
+    where
+        T: Copy,
+    {
+        let mut buf = self.checkout(src.len());
+        buf.extend_from_slice(src);
+        Scratch {
+            buf: Some(buf),
+            pool: self,
+        }
+    }
+
+    /// Snapshot of the hit/miss/recycling counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            bytes_recycled: self.bytes_recycled.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets the counters (the retained buffers stay). For tests and
+    /// benchmark sections that want a clean measurement window.
+    pub fn reset_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.bytes_recycled.store(0, Ordering::Relaxed);
+    }
+}
+
+/// RAII checkout of one scratch buffer; dereferences to the underlying
+/// `Vec<T>` and returns the buffer to its pool on drop.
+pub struct Scratch<T: 'static> {
+    /// `Some` until dropped or [`Scratch::detach`]ed.
+    buf: Option<Vec<T>>,
+    pool: &'static ScratchPool<T>,
+}
+
+impl<T: 'static> Scratch<T> {
+    /// Takes permanent ownership of the buffer, skipping recycling. Use
+    /// only when the buffer escapes as a return value.
+    pub fn detach(mut self) -> Vec<T> {
+        self.buf.take().expect("buffer present until detach/drop")
+    }
+}
+
+impl<T: 'static> Deref for Scratch<T> {
+    type Target = Vec<T>;
+    #[inline]
+    fn deref(&self) -> &Vec<T> {
+        self.buf.as_ref().expect("buffer present until detach/drop")
+    }
+}
+
+impl<T: 'static> DerefMut for Scratch<T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut Vec<T> {
+        self.buf.as_mut().expect("buffer present until detach/drop")
+    }
+}
+
+impl<T: 'static> Drop for Scratch<T> {
+    fn drop(&mut self) {
+        if let Some(buf) = self.buf.take() {
+            self.pool.recycle(buf);
+        }
+    }
+}
+
+/// Declares a `static` [`ScratchPool`] together with its thread-local
+/// shelves:
+///
+/// ```
+/// flash_runtime::scratch_pool! {
+///     /// Scratch for complex staging buffers.
+///     pub static MY_SCRATCH: f32
+/// }
+/// let buf = MY_SCRATCH.take(16);
+/// assert_eq!(buf.len(), 16);
+/// ```
+#[macro_export]
+macro_rules! scratch_pool {
+    ($(#[$meta:meta])* $vis:vis static $name:ident : $ty:ty) => {
+        $(#[$meta])*
+        $vis static $name: $crate::ScratchPool<$ty> = {
+            ::std::thread_local! {
+                static SHELVES: ::std::cell::RefCell<$crate::PoolShelves<$ty>> =
+                    const { ::std::cell::RefCell::new($crate::PoolShelves::new()) };
+            }
+            $crate::ScratchPool::new(&SHELVES)
+        };
+    };
+}
+
+scratch_pool! {
+    /// Process-wide `u64` scratch (NTT residue vectors, coefficient
+    /// accumulators).
+    pub static U64_SCRATCH: u64
+}
+
+scratch_pool! {
+    /// Process-wide `f64` scratch (center-lifted operands, FFT products).
+    pub static F64_SCRATCH: f64
+}
+
+scratch_pool! {
+    /// Process-wide `i128` scratch (fixed-point datapath registers).
+    pub static I128_SCRATCH: i128
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    scratch_pool! {
+        static TEST_SCRATCH: u64
+    }
+
+    #[test]
+    fn take_is_sized_and_zeroed() {
+        let buf = TEST_SCRATCH.take(10);
+        assert_eq!(buf.len(), 10);
+        assert!(buf.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn recycles_within_a_size_class() {
+        scratch_pool! {
+            static LOCAL: u64
+        }
+        let before = LOCAL.stats();
+        {
+            let mut a = LOCAL.take(100);
+            a[0] = 7;
+        } // returned to the 128-class shelf
+        let b = LOCAL.take(90); // same class: must be recycled
+        assert_eq!(b.len(), 90);
+        assert!(b.iter().all(|&x| x == 0), "recycled buffer must be cleared");
+        let after = LOCAL.stats();
+        assert_eq!(after.hits, before.hits + 1);
+        assert_eq!(after.misses, before.misses + 1);
+        assert!(after.bytes_recycled >= before.bytes_recycled + 128 * 8);
+    }
+
+    #[test]
+    fn nested_checkouts_are_distinct() {
+        let mut a = TEST_SCRATCH.take(16);
+        let mut b = TEST_SCRATCH.take(16);
+        a[0] = 1;
+        b[0] = 2;
+        assert_eq!(a[0], 1);
+        assert_eq!(b[0], 2);
+    }
+
+    #[test]
+    fn take_copied_matches_source() {
+        let src: Vec<u64> = (0..33).map(|i| i * i).collect();
+        let buf = TEST_SCRATCH.take_copied(&src);
+        assert_eq!(&buf[..], &src[..]);
+    }
+
+    #[test]
+    fn detach_escapes_without_recycling() {
+        scratch_pool! {
+            static DETACH_POOL: u64
+        }
+        let owned: Vec<u64> = DETACH_POOL.take(64).detach();
+        assert_eq!(owned.len(), 64);
+        let s = DETACH_POOL.stats();
+        // a fresh take after detach cannot hit (nothing was returned)
+        let _again = DETACH_POOL.take(64);
+        assert_eq!(DETACH_POOL.stats().hits, s.hits);
+    }
+
+    #[test]
+    fn shelf_retention_is_capped() {
+        scratch_pool! {
+            static CAP_POOL: u64
+        }
+        let guards: Vec<_> = (0..MAX_BUFFERS_PER_CLASS + 4)
+            .map(|_| CAP_POOL.take(32))
+            .collect();
+        drop(guards);
+        // Only MAX_BUFFERS_PER_CLASS buffers were retained, so checking
+        // out one more than the cap must include at least one miss.
+        CAP_POOL.reset_stats();
+        let guards: Vec<_> = (0..MAX_BUFFERS_PER_CLASS + 1)
+            .map(|_| CAP_POOL.take(32))
+            .collect();
+        let s = CAP_POOL.stats();
+        assert_eq!(s.hits, MAX_BUFFERS_PER_CLASS as u64);
+        assert_eq!(s.misses, 1);
+        drop(guards);
+    }
+
+    #[test]
+    fn pools_are_thread_local_but_counters_global() {
+        scratch_pool! {
+            static THREADED: u64
+        }
+        // Warm this thread's shelf, then verify another thread misses
+        // (its shelf starts empty) while the shared counters see both.
+        drop(THREADED.take(16));
+        THREADED.reset_stats();
+        drop(THREADED.take(16)); // hit on this thread
+        std::thread::scope(|s| {
+            s.spawn(|| drop(THREADED.take(16))).join().unwrap();
+        });
+        let stats = THREADED.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn hit_rate_bounds() {
+        let s = PoolStats {
+            hits: 3,
+            misses: 1,
+            bytes_recycled: 0,
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        let none = PoolStats {
+            hits: 0,
+            misses: 0,
+            bytes_recycled: 0,
+        };
+        assert_eq!(none.hit_rate(), 0.0);
+    }
+}

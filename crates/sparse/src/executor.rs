@@ -6,12 +6,14 @@
 //! against the dense transform: the optimizations are exact rewrites, not
 //! approximations.
 
+use flash_fft::C64_SCRATCH;
 use flash_math::bitrev::log2_exact;
 use flash_math::C64;
 
 /// Concrete node state during sparse execution.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 enum Node {
+    #[default]
     Zero,
     /// `ω^exp · inputs[src]`, materialized lazily.
     Scaled {
@@ -19,6 +21,11 @@ enum Node {
         exp: u32,
     },
     Dense(C64),
+}
+
+flash_runtime::scratch_pool! {
+    /// Thread-local scratch for the per-call node state vector.
+    static NODE_SCRATCH: Node
 }
 
 /// A sparse FFT executor for `m`-point transforms with positive-exponent
@@ -60,27 +67,38 @@ impl SparseFft {
     ///
     /// Panics if `input.len() != self.size()`.
     pub fn transform_bitrev_input(&self, input: &[C64]) -> Vec<C64> {
+        let mut out = vec![C64::ZERO; self.m];
+        self.transform_bitrev_input_into(input, &mut out);
+        out
+    }
+
+    /// [`SparseFft::transform_bitrev_input`] into a caller-provided
+    /// output buffer. The node-state vector the skip/merge dataflow walks
+    /// comes from the scratch pool, so repeated calls allocate nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` or `out.len()` differ from `self.size()`.
+    pub fn transform_bitrev_input_into(&self, input: &[C64], out: &mut [C64]) {
         assert_eq!(
             input.len(),
             self.m,
             "input length must equal transform size"
         );
+        assert_eq!(out.len(), self.m, "output length must equal transform size");
         let m = self.m;
         let half_m = (m / 2) as u32;
-        let mut state: Vec<Node> = input
-            .iter()
-            .enumerate()
-            .map(|(i, &x)| {
-                if x == C64::ZERO {
-                    Node::Zero
-                } else {
-                    Node::Scaled {
-                        src: i as u32,
-                        exp: 0,
-                    }
+        let mut state = NODE_SCRATCH.take(m);
+        for (i, (slot, &x)) in state.iter_mut().zip(input).enumerate() {
+            *slot = if x == C64::ZERO {
+                Node::Zero
+            } else {
+                Node::Scaled {
+                    src: i as u32,
+                    exp: 0,
                 }
-            })
-            .collect();
+            };
+        }
 
         let value = |n: Node, input: &[C64]| -> C64 {
             match n {
@@ -140,14 +158,28 @@ impl SparseFft {
             }
         }
 
-        state.into_iter().map(|n| value(n, input)).collect()
+        for (o, &n) in out.iter_mut().zip(state.iter()) {
+            *o = value(n, input);
+        }
     }
 
     /// Convenience wrapper: natural-order input (bit-reverses internally).
     pub fn transform(&self, input: &[C64]) -> Vec<C64> {
-        let mut v = input.to_vec();
-        flash_math::bitrev::bit_reverse_permute(&mut v);
-        self.transform_bitrev_input(&v)
+        let mut out = vec![C64::ZERO; self.m];
+        self.transform_into(input, &mut out);
+        out
+    }
+
+    /// [`SparseFft::transform`] into a caller-provided output buffer; the
+    /// bit-reversed staging copy comes from the scratch pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` or `out.len()` differ from `self.size()`.
+    pub fn transform_into(&self, input: &[C64], out: &mut [C64]) {
+        let mut v = C64_SCRATCH.take_copied(input);
+        flash_math::bitrev::bit_reverse_permute(&mut v[..]);
+        self.transform_bitrev_input_into(&v, out);
     }
 }
 

@@ -97,18 +97,16 @@ impl MatVecProtocol {
         let mut y_client = vec![0u64; no];
         let mut y_server = vec![0u64; no];
         for rb in 0..enc.row_blocks() {
-            let mut acc: Option<Ciphertext> = None;
+            // Fused multiply-accumulate: one resident accumulator per row
+            // block, one weight transform per chunk, no intermediate
+            // ciphertexts.
+            let mut acc = Ciphertext::zero(p.n, p.q);
             for (cc, ct) in cts_sum.iter().enumerate() {
                 let wp = enc.encode_matrix(w, rb, cc);
-                let term = ct.mul_plain_signed(&wp, p, &self.backend);
+                ct.mul_plain_signed_acc(&wp, p, &self.backend, &mut acc);
                 stats.weight_transforms += 1;
                 stats.pointwise_muls += p.n as u64;
-                acc = Some(match acc {
-                    None => term,
-                    Some(a) => a.add_ct(&term),
-                });
             }
-            let acc = acc.expect("at least one chunk");
             let mask_vals: Vec<u64> = (0..p.n).map(|_| rng.gen_range(0..p.t)).collect();
             let mask = Poly::from_coeffs(mask_vals, p.t);
             let masked = acc.sub_plain(&mask, p);

@@ -169,18 +169,20 @@ impl ConvProtocol {
             (0..bands)
                 .map(|b| {
                     let mut band_stats = ProtocolStats::default();
-                    let mut acc: Option<Ciphertext> = None;
+                    // Fused multiply-accumulate: one resident accumulator,
+                    // one weight transform per channel group, no
+                    // intermediate ciphertexts.
+                    let mut acc = Ciphertext::zero(p.n, p.q);
                     for (g, w_poly) in w_polys.iter().enumerate() {
-                        let term =
-                            cts_sum[g * bands + b].mul_plain_signed(&w_poly[b], p, &self.backend);
+                        cts_sum[g * bands + b].mul_plain_signed_acc(
+                            &w_poly[b],
+                            p,
+                            &self.backend,
+                            &mut acc,
+                        );
                         band_stats.weight_transforms += 1;
                         band_stats.pointwise_muls += 2 * half_spectrum;
-                        acc = Some(match acc {
-                            None => term,
-                            Some(a) => a.add_ct(&term),
-                        });
                     }
-                    let acc = acc.expect("at least one channel group");
                     // Fresh random mask: the server's output share.
                     let mut mask_rng = StdRng::seed_from_u64(mask_seeds[oc * bands + b]);
                     let mask_vals: Vec<u64> =

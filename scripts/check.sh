@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Repository health gate: lint, format, tier-1 tests, hot-path bench.
+#
+# Everything runs offline against vendored dependencies; this is the
+# same sequence CI executes, so a clean local run means a clean CI run.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (workspace, all targets, -D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test (tier-1)"
+cargo test --workspace -q
+
+echo "==> bench_perf --quick (hot-path smoke)"
+cargo run --release -p flash-bench --bin bench_perf -- --quick
+
+echo "==> all checks passed"
