@@ -19,19 +19,36 @@ use rand::{Rng, SeedableRng};
 pub struct FlashHconv {
     cfg: FlashConfig,
     backend: PolyMulBackend,
+    sparse_weights: bool,
 }
 
 impl FlashHconv {
     /// Builds the engine with the configuration's approximate backend.
     pub fn new(cfg: FlashConfig) -> Self {
         let backend = PolyMulBackend::approx(cfg.numerics.clone());
-        Self { cfg, backend }
+        Self {
+            cfg,
+            backend,
+            sparse_weights: true,
+        }
     }
 
     /// Builds the engine with an explicit backend (e.g. the exact NTT for
     /// baseline comparison).
     pub fn with_backend(cfg: FlashConfig, backend: PolyMulBackend) -> Self {
-        Self { cfg, backend }
+        Self {
+            cfg,
+            backend,
+            sparse_weights: true,
+        }
+    }
+
+    /// Enables or disables the compiled sparse weight-transform path in
+    /// the underlying protocols (on by default; outputs are identical
+    /// either way). See [`ConvProtocol::with_sparse_weights`].
+    pub fn with_sparse_weights(mut self, enabled: bool) -> Self {
+        self.sparse_weights = enabled;
+        self
     }
 
     /// The share ring of the configured plaintext modulus.
@@ -66,7 +83,8 @@ impl FlashHconv {
                     m: spec.m,
                     k: spec.k,
                 };
-                let proto = ConvProtocol::new(self.cfg.he.clone(), shape, self.backend.clone());
+                let proto = ConvProtocol::new(self.cfg.he.clone(), shape, self.backend.clone())
+                    .with_sparse_weights(self.sparse_weights);
                 let (shares, stats) = proto.run(sk, &xp, weights, rng);
                 (proto.reconstruct(&shares), stats)
             }
@@ -89,7 +107,8 @@ impl FlashHconv {
                 let phase_seeds: Vec<u64> = parts.iter().map(|_| rng.next_u64()).collect();
                 let phase_results = flash_runtime::parallel_gen(parts.len(), |i| {
                     let (xs, fs) = &parts[i];
-                    let proto = ConvProtocol::new(self.cfg.he.clone(), sub, self.backend.clone());
+                    let proto = ConvProtocol::new(self.cfg.he.clone(), sub, self.backend.clone())
+                        .with_sparse_weights(self.sparse_weights);
                     let mut phase_rng = StdRng::seed_from_u64(phase_seeds[i]);
                     let (shares, s) = proto.run(sk, xs, fs, &mut phase_rng);
                     (proto.reconstruct(&shares), s)
@@ -125,6 +144,7 @@ fn merge_stats(a: ProtocolStats, b: ProtocolStats) -> ProtocolStats {
         ciphertexts_up: a.ciphertexts_up + b.ciphertexts_up,
         ciphertexts_down: a.ciphertexts_down + b.ciphertexts_down,
         weight_transforms: a.weight_transforms + b.weight_transforms,
+        sparse_weight_transforms: a.sparse_weight_transforms + b.sparse_weight_transforms,
         activation_transforms: a.activation_transforms + b.activation_transforms,
         inverse_transforms: a.inverse_transforms + b.inverse_transforms,
         pointwise_muls: a.pointwise_muls + b.pointwise_muls,
@@ -222,6 +242,57 @@ mod tests {
             },
             4,
         );
+    }
+
+    #[test]
+    fn sparse_and_dense_weight_paths_agree_across_strides() {
+        let cfg = FlashConfig::test_small();
+        for (spec, seed) in [
+            (
+                ConvLayerSpec {
+                    name: "s1".into(),
+                    c: 2,
+                    h: 6,
+                    w: 6,
+                    m: 2,
+                    k: 3,
+                    stride: 1,
+                    pad: 1,
+                },
+                31,
+            ),
+            (
+                ConvLayerSpec {
+                    name: "s2".into(),
+                    c: 2,
+                    h: 8,
+                    w: 8,
+                    m: 2,
+                    k: 3,
+                    stride: 2,
+                    pad: 1,
+                },
+                32,
+            ),
+        ] {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let sk = SecretKey::generate(&cfg.he, &mut rng);
+            let x = spec.sample_input(Quantizer::a4(), &mut rng);
+            let w = spec.sample_weights(Quantizer::w4(), &mut rng);
+            let sparse = FlashHconv::new(cfg.clone());
+            let dense = FlashHconv::new(cfg.clone()).with_sparse_weights(false);
+            let mut rng_a = rand::rngs::StdRng::seed_from_u64(seed + 100);
+            let mut rng_b = rand::rngs::StdRng::seed_from_u64(seed + 100);
+            let (ya, sa) = sparse.run_layer(&sk, &spec, &x, &w, &mut rng_a);
+            let (yb, sb) = dense.run_layer(&sk, &spec, &x, &w, &mut rng_b);
+            assert_eq!(ya, yb, "{}: sparse path changed outputs", spec.name);
+            assert!(
+                sa.sparse_weight_transforms > 0,
+                "{}: sparse path did not engage",
+                spec.name
+            );
+            assert_eq!(sb.sparse_weight_transforms, 0, "{}", spec.name);
+        }
     }
 
     #[test]

@@ -1,18 +1,26 @@
 //! Machine-readable runtime benchmark: times the parallel hot paths at
-//! one worker and at `max(4, host parallelism)` workers and writes
-//! `BENCH_runtime.json`.
+//! one worker and at host parallelism and writes `BENCH_runtime.json`.
 //!
 //! Three thread-scaling benches (HConv layer, ResNet-18 network model,
 //! DSE evaluation batch) plus the machine-independent plan-cache
-//! cold/warm comparison. Thread speedups require physical cores: on a
-//! single-core host the honest result is ~1x, which is why
-//! `host_parallelism` is recorded alongside.
+//! cold/warm comparison. Thread speedups require physical cores, so
+//! thread counts above `host_parallelism` are skipped (they only measure
+//! scheduler noise) and every artifact records the host parallelism and
+//! git revision it was produced on.
 //!
 //! The run always starts with the *hot-path* bench: a warm-cache,
 //! single-thread HConv layer timed against the pre-optimization baseline
 //! parsed from an existing `BENCH_runtime.json` (before this run
 //! overwrites it), written to `BENCH_hotpath.json` together with the
-//! scratch-pool hit counters. `--quick` runs only that section.
+//! scratch-pool hit counters. It is followed by the *sparse* bench —
+//! compiled µop-tape weight transforms vs the dense FFT, at kernel level
+//! and end-to-end — written to `BENCH_sparse.json` with the plan-cache
+//! counters. `--quick` runs only those two sections.
+//!
+//! `--check-regression` measures nothing new: it re-times the hot-path
+//! and sparse-path HConv medians and fails (exit 1) if either is more
+//! than 15 % slower than the committed `BENCH_hotpath.json` /
+//! `BENCH_sparse.json` baselines.
 
 use flash_accel::config::FlashConfig;
 use flash_accel::hconv::FlashHconv;
@@ -20,12 +28,15 @@ use flash_accel::inference::run_network;
 use flash_bench::banner;
 use flash_dse::bayesopt::random_search;
 use flash_dse::{DesignSpace, Objective};
+use flash_he::encoding::{ConvEncoder, ConvShape};
 use flash_he::SecretKey;
+use flash_math::C64;
 use flash_nn::layers::ConvLayerSpec;
 use flash_nn::quant::Quantizer;
 use flash_nn::resnet18_conv_layers;
+use flash_sparse::{SparsePlan, SparsityPattern};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
 /// Median wall-clock milliseconds of `reps` runs of `f`.
@@ -46,6 +57,41 @@ struct Row {
     threads: usize,
     median_ms: f64,
     speedup: f64,
+}
+
+/// The git revision the artifact was produced from, or `"unknown"`
+/// outside a checkout.
+fn git_revision() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// First `"key": <number>` occurrence in a flat JSON artifact. The
+/// BENCH_*.json files are written by this binary with one field per
+/// line, so a line scanner is all the parsing they need.
+fn parse_json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    for line in text.lines() {
+        if let Some(pos) = line.find(&needle) {
+            let rest = &line[pos + needle.len()..];
+            let num: String = rest
+                .chars()
+                .skip_while(|c| c.is_whitespace())
+                .take_while(|c| c.is_ascii_digit() || *c == '.')
+                .collect();
+            if let Ok(v) = num.parse() {
+                return Some(v);
+            }
+        }
+    }
+    None
 }
 
 /// The single-thread `hconv_layer` median recorded before the hot-path
@@ -85,37 +131,290 @@ fn pool_stats_json(name: &str, s: flash_runtime::PoolStats) -> String {
     )
 }
 
+/// The small HConv layer every HConv timing in this binary runs.
+struct HconvFixture {
+    cfg: FlashConfig,
+    spec: ConvLayerSpec,
+    sk: SecretKey,
+    x: Vec<i64>,
+    w: Vec<i64>,
+}
+
+impl HconvFixture {
+    fn new() -> Self {
+        let cfg = FlashConfig::test_small();
+        let spec = ConvLayerSpec {
+            name: "bench".into(),
+            c: 4,
+            h: 8,
+            w: 8,
+            m: 4,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let mut rng = StdRng::seed_from_u64(11);
+        let sk = SecretKey::generate(&cfg.he, &mut rng);
+        let x = spec.sample_input(Quantizer::a4(), &mut rng);
+        let w = spec.sample_weights(Quantizer::w4(), &mut rng);
+        Self {
+            cfg,
+            spec,
+            sk,
+            x,
+            w,
+        }
+    }
+
+    /// Warm-cache single-thread median of `engine` on the fixture layer.
+    fn median(&self, engine: &FlashHconv, reps: usize) -> f64 {
+        let mut wrng = StdRng::seed_from_u64(5);
+        let _ = engine.run_layer(&self.sk, &self.spec, &self.x, &self.w, &mut wrng);
+        let mut lrng = StdRng::seed_from_u64(5);
+        median_ms(reps, || {
+            let _ = engine.run_layer(&self.sk, &self.spec, &self.x, &self.w, &mut lrng);
+        })
+    }
+}
+
+/// Re-measures the committed baselines and fails on > 15 % slowdown.
+fn check_regression() -> i32 {
+    banner("Regression check: fresh medians vs committed baselines");
+    const TOLERANCE: f64 = 1.15;
+    flash_runtime::set_threads(1);
+    let fixture = HconvFixture::new();
+    let mut failures = 0;
+    let mut check =
+        |name: &str, file: &str, key: &str, fresh: f64| match std::fs::read_to_string(file)
+            .ok()
+            .and_then(|t| parse_json_number(&t, key))
+        {
+            None => println!("{name:34} no baseline ({file} missing {key}); skipped"),
+            Some(base) => {
+                let ratio = fresh / base;
+                let ok = ratio <= TOLERANCE;
+                println!(
+                    "{name:34} fresh {fresh:9.3} ms  baseline {base:9.3} ms  ratio {ratio:5.2}  {}",
+                    if ok { "OK" } else { "REGRESSION" }
+                );
+                if !ok {
+                    failures += 1;
+                }
+            }
+        };
+    let hot = fixture.median(&FlashHconv::new(fixture.cfg.clone()), 5);
+    check(
+        "hconv_layer_hotpath",
+        "BENCH_hotpath.json",
+        "median_ms",
+        hot,
+    );
+    let sparse = fixture.median(&FlashHconv::new(fixture.cfg.clone()), 5);
+    check(
+        "hconv_layer_sparse",
+        "BENCH_sparse.json",
+        "hconv_sparse_median_ms",
+        sparse,
+    );
+    flash_runtime::set_threads(0);
+    if failures > 0 {
+        println!("\nregression check FAILED ({failures} benchmark(s) > 15% slower)");
+        1
+    } else {
+        println!("\nregression check passed");
+        0
+    }
+}
+
+/// The sparse-transform bench: kernel-level tape vs dense FFT on a
+/// ResNet-style 3×3 pattern at production degree, end-to-end HConv with
+/// the sparse path on vs off, and the plan-cache counters. Returns the
+/// `BENCH_sparse.json` payload.
+fn sparse_bench(fixture: &HconvFixture, host: usize, rev: &str) -> String {
+    // --- Kernel: the weight-transform pattern a 3×3 conv over 32×32
+    // feature maps (4 channels packed per ciphertext) produces at
+    // N = 4096 — the shape of ResNet's early conv blocks under Cheetah
+    // encoding. The pattern comes from the real encoder, not a synthetic
+    // mask, so the measured sparsity is the protocol's.
+    let n = 4096;
+    let shape = ConvShape {
+        c: 4,
+        h: 32,
+        w: 32,
+        m: 1,
+        k: 3,
+    };
+    let enc = ConvEncoder::new(shape, n);
+    let half = n / 2;
+    let mut mask = vec![false; half];
+    for idx in enc.weight_indices(0) {
+        mask[idx % half] = true;
+    }
+    let pattern = SparsityPattern::from_mask(mask);
+    let plan = SparsePlan::shared(&pattern);
+    assert!(plan.worthwhile(), "bench pattern must take the sparse path");
+
+    let mut krng = StdRng::seed_from_u64(41);
+    let mut w = vec![0i64; n];
+    for idx in enc.weight_indices(0) {
+        w[idx] = krng.gen_range(-8..8);
+    }
+    let wf: Vec<f64> = w.iter().map(|&x| x as f64).collect();
+    let fft = flash_fft::NegacyclicFft::new(n);
+    let mut out = vec![C64::ZERO; half];
+    const KERNEL_ITERS: usize = 200;
+    // Warm both paths, then time the same batch of transforms.
+    fft.forward_into(&wf, &mut out);
+    plan.execute_into(&w, &mut out);
+    let dense_ms = median_ms(7, || {
+        for _ in 0..KERNEL_ITERS {
+            fft.forward_into(&wf, &mut out);
+        }
+    });
+    let sparse_ms = median_ms(7, || {
+        for _ in 0..KERNEL_ITERS {
+            plan.execute_into(&w, &mut out);
+        }
+    });
+    let kernel_speedup = dense_ms / sparse_ms;
+    println!(
+        "{:34} n={n}  live {}/{}  dense {:8.2} us  tape {:8.2} us  speedup {:5.2}x",
+        "weight_transform_3x3_kernel",
+        pattern.count(),
+        pattern.len(),
+        dense_ms / KERNEL_ITERS as f64 * 1e3,
+        sparse_ms / KERNEL_ITERS as f64 * 1e3,
+        kernel_speedup
+    );
+
+    // --- End-to-end: the hot-path HConv layer with the sparse weight
+    // path on vs off (identical outputs, same protocol, same seeds).
+    let sparse_engine = FlashHconv::new(fixture.cfg.clone());
+    let dense_engine = FlashHconv::new(fixture.cfg.clone()).with_sparse_weights(false);
+    let hconv_sparse = fixture.median(&sparse_engine, 5);
+    let hconv_dense = fixture.median(&dense_engine, 5);
+    let mut srng = StdRng::seed_from_u64(5);
+    let (_, stats) = sparse_engine.run_layer(
+        &fixture.sk,
+        &fixture.spec,
+        &fixture.x,
+        &fixture.w,
+        &mut srng,
+    );
+    println!(
+        "{:34} sparse {:9.3} ms  dense {:9.3} ms  speedup {:5.2}x  ({}/{} transforms on tape)",
+        "hconv_layer_sparse_vs_dense",
+        hconv_sparse,
+        hconv_dense,
+        hconv_dense / hconv_sparse,
+        stats.sparse_weight_transforms,
+        stats.weight_transforms
+    );
+
+    // --- Plan-cache counters (satellites the pool stats already have).
+    let metrics = flash_sparse::plan::plan_cache_metrics();
+    println!(
+        "{:34} plans {}  uops {}  tape {} B  hit_rate {:.4}",
+        "sparse_plan_cache",
+        metrics.plans,
+        metrics.uops,
+        metrics.tape_bytes,
+        hit_rate(metrics.stats)
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"host_parallelism\": {host},\n"));
+    json.push_str(&format!("  \"git_revision\": \"{rev}\",\n"));
+    json.push_str("  \"kernel\": {\n");
+    json.push_str("    \"name\": \"weight_transform_3x3_resnet_style\",\n");
+    json.push_str(&format!("    \"n\": {n},\n"));
+    json.push_str(&format!(
+        "    \"pattern_live_slots\": {},\n",
+        pattern.count()
+    ));
+    json.push_str(&format!("    \"pattern_slots\": {},\n", pattern.len()));
+    json.push_str(&format!("    \"tape_muls\": {},\n", plan.muls()));
+    json.push_str(&format!("    \"dense_muls\": {},\n", plan.dense_muls()));
+    json.push_str(&format!(
+        "    \"dense_median_us\": {:.3},\n",
+        dense_ms / KERNEL_ITERS as f64 * 1e3
+    ));
+    json.push_str(&format!(
+        "    \"sparse_median_us\": {:.3},\n",
+        sparse_ms / KERNEL_ITERS as f64 * 1e3
+    ));
+    json.push_str(&format!("    \"speedup\": {kernel_speedup:.3}\n"));
+    json.push_str("  },\n");
+    json.push_str(&format!("  \"hconv_dense_median_ms\": {hconv_dense:.4},\n"));
+    json.push_str(&format!(
+        "  \"hconv_sparse_median_ms\": {hconv_sparse:.4},\n"
+    ));
+    json.push_str(&format!(
+        "  \"hconv_speedup\": {:.3},\n",
+        hconv_dense / hconv_sparse
+    ));
+    json.push_str(&format!(
+        "  \"sparse_weight_transforms\": {},\n",
+        stats.sparse_weight_transforms
+    ));
+    json.push_str(&format!(
+        "  \"weight_transforms\": {},\n",
+        stats.weight_transforms
+    ));
+    json.push_str("  \"plan_cache\": {\n");
+    json.push_str(&format!("    \"plans\": {},\n", metrics.plans));
+    json.push_str(&format!("    \"uops\": {},\n", metrics.uops));
+    json.push_str(&format!("    \"tape_bytes\": {},\n", metrics.tape_bytes));
+    json.push_str(&format!("    \"hits\": {},\n", metrics.stats.hits));
+    json.push_str(&format!("    \"misses\": {},\n", metrics.stats.misses));
+    json.push_str(&format!(
+        "    \"hit_rate\": {:.4}\n",
+        hit_rate(metrics.stats)
+    ));
+    json.push_str("  }\n}\n");
+    json
+}
+
+fn hit_rate(s: flash_runtime::CacheStats) -> f64 {
+    let total = s.hits + s.misses;
+    if total == 0 {
+        0.0
+    } else {
+        s.hits as f64 / total as f64
+    }
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    if std::env::args().any(|a| a == "--check-regression") {
+        std::process::exit(check_regression());
+    }
     banner("Runtime benchmark: parallel hot paths + plan cache");
     let host = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let rev = git_revision();
     let many = host.max(4);
+    // Thread counts above the host's parallelism only measure scheduler
+    // noise (workers time-slice one core), so they are skipped rather
+    // than reported as if they were parallel speedups.
+    let oversubscribed = many > host;
     let mut rows: Vec<Row> = Vec::new();
 
     // --- HConv layer (functional engine, small parameters).
-    let small = FlashConfig::test_small();
-    let spec = ConvLayerSpec {
-        name: "bench".into(),
-        c: 4,
-        h: 8,
-        w: 8,
-        m: 4,
-        k: 3,
-        stride: 1,
-        pad: 1,
-    };
-    let mut rng = StdRng::seed_from_u64(11);
-    let sk = SecretKey::generate(&small.he, &mut rng);
-    let x = spec.sample_input(Quantizer::a4(), &mut rng);
-    let w = spec.sample_weights(Quantizer::w4(), &mut rng);
-    let engine = FlashHconv::new(small.clone());
+    let fixture = HconvFixture::new();
+    let engine = FlashHconv::new(fixture.cfg.clone());
     let hconv_run = |threads: usize| {
         flash_runtime::set_threads(threads);
         let mut lrng = StdRng::seed_from_u64(5);
         median_ms(5, || {
-            let _ = engine.run_layer(&sk, &spec, &x, &w, &mut lrng);
+            let _ = engine.run_layer(
+                &fixture.sk,
+                &fixture.spec,
+                &fixture.x,
+                &fixture.w,
+                &mut lrng,
+            );
         })
     };
 
@@ -128,7 +427,13 @@ fn main() {
         // Warm up: populate scratch pools and transform-plan caches so
         // the timed region measures the steady state the pools exist for.
         let mut wrng = StdRng::seed_from_u64(5);
-        let _ = engine.run_layer(&sk, &spec, &x, &w, &mut wrng);
+        let _ = engine.run_layer(
+            &fixture.sk,
+            &fixture.spec,
+            &fixture.x,
+            &fixture.w,
+            &mut wrng,
+        );
     }
     flash_runtime::U64_SCRATCH.reset_stats();
     flash_runtime::F64_SCRATCH.reset_stats();
@@ -137,7 +442,13 @@ fn main() {
     let hot = {
         let mut lrng = StdRng::seed_from_u64(5);
         median_ms(5, || {
-            let _ = engine.run_layer(&sk, &spec, &x, &w, &mut lrng);
+            let _ = engine.run_layer(
+                &fixture.sk,
+                &fixture.spec,
+                &fixture.x,
+                &fixture.w,
+                &mut lrng,
+            );
         })
     };
     let speedup = baseline / hot;
@@ -147,6 +458,8 @@ fn main() {
     );
     let mut hot_json = String::from("{\n");
     hot_json.push_str("  \"bench\": \"hconv_layer_hotpath\",\n");
+    hot_json.push_str(&format!("  \"host_parallelism\": {host},\n"));
+    hot_json.push_str(&format!("  \"git_revision\": \"{rev}\",\n"));
     hot_json.push_str("  \"threads\": 1,\n");
     hot_json.push_str("  \"warm_cache\": true,\n");
     hot_json.push_str(&format!("  \"median_ms\": {hot:.4},\n"));
@@ -163,24 +476,31 @@ fn main() {
     hot_json.push_str("\n  }\n}\n");
     std::fs::write("BENCH_hotpath.json", &hot_json).expect("write BENCH_hotpath.json");
     println!("wrote BENCH_hotpath.json");
+
+    // --- Sparse-transform bench (kernel + end-to-end + plan cache).
+    let sparse_json = sparse_bench(&fixture, host, &rev);
+    std::fs::write("BENCH_sparse.json", &sparse_json).expect("write BENCH_sparse.json");
+    println!("wrote BENCH_sparse.json");
     if quick {
         flash_runtime::set_threads(0);
         return;
     }
     let h1 = hconv_run(1);
-    let hn = hconv_run(many);
     rows.push(Row {
         name: "hconv_layer",
         threads: 1,
         median_ms: h1,
         speedup: 1.0,
     });
-    rows.push(Row {
-        name: "hconv_layer",
-        threads: many,
-        median_ms: hn,
-        speedup: h1 / hn,
-    });
+    if !oversubscribed {
+        let hn = hconv_run(many);
+        rows.push(Row {
+            name: "hconv_layer",
+            threads: many,
+            median_ms: hn,
+            speedup: h1 / hn,
+        });
+    }
 
     // --- ResNet-18 network performance model at N = 4096. The symbolic
     // analysis memo is cleared per iteration so each run does the full
@@ -195,19 +515,21 @@ fn main() {
         })
     };
     let n1 = net_run(1);
-    let nn = net_run(many);
     rows.push(Row {
         name: "run_network_resnet18",
         threads: 1,
         median_ms: n1,
         speedup: 1.0,
     });
-    rows.push(Row {
-        name: "run_network_resnet18",
-        threads: many,
-        median_ms: nn,
-        speedup: n1 / nn,
-    });
+    if !oversubscribed {
+        let nn = net_run(many);
+        rows.push(Row {
+            name: "run_network_resnet18",
+            threads: many,
+            median_ms: nn,
+            speedup: n1 / nn,
+        });
+    }
 
     // --- Memoization win on the same model (warm memo, any threads).
     flash_runtime::set_threads(1);
@@ -231,19 +553,21 @@ fn main() {
         })
     };
     let d1 = dse_run(1);
-    let dn = dse_run(many);
     rows.push(Row {
         name: "dse_eval_batch",
         threads: 1,
         median_ms: d1,
         speedup: 1.0,
     });
-    rows.push(Row {
-        name: "dse_eval_batch",
-        threads: many,
-        median_ms: dn,
-        speedup: d1 / dn,
-    });
+    if !oversubscribed {
+        let dn = dse_run(many);
+        rows.push(Row {
+            name: "dse_eval_batch",
+            threads: many,
+            median_ms: dn,
+            speedup: d1 / dn,
+        });
+    }
     flash_runtime::set_threads(0);
 
     // --- Report.
@@ -253,9 +577,22 @@ fn main() {
             r.name, r.threads, r.median_ms, r.speedup
         );
     }
+    if oversubscribed {
+        println!(
+            "skipped threads={many} rows: host_parallelism={host} cannot run them in parallel"
+        );
+    }
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"host_parallelism\": {host},\n"));
-    json.push_str(&format!("  \"threads_compared\": [1, {many}],\n"));
+    json.push_str(&format!("  \"git_revision\": \"{rev}\",\n"));
+    if oversubscribed {
+        json.push_str("  \"threads_compared\": [1],\n");
+        json.push_str(&format!(
+            "  \"skipped_oversubscribed_threads\": [{many}],\n"
+        ));
+    } else {
+        json.push_str(&format!("  \"threads_compared\": [1, {many}],\n"));
+    }
     json.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(

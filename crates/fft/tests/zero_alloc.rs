@@ -63,6 +63,7 @@ fn transform_hot_paths_allocate_nothing_at_steady_state() {
     use flash_ntt::polymul::negacyclic_mul_ntt_into;
     use flash_ntt::transform::{forward, inverse, pointwise_mul_assign};
     use flash_ntt::NttTables;
+    use flash_sparse::{SparsePlan, SparsityPattern};
 
     let n = 256;
     let q = flash_math::prime::ntt_prime(40, n as u64).unwrap();
@@ -79,29 +80,78 @@ fn transform_hot_paths_allocate_nothing_at_steady_state() {
     let mut spec = vec![C64::ZERO; n / 2];
     let mut fft_out = vec![0.0f64; n];
 
-    let drive =
-        |u: &mut Vec<u64>, ntt_out: &mut Vec<u64>, spec: &mut Vec<C64>, fft_out: &mut Vec<f64>| {
-            // NTT kernels: forward / pointwise / inverse plus the fused
-            // scratch-backed polynomial product.
-            forward(u, &tables);
-            pointwise_mul_assign(u, &b, &tables);
-            inverse(u, &tables);
-            negacyclic_mul_ntt_into(ntt_out, &a, &b, &tables);
-            // FFT kernels: fold/twist forward, pointwise, inverse, and the
-            // fused f64 product.
-            fft.forward_into(&af, spec);
-            fft.inverse_into(spec, fft_out);
-            fft.polymul_f64_into(&af, &bf, fft_out);
-        };
+    // Compiled sparse-plan tape: compiled and interned during warm-up,
+    // then executed (single and batched) inside the counted region. The
+    // output buffer doubles as the tape's slot arena, so steady-state
+    // execution must touch no heap at all.
+    let pattern = SparsityPattern::from_indices(n / 2, [1, 5, 9, 40, 77]);
+    let plan = SparsePlan::shared(&pattern);
+    let mut w = vec![0i64; n];
+    for (k, i) in pattern.indices().into_iter().enumerate() {
+        w[i] = k as i64 + 1;
+        w[i + n / 2] = -(k as i64) - 2;
+    }
+    let mut tape_out = vec![C64::ZERO; n / 2];
+    let mut batch_out = vec![C64::ZERO; 3 * (n / 2)];
+
+    let drive = |u: &mut Vec<u64>,
+                 ntt_out: &mut Vec<u64>,
+                 spec: &mut Vec<C64>,
+                 fft_out: &mut Vec<f64>,
+                 tape_out: &mut Vec<C64>,
+                 batch_out: &mut Vec<C64>| {
+        // NTT kernels: forward / pointwise / inverse plus the fused
+        // scratch-backed polynomial product.
+        forward(u, &tables);
+        pointwise_mul_assign(u, &b, &tables);
+        inverse(u, &tables);
+        negacyclic_mul_ntt_into(ntt_out, &a, &b, &tables);
+        // FFT kernels: fold/twist forward, pointwise, inverse, and the
+        // fused f64 product.
+        fft.forward_into(&af, spec);
+        fft.inverse_into(spec, fft_out);
+        fft.polymul_f64_into(&af, &bf, fft_out);
+        // Sparse µop tape: single execution and a 3-wide batch.
+        plan.execute_into(&w, tape_out);
+        plan.execute_batch_into([&w[..], &w[..], &w[..]], batch_out);
+    };
 
     // Warm up twice: the first pass takes every pool miss, the second
     // proves the pools reached steady state before we arm the counter.
-    drive(&mut u, &mut ntt_out, &mut spec, &mut fft_out);
-    drive(&mut u, &mut ntt_out, &mut spec, &mut fft_out);
+    drive(
+        &mut u,
+        &mut ntt_out,
+        &mut spec,
+        &mut fft_out,
+        &mut tape_out,
+        &mut batch_out,
+    );
+    drive(
+        &mut u,
+        &mut ntt_out,
+        &mut spec,
+        &mut fft_out,
+        &mut tape_out,
+        &mut batch_out,
+    );
 
     let allocs = count_allocs(|| {
-        drive(&mut u, &mut ntt_out, &mut spec, &mut fft_out);
-        drive(&mut u, &mut ntt_out, &mut spec, &mut fft_out);
+        drive(
+            &mut u,
+            &mut ntt_out,
+            &mut spec,
+            &mut fft_out,
+            &mut tape_out,
+            &mut batch_out,
+        );
+        drive(
+            &mut u,
+            &mut ntt_out,
+            &mut spec,
+            &mut fft_out,
+            &mut tape_out,
+            &mut batch_out,
+        );
     });
     assert_eq!(
         allocs, 0,

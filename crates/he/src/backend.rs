@@ -23,6 +23,7 @@ use flash_ntt::polymul::negacyclic_mul_ntt;
 use flash_ntt::transform::{forward, inverse, pointwise_mul_assign};
 use flash_ntt::NttTables;
 use flash_runtime::{F64_SCRATCH, U64_SCRATCH};
+use flash_sparse::SparsePlan;
 use std::sync::Arc;
 
 /// The negacyclic multiplier used for `ct ⊠ pt` products.
@@ -156,8 +157,7 @@ impl PolyMulBackend {
                 }
             }
             PolyMulBackend::FftF64 => {
-                let half = n / 2;
-                let mut fw = C64_SCRATCH.take(half);
+                let mut fw = C64_SCRATCH.take(n / 2);
                 {
                     let mut wf = F64_SCRATCH.take(n);
                     for (slot, &x) in wf.iter_mut().zip(w_signed) {
@@ -165,45 +165,136 @@ impl PolyMulBackend {
                     }
                     fft.forward_into(&wf, &mut fw);
                 }
-                let mut af = F64_SCRATCH.take(n);
-                let mut fa = C64_SCRATCH.take(half);
-                let mut prod = F64_SCRATCH.take(n);
-                for (acc, a) in [(acc0, a0), (acc1, a1)] {
-                    for (slot, &x) in af.iter_mut().zip(a.coeffs()) {
-                        *slot = center_lift(x, q) as f64;
-                    }
-                    fft.forward_into(&af, &mut fa);
-                    for (x, &y) in fa.iter_mut().zip(fw.iter()) {
-                        *x *= y;
-                    }
-                    fft.inverse_into(&mut fa, &mut prod);
-                    for (dst, &x) in acc.coeffs_mut().iter_mut().zip(prod.iter()) {
-                        *dst = add_mod(*dst, from_signed_i128(x.round_ties_even() as i128, q), q);
-                    }
-                }
+                accumulate_pair_fft(acc0, acc1, a0, a1, &fw, fft, q);
             }
             PolyMulBackend::ApproxFft(fixed) => {
                 assert_eq!(fixed.config().degree(), n, "approx plan degree mismatch");
-                let half = n / 2;
-                let mut fw = C64_SCRATCH.take(half);
+                let mut fw = C64_SCRATCH.take(n / 2);
                 let _ = fixed.forward_into(w_signed, &mut fw);
-                let mut af = F64_SCRATCH.take(n);
-                let mut fa = C64_SCRATCH.take(half);
-                let mut prod = F64_SCRATCH.take(n);
-                for (acc, a) in [(acc0, a0), (acc1, a1)] {
-                    for (slot, &x) in af.iter_mut().zip(a.coeffs()) {
-                        *slot = center_lift(x, q) as f64;
-                    }
-                    fft.forward_into(&af, &mut fa);
-                    for (x, &y) in fa.iter_mut().zip(fw.iter()) {
-                        *x *= y;
-                    }
-                    fft.inverse_into(&mut fa, &mut prod);
-                    for (dst, &x) in acc.coeffs_mut().iter_mut().zip(prod.iter()) {
-                        *dst = add_mod(*dst, from_signed_i128(x.round_ties_even() as i128, q), q);
-                    }
-                }
+                accumulate_pair_fft(acc0, acc1, a0, a1, &fw, fft, q);
             }
+        }
+    }
+
+    /// Like [`PolyMulBackend::mul_ct_pt_acc`], but when a compiled
+    /// [`SparsePlan`] for the weight's sparsity pattern is supplied and
+    /// [`SparsePlan::worthwhile`] holds, the FFT-family backends run the
+    /// weight transform on the flat µop tape instead of the dense
+    /// butterfly network. Returns `true` when the sparse tape executed.
+    ///
+    /// With `plan == None`, an unprofitable plan, or the `Ntt` backend,
+    /// this is **bit-for-bit** the dense [`PolyMulBackend::mul_ct_pt_acc`]
+    /// (the same code runs). For `ApproxFft` the tape plays the role of
+    /// the wide sparse datapath: it evaluates the same transform in `f64`
+    /// (exact where the wide fixed-point datapath is exact), so swapping
+    /// it in preserves protocol outputs in the error-free regime.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same conditions as [`PolyMulBackend::mul_ct_pt_acc`],
+    /// or if the plan's ring degree disagrees with the operands.
+    #[allow(clippy::too_many_arguments)]
+    pub fn mul_ct_pt_acc_plan(
+        &self,
+        acc0: &mut Poly,
+        acc1: &mut Poly,
+        a0: &Poly,
+        a1: &Poly,
+        w_signed: &[i64],
+        ntt: &NttTables,
+        fft: &flash_fft::NegacyclicFft,
+        plan: Option<&SparsePlan>,
+    ) -> bool {
+        let sparse = match (self, plan) {
+            (PolyMulBackend::Ntt, _) | (_, None) => None,
+            (_, Some(p)) if !p.worthwhile() => None,
+            (_, Some(p)) => Some(p),
+        };
+        let Some(plan) = sparse else {
+            self.mul_ct_pt_acc(acc0, acc1, a0, a1, w_signed, ntt, fft);
+            return false;
+        };
+        let q = a0.modulus();
+        let n = a0.len();
+        assert_eq!(plan.degree(), n, "sparse plan degree mismatch");
+        assert_eq!(a1.modulus(), q, "component modulus mismatch");
+        assert_eq!(a1.len(), n, "component length mismatch");
+        for acc in [&*acc0, &*acc1] {
+            assert_eq!(acc.modulus(), q, "accumulator modulus mismatch");
+            assert_eq!(acc.len(), n, "accumulator length mismatch");
+        }
+        assert_eq!(n, w_signed.len(), "operand lengths must match");
+        let mut fw = C64_SCRATCH.take(n / 2);
+        plan.execute_into(w_signed, &mut fw);
+        accumulate_pair_fft(acc0, acc1, a0, a1, &fw, fft, q);
+        true
+    }
+
+    /// Accumulates `acc += a ⊠ w` for a ciphertext pair given the weight
+    /// already in the spectral domain (`fw`, as produced by the dense
+    /// forward transform or a [`SparsePlan`] tape). This is the batched
+    /// hot path: the caller transforms a whole layer's weights with
+    /// [`SparsePlan::execute_batch_into`] and feeds the spectra here.
+    ///
+    /// # Panics
+    ///
+    /// Panics for the `Ntt` backend (spectra are FFT-domain values), or
+    /// on mismatched lengths/moduli.
+    #[allow(clippy::too_many_arguments)]
+    pub fn mul_ct_pt_acc_spectrum(
+        &self,
+        acc0: &mut Poly,
+        acc1: &mut Poly,
+        a0: &Poly,
+        a1: &Poly,
+        fw: &[C64],
+        fft: &flash_fft::NegacyclicFft,
+    ) {
+        assert!(
+            !matches!(self, PolyMulBackend::Ntt),
+            "spectrum accumulation requires an FFT-family backend"
+        );
+        let q = a0.modulus();
+        let n = a0.len();
+        assert_eq!(a1.modulus(), q, "component modulus mismatch");
+        assert_eq!(a1.len(), n, "component length mismatch");
+        for acc in [&*acc0, &*acc1] {
+            assert_eq!(acc.modulus(), q, "accumulator modulus mismatch");
+            assert_eq!(acc.len(), n, "accumulator length mismatch");
+        }
+        assert_eq!(fw.len(), n / 2, "spectrum length must be n/2");
+        accumulate_pair_fft(acc0, acc1, a0, a1, fw, fft, q);
+    }
+}
+
+/// The FFT-family ciphertext side of a fused multiply-accumulate: for
+/// each component, center-lift, forward-transform, point-wise multiply by
+/// the weight spectrum `fw`, inverse-transform, and accumulate mod `q`.
+/// All intermediates come from the thread-local scratch pools.
+fn accumulate_pair_fft(
+    acc0: &mut Poly,
+    acc1: &mut Poly,
+    a0: &Poly,
+    a1: &Poly,
+    fw: &[C64],
+    fft: &flash_fft::NegacyclicFft,
+    q: u64,
+) {
+    let n = a0.len();
+    let mut af = F64_SCRATCH.take(n);
+    let mut fa = C64_SCRATCH.take(n / 2);
+    let mut prod = F64_SCRATCH.take(n);
+    for (acc, a) in [(acc0, a0), (acc1, a1)] {
+        for (slot, &x) in af.iter_mut().zip(a.coeffs()) {
+            *slot = center_lift(x, q) as f64;
+        }
+        fft.forward_into(&af, &mut fa);
+        for (x, &y) in fa.iter_mut().zip(fw.iter()) {
+            *x *= y;
+        }
+        fft.inverse_into(&mut fa, &mut prod);
+        for (dst, &x) in acc.coeffs_mut().iter_mut().zip(prod.iter()) {
+            *dst = add_mod(*dst, from_signed_i128(x.round_ties_even() as i128, q), q);
         }
     }
 }
@@ -249,6 +340,43 @@ mod tests {
         let exact = PolyMulBackend::Ntt.mul_ct_pt(&a, &w, p.ntt(), p.fft());
         let approx = b.mul_ct_pt(&a, &w, p.ntt(), p.fft());
         assert_eq!(exact, approx);
+    }
+
+    #[test]
+    fn plan_path_matches_ntt_and_dense_fallback_is_bit_identical() {
+        use flash_sparse::SparsityPattern;
+        let p = HeParams::test_256();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let a0 = Poly::uniform(p.n, p.q, &mut rng);
+        let a1 = Poly::uniform(p.n, p.q, &mut rng);
+        let w = small_weights(p.n, 9, &mut rng);
+        let pattern = SparsityPattern::fold_from_poly(&w);
+        let plan = SparsePlan::compile(&pattern);
+        assert!(plan.worthwhile(), "9 nonzeros of 256 must be worthwhile");
+
+        let run = |b: &PolyMulBackend, plan: Option<&SparsePlan>| {
+            let mut c0 = Poly::zero(p.n, p.q);
+            let mut c1 = Poly::zero(p.n, p.q);
+            let used = b.mul_ct_pt_acc_plan(&mut c0, &mut c1, &a0, &a1, &w, p.ntt(), p.fft(), plan);
+            (c0, c1, used)
+        };
+
+        let (e0, e1, used_ntt) = run(&PolyMulBackend::Ntt, Some(&plan));
+        assert!(!used_ntt, "Ntt backend must ignore the plan");
+        let (s0, s1, used) = run(&PolyMulBackend::FftF64, Some(&plan));
+        assert!(used, "FFT backend must take the sparse tape");
+        assert_eq!((&e0, &e1), (&s0, &s1), "sparse path diverged from NTT");
+        let (d0, d1, used_dense) = run(&PolyMulBackend::FftF64, None);
+        assert!(!used_dense);
+        assert_eq!((&s0, &s1), (&d0, &d1), "fallback not bit-identical");
+
+        // Spectrum entry point: same result from a precomputed spectrum.
+        let mut fw = vec![flash_math::C64::ZERO; p.n / 2];
+        plan.execute_into(&w, &mut fw);
+        let mut c0 = Poly::zero(p.n, p.q);
+        let mut c1 = Poly::zero(p.n, p.q);
+        PolyMulBackend::FftF64.mul_ct_pt_acc_spectrum(&mut c0, &mut c1, &a0, &a1, &fw, p.fft());
+        assert_eq!((&c0, &c1), (&s0, &s1), "spectrum path diverged");
     }
 
     #[test]

@@ -103,6 +103,14 @@ impl<K: Ord + Clone, V> Interner<K, V> {
         found
     }
 
+    /// Folds an accumulator over every interned value (for aggregate
+    /// cache metrics such as total bytes held). The map lock is held for
+    /// the duration, so `f` must be cheap.
+    pub fn fold_values<A>(&self, init: A, mut f: impl FnMut(A, &V) -> A) -> A {
+        let map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        map.values().fold(init, |acc, v| f(acc, v))
+    }
+
     /// Number of interned entries.
     pub fn len(&self) -> usize {
         self.map.lock().unwrap_or_else(|e| e.into_inner()).len()

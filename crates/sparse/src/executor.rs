@@ -5,6 +5,15 @@
 //! skipping/merging dataflow can be validated bit-for-bit (in `f64`)
 //! against the dense transform: the optimizations are exact rewrites, not
 //! approximations.
+//!
+//! **Hot paths should not call this executor.** It re-derives the
+//! skip/merge structure (branching on node states) on every invocation,
+//! which is the right shape for validating the rewrite but not for
+//! running it. When the sparsity pattern is known ahead of time — the
+//! protocol weight transforms, where Cheetah encoding fixes one pattern
+//! per layer — compile it once with [`crate::plan::SparsePlan`] and
+//! execute the flat µop tape instead: same math, interned per pattern,
+//! branch-predictable, and zero-alloc at steady state.
 
 use flash_fft::C64_SCRATCH;
 use flash_math::bitrev::log2_exact;

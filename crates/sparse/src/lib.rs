@@ -24,6 +24,8 @@
 //!   polynomials into the half-size FFT domain.
 //! * [`symbolic`] — the multiplication-counting analysis.
 //! * [`executor`] — a functional sparse FFT executor.
+//! * [`plan`] — the same dataflow compiled to a flat µop tape, interned
+//!   per pattern; the form the protocol hot path executes.
 //! * [`schedule`] — mapping counted operations onto butterfly units
 //!   (cycle model for the accelerator).
 //!
@@ -45,8 +47,10 @@
 pub mod executor;
 pub mod pattern;
 pub mod pipeline;
+pub mod plan;
 pub mod schedule;
 pub mod symbolic;
 
 pub use pattern::SparsityPattern;
+pub use plan::SparsePlan;
 pub use symbolic::{analyze, analyze_cached, DataflowCounts};

@@ -120,6 +120,20 @@ impl SparsityPattern {
             .filter_map(|(i, &b)| b.then_some(i))
             .collect()
     }
+
+    /// Canonical digest of the pattern: the mask packed into 64-bit words
+    /// plus the exact length. Two patterns share a digest iff their masks
+    /// are identical, which makes this the cache key of both the symbolic
+    /// analysis memo and the compiled-plan interner.
+    pub fn packed_words(&self) -> (usize, Vec<u64>) {
+        let mut words = vec![0u64; self.mask.len().div_ceil(64)];
+        for (i, &live) in self.mask.iter().enumerate() {
+            if live {
+                words[i / 64] |= 1 << (i % 64);
+            }
+        }
+        (self.mask.len(), words)
+    }
 }
 
 /// Builds the Cheetah-style weight pattern used throughout the paper's

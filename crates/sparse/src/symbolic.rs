@@ -108,21 +108,10 @@ pub fn analyze(pattern_bitrev: &SparsityPattern) -> DataflowCounts {
     analyze_inner(pattern_bitrev).0
 }
 
-/// Canonical digest of a sparsity pattern: the mask packed into 64-bit
-/// words plus the exact length (two patterns share a key iff their masks
-/// are identical).
+/// Canonical digest of a sparsity pattern (see
+/// [`SparsityPattern::packed_words`]): two patterns share a key iff their
+/// masks are identical.
 type PatternKey = (usize, Vec<u64>);
-
-fn pattern_key(pattern: &SparsityPattern) -> PatternKey {
-    let mask = pattern.mask();
-    let mut words = vec![0u64; mask.len().div_ceil(64)];
-    for (i, &live) in mask.iter().enumerate() {
-        if live {
-            words[i / 64] |= 1 << (i % 64);
-        }
-    }
-    (mask.len(), words)
-}
 
 /// Process-wide memo of symbolic analyses, keyed by the pattern digest.
 static ANALYSIS_CACHE: Interner<PatternKey, (DataflowCounts, StageProfile)> = Interner::new();
@@ -138,7 +127,7 @@ static ANALYSIS_CACHE: Interner<PatternKey, (DataflowCounts, StageProfile)> = In
 ///
 /// Panics if the pattern length is not a power of two ≥ 2.
 pub fn analyze_cached(pattern_bitrev: &SparsityPattern) -> Arc<(DataflowCounts, StageProfile)> {
-    ANALYSIS_CACHE.intern_with(pattern_key(pattern_bitrev), |_| {
+    ANALYSIS_CACHE.intern_with(pattern_bitrev.packed_words(), |_| {
         analyze_inner(pattern_bitrev)
     })
 }

@@ -1,0 +1,160 @@
+//! Property-based tests for the compiled µop-tape plans: across random
+//! sparsity patterns, transform sizes, and batch widths, the tape's
+//! output matches the dense `NegacyclicFft` (and, where its accuracy
+//! admits, `FixedNegacyclicFft`) forward transform — including the
+//! all-dense and single-nonzero corner cases.
+
+use flash_fft::fixed_fft::FixedNegacyclicFft;
+use flash_fft::{ApproxFftConfig, NegacyclicFft};
+use flash_math::fixed::FxpFormat;
+use flash_math::C64;
+use flash_sparse::{SparsePlan, SparsityPattern};
+use proptest::prelude::*;
+
+fn pattern(log_m: u32, seed: u64, density_pct: usize) -> SparsityPattern {
+    let m = 1usize << log_m;
+    let mask: Vec<bool> = (0..m)
+        .map(|i| {
+            ((i as u64).wrapping_mul(seed | 1).wrapping_add(seed >> 7)) % 100 < density_pct as u64
+        })
+        .collect();
+    SparsityPattern::from_mask(mask)
+}
+
+/// Deterministic small signed weights supported on `p` (a live slot may
+/// populate either or both of its folded coefficient pair).
+fn weights(p: &SparsityPattern, seed: u64) -> Vec<i64> {
+    let m = p.len();
+    let mut w = vec![0i64; 2 * m];
+    for (j, &live) in p.mask().iter().enumerate() {
+        if live {
+            let h = (j as u64).wrapping_mul(seed | 1).wrapping_add(seed >> 9);
+            if !h.is_multiple_of(3) {
+                w[j] = (h % 15) as i64 - 7;
+            }
+            if h % 3 != 1 {
+                w[j + m] = ((h >> 8) % 15) as i64 - 7;
+            }
+        }
+    }
+    w
+}
+
+fn max_err(a: &[C64], b: &[C64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (*x - *y).abs())
+        .fold(0.0, f64::max)
+}
+
+fn assert_matches_dense(p: &SparsityPattern, seed: u64) {
+    let m = p.len();
+    let w = weights(p, seed);
+    let wf: Vec<f64> = w.iter().map(|&x| x as f64).collect();
+    let want = NegacyclicFft::new(2 * m).forward(&wf);
+    let plan = SparsePlan::compile(p);
+    let mut got = vec![C64::ZERO; m];
+    plan.execute_into(&w, &mut got);
+    let scale = want.iter().map(|c| c.abs()).fold(1.0, f64::max);
+    prop_assert!(
+        max_err(&got, &want) < 1e-9 * scale,
+        "tape diverged from NegacyclicFft at m={m}"
+    );
+    // The f64 entry point must agree exactly with the i64 one on
+    // integer-valued inputs (identical arithmetic).
+    let mut got_f = vec![C64::ZERO; m];
+    plan.execute_f64_into(&wf, &mut got_f);
+    prop_assert_eq!(&got[..], &got_f[..]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tape_matches_dense_fft(
+        log_m in 2u32..9,
+        seed in any::<u64>(),
+        density in 1usize..100,
+    ) {
+        assert_matches_dense(&pattern(log_m, seed, density), seed);
+    }
+
+    #[test]
+    fn all_dense_corner_matches(log_m in 2u32..9, seed in any::<u64>()) {
+        assert_matches_dense(&SparsityPattern::dense(1usize << log_m), seed);
+    }
+
+    #[test]
+    fn single_nonzero_corner_matches(log_m in 2u32..9, seed in any::<u64>()) {
+        let m = 1usize << log_m;
+        let p = SparsityPattern::from_indices(m, [(seed as usize) % m]);
+        assert_matches_dense(&p, seed | 1);
+        // Merging collapses an isolated value to at most one mult per
+        // output chain; far fewer than dense.
+        let plan = SparsePlan::compile(&p);
+        prop_assert!(plan.muls() <= m as u64);
+    }
+
+    #[test]
+    fn batch_lanes_match_single_executions(
+        log_m in 2u32..8,
+        seed in any::<u64>(),
+        density in 1usize..80,
+        batch in 1usize..6,
+    ) {
+        let p = pattern(log_m, seed, density);
+        let m = p.len();
+        let plan = SparsePlan::compile(&p);
+        let ws: Vec<Vec<i64>> =
+            (0..batch).map(|i| weights(&p, seed.wrapping_add(i as u64 * 131))).collect();
+        let mut batched = vec![C64::ZERO; batch * m];
+        plan.execute_batch_into(ws.iter().map(|w| w.as_slice()), &mut batched);
+        for (i, w) in ws.iter().enumerate() {
+            let mut single = vec![C64::ZERO; m];
+            plan.execute_into(w, &mut single);
+            prop_assert_eq!(&batched[i * m..][..m], &single[..], "lane {}", i);
+        }
+    }
+
+    #[test]
+    fn tape_matches_wide_fixed_point_fft(
+        log_m in 3u32..8,
+        seed in any::<u64>(),
+        density in 1usize..60,
+    ) {
+        // A wide fixed-point datapath (the regime FLASH operates the
+        // approximate weight transform in) agrees with the exact tape to
+        // within its quantization error.
+        let p = pattern(log_m, seed, density);
+        let m = p.len();
+        let n = 2 * m;
+        let mut cfg = ApproxFftConfig::uniform(n, FxpFormat::new(20, 60), 60);
+        cfg.max_shift = 55;
+        let fixed = FixedNegacyclicFft::shared(&cfg);
+        let w = weights(&p, seed);
+        let mut fixed_out = vec![C64::ZERO; m];
+        let _ = fixed.forward_into(&w, &mut fixed_out);
+        let plan = SparsePlan::compile(&p);
+        let mut got = vec![C64::ZERO; m];
+        plan.execute_into(&w, &mut got);
+        let scale = fixed_out.iter().map(|c| c.abs()).fold(1.0, f64::max);
+        prop_assert!(
+            max_err(&got, &fixed_out) < 1e-6 * scale,
+            "tape diverged from wide FixedNegacyclicFft at m={}", m
+        );
+    }
+
+    #[test]
+    fn interned_plans_dedupe_and_count_muls_below_dense(
+        log_m in 2u32..9,
+        seed in any::<u64>(),
+        density in 0usize..100,
+    ) {
+        let p = pattern(log_m, seed, density);
+        let a = SparsePlan::shared(&p);
+        let b = SparsePlan::shared(&p);
+        prop_assert!(std::sync::Arc::ptr_eq(&a, &b));
+        prop_assert!(a.muls() <= a.dense_muls());
+        prop_assert!(a.tape_bytes() >= a.tape_len());
+    }
+}

@@ -7,10 +7,13 @@
 //! convolution.
 
 use crate::shares::ShareRing;
+use flash_fft::C64_SCRATCH;
 use flash_he::encoding::{ConvEncoder, ConvShape};
 use flash_he::{Ciphertext, HeParams, Poly, PolyMulBackend, SecretKey};
+use flash_sparse::{SparsePlan, SparsityPattern};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// Communication and workload accounting of one protocol run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -25,6 +28,9 @@ pub struct ProtocolStats {
     pub ciphertexts_down: usize,
     /// Forward transforms of *weight* polynomials (the FLASH target).
     pub weight_transforms: usize,
+    /// How many of those weight transforms ran on a compiled sparse µop
+    /// tape instead of the dense butterfly network.
+    pub sparse_weight_transforms: usize,
     /// Forward transforms of activation (ciphertext) polynomials — two
     /// per uploaded ciphertext (`c0` and `c1`).
     pub activation_transforms: usize,
@@ -53,6 +59,9 @@ pub struct ConvProtocol {
     /// Response truncation `(d0, d1)` bits, if enabled (Cheetah's
     /// download compression).
     truncation: Option<(u32, u32)>,
+    /// Route weight transforms through compiled sparse plans when the
+    /// encoding's pattern makes it worthwhile (FLASH's sparse dataflow).
+    sparse_weights: bool,
 }
 
 impl ConvProtocol {
@@ -72,6 +81,7 @@ impl ConvProtocol {
             encoder,
             backend,
             truncation: None,
+            sparse_weights: true,
         }
     }
 
@@ -82,6 +92,37 @@ impl ConvProtocol {
     pub fn with_truncation(mut self, d0: u32, d1: u32) -> Self {
         self.truncation = Some((d0, d1));
         self
+    }
+
+    /// Enables or disables the compiled sparse weight-transform path
+    /// (on by default). With `false` every weight transform runs densely;
+    /// outputs are identical either way — the switch exists for A/B
+    /// benchmarking and regression bisection.
+    pub fn with_sparse_weights(mut self, enabled: bool) -> Self {
+        self.sparse_weights = enabled;
+        self
+    }
+
+    /// Resolves the compiled weight-transform plan for band `b`, or
+    /// `None` when the dense path should run: sparse path disabled, NTT
+    /// backend (modular spectra, not FFT), or a pattern too dense to win
+    /// ([`SparsePlan::worthwhile`]).
+    ///
+    /// The pattern comes from [`ConvEncoder::weight_indices`] — purely
+    /// structural, shared by every output channel and kernel placement of
+    /// the layer — folded into the `n/2`-slot negacyclic FFT domain, so
+    /// all `(oc, group)` jobs of a band share one interned tape.
+    fn band_plan(&self, b: usize) -> Option<Arc<SparsePlan>> {
+        if !self.sparse_weights || matches!(self.backend, PolyMulBackend::Ntt) {
+            return None;
+        }
+        let half = self.params.n / 2;
+        let mut mask = vec![false; half];
+        for idx in self.encoder.weight_indices(b) {
+            mask[idx % half] = true;
+        }
+        let plan = SparsePlan::shared(&SparsityPattern::from_mask(mask));
+        plan.worthwhile().then_some(plan)
     }
 
     /// The share ring `Z_{2^l}`.
@@ -159,6 +200,13 @@ impl ConvProtocol {
         // worker count.
         let mask_seeds: Vec<u64> = (0..shape.m * bands).map(|_| rng.next_u64()).collect();
 
+        // Compiled weight-transform plans, one per band (plans are
+        // structural, so every output channel shares them). Resolved
+        // before the fan-out: plan compilation is deterministic and the
+        // interner serves all workers the same `Arc`.
+        let band_plans: Vec<Option<Arc<SparsePlan>>> =
+            (0..bands).map(|b| self.band_plan(b)).collect();
+
         // --- Server fan-out: each output channel transforms its weights
         // and runs the per-band multiply/accumulate/mask independently.
         let per_oc = flash_runtime::parallel_gen(shape.m, |oc| {
@@ -173,15 +221,39 @@ impl ConvProtocol {
                     // one weight transform per channel group, no
                     // intermediate ciphertexts.
                     let mut acc = Ciphertext::zero(p.n, p.q);
-                    for (g, w_poly) in w_polys.iter().enumerate() {
-                        cts_sum[g * bands + b].mul_plain_signed_acc(
-                            &w_poly[b],
-                            p,
-                            &self.backend,
-                            &mut acc,
+                    if let Some(plan) = &band_plans[b] {
+                        // Sparse fast path: one µop tape transforms every
+                        // group's weight polynomial for this band in one
+                        // batched sweep, then the spectra feed the fused
+                        // ciphertext-side accumulate.
+                        let m_half = p.n / 2;
+                        let mut spectra = C64_SCRATCH.take(w_polys.len() * m_half);
+                        plan.execute_batch_into(
+                            w_polys.iter().map(|w_poly| w_poly[b].as_slice()),
+                            &mut spectra,
                         );
-                        band_stats.weight_transforms += 1;
-                        band_stats.pointwise_muls += 2 * half_spectrum;
+                        for (g, fw) in spectra.chunks_exact(m_half).enumerate() {
+                            cts_sum[g * bands + b].mul_plain_spectrum_acc(
+                                fw,
+                                p,
+                                &self.backend,
+                                &mut acc,
+                            );
+                            band_stats.weight_transforms += 1;
+                            band_stats.sparse_weight_transforms += 1;
+                            band_stats.pointwise_muls += 2 * half_spectrum;
+                        }
+                    } else {
+                        for (g, w_poly) in w_polys.iter().enumerate() {
+                            cts_sum[g * bands + b].mul_plain_signed_acc(
+                                &w_poly[b],
+                                p,
+                                &self.backend,
+                                &mut acc,
+                            );
+                            band_stats.weight_transforms += 1;
+                            band_stats.pointwise_muls += 2 * half_spectrum;
+                        }
                     }
                     // Fresh random mask: the server's output share.
                     let mut mask_rng = StdRng::seed_from_u64(mask_seeds[oc * bands + b]);
@@ -217,6 +289,7 @@ impl ConvProtocol {
         for (oc, oc_results) in per_oc.into_iter().enumerate() {
             for (b, server_share, masked, band_stats) in oc_results {
                 stats.weight_transforms += band_stats.weight_transforms;
+                stats.sparse_weight_transforms += band_stats.sparse_weight_transforms;
                 stats.pointwise_muls += band_stats.pointwise_muls;
                 stats.inverse_transforms += band_stats.inverse_transforms;
                 stats.download_bytes += band_stats.download_bytes;
@@ -375,6 +448,73 @@ mod tests {
         );
         cfg.max_shift = 30;
         run_case(shape, params, PolyMulBackend::approx(cfg), 5);
+    }
+
+    #[test]
+    fn sparse_and_dense_paths_produce_identical_shares() {
+        // The acceptance bar for the compiled tape: with the same seed,
+        // the protocol's outputs (both shares, not just the reconstructed
+        // result) are bit-identical whether weight transforms run on the
+        // sparse tape or the dense FFT.
+        let shape = ConvShape {
+            c: 2,
+            h: 6,
+            w: 6,
+            m: 2,
+            k: 3,
+        };
+        let params = HeParams::test_256();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let sk = SecretKey::generate(&params, &mut rng);
+        let x: Vec<i64> = (0..shape.input_len())
+            .map(|i| ((i as i64 * 5) % 15) - 7)
+            .collect();
+        let w: Vec<i64> = (0..shape.m * shape.kernel_len())
+            .map(|i| ((i as i64 * 3) % 15) - 7)
+            .collect();
+
+        let sparse = ConvProtocol::new(params.clone(), shape, PolyMulBackend::FftF64);
+        let dense =
+            ConvProtocol::new(params, shape, PolyMulBackend::FftF64).with_sparse_weights(false);
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(9);
+        let (shares_s, stats_s) = sparse.run(&sk, &x, &w, &mut r1);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(9);
+        let (shares_d, stats_d) = dense.run(&sk, &x, &w, &mut r2);
+
+        assert_eq!(shares_s, shares_d, "sparse path changed protocol output");
+        assert_eq!(
+            stats_s.sparse_weight_transforms, stats_s.weight_transforms,
+            "every weight transform should have taken the tape"
+        );
+        assert!(stats_s.sparse_weight_transforms > 0);
+        assert_eq!(stats_d.sparse_weight_transforms, 0);
+        assert_eq!(
+            sparse.reconstruct(&shares_s),
+            expected_conv_mod(&x, &w, &shape, sparse.ring())
+        );
+    }
+
+    #[test]
+    fn ntt_backend_never_takes_the_sparse_path() {
+        let shape = ConvShape {
+            c: 1,
+            h: 5,
+            w: 5,
+            m: 1,
+            k: 3,
+        };
+        let params = HeParams::test_256();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(29);
+        let sk = SecretKey::generate(&params, &mut rng);
+        let proto = ConvProtocol::new(params, shape, PolyMulBackend::Ntt);
+        let x = vec![1i64; shape.input_len()];
+        let w = vec![2i64; shape.m * shape.kernel_len()];
+        let (shares, stats) = proto.run(&sk, &x, &w, &mut rng);
+        assert_eq!(stats.sparse_weight_transforms, 0);
+        assert_eq!(
+            proto.reconstruct(&shares),
+            expected_conv_mod(&x, &w, &shape, proto.ring())
+        );
     }
 
     #[test]

@@ -19,7 +19,13 @@ cargo build --release
 echo "==> cargo test (tier-1)"
 cargo test --workspace -q
 
-echo "==> bench_perf --quick (hot-path smoke)"
+# Regression gate runs before the smoke bench: the smoke bench rewrites
+# the BENCH_*.json artifacts, and the gate must compare against the
+# *committed* baselines, not ones freshly produced by this run.
+echo "==> bench_perf --check-regression (vs committed BENCH_*.json)"
+cargo run --release -p flash-bench --bin bench_perf -- --check-regression
+
+echo "==> bench_perf --quick (hot-path + sparse smoke)"
 cargo run --release -p flash-bench --bin bench_perf -- --quick
 
 echo "==> all checks passed"
