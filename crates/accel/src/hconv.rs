@@ -71,6 +71,7 @@ impl FlashHconv {
         weights: &[i64],
         rng: &mut R,
     ) -> (Vec<i64>, ProtocolStats) {
+        let _t = flash_telemetry::span!("hconv.layer");
         assert_eq!(x.len(), spec.c * spec.h * spec.w, "input size mismatch");
         let xp = pad_input(x, spec.c, spec.h, spec.w, spec.pad);
         let (hp, wp) = (spec.h + 2 * spec.pad, spec.w + 2 * spec.pad);

@@ -86,6 +86,7 @@ const CHIP_OVERHEAD: f64 = 1.25;
 
 /// Runs the performance model over every conv layer of a network.
 pub fn run_network(net: &Network, cfg: &FlashConfig) -> NetworkRun {
+    let _t = flash_telemetry::span!("model.run_network");
     let model = CostModel::cmos28();
     let flash_point = DesignPoint {
         label: "FLASH",

@@ -39,12 +39,20 @@ fn network_model_and_hconv_are_worker_count_invariant() {
     let net = resnet18_conv_layers();
 
     // --- Analytic model: run_network + ablation_energy.
-    flash_runtime::set_threads(1);
-    let run_seq = run_summary(&run_network(&net, &cfg));
-    let abl_seq = ablation_energy(&net, &cfg);
-    flash_runtime::set_threads(8);
-    let run_par = run_summary(&run_network(&net, &cfg));
-    let abl_par = ablation_energy(&net, &cfg);
+    let (run_seq, abl_seq) = {
+        let _guard = flash_runtime::ThreadOverrideGuard::set(1);
+        (
+            run_summary(&run_network(&net, &cfg)),
+            ablation_energy(&net, &cfg),
+        )
+    };
+    let (run_par, abl_par) = {
+        let _guard = flash_runtime::ThreadOverrideGuard::set(8);
+        (
+            run_summary(&run_network(&net, &cfg)),
+            ablation_energy(&net, &cfg),
+        )
+    };
     assert_eq!(run_seq, run_par, "run_network must not depend on workers");
     assert_eq!(abl_seq.len(), abl_par.len());
     for (a, b) in abl_seq.iter().zip(&abl_par) {
@@ -80,7 +88,7 @@ fn network_model_and_hconv_are_worker_count_invariant() {
     for spec in &layers {
         let mut results = Vec::new();
         for threads in [1usize, 8] {
-            flash_runtime::set_threads(threads);
+            let _guard = flash_runtime::ThreadOverrideGuard::set(threads);
             let engine = FlashHconv::new(small.clone());
             let mut rng = StdRng::seed_from_u64(7);
             let sk = SecretKey::generate(&small.he, &mut rng);
@@ -95,5 +103,4 @@ fn network_model_and_hconv_are_worker_count_invariant() {
             spec.name
         );
     }
-    flash_runtime::set_threads(0);
 }

@@ -21,6 +21,13 @@
 //! and sparse-path HConv medians and fails (exit 1) if either is more
 //! than 15 % slower than the committed `BENCH_hotpath.json` /
 //! `BENCH_sparse.json` baselines.
+//!
+//! Every artifact embeds a `"telemetry"` section — the unified
+//! `flash_telemetry::snapshot()` tree of per-stage span histograms
+//! (non-zero only when built with `--features telemetry`), protocol
+//! counters, and the plan-cache/scratch-pool statistics. `--stages`
+//! runs the warm single-thread HConv layer alone and prints the
+//! per-stage latency table.
 
 use flash_accel::config::FlashConfig;
 use flash_accel::hconv::FlashHconv;
@@ -38,6 +45,23 @@ use flash_sparse::{SparsePlan, SparsityPattern};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
+
+/// Runs `f` repeatedly for at least `ms` milliseconds (and at least
+/// `min_reps` times, capped at 4096). Sub-millisecond benches sample so
+/// briefly that a CPU still climbing out of its idle frequency state
+/// poisons every rep; burning a fixed wall-clock budget first keeps the
+/// timed region in steady state.
+fn warm_up(ms: u64, min_reps: usize, mut f: impl FnMut()) {
+    let t = Instant::now();
+    let mut n = 0usize;
+    while n < min_reps || (t.elapsed().as_millis() as u64) < ms {
+        f();
+        n += 1;
+        if n >= 4096 {
+            break;
+        }
+    }
+}
 
 /// Median wall-clock milliseconds of `reps` runs of `f`.
 fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
@@ -169,7 +193,9 @@ impl HconvFixture {
     /// Warm-cache single-thread median of `engine` on the fixture layer.
     fn median(&self, engine: &FlashHconv, reps: usize) -> f64 {
         let mut wrng = StdRng::seed_from_u64(5);
-        let _ = engine.run_layer(&self.sk, &self.spec, &self.x, &self.w, &mut wrng);
+        warm_up(200, 3, || {
+            let _ = engine.run_layer(&self.sk, &self.spec, &self.x, &self.w, &mut wrng);
+        });
         let mut lrng = StdRng::seed_from_u64(5);
         median_ms(reps, || {
             let _ = engine.run_layer(&self.sk, &self.spec, &self.x, &self.w, &mut lrng);
@@ -289,6 +315,9 @@ fn sparse_bench(fixture: &HconvFixture, host: usize, rev: &str) -> String {
 
     // --- End-to-end: the hot-path HConv layer with the sparse weight
     // path on vs off (identical outputs, same protocol, same seeds).
+    // Fresh telemetry window so the embedded stage breakdown covers the
+    // sparse-vs-dense comparison, not the preceding kernel loops.
+    flash_telemetry::reset();
     let sparse_engine = FlashHconv::new(fixture.cfg.clone());
     let dense_engine = FlashHconv::new(fixture.cfg.clone()).with_sparse_weights(false);
     let hconv_sparse = fixture.median(&sparse_engine, 5);
@@ -371,7 +400,12 @@ fn sparse_bench(fixture: &HconvFixture, host: usize, rev: &str) -> String {
         "    \"hit_rate\": {:.4}\n",
         hit_rate(metrics.stats)
     ));
-    json.push_str("  }\n}\n");
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"telemetry\": {}\n",
+        flash_telemetry::snapshot().to_json(2)
+    ));
+    json.push_str("}\n");
     json
 }
 
@@ -384,10 +418,81 @@ fn hit_rate(s: flash_runtime::CacheStats) -> f64 {
     }
 }
 
+/// Prints the per-stage latency table of a [`flash_telemetry`] snapshot
+/// (plus cache/pool hit rates), as shown by `--stages`.
+fn print_stage_table(snap: &flash_telemetry::Snapshot) {
+    if !snap.enabled {
+        println!("note: built without `--features telemetry`; stage timings are all zero");
+    }
+    println!(
+        "{:28} {:>7} {:>11} {:>10} {:>10} {:>10} {:>10}",
+        "stage", "count", "total_ms", "mean_us", "p50_us", "p99_us", "max_us"
+    );
+    for (name, h) in &snap.spans {
+        println!(
+            "{name:28} {:>7} {:>11.3} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+            h.count,
+            h.total_ns as f64 / 1e6,
+            h.mean_ns() as f64 / 1e3,
+            h.p50_ns as f64 / 1e3,
+            h.p99_ns as f64 / 1e3,
+            h.max_ns as f64 / 1e3,
+        );
+    }
+    for c in &snap.caches {
+        println!(
+            "cache {:22} {:>7} hits {:>7} misses",
+            c.name, c.hits, c.misses
+        );
+    }
+    for p in &snap.pools {
+        println!(
+            "pool  {:22} {:>7} hits {:>7} misses  hit_rate {:.4}",
+            p.name, p.hits, p.misses, p.hit_rate
+        );
+    }
+}
+
+/// `--stages`: run the warm single-thread HConv layer a few times with a
+/// clean telemetry window and print the per-stage breakdown.
+fn stage_report() {
+    banner("Per-stage breakdown: warm single-thread HConv layer");
+    flash_runtime::set_threads(1);
+    let fixture = HconvFixture::new();
+    let engine = FlashHconv::new(fixture.cfg.clone());
+    let mut wrng = StdRng::seed_from_u64(5);
+    warm_up(200, 3, || {
+        let _ = engine.run_layer(
+            &fixture.sk,
+            &fixture.spec,
+            &fixture.x,
+            &fixture.w,
+            &mut wrng,
+        );
+    });
+    flash_telemetry::reset();
+    let mut lrng = StdRng::seed_from_u64(5);
+    for _ in 0..5 {
+        let _ = engine.run_layer(
+            &fixture.sk,
+            &fixture.spec,
+            &fixture.x,
+            &fixture.w,
+            &mut lrng,
+        );
+    }
+    flash_runtime::set_threads(0);
+    print_stage_table(&flash_telemetry::snapshot());
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     if std::env::args().any(|a| a == "--check-regression") {
         std::process::exit(check_regression());
+    }
+    if std::env::args().any(|a| a == "--stages") {
+        stage_report();
+        return;
     }
     banner("Runtime benchmark: parallel hot paths + plan cache");
     let host = std::thread::available_parallelism()
@@ -427,18 +532,23 @@ fn main() {
         // Warm up: populate scratch pools and transform-plan caches so
         // the timed region measures the steady state the pools exist for.
         let mut wrng = StdRng::seed_from_u64(5);
-        let _ = engine.run_layer(
-            &fixture.sk,
-            &fixture.spec,
-            &fixture.x,
-            &fixture.w,
-            &mut wrng,
-        );
+        warm_up(200, 3, || {
+            let _ = engine.run_layer(
+                &fixture.sk,
+                &fixture.spec,
+                &fixture.x,
+                &fixture.w,
+                &mut wrng,
+            );
+        });
     }
     flash_runtime::U64_SCRATCH.reset_stats();
     flash_runtime::F64_SCRATCH.reset_stats();
     flash_runtime::I128_SCRATCH.reset_stats();
     flash_fft::C64_SCRATCH.reset_stats();
+    // Clean telemetry window: the embedded stage breakdown covers only
+    // the timed hot-path runs, not the warm-up.
+    flash_telemetry::reset();
     let hot = {
         let mut lrng = StdRng::seed_from_u64(5);
         median_ms(5, || {
@@ -473,7 +583,12 @@ fn main() {
         pool_stats_json("c64", flash_fft::C64_SCRATCH.stats()),
     ];
     hot_json.push_str(&pools.join(",\n"));
-    hot_json.push_str("\n  }\n}\n");
+    hot_json.push_str("\n  },\n");
+    hot_json.push_str(&format!(
+        "  \"telemetry\": {}\n",
+        flash_telemetry::snapshot().to_json(2)
+    ));
+    hot_json.push_str("}\n");
     std::fs::write("BENCH_hotpath.json", &hot_json).expect("write BENCH_hotpath.json");
     println!("wrote BENCH_hotpath.json");
 
@@ -604,7 +719,12 @@ fn main() {
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"telemetry\": {}\n",
+        flash_telemetry::snapshot().to_json(2)
+    ));
+    json.push_str("}\n");
     std::fs::write("BENCH_runtime.json", &json).expect("write BENCH_runtime.json");
     println!("\nwrote BENCH_runtime.json");
 }

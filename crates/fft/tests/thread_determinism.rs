@@ -14,14 +14,17 @@ fn monte_carlo_is_identical_for_any_worker_count() {
     let cfg = ApproxFftConfig::uniform(128, FxpFormat::new(16, 10), 8);
     let wl = ErrorWorkload::default();
 
-    flash_runtime::set_threads(1);
-    let mut rng = StdRng::seed_from_u64(42);
-    let seq = monte_carlo_error(&cfg, wl, 6, &mut rng);
+    let seq = {
+        let _guard = flash_runtime::ThreadOverrideGuard::set(1);
+        let mut rng = StdRng::seed_from_u64(42);
+        monte_carlo_error(&cfg, wl, 6, &mut rng)
+    };
 
-    flash_runtime::set_threads(8);
-    let mut rng = StdRng::seed_from_u64(42);
-    let par = monte_carlo_error(&cfg, wl, 6, &mut rng);
-    flash_runtime::set_threads(0);
+    let par = {
+        let _guard = flash_runtime::ThreadOverrideGuard::set(8);
+        let mut rng = StdRng::seed_from_u64(42);
+        monte_carlo_error(&cfg, wl, 6, &mut rng)
+    };
 
     assert_eq!(seq.samples, par.samples);
     assert_eq!(seq.variance.to_bits(), par.variance.to_bits());

@@ -142,14 +142,24 @@ impl PolyMulBackend {
             PolyMulBackend::Ntt => {
                 assert_eq!(ntt.modulus(), q, "NTT tables modulus mismatch");
                 let mut fw = U64_SCRATCH.take(n);
-                for (slot, &x) in fw.iter_mut().zip(w_signed) {
-                    *slot = from_signed(x, q);
+                {
+                    let _t = flash_telemetry::span!("hconv.weight_transform");
+                    for (slot, &x) in fw.iter_mut().zip(w_signed) {
+                        *slot = from_signed(x, q);
+                    }
+                    forward(&mut fw, ntt);
                 }
-                forward(&mut fw, ntt);
                 for (acc, a) in [(acc0, a0), (acc1, a1)] {
                     let mut fa = U64_SCRATCH.take_copied(a.coeffs());
-                    forward(&mut fa, ntt);
-                    pointwise_mul_assign(&mut fa, &fw, ntt);
+                    {
+                        let _t = flash_telemetry::span!("hconv.activation_fft");
+                        forward(&mut fa, ntt);
+                    }
+                    {
+                        let _t = flash_telemetry::span!("hconv.pointwise_acc");
+                        pointwise_mul_assign(&mut fa, &fw, ntt);
+                    }
+                    let _t = flash_telemetry::span!("hconv.inverse_fft");
                     inverse(&mut fa, ntt);
                     for (dst, &x) in acc.coeffs_mut().iter_mut().zip(fa.iter()) {
                         *dst = add_mod(*dst, x, q);
@@ -159,6 +169,7 @@ impl PolyMulBackend {
             PolyMulBackend::FftF64 => {
                 let mut fw = C64_SCRATCH.take(n / 2);
                 {
+                    let _t = flash_telemetry::span!("hconv.weight_transform");
                     let mut wf = F64_SCRATCH.take(n);
                     for (slot, &x) in wf.iter_mut().zip(w_signed) {
                         *slot = x as f64;
@@ -170,7 +181,10 @@ impl PolyMulBackend {
             PolyMulBackend::ApproxFft(fixed) => {
                 assert_eq!(fixed.config().degree(), n, "approx plan degree mismatch");
                 let mut fw = C64_SCRATCH.take(n / 2);
-                let _ = fixed.forward_into(w_signed, &mut fw);
+                {
+                    let _t = flash_telemetry::span!("hconv.weight_transform");
+                    let _ = fixed.forward_into(w_signed, &mut fw);
+                }
                 accumulate_pair_fft(acc0, acc1, a0, a1, &fw, fft, q);
             }
         }
@@ -225,7 +239,10 @@ impl PolyMulBackend {
         }
         assert_eq!(n, w_signed.len(), "operand lengths must match");
         let mut fw = C64_SCRATCH.take(n / 2);
-        plan.execute_into(w_signed, &mut fw);
+        {
+            let _t = flash_telemetry::span!("hconv.weight_transform");
+            plan.execute_into(w_signed, &mut fw);
+        }
         accumulate_pair_fft(acc0, acc1, a0, a1, &fw, fft, q);
         true
     }
@@ -285,13 +302,20 @@ fn accumulate_pair_fft(
     let mut fa = C64_SCRATCH.take(n / 2);
     let mut prod = F64_SCRATCH.take(n);
     for (acc, a) in [(acc0, a0), (acc1, a1)] {
-        for (slot, &x) in af.iter_mut().zip(a.coeffs()) {
-            *slot = center_lift(x, q) as f64;
+        {
+            let _t = flash_telemetry::span!("hconv.activation_fft");
+            for (slot, &x) in af.iter_mut().zip(a.coeffs()) {
+                *slot = center_lift(x, q) as f64;
+            }
+            fft.forward_into(&af, &mut fa);
         }
-        fft.forward_into(&af, &mut fa);
-        for (x, &y) in fa.iter_mut().zip(fw.iter()) {
-            *x *= y;
+        {
+            let _t = flash_telemetry::span!("hconv.pointwise_acc");
+            for (x, &y) in fa.iter_mut().zip(fw.iter()) {
+                *x *= y;
+            }
         }
+        let _t = flash_telemetry::span!("hconv.inverse_fft");
         fft.inverse_into(&mut fa, &mut prod);
         for (dst, &x) in acc.coeffs_mut().iter_mut().zip(prod.iter()) {
             *dst = add_mod(*dst, from_signed_i128(x.round_ties_even() as i128, q), q);

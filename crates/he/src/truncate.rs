@@ -41,9 +41,16 @@ impl TruncatedCiphertext {
             if d == 0 {
                 return c;
             }
-            // nearest multiple of 2^d, wrapping mod q at the top
-            let half = 1u64 << (d - 1);
-            ((c.wrapping_add(half)) % params.q) >> d
+            // Nearest multiple of 2^d. The add runs in u128 so the
+            // rounding carry survives for coefficients near q, and the
+            // mask keeps exactly the q_bits - d wire bits (a carry past
+            // 2^{q_bits} wraps to 0, which the mod-q lift absorbs).
+            // The old `(c + half) % q >> d` wrapped near-q coefficients
+            // to 0 *before* the shift, breaking the nearest-multiple
+            // contract at the top of the range.
+            let half = 1u128 << (d - 1);
+            let mask = (1u64 << (q_bits - d)) - 1;
+            (((c as u128 + half) >> d) as u64) & mask
         };
         Self {
             c0_high: ct.c0().coeffs().iter().map(|&c| round(c, d0)).collect(),
@@ -55,9 +62,14 @@ impl TruncatedCiphertext {
 
     /// Reconstructs a (noisier) ciphertext on the client side.
     pub fn reconstruct(&self, params: &HeParams) -> Ciphertext {
+        // The lifted value `h << d` can exceed q (it is the nearest
+        // multiple of 2^d, which may sit just above q), so reduce in
+        // u128 rather than truncating.
         let lift = |high: &[u64], d: u32| -> Poly {
             Poly::from_coeffs(
-                high.iter().map(|&h| (h << d) % params.q).collect(),
+                high.iter()
+                    .map(|&h| (((h as u128) << d) % params.q as u128) as u64)
+                    .collect(),
                 params.q,
             )
         };
@@ -89,20 +101,35 @@ impl TruncatedCiphertext {
     }
 }
 
-/// Picks the largest `(d0, d1)` whose truncation noise stays below
-/// `margin` times the remaining noise budget `budget_abs`.
+/// Picks the largest `(d0, d1)` whose combined truncation noise — the
+/// exact [`TruncatedCiphertext::noise_bound`] expression
+/// `2^{d0-1} + 2^{d1-1}·N` — stays within `margin` times the remaining
+/// noise budget `budget_abs`. Half the target is reserved for each
+/// component, then `d1` grows into whatever `d0` left unused.
+///
+/// The previous version compared `2^{d1}·N/2 < target/2`: the spurious
+/// `/2` on both sides cancelled, and together with the post-loop
+/// decrement it left one admissible bit of `d1` (a factor-2× tighter
+/// truncation than the bound allows) on the table.
 pub fn safe_truncation(params: &HeParams, budget_abs: f64, margin: f64) -> (u32, u32) {
     let target = budget_abs * margin;
+    let q_bits = 64 - params.q.leading_zeros();
+    let max_d = 40.min(q_bits - 1);
+    // largest d0 with 2^{d0-1} <= target/2
     let mut d0 = 0u32;
-    while (2.0f64).powi(d0 as i32) < target && d0 < 40 {
+    while d0 < max_d && (2.0f64).powi(d0 as i32) <= target / 2.0 {
         d0 += 1;
     }
-    d0 = d0.saturating_sub(1);
+    let e0 = if d0 == 0 {
+        0.0
+    } else {
+        (2.0f64).powi(d0 as i32 - 1)
+    };
+    // largest d1 with e0 + 2^{d1-1}·N <= target
     let mut d1 = 0u32;
-    while (2.0f64).powi(d1 as i32) * params.n as f64 / 2.0 < target / 2.0 && d1 < 40 {
+    while d1 < max_d && e0 + (2.0f64).powi(d1 as i32) * params.n as f64 <= target {
         d1 += 1;
     }
-    d1 = d1.saturating_sub(1);
     (d0, d1)
 }
 
@@ -134,9 +161,16 @@ mod tests {
     fn safe_truncation_preserves_decryption_and_saves_bytes() {
         let (p, sk, m, ct) = setup();
         let budget = p.noise_ceiling() as f64 - sk.noise(&ct, &m).inf_norm() as f64;
-        let (d0, d1) = safe_truncation(&p, budget, 0.25);
+        let margin = 0.25;
+        let (d0, d1) = safe_truncation(&p, budget, margin);
         assert!(d0 > 4, "should find real savings: d0={d0}");
         let t = TruncatedCiphertext::truncate(&ct, d0, d1, &p);
+        assert!(
+            t.noise_bound(&p) <= budget * margin,
+            "chosen (d0,d1)=({d0},{d1}) exceeds the target: {} > {}",
+            t.noise_bound(&p),
+            budget * margin
+        );
         let back = t.reconstruct(&p);
         assert_eq!(sk.decrypt(&back), m, "d0={d0} d1={d1}");
         let saved = 1.0 - t.byte_size(&p) as f64 / ct.byte_size() as f64;
@@ -156,6 +190,44 @@ mod tests {
                 "d=({d0},{d1}): {after} > {before} + {}",
                 t.noise_bound(&p)
             );
+        }
+    }
+
+    #[test]
+    fn safe_truncation_admits_the_full_d1_bound() {
+        // The fixed predicate reasons about the combined noise bound
+        // directly; for the test parameters (target = 2^17, N = 256) the
+        // admissible pair is (17, 9) — the old predicate's spurious
+        // halving stopped at d1 = 8.
+        let p = HeParams::test_256();
+        let (d0, d1) = safe_truncation(&p, (1u64 << 19) as f64, 0.25);
+        assert_eq!((d0, d1), (17, 9));
+    }
+
+    #[test]
+    fn near_q_coefficients_round_to_nearest_multiple() {
+        // Regression for the rounding fix: coefficients in
+        // [q - 2^{d-1}, q) used to collapse to 0 — the `% q` wrap fired
+        // *before* the shift — instead of landing on the nearest
+        // multiple of 2^d reduced mod q. The old code fails this test.
+        let p = HeParams::test_256();
+        let d = 10u32;
+        let half = 1u64 << (d - 1);
+        for c in [p.q - half, p.q - half / 2, p.q - 1] {
+            let ct = Ciphertext::new(
+                Poly::from_coeffs(vec![c; p.n], p.q),
+                Poly::from_coeffs(vec![0; p.n], p.q),
+            );
+            let t = TruncatedCiphertext::truncate(&ct, d, 0, &p);
+            let back = t.reconstruct(&p);
+            let nearest = ((c as u128 + half as u128) >> d) << d;
+            let want = (nearest % p.q as u128) as u64;
+            let got = back.c0().coeffs()[0];
+            assert_eq!(got, want, "c={c}");
+            // and the centered reconstruction error stays within 2^{d-1}
+            let diff = (got as i128 - c as i128).rem_euclid(p.q as i128);
+            let err = diff.min(p.q as i128 - diff);
+            assert!(err <= half as i128, "c={c}: err={err}");
         }
     }
 

@@ -1,0 +1,81 @@
+//! Property-based tests for response-ciphertext truncation.
+//!
+//! The contracts under test: any `(d0, d1)` admitted by
+//! [`safe_truncation`] must leave decryption intact with a noise
+//! increase within [`TruncatedCiphertext::noise_bound`], and the
+//! per-coefficient rounding must land on the nearest multiple of `2^d`
+//! reduced mod q — including the near-q band, where the pre-fix code
+//! wrapped to zero before shifting.
+
+use flash_he::truncate::{safe_truncation, TruncatedCiphertext};
+use flash_he::{Ciphertext, HeParams, Poly, SecretKey};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn safe_truncations_roundtrip_within_noise_bound(
+        seed in any::<u64>(),
+        d0_frac in 0u32..=4,
+        d1_frac in 0u32..=4,
+    ) {
+        let p = HeParams::test_256();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let sk = SecretKey::generate(&p, &mut rng);
+        let m = Poly::uniform(p.n, p.t, &mut rng);
+        let ct = sk.encrypt(&m, &mut rng);
+        let before = sk.noise(&ct, &m).inf_norm() as f64;
+        let budget = p.noise_ceiling() as f64 - before;
+        prop_assume!(budget > 0.0);
+        // Any (d0, d1) at or below the safe pair (margin 0.5 leaves
+        // headroom for the pre-existing noise growth).
+        let (d0_max, d1_max) = safe_truncation(&p, budget, 0.5);
+        let d0 = d0_max * d0_frac / 4;
+        let d1 = d1_max * d1_frac / 4;
+
+        let t = TruncatedCiphertext::truncate(&ct, d0, d1, &p);
+        let back = t.reconstruct(&p);
+        prop_assert_eq!(sk.decrypt(&back), m, "d=({},{})", d0, d1);
+        let after = sk.noise(&back, &m).inf_norm() as f64;
+        prop_assert!(
+            after <= before + t.noise_bound(&p) + 1.0,
+            "noise delta exceeds bound at d=({},{}): {} > {} + {}",
+            d0, d1, after, before, t.noise_bound(&p)
+        );
+        if d0 > 0 || d1 > 0 {
+            prop_assert!(t.byte_size(&p) <= ct.byte_size());
+        }
+    }
+
+    #[test]
+    fn rounding_is_nearest_multiple_for_all_coefficients(
+        seed in any::<u64>(),
+        d in 1u32..=20,
+    ) {
+        // Synthetic c0 with uniform coefficients, plus the top of the
+        // range forced into the near-q band [q - 2^{d-1}, q) where the
+        // old `% q`-before-shift rounding collapsed to zero.
+        let p = HeParams::test_256();
+        let half = 1u64 << (d - 1);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut c0 = Poly::uniform(p.n, p.q, &mut rng).coeffs().to_vec();
+        for (i, slot) in c0.iter_mut().take(8).enumerate() {
+            *slot = p.q - 1 - (i as u64 * half) / 8;
+        }
+        let ct = Ciphertext::new(
+            Poly::from_coeffs(c0.clone(), p.q),
+            Poly::from_coeffs(vec![0u64; p.n], p.q),
+        );
+        let back = TruncatedCiphertext::truncate(&ct, d, 0, &p).reconstruct(&p);
+        for (&c, &got) in c0.iter().zip(back.c0().coeffs()) {
+            let nearest = ((c as u128 + half as u128) >> d) << d;
+            let want = (nearest % p.q as u128) as u64;
+            prop_assert_eq!(got, want, "d={} c={}", d, c);
+            let diff = (got as i128 - c as i128).rem_euclid(p.q as i128);
+            let err = diff.min(p.q as i128 - diff);
+            prop_assert!(err <= half as i128, "d={} c={}: err={}", d, c, err);
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Metric primitives: atomics-only counters, gauges and log2-bucket
+//! latency histograms.
+//!
+//! Every record operation is a handful of relaxed atomic
+//! read-modify-writes — no locks, no allocation — so metrics can sit on
+//! transform hot paths and inside parallel regions without perturbing
+//! what they measure. The registry hands out `&'static` references, so
+//! recording never touches the registry lock either.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Number of log2 buckets: covers every representable `u64` nanosecond
+/// value (bucket `i` holds `[2^i, 2^{i+1})`; 0 ns lands in bucket 0).
+pub(crate) const BUCKETS: usize = 64;
+
+/// A monotonically increasing event counter.
+#[derive(Debug)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub(crate) const fn new() -> Self {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds `n` events.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current count.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-writer-wins signed level (cache sizes, queue depths).
+#[derive(Debug)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    pub(crate) const fn new() -> Self {
+        Gauge {
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// Sets the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A latency histogram with fixed log2 buckets over nanoseconds.
+///
+/// Fixed bucket boundaries mean the record path is a shift plus four
+/// relaxed atomic operations — no allocation, no comparison ladder —
+/// at the cost of percentiles that are exact only to within their
+/// power-of-two bucket (reported as the bucket's geometric midpoint).
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+/// Point-in-time summary of one [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Recorded samples.
+    pub count: u64,
+    /// Sum of all samples in nanoseconds.
+    pub total_ns: u64,
+    /// Smallest sample (0 when empty).
+    pub min_ns: u64,
+    /// Largest sample (0 when empty).
+    pub max_ns: u64,
+    /// Estimated median (log2-bucket midpoint).
+    pub p50_ns: u64,
+    /// Estimated 90th percentile.
+    pub p90_ns: u64,
+    /// Estimated 99th percentile.
+    pub p99_ns: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+impl Histogram {
+    pub(crate) fn new() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Bucket index of a sample: `floor(log2(ns))`, with 0 mapping to
+    /// bucket 0.
+    #[inline]
+    fn bucket_of(ns: u64) -> usize {
+        (63 - ns.max(1).leading_zeros()) as usize
+    }
+
+    /// Records one latency sample.
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.min_ns.fetch_min(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+        self.buckets[Self::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time summary. Concurrent recording makes the fields
+    /// individually — not jointly — consistent, which is fine for
+    /// reporting.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let percentile = |p: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let rank = ((p * count as f64).ceil() as u64).clamp(1, count);
+            let mut cum = 0u64;
+            for (i, &c) in buckets.iter().enumerate() {
+                cum += c;
+                if cum >= rank {
+                    // geometric midpoint of [2^i, 2^{i+1})
+                    return (1u64 << i) + (1u64 << i) / 2;
+                }
+            }
+            0
+        };
+        let min = self.min_ns.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            total_ns: self.sum_ns.load(Ordering::Relaxed),
+            min_ns: if count == 0 { 0 } else { min },
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+            p50_ns: percentile(0.50),
+            p90_ns: percentile(0.90),
+            p99_ns: percentile(0.99),
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_ns.store(0, Ordering::Relaxed);
+        self.min_ns.store(u64::MAX, Ordering::Relaxed);
+        self.max_ns.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let c = Counter::new();
+        c.add(3);
+        c.add(4);
+        assert_eq!(c.get(), 7);
+        c.reset();
+        assert_eq!(c.get(), 0);
+        let g = Gauge::new();
+        g.set(-5);
+        assert_eq!(g.get(), -5);
+    }
+
+    #[test]
+    fn histogram_summary_statistics() {
+        let h = Histogram::new();
+        for ns in [100u64, 200, 400, 800, 100_000] {
+            h.record_ns(ns);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.total_ns, 101_500);
+        assert_eq!(s.min_ns, 100);
+        assert_eq!(s.max_ns, 100_000);
+        assert_eq!(s.mean_ns(), 20_300);
+        // p50 of {100,200,400,800,100000}: third sample (400) → the
+        // [256,512) bucket midpoint.
+        assert_eq!(s.p50_ns, 256 + 128);
+        // p99 rank 5 → the 100_000 sample's bucket [65536,131072).
+        assert_eq!(s.p99_ns, 65_536 + 32_768);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        let s = h.snapshot();
+        assert_eq!(
+            (s.count, s.total_ns, s.min_ns, s.max_ns, s.p50_ns),
+            (0, 0, 0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn zero_sample_lands_in_bucket_zero() {
+        let h = Histogram::new();
+        h.record_ns(0);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.min_ns, 0);
+        assert_eq!(s.p50_ns, 1); // bucket 0 midpoint estimate
+    }
+
+    #[test]
+    fn bucket_of_is_floor_log2() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 0);
+        assert_eq!(Histogram::bucket_of(2), 1);
+        assert_eq!(Histogram::bucket_of(1023), 9);
+        assert_eq!(Histogram::bucket_of(1024), 10);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 63);
+    }
+}

@@ -168,6 +168,7 @@ impl ConvProtocol {
 
         // --- Client: encode its share per tile and encrypt.
         let enc = &self.encoder;
+        let encode_span = flash_telemetry::span!("hconv.encode");
         let client_tiles = enc.encode_activation(&xc_signed);
         let cts: Vec<Ciphertext> = client_tiles
             .iter()
@@ -176,6 +177,7 @@ impl ConvProtocol {
                 sk.encrypt(&m, rng)
             })
             .collect();
+        drop(encode_span);
         stats.ciphertexts_up = cts.len();
         stats.upload_bytes = cts.iter().map(|c| c.byte_size()).sum();
 
@@ -228,10 +230,13 @@ impl ConvProtocol {
                         // ciphertext-side accumulate.
                         let m_half = p.n / 2;
                         let mut spectra = C64_SCRATCH.take(w_polys.len() * m_half);
-                        plan.execute_batch_into(
-                            w_polys.iter().map(|w_poly| w_poly[b].as_slice()),
-                            &mut spectra,
-                        );
+                        {
+                            let _t = flash_telemetry::span!("hconv.weight_transform");
+                            plan.execute_batch_into(
+                                w_polys.iter().map(|w_poly| w_poly[b].as_slice()),
+                                &mut spectra,
+                            );
+                        }
                         for (g, fw) in spectra.chunks_exact(m_half).enumerate() {
                             cts_sum[g * bands + b].mul_plain_spectrum_acc(
                                 fw,
@@ -275,6 +280,7 @@ impl ConvProtocol {
                             masked
                         }
                         Some((d0, d1)) => {
+                            let _t = flash_telemetry::span!("hconv.truncate_serialize");
                             let t = flash_he::truncate::TruncatedCiphertext::truncate(
                                 &masked, d0, d1, p,
                             );
@@ -302,6 +308,7 @@ impl ConvProtocol {
         // --- Client: decrypt and decode its share (independent per
         // response ciphertext; the merge stays sequential).
         let decoded = flash_runtime::parallel_map(&results, |(b, oc, ct)| {
+            let _t = flash_telemetry::span!("hconv.decrypt");
             let m = sk.decrypt(ct);
             let coeffs: Vec<i64> = m.coeffs().iter().map(|&v| v as i64).collect();
             let mut tmp = vec![0i64; out_len];
@@ -311,6 +318,21 @@ impl ConvProtocol {
         for ((b, oc, _), tmp) in results.iter().zip(&decoded) {
             self.merge_band(tmp, *b, *oc, &mut y_client);
         }
+
+        // Mirror the per-run accounting into the process-wide registry so
+        // `flash_telemetry::snapshot()` sees aggregate protocol totals.
+        flash_telemetry::counter!("twopc.runs").add(1);
+        flash_telemetry::counter!("twopc.upload_bytes").add(stats.upload_bytes as u64);
+        flash_telemetry::counter!("twopc.download_bytes").add(stats.download_bytes as u64);
+        flash_telemetry::counter!("twopc.ciphertexts_up").add(stats.ciphertexts_up as u64);
+        flash_telemetry::counter!("twopc.ciphertexts_down").add(stats.ciphertexts_down as u64);
+        flash_telemetry::counter!("twopc.weight_transforms").add(stats.weight_transforms as u64);
+        flash_telemetry::counter!("twopc.sparse_weight_transforms")
+            .add(stats.sparse_weight_transforms as u64);
+        flash_telemetry::counter!("twopc.activation_transforms")
+            .add(stats.activation_transforms as u64);
+        flash_telemetry::counter!("twopc.inverse_transforms").add(stats.inverse_transforms as u64);
+        flash_telemetry::counter!("twopc.pointwise_muls").add(stats.pointwise_muls);
 
         (
             ConvOutputShares {

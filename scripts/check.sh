@@ -19,13 +19,22 @@ cargo build --release
 echo "==> cargo test (tier-1)"
 cargo test --workspace -q
 
+# The telemetry feature is default-off; build and test the instrumented
+# configuration too so span plumbing cannot rot unnoticed. The feature
+# only exists in the pipeline crates (vendor stubs don't carry it), so
+# enable it per package rather than workspace-wide.
+echo "==> cargo build/test with --features telemetry"
+cargo build --release -p flash-bench --features telemetry
+cargo test -q -p flash-telemetry -p flash-he -p flash-2pc -p flash-accel \
+    --features flash-telemetry/telemetry
+
 # Regression gate runs before the smoke bench: the smoke bench rewrites
 # the BENCH_*.json artifacts, and the gate must compare against the
 # *committed* baselines, not ones freshly produced by this run.
 echo "==> bench_perf --check-regression (vs committed BENCH_*.json)"
 cargo run --release -p flash-bench --bin bench_perf -- --check-regression
 
-echo "==> bench_perf --quick (hot-path + sparse smoke)"
-cargo run --release -p flash-bench --bin bench_perf -- --quick
+echo "==> bench_perf --quick (hot-path + sparse smoke, telemetry on)"
+cargo run --release -p flash-bench --features telemetry --bin bench_perf -- --quick
 
 echo "==> all checks passed"
