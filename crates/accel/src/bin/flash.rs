@@ -249,7 +249,9 @@ fn cmd_demo() {
     let x = layer.sample_input(Quantizer::a4(), &mut rng);
     let w = layer.sample_weights(Quantizer::w4(), &mut rng);
     let engine = FlashHconv::new(cfg);
-    let (y, stats) = engine.run_layer(&sk, &layer, &x, &w, &mut rng);
+    let (y, stats) = engine
+        .run_layer(&sk, &layer, &x, &w, &mut rng)
+        .expect("protocol run failed");
     let want: Vec<i64> = flash_nn::layers::conv_reference(&x, &w, &layer)
         .iter()
         .map(|&v| engine.ring().to_signed(engine.ring().reduce(v)))

@@ -6,8 +6,10 @@
 //! bit-level truth the performance model's workloads correspond to.
 
 use crate::config::FlashConfig;
+use flash_2pc::error::FlashError;
 use flash_2pc::protocol::{ConvProtocol, ProtocolStats};
 use flash_2pc::shares::ShareRing;
+use flash_2pc::transport::TransportConfig;
 use flash_he::encoding::{pad_input, stride2_decompose, strided_out_dims, ConvShape};
 use flash_he::{PolyMulBackend, SecretKey};
 use flash_nn::layers::ConvLayerSpec;
@@ -20,17 +22,17 @@ pub struct FlashHconv {
     cfg: FlashConfig,
     backend: PolyMulBackend,
     sparse_weights: bool,
+    transport: TransportConfig,
+    /// Noise-guard margin override; `None` keeps the protocol default
+    /// (`FLASH_NOISE_MARGIN` / 1.0).
+    noise_margin: Option<f64>,
 }
 
 impl FlashHconv {
     /// Builds the engine with the configuration's approximate backend.
     pub fn new(cfg: FlashConfig) -> Self {
         let backend = PolyMulBackend::approx(cfg.numerics.clone());
-        Self {
-            cfg,
-            backend,
-            sparse_weights: true,
-        }
+        Self::with_backend(cfg, backend)
     }
 
     /// Builds the engine with an explicit backend (e.g. the exact NTT for
@@ -40,6 +42,8 @@ impl FlashHconv {
             cfg,
             backend,
             sparse_weights: true,
+            transport: TransportConfig::default(),
+            noise_margin: None,
         }
     }
 
@@ -51,6 +55,30 @@ impl FlashHconv {
         self
     }
 
+    /// Sets the wire configuration of the underlying protocols. See
+    /// [`ConvProtocol::with_transport_config`].
+    pub fn with_transport_config(mut self, cfg: TransportConfig) -> Self {
+        self.transport = cfg;
+        self
+    }
+
+    /// Overrides the noise-guard margin of the underlying protocols. See
+    /// [`ConvProtocol::with_noise_margin`].
+    pub fn with_noise_margin(mut self, margin: f64) -> Self {
+        self.noise_margin = Some(margin);
+        self
+    }
+
+    fn protocol(&self, shape: ConvShape) -> ConvProtocol {
+        let mut proto = ConvProtocol::new(self.cfg.he.clone(), shape, self.backend.clone())
+            .with_sparse_weights(self.sparse_weights)
+            .with_transport_config(self.transport.clone());
+        if let Some(m) = self.noise_margin {
+            proto = proto.with_noise_margin(m);
+        }
+        proto
+    }
+
     /// The share ring of the configured plaintext modulus.
     pub fn ring(&self) -> ShareRing {
         ShareRing::new(self.cfg.he.t.trailing_zeros())
@@ -59,6 +87,12 @@ impl FlashHconv {
     /// Runs one quantized conv layer privately and returns the
     /// reconstructed signed outputs (`m·out_h·out_w`) plus aggregated
     /// protocol statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError`] when the underlying protocol fails — wire
+    /// recovery exhausted, deserialization/validation rejected a payload,
+    /// or the noise guard found an unrecoverable overflow.
     ///
     /// # Panics
     ///
@@ -70,7 +104,7 @@ impl FlashHconv {
         x: &[i64],
         weights: &[i64],
         rng: &mut R,
-    ) -> (Vec<i64>, ProtocolStats) {
+    ) -> Result<(Vec<i64>, ProtocolStats), FlashError> {
         let _t = flash_telemetry::span!("hconv.layer");
         assert_eq!(x.len(), spec.c * spec.h * spec.w, "input size mismatch");
         let xp = pad_input(x, spec.c, spec.h, spec.w, spec.pad);
@@ -84,10 +118,9 @@ impl FlashHconv {
                     m: spec.m,
                     k: spec.k,
                 };
-                let proto = ConvProtocol::new(self.cfg.he.clone(), shape, self.backend.clone())
-                    .with_sparse_weights(self.sparse_weights);
-                let (shares, stats) = proto.run(sk, &xp, weights, rng);
-                (proto.reconstruct(&shares), stats)
+                let proto = self.protocol(shape);
+                let (shares, stats) = proto.run(sk, &xp, weights, rng)?;
+                Ok((proto.reconstruct(&shares), stats))
             }
             2 => {
                 let shape = ConvShape {
@@ -108,13 +141,13 @@ impl FlashHconv {
                 let phase_seeds: Vec<u64> = parts.iter().map(|_| rng.next_u64()).collect();
                 let phase_results = flash_runtime::parallel_gen(parts.len(), |i| {
                     let (xs, fs) = &parts[i];
-                    let proto = ConvProtocol::new(self.cfg.he.clone(), sub, self.backend.clone())
-                        .with_sparse_weights(self.sparse_weights);
+                    let proto = self.protocol(sub);
                     let mut phase_rng = StdRng::seed_from_u64(phase_seeds[i]);
-                    let (shares, s) = proto.run(sk, xs, fs, &mut phase_rng);
-                    (proto.reconstruct(&shares), s)
+                    let (shares, s) = proto.run(sk, xs, fs, &mut phase_rng)?;
+                    Ok::<_, FlashError>((proto.reconstruct(&shares), s))
                 });
-                for (y, s) in phase_results {
+                for phase in phase_results {
+                    let (y, s) = phase?;
                     for (acc, v) in sum.iter_mut().zip(&y) {
                         *acc = ring.to_signed(ring.add(ring.reduce(*acc), ring.reduce(*v)));
                     }
@@ -131,7 +164,7 @@ impl FlashHconv {
                         }
                     }
                 }
-                (out, stats)
+                Ok((out, stats))
             }
             s => panic!("unsupported stride {s}"),
         }
@@ -149,6 +182,11 @@ fn merge_stats(a: ProtocolStats, b: ProtocolStats) -> ProtocolStats {
         activation_transforms: a.activation_transforms + b.activation_transforms,
         inverse_transforms: a.inverse_transforms + b.inverse_transforms,
         pointwise_muls: a.pointwise_muls + b.pointwise_muls,
+        upload_wire_bytes: a.upload_wire_bytes + b.upload_wire_bytes,
+        download_wire_bytes: a.download_wire_bytes + b.download_wire_bytes,
+        faults_detected: a.faults_detected + b.faults_detected,
+        frames_retried: a.frames_retried + b.frames_retried,
+        ntt_fallbacks: a.ntt_fallbacks + b.ntt_fallbacks,
     }
 }
 
@@ -166,7 +204,7 @@ mod tests {
         let sk = SecretKey::generate(&cfg.he, &mut rng);
         let x = spec.sample_input(Quantizer::a4(), &mut rng);
         let w = spec.sample_weights(Quantizer::w4(), &mut rng);
-        let (got, stats) = engine.run_layer(&sk, &spec, &x, &w, &mut rng);
+        let (got, stats) = engine.run_layer(&sk, &spec, &x, &w, &mut rng).unwrap();
         let ring = engine.ring();
         let want: Vec<i64> = conv_reference(&x, &w, &spec)
             .iter()
@@ -284,8 +322,8 @@ mod tests {
             let dense = FlashHconv::new(cfg.clone()).with_sparse_weights(false);
             let mut rng_a = rand::rngs::StdRng::seed_from_u64(seed + 100);
             let mut rng_b = rand::rngs::StdRng::seed_from_u64(seed + 100);
-            let (ya, sa) = sparse.run_layer(&sk, &spec, &x, &w, &mut rng_a);
-            let (yb, sb) = dense.run_layer(&sk, &spec, &x, &w, &mut rng_b);
+            let (ya, sa) = sparse.run_layer(&sk, &spec, &x, &w, &mut rng_a).unwrap();
+            let (yb, sb) = dense.run_layer(&sk, &spec, &x, &w, &mut rng_b).unwrap();
             assert_eq!(ya, yb, "{}: sparse path changed outputs", spec.name);
             assert!(
                 sa.sparse_weight_transforms > 0,
@@ -318,8 +356,8 @@ mod tests {
         let exact = FlashHconv::with_backend(cfg.clone(), PolyMulBackend::Ntt);
         let mut rng_a = rand::rngs::StdRng::seed_from_u64(6);
         let mut rng_b = rand::rngs::StdRng::seed_from_u64(6);
-        let (ya, _) = approx.run_layer(&sk, &spec, &x, &w, &mut rng_a);
-        let (yb, _) = exact.run_layer(&sk, &spec, &x, &w, &mut rng_b);
+        let (ya, _) = approx.run_layer(&sk, &spec, &x, &w, &mut rng_a).unwrap();
+        let (yb, _) = exact.run_layer(&sk, &spec, &x, &w, &mut rng_b).unwrap();
         assert_eq!(ya, yb);
     }
 }

@@ -94,7 +94,7 @@ fn network_model_and_hconv_are_worker_count_invariant() {
             let sk = SecretKey::generate(&small.he, &mut rng);
             let x = spec.sample_input(Quantizer::a4(), &mut rng);
             let w = spec.sample_weights(Quantizer::w4(), &mut rng);
-            let (y, stats) = engine.run_layer(&sk, spec, &x, &w, &mut rng);
+            let (y, stats) = engine.run_layer(&sk, spec, &x, &w, &mut rng).unwrap();
             results.push((y, stats));
         }
         assert_eq!(

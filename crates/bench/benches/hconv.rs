@@ -59,7 +59,7 @@ fn bench_protocol(c: &mut Criterion) {
         group.bench_function(name, |b| {
             b.iter(|| {
                 let mut r = rand::rngs::StdRng::seed_from_u64(3);
-                black_box(proto.run(&sk, &x, &w, &mut r))
+                black_box(proto.run(&sk, &x, &w, &mut r).unwrap())
             })
         });
     }

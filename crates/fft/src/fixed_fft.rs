@@ -14,7 +14,7 @@ use flash_math::bitrev::{bit_reverse_permute, log2_exact};
 use flash_math::fixed::{requantize, to_f64, FxpFormat, Overflow, QuantStats, Rounding};
 use flash_math::C64;
 use flash_runtime::{CacheStats, Interner, I128_SCRATCH};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Configuration of the approximate fixed-point transform.
 ///
@@ -128,6 +128,10 @@ pub struct FixedNegacyclicFft {
     /// Exact `f64` plan of the same degree, interned process-wide so
     /// many fixed-point plans of one degree share a single copy.
     reference: Arc<NegacyclicFft>,
+    /// Lazily computed `(p0, slope)` of the affine analytic spectrum
+    /// error power `p0 + slope·Var(input)` (see
+    /// [`FixedNegacyclicFft::spectrum_error_power_coeffs`]).
+    error_power: OnceLock<(f64, f64)>,
 }
 
 impl FixedNegacyclicFft {
@@ -152,7 +156,23 @@ impl FixedNegacyclicFft {
             reference: NegacyclicFft::shared(n),
             cfg,
             stages,
+            error_power: OnceLock::new(),
         }
+    }
+
+    /// Coefficients `(p0, slope)` of the analytic spectrum error power of
+    /// this plan as an affine function of the input coefficient variance:
+    /// [`crate::error::analytical_spectrum_error_power`]`(cfg, v) = p0 +
+    /// slope·v` (the model's quantization term is input-independent and
+    /// its twiddle-MSE term is proportional to the value power). Computed
+    /// once per plan — interned plans make the runtime noise guard's
+    /// per-band queries free of twiddle-table rebuilds.
+    pub fn spectrum_error_power_coeffs(&self) -> (f64, f64) {
+        *self.error_power.get_or_init(|| {
+            let p0 = crate::error::analytical_spectrum_error_power(&self.cfg, 0.0);
+            let p1 = crate::error::analytical_spectrum_error_power(&self.cfg, 1.0);
+            (p0, p1 - p0)
+        })
     }
 
     /// Like [`FixedNegacyclicFft::new`], but interned process-wide:

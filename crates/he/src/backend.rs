@@ -14,6 +14,7 @@
 //! For the approximate backend the *plaintext* operand must be small and
 //! signed (quantized weights); the ciphertext operand is center-lifted.
 
+use crate::params::HeParams;
 use crate::poly::Poly;
 use flash_fft::fixed_fft::FixedNegacyclicFft;
 use flash_fft::C64_SCRATCH;
@@ -37,10 +38,66 @@ pub enum PolyMulBackend {
     ApproxFft(Arc<FixedNegacyclicFft>),
 }
 
+/// Analytic error model of an approximate weight-transform backend,
+/// queried by the runtime noise guard on the protocol hot path.
+///
+/// The per-group spectrum error power of the fixed-point transform is
+/// affine in the weight coefficient variance, `p0 + slope·Var(w)`
+/// ([`FixedNegacyclicFft::spectrum_error_power_coeffs`]), so one cached
+/// pair of coefficients prices every band of a layer without touching the
+/// twiddle tables again.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApproxErrorModel {
+    p0: f64,
+    slope: f64,
+    n: f64,
+}
+
+impl ApproxErrorModel {
+    /// A (≈6σ) bound on the decryption-phase error injected by `groups`
+    /// accumulated approximate products with total weight energy
+    /// `w_sq_sum = Σ_g Σ_i w_{g,i}²`.
+    ///
+    /// Per-coefficient product error variance is `power(Var(w_g))·σ_x²`
+    /// with ciphertext operands center-lifted to `(−q/2, q/2]`
+    /// (`σ_x² = q²/12`); summing the affine power over groups gives
+    /// `(G·p0 + slope·Σw²/N)·σ_x²` per component. The `c1` component's
+    /// error passes through the `c1·s` product of the decryption phase
+    /// (ternary key, `E[s²] = 2/3`), inflating the phase variance by
+    /// `2N/3`, and the tail factor 6 matches [`NoiseBound::fresh`]'s
+    /// convention.
+    ///
+    /// [`NoiseBound::fresh`]: crate::noise::NoiseBound::fresh
+    pub fn phase_error_bound(&self, params: &HeParams, w_sq_sum: f64, groups: usize) -> f64 {
+        let q = params.q as f64;
+        let act_var = q * q / 12.0;
+        let component_var = (groups as f64 * self.p0 + self.slope * w_sq_sum / self.n) * act_var;
+        let phase_var = component_var * (1.0 + 2.0 * self.n / 3.0);
+        6.0 * phase_var.sqrt()
+    }
+}
+
 impl PolyMulBackend {
     /// Builds the approximate backend from a configuration.
     pub fn approx(cfg: flash_fft::ApproxFftConfig) -> Self {
         PolyMulBackend::ApproxFft(FixedNegacyclicFft::shared(&cfg))
+    }
+
+    /// The analytic error model of this backend's weight transform, or
+    /// `None` for the backends that are exact in the protocol's operating
+    /// regime (`Ntt` by construction, `FftF64` at FLASH parameters).
+    pub fn error_model(&self) -> Option<ApproxErrorModel> {
+        match self {
+            PolyMulBackend::Ntt | PolyMulBackend::FftF64 => None,
+            PolyMulBackend::ApproxFft(fixed) => {
+                let (p0, slope) = fixed.spectrum_error_power_coeffs();
+                Some(ApproxErrorModel {
+                    p0,
+                    slope,
+                    n: fixed.config().degree() as f64,
+                })
+            }
+        }
     }
 
     /// Multiplies a ciphertext-ring polynomial `a` (mod `q`) by a small
@@ -116,8 +173,10 @@ impl PolyMulBackend {
     ///
     /// # Panics
     ///
-    /// Panics if operand/accumulator lengths or moduli disagree, or (for
-    /// `Ntt`) the tables do not match the ciphertext modulus.
+    /// Operand/accumulator length and modulus agreement is an internal
+    /// invariant of the callers (the protocol validates wire-derived
+    /// ciphertexts before they reach this hot path), checked with
+    /// `debug_assert!` only.
     #[allow(clippy::too_many_arguments)]
     pub fn mul_ct_pt_acc(
         &self,
@@ -131,16 +190,16 @@ impl PolyMulBackend {
     ) {
         let q = a0.modulus();
         let n = a0.len();
-        assert_eq!(a1.modulus(), q, "component modulus mismatch");
-        assert_eq!(a1.len(), n, "component length mismatch");
+        debug_assert_eq!(a1.modulus(), q, "component modulus mismatch");
+        debug_assert_eq!(a1.len(), n, "component length mismatch");
         for acc in [&*acc0, &*acc1] {
-            assert_eq!(acc.modulus(), q, "accumulator modulus mismatch");
-            assert_eq!(acc.len(), n, "accumulator length mismatch");
+            debug_assert_eq!(acc.modulus(), q, "accumulator modulus mismatch");
+            debug_assert_eq!(acc.len(), n, "accumulator length mismatch");
         }
-        assert_eq!(n, w_signed.len(), "operand lengths must match");
+        debug_assert_eq!(n, w_signed.len(), "operand lengths must match");
         match self {
             PolyMulBackend::Ntt => {
-                assert_eq!(ntt.modulus(), q, "NTT tables modulus mismatch");
+                debug_assert_eq!(ntt.modulus(), q, "NTT tables modulus mismatch");
                 let mut fw = U64_SCRATCH.take(n);
                 {
                     let _t = flash_telemetry::span!("hconv.weight_transform");
@@ -230,14 +289,14 @@ impl PolyMulBackend {
         };
         let q = a0.modulus();
         let n = a0.len();
-        assert_eq!(plan.degree(), n, "sparse plan degree mismatch");
-        assert_eq!(a1.modulus(), q, "component modulus mismatch");
-        assert_eq!(a1.len(), n, "component length mismatch");
+        debug_assert_eq!(plan.degree(), n, "sparse plan degree mismatch");
+        debug_assert_eq!(a1.modulus(), q, "component modulus mismatch");
+        debug_assert_eq!(a1.len(), n, "component length mismatch");
         for acc in [&*acc0, &*acc1] {
-            assert_eq!(acc.modulus(), q, "accumulator modulus mismatch");
-            assert_eq!(acc.len(), n, "accumulator length mismatch");
+            debug_assert_eq!(acc.modulus(), q, "accumulator modulus mismatch");
+            debug_assert_eq!(acc.len(), n, "accumulator length mismatch");
         }
-        assert_eq!(n, w_signed.len(), "operand lengths must match");
+        debug_assert_eq!(n, w_signed.len(), "operand lengths must match");
         let mut fw = C64_SCRATCH.take(n / 2);
         {
             let _t = flash_telemetry::span!("hconv.weight_transform");
@@ -273,13 +332,13 @@ impl PolyMulBackend {
         );
         let q = a0.modulus();
         let n = a0.len();
-        assert_eq!(a1.modulus(), q, "component modulus mismatch");
-        assert_eq!(a1.len(), n, "component length mismatch");
+        debug_assert_eq!(a1.modulus(), q, "component modulus mismatch");
+        debug_assert_eq!(a1.len(), n, "component length mismatch");
         for acc in [&*acc0, &*acc1] {
-            assert_eq!(acc.modulus(), q, "accumulator modulus mismatch");
-            assert_eq!(acc.len(), n, "accumulator length mismatch");
+            debug_assert_eq!(acc.modulus(), q, "accumulator modulus mismatch");
+            debug_assert_eq!(acc.len(), n, "accumulator length mismatch");
         }
-        assert_eq!(fw.len(), n / 2, "spectrum length must be n/2");
+        debug_assert_eq!(fw.len(), n / 2, "spectrum length must be n/2");
         accumulate_pair_fft(acc0, acc1, a0, a1, fw, fft, q);
     }
 }
@@ -401,6 +460,59 @@ mod tests {
         let mut c1 = Poly::zero(p.n, p.q);
         PolyMulBackend::FftF64.mul_ct_pt_acc_spectrum(&mut c0, &mut c1, &a0, &a1, &fw, p.fft());
         assert_eq!((&c0, &c1), (&s0, &s1), "spectrum path diverged");
+    }
+
+    #[test]
+    fn error_model_exists_only_for_the_approximate_backend() {
+        assert!(PolyMulBackend::Ntt.error_model().is_none());
+        assert!(PolyMulBackend::FftF64.error_model().is_none());
+        let p = HeParams::test_256();
+        let cfg = ApproxFftConfig::uniform(p.n, FxpFormat::new(18, 34), 30);
+        assert!(PolyMulBackend::approx(cfg).error_model().is_some());
+    }
+
+    #[test]
+    fn error_model_bounds_measured_decryption_noise() {
+        // The guard's actual claim: composed analytic bound (worst-case
+        // chain + model term) dominates the measured decryption-phase
+        // noise of an approximate product, for both a narrow and a wide
+        // datapath.
+        use crate::keys::SecretKey;
+        use crate::noise::NoiseBound;
+        let p = HeParams::test_256();
+        for (frac, k, shift) in [(30u32, 24usize, 26u32), (34, 30, 30)] {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+            let sk = SecretKey::generate(&p, &mut rng);
+            let m = Poly::uniform(p.n, p.t, &mut rng);
+            let ct = sk.encrypt(&m, &mut rng);
+            let w = small_weights(p.n, 9, &mut rng);
+            let mut cfg = ApproxFftConfig::uniform(p.n, FxpFormat::new(16, frac), k);
+            cfg.max_shift = shift;
+            let b = PolyMulBackend::approx(cfg);
+            let model = b.error_model().unwrap();
+
+            let ct2 = ct.mul_plain_signed(&w, &p, &b);
+            let w_t: Vec<u64> = w
+                .iter()
+                .map(|&x| flash_math::modular::from_signed(x, p.t))
+                .collect();
+            let mw = Poly::from_coeffs(
+                flash_ntt::polymul::negacyclic_mul_naive(m.coeffs(), &w_t, p.t),
+                p.t,
+            );
+            let measured = sk.noise(&ct2, &mw).inf_norm() as f64;
+
+            let l1: f64 = w.iter().map(|&x| x.abs() as f64).sum();
+            let sq: f64 = w.iter().map(|&x| (x * x) as f64).sum();
+            let bound = NoiseBound::fresh(&p)
+                .after_plain_mul(l1)
+                .after_computation_error(model.phase_error_bound(&p, sq, 1));
+            assert!(
+                measured <= bound.bound(),
+                "frac={frac}: measured {measured} vs bound {}",
+                bound.bound()
+            );
+        }
     }
 
     #[test]

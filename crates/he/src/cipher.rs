@@ -29,6 +29,30 @@ impl Ciphertext {
         Self { c0, c1 }
     }
 
+    /// Checks that a (typically deserialized) ciphertext belongs to a
+    /// parameter set: ring degree `n` and coefficient modulus `q` must
+    /// match. Coefficient reduction is already enforced by
+    /// [`crate::serialize::ciphertext_from_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::error::HeError`] on a degree or modulus mismatch.
+    pub fn validate_for(&self, params: &HeParams) -> Result<(), crate::error::HeError> {
+        if self.len() != params.n {
+            return Err(crate::error::HeError::SizeMismatch {
+                expected: params.n,
+                got: self.len(),
+            });
+        }
+        if self.c0.modulus() != params.q {
+            return Err(crate::error::HeError::ModulusMismatch {
+                expected: params.q,
+                got: self.c0.modulus(),
+            });
+        }
+        Ok(())
+    }
+
     /// The transparent zero ciphertext — the identity for [`add_ct`]
     /// (`Ciphertext::add_ct`), used to seed fused accumulation loops.
     pub fn zero(n: usize, q: u64) -> Self {

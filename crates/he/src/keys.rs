@@ -137,6 +137,19 @@ impl SecretKey {
         Poly::from_coeffs(coeffs, p.q)
     }
 
+    /// Decryption for wire-derived ciphertexts: validates the ciphertext
+    /// against this key's parameter set before running [`decrypt`]
+    /// (`SecretKey::decrypt`), so malformed peer data surfaces as a typed
+    /// error instead of a panic deep in the NTT.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::error::HeError`] on a degree or modulus mismatch.
+    pub fn try_decrypt(&self, ct: &Ciphertext) -> Result<Poly, crate::error::HeError> {
+        ct.validate_for(&self.params)?;
+        Ok(self.decrypt(ct))
+    }
+
     /// Decrypts a ciphertext: `round(t/q · (c0 + c1·s)) mod t`.
     pub fn decrypt(&self, ct: &Ciphertext) -> Poly {
         let p = &self.params;

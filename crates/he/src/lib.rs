@@ -35,6 +35,7 @@
 pub mod backend;
 pub mod cipher;
 pub mod encoding;
+pub mod error;
 pub mod keys;
 pub mod matvec;
 pub mod noise;
@@ -46,6 +47,7 @@ pub mod truncate;
 
 pub use backend::PolyMulBackend;
 pub use cipher::Ciphertext;
+pub use error::HeError;
 pub use keys::SecretKey;
 pub use params::HeParams;
 pub use poly::Poly;

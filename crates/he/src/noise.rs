@@ -40,6 +40,24 @@ impl NoiseBound {
         self.bound
     }
 
+    /// The decryption ceiling `q/(2t)` this bound is tracked against.
+    pub fn ceiling(&self) -> f64 {
+        self.ceiling
+    }
+
+    /// Typed form of [`NoiseBound::is_safe`]: `Ok(())` while decryption
+    /// is guaranteed correct, otherwise the overflow as an error.
+    pub fn check(&self) -> Result<(), crate::error::HeError> {
+        if self.is_safe() {
+            Ok(())
+        } else {
+            Err(crate::error::HeError::NoiseOverflow {
+                bound: self.bound,
+                ceiling: self.ceiling,
+            })
+        }
+    }
+
     /// Remaining budget in bits (`log2(ceiling) − log2(bound)`); negative
     /// means decryption may fail.
     pub fn budget_bits(&self) -> f64 {

@@ -42,10 +42,15 @@ pub fn coeff_bytes(modulus: u64) -> usize {
 /// in the session context, as in real protocol implementations).
 pub fn poly_to_bytes(p: &Poly) -> Vec<u8> {
     let cb = coeff_bytes(p.modulus());
-    let mut out = Vec::with_capacity(p.len() * cb);
-    for &c in p.coeffs() {
-        out.extend_from_slice(&c.to_le_bytes()[..cb]);
+    let n = p.len();
+    // Over-allocate by one word so every coefficient can be stored as a
+    // full little-endian u64; ascending writes overwrite the garbage
+    // high bytes of their predecessor, and the tail is truncated away.
+    let mut out = vec![0u8; n * cb + 8];
+    for (i, &c) in p.coeffs().iter().enumerate() {
+        out[i * cb..i * cb + 8].copy_from_slice(&c.to_le_bytes());
     }
+    out.truncate(n * cb);
     out
 }
 
@@ -59,15 +64,42 @@ pub fn poly_from_bytes(buf: &[u8], n: usize, modulus: u64) -> Result<Poly, WireE
     if buf.len() < n * cb {
         return Err(WireError::Truncated);
     }
+    // Branch-free inner loop: decode everything, fold the range check
+    // into one flag, and locate the offending index only on failure.
+    // Coefficients are read as full little-endian u64 words masked down
+    // to `cb` bytes wherever the buffer permits; only the last few fall
+    // back to byte-wise assembly.
+    let mask = if cb == 8 {
+        u64::MAX
+    } else {
+        (1u64 << (8 * cb)) - 1
+    };
+    let wide = if buf.len() >= 8 {
+        (buf.len() - 8) / cb + 1
+    } else {
+        0
+    };
     let mut coeffs = Vec::with_capacity(n);
-    for i in 0..n {
+    let mut all_reduced = true;
+    for i in 0..n.min(wide) {
+        let word = u64::from_le_bytes(buf[i * cb..i * cb + 8].try_into().expect("8-byte slice"));
+        let c = word & mask;
+        all_reduced &= c < modulus;
+        coeffs.push(c);
+    }
+    for i in wide..n {
         let mut le = [0u8; 8];
         le[..cb].copy_from_slice(&buf[i * cb..(i + 1) * cb]);
         let c = u64::from_le_bytes(le);
-        if c >= modulus {
-            return Err(WireError::CoefficientOutOfRange { index: i });
-        }
+        all_reduced &= c < modulus;
         coeffs.push(c);
+    }
+    if !all_reduced {
+        let index = coeffs
+            .iter()
+            .position(|&c| c >= modulus)
+            .expect("flag implies an offender");
+        return Err(WireError::CoefficientOutOfRange { index });
     }
     Ok(Poly::from_coeffs(coeffs, modulus))
 }

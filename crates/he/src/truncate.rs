@@ -10,6 +10,7 @@
 use crate::cipher::Ciphertext;
 use crate::params::HeParams;
 use crate::poly::Poly;
+use crate::serialize::WireError;
 
 /// A ciphertext with truncated coefficients, as it travels on the wire.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,6 +83,65 @@ impl TruncatedCiphertext {
         let q_bits = (64 - params.q.leading_zeros()) as usize;
         let bytes = |d: u32| (q_bits - d as usize).div_ceil(8);
         self.c0_high.len() * bytes(self.d0) + self.c1_high.len() * bytes(self.d1)
+    }
+
+    /// Serializes the truncated components (`c0_high ‖ c1_high`,
+    /// little-endian, `⌈(log2 q − d)/8⌉` bytes per coefficient). The
+    /// `(d0, d1)` pair travels in the session context — both parties
+    /// agreed on the truncation when the protocol was planned — so the
+    /// byte string length is exactly [`TruncatedCiphertext::byte_size`].
+    pub fn to_bytes(&self, params: &HeParams) -> Vec<u8> {
+        let q_bits = (64 - params.q.leading_zeros()) as usize;
+        let mut out = Vec::with_capacity(self.byte_size(params));
+        for (high, d) in [(&self.c0_high, self.d0), (&self.c1_high, self.d1)] {
+            let cb = (q_bits - d as usize).div_ceil(8);
+            for &h in high.iter() {
+                out.extend_from_slice(&h.to_le_bytes()[..cb]);
+            }
+        }
+        out
+    }
+
+    /// Deserializes a truncated ciphertext of degree `n` with the agreed
+    /// `(d0, d1)` shifts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] when the buffer is short or a packed value
+    /// exceeds the `log2 q − d` wire width (including flipped pad bits in
+    /// the top byte of a coefficient).
+    pub fn from_bytes(buf: &[u8], d0: u32, d1: u32, params: &HeParams) -> Result<Self, WireError> {
+        let q_bits = (64 - params.q.leading_zeros()) as usize;
+        let n = params.n;
+        let mut offset = 0usize;
+        let mut parts: [Vec<u64>; 2] = [Vec::new(), Vec::new()];
+        for (slot, d) in [(0usize, d0), (1, d1)] {
+            let width = q_bits - d as usize;
+            let cb = width.div_ceil(8);
+            let mask = (1u64 << width) - 1;
+            if buf.len() < offset + n * cb {
+                return Err(WireError::Truncated);
+            }
+            let mut high = Vec::with_capacity(n);
+            for i in 0..n {
+                let mut le = [0u8; 8];
+                le[..cb].copy_from_slice(&buf[offset + i * cb..offset + (i + 1) * cb]);
+                let h = u64::from_le_bytes(le);
+                if h > mask {
+                    return Err(WireError::CoefficientOutOfRange { index: i });
+                }
+                high.push(h);
+            }
+            parts[slot] = high;
+            offset += n * cb;
+        }
+        let [c0_high, c1_high] = parts;
+        Ok(Self {
+            c0_high,
+            c1_high,
+            d0,
+            d1,
+        })
     }
 
     /// Worst-case noise added by the truncation: `2^{d0-1}` from `c0`
@@ -229,6 +289,40 @@ mod tests {
             let err = diff.min(p.q as i128 - diff);
             assert!(err <= half as i128, "c={c}: err={err}");
         }
+    }
+
+    #[test]
+    fn truncated_wire_roundtrip_and_size_matches_accounting() {
+        let (p, sk, m, ct) = setup();
+        for (d0, d1) in [(0u32, 0u32), (8, 2), (17, 9)] {
+            let t = TruncatedCiphertext::truncate(&ct, d0, d1, &p);
+            let bytes = t.to_bytes(&p);
+            assert_eq!(bytes.len(), t.byte_size(&p), "d=({d0},{d1})");
+            let back = TruncatedCiphertext::from_bytes(&bytes, d0, d1, &p).unwrap();
+            assert_eq!(back, t);
+            if d0 <= 8 && d1 <= 2 {
+                assert_eq!(sk.decrypt(&back.reconstruct(&p)), m, "d=({d0},{d1})");
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_wire_rejects_short_buffers_and_pad_bit_garbage() {
+        let (p, _, _, ct) = setup();
+        let t = TruncatedCiphertext::truncate(&ct, 8, 2, &p);
+        let bytes = t.to_bytes(&p);
+        assert_eq!(
+            TruncatedCiphertext::from_bytes(&bytes[..bytes.len() - 1], 8, 2, &p),
+            Err(WireError::Truncated)
+        );
+        // q_bits = 36, d0 = 8 -> 28-bit coefficients in 4 bytes: the top
+        // 4 bits of every 4th byte are padding and must stay clear.
+        let mut bad = bytes.clone();
+        bad[3] |= 0x80;
+        assert!(matches!(
+            TruncatedCiphertext::from_bytes(&bad, 8, 2, &p),
+            Err(WireError::CoefficientOutOfRange { index: 0 })
+        ));
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! The workspace-level error taxonomy of the protocol stack.
+//!
+//! Three layers can fail on a real deployment, and each gets its own
+//! type so callers can react precisely:
+//!
+//! * [`flash_he::serialize::WireError`] — bytes that do not decode into a
+//!   well-formed polynomial/ciphertext (truncation, unreduced
+//!   coefficients);
+//! * [`ProtocolError`] — the framing/retransmission state machine gave up
+//!   (a peer answered with garbage more often than the retry budget
+//!   allows, or asked for a frame that never existed);
+//! * [`flash_he::HeError`] — scheme-level validation (parameter
+//!   mismatches on deserialized ciphertexts, noise-budget overflow).
+//!
+//! [`FlashError`] is the `?`-composable union the public protocol entry
+//! points return.
+
+use flash_he::serialize::WireError;
+use flash_he::HeError;
+use std::fmt;
+
+/// Failures of the transport/framing state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The receiver asked for a sequence number the sender never queued —
+    /// the peers disagree about the session's message schedule.
+    UnknownFrame {
+        /// The requested sequence number.
+        seq: u32,
+    },
+    /// A frame stayed corrupt or missing after exhausting the
+    /// retransmission budget.
+    RetriesExhausted {
+        /// The sequence number that could not be delivered.
+        seq: u32,
+        /// Retransmissions attempted before giving up.
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::UnknownFrame { seq } => {
+                write!(f, "peer requested unknown frame seq {seq}")
+            }
+            ProtocolError::RetriesExhausted { seq, attempts } => {
+                write!(
+                    f,
+                    "frame seq {seq} undeliverable after {attempts} retransmissions"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Any failure of the hybrid-protocol stack: wire decoding, transport
+/// recovery, or scheme-level validation (including noise overflow).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlashError {
+    /// Bytes failed to decode into HE objects.
+    Wire(WireError),
+    /// The transport's recovery state machine failed.
+    Protocol(ProtocolError),
+    /// Scheme-level validation failed (parameter mismatch, noise
+    /// overflow).
+    He(HeError),
+}
+
+impl fmt::Display for FlashError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlashError::Wire(e) => write!(f, "wire: {e}"),
+            FlashError::Protocol(e) => write!(f, "protocol: {e}"),
+            FlashError::He(e) => write!(f, "he: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FlashError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FlashError::Wire(e) => Some(e),
+            FlashError::Protocol(e) => Some(e),
+            FlashError::He(e) => Some(e),
+        }
+    }
+}
+
+impl From<WireError> for FlashError {
+    fn from(e: WireError) -> Self {
+        FlashError::Wire(e)
+    }
+}
+
+impl From<ProtocolError> for FlashError {
+    fn from(e: ProtocolError) -> Self {
+        FlashError::Protocol(e)
+    }
+}
+
+impl From<HeError> for FlashError {
+    fn from(e: HeError) -> Self {
+        FlashError::He(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_chain_exposes_sources() {
+        let e: FlashError = WireError::Truncated.into();
+        let b: Box<dyn std::error::Error> = Box::new(e);
+        assert!(b.source().is_some());
+        let p: FlashError = ProtocolError::RetriesExhausted {
+            seq: 3,
+            attempts: 8,
+        }
+        .into();
+        assert!(p.to_string().contains("seq 3"));
+        let h: FlashError = HeError::NoiseOverflow {
+            bound: 1.0,
+            ceiling: 0.5,
+        }
+        .into();
+        assert!(matches!(h, FlashError::He(HeError::NoiseOverflow { .. })));
+    }
+}

@@ -13,12 +13,18 @@
 //! * [`protocol`] — client/server simulation of homomorphic convolution,
 //!   including tiling, group accumulation and communication accounting.
 
+pub mod error;
 pub mod matvec;
 pub mod nonlinear;
 pub mod protocol;
 pub mod rns_protocol;
 pub mod shares;
+pub mod transport;
 
+pub use error::{FlashError, ProtocolError};
 pub use matvec::MatVecProtocol;
 pub use protocol::{ConvProtocol, ProtocolStats};
 pub use shares::ShareRing;
+pub use transport::{
+    FaultConfig, FaultOp, FaultPlan, InMemoryTransport, Transport, TransportConfig, TransportStats,
+};

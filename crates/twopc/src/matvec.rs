@@ -1,15 +1,24 @@
 //! The hybrid-protocol fully-connected (matrix–vector) layer.
 //!
 //! Same flow as the convolution protocol: the client sends encrypted
-//! input-vector shares, the server folds in its share, multiplies by the
-//! weight-matrix polynomials, masks, and returns; the output is again
-//! secret-shared.
+//! input-vector shares over a real [`Transport`], the server receives,
+//! validates, folds in its share, multiplies by the weight-matrix
+//! polynomials, masks, and returns the serialized responses; the output
+//! is again secret-shared. (No noise guard here: the FC layer has no
+//! approximate-backend band decomposition — the bound composition lives
+//! in the convolution protocol where FLASH's approximate transforms
+//! run.)
 
+use crate::error::FlashError;
 use crate::protocol::ProtocolStats;
 use crate::shares::ShareRing;
+use crate::transport::{InMemoryTransport, Transport, TransportConfig};
 use flash_he::matvec::MatVecEncoder;
-use flash_he::{Ciphertext, HeParams, Poly, PolyMulBackend, SecretKey};
+use flash_he::{serialize, Ciphertext, HeParams, Poly, PolyMulBackend, SecretKey};
 use rand::Rng;
+
+/// `(client share, server share)` of the FC output vector.
+pub type MatVecShares = (Vec<u64>, Vec<u64>);
 
 /// One FC layer's protocol instance.
 #[derive(Debug, Clone)]
@@ -18,6 +27,7 @@ pub struct MatVecProtocol {
     encoder: MatVecEncoder,
     backend: PolyMulBackend,
     ring: ShareRing,
+    transport: TransportConfig,
 }
 
 impl MatVecProtocol {
@@ -35,7 +45,14 @@ impl MatVecProtocol {
             params,
             encoder,
             backend,
+            transport: TransportConfig::default(),
         }
+    }
+
+    /// Sets the wire configuration for both transport directions.
+    pub fn with_transport_config(mut self, cfg: TransportConfig) -> Self {
+        self.transport = cfg;
+        self
     }
 
     /// The tiling plan.
@@ -52,6 +69,12 @@ impl MatVecProtocol {
     /// `w` the server's row-major weight matrix. Returns `(client share,
     /// server share)` of `y` plus the wire statistics.
     ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError`] when a wire payload cannot be recovered
+    /// within the transport's retry budget or fails deserialization or
+    /// validation.
+    ///
     /// # Panics
     ///
     /// Panics on dimension mismatches.
@@ -61,7 +84,7 @@ impl MatVecProtocol {
         x: &[i64],
         w: &[i64],
         rng: &mut R,
-    ) -> ((Vec<u64>, Vec<u64>), ProtocolStats) {
+    ) -> Result<(MatVecShares, ProtocolStats), FlashError> {
         let enc = &self.encoder;
         let p = &self.params;
         assert_eq!(x.len(), enc.input_dim(), "input dimension mismatch");
@@ -71,26 +94,34 @@ impl MatVecProtocol {
             "matrix size mismatch"
         );
         let mut stats = ProtocolStats::default();
+        let mut up = InMemoryTransport::new(self.transport.clone());
+        let mut down = InMemoryTransport::new(self.transport.clone());
 
         let (x_client, x_server) = self.ring.share_vec(x, rng);
         let xc: Vec<i64> = x_client.iter().map(|&v| v as i64).collect();
         let xs: Vec<i64> = x_server.iter().map(|&v| v as i64).collect();
 
-        // Client: encrypt its share per column chunk.
-        let cts: Vec<Ciphertext> = enc
-            .encode_vector(&xc)
-            .iter()
-            .map(|poly| sk.encrypt(&Poly::from_signed(poly, p.t), rng))
-            .collect();
-        stats.ciphertexts_up = cts.len();
-        stats.upload_bytes = cts.iter().map(|c| c.byte_size()).sum();
+        // Client: encrypt its share per column chunk and upload the
+        // serialized ciphertexts.
+        let chunks = enc.encode_vector(&xc);
+        stats.ciphertexts_up = chunks.len();
+        for poly in &chunks {
+            let ct = sk.encrypt(&Poly::from_signed(poly, p.t), rng);
+            up.send(&serialize::ciphertext_to_bytes(&ct))?;
+        }
 
-        // Server: fold in its share.
-        let cts_sum: Vec<Ciphertext> = cts
+        // Server: receive, validate, fold in its share.
+        let cts_sum: Vec<Ciphertext> = enc
+            .encode_vector(&xs)
             .iter()
-            .zip(enc.encode_vector(&xs))
-            .map(|(ct, tile)| ct.add_plain(&Poly::from_signed(&tile, p.t), p))
-            .collect();
+            .map(|tile| {
+                let bytes = up.recv()?;
+                let ct = serialize::ciphertext_from_bytes(&bytes, p.n, p.q)?;
+                ct.validate_for(p)?;
+                Ok(ct.add_plain(&Poly::from_signed(tile, p.t), p))
+            })
+            .collect::<Result<_, FlashError>>()?;
+        stats.upload_bytes = up.stats().payload_bytes as usize;
         stats.activation_transforms = 2 * cts_sum.len();
 
         let no = enc.output_dim();
@@ -112,20 +143,31 @@ impl MatVecProtocol {
             let masked = acc.sub_plain(&mask, p);
             stats.inverse_transforms += 2;
             stats.ciphertexts_down += 1;
-            stats.download_bytes += masked.byte_size();
 
-            // server share from the mask, client share from decryption
+            // server share from the mask; the response goes down the wire
             let mask_signed: Vec<i64> = mask.coeffs().iter().map(|&v| v as i64).collect();
             let mut tmp = vec![0i64; no];
             enc.decode_block(&mask_signed, rb, &mut tmp);
             merge_block(enc, rb, &tmp, &mut y_server);
-            let dec = sk.decrypt(&masked);
+            down.send(&serialize::ciphertext_to_bytes(&masked))?;
+
+            // client: receive, validate, decrypt, decode its share
+            let bytes = down.recv()?;
+            let response = serialize::ciphertext_from_bytes(&bytes, p.n, p.q)?;
+            response.validate_for(p)?;
+            let dec = sk.try_decrypt(&response)?;
             let dec_signed: Vec<i64> = dec.coeffs().iter().map(|&v| v as i64).collect();
             let mut tmp = vec![0i64; no];
             enc.decode_block(&dec_signed, rb, &mut tmp);
             merge_block(enc, rb, &tmp, &mut y_client);
         }
-        ((y_client, y_server), stats)
+        stats.download_bytes = down.stats().payload_bytes as usize;
+        let wire = up.stats().merge(down.stats());
+        stats.upload_wire_bytes = up.stats().wire_bytes as usize;
+        stats.download_wire_bytes = down.stats().wire_bytes as usize;
+        stats.faults_detected = wire.faults_detected as usize;
+        stats.frames_retried = wire.frames_retried as usize;
+        Ok(((y_client, y_server), stats))
     }
 
     /// Reconstructs the signed output from the two shares.
@@ -145,6 +187,7 @@ fn merge_block(enc: &MatVecEncoder, rb: usize, vals: &[i64], out: &mut [u64]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transport::{FaultOp, FaultPlan};
     use flash_he::matvec::matvec_reference;
     use rand::SeedableRng;
 
@@ -155,7 +198,7 @@ mod tests {
         let proto = MatVecProtocol::new(params, ni, no, backend);
         let x: Vec<i64> = (0..ni).map(|i| ((i as i64 * 13) % 15) - 7).collect();
         let w: Vec<i64> = (0..ni * no).map(|i| ((i as i64 * 7) % 15) - 7).collect();
-        let ((yc, ys), stats) = proto.run(&sk, &x, &w, &mut rng);
+        let ((yc, ys), stats) = proto.run(&sk, &x, &w, &mut rng).unwrap();
         let got = proto.reconstruct(&yc, &ys);
         let ring = proto.ring();
         let want: Vec<i64> = matvec_reference(&w, &x, ni, no)
@@ -165,6 +208,8 @@ mod tests {
         assert_eq!(got, want, "ni={ni} no={no}");
         assert_eq!(stats.ciphertexts_up, proto.encoder().col_chunks());
         assert_eq!(stats.ciphertexts_down, proto.encoder().row_blocks());
+        assert!(stats.upload_wire_bytes > stats.upload_bytes);
+        assert!(stats.download_wire_bytes > stats.download_bytes);
     }
 
     #[test]
@@ -192,5 +237,33 @@ mod tests {
         );
         cfg.max_shift = 30;
         run_case(32, 10, PolyMulBackend::approx(cfg), 4);
+    }
+
+    #[test]
+    fn fc_recovers_from_faulty_wire() {
+        let params = HeParams::test_256();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let sk = SecretKey::generate(&params, &mut rng);
+        let (ni, no) = (16, 8);
+        let x: Vec<i64> = (0..ni).map(|i| (i as i64 % 5) - 2).collect();
+        let w: Vec<i64> = (0..ni * no).map(|i| (i as i64 % 5) - 2).collect();
+
+        let clean = MatVecProtocol::new(params.clone(), ni, no, PolyMulBackend::Ntt);
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(3);
+        let (clean_out, _) = clean.run(&sk, &x, &w, &mut r1).unwrap();
+
+        // Corrupt the first frame of each direction; the retransmission
+        // delivers the clean copy, so the result is bit-identical.
+        let faulty = MatVecProtocol::new(params, ni, no, PolyMulBackend::Ntt)
+            .with_transport_config(TransportConfig::faulty(FaultPlan::Scripted(vec![
+                FaultOp::FlipBit { byte: 33, bit: 5 },
+            ])));
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(3);
+        let (faulty_out, stats) = faulty.run(&sk, &x, &w, &mut r2).unwrap();
+        assert_eq!(
+            faulty_out, clean_out,
+            "recovered run must be bit-identical to the clean run"
+        );
+        assert!(stats.faults_detected >= 2 && stats.frames_retried >= 2);
     }
 }

@@ -1,19 +1,47 @@
 //! Client/server simulation of one homomorphic convolution.
 //!
-//! Both roles run in-process; the "wire" is accounted in
-//! [`ProtocolStats`]. The plaintext modulus `t = 2^l` of the BFV
+//! Both roles run in-process, but every ciphertext crosses a real
+//! [`Transport`]: the client serializes with [`flash_he::serialize`],
+//! frames go over an in-memory wire (optionally through a fault
+//! injector), and the server deserializes and validates before touching
+//! the payload — so [`ProtocolStats`] counts bytes that were actually
+//! sent, and every input that crossed the wire is handled with typed
+//! errors instead of panics. The plaintext modulus `t = 2^l` of the BFV
 //! parameters doubles as the secret-share ring, so homomorphic sums over
 //! `Z_t` are exactly the share arithmetic of the 2PC layers around the
 //! convolution.
+//!
+//! # Noise guard
+//!
+//! Before computing each `(oc, band)` response the server composes the
+//! worst-case decryption-noise bound of the exact pipeline (fresh
+//! encryption → share fold → per-group weight multiply → mask →
+//! truncation) and, on the approximate-FFT backend, adds the analytical
+//! error bound of the transform ([`ApproxErrorModel`]). If the total
+//! exceeds `margin × q/(2t)` the band transparently falls back to the
+//! exact NTT backend ([`ProtocolStats::ntt_fallbacks`]); if even the
+//! exact-path bound overflows the ceiling the run fails with
+//! [`HeError::NoiseOverflow`] instead of decrypting garbage.
+//!
+//! [`ApproxErrorModel`]: flash_he::backend::ApproxErrorModel
+//! [`HeError::NoiseOverflow`]: flash_he::HeError
 
+use crate::error::FlashError;
 use crate::shares::ShareRing;
+use crate::transport::{FaultPlan, InMemoryTransport, Transport, TransportConfig};
 use flash_fft::C64_SCRATCH;
 use flash_he::encoding::{ConvEncoder, ConvShape};
-use flash_he::{Ciphertext, HeParams, Poly, PolyMulBackend, SecretKey};
+use flash_he::noise::NoiseBound;
+use flash_he::truncate::TruncatedCiphertext;
+use flash_he::{serialize, Ciphertext, HeParams, Poly, PolyMulBackend, SecretKey};
 use flash_sparse::{SparsePlan, SparsityPattern};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
+
+/// Seed salts decorrelating the two directions of one random fault plan.
+const UP_LINK_SALT: u64 = 0x7570_6c69_6e6b; // "uplink"
+const DOWN_LINK_SALT: u64 = 0x646f_776e_6c69_6e6b; // "downlink"
 
 /// Communication and workload accounting of one protocol run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -38,6 +66,18 @@ pub struct ProtocolStats {
     pub inverse_transforms: usize,
     /// Point-wise spectrum multiplications (complex/modular MACs).
     pub pointwise_muls: u64,
+    /// Framed bytes client → server, headers/checksums/retransmissions
+    /// included (`≥ upload_bytes`; the delta is the honest wire
+    /// overhead).
+    pub upload_wire_bytes: usize,
+    /// Framed bytes server → client (same accounting).
+    pub download_wire_bytes: usize,
+    /// Corrupt/duplicate/forged frames the transports rejected.
+    pub faults_detected: usize,
+    /// Retransmissions the transports requested.
+    pub frames_retried: usize,
+    /// `(oc, band)` jobs the noise guard re-ran on the exact NTT backend.
+    pub ntt_fallbacks: usize,
 }
 
 /// The secret-shared output of one convolution.
@@ -62,6 +102,13 @@ pub struct ConvProtocol {
     /// Route weight transforms through compiled sparse plans when the
     /// encoding's pattern makes it worthwhile (FLASH's sparse dataflow).
     sparse_weights: bool,
+    /// Wire configuration applied to both directions (fault plans get
+    /// per-direction seed salts).
+    transport: TransportConfig,
+    /// Noise-guard threshold as a fraction of the decryption ceiling
+    /// `q/(2t)`; bands whose composed bound crosses it fall back to the
+    /// exact NTT backend.
+    noise_margin: f64,
 }
 
 impl ConvProtocol {
@@ -82,6 +129,8 @@ impl ConvProtocol {
             backend,
             truncation: None,
             sparse_weights: true,
+            transport: TransportConfig::default(),
+            noise_margin: flash_runtime::noise_margin(),
         }
     }
 
@@ -101,6 +150,70 @@ impl ConvProtocol {
     pub fn with_sparse_weights(mut self, enabled: bool) -> Self {
         self.sparse_weights = enabled;
         self
+    }
+
+    /// Sets the wire configuration for both transport directions —
+    /// retry budget, checksum enforcement, and (for testing) a fault
+    /// plan. Random fault plans are salted per direction so uplink and
+    /// downlink do not replay the same schedule.
+    pub fn with_transport_config(mut self, cfg: TransportConfig) -> Self {
+        self.transport = cfg;
+        self
+    }
+
+    /// Overrides the noise-guard margin (default:
+    /// [`flash_runtime::noise_margin`], i.e. `FLASH_NOISE_MARGIN` or
+    /// 1.0). A margin of `0.0` forces the exact-NTT fallback for every
+    /// band of an approximate backend — a deterministic test hook.
+    pub fn with_noise_margin(mut self, margin: f64) -> Self {
+        self.noise_margin = margin;
+        self
+    }
+
+    /// The transport configuration for one direction: the shared config
+    /// with the fault-plan seed salted so the two links draw independent
+    /// schedules.
+    fn direction_config(&self, salt: u64) -> TransportConfig {
+        let mut cfg = self.transport.clone();
+        if let Some(FaultPlan::Random(rc)) = &mut cfg.faults {
+            rc.seed ^= salt;
+        }
+        cfg
+    }
+
+    /// Composes the worst-case decryption-noise bound of one `(oc, band)`
+    /// job on the *exact* pipeline — fresh encryption, server share fold,
+    /// one weight multiply per channel group accumulated into the
+    /// response, the output mask, and the agreed truncation — plus the
+    /// total `Σw²` of the band's weights (the input to the approximate
+    /// backend's error model).
+    fn band_noise_bound(&self, w_polys: &[Vec<Vec<i64>>], b: usize) -> (NoiseBound, f64) {
+        let p = &self.params;
+        let base = NoiseBound::fresh(p).after_plain_add();
+        let mut acc: Option<NoiseBound> = None;
+        let mut w_sq = 0.0;
+        for w_poly in w_polys {
+            let band = &w_poly[b];
+            let l1: f64 = band.iter().map(|&v| (v as f64).abs()).sum();
+            w_sq += band.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>();
+            let nb = base.after_plain_mul(l1);
+            acc = Some(match acc {
+                None => nb,
+                Some(a) => a.after_ct_add(&nb),
+            });
+        }
+        let mut nb = acc.unwrap_or(base).after_plain_add();
+        if let Some((d0, d1)) = self.truncation {
+            let pow = |d: u32| {
+                if d == 0 {
+                    0.0
+                } else {
+                    (2.0f64).powi(d as i32 - 1)
+                }
+            };
+            nb = nb.after_computation_error(pow(d0) + pow(d1) * p.n as f64);
+        }
+        (nb, w_sq)
     }
 
     /// Resolves the compiled weight-transform plan for band `b`, or
@@ -141,16 +254,24 @@ impl ConvProtocol {
     /// split into shares internally so tests can verify reconstruction.
     /// `weights` is the full `m×c×k×k` kernel (server-side plaintext).
     ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError`] when a wire payload cannot be recovered
+    /// within the transport's retry budget, fails deserialization or
+    /// scheme-level validation, or when the composed noise bound of a
+    /// band overflows the decryption ceiling even on the exact backend.
+    ///
     /// # Panics
     ///
-    /// Panics on size mismatches with the planned shape.
+    /// Panics on size mismatches with the planned shape (caller-side
+    /// contract violations, not wire inputs).
     pub fn run<R: Rng>(
         &self,
         sk: &SecretKey,
         x: &[i64],
         weights: &[i64],
         rng: &mut R,
-    ) -> (ConvOutputShares, ProtocolStats) {
+    ) -> Result<(ConvOutputShares, ProtocolStats), FlashError> {
         let shape = *self.encoder.shape();
         assert_eq!(x.len(), shape.input_len(), "activation size mismatch");
         assert_eq!(
@@ -160,13 +281,16 @@ impl ConvProtocol {
         );
         let p = &self.params;
         let mut stats = ProtocolStats::default();
+        let mut up = InMemoryTransport::new(self.direction_config(UP_LINK_SALT));
+        let mut down = InMemoryTransport::new(self.direction_config(DOWN_LINK_SALT));
 
         // --- Secret-share the activation (normally pre-existing state).
         let (x_client, x_server) = self.ring.share_vec(x, rng);
         let xc_signed: Vec<i64> = x_client.iter().map(|&v| v as i64).collect();
         let xs_signed: Vec<i64> = x_server.iter().map(|&v| v as i64).collect();
 
-        // --- Client: encode its share per tile and encrypt.
+        // --- Client: encode its share per tile, encrypt, and upload the
+        // serialized ciphertexts.
         let enc = &self.encoder;
         let encode_span = flash_telemetry::span!("hconv.encode");
         let client_tiles = enc.encode_activation(&xc_signed);
@@ -179,22 +303,32 @@ impl ConvProtocol {
             .collect();
         drop(encode_span);
         stats.ciphertexts_up = cts.len();
-        stats.upload_bytes = cts.iter().map(|c| c.byte_size()).sum();
+        {
+            let _t = flash_telemetry::span!("hconv.wire_serialize");
+            for ct in &cts {
+                up.send(&serialize::ciphertext_to_bytes(ct))?;
+            }
+        }
+        drop(cts);
 
-        // --- Server: fold in its share, multiply by weights, mask.
+        // --- Server: receive and validate the upload, fold in its share.
         let server_tiles = enc.encode_activation(&xs_signed);
-        let cts_sum: Vec<Ciphertext> = cts
+        let cts_sum: Vec<Ciphertext> = server_tiles
             .iter()
-            .zip(&server_tiles)
-            .map(|(ct, tile)| ct.add_plain(&Poly::from_signed(tile, p.t), p))
-            .collect();
+            .map(|tile| {
+                let bytes = up.recv()?;
+                let ct = serialize::ciphertext_from_bytes(&bytes, p.n, p.q)?;
+                ct.validate_for(p)?;
+                Ok(ct.add_plain(&Poly::from_signed(tile, p.t), p))
+            })
+            .collect::<Result<_, FlashError>>()?;
+        stats.upload_bytes = up.stats().payload_bytes as usize;
         stats.activation_transforms = 2 * cts_sum.len();
 
         let bands = enc.bands();
         let out_len = shape.output_len();
         let mut y_client = vec![0u64; out_len];
         let mut y_server = vec![0u64; out_len];
-        let mut results = Vec::with_capacity(bands * shape.m);
         let half_spectrum = (p.n / 2) as u64;
 
         // One mask seed per (oc, band) job, drawn sequentially up front,
@@ -210,7 +344,8 @@ impl ConvProtocol {
             (0..bands).map(|b| self.band_plan(b)).collect();
 
         // --- Server fan-out: each output channel transforms its weights
-        // and runs the per-band multiply/accumulate/mask independently.
+        // and runs the per-band guard/multiply/accumulate/mask/serialize
+        // independently.
         let per_oc = flash_runtime::parallel_gen(shape.m, |oc| {
             let w_polys = enc.encode_weight(
                 &weights[oc * shape.kernel_len()..][..shape.kernel_len()],
@@ -219,45 +354,61 @@ impl ConvProtocol {
             (0..bands)
                 .map(|b| {
                     let mut band_stats = ProtocolStats::default();
+                    // Noise guard: refuse (exact overflow) or fall back
+                    // (approximate error too close to the ceiling) before
+                    // any spectra are computed.
+                    let (noise, w_sq) = self.band_noise_bound(&w_polys, b);
+                    noise.check()?;
+                    let fallback = match self.backend.error_model() {
+                        Some(model) => {
+                            let err = model.phase_error_bound(p, w_sq, w_polys.len());
+                            noise.bound() + err >= self.noise_margin * noise.ceiling()
+                        }
+                        None => false,
+                    };
+                    let exact = PolyMulBackend::Ntt;
+                    let backend = if fallback {
+                        band_stats.ntt_fallbacks += 1;
+                        &exact
+                    } else {
+                        &self.backend
+                    };
                     // Fused multiply-accumulate: one resident accumulator,
                     // one weight transform per channel group, no
                     // intermediate ciphertexts.
                     let mut acc = Ciphertext::zero(p.n, p.q);
-                    if let Some(plan) = &band_plans[b] {
+                    match &band_plans[b] {
                         // Sparse fast path: one µop tape transforms every
                         // group's weight polynomial for this band in one
                         // batched sweep, then the spectra feed the fused
-                        // ciphertext-side accumulate.
-                        let m_half = p.n / 2;
-                        let mut spectra = C64_SCRATCH.take(w_polys.len() * m_half);
-                        {
-                            let _t = flash_telemetry::span!("hconv.weight_transform");
-                            plan.execute_batch_into(
-                                w_polys.iter().map(|w_poly| w_poly[b].as_slice()),
-                                &mut spectra,
-                            );
+                        // ciphertext-side accumulate. (Tapes produce FFT
+                        // spectra, so a guard fallback takes the dense NTT
+                        // arm instead.)
+                        Some(plan) if !fallback => {
+                            let m_half = p.n / 2;
+                            let mut spectra = C64_SCRATCH.take(w_polys.len() * m_half);
+                            {
+                                let _t = flash_telemetry::span!("hconv.weight_transform");
+                                plan.execute_batch_into(
+                                    w_polys.iter().map(|w_poly| w_poly[b].as_slice()),
+                                    &mut spectra,
+                                );
+                            }
+                            for (g, fw) in spectra.chunks_exact(m_half).enumerate() {
+                                cts_sum[g * bands + b]
+                                    .mul_plain_spectrum_acc(fw, p, backend, &mut acc);
+                                band_stats.weight_transforms += 1;
+                                band_stats.sparse_weight_transforms += 1;
+                                band_stats.pointwise_muls += 2 * half_spectrum;
+                            }
                         }
-                        for (g, fw) in spectra.chunks_exact(m_half).enumerate() {
-                            cts_sum[g * bands + b].mul_plain_spectrum_acc(
-                                fw,
-                                p,
-                                &self.backend,
-                                &mut acc,
-                            );
-                            band_stats.weight_transforms += 1;
-                            band_stats.sparse_weight_transforms += 1;
-                            band_stats.pointwise_muls += 2 * half_spectrum;
-                        }
-                    } else {
-                        for (g, w_poly) in w_polys.iter().enumerate() {
-                            cts_sum[g * bands + b].mul_plain_signed_acc(
-                                &w_poly[b],
-                                p,
-                                &self.backend,
-                                &mut acc,
-                            );
-                            band_stats.weight_transforms += 1;
-                            band_stats.pointwise_muls += 2 * half_spectrum;
+                        _ => {
+                            for (g, w_poly) in w_polys.iter().enumerate() {
+                                cts_sum[g * bands + b]
+                                    .mul_plain_signed_acc(&w_poly[b], p, backend, &mut acc);
+                                band_stats.weight_transforms += 1;
+                                band_stats.pointwise_muls += 2 * half_spectrum;
+                            }
                         }
                     }
                     // Fresh random mask: the server's output share.
@@ -272,52 +423,71 @@ impl ConvProtocol {
                     let mask_signed: Vec<i64> = mask.coeffs().iter().map(|&v| v as i64).collect();
                     let mut server_share = vec![0i64; out_len];
                     enc.decode_band(&mask_signed, b, oc, &mut server_share);
-                    // Optional download compression: truncate, "send", and
-                    // reconstruct on the client side.
-                    let masked = match self.truncation {
-                        None => {
-                            band_stats.download_bytes += masked.byte_size();
-                            masked
-                        }
+                    // Serialize the response for the downlink — optionally
+                    // truncated (Cheetah's download compression; the
+                    // `(d0, d1)` pair travels in the session context).
+                    let response = match self.truncation {
+                        None => serialize::ciphertext_to_bytes(&masked),
                         Some((d0, d1)) => {
                             let _t = flash_telemetry::span!("hconv.truncate_serialize");
-                            let t = flash_he::truncate::TruncatedCiphertext::truncate(
-                                &masked, d0, d1, p,
-                            );
-                            band_stats.download_bytes += t.byte_size(p);
-                            t.reconstruct(p)
+                            TruncatedCiphertext::truncate(&masked, d0, d1, p).to_bytes(p)
                         }
                     };
-                    (b, server_share, masked, band_stats)
+                    band_stats.download_bytes += response.len();
+                    Ok((b, server_share, response, band_stats))
                 })
-                .collect::<Vec<_>>()
+                .collect::<Result<Vec<_>, FlashError>>()
         });
+        // Send the responses over the downlink in deterministic
+        // `(oc, band)` order (the fan-out only prepared the bytes).
+        let mut order = Vec::with_capacity(bands * shape.m);
         for (oc, oc_results) in per_oc.into_iter().enumerate() {
-            for (b, server_share, masked, band_stats) in oc_results {
+            for (b, server_share, response, band_stats) in oc_results? {
                 stats.weight_transforms += band_stats.weight_transforms;
                 stats.sparse_weight_transforms += band_stats.sparse_weight_transforms;
                 stats.pointwise_muls += band_stats.pointwise_muls;
                 stats.inverse_transforms += band_stats.inverse_transforms;
                 stats.download_bytes += band_stats.download_bytes;
+                stats.ntt_fallbacks += band_stats.ntt_fallbacks;
                 self.merge_band(&server_share, b, oc, &mut y_server);
-                results.push((b, oc, masked));
+                down.send(&response)?;
+                order.push((b, oc));
             }
         }
-        stats.ciphertexts_down = results.len();
+        stats.ciphertexts_down = order.len();
 
-        // --- Client: decrypt and decode its share (independent per
-        // response ciphertext; the merge stays sequential).
-        let decoded = flash_runtime::parallel_map(&results, |(b, oc, ct)| {
+        // --- Client: drain the downlink (sequential — the transport owns
+        // delivery order and recovery), then deserialize, validate,
+        // decrypt and decode in parallel; the merge stays sequential.
+        let mut received = Vec::with_capacity(order.len());
+        for (b, oc) in order {
+            received.push((b, oc, down.recv()?));
+        }
+        let decoded = flash_runtime::parallel_map(&received, |(b, oc, bytes)| {
             let _t = flash_telemetry::span!("hconv.decrypt");
-            let m = sk.decrypt(ct);
+            let ct = match self.truncation {
+                None => {
+                    let ct = serialize::ciphertext_from_bytes(bytes, p.n, p.q)?;
+                    ct.validate_for(p)?;
+                    ct
+                }
+                Some((d0, d1)) => TruncatedCiphertext::from_bytes(bytes, d0, d1, p)?.reconstruct(p),
+            };
+            let m = sk.try_decrypt(&ct)?;
             let coeffs: Vec<i64> = m.coeffs().iter().map(|&v| v as i64).collect();
             let mut tmp = vec![0i64; out_len];
             enc.decode_band(&coeffs, *b, *oc, &mut tmp);
-            tmp
+            Ok::<_, FlashError>(tmp)
         });
-        for ((b, oc, _), tmp) in results.iter().zip(&decoded) {
-            self.merge_band(tmp, *b, *oc, &mut y_client);
+        for ((b, oc, _), tmp) in received.iter().zip(decoded) {
+            self.merge_band(&tmp?, *b, *oc, &mut y_client);
         }
+
+        let wire = up.stats().merge(down.stats());
+        stats.upload_wire_bytes = up.stats().wire_bytes as usize;
+        stats.download_wire_bytes = down.stats().wire_bytes as usize;
+        stats.faults_detected = wire.faults_detected as usize;
+        stats.frames_retried = wire.frames_retried as usize;
 
         // Mirror the per-run accounting into the process-wide registry so
         // `flash_telemetry::snapshot()` sees aggregate protocol totals.
@@ -333,14 +503,20 @@ impl ConvProtocol {
             .add(stats.activation_transforms as u64);
         flash_telemetry::counter!("twopc.inverse_transforms").add(stats.inverse_transforms as u64);
         flash_telemetry::counter!("twopc.pointwise_muls").add(stats.pointwise_muls);
+        flash_telemetry::counter!("twopc.upload_wire_bytes").add(stats.upload_wire_bytes as u64);
+        flash_telemetry::counter!("twopc.download_wire_bytes")
+            .add(stats.download_wire_bytes as u64);
+        flash_telemetry::counter!("twopc.faults_detected").add(stats.faults_detected as u64);
+        flash_telemetry::counter!("twopc.frames_retried").add(stats.frames_retried as u64);
+        flash_telemetry::counter!("hconv.ntt_fallbacks").add(stats.ntt_fallbacks as u64);
 
-        (
+        Ok((
             ConvOutputShares {
                 client: y_client,
                 server: y_server,
             },
             stats,
-        )
+        ))
     }
 
     /// Reconstructs the signed output from the two shares.
@@ -391,13 +567,18 @@ mod tests {
         let w: Vec<i64> = (0..shape.m * shape.kernel_len())
             .map(|_| rng.gen_range(-8..8))
             .collect();
-        let (shares, stats) = proto.run(&sk, &x, &w, &mut rng);
+        let (shares, stats) = proto.run(&sk, &x, &w, &mut rng).unwrap();
         let got = proto.reconstruct(&shares);
         let want = expected_conv_mod(&x, &w, &shape, proto.ring());
         assert_eq!(got, want, "shape {shape}");
         assert_eq!(stats.ciphertexts_up, proto.encoder().activation_polys());
         assert_eq!(stats.ciphertexts_down, proto.encoder().result_polys());
         assert!(stats.upload_bytes > 0 && stats.download_bytes > 0);
+        // framing overhead is real and accounted
+        assert!(stats.upload_wire_bytes > stats.upload_bytes);
+        assert!(stats.download_wire_bytes > stats.download_bytes);
+        assert_eq!(stats.faults_detected, 0);
+        assert_eq!(stats.frames_retried, 0);
     }
 
     #[test]
@@ -499,9 +680,9 @@ mod tests {
         let dense =
             ConvProtocol::new(params, shape, PolyMulBackend::FftF64).with_sparse_weights(false);
         let mut r1 = rand::rngs::StdRng::seed_from_u64(9);
-        let (shares_s, stats_s) = sparse.run(&sk, &x, &w, &mut r1);
+        let (shares_s, stats_s) = sparse.run(&sk, &x, &w, &mut r1).unwrap();
         let mut r2 = rand::rngs::StdRng::seed_from_u64(9);
-        let (shares_d, stats_d) = dense.run(&sk, &x, &w, &mut r2);
+        let (shares_d, stats_d) = dense.run(&sk, &x, &w, &mut r2).unwrap();
 
         assert_eq!(shares_s, shares_d, "sparse path changed protocol output");
         assert_eq!(
@@ -531,7 +712,7 @@ mod tests {
         let proto = ConvProtocol::new(params, shape, PolyMulBackend::Ntt);
         let x = vec![1i64; shape.input_len()];
         let w = vec![2i64; shape.m * shape.kernel_len()];
-        let (shares, stats) = proto.run(&sk, &x, &w, &mut rng);
+        let (shares, stats) = proto.run(&sk, &x, &w, &mut rng).unwrap();
         assert_eq!(stats.sparse_weight_transforms, 0);
         assert_eq!(
             proto.reconstruct(&shares),
@@ -560,12 +741,12 @@ mod tests {
 
         let plain = ConvProtocol::new(params.clone(), shape, PolyMulBackend::Ntt);
         let mut r1 = rand::rngs::StdRng::seed_from_u64(1);
-        let (_, base_stats) = plain.run(&sk, &x, &w, &mut r1);
+        let (_, base_stats) = plain.run(&sk, &x, &w, &mut r1).unwrap();
 
         // a conservative truncation well inside the budget
         let trunc = ConvProtocol::new(params, shape, PolyMulBackend::Ntt).with_truncation(8, 2);
         let mut r2 = rand::rngs::StdRng::seed_from_u64(1);
-        let (shares, stats) = trunc.run(&sk, &x, &w, &mut r2);
+        let (shares, stats) = trunc.run(&sk, &x, &w, &mut r2).unwrap();
         assert_eq!(
             trunc.reconstruct(&shares),
             expected_conv_mod(&x, &w, &shape, trunc.ring())
@@ -595,7 +776,7 @@ mod tests {
         let proto = ConvProtocol::new(params, shape, PolyMulBackend::Ntt);
         let x = vec![0i64; shape.input_len()];
         let w = vec![1i64; shape.kernel_len()];
-        let (shares, _) = proto.run(&sk, &x, &w, &mut rng);
+        let (shares, _) = proto.run(&sk, &x, &w, &mut rng).unwrap();
         assert!(
             shares.client.iter().any(|&v| v != 0),
             "client share is masked"
@@ -605,5 +786,150 @@ mod tests {
             "server share is the mask"
         );
         assert!(proto.reconstruct(&shares).iter().all(|&v| v == 0));
+    }
+
+    fn approx_backend(params: &HeParams) -> PolyMulBackend {
+        let mut cfg = flash_fft::ApproxFftConfig::uniform(
+            params.n,
+            flash_math::fixed::FxpFormat::new(18, 34),
+            30,
+        );
+        cfg.max_shift = 30;
+        PolyMulBackend::approx(cfg)
+    }
+
+    #[test]
+    fn default_margin_reports_zero_fallbacks_at_modest_precision() {
+        // At the comfortable operating point the analytical error bound
+        // sits far below the ceiling, so the guard must not disturb the
+        // approximate/sparse hot path.
+        let shape = ConvShape {
+            c: 2,
+            h: 6,
+            w: 6,
+            m: 2,
+            k: 3,
+        };
+        let params = HeParams::test_256();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let sk = SecretKey::generate(&params, &mut rng);
+        let proto = ConvProtocol::new(params.clone(), shape, approx_backend(&params));
+        let x: Vec<i64> = (0..shape.input_len())
+            .map(|i| (i as i64 % 13) - 6)
+            .collect();
+        let w: Vec<i64> = (0..shape.m * shape.kernel_len())
+            .map(|i| (i as i64 % 13) - 6)
+            .collect();
+        let (shares, stats) = proto.run(&sk, &x, &w, &mut rng).unwrap();
+        assert_eq!(stats.ntt_fallbacks, 0);
+        assert!(stats.sparse_weight_transforms > 0, "hot path undisturbed");
+        assert_eq!(
+            proto.reconstruct(&shares),
+            expected_conv_mod(&x, &w, &shape, proto.ring())
+        );
+    }
+
+    #[test]
+    fn zero_margin_forces_exact_fallback_on_every_band() {
+        // margin 0 makes any nonzero analytical error bound trip the
+        // guard: every (oc, band) job must re-run on the NTT backend and
+        // decryption must still be exact.
+        let shape = ConvShape {
+            c: 2,
+            h: 6,
+            w: 6,
+            m: 2,
+            k: 3,
+        };
+        let params = HeParams::test_256();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(37);
+        let sk = SecretKey::generate(&params, &mut rng);
+        let proto = ConvProtocol::new(params.clone(), shape, approx_backend(&params))
+            .with_noise_margin(0.0);
+        let x: Vec<i64> = (0..shape.input_len())
+            .map(|i| (i as i64 % 11) - 5)
+            .collect();
+        let w: Vec<i64> = (0..shape.m * shape.kernel_len())
+            .map(|i| (i as i64 % 11) - 5)
+            .collect();
+        let (shares, stats) = proto.run(&sk, &x, &w, &mut rng).unwrap();
+        assert_eq!(stats.ntt_fallbacks, stats.ciphertexts_down);
+        assert_eq!(
+            stats.sparse_weight_transforms, 0,
+            "tapes produce FFT spectra"
+        );
+        assert_eq!(
+            proto.reconstruct(&shares),
+            expected_conv_mod(&x, &w, &shape, proto.ring())
+        );
+    }
+
+    #[test]
+    fn unsafe_truncation_fails_with_noise_overflow() {
+        // A truncation whose worst-case error alone dwarfs the decryption
+        // ceiling must be refused before any garbage is decrypted.
+        let shape = ConvShape {
+            c: 1,
+            h: 5,
+            w: 5,
+            m: 1,
+            k: 3,
+        };
+        let params = HeParams::test_256();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        let sk = SecretKey::generate(&params, &mut rng);
+        let proto = ConvProtocol::new(params, shape, PolyMulBackend::Ntt).with_truncation(30, 25);
+        let x = vec![1i64; shape.input_len()];
+        let w = vec![1i64; shape.kernel_len()];
+        let err = proto.run(&sk, &x, &w, &mut rng).unwrap_err();
+        assert!(
+            matches!(err, FlashError::He(flash_he::HeError::NoiseOverflow { .. })),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn conv_recovers_bit_identically_from_scripted_faults() {
+        let shape = ConvShape {
+            c: 2,
+            h: 6,
+            w: 6,
+            m: 2,
+            k: 3,
+        };
+        let params = HeParams::test_256();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(43);
+        let sk = SecretKey::generate(&params, &mut rng);
+        let x: Vec<i64> = (0..shape.input_len()).map(|i| (i as i64 % 9) - 4).collect();
+        let w: Vec<i64> = (0..shape.m * shape.kernel_len())
+            .map(|i| (i as i64 % 9) - 4)
+            .collect();
+
+        let clean = ConvProtocol::new(params.clone(), shape, PolyMulBackend::Ntt);
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(5);
+        let (clean_shares, _) = clean.run(&sk, &x, &w, &mut r1).unwrap();
+
+        use crate::transport::{FaultOp, FaultPlan};
+        let plan = FaultPlan::Scripted(vec![
+            FaultOp::Truncate { keep: 9 },
+            FaultOp::Duplicate,
+            FaultOp::FlipBit { byte: 100, bit: 0 },
+            FaultOp::Drop,
+            FaultOp::Reorder,
+        ]);
+        let faulty = ConvProtocol::new(params, shape, PolyMulBackend::Ntt)
+            .with_transport_config(TransportConfig::faulty(plan));
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(5);
+        let (faulty_shares, stats) = faulty.run(&sk, &x, &w, &mut r2).unwrap();
+        assert_eq!(
+            faulty_shares, clean_shares,
+            "recovered run must be bit-identical to the clean run"
+        );
+        assert!(stats.faults_detected > 0 && stats.frames_retried > 0);
+        assert!(
+            stats.upload_wire_bytes + stats.download_wire_bytes
+                > stats.upload_bytes + stats.download_bytes,
+            "retransmissions must show up in the wire accounting"
+        );
     }
 }

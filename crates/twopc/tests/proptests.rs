@@ -50,7 +50,7 @@ proptest! {
         use rand::Rng;
         let x: Vec<i64> = (0..shape.input_len()).map(|_| rng.gen_range(-8..8)).collect();
         let w: Vec<i64> = (0..shape.m * shape.kernel_len()).map(|_| rng.gen_range(-8..8)).collect();
-        let (shares, _) = proto.run(&sk, &x, &w, &mut rng);
+        let (shares, _) = proto.run(&sk, &x, &w, &mut rng).unwrap();
         prop_assert_eq!(
             proto.reconstruct(&shares),
             expected_conv_mod(&x, &w, &shape, proto.ring())
@@ -67,7 +67,7 @@ proptest! {
         use rand::Rng;
         let x: Vec<i64> = (0..ni).map(|_| rng.gen_range(-8..8)).collect();
         let w: Vec<i64> = (0..ni * no).map(|_| rng.gen_range(-8..8)).collect();
-        let ((yc, ys), _) = proto.run(&sk, &x, &w, &mut rng);
+        let ((yc, ys), _) = proto.run(&sk, &x, &w, &mut rng).unwrap();
         let ring = proto.ring();
         let want: Vec<i64> = matvec_reference(&w, &x, ni, no)
             .iter()

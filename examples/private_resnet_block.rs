@@ -53,7 +53,9 @@ fn main() {
     for layer in &block {
         let w = layer.sample_weights(Quantizer::w4(), &mut rng);
         // private path
-        let (y_priv, stats) = engine.run_layer(&sk, layer, &x, &w, &mut rng);
+        let (y_priv, stats) = engine
+            .run_layer(&sk, layer, &x, &w, &mut rng)
+            .expect("protocol run failed");
         // cleartext reference
         let y_clear = conv_reference(&x_clear, &w, layer);
         let expected: Vec<i64> = y_clear

@@ -48,7 +48,9 @@ fn main() {
     // Client-side key; the engine drives both protocol roles in-process.
     let sk = SecretKey::generate(&cfg.he, &mut rng);
     let engine = FlashHconv::new(cfg);
-    let (y, stats) = engine.run_layer(&sk, &layer, &x, &w, &mut rng);
+    let (y, stats) = engine
+        .run_layer(&sk, &layer, &x, &w, &mut rng)
+        .expect("protocol run failed");
 
     // Verify against the cleartext convolution (mod the share ring).
     let ring = engine.ring();

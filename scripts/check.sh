@@ -7,6 +7,21 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# `--faults` runs only the deterministic fault-injection suite: the
+# seeded 1000-schedule protocol sweep, the exhaustive single-bit-flip
+# sweeps, the framing proptests (fixed PROPTEST seeds via the vendored
+# stub), and the transport unit tests. Every schedule is a pure function
+# of its seed, so this job is bit-reproducible across machines.
+if [[ "${1:-}" == "--faults" ]]; then
+    echo "==> fault-injection suite (deterministic seeds)"
+    cargo test -q -p flash-2pc --lib transport
+    cargo test -q -p flash-2pc --test transport_proptests --test fault_injection
+    cargo test -q -p flash-2pc --lib protocol::tests::conv_recovers_bit_identically_from_scripted_faults
+    cargo test -q -p flash-2pc --lib matvec::tests::fc_recovers_from_faulty_wire
+    echo "==> fault-injection suite passed"
+    exit 0
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 

@@ -39,7 +39,7 @@ fn backends_agree_on_protocol_outputs() {
     ] {
         let engine = FlashHconv::with_backend(cfg.clone(), backend);
         let mut r = rand::rngs::StdRng::seed_from_u64(99);
-        let (y, _) = engine.run_layer(&sk, &layer, &x, &w, &mut r);
+        let (y, _) = engine.run_layer(&sk, &layer, &x, &w, &mut r).unwrap();
         outs.push(y);
     }
     assert_eq!(outs[0], outs[1], "NTT vs f64 FFT");
@@ -62,10 +62,10 @@ fn two_layer_pipeline_with_requant() {
     let w2 = l2.sample_weights(Quantizer::w4(), &mut rng);
 
     // private path
-    let (y1p, _) = engine.run_layer(&sk, &l1, &x0, &w1, &mut rng);
+    let (y1p, _) = engine.run_layer(&sk, &l1, &x0, &w1, &mut rng).unwrap();
     let rq = Requantizer::calibrate(y1p.iter().map(|v| v.abs()).max().unwrap().max(1), 4);
     let x1p: Vec<i64> = y1p.iter().map(|&v| rq.apply(v)).collect();
-    let (y2p, _) = engine.run_layer(&sk, &l2, &x1p, &w2, &mut rng);
+    let (y2p, _) = engine.run_layer(&sk, &l2, &x1p, &w2, &mut rng).unwrap();
 
     // cleartext path
     let y1c = conv_reference(&x0, &w1, &l1);
@@ -150,7 +150,7 @@ fn stride2_communication_accounting() {
     let x = layer.sample_input(Quantizer::a4(), &mut rng);
     let w = layer.sample_weights(Quantizer::w4(), &mut rng);
     let engine = FlashHconv::new(cfg.clone());
-    let (_, stats) = engine.run_layer(&sk, &layer, &x, &w, &mut rng);
+    let (_, stats) = engine.run_layer(&sk, &layer, &x, &w, &mut rng).unwrap();
     // 4 phases, each uploading at least one ciphertext per channel group
     assert!(stats.ciphertexts_up >= 4);
     assert_eq!(stats.ciphertexts_up % 4, 0);

@@ -38,7 +38,7 @@ proptest! {
             .map(|i| ((i as i64 * 11 + seed as i64) % 15) - 7)
             .collect();
         let engine = FlashHconv::new(cfg);
-        let (y, _) = engine.run_layer(&sk, &layer, &x, &w, &mut rng);
+        let (y, _) = engine.run_layer(&sk, &layer, &x, &w, &mut rng).unwrap();
         let ring = engine.ring();
         let want: Vec<i64> = conv_reference(&x, &w, &layer)
             .iter()
