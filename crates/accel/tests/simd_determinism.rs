@@ -1,0 +1,85 @@
+//! End-to-end bit-identity of the SIMD dispatch: a full HConv layer must
+//! produce the same ciphertexts, shares, and decoded outputs whether the
+//! spectral kernels run scalar or lane-parallel.
+//!
+//! The batched SoA paths promise per-lane expression sequences identical
+//! to the scalar kernels (integer-exact NTT, no-FMA f64 FFT), so this is
+//! an equality test — not a tolerance test.
+//!
+//! Single test function: `force_level` is process-global, so the runs at
+//! different lane widths must not interleave with other tests.
+
+use flash_accel::config::FlashConfig;
+use flash_accel::hconv::FlashHconv;
+use flash_fft::simd::{self, SimdLevel};
+use flash_he::SecretKey;
+use flash_nn::layers::ConvLayerSpec;
+use flash_nn::quant::Quantizer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn layer_output_is_bit_identical_across_simd_levels() {
+    let cfg = FlashConfig::test_small();
+    let layers = [
+        ConvLayerSpec {
+            name: "s1".into(),
+            c: 2,
+            h: 6,
+            w: 6,
+            m: 2,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        },
+        ConvLayerSpec {
+            name: "s2".into(),
+            c: 2,
+            h: 8,
+            w: 8,
+            m: 2,
+            k: 3,
+            stride: 2,
+            pad: 1,
+        },
+    ];
+    let levels: Vec<SimdLevel> = [
+        SimdLevel::Scalar,
+        SimdLevel::Portable,
+        SimdLevel::Avx2,
+        SimdLevel::Avx512,
+    ]
+    .into_iter()
+    .filter(|&l| l <= simd::detected_level())
+    .collect();
+    if levels.len() < 2 {
+        // A `FLASH_SIMD=off`/`scalar` cap leaves only one dispatch level;
+        // there is no second kernel to compare against.
+        eprintln!("skipping: only {} available", levels[0].name());
+        return;
+    }
+
+    for spec in &layers {
+        let mut results = Vec::new();
+        for &level in &levels {
+            simd::force_level(Some(level));
+            let engine = FlashHconv::new(cfg.clone());
+            let mut rng = StdRng::seed_from_u64(7);
+            let sk = SecretKey::generate(&cfg.he, &mut rng);
+            let x = spec.sample_input(Quantizer::a4(), &mut rng);
+            let w = spec.sample_weights(Quantizer::w4(), &mut rng);
+            let out = engine.run_layer(&sk, spec, &x, &w, &mut rng).unwrap();
+            simd::force_level(None);
+            results.push(out);
+        }
+        for (level, got) in levels.iter().zip(&results).skip(1) {
+            assert_eq!(
+                &results[0],
+                got,
+                "layer {} diverges between scalar and {} dispatch",
+                spec.name,
+                level.name()
+            );
+        }
+    }
+}

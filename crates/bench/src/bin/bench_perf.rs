@@ -15,12 +15,17 @@
 //! scratch-pool hit counters. It is followed by the *sparse* bench —
 //! compiled µop-tape weight transforms vs the dense FFT, at kernel level
 //! and end-to-end — written to `BENCH_sparse.json` with the plan-cache
-//! counters. `--quick` runs only those two sections.
+//! counters — and the *SIMD A/B* bench — the same layer with the scalar
+//! fallback forced vs the active dispatch tier, with the
+//! activation/inverse FFT stage medians, written to `BENCH_simd.json`.
+//! `--quick` runs only those three sections. `--no-simd` forces the
+//! scalar fallback for the whole run (the external A/B switch).
 //!
-//! `--check-regression` measures nothing new: it re-times the hot-path
-//! and sparse-path HConv medians and fails (exit 1) if either is more
-//! than 15 % slower than the committed `BENCH_hotpath.json` /
-//! `BENCH_sparse.json` baselines. Both artifacts carry a `calib_ms`
+//! `--check-regression` measures nothing new: it re-times the hot-path,
+//! sparse-path, and SIMD-dispatch HConv medians and fails (exit 1) if
+//! any is more than 15 % slower than the committed `BENCH_hotpath.json`
+//! / `BENCH_sparse.json` / `BENCH_simd.json` baselines. The artifacts
+//! carry a `calib_ms`
 //! field — the median of a fixed pure-ALU calibration loop measured in
 //! the same invocation — and the gate divides each ratio by the current
 //! host's calibration ratio, so CPU-frequency drift between the
@@ -41,11 +46,14 @@ use flash_bench::banner;
 use flash_dse::bayesopt::random_search;
 use flash_dse::{DesignSpace, Objective};
 use flash_he::encoding::{ConvEncoder, ConvShape};
-use flash_he::SecretKey;
+use flash_he::{HeParams, SecretKey};
+use flash_hw::arch::FlashArch;
 use flash_math::C64;
 use flash_nn::layers::ConvLayerSpec;
 use flash_nn::quant::Quantizer;
 use flash_nn::resnet18_conv_layers;
+use flash_runtime::simd::{self, SimdLevel};
+use flash_sparse::schedule::PeModel;
 use flash_sparse::{SparsePlan, SparsityPattern};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -201,6 +209,23 @@ fn baseline_hconv_ms() -> f64 {
     PRE_OPT_BASELINE_MS
 }
 
+/// The `"simd"` stanza every artifact carries next to
+/// `host_parallelism`/`git_revision`: the compile-time target features,
+/// the runtime-detected tier (after the `FLASH_SIMD` cap), and the tier
+/// the dispatchers actually used for this run (after `--no-simd` /
+/// `force_level`). A perf number is meaningless without knowing which
+/// kernels produced it.
+fn simd_json() -> String {
+    let active = simd::level();
+    format!(
+        "  \"simd\": {{\"target_features\": \"{}\", \"detected\": \"{}\", \"dispatch\": \"{}\", \"lanes\": {}}},\n",
+        simd::compile_target_features(),
+        simd::detected_level().name(),
+        active.name(),
+        active.lanes()
+    )
+}
+
 fn pool_stats_json(name: &str, s: flash_runtime::PoolStats) -> String {
     format!(
         "    \"{name}\": {{\"hits\": {}, \"misses\": {}, \"bytes_recycled\": {}, \"hit_rate\": {:.4}}}",
@@ -234,6 +259,56 @@ impl HconvFixture {
             pad: 1,
         };
         let mut rng = StdRng::seed_from_u64(11);
+        let sk = SecretKey::generate(&cfg.he, &mut rng);
+        let x = spec.sample_input(Quantizer::a4(), &mut rng);
+        let w = spec.sample_weights(Quantizer::w4(), &mut rng);
+        Self {
+            cfg,
+            spec,
+            sk,
+            x,
+            w,
+        }
+    }
+
+    /// The SIMD fixture: production ring degree (`N = 4096`, the paper's
+    /// operating point) and a layer whose spatial extent forces the row-
+    /// band encoding — `w = 128` (row stride 128, so 32 input rows fit a
+    /// tile and `k = 3` leaves 30 output rows per band) and `h = 120`
+    /// give 4 bands, and `c = 2` single-channel groups give 2 groups.
+    /// That makes 8 activation polynomials and 8-polynomial inverse
+    /// batches per output channel — full lane occupancy for the widest
+    /// (8-lane) spectral kernels, which the `test_small` fixture
+    /// (`N = 256`, one band) never reaches.
+    ///
+    /// Parameters deviate from `paper_default` in one deliberate way:
+    /// `t = 2^13` (ample for 4-bit quantized sums, |Σxw| < 1.9k) and a
+    /// near-exact weight datapath (50-bit words, `k = 30` twiddles), so
+    /// the §5f noise guard never reroutes bands to the exact-NTT
+    /// backend — verified by this layer returning the plaintext conv
+    /// bit-exactly with `ntt_fallbacks == 0`. At the paper's
+    /// `t = 2^21`/27-bit/`k = 5` point this layer trips the guard for
+    /// most bands, and the A/B would time the fallback path instead of
+    /// the batched FFT kernels it exists to gate.
+    fn simd() -> Self {
+        let he = HeParams::new(4096, 36, 1 << 13, 3.2);
+        let cfg = FlashConfig {
+            arch: FlashArch::paper_default(),
+            pe: PeModel::default(),
+            numerics: FlashConfig::numerics_for(he.n, 50, 30),
+            he,
+        };
+        let spec = ConvLayerSpec {
+            name: "bench-simd".into(),
+            c: 2,
+            h: 116,
+            w: 128,
+            m: 2,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let mut rng = StdRng::seed_from_u64(13);
         let sk = SecretKey::generate(&cfg.he, &mut rng);
         let x = spec.sample_input(Quantizer::a4(), &mut rng);
         let w = spec.sample_weights(Quantizer::w4(), &mut rng);
@@ -284,8 +359,14 @@ fn check_regression() -> i32 {
     flash_runtime::set_threads(1);
     let fixture = HconvFixture::new();
     let engine = FlashHconv::new(fixture.cfg.clone());
+    let simd_fixture = HconvFixture::simd();
+    let simd_engine = FlashHconv::new(simd_fixture.cfg.clone());
     let mut failures = 0;
-    let mut check = |name: &str, file: &str, key: &str| match std::fs::read_to_string(file) {
+    let mut check = |fixture: &HconvFixture,
+                     engine: &FlashHconv,
+                     name: &str,
+                     file: &str,
+                     key: &str| match std::fs::read_to_string(file) {
         Err(_) => println!("{name:34} no baseline ({file} missing); skipped"),
         Ok(text) => match parse_json_number(&text, key) {
             None => println!("{name:34} no baseline ({file} missing {key}); skipped"),
@@ -310,7 +391,7 @@ fn check_regression() -> i32 {
                     // Clamped at 1: a slower host is excused, a faster
                     // host never flatters the ratio.
                     let s = base_calib.map_or(1.0, |bc| calibration_ms() / bc).max(1.0);
-                    let f = fixture.median(&engine, 5);
+                    let f = fixture.median(engine, 5);
                     let r = f / base / s;
                     if r < ratio {
                         (fresh, speed, ratio) = (f, s, r);
@@ -330,11 +411,26 @@ fn check_regression() -> i32 {
             }
         },
     };
-    check("hconv_layer_hotpath", "BENCH_hotpath.json", "median_ms");
     check(
+        &fixture,
+        &engine,
+        "hconv_layer_hotpath",
+        "BENCH_hotpath.json",
+        "median_ms",
+    );
+    check(
+        &fixture,
+        &engine,
         "hconv_layer_sparse",
         "BENCH_sparse.json",
         "hconv_sparse_median_ms",
+    );
+    check(
+        &simd_fixture,
+        &simd_engine,
+        "hconv_layer_simd",
+        "BENCH_simd.json",
+        "hconv_simd_median_ms",
     );
     flash_runtime::set_threads(0);
     if failures > 0 {
@@ -453,6 +549,7 @@ fn sparse_bench(fixture: &HconvFixture, host: usize, rev: &str) -> String {
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"host_parallelism\": {host},\n"));
     json.push_str(&format!("  \"git_revision\": \"{rev}\",\n"));
+    json.push_str(&simd_json());
     json.push_str(&format!("  \"calib_ms\": {calib:.4},\n"));
     json.push_str("  \"kernel\": {\n");
     json.push_str("    \"name\": \"weight_transform_3x3_resnet_style\",\n");
@@ -505,6 +602,120 @@ fn sparse_bench(fixture: &HconvFixture, host: usize, rev: &str) -> String {
         "  \"telemetry\": {}\n",
         flash_telemetry::snapshot().to_json(2)
     ));
+    json.push_str("}\n");
+    json
+}
+
+/// The SIMD A/B bench: the production-degree [`HconvFixture::simd`]
+/// layer with the scalar fallback forced vs the active dispatch tier,
+/// reporting both the end-to-end median and the per-span means of the
+/// two batched spectral spans (`hconv.activation_fft`,
+/// `hconv.inverse_fft`). The stage breakdown needs a
+/// `--features telemetry` build; without it only the end-to-end A/B is
+/// meaningful and the artifact says so. Returns the `BENCH_simd.json`
+/// payload.
+fn simd_bench(
+    fixture: &HconvFixture,
+    host: usize,
+    rev: &str,
+    run_level: Option<SimdLevel>,
+) -> String {
+    let engine = FlashHconv::new(fixture.cfg.clone());
+    // (end_to_end_ms, activation_p50_ms, inverse_p50_ms, calib_ms)
+    let side = |level: SimdLevel| {
+        simd::force_level(Some(level));
+        let mut wrng = StdRng::seed_from_u64(5);
+        warm_up(200, 3, || {
+            engine
+                .run_layer(
+                    &fixture.sk,
+                    &fixture.spec,
+                    &fixture.x,
+                    &fixture.w,
+                    &mut wrng,
+                )
+                .expect("bench protocol run failed");
+        });
+        flash_telemetry::reset();
+        let (calib, e2e) = paired_median(fixture, &engine, 5);
+        // Restore the run-wide override (`--no-simd`), not necessarily
+        // auto-detection.
+        simd::force_level(run_level);
+        let snap = flash_telemetry::snapshot();
+        // Histogram percentiles are log2-bucket midpoints — adjacent
+        // buckets are exactly 2× apart, so a bucketed p50 cannot
+        // resolve the very ratio this bench gates on. The mean over
+        // every span instance in the timed window (total_ns / count)
+        // has continuous resolution and, over dozens of identical
+        // fixed-size batches, estimates the same central tendency.
+        let mean_ms = |stage: &str| {
+            snap.spans
+                .iter()
+                .find(|(name, _)| *name == stage)
+                .map_or(0.0, |(_, h)| h.mean_ns() as f64 / 1e6)
+        };
+        (
+            e2e,
+            mean_ms("hconv.activation_fft"),
+            mean_ms("hconv.inverse_fft"),
+            calib,
+            snap.enabled,
+        )
+    };
+    let active = simd::level();
+    let (e2e_off, act_off, inv_off, _, _) = side(SimdLevel::Scalar);
+    let (e2e_on, act_on, inv_on, calib, telemetry) = side(active);
+    let e2e_speedup = e2e_off / e2e_on;
+    let stage_off = act_off + inv_off;
+    let stage_on = act_on + inv_on;
+    let stage_speedup = if stage_on > 0.0 {
+        stage_off / stage_on
+    } else {
+        0.0
+    };
+    println!(
+        "{:34} scalar {:9.3} ms  {} {:9.3} ms  speedup {:5.2}x (end-to-end)",
+        "hconv_layer_simd_ab",
+        e2e_off,
+        active.name(),
+        e2e_on,
+        e2e_speedup
+    );
+    if telemetry {
+        println!(
+            "{:34} scalar {:9.4} ms  {} {:9.4} ms  speedup {:5.2}x (stage mean: activation+inverse)",
+            "hconv_fft_stages_simd_ab",
+            stage_off,
+            active.name(),
+            stage_on,
+            stage_speedup
+        );
+    } else {
+        println!("note: built without `--features telemetry`; stage breakdown unavailable");
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"hconv_simd_ab\",\n");
+    json.push_str(&format!("  \"host_parallelism\": {host},\n"));
+    json.push_str(&format!("  \"git_revision\": \"{rev}\",\n"));
+    json.push_str(&simd_json());
+    json.push_str(&format!("  \"calib_ms\": {calib:.4},\n"));
+    json.push_str(&format!("  \"telemetry_enabled\": {telemetry},\n"));
+    json.push_str(&format!("  \"hconv_scalar_median_ms\": {e2e_off:.4},\n"));
+    json.push_str(&format!("  \"hconv_simd_median_ms\": {e2e_on:.4},\n"));
+    json.push_str(&format!("  \"hconv_speedup\": {e2e_speedup:.3},\n"));
+    json.push_str("  \"stages\": {\n");
+    json.push_str("    \"estimator\": \"mean over all span instances in the timed window\",\n");
+    json.push_str(&format!(
+        "    \"activation_fft_scalar_ms\": {act_off:.5},\n"
+    ));
+    json.push_str(&format!("    \"activation_fft_simd_ms\": {act_on:.5},\n"));
+    json.push_str(&format!("    \"inverse_fft_scalar_ms\": {inv_off:.5},\n"));
+    json.push_str(&format!("    \"inverse_fft_simd_ms\": {inv_on:.5},\n"));
+    json.push_str(&format!("    \"combined_scalar_ms\": {stage_off:.5},\n"));
+    json.push_str(&format!("    \"combined_simd_ms\": {stage_on:.5},\n"));
+    json.push_str(&format!("    \"combined_speedup\": {stage_speedup:.3}\n"));
+    json.push_str("  }\n");
     json.push_str("}\n");
     json
 }
@@ -618,6 +829,15 @@ fn stage_report() {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    // `--no-simd`: the A/B switch. Forces the scalar fallback for the
+    // whole run (equivalent to `FLASH_SIMD=off`), so two invocations —
+    // with and without the flag — compare the dispatch tiers on every
+    // bench in this binary. Note the regression gate's committed
+    // baselines are produced with full dispatch; `--no-simd
+    // --check-regression` is for experiments, not gating.
+    let no_simd = std::env::args().any(|a| a == "--no-simd");
+    let run_level = no_simd.then_some(SimdLevel::Scalar);
+    simd::force_level(run_level);
     if std::env::args().any(|a| a == "--check-regression") {
         std::process::exit(check_regression());
     }
@@ -694,6 +914,7 @@ fn main() {
     hot_json.push_str("  \"bench\": \"hconv_layer_hotpath\",\n");
     hot_json.push_str(&format!("  \"host_parallelism\": {host},\n"));
     hot_json.push_str(&format!("  \"git_revision\": \"{rev}\",\n"));
+    hot_json.push_str(&simd_json());
     hot_json.push_str("  \"threads\": 1,\n");
     hot_json.push_str("  \"warm_cache\": true,\n");
     hot_json.push_str(&format!("  \"calib_ms\": {calib:.4},\n"));
@@ -721,6 +942,13 @@ fn main() {
     let sparse_json = sparse_bench(&fixture, host, &rev);
     std::fs::write("BENCH_sparse.json", &sparse_json).expect("write BENCH_sparse.json");
     println!("wrote BENCH_sparse.json");
+
+    // --- SIMD A/B bench (scalar fallback vs active dispatch tier) at
+    // production degree with full lane occupancy.
+    let simd_fixture = HconvFixture::simd();
+    let simd_ab = simd_bench(&simd_fixture, host, &rev, run_level);
+    std::fs::write("BENCH_simd.json", &simd_ab).expect("write BENCH_simd.json");
+    println!("wrote BENCH_simd.json");
     if quick {
         flash_runtime::set_threads(0);
         return;
@@ -825,6 +1053,7 @@ fn main() {
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"host_parallelism\": {host},\n"));
     json.push_str(&format!("  \"git_revision\": \"{rev}\",\n"));
+    json.push_str(&simd_json());
     if oversubscribed {
         json.push_str("  \"threads_compared\": [1],\n");
         json.push_str(&format!(

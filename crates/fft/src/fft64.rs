@@ -95,6 +95,152 @@ impl FftPlan {
         }
     }
 
+    /// The butterfly cascade of [`FftPlan::transform_bitrev_input`] over a
+    /// lane-interleaved SoA batch: `soa` holds `m` slots of `W` complex
+    /// lanes (`[re × W | im × W]` per slot, see [`crate::simd`]), already
+    /// bit-reverse permuted along the slot axis. One twiddle load serves
+    /// all `W` lanes; per lane the arithmetic sequence is exactly the
+    /// scalar cascade, so outputs are bit-identical to `W` independent
+    /// scalar transforms.
+    ///
+    /// Kept `inline(always)` so the `#[target_feature]` dispatch wrappers
+    /// in `negacyclic.rs` monomorphize it *inside* their feature scope and
+    /// the lane loops vectorize at the dispatched width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `soa.len() != 2 * W * self.size()`.
+    /// One unfused butterfly stage at block size `len` over SoA slots.
+    #[inline(always)]
+    fn soa_stage<const W: usize>(&self, soa: &mut [f64], len: usize, dir: Direction) {
+        use crate::simd::C64x;
+        let m = self.m;
+        let half = len / 2;
+        let stride = m / len;
+        for block in (0..m).step_by(len) {
+            for j in 0..half {
+                let w = self.root(j * stride, dir);
+                let u = C64x::<W>::load_slot(soa, block + j);
+                let v = C64x::<W>::load_slot(soa, block + j + half).mul_c(w);
+                u.add(v).store_slot(soa, block + j);
+                u.sub(v).store_slot(soa, block + j + half);
+            }
+        }
+    }
+
+    /// Two fused stages (`len`, `2·len`) over SoA slots: four slots per
+    /// group stay in registers across both stages.
+    #[inline(always)]
+    fn soa_stage_pair<const W: usize>(&self, soa: &mut [f64], len: usize, dir: Direction) {
+        use crate::simd::C64x;
+        let m = self.m;
+        let half = len / 2;
+        let stride1 = m / len;
+        let stride2 = m / (2 * len);
+        for block in (0..m).step_by(2 * len) {
+            for j in 0..half {
+                let w1 = self.root(j * stride1, dir);
+                // Stage `len`, both sub-blocks (they share `w1`).
+                let a0 = C64x::<W>::load_slot(soa, block + j);
+                let b0 = C64x::<W>::load_slot(soa, block + j + half).mul_c(w1);
+                let u0 = a0.add(b0);
+                let v0 = a0.sub(b0);
+                let a1 = C64x::<W>::load_slot(soa, block + len + j);
+                let b1 = C64x::<W>::load_slot(soa, block + len + j + half).mul_c(w1);
+                let u1 = a1.add(b1);
+                let v1 = a1.sub(b1);
+                // Stage `2·len`: `(j, j+len)` and `(j+half, j+half+len)`.
+                let t0 = u1.mul_c(self.root(j * stride2, dir));
+                u0.add(t0).store_slot(soa, block + j);
+                u0.sub(t0).store_slot(soa, block + len + j);
+                let t1 = v1.mul_c(self.root((j + half) * stride2, dir));
+                v0.add(t1).store_slot(soa, block + j + half);
+                v0.sub(t1).store_slot(soa, block + len + j + half);
+            }
+        }
+    }
+
+    /// Three fused stages (`len`, `2·len`, `4·len`) over SoA slots: eight
+    /// slots per group stay in registers across all three stages.
+    #[inline(always)]
+    fn soa_stage_triple<const W: usize>(&self, soa: &mut [f64], len: usize, dir: Direction) {
+        use crate::simd::C64x;
+        let m = self.m;
+        let half = len / 2;
+        let stride1 = m / len;
+        let stride2 = m / (2 * len);
+        let stride3 = m / (4 * len);
+        for block in (0..m).step_by(4 * len) {
+            for j in 0..half {
+                // Stage `len`: four sub-blocks, all sharing `w1`.
+                let w1 = self.root(j * stride1, dir);
+                let (mut s, mut t) = ([C64x::<W>::zero(); 4], [C64x::<W>::zero(); 4]);
+                for k in 0..4 {
+                    let a = C64x::<W>::load_slot(soa, block + k * len + j);
+                    let b = C64x::<W>::load_slot(soa, block + k * len + j + half).mul_c(w1);
+                    s[k] = a.add(b);
+                    t[k] = a.sub(b);
+                }
+                // Stage `2·len`: pairs `(s0,s1)`, `(s2,s3)` at index `j`
+                // and `(t0,t1)`, `(t2,t3)` at index `j + half`.
+                let w2a = self.root(j * stride2, dir);
+                let w2b = self.root((j + half) * stride2, dir);
+                let (u0, u1) = (s[0], s[1].mul_c(w2a));
+                let (p0, p2) = (u0.add(u1), u0.sub(u1));
+                let (u2, u3) = (s[2], s[3].mul_c(w2a));
+                let (p4, p6) = (u2.add(u3), u2.sub(u3));
+                let (v0, v1) = (t[0], t[1].mul_c(w2b));
+                let (p1, p3) = (v0.add(v1), v0.sub(v1));
+                let (v2, v3) = (t[2], t[3].mul_c(w2b));
+                let (p5, p7) = (v2.add(v3), v2.sub(v3));
+                // Stage `4·len`: pairs at indices `j`, `j+half`, `j+len`,
+                // `j+len+half`.
+                let q = p4.mul_c(self.root(j * stride3, dir));
+                p0.add(q).store_slot(soa, block + j);
+                p0.sub(q).store_slot(soa, block + 2 * len + j);
+                let q = p5.mul_c(self.root((j + half) * stride3, dir));
+                p1.add(q).store_slot(soa, block + j + half);
+                p1.sub(q).store_slot(soa, block + 2 * len + j + half);
+                let q = p6.mul_c(self.root((j + len) * stride3, dir));
+                p2.add(q).store_slot(soa, block + len + j);
+                p2.sub(q).store_slot(soa, block + 3 * len + j);
+                let q = p7.mul_c(self.root((j + len + half) * stride3, dir));
+                p3.add(q).store_slot(soa, block + len + j + half);
+                p3.sub(q).store_slot(soa, block + 3 * len + j + half);
+            }
+        }
+    }
+
+    /// The SoA buffer is `W×` a single transform, so unlike the scalar
+    /// cascade it lives in L2, and every stage pays a full read+write
+    /// sweep of it. Stages are therefore fused — in triples (radix-2³)
+    /// with a pair/single prologue to absorb `log2 m mod 3` — cutting
+    /// the sweeps from `log2 m` to about a third. Per lane the
+    /// expression tree is unchanged: each fused stage consumes exactly
+    /// the values the unfused stage would have stored, so outputs stay
+    /// bit-identical to the scalar cascade.
+    #[inline(always)]
+    pub fn transform_bitrev_soa<const W: usize>(&self, soa: &mut [f64], dir: Direction) {
+        let m = self.m;
+        assert_eq!(soa.len(), 2 * W * m, "SoA batch must hold m slots");
+        let mut len = 2usize;
+        let mut rem = self.log_m;
+        if rem % 3 == 1 {
+            self.soa_stage::<W>(soa, len, dir);
+            len *= 2;
+            rem -= 1;
+        } else if rem % 3 == 2 {
+            self.soa_stage_pair::<W>(soa, len, dir);
+            len *= 4;
+            rem -= 2;
+        }
+        while rem > 0 {
+            self.soa_stage_triple::<W>(soa, len, dir);
+            len *= 8;
+            rem -= 3;
+        }
+    }
+
     /// Convenience: forward transform (negative exponent) of a copy.
     pub fn forward(&self, data: &[C64]) -> Vec<C64> {
         let mut v = data.to_vec();

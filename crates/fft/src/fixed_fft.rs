@@ -330,6 +330,36 @@ impl FixedNegacyclicFft {
         stats
     }
 
+    /// Batched [`FixedNegacyclicFft::forward_into`] over `ws.len() / N`
+    /// concatenated polynomials, merging the quantization statistics.
+    ///
+    /// The fixed-point datapath models hardware CSD shift-add multipliers
+    /// in `i128` registers, which have no `f64` lane representation, so
+    /// unlike [`crate::negacyclic::NegacyclicFft::forward_batch_into`]
+    /// this groups tape passes rather than interleaving lanes; it exists
+    /// so callers can hand whole layers to one call and outputs stay
+    /// bit-identical to per-polynomial runs by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ws.len()` is not a multiple of the ring degree or
+    /// `out.len()` is not `batch · N/2`.
+    pub fn forward_batch_into(&self, ws: &[i64], out: &mut [C64]) -> QuantStats {
+        let n = self.cfg.n;
+        assert_eq!(
+            ws.len() % n,
+            0,
+            "batch length must be a multiple of the ring degree"
+        );
+        let batch = ws.len() / n;
+        assert_eq!(out.len(), batch * (n / 2), "spectrum length mismatch");
+        let mut stats = QuantStats::new();
+        for (w, chunk) in ws.chunks_exact(n).zip(out.chunks_exact_mut(n / 2)) {
+            stats.merge(&self.forward_into(w, chunk));
+        }
+        stats
+    }
+
     /// Inverse negacyclic transform through the same fixed-point
     /// datapath: `N/2` spectrum points → `N` real coefficients. Uses the
     /// conjugated twiddle ROMs (negation of the imaginary CSD terms is

@@ -19,6 +19,11 @@
 //!   transform of the FLASH PE).
 //! * [`error`] — Monte-Carlo and analytical error models that drive the
 //!   DSE of Section IV-C.
+//! * [`simd`] — portable lane types and the runtime dispatch behind the
+//!   batched structure-of-arrays transforms
+//!   ([`NegacyclicFft::forward_batch_into`] /
+//!   [`NegacyclicFft::inverse_batch_into`]), bit-identical to the scalar
+//!   path at every lane width.
 //!
 //! # Examples
 //!
@@ -39,6 +44,7 @@ pub mod fft64;
 pub mod fixed_fft;
 pub mod negacyclic;
 pub mod radix4;
+pub mod simd;
 pub mod twiddle;
 
 pub use fixed_fft::ApproxFftConfig;

@@ -17,6 +17,8 @@
 
 use crate::dft::Direction;
 use crate::fft64::FftPlan;
+use crate::simd::{self, tile, C64x, F64x, SimdLevel};
+use flash_math::bitrev::bit_reverse as bitrev;
 use flash_math::modular::{center_lift, from_signed_i128};
 use flash_math::C64;
 use flash_runtime::{CacheStats, Interner, F64_SCRATCH};
@@ -180,6 +182,385 @@ impl NegacyclicFft {
         }
     }
 
+    /// Batched forward transform over `batch = inputs.len() / N`
+    /// polynomials stored consecutively in `inputs`; spectrum `l` is
+    /// written to `out[l·N/2 .. (l+1)·N/2]`.
+    ///
+    /// Blocks of `W = flash_runtime::simd::lanes()` polynomials are
+    /// transposed into a lane-interleaved SoA scratch buffer and run
+    /// through one butterfly cascade (one twiddle load per `W` lanes, see
+    /// [`crate::simd`]); remainder lanes are zero-padded. Outputs are
+    /// **bit-identical** to `batch` independent
+    /// [`NegacyclicFft::forward_into`] calls at every lane width — the
+    /// scalar fallback (`W = 1`) literally makes those calls. Performs no
+    /// allocations (SoA staging comes from the scratch pool).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` is not a multiple of `N` or
+    /// `out.len() != inputs.len() / 2`.
+    pub fn forward_batch_into(&self, inputs: &[f64], out: &mut [C64]) {
+        let (n, half) = (self.n, self.n / 2);
+        assert_eq!(inputs.len() % n, 0, "inputs must be whole polynomials");
+        let batch = inputs.len() / n;
+        assert_eq!(out.len(), batch * half, "output must hold batch spectra");
+        let level = simd::level();
+        if level == SimdLevel::Scalar {
+            for (a, o) in inputs.chunks_exact(n).zip(out.chunks_exact_mut(half)) {
+                self.forward_into(a, o);
+            }
+            return;
+        }
+        let w = level.lanes();
+        let mut done = 0;
+        while done < batch {
+            let used = (batch - done).min(w);
+            let ins = &inputs[done * n..(done + used) * n];
+            let outs = &mut out[done * half..(done + used) * half];
+            // Narrow tails take the narrowest kernel that still covers
+            // them (see [`SimdLevel::narrowed`]); a single polynomial
+            // skips the SoA staging entirely.
+            if used == 1 {
+                self.forward_into(ins, outs);
+            } else {
+                match level.narrowed(used) {
+                    #[cfg(target_arch = "x86_64")]
+                    SimdLevel::Avx512 => unsafe { self.forward_batch_soa_avx512(ins, used, outs) },
+                    #[cfg(target_arch = "x86_64")]
+                    SimdLevel::Avx2 => unsafe { self.forward_batch_soa_avx2(ins, used, outs) },
+                    _ => self.forward_batch_soa::<2>(ins, used, outs),
+                }
+            }
+            done += used;
+        }
+    }
+
+    /// Batched inverse transform: spectrum `l` is read from
+    /// `spectra[l·N/2 ..]` (left untouched) and polynomial `l` written to
+    /// `out[l·N ..]`. Same SoA batching, zero-padding, bit-identity to
+    /// [`NegacyclicFft::inverse_into`], and no-allocation guarantees as
+    /// [`NegacyclicFft::forward_batch_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spectra.len()` is not a multiple of `N/2` or
+    /// `out.len() != 2 * spectra.len()`.
+    pub fn inverse_batch_into(&self, spectra: &[C64], out: &mut [f64]) {
+        let (n, half) = (self.n, self.n / 2);
+        assert_eq!(spectra.len() % half, 0, "spectra must be whole spectra");
+        let batch = spectra.len() / half;
+        assert_eq!(out.len(), batch * n, "output must hold batch polynomials");
+        let level = simd::level();
+        if level == SimdLevel::Scalar {
+            let mut d = C64_SCRATCH.take(half);
+            for (s, o) in spectra.chunks_exact(half).zip(out.chunks_exact_mut(n)) {
+                d.copy_from_slice(s);
+                self.inverse_into(&mut d, o);
+            }
+            return;
+        }
+        let w = level.lanes();
+        let mut done = 0;
+        while done < batch {
+            let used = (batch - done).min(w);
+            let ins = &spectra[done * half..(done + used) * half];
+            let outs = &mut out[done * n..(done + used) * n];
+            // Narrow tails: same kernel narrowing as the forward path; a
+            // single spectrum stages through scratch and runs scalar.
+            if used == 1 {
+                let mut d = C64_SCRATCH.take_copied(ins);
+                self.inverse_into(&mut d, outs);
+            } else {
+                match level.narrowed(used) {
+                    #[cfg(target_arch = "x86_64")]
+                    SimdLevel::Avx512 => unsafe { self.inverse_batch_soa_avx512(ins, used, outs) },
+                    #[cfg(target_arch = "x86_64")]
+                    SimdLevel::Avx2 => unsafe { self.inverse_batch_soa_avx2(ins, used, outs) },
+                    _ => self.inverse_batch_soa::<2>(ins, used, outs),
+                }
+            }
+            done += used;
+        }
+    }
+
+    /// SoA forward kernel: `used ≤ W` polynomials from `inputs`
+    /// (consecutive, length `N` each) → `used` spectra in `out`. The
+    /// fold/twist is fused into the transpose-in (writing slot
+    /// `bitrev(j)` replaces the scalar path's explicit permutation).
+    #[inline(always)]
+    fn forward_batch_soa<const W: usize>(&self, inputs: &[f64], used: usize, out: &mut [C64]) {
+        let (n, half) = (self.n, self.n / 2);
+        let bits = self.plan.stages();
+        let mut soa = F64_SCRATCH.take(half * 2 * W);
+        // Tiled transposes: the W polynomial streams sit a power-of-two
+        // stride apart, so element-at-a-time column access would
+        // conflict-miss on every touch (all streams alias into one
+        // cache set). Instead each stream is copied a full 8-element
+        // row at a time (contiguous vector moves) and the 8×W corner
+        // turn happens in registers via the `simd::tile` shuffle
+        // networks — pure data movement, so lane values are untouched.
+        let tile = half.min(8);
+        #[cfg(target_arch = "x86_64")]
+        let fused = W == 8 && tile == 8;
+        #[cfg(not(target_arch = "x86_64"))]
+        let fused = false;
+        if fused {
+            // SAFETY: `W = 8` monomorphizations of this kernel only
+            // exist inside the `avx512` dispatch wrapper below.
+            #[cfg(target_arch = "x86_64")]
+            unsafe {
+                fused8::forward_in(inputs, n, used, &self.twist, bits, &mut soa)
+            };
+        } else {
+            let mut rre = [[0.0f64; 8]; W];
+            let mut rim = [[0.0f64; 8]; W];
+            let mut tre = [[0.0f64; W]; 8];
+            let mut tim = [[0.0f64; W]; 8];
+            for jb in (0..half).step_by(tile) {
+                if tile == 8 {
+                    for (l, a) in inputs.chunks_exact(n).take(used).enumerate() {
+                        tile::prefetch(a, jb + 8);
+                        tile::prefetch(a, jb + half + 8);
+                        let (re, im) = (&a[jb..jb + 8], &a[jb + half..jb + half + 8]);
+                        #[allow(clippy::manual_memcpy)] // per-lane: see `F64x::load`
+                        for dj in 0..8 {
+                            rre[l][dj] = re[dj];
+                            rim[l][dj] = im[dj];
+                        }
+                    }
+                    // SAFETY: `W = 4` monomorphizations of this kernel
+                    // only exist inside the matching `#[target_feature]`
+                    // wrappers below (see `simd::tile`).
+                    unsafe {
+                        tile::rows_to_cols::<W>(&rre, &mut tre);
+                        tile::rows_to_cols::<W>(&rim, &mut tim);
+                    }
+                } else {
+                    for (l, a) in inputs.chunks_exact(n).take(used).enumerate() {
+                        for dj in 0..tile {
+                            tre[dj][l] = a[jb + dj];
+                            tim[dj][l] = a[jb + dj + half];
+                        }
+                    }
+                }
+                for (dj, (re, im)) in tre.iter().zip(&tim).enumerate().take(tile) {
+                    let j = jb + dj;
+                    // One lane-parallel twist multiply straight out of
+                    // the tile registers. `mul_c` has exactly the
+                    // `C64::mul` expression shape, so every lane matches
+                    // the scalar path's `C64::new(a[j], a[j + half]) * tw`
+                    // bit for bit (padding lanes hold zeros, never read
+                    // back).
+                    C64x::<W> {
+                        re: F64x(*re),
+                        im: F64x(*im),
+                    }
+                    .mul_c(self.twist[j])
+                    .store_slot(&mut soa, bitrev(j, bits));
+                }
+            }
+        }
+        self.plan
+            .transform_bitrev_soa::<W>(&mut soa, Direction::Positive);
+        if fused {
+            // SAFETY: as above — `W = 8` implies `avx512f`.
+            #[cfg(target_arch = "x86_64")]
+            unsafe {
+                fused8::forward_out(&soa, half, used, out)
+            };
+        } else {
+            let mut rre = [[0.0f64; 8]; W];
+            let mut rim = [[0.0f64; 8]; W];
+            let mut tre = [[0.0f64; W]; 8];
+            let mut tim = [[0.0f64; W]; 8];
+            for jb in (0..half).step_by(tile) {
+                for (dj, (re, im)) in tre.iter_mut().zip(&mut tim).enumerate().take(tile) {
+                    let slot = &soa[(jb + dj) * 2 * W..][..2 * W];
+                    #[allow(clippy::manual_memcpy)] // per-lane: see `F64x::load`
+                    for l in 0..W {
+                        re[l] = slot[l];
+                        im[l] = slot[W + l];
+                    }
+                }
+                if tile == 8 {
+                    // SAFETY: as above — lane width implies target
+                    // features.
+                    unsafe {
+                        tile::cols_to_rows::<W>(&tre, &mut rre);
+                        tile::cols_to_rows::<W>(&tim, &mut rim);
+                        for (l, (rr, ri)) in rre.iter().zip(&rim).enumerate().take(used) {
+                            let o = &mut out[l * half + jb..];
+                            tile::prefetch(o, 8);
+                            tile::prefetch(o, 12);
+                            tile::interleave8::<W>(rr, ri, o);
+                        }
+                    }
+                } else {
+                    for l in 0..used {
+                        for (dj, (re, im)) in tre.iter().zip(&tim).enumerate().take(tile) {
+                            out[l * half + jb + dj] = C64::new(re[l], im[l]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// SoA inverse kernel: `used ≤ W` spectra → `used` polynomials. The
+    /// scale + untwist epilogue runs lane-parallel.
+    #[inline(always)]
+    fn inverse_batch_soa<const W: usize>(&self, spectra: &[C64], used: usize, out: &mut [f64]) {
+        let (n, half) = (self.n, self.n / 2);
+        let bits = self.plan.stages();
+        let mut soa = F64_SCRATCH.take(half * 2 * W);
+        // Same tiled transposes as the forward kernel (see there for
+        // why): contiguous row moves plus in-register corner turns.
+        let tile = half.min(8);
+        #[cfg(target_arch = "x86_64")]
+        let fused = W == 8 && tile == 8;
+        #[cfg(not(target_arch = "x86_64"))]
+        let fused = false;
+        if fused {
+            // SAFETY: `W = 8` monomorphizations of this kernel only
+            // exist inside the `avx512` dispatch wrapper below.
+            #[cfg(target_arch = "x86_64")]
+            unsafe {
+                fused8::inverse_in(spectra, half, used, bits, &mut soa)
+            };
+        } else {
+            let mut rre = [[0.0f64; 8]; W];
+            let mut rim = [[0.0f64; 8]; W];
+            let mut tre = [[0.0f64; W]; 8];
+            let mut tim = [[0.0f64; W]; 8];
+            for jb in (0..half).step_by(tile) {
+                if tile == 8 {
+                    // SAFETY: lane width implies target features — see
+                    // `simd::tile` and the dispatch wrappers below.
+                    unsafe {
+                        for (l, s) in spectra.chunks_exact(half).take(used).enumerate() {
+                            tile::prefetch(s, jb + 8);
+                            tile::prefetch(s, jb + 12);
+                            tile::deinterleave8::<W>(&s[jb..], &mut rre[l], &mut rim[l]);
+                        }
+                        tile::rows_to_cols::<W>(&rre, &mut tre);
+                        tile::rows_to_cols::<W>(&rim, &mut tim);
+                    }
+                } else {
+                    for (l, s) in spectra.chunks_exact(half).take(used).enumerate() {
+                        for dj in 0..tile {
+                            let c = s[jb + dj];
+                            tre[dj][l] = c.re;
+                            tim[dj][l] = c.im;
+                        }
+                    }
+                }
+                for (dj, (re, im)) in tre.iter().zip(&tim).enumerate().take(tile) {
+                    C64x::<W> {
+                        re: F64x(*re),
+                        im: F64x(*im),
+                    }
+                    .store_slot(&mut soa, bitrev(jb + dj, bits));
+                }
+            }
+        }
+        self.plan
+            .transform_bitrev_soa::<W>(&mut soa, Direction::Negative);
+        let scale = 1.0 / half as f64;
+        if fused {
+            // SAFETY: as above — `W = 8` implies `avx512f`.
+            #[cfg(target_arch = "x86_64")]
+            unsafe {
+                fused8::inverse_out(&soa, n, used, scale, &self.twist_inv, out)
+            };
+        } else {
+            let mut rre = [[0.0f64; 8]; W];
+            let mut rim = [[0.0f64; 8]; W];
+            let mut tre = [[0.0f64; W]; 8];
+            let mut tim = [[0.0f64; W]; 8];
+            for jb in (0..half).step_by(tile) {
+                for dj in 0..tile {
+                    let j = jb + dj;
+                    let c = C64x::<W>::load_slot(&soa, j)
+                        .scale(scale)
+                        .mul_c(self.twist_inv[j]);
+                    tre[dj] = c.re.0;
+                    tim[dj] = c.im.0;
+                }
+                if tile == 8 {
+                    // SAFETY: as above — lane width implies target
+                    // features.
+                    unsafe {
+                        tile::cols_to_rows::<W>(&tre, &mut rre);
+                        tile::cols_to_rows::<W>(&tim, &mut rim);
+                    }
+                    for (l, o) in out.chunks_exact_mut(n).take(used).enumerate() {
+                        tile::prefetch(o, jb + 8);
+                        tile::prefetch(o, jb + half + 8);
+                        let (or, oi) = o.split_at_mut(half);
+                        let (or, oi) = (&mut or[jb..jb + 8], &mut oi[jb..jb + 8]);
+                        #[allow(clippy::manual_memcpy)] // per-lane: see `F64x::load`
+                        for dj in 0..8 {
+                            or[dj] = rre[l][dj];
+                            oi[dj] = rim[l][dj];
+                        }
+                    }
+                } else {
+                    for (l, o) in out.chunks_exact_mut(n).take(used).enumerate() {
+                        for (dj, (re, im)) in tre.iter().zip(&tim).enumerate().take(tile) {
+                            o[jb + dj] = re[l];
+                            o[jb + dj + half] = im[l];
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// AVX2 monomorphization of the forward SoA kernel (`W = 4`).
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 — guaranteed by the [`simd::level`]
+    /// dispatch in [`NegacyclicFft::forward_batch_into`].
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn forward_batch_soa_avx2(&self, inputs: &[f64], used: usize, out: &mut [C64]) {
+        self.forward_batch_soa::<4>(inputs, used, out);
+    }
+
+    /// AVX-512 monomorphization of the forward SoA kernel (`W = 8`).
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX-512F/DQ — guaranteed by the dispatch.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f,avx512dq")]
+    unsafe fn forward_batch_soa_avx512(&self, inputs: &[f64], used: usize, out: &mut [C64]) {
+        self.forward_batch_soa::<8>(inputs, used, out);
+    }
+
+    /// AVX2 monomorphization of the inverse SoA kernel (`W = 4`).
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 — guaranteed by the dispatch.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn inverse_batch_soa_avx2(&self, spectra: &[C64], used: usize, out: &mut [f64]) {
+        self.inverse_batch_soa::<4>(spectra, used, out);
+    }
+
+    /// AVX-512 monomorphization of the inverse SoA kernel (`W = 8`).
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX-512F/DQ — guaranteed by the dispatch.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f,avx512dq")]
+    unsafe fn inverse_batch_soa_avx512(&self, spectra: &[C64], used: usize, out: &mut [f64]) {
+        self.inverse_batch_soa::<8>(spectra, used, out);
+    }
+
     /// Negacyclic product of two real polynomials in `f64`.
     pub fn polymul_f64(&self, a: &[f64], b: &[f64]) -> Vec<f64> {
         let mut out = vec![0.0; self.n];
@@ -245,6 +626,201 @@ impl NegacyclicFft {
         prod.iter()
             .map(|&x| from_signed_i128(x.round_ties_even() as i128, q))
             .collect()
+    }
+}
+
+/// Fully register-resident boundary transposes for the `W = 8`
+/// (AVX-512) monomorphization: each tile is loaded straight into
+/// `__m512d` registers, corner-turned with the in-register 8×8 shuffle
+/// network, twist-multiplied lane-parallel, and stored — no stack
+/// staging between the stages. Every lane evaluates exactly the scalar
+/// expression sequence (explicit mul/add/sub intrinsics, never FMA), so
+/// outputs stay bit-identical to the scalar path; padding lanes hold
+/// zeros and are never read back.
+///
+/// # Safety
+///
+/// All functions here require `avx512f` and are `#[inline(always)]`
+/// without their own `#[target_feature]`: they inherit the features of
+/// their caller, and the only callers are `forward_batch_soa::<8>` /
+/// `inverse_batch_soa::<8>`, which are instantiated exclusively inside
+/// the `avx512f,avx512dq` dispatch wrappers above.
+#[cfg(target_arch = "x86_64")]
+mod fused8 {
+    use crate::simd::tile::{self, x86::tr8x8_regs};
+    use core::arch::x86_64::*;
+    use flash_math::bitrev::bit_reverse as bitrev;
+    use flash_math::C64;
+
+    /// Forward fold + twist + transpose-in: `used` length-`n` polynomial
+    /// rows become bit-reverse-scattered SoA slots of 8 lanes each.
+    ///
+    /// # Safety
+    ///
+    /// Caller must guarantee `avx512f` (see module docs) and
+    /// `used <= 8`; slice geometry is asserted.
+    #[inline(always)]
+    pub unsafe fn forward_in(
+        inputs: &[f64],
+        n: usize,
+        used: usize,
+        twist: &[C64],
+        bits: u32,
+        soa: &mut [f64],
+    ) {
+        let half = n / 2;
+        assert_eq!(soa.len(), half * 16);
+        assert_eq!(twist.len(), half);
+        assert!(used <= 8 && used * n <= inputs.len());
+        let mut re = [_mm512_setzero_pd(); 8];
+        let mut im = [_mm512_setzero_pd(); 8];
+        for jb in (0..half).step_by(8) {
+            for (l, a) in inputs.chunks_exact(n).take(used).enumerate() {
+                tile::prefetch(a, jb + 8);
+                tile::prefetch(a, jb + half + 8);
+                re[l] = _mm512_loadu_pd(a.as_ptr().add(jb));
+                im[l] = _mm512_loadu_pd(a.as_ptr().add(jb + half));
+            }
+            let tre = tr8x8_regs(re);
+            let tim = tr8x8_regs(im);
+            for dj in 0..8 {
+                let j = jb + dj;
+                let w = twist[j];
+                let wr = _mm512_set1_pd(w.re);
+                let wi = _mm512_set1_pd(w.im);
+                // `C64::mul` shape: (re·wr − im·wi, re·wi + im·wr).
+                let or = _mm512_sub_pd(_mm512_mul_pd(tre[dj], wr), _mm512_mul_pd(tim[dj], wi));
+                let oi = _mm512_add_pd(_mm512_mul_pd(tre[dj], wi), _mm512_mul_pd(tim[dj], wr));
+                let p = soa.as_mut_ptr().add(bitrev(j, bits) * 16);
+                _mm512_storeu_pd(p, or);
+                _mm512_storeu_pd(p.add(8), oi);
+            }
+        }
+    }
+
+    /// Forward transpose-out: natural-order SoA slots back to `used`
+    /// interleaved spectrum rows of `half` complex points each.
+    ///
+    /// # Safety
+    ///
+    /// Caller must guarantee `avx512f` (see module docs) and
+    /// `used <= 8`; slice geometry is asserted.
+    #[inline(always)]
+    pub unsafe fn forward_out(soa: &[f64], half: usize, used: usize, out: &mut [C64]) {
+        assert_eq!(soa.len(), half * 16);
+        assert!(used <= 8 && used * half <= out.len());
+        let ia = _mm512_setr_epi64(0, 1, 8, 9, 2, 3, 10, 11);
+        let ib = _mm512_setr_epi64(4, 5, 12, 13, 6, 7, 14, 15);
+        let mut re = [_mm512_setzero_pd(); 8];
+        let mut im = [_mm512_setzero_pd(); 8];
+        for jb in (0..half).step_by(8) {
+            for dj in 0..8 {
+                let p = soa.as_ptr().add((jb + dj) * 16);
+                re[dj] = _mm512_loadu_pd(p);
+                im[dj] = _mm512_loadu_pd(p.add(8));
+            }
+            let rr = tr8x8_regs(re);
+            let ri = tr8x8_regs(im);
+            for (l, (r, i)) in rr.iter().zip(&ri).enumerate().take(used) {
+                tile::prefetch(out, l * half + jb + 8);
+                tile::prefetch(out, l * half + jb + 12);
+                let o: *mut f64 = out.as_mut_ptr().add(l * half + jb).cast();
+                let lo = _mm512_unpacklo_pd(*r, *i);
+                let hi = _mm512_unpackhi_pd(*r, *i);
+                _mm512_storeu_pd(o, _mm512_permutex2var_pd(lo, ia, hi));
+                _mm512_storeu_pd(o.add(8), _mm512_permutex2var_pd(lo, ib, hi));
+            }
+        }
+    }
+
+    /// Inverse transpose-in: `used` interleaved spectrum rows become
+    /// bit-reverse-scattered SoA slots.
+    ///
+    /// # Safety
+    ///
+    /// Caller must guarantee `avx512f` (see module docs) and
+    /// `used <= 8`; slice geometry is asserted.
+    #[inline(always)]
+    pub unsafe fn inverse_in(
+        spectra: &[C64],
+        half: usize,
+        used: usize,
+        bits: u32,
+        soa: &mut [f64],
+    ) {
+        assert_eq!(soa.len(), half * 16);
+        assert!(used <= 8 && used * half <= spectra.len());
+        let ir = _mm512_setr_epi64(0, 2, 4, 6, 8, 10, 12, 14);
+        let ii = _mm512_setr_epi64(1, 3, 5, 7, 9, 11, 13, 15);
+        let mut re = [_mm512_setzero_pd(); 8];
+        let mut im = [_mm512_setzero_pd(); 8];
+        for jb in (0..half).step_by(8) {
+            for (l, s) in spectra.chunks_exact(half).take(used).enumerate() {
+                tile::prefetch(s, jb + 8);
+                tile::prefetch(s, jb + 12);
+                let p: *const f64 = s.as_ptr().add(jb).cast();
+                let lo = _mm512_loadu_pd(p);
+                let hi = _mm512_loadu_pd(p.add(8));
+                re[l] = _mm512_permutex2var_pd(lo, ir, hi);
+                im[l] = _mm512_permutex2var_pd(lo, ii, hi);
+            }
+            let tre = tr8x8_regs(re);
+            let tim = tr8x8_regs(im);
+            for dj in 0..8 {
+                let p = soa.as_mut_ptr().add(bitrev(jb + dj, bits) * 16);
+                _mm512_storeu_pd(p, tre[dj]);
+                _mm512_storeu_pd(p.add(8), tim[dj]);
+            }
+        }
+    }
+
+    /// Inverse scale + untwist + transpose-out: natural-order SoA slots
+    /// back to `used` length-`n` real/imag polynomial rows.
+    ///
+    /// # Safety
+    ///
+    /// Caller must guarantee `avx512f` (see module docs) and
+    /// `used <= 8`; slice geometry is asserted.
+    #[inline(always)]
+    pub unsafe fn inverse_out(
+        soa: &[f64],
+        n: usize,
+        used: usize,
+        scale: f64,
+        twist_inv: &[C64],
+        out: &mut [f64],
+    ) {
+        let half = n / 2;
+        assert_eq!(soa.len(), half * 16);
+        assert_eq!(twist_inv.len(), half);
+        assert!(used <= 8 && used * n <= out.len());
+        let sc = _mm512_set1_pd(scale);
+        let mut re = [_mm512_setzero_pd(); 8];
+        let mut im = [_mm512_setzero_pd(); 8];
+        for jb in (0..half).step_by(8) {
+            for dj in 0..8 {
+                let j = jb + dj;
+                let p = soa.as_ptr().add(j * 16);
+                // `C64::scale` then `C64::mul`, exactly as the scalar
+                // epilogue orders them.
+                let sr = _mm512_mul_pd(_mm512_loadu_pd(p), sc);
+                let si = _mm512_mul_pd(_mm512_loadu_pd(p.add(8)), sc);
+                let w = twist_inv[j];
+                let wr = _mm512_set1_pd(w.re);
+                let wi = _mm512_set1_pd(w.im);
+                re[dj] = _mm512_sub_pd(_mm512_mul_pd(sr, wr), _mm512_mul_pd(si, wi));
+                im[dj] = _mm512_add_pd(_mm512_mul_pd(sr, wi), _mm512_mul_pd(si, wr));
+            }
+            let rr = tr8x8_regs(re);
+            let ri = tr8x8_regs(im);
+            for (l, o) in out.chunks_exact_mut(n).take(used).enumerate() {
+                tile::prefetch(o, jb + 8);
+                tile::prefetch(o, jb + half + 8);
+                let p = o.as_mut_ptr();
+                _mm512_storeu_pd(p.add(jb), rr[l]);
+                _mm512_storeu_pd(p.add(jb + half), ri[l]);
+            }
+        }
     }
 }
 

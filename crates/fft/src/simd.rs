@@ -1,0 +1,694 @@
+//! Portable SIMD lane types for the batched (structure-of-arrays)
+//! spectral kernels.
+//!
+//! The batched transforms move the batch dimension innermost: a block of
+//! `W` polynomials is transposed into *lane-interleaved* layout, where
+//! SoA slot `j` holds the `W` real parts followed by the `W` imaginary
+//! parts of coefficient `j` across the batch:
+//!
+//! ```text
+//! slot j:  [ re₀ re₁ … re_{W-1} | im₀ im₁ … im_{W-1} ]   (2W f64, 64B-aligned)
+//! ```
+//!
+//! One twiddle (or one sparse-tape uop) is then applied to all `W` lanes
+//! at once by the [`C64x`] operators — plain `W`-length array arithmetic
+//! that the compiler turns into vector instructions when the enclosing
+//! function is compiled with the right target features. Dispatch is a
+//! *runtime* decision made once per process by [`flash_runtime::simd`]
+//! (re-exported here): the monomorphized kernels for each lane width are
+//! wrapped in `#[target_feature]` functions at their call sites
+//! (`NegacyclicFft::forward_batch_into` etc.), so a portable baseline
+//! binary still executes AVX2/AVX-512 code paths on capable machines.
+//!
+//! # Bit-exactness
+//!
+//! Every lane evaluates exactly the scalar expression sequence
+//! (`flash_math::C64` add/sub/mul/scale, in the same order); Rust never
+//! contracts `a*b + c` into a fused multiply-add, so batched outputs are
+//! **bit-identical** to `W` independent scalar transforms at every lane
+//! width, on every dispatch level. The equivalence proptests pin this.
+
+// Per-lane loops instead of `copy_from_slice` (see `F64x::load`), and
+// `core::simd`-style explicit `add`/`sub`/`mul`/`neg` method names rather
+// than operator traits so the kernels read as lane arithmetic.
+#![allow(clippy::manual_memcpy)]
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::should_implement_trait)]
+
+use flash_math::C64;
+
+pub use flash_runtime::simd::{
+    compile_target_features, detected_level, force_level, lanes, level, SimdLevel, MAX_LANES,
+};
+
+/// `W` lanes of `f64`. A thin wrapper over `[f64; W]` whose element-wise
+/// operators autovectorize; no alignment demands of its own (loads go
+/// through slices; the SoA scratch buffers are 64-byte aligned).
+#[derive(Clone, Copy, Debug)]
+pub struct F64x<const W: usize>(pub [f64; W]);
+
+impl<const W: usize> F64x<W> {
+    /// All lanes zero.
+    #[inline(always)]
+    pub fn zero() -> Self {
+        F64x([0.0; W])
+    }
+
+    /// All lanes equal to `v`.
+    #[inline(always)]
+    pub fn splat(v: f64) -> Self {
+        F64x([v; W])
+    }
+
+    /// Loads `W` consecutive values from `src`.
+    ///
+    /// Per-lane loop rather than `copy_from_slice`: the latter lowers to
+    /// an out-of-line `copy_from_slice_impl` call that pins every lane
+    /// vector to the stack and blocks wide codegen in the
+    /// `#[target_feature]` dispatch wrappers.
+    #[inline(always)]
+    pub fn load(src: &[f64]) -> Self {
+        let src = &src[..W];
+        let mut out = [0.0; W];
+        for l in 0..W {
+            out[l] = src[l];
+        }
+        F64x(out)
+    }
+
+    /// Stores the lanes into `dst[..W]`.
+    #[inline(always)]
+    pub fn store(self, dst: &mut [f64]) {
+        let dst = &mut dst[..W];
+        for l in 0..W {
+            dst[l] = self.0[l];
+        }
+    }
+
+    #[inline(always)]
+    fn map2(self, rhs: Self, f: impl Fn(f64, f64) -> f64) -> Self {
+        let mut out = [0.0; W];
+        for l in 0..W {
+            out[l] = f(self.0[l], rhs.0[l]);
+        }
+        F64x(out)
+    }
+
+    /// Lane-wise addition.
+    #[inline(always)]
+    pub fn add(self, rhs: Self) -> Self {
+        self.map2(rhs, |a, b| a + b)
+    }
+
+    /// Lane-wise subtraction.
+    #[inline(always)]
+    pub fn sub(self, rhs: Self) -> Self {
+        self.map2(rhs, |a, b| a - b)
+    }
+
+    /// Lane-wise multiplication.
+    #[inline(always)]
+    pub fn mul(self, rhs: Self) -> Self {
+        self.map2(rhs, |a, b| a * b)
+    }
+
+    /// Lane-wise multiplication by a scalar.
+    #[inline(always)]
+    pub fn mul_s(self, s: f64) -> Self {
+        let mut out = [0.0; W];
+        for l in 0..W {
+            out[l] = self.0[l] * s;
+        }
+        F64x(out)
+    }
+
+    /// Lane-wise negation.
+    #[inline(always)]
+    pub fn neg(self) -> Self {
+        let mut out = [0.0; W];
+        for l in 0..W {
+            out[l] = -self.0[l];
+        }
+        F64x(out)
+    }
+}
+
+/// `W` lanes of `u64`, for the lane-parallel Harvey butterflies (the
+/// `[0, 4q)` lazy-reduction range needs no per-lane branches, only
+/// compare-and-subtract, which vectorizes).
+#[derive(Clone, Copy, Debug)]
+pub struct U64x<const W: usize>(pub [u64; W]);
+
+impl<const W: usize> U64x<W> {
+    /// All lanes zero.
+    #[inline(always)]
+    pub fn zero() -> Self {
+        U64x([0; W])
+    }
+
+    /// Loads `W` consecutive values from `src`. Per-lane loop for the
+    /// same codegen reason as [`F64x::load`].
+    #[inline(always)]
+    pub fn load(src: &[u64]) -> Self {
+        let src = &src[..W];
+        let mut out = [0; W];
+        for l in 0..W {
+            out[l] = src[l];
+        }
+        U64x(out)
+    }
+
+    /// Stores the lanes into `dst[..W]`.
+    #[inline(always)]
+    pub fn store(self, dst: &mut [u64]) {
+        let dst = &mut dst[..W];
+        for l in 0..W {
+            dst[l] = self.0[l];
+        }
+    }
+
+    /// Lane-wise wrapping addition.
+    #[inline(always)]
+    pub fn add(self, rhs: Self) -> Self {
+        let mut out = [0; W];
+        for l in 0..W {
+            out[l] = self.0[l].wrapping_add(rhs.0[l]);
+        }
+        U64x(out)
+    }
+
+    /// Lane-wise `x - s` for lanes with `x >= s`, else `x` — the lazy
+    /// fold from `[0, 2s)` back to `[0, s)` as a branch-free select.
+    #[inline(always)]
+    pub fn fold_once(self, s: u64) -> Self {
+        let mut out = [0; W];
+        for l in 0..W {
+            let x = self.0[l];
+            out[l] = if x >= s { x - s } else { x };
+        }
+        U64x(out)
+    }
+}
+
+/// `W` complex lanes in SoA form: `W` real parts and `W` imaginary parts.
+#[derive(Clone, Copy, Debug)]
+pub struct C64x<const W: usize> {
+    /// Real lanes.
+    pub re: F64x<W>,
+    /// Imaginary lanes.
+    pub im: F64x<W>,
+}
+
+impl<const W: usize> C64x<W> {
+    /// All lanes zero.
+    #[inline(always)]
+    pub fn zero() -> Self {
+        C64x {
+            re: F64x::zero(),
+            im: F64x::zero(),
+        }
+    }
+
+    /// Loads SoA slot `slot` from a lane-interleaved buffer (layout
+    /// `[re × W | im × W]` per slot).
+    #[inline(always)]
+    pub fn load_slot(soa: &[f64], slot: usize) -> Self {
+        let base = slot * 2 * W;
+        C64x {
+            re: F64x::load(&soa[base..]),
+            im: F64x::load(&soa[base + W..]),
+        }
+    }
+
+    /// Stores into SoA slot `slot` of a lane-interleaved buffer.
+    #[inline(always)]
+    pub fn store_slot(self, soa: &mut [f64], slot: usize) {
+        let base = slot * 2 * W;
+        self.re.store(&mut soa[base..]);
+        self.im.store(&mut soa[base + W..]);
+    }
+
+    /// Lane-wise complex addition (`C64::add` per lane).
+    #[inline(always)]
+    pub fn add(self, rhs: Self) -> Self {
+        C64x {
+            re: self.re.add(rhs.re),
+            im: self.im.add(rhs.im),
+        }
+    }
+
+    /// Lane-wise complex subtraction (`C64::sub` per lane).
+    #[inline(always)]
+    pub fn sub(self, rhs: Self) -> Self {
+        C64x {
+            re: self.re.sub(rhs.re),
+            im: self.im.sub(rhs.im),
+        }
+    }
+
+    /// Multiplies every lane by the same scalar complex `w`, with exactly
+    /// the `C64::mul` expression shape (`re·re − im·im`, `re·im + im·re`)
+    /// so lanes stay bit-identical to the scalar path.
+    #[inline(always)]
+    pub fn mul_c(self, w: C64) -> Self {
+        C64x {
+            re: self.re.mul_s(w.re).sub(self.im.mul_s(w.im)),
+            im: self.re.mul_s(w.im).add(self.im.mul_s(w.re)),
+        }
+    }
+
+    /// Lane-wise complex multiplication (`C64::mul` per lane).
+    #[inline(always)]
+    pub fn mul(self, rhs: Self) -> Self {
+        C64x {
+            re: self.re.mul(rhs.re).sub(self.im.mul(rhs.im)),
+            im: self.re.mul(rhs.im).add(self.im.mul(rhs.re)),
+        }
+    }
+
+    /// Scales every lane by `s` (`C64::scale` per lane).
+    #[inline(always)]
+    pub fn scale(self, s: f64) -> Self {
+        C64x {
+            re: self.re.mul_s(s),
+            im: self.im.mul_s(s),
+        }
+    }
+
+    /// Lane-wise multiplication by `i` (`C64::mul_i` per lane).
+    #[inline(always)]
+    pub fn mul_i(self) -> Self {
+        C64x {
+            re: self.im.neg(),
+            im: self.re,
+        }
+    }
+
+    /// Lane-wise negation.
+    #[inline(always)]
+    pub fn neg(self) -> Self {
+        C64x {
+            re: self.re.neg(),
+            im: self.im.neg(),
+        }
+    }
+}
+
+/// Vectorized 8-slot tile transposes for the batched FFT boundary
+/// transposes (`NegacyclicFft::forward_batch_into` and friends).
+///
+/// The batched kernels move data between *row* layout (`W` polynomial
+/// streams, 8 consecutive coefficients each) and *column* (SoA slot)
+/// layout (8 slots of `W` lanes each). Done element-wise that corner
+/// turn is 64 scalar moves per tile and dominates the batched transform
+/// once the butterfly cascade itself is vector-wide; done as an
+/// in-register shuffle network it is ~24 permutes. The functions here
+/// are pure data movement — no arithmetic — so they cannot affect the
+/// bit-exactness contract of the batched kernels.
+///
+/// # Safety contract (width ⇒ features)
+///
+/// The `W = 8` specializations use AVX-512 (`avx512f`) intrinsics and
+/// the `W = 4` specializations use AVX2 ones. They are `unsafe fn`:
+/// callers must guarantee the matching target features are enabled at
+/// the monomorphization site. The batched kernels uphold this by
+/// construction — `W = 8` is only ever instantiated inside
+/// `#[target_feature(enable = "avx512f,...")]` wrappers and `W = 4`
+/// inside `avx2` ones, with the portable fallback pinned to `W = 2`
+/// (which takes the scalar path below).
+pub mod tile {
+    use flash_math::C64;
+
+    /// Best-effort prefetch of the cache line holding `slice[idx]`
+    /// (bounds-checked; a no-op out of range or off x86). The strided
+    /// tile gathers touch 2·W fresh L2 lines per tile, which is
+    /// latency-bound without it.
+    #[inline(always)]
+    pub fn prefetch<T>(slice: &[T], idx: usize) {
+        #[cfg(target_arch = "x86_64")]
+        if idx < slice.len() {
+            // SAFETY: `idx` is in bounds and prefetch has no
+            // architectural effect.
+            unsafe {
+                use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+                _mm_prefetch::<_MM_HINT_T0>(slice.as_ptr().add(idx).cast());
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = (slice, idx);
+    }
+
+    /// Transposes an 8-slot tile from row layout into column layout:
+    /// `cols[dj][l] = rows[l][dj]`.
+    ///
+    /// # Safety
+    ///
+    /// See the [module contract](self): `W = 8` requires `avx512f`,
+    /// `W = 4` requires `avx2` at the monomorphization site.
+    #[inline(always)]
+    pub unsafe fn rows_to_cols<const W: usize>(rows: &[[f64; 8]; W], cols: &mut [[f64; W]; 8]) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if W == 8 {
+                return x86::tr8x8(rows.as_ptr().cast(), cols.as_mut_ptr().cast());
+            }
+            if W == 4 {
+                return x86::tr4x8(rows.as_ptr().cast(), cols.as_mut_ptr().cast());
+            }
+        }
+        for (l, row) in rows.iter().enumerate() {
+            for (dj, col) in cols.iter_mut().enumerate() {
+                col[l] = row[dj];
+            }
+        }
+    }
+
+    /// Transposes an 8-slot tile from column layout back into row
+    /// layout: `rows[l][dj] = cols[dj][l]`.
+    ///
+    /// # Safety
+    ///
+    /// See the [module contract](self): `W = 8` requires `avx512f`,
+    /// `W = 4` requires `avx2` at the monomorphization site.
+    #[inline(always)]
+    pub unsafe fn cols_to_rows<const W: usize>(cols: &[[f64; W]; 8], rows: &mut [[f64; 8]; W]) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if W == 8 {
+                return x86::tr8x8(cols.as_ptr().cast(), rows.as_mut_ptr().cast());
+            }
+            if W == 4 {
+                return x86::tr8x4(cols.as_ptr().cast(), rows.as_mut_ptr().cast());
+            }
+        }
+        for (l, row) in rows.iter_mut().enumerate() {
+            for (dj, col) in cols.iter().enumerate() {
+                row[dj] = col[l];
+            }
+        }
+    }
+
+    /// Zips a row of 8 real and 8 imaginary parts into 8 `C64` values:
+    /// `out[dj] = C64::new(re[dj], im[dj])`.
+    ///
+    /// # Safety
+    ///
+    /// See the [module contract](self). `out` must hold at least 8
+    /// elements.
+    #[inline(always)]
+    pub unsafe fn interleave8<const W: usize>(re: &[f64; 8], im: &[f64; 8], out: &mut [C64]) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if W == 8 {
+                return x86::zip8(re.as_ptr(), im.as_ptr(), out.as_mut_ptr().cast());
+            }
+            if W == 4 {
+                return x86::zip8_avx2(re.as_ptr(), im.as_ptr(), out.as_mut_ptr().cast());
+            }
+        }
+        for dj in 0..8 {
+            out[dj] = C64::new(re[dj], im[dj]);
+        }
+    }
+
+    /// Unzips 8 `C64` values into rows of 8 real and 8 imaginary parts.
+    ///
+    /// # Safety
+    ///
+    /// See the [module contract](self). `src` must hold at least 8
+    /// elements.
+    #[inline(always)]
+    pub unsafe fn deinterleave8<const W: usize>(src: &[C64], re: &mut [f64; 8], im: &mut [f64; 8]) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if W == 8 {
+                return x86::unzip8(src.as_ptr().cast(), re.as_mut_ptr(), im.as_mut_ptr());
+            }
+            if W == 4 {
+                return x86::unzip8_avx2(src.as_ptr().cast(), re.as_mut_ptr(), im.as_mut_ptr());
+            }
+        }
+        for dj in 0..8 {
+            re[dj] = src[dj].re;
+            im[dj] = src[dj].im;
+        }
+    }
+
+    /// The x86 shuffle networks. Every function is `#[inline(always)]`
+    /// so it monomorphizes inside the `#[target_feature]` dispatch
+    /// wrappers; none carries its own `#[target_feature]` attribute
+    /// (that would block inlining), so the *caller* owns the feature
+    /// guarantee — see the module contract.
+    #[cfg(target_arch = "x86_64")]
+    pub(crate) mod x86 {
+        use core::arch::x86_64::*;
+
+        /// 8×8 f64 transpose, fully in registers.
+        ///
+        /// # Safety
+        ///
+        /// Caller must guarantee `avx512f`.
+        #[inline(always)]
+        pub unsafe fn tr8x8_regs(r: [__m512d; 8]) -> [__m512d; 8] {
+            // Stage 1: interleave row pairs within 128-bit lanes.
+            let t0 = _mm512_unpacklo_pd(r[0], r[1]); // [r0₀ r1₀ r0₂ r1₂ r0₄ r1₄ r0₆ r1₆]
+            let t1 = _mm512_unpackhi_pd(r[0], r[1]);
+            let t2 = _mm512_unpacklo_pd(r[2], r[3]);
+            let t3 = _mm512_unpackhi_pd(r[2], r[3]);
+            let t4 = _mm512_unpacklo_pd(r[4], r[5]);
+            let t5 = _mm512_unpackhi_pd(r[4], r[5]);
+            let t6 = _mm512_unpacklo_pd(r[6], r[7]);
+            let t7 = _mm512_unpackhi_pd(r[6], r[7]);
+            // Stage 2: gather 2-element column fragments of 4 rows.
+            let ia = _mm512_setr_epi64(0, 1, 8, 9, 4, 5, 12, 13);
+            let ib = _mm512_setr_epi64(2, 3, 10, 11, 6, 7, 14, 15);
+            let q0 = _mm512_permutex2var_pd(t0, ia, t2); // cols 0,4 of rows 0–3
+            let q1 = _mm512_permutex2var_pd(t1, ia, t3); // cols 1,5
+            let q2 = _mm512_permutex2var_pd(t0, ib, t2); // cols 2,6
+            let q3 = _mm512_permutex2var_pd(t1, ib, t3); // cols 3,7
+            let q4 = _mm512_permutex2var_pd(t4, ia, t6); // cols 0,4 of rows 4–7
+            let q5 = _mm512_permutex2var_pd(t5, ia, t7);
+            let q6 = _mm512_permutex2var_pd(t4, ib, t6);
+            let q7 = _mm512_permutex2var_pd(t5, ib, t7);
+            // Stage 3: splice the 4-row halves into full columns.
+            let lo = _mm512_setr_epi64(0, 1, 2, 3, 8, 9, 10, 11);
+            let hi = _mm512_setr_epi64(4, 5, 6, 7, 12, 13, 14, 15);
+            [
+                _mm512_permutex2var_pd(q0, lo, q4),
+                _mm512_permutex2var_pd(q1, lo, q5),
+                _mm512_permutex2var_pd(q2, lo, q6),
+                _mm512_permutex2var_pd(q3, lo, q7),
+                _mm512_permutex2var_pd(q0, hi, q4),
+                _mm512_permutex2var_pd(q1, hi, q5),
+                _mm512_permutex2var_pd(q2, hi, q6),
+                _mm512_permutex2var_pd(q3, hi, q7),
+            ]
+        }
+
+        /// 8×8 f64 transpose: `dst[j*8 + i] = src[i*8 + j]`.
+        ///
+        /// # Safety
+        ///
+        /// `src` and `dst` must each point at 64 readable/writable
+        /// `f64`; caller must guarantee `avx512f`.
+        #[inline(always)]
+        pub unsafe fn tr8x8(src: *const f64, dst: *mut f64) {
+            let c = tr8x8_regs([
+                _mm512_loadu_pd(src),
+                _mm512_loadu_pd(src.add(8)),
+                _mm512_loadu_pd(src.add(16)),
+                _mm512_loadu_pd(src.add(24)),
+                _mm512_loadu_pd(src.add(32)),
+                _mm512_loadu_pd(src.add(40)),
+                _mm512_loadu_pd(src.add(48)),
+                _mm512_loadu_pd(src.add(56)),
+            ]);
+            for (i, v) in c.into_iter().enumerate() {
+                _mm512_storeu_pd(dst.add(8 * i), v);
+            }
+        }
+
+        /// 4×4 f64 transpose of four ymm registers.
+        ///
+        /// # Safety
+        ///
+        /// Caller must guarantee `avx2`.
+        #[inline(always)]
+        unsafe fn tr4x4(
+            a0: __m256d,
+            a1: __m256d,
+            a2: __m256d,
+            a3: __m256d,
+        ) -> (__m256d, __m256d, __m256d, __m256d) {
+            let t0 = _mm256_unpacklo_pd(a0, a1); // [a0₀ a1₀ a0₂ a1₂]
+            let t1 = _mm256_unpackhi_pd(a0, a1); // [a0₁ a1₁ a0₃ a1₃]
+            let t2 = _mm256_unpacklo_pd(a2, a3);
+            let t3 = _mm256_unpackhi_pd(a2, a3);
+            (
+                _mm256_permute2f128_pd(t0, t2, 0x20), // col 0
+                _mm256_permute2f128_pd(t1, t3, 0x20), // col 1
+                _mm256_permute2f128_pd(t0, t2, 0x31), // col 2
+                _mm256_permute2f128_pd(t1, t3, 0x31), // col 3
+            )
+        }
+
+        /// 4 rows × 8 → 8 cols × 4: `dst[j*4 + i] = src[i*8 + j]`.
+        ///
+        /// # Safety
+        ///
+        /// `src` points at 32 readable, `dst` at 32 writable `f64`;
+        /// caller must guarantee `avx2`.
+        #[inline(always)]
+        pub unsafe fn tr4x8(src: *const f64, dst: *mut f64) {
+            for blk in 0..2 {
+                let (c0, c1, c2, c3) = tr4x4(
+                    _mm256_loadu_pd(src.add(4 * blk)),
+                    _mm256_loadu_pd(src.add(8 + 4 * blk)),
+                    _mm256_loadu_pd(src.add(16 + 4 * blk)),
+                    _mm256_loadu_pd(src.add(24 + 4 * blk)),
+                );
+                _mm256_storeu_pd(dst.add(16 * blk), c0);
+                _mm256_storeu_pd(dst.add(16 * blk + 4), c1);
+                _mm256_storeu_pd(dst.add(16 * blk + 8), c2);
+                _mm256_storeu_pd(dst.add(16 * blk + 12), c3);
+            }
+        }
+
+        /// 8 rows × 4 → 4 cols × 8: `dst[j*8 + i] = src[i*4 + j]`.
+        ///
+        /// # Safety
+        ///
+        /// `src` points at 32 readable, `dst` at 32 writable `f64`;
+        /// caller must guarantee `avx2`.
+        #[inline(always)]
+        pub unsafe fn tr8x4(src: *const f64, dst: *mut f64) {
+            for blk in 0..2 {
+                let (c0, c1, c2, c3) = tr4x4(
+                    _mm256_loadu_pd(src.add(16 * blk)),
+                    _mm256_loadu_pd(src.add(16 * blk + 4)),
+                    _mm256_loadu_pd(src.add(16 * blk + 8)),
+                    _mm256_loadu_pd(src.add(16 * blk + 12)),
+                );
+                _mm256_storeu_pd(dst.add(4 * blk), c0);
+                _mm256_storeu_pd(dst.add(8 + 4 * blk), c1);
+                _mm256_storeu_pd(dst.add(16 + 4 * blk), c2);
+                _mm256_storeu_pd(dst.add(24 + 4 * blk), c3);
+            }
+        }
+
+        /// Zips 8 re + 8 im into 16 interleaved f64 (`[re₀ im₀ re₁ …]`).
+        ///
+        /// # Safety
+        ///
+        /// `re`/`im` point at 8 readable, `dst` at 16 writable `f64`;
+        /// caller must guarantee `avx512f`.
+        #[inline(always)]
+        pub unsafe fn zip8(re: *const f64, im: *const f64, dst: *mut f64) {
+            let r = _mm512_loadu_pd(re);
+            let i = _mm512_loadu_pd(im);
+            let lo = _mm512_unpacklo_pd(r, i); // [re₀ im₀ re₂ im₂ re₄ im₄ re₆ im₆]
+            let hi = _mm512_unpackhi_pd(r, i); // [re₁ im₁ re₃ im₃ re₅ im₅ re₇ im₇]
+            let ia = _mm512_setr_epi64(0, 1, 8, 9, 2, 3, 10, 11);
+            let ib = _mm512_setr_epi64(4, 5, 12, 13, 6, 7, 14, 15);
+            _mm512_storeu_pd(dst, _mm512_permutex2var_pd(lo, ia, hi));
+            _mm512_storeu_pd(dst.add(8), _mm512_permutex2var_pd(lo, ib, hi));
+        }
+
+        /// Inverse of [`zip8`]: 16 interleaved f64 → 8 re + 8 im.
+        ///
+        /// # Safety
+        ///
+        /// `src` points at 16 readable, `re`/`im` at 8 writable `f64`;
+        /// caller must guarantee `avx512f`.
+        #[inline(always)]
+        pub unsafe fn unzip8(src: *const f64, re: *mut f64, im: *mut f64) {
+            let lo = _mm512_loadu_pd(src);
+            let hi = _mm512_loadu_pd(src.add(8));
+            let ir = _mm512_setr_epi64(0, 2, 4, 6, 8, 10, 12, 14);
+            let ii = _mm512_setr_epi64(1, 3, 5, 7, 9, 11, 13, 15);
+            _mm512_storeu_pd(re, _mm512_permutex2var_pd(lo, ir, hi));
+            _mm512_storeu_pd(im, _mm512_permutex2var_pd(lo, ii, hi));
+        }
+
+        /// AVX2 [`zip8`]: two 4-wide halves.
+        ///
+        /// # Safety
+        ///
+        /// Same buffers as [`zip8`]; caller must guarantee `avx2`.
+        #[inline(always)]
+        pub unsafe fn zip8_avx2(re: *const f64, im: *const f64, dst: *mut f64) {
+            for blk in 0..2 {
+                let r = _mm256_loadu_pd(re.add(4 * blk));
+                let i = _mm256_loadu_pd(im.add(4 * blk));
+                let lo = _mm256_unpacklo_pd(r, i); // [re₀ im₀ re₂ im₂]
+                let hi = _mm256_unpackhi_pd(r, i); // [re₁ im₁ re₃ im₃]
+                _mm256_storeu_pd(dst.add(8 * blk), _mm256_permute2f128_pd(lo, hi, 0x20));
+                _mm256_storeu_pd(dst.add(8 * blk + 4), _mm256_permute2f128_pd(lo, hi, 0x31));
+            }
+        }
+
+        /// AVX2 [`unzip8`]: two 4-wide halves.
+        ///
+        /// # Safety
+        ///
+        /// Same buffers as [`unzip8`]; caller must guarantee `avx2`.
+        #[inline(always)]
+        pub unsafe fn unzip8_avx2(src: *const f64, re: *mut f64, im: *mut f64) {
+            for blk in 0..2 {
+                let lo = _mm256_loadu_pd(src.add(8 * blk)); // [re₀ im₀ re₁ im₁]
+                let hi = _mm256_loadu_pd(src.add(8 * blk + 4)); // [re₂ im₂ re₃ im₃]
+                let t0 = _mm256_permute2f128_pd(lo, hi, 0x20); // [re₀ im₀ re₂ im₂]
+                let t1 = _mm256_permute2f128_pd(lo, hi, 0x31); // [re₁ im₁ re₃ im₃]
+                _mm256_storeu_pd(re.add(4 * blk), _mm256_unpacklo_pd(t0, t1));
+                _mm256_storeu_pd(im.add(4 * blk), _mm256_unpackhi_pd(t0, t1));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_complex_mul_matches_scalar_bitwise() {
+        let w = C64::expi(0.7371);
+        let xs = [
+            C64::new(1.25, -3.5),
+            C64::new(-0.001, 7.75),
+            C64::new(1e9, -1e-9),
+            C64::new(0.0, 0.0),
+        ];
+        let mut soa = [0.0f64; 8];
+        for (l, x) in xs.iter().enumerate() {
+            soa[l] = x.re;
+            soa[4 + l] = x.im;
+        }
+        let v = C64x::<4>::load_slot(&soa, 0).mul_c(w);
+        for (l, x) in xs.iter().enumerate() {
+            let want = *x * w;
+            assert_eq!(v.re.0[l].to_bits(), want.re.to_bits());
+            assert_eq!(v.im.0[l].to_bits(), want.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn u64_fold_once_is_exact() {
+        let q = 1u64 << 62;
+        let v = U64x::<4>([0, q - 1, q, 2 * q - 1]).fold_once(q);
+        assert_eq!(v.0, [0, q - 1, 0, q - 1]);
+    }
+
+    #[test]
+    fn slot_roundtrip() {
+        let mut soa = vec![0.0; 4 * 2 * 2];
+        let v = C64x::<2> {
+            re: F64x([1.0, 2.0]),
+            im: F64x([-1.0, -2.0]),
+        };
+        v.store_slot(&mut soa, 3);
+        let back = C64x::<2>::load_slot(&soa, 3);
+        assert_eq!(back.re.0, [1.0, 2.0]);
+        assert_eq!(back.im.0, [-1.0, -2.0]);
+    }
+}

@@ -1,0 +1,263 @@
+//! SIMD-vs-scalar equivalence suite.
+//!
+//! The batched SoA kernels promise outputs **bit-identical** to the
+//! scalar reference paths at every lane width: per lane they evaluate the
+//! same expression sequence (and Rust never fuses `a*b + c`), so this is
+//! an exact contract, not a tolerance. These tests pin it across random
+//! sizes and batch widths — including the `W−1` and `W+1` remainder
+//! shapes — for every dispatch level the host can execute.
+//!
+//! `force_level` is process-global, so every test that flips it holds a
+//! shared lock; each integration-test file is its own process, so other
+//! test binaries are unaffected.
+
+use flash_fft::negacyclic::NegacyclicFft;
+use flash_fft::simd::{self, SimdLevel};
+use flash_math::C64;
+use flash_ntt::{transform, NttTables};
+use proptest::prelude::*;
+use std::sync::{Mutex, MutexGuard};
+
+static LEVEL_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    LEVEL_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Every level the host can actually run (forcing clamps to detected).
+fn available_levels() -> Vec<SimdLevel> {
+    let detected = simd::detected_level();
+    [
+        SimdLevel::Scalar,
+        SimdLevel::Portable,
+        SimdLevel::Avx2,
+        SimdLevel::Avx512,
+    ]
+    .into_iter()
+    .filter(|&l| l <= detected)
+    .collect()
+}
+
+/// Batch widths worth testing at lane width `w`: empty batch, sub-width,
+/// exact, remainder one short / one over, multiple blocks.
+fn batch_widths(w: usize) -> Vec<usize> {
+    let mut v = vec![0, 1, w.saturating_sub(1), w, w + 1, 2 * w + 3];
+    v.dedup();
+    v
+}
+
+fn poly(n: usize, seed: u64, amp: f64) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let x = (i as u64)
+                .wrapping_mul(seed | 1)
+                .wrapping_add(0x9e3779b97f4a7c15);
+            let x = x ^ (x >> 29);
+            (x % 65537) as f64 / 65536.0 * 2.0 * amp - amp
+        })
+        .collect()
+}
+
+fn assert_c64_bits_eq(got: &[C64], want: &[C64], ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: length");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(
+            (g.re.to_bits(), g.im.to_bits()),
+            (w.re.to_bits(), w.im.to_bits()),
+            "{ctx}: spectrum slot {i}: {g:?} vs {w:?}"
+        );
+    }
+}
+
+fn assert_f64_bits_eq(got: &[f64], want: &[f64], ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: length");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(g.to_bits(), w.to_bits(), "{ctx}: coeff {i}: {g} vs {w}");
+    }
+}
+
+#[test]
+fn fft_forward_batch_bit_identical_to_scalar_at_every_level_and_width() {
+    let _guard = lock();
+    for n in [8usize, 32, 256, 2048] {
+        let fft = NegacyclicFft::new(n);
+        let half = n / 2;
+        for level in available_levels() {
+            let w = level.lanes();
+            for batch in batch_widths(w) {
+                let inputs: Vec<f64> = (0..batch)
+                    .flat_map(|b| poly(n, 1000 * b as u64 + n as u64, 100.0))
+                    .collect();
+                // Scalar reference, one polynomial at a time.
+                simd::force_level(Some(SimdLevel::Scalar));
+                let mut want = vec![C64::ZERO; batch * half];
+                for b in 0..batch {
+                    fft.forward_into(
+                        &inputs[b * n..(b + 1) * n],
+                        &mut want[b * half..(b + 1) * half],
+                    );
+                }
+                // Batched at the level under test.
+                simd::force_level(Some(level));
+                let mut got = vec![C64::ZERO; batch * half];
+                fft.forward_batch_into(&inputs, &mut got);
+                simd::force_level(None);
+                assert_c64_bits_eq(
+                    &got,
+                    &want,
+                    &format!("n={n} level={} batch={batch}", level.name()),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fft_inverse_batch_bit_identical_to_scalar_at_every_level_and_width() {
+    let _guard = lock();
+    for n in [8usize, 64, 512] {
+        let fft = NegacyclicFft::new(n);
+        let half = n / 2;
+        for level in available_levels() {
+            let w = level.lanes();
+            for batch in batch_widths(w) {
+                // Arbitrary (but valid-length) spectra.
+                let spectra: Vec<C64> = (0..batch * half)
+                    .map(|i| {
+                        let p = poly(2, i as u64 * 7 + 13, 50.0);
+                        C64::new(p[0], p[1])
+                    })
+                    .collect();
+                simd::force_level(Some(SimdLevel::Scalar));
+                let mut want = vec![0.0f64; batch * n];
+                for b in 0..batch {
+                    let mut d = spectra[b * half..(b + 1) * half].to_vec();
+                    fft.inverse_into(&mut d, &mut want[b * n..(b + 1) * n]);
+                }
+                simd::force_level(Some(level));
+                let mut got = vec![0.0f64; batch * n];
+                fft.inverse_batch_into(&spectra, &mut got);
+                simd::force_level(None);
+                assert_f64_bits_eq(
+                    &got,
+                    &want,
+                    &format!("n={n} level={} batch={batch}", level.name()),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fft_roundtrip_through_batched_paths_recovers_input() {
+    let _guard = lock();
+    let n = 128;
+    let fft = NegacyclicFft::new(n);
+    let batch = 5;
+    let inputs: Vec<f64> = (0..batch)
+        .flat_map(|b| poly(n, b as u64 + 3, 20.0))
+        .collect();
+    let mut spec = vec![C64::ZERO; batch * n / 2];
+    fft.forward_batch_into(&inputs, &mut spec);
+    let mut back = vec![0.0f64; batch * n];
+    fft.inverse_batch_into(&spec, &mut back);
+    for (x, y) in inputs.iter().zip(&back) {
+        assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+    }
+}
+
+#[test]
+fn ntt_batch_bit_identical_to_scalar_at_every_level_and_width() {
+    let _guard = lock();
+    for (n, qbits) in [(16usize, 30u32), (256, 50), (1024, 59)] {
+        let q = flash_math::prime::ntt_prime(qbits, n as u64).unwrap();
+        let tables = NttTables::new(n, q).unwrap();
+        for level in available_levels() {
+            let w = level.lanes();
+            for batch in batch_widths(w) {
+                let polys: Vec<u64> = (0..batch * n)
+                    .map(|i| {
+                        let x = (i as u64).wrapping_mul(0x2545f4914f6cdd1d).wrapping_add(7);
+                        (x ^ (x >> 31)) % q
+                    })
+                    .collect();
+                // Scalar reference.
+                let mut want = polys.clone();
+                for chunk in want.chunks_exact_mut(n) {
+                    transform::forward(chunk, &tables);
+                }
+                simd::force_level(Some(level));
+                let mut got = polys.clone();
+                transform::forward_batch(&mut got, &tables);
+                simd::force_level(None);
+                assert_eq!(
+                    got,
+                    want,
+                    "forward n={n} level={} batch={batch}",
+                    level.name()
+                );
+
+                // Inverse over the forwarded data.
+                let mut want_inv = want.clone();
+                for chunk in want_inv.chunks_exact_mut(n) {
+                    transform::inverse(chunk, &tables);
+                }
+                simd::force_level(Some(level));
+                let mut got_inv = want.clone();
+                transform::inverse_batch(&mut got_inv, &tables);
+                simd::force_level(None);
+                assert_eq!(
+                    got_inv,
+                    want_inv,
+                    "inverse n={n} level={} batch={batch}",
+                    level.name()
+                );
+                // And the roundtrip recovers the input exactly.
+                assert_eq!(got_inv, polys, "roundtrip n={n} batch={batch}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn fft_forward_batch_equivalence_random(log_n in 2u32..10, batch in 0usize..11, seed in any::<u64>()) {
+        let _guard = lock();
+        let n = 1usize << log_n;
+        let half = n / 2;
+        let fft = NegacyclicFft::new(n);
+        let inputs: Vec<f64> = (0..batch).flat_map(|b| poly(n, seed ^ b as u64, 500.0)).collect();
+        simd::force_level(Some(SimdLevel::Scalar));
+        let mut want = vec![C64::ZERO; batch * half];
+        for b in 0..batch {
+            fft.forward_into(&inputs[b * n..(b + 1) * n], &mut want[b * half..(b + 1) * half]);
+        }
+        simd::force_level(None);
+        let mut got = vec![C64::ZERO; batch * half];
+        fft.forward_batch_into(&inputs, &mut got);
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert_eq!(g.re.to_bits(), w.re.to_bits());
+            prop_assert_eq!(g.im.to_bits(), w.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn ntt_forward_batch_equivalence_random(log_n in 2u32..11, batch in 0usize..11, seed in any::<u64>()) {
+        let _guard = lock();
+        let n = 1usize << log_n;
+        let q = flash_math::prime::ntt_prime(40, n as u64).unwrap();
+        let tables = NttTables::new(n, q).unwrap();
+        let polys: Vec<u64> = (0..batch * n)
+            .map(|i| (i as u64).wrapping_mul(seed | 1).wrapping_add(seed >> 7) % q)
+            .collect();
+        let mut want = polys.clone();
+        for chunk in want.chunks_exact_mut(n) {
+            transform::forward(chunk, &tables);
+        }
+        let mut got = polys;
+        transform::forward_batch(&mut got, &tables);
+        prop_assert_eq!(got, want);
+    }
+}

@@ -60,8 +60,10 @@ fn count_allocs(f: impl FnOnce()) -> u64 {
 fn transform_hot_paths_allocate_nothing_at_steady_state() {
     use flash_fft::negacyclic::NegacyclicFft;
     use flash_math::C64;
-    use flash_ntt::polymul::negacyclic_mul_ntt_into;
-    use flash_ntt::transform::{forward, inverse, pointwise_mul_assign};
+    use flash_ntt::polymul::{negacyclic_mul_ntt_batch_into, negacyclic_mul_ntt_into};
+    use flash_ntt::transform::{
+        forward, forward_batch, inverse, inverse_batch, pointwise_mul_assign,
+    };
     use flash_ntt::NttTables;
     use flash_sparse::{SparsePlan, SparsityPattern};
 
@@ -94,12 +96,26 @@ fn transform_hot_paths_allocate_nothing_at_steady_state() {
     let mut tape_out = vec![C64::ZERO; n / 2];
     let mut batch_out = vec![C64::ZERO; 3 * (n / 2)];
 
+    // Lane-interleaved SoA batch paths: an odd batch width (3) forces the
+    // remainder handling, and every transpose stages through the
+    // thread-local scratch pools — so steady state must stay heap-free.
+    let af3: Vec<f64> = af.iter().chain(&af).chain(&af).copied().collect();
+    let a3: Vec<u64> = a.iter().chain(&a).chain(&a).copied().collect();
+    let mut spec3 = vec![C64::ZERO; 3 * (n / 2)];
+    let mut fft3_out = vec![0.0f64; 3 * n];
+    let mut ntt3 = a3.clone();
+    let mut ntt3_out = vec![0u64; 3 * n];
+
     let drive = |u: &mut Vec<u64>,
                  ntt_out: &mut Vec<u64>,
                  spec: &mut Vec<C64>,
                  fft_out: &mut Vec<f64>,
                  tape_out: &mut Vec<C64>,
-                 batch_out: &mut Vec<C64>| {
+                 batch_out: &mut Vec<C64>,
+                 spec3: &mut Vec<C64>,
+                 fft3_out: &mut Vec<f64>,
+                 ntt3: &mut Vec<u64>,
+                 ntt3_out: &mut Vec<u64>| {
         // NTT kernels: forward / pointwise / inverse plus the fused
         // scratch-backed polynomial product.
         forward(u, &tables);
@@ -114,6 +130,14 @@ fn transform_hot_paths_allocate_nothing_at_steady_state() {
         // Sparse µop tape: single execution and a 3-wide batch.
         plan.execute_into(&w, tape_out);
         plan.execute_batch_into([&w[..], &w[..], &w[..]], batch_out);
+        // SoA batched transforms: FFT forward/inverse, NTT
+        // forward/inverse, and the fused batched polynomial product.
+        fft.forward_batch_into(&af3, spec3);
+        fft.inverse_batch_into(spec3, fft3_out);
+        ntt3.copy_from_slice(&a3);
+        forward_batch(ntt3, &tables);
+        inverse_batch(ntt3, &tables);
+        negacyclic_mul_ntt_batch_into(ntt3_out, &a3, &b, &tables);
     };
 
     // Warm up twice: the first pass takes every pool miss, the second
@@ -125,6 +149,10 @@ fn transform_hot_paths_allocate_nothing_at_steady_state() {
         &mut fft_out,
         &mut tape_out,
         &mut batch_out,
+        &mut spec3,
+        &mut fft3_out,
+        &mut ntt3,
+        &mut ntt3_out,
     );
     drive(
         &mut u,
@@ -133,6 +161,10 @@ fn transform_hot_paths_allocate_nothing_at_steady_state() {
         &mut fft_out,
         &mut tape_out,
         &mut batch_out,
+        &mut spec3,
+        &mut fft3_out,
+        &mut ntt3,
+        &mut ntt3_out,
     );
 
     let allocs = count_allocs(|| {
@@ -143,6 +175,10 @@ fn transform_hot_paths_allocate_nothing_at_steady_state() {
             &mut fft_out,
             &mut tape_out,
             &mut batch_out,
+            &mut spec3,
+            &mut fft3_out,
+            &mut ntt3,
+            &mut ntt3_out,
         );
         drive(
             &mut u,
@@ -151,6 +187,10 @@ fn transform_hot_paths_allocate_nothing_at_steady_state() {
             &mut fft_out,
             &mut tape_out,
             &mut batch_out,
+            &mut spec3,
+            &mut fft3_out,
+            &mut ntt3,
+            &mut ntt3_out,
         );
     });
     assert_eq!(

@@ -14,6 +14,7 @@
 //! For the approximate backend the *plaintext* operand must be small and
 //! signed (quantized weights); the ciphertext operand is center-lifted.
 
+use crate::cipher::Ciphertext;
 use crate::params::HeParams;
 use crate::poly::Poly;
 use flash_fft::fixed_fft::FixedNegacyclicFft;
@@ -21,7 +22,9 @@ use flash_fft::C64_SCRATCH;
 use flash_math::modular::{add_mod, center_lift, from_signed, from_signed_i128};
 use flash_math::C64;
 use flash_ntt::polymul::negacyclic_mul_ntt;
-use flash_ntt::transform::{forward, inverse, pointwise_mul_assign};
+use flash_ntt::transform::{
+    forward, forward_batch, inverse, inverse_batch, pointwise_mul_acc, pointwise_mul_assign,
+};
 use flash_ntt::NttTables;
 use flash_runtime::{F64_SCRATCH, U64_SCRATCH};
 use flash_sparse::SparsePlan;
@@ -340,6 +343,253 @@ impl PolyMulBackend {
         }
         debug_assert_eq!(fw.len(), n / 2, "spectrum length must be n/2");
         accumulate_pair_fft(acc0, acc1, a0, a1, fw, fft, q);
+    }
+}
+
+/// Spectral form of every uploaded (share-folded) ciphertext, computed
+/// **once per protocol run** through the batched lane-parallel transforms
+/// and shared by all `(oc, band)` jobs — the activation hoist of the SoA
+/// datapath. Without it, each output channel re-derives the same forward
+/// transforms of the same ciphertexts.
+#[derive(Debug, Clone)]
+pub enum ActivationSpectra {
+    /// FFT-family backends: per ciphertext the two component spectra
+    /// `[c0 | c1]`, each `N/2` slots, in upload order.
+    Fft(Vec<C64>),
+    /// Exact NTT backend: per ciphertext the two forward residue vectors
+    /// `[c0 | c1]`, each `N` coefficients, in upload order.
+    Ntt(Vec<u64>),
+}
+
+/// One `(oc, band)` response being accumulated in the spectral domain,
+/// both ciphertext components side by side, so a whole channel's worth of
+/// responses can close through one lane-parallel inverse batch.
+#[derive(Debug, Clone)]
+pub enum BandAccumulator {
+    /// `[s0 | s1]`, each `N/2` spectrum slots.
+    Fft(Vec<C64>),
+    /// `[r0 | r1]`, each `N` residues.
+    Ntt(Vec<u64>),
+}
+
+impl PolyMulBackend {
+    /// Forward-transforms both components of every ciphertext, `2·cts`
+    /// polynomials in one batched sweep
+    /// ([`flash_fft::NegacyclicFft::forward_batch_into`] or
+    /// [`flash_ntt::transform::forward_batch`], `W` lanes per twiddle).
+    pub fn activation_spectra(&self, cts: &[Ciphertext], params: &HeParams) -> ActivationSpectra {
+        let n = params.n;
+        let q = params.q;
+        let components = cts.iter().flat_map(|ct| [ct.c0(), ct.c1()]);
+        match self {
+            PolyMulBackend::Ntt => {
+                let mut res = vec![0u64; 2 * cts.len() * n];
+                for (chunk, poly) in res.chunks_exact_mut(n).zip(components) {
+                    chunk.copy_from_slice(poly.coeffs());
+                }
+                let _t = flash_telemetry::span!("hconv.activation_fft");
+                forward_batch(&mut res, params.ntt());
+                ActivationSpectra::Ntt(res)
+            }
+            _ => {
+                let mut lifted = F64_SCRATCH.take(2 * cts.len() * n);
+                for (chunk, poly) in lifted.chunks_exact_mut(n).zip(components) {
+                    for (slot, &x) in chunk.iter_mut().zip(poly.coeffs()) {
+                        *slot = center_lift(x, q) as f64;
+                    }
+                }
+                let mut spectra = vec![C64::ZERO; cts.len() * n];
+                let _t = flash_telemetry::span!("hconv.activation_fft");
+                params.fft().forward_batch_into(&lifted, &mut spectra);
+                ActivationSpectra::Fft(spectra)
+            }
+        }
+    }
+
+    /// Forward-transforms one band's weight polynomials (one per channel
+    /// group) into concatenated `N/2`-slot spectra through the batched
+    /// kernels. FFT-family backends only; the exact path uses
+    /// [`weight_residues_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on the `Ntt` backend or mismatched lengths.
+    pub fn weight_spectra_into(
+        &self,
+        ws: &[&[i64]],
+        out: &mut [C64],
+        fft: &flash_fft::NegacyclicFft,
+    ) {
+        let n = fft.degree();
+        assert_eq!(out.len(), ws.len() * (n / 2), "spectra length mismatch");
+        match self {
+            PolyMulBackend::Ntt => panic!("weight spectra require an FFT-family backend"),
+            PolyMulBackend::FftF64 => {
+                let mut staged = F64_SCRATCH.take(ws.len() * n);
+                for (chunk, w) in staged.chunks_exact_mut(n).zip(ws) {
+                    for (slot, &x) in chunk.iter_mut().zip(*w) {
+                        *slot = x as f64;
+                    }
+                }
+                fft.forward_batch_into(&staged, out);
+            }
+            PolyMulBackend::ApproxFft(fixed) => {
+                let mut staged = Vec::with_capacity(ws.len() * n);
+                for w in ws {
+                    staged.extend_from_slice(w);
+                }
+                let _ = fixed.forward_batch_into(&staged, out);
+            }
+        }
+    }
+}
+
+/// From-signed lift + batched forward NTT of one band's weight
+/// polynomials (the exact path's counterpart of
+/// [`PolyMulBackend::weight_spectra_into`]).
+///
+/// # Panics
+///
+/// Panics if `out.len() != ws.len() · N`.
+pub fn weight_residues_into(ws: &[&[i64]], out: &mut [u64], ntt: &NttTables) {
+    let n = ntt.degree();
+    let q = ntt.modulus();
+    assert_eq!(out.len(), ws.len() * n, "residue length mismatch");
+    for (chunk, w) in out.chunks_exact_mut(n).zip(ws) {
+        for (slot, &x) in chunk.iter_mut().zip(*w) {
+            *slot = from_signed(x, q);
+        }
+    }
+    forward_batch(out, ntt);
+}
+
+impl ActivationSpectra {
+    /// A zeroed accumulator matching this spectra's domain.
+    pub fn accumulator(&self, n: usize) -> BandAccumulator {
+        match self {
+            ActivationSpectra::Fft(_) => BandAccumulator::Fft(vec![C64::ZERO; n]),
+            ActivationSpectra::Ntt(_) => BandAccumulator::Ntt(vec![0u64; 2 * n]),
+        }
+    }
+
+    /// `acc ⊞= ct[idx] ⊙ fw` over both components in the FFT spectral
+    /// domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self` or `acc` is not FFT-domain, or on length
+    /// mismatches.
+    pub fn mac_fft(&self, idx: usize, fw: &[C64], acc: &mut BandAccumulator) {
+        let (ActivationSpectra::Fft(sp), BandAccumulator::Fft(a)) = (self, acc) else {
+            panic!("FFT MAC requires FFT-domain spectra");
+        };
+        let half = fw.len();
+        assert_eq!(a.len(), 2 * half, "accumulator length mismatch");
+        let ct = &sp[idx * 2 * half..][..2 * half];
+        let _t = flash_telemetry::span!("hconv.pointwise_acc");
+        for c in 0..2 {
+            let dst = &mut a[c * half..][..half];
+            let src = &ct[c * half..][..half];
+            for i in 0..half {
+                dst[i] += src[i] * fw[i];
+            }
+        }
+    }
+
+    /// `acc ⊞= ct[idx] ⊙ fw` over both components in the NTT domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self` or `acc` is not NTT-domain, or on length
+    /// mismatches.
+    pub fn mac_ntt(&self, idx: usize, fw: &[u64], tables: &NttTables, acc: &mut BandAccumulator) {
+        let (ActivationSpectra::Ntt(sp), BandAccumulator::Ntt(a)) = (self, acc) else {
+            panic!("NTT MAC requires NTT-domain residues");
+        };
+        let n = fw.len();
+        assert_eq!(a.len(), 2 * n, "accumulator length mismatch");
+        let ct = &sp[idx * 2 * n..][..2 * n];
+        let _t = flash_telemetry::span!("hconv.pointwise_acc");
+        pointwise_mul_acc(&mut a[..n], &ct[..n], fw, tables);
+        pointwise_mul_acc(&mut a[n..], &ct[n..], fw, tables);
+    }
+}
+
+impl BandAccumulator {
+    /// Closes one accumulation: a 2-lane inverse batch over the component
+    /// pair, rounded/reduced into a fresh ciphertext.
+    pub fn finish(self, params: &HeParams) -> Ciphertext {
+        BandAccumulator::finish_bands(vec![self], params)
+            .pop()
+            .expect("one accumulator in, one ciphertext out")
+    }
+
+    /// Closes many accumulators at once: every component of every band
+    /// goes through **one** batched inverse call (`2·k` lanes) — the
+    /// widest legal batch a protocol worker can form per output channel.
+    ///
+    /// For the exact NTT domain the result is bit-identical to per-group
+    /// inverse-then-add (the transform is linear over `Z_q`); for the FFT
+    /// family the accumulated spectrum rounds once instead of per group,
+    /// which is exact in the protocol's error-free operating regime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accumulators mix domains.
+    pub fn finish_bands(accs: Vec<BandAccumulator>, params: &HeParams) -> Vec<Ciphertext> {
+        let n = params.n;
+        let q = params.q;
+        let Some(first) = accs.first() else {
+            return Vec::new();
+        };
+        match first {
+            BandAccumulator::Fft(_) => {
+                let mut spec = C64_SCRATCH.take(accs.len() * n);
+                for (chunk, acc) in spec.chunks_exact_mut(n).zip(&accs) {
+                    let BandAccumulator::Fft(s) = acc else {
+                        panic!("mixed accumulator domains");
+                    };
+                    chunk.copy_from_slice(s);
+                }
+                let mut prod = F64_SCRATCH.take(accs.len() * 2 * n);
+                {
+                    let _t = flash_telemetry::span!("hconv.inverse_fft");
+                    params.fft().inverse_batch_into(&spec, &mut prod);
+                }
+                let to_poly = |xs: &[f64]| {
+                    Poly::from_coeffs(
+                        xs.iter()
+                            .map(|&x| from_signed_i128(x.round_ties_even() as i128, q))
+                            .collect(),
+                        q,
+                    )
+                };
+                prod.chunks_exact(2 * n)
+                    .map(|pair| Ciphertext::new(to_poly(&pair[..n]), to_poly(&pair[n..])))
+                    .collect()
+            }
+            BandAccumulator::Ntt(_) => {
+                let mut res = U64_SCRATCH.take(accs.len() * 2 * n);
+                for (chunk, acc) in res.chunks_exact_mut(2 * n).zip(&accs) {
+                    let BandAccumulator::Ntt(r) = acc else {
+                        panic!("mixed accumulator domains");
+                    };
+                    chunk.copy_from_slice(r);
+                }
+                {
+                    let _t = flash_telemetry::span!("hconv.inverse_fft");
+                    inverse_batch(&mut res, params.ntt());
+                }
+                res.chunks_exact(2 * n)
+                    .map(|pair| {
+                        Ciphertext::new(
+                            Poly::from_coeffs(pair[..n].to_vec(), q),
+                            Poly::from_coeffs(pair[n..].to_vec(), q),
+                        )
+                    })
+                    .collect()
+            }
+        }
     }
 }
 

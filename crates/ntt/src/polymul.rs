@@ -7,7 +7,9 @@
 //! Figure 11(a)).
 
 use crate::tables::NttTables;
-use crate::transform::{forward, inverse, pointwise_mul_into};
+use crate::transform::{
+    forward, forward_batch, inverse, inverse_batch, pointwise_mul_assign, pointwise_mul_into,
+};
 use flash_math::modular::{add_mod, mul_mod, sub_mod};
 use flash_runtime::U64_SCRATCH;
 
@@ -40,6 +42,40 @@ pub fn negacyclic_mul_ntt_into(out: &mut [u64], a: &[u64], b: &[u64], tables: &N
     forward(&mut fb, tables);
     pointwise_mul_into(out, &fa, &fb, tables);
     inverse(out, tables);
+}
+
+/// Exact negacyclic products of a batch of polynomials against one shared
+/// operand, written into `out` (`batch × n`, concatenated). Both transform
+/// legs run through the lane-interleaved batched kernels
+/// ([`forward_batch`] / [`inverse_batch`]), so `W` polynomials at a time
+/// share each twiddle; results are bit-identical to per-polynomial
+/// [`negacyclic_mul_ntt_into`] calls.
+///
+/// # Panics
+///
+/// Panics if `out.len() != polys.len()`, if `polys.len()` is not a
+/// multiple of the table degree, or if `shared.len()` differs from it.
+pub fn negacyclic_mul_ntt_batch_into(
+    out: &mut [u64],
+    polys: &[u64],
+    shared: &[u64],
+    tables: &NttTables,
+) {
+    let n = tables.degree();
+    assert_eq!(out.len(), polys.len(), "output batch length must match");
+    assert_eq!(
+        polys.len() % n,
+        0,
+        "batch length must be a multiple of the ring degree"
+    );
+    let mut fs = U64_SCRATCH.take_copied(shared);
+    forward(&mut fs, tables);
+    out.copy_from_slice(polys);
+    forward_batch(out, tables);
+    for chunk in out.chunks_exact_mut(n) {
+        pointwise_mul_assign(chunk, &fs, tables);
+    }
+    inverse_batch(out, tables);
 }
 
 /// Schoolbook negacyclic product: `c_k = Σ_{i+j=k} a_i b_j − Σ_{i+j=k+N}
@@ -168,6 +204,24 @@ mod tests {
             negacyclic_mul_sparse(&dense, &entries, q),
             negacyclic_mul_naive(&dense, &sparse_poly, q)
         );
+    }
+
+    #[test]
+    fn batched_mul_matches_per_polynomial() {
+        let t = tables(64, 40);
+        let q = t.modulus();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let shared: Vec<u64> = (0..64).map(|_| rng.gen_range(0..q)).collect();
+        for batch in [0usize, 1, 3, 8, 9] {
+            let polys: Vec<u64> = (0..batch * 64).map(|_| rng.gen_range(0..q)).collect();
+            let mut got = vec![0u64; polys.len()];
+            negacyclic_mul_ntt_batch_into(&mut got, &polys, &shared, &t);
+            for b in 0..batch {
+                let mut want = vec![0u64; 64];
+                negacyclic_mul_ntt_into(&mut want, &polys[b * 64..(b + 1) * 64], &shared, &t);
+                assert_eq!(&got[b * 64..(b + 1) * 64], &want[..], "batch={batch} b={b}");
+            }
+        }
     }
 
     #[test]

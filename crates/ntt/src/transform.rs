@@ -22,16 +22,23 @@
 
 use crate::tables::NttTables;
 use flash_math::modular::add_mod;
+use flash_runtime::simd::{self, SimdLevel};
+use flash_runtime::U64_SCRATCH;
 
-/// In-place forward negacyclic NTT (Cooley–Tukey, natural input →
-/// bit-reversed output).
+/// Forward Cooley–Tukey butterfly cascade over a lane-interleaved buffer:
+/// `soa` holds `n` coefficient slots of `lanes` polynomials each
+/// (`soa[j·lanes + l]` = coefficient `j` of polynomial `l`), so one Shoup
+/// twiddle drives `t·lanes` *contiguous* elements — the compare/add/sub
+/// portion of the Harvey butterfly vectorizes and the `u128` multiplies
+/// pipeline. `lanes == 1` is exactly the scalar transform. Leaves
+/// residues in `[0, 4q)`; callers normalize.
 ///
-/// # Panics
-///
-/// Panics if `a.len()` differs from the table degree.
-pub fn forward(a: &mut [u64], tables: &NttTables) {
+/// Every operation is exact modular integer arithmetic, so any lane
+/// count produces bit-identical results.
+#[inline(always)]
+fn forward_butterflies(soa: &mut [u64], lanes: usize, tables: &NttTables) {
     let n = tables.degree();
-    assert_eq!(a.len(), n, "input length must equal ring degree");
+    debug_assert_eq!(soa.len(), n * lanes);
     let q = tables.modulus();
     debug_assert!(q < 1 << 62, "lazy reduction needs 4q to fit in u64");
     let two_q = 2 * q;
@@ -39,26 +46,72 @@ pub fn forward(a: &mut [u64], tables: &NttTables) {
     let mut m = 1;
     while m < n {
         t /= 2;
+        let span = t * lanes;
         for i in 0..m {
-            let j1 = 2 * i * t;
             let s = tables.psi_rev(m + i);
-            for j in j1..j1 + t {
+            let base = 2 * i * span;
+            let (us, vs) = soa[base..base + 2 * span].split_at_mut(span);
+            for (up, vp) in us.iter_mut().zip(vs.iter_mut()) {
                 // Lazy CT butterfly: inputs are in [0, 4q); u is pulled
                 // back to [0, 2q) and v = s·a[j+t] lands in [0, 2q) for
                 // any unreduced operand, so both outputs stay in [0, 4q).
-                let mut u = a[j];
+                let mut u = *up;
                 if u >= two_q {
                     u -= two_q;
                 }
-                let v = s.mul_lazy(a[j + t], q);
-                a[j] = u + v;
-                a[j + t] = u + two_q - v;
+                let v = s.mul_lazy(*vp, q);
+                *up = u + v;
+                *vp = u + two_q - v;
             }
         }
         m *= 2;
     }
-    // Single final normalization [0, 4q) → [0, q).
-    for x in a.iter_mut() {
+}
+
+/// Inverse Gentleman–Sande butterfly cascade over the same lane layout as
+/// [`forward_butterflies`]; leaves residues unnormalized (the caller's
+/// `N⁻¹` Shoup multiply fully reduces).
+#[inline(always)]
+fn inverse_butterflies(soa: &mut [u64], lanes: usize, tables: &NttTables) {
+    let n = tables.degree();
+    debug_assert_eq!(soa.len(), n * lanes);
+    let q = tables.modulus();
+    debug_assert!(q < 1 << 62, "lazy reduction needs 4q to fit in u64");
+    let two_q = 2 * q;
+    let mut t = 1;
+    let mut m = n;
+    while m > 1 {
+        let h = m / 2;
+        let span = t * lanes;
+        let mut base = 0;
+        for i in 0..h {
+            let s = tables.psi_inv_rev(h + i);
+            let (us, vs) = soa[base..base + 2 * span].split_at_mut(span);
+            for (up, vp) in us.iter_mut().zip(vs.iter_mut()) {
+                // Lazy GS butterfly with the [0, 2q) invariant: the sum is
+                // folded back below 2q, the difference (shifted into
+                // [0, 4q)) re-enters [0, 2q) through the lazy multiply.
+                let u = *up;
+                let v = *vp;
+                let mut sum = u + v;
+                if sum >= two_q {
+                    sum -= two_q;
+                }
+                *up = sum;
+                *vp = s.mul_lazy(u + two_q - v, q);
+            }
+            base += 2 * span;
+        }
+        t *= 2;
+        m = h;
+    }
+}
+
+/// Final normalization `[0, 4q) → [0, q)` after the forward cascade.
+#[inline(always)]
+fn normalize_forward(soa: &mut [u64], q: u64) {
+    let two_q = 2 * q;
+    for x in soa.iter_mut() {
         let mut v = *x;
         if v >= two_q {
             v -= two_q;
@@ -70,6 +123,30 @@ pub fn forward(a: &mut [u64], tables: &NttTables) {
     }
 }
 
+/// `N⁻¹` scaling epilogue of the inverse; the eager Shoup multiply fully
+/// reduces any `u64` operand, so it doubles as the normalization.
+#[inline(always)]
+fn normalize_inverse(soa: &mut [u64], tables: &NttTables) {
+    let q = tables.modulus();
+    let n_inv = tables.n_inv();
+    for x in soa.iter_mut() {
+        *x = n_inv.mul(*x, q);
+    }
+}
+
+/// In-place forward negacyclic NTT (Cooley–Tukey, natural input →
+/// bit-reversed output).
+///
+/// # Panics
+///
+/// Panics if `a.len()` differs from the table degree.
+pub fn forward(a: &mut [u64], tables: &NttTables) {
+    let n = tables.degree();
+    assert_eq!(a.len(), n, "input length must equal ring degree");
+    forward_butterflies(a, 1, tables);
+    normalize_forward(a, tables.modulus());
+}
+
 /// In-place inverse negacyclic NTT (Gentleman–Sande, bit-reversed input →
 /// natural output), including the `N⁻¹` scaling.
 ///
@@ -79,40 +156,156 @@ pub fn forward(a: &mut [u64], tables: &NttTables) {
 pub fn inverse(a: &mut [u64], tables: &NttTables) {
     let n = tables.degree();
     assert_eq!(a.len(), n, "input length must equal ring degree");
-    let q = tables.modulus();
-    debug_assert!(q < 1 << 62, "lazy reduction needs 4q to fit in u64");
-    let two_q = 2 * q;
-    let mut t = 1;
-    let mut m = n;
-    while m > 1 {
-        let h = m / 2;
-        let mut j1 = 0;
-        for i in 0..h {
-            let s = tables.psi_inv_rev(h + i);
-            for j in j1..j1 + t {
-                // Lazy GS butterfly with the [0, 2q) invariant: the sum is
-                // folded back below 2q, the difference (shifted into
-                // [0, 4q)) re-enters [0, 2q) through the lazy multiply.
-                let u = a[j];
-                let v = a[j + t];
-                let mut sum = u + v;
-                if sum >= two_q {
-                    sum -= two_q;
-                }
-                a[j] = sum;
-                a[j + t] = s.mul_lazy(u + two_q - v, q);
-            }
-            j1 += 2 * t;
+    inverse_butterflies(a, 1, tables);
+    normalize_inverse(a, tables);
+}
+
+/// AVX2 monomorphization of the full forward SoA pipeline.
+///
+/// # Safety
+///
+/// The CPU must support AVX2 (guaranteed by the `simd::level` dispatch).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn forward_lanes_avx2(soa: &mut [u64], lanes: usize, tables: &NttTables) {
+    forward_butterflies(soa, lanes, tables);
+    normalize_forward(soa, tables.modulus());
+}
+
+/// AVX-512 monomorphization of the full forward SoA pipeline.
+///
+/// # Safety
+///
+/// The CPU must support AVX-512F/DQ (guaranteed by the dispatch).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512dq")]
+unsafe fn forward_lanes_avx512(soa: &mut [u64], lanes: usize, tables: &NttTables) {
+    forward_butterflies(soa, lanes, tables);
+    normalize_forward(soa, tables.modulus());
+}
+
+/// AVX2 monomorphization of the full inverse SoA pipeline.
+///
+/// # Safety
+///
+/// The CPU must support AVX2 (guaranteed by the dispatch).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn inverse_lanes_avx2(soa: &mut [u64], lanes: usize, tables: &NttTables) {
+    inverse_butterflies(soa, lanes, tables);
+    normalize_inverse(soa, tables);
+}
+
+/// AVX-512 monomorphization of the full inverse SoA pipeline.
+///
+/// # Safety
+///
+/// The CPU must support AVX-512F/DQ (guaranteed by the dispatch).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512dq")]
+unsafe fn inverse_lanes_avx512(soa: &mut [u64], lanes: usize, tables: &NttTables) {
+    inverse_butterflies(soa, lanes, tables);
+    normalize_inverse(soa, tables);
+}
+
+/// Shared driver for the batched transforms: chunk the batch into blocks
+/// of `W = simd::lanes()`, transpose each block into a lane-interleaved
+/// SoA scratch buffer, run one butterfly cascade over all lanes, and
+/// transpose back. Lane count is the *actual* block width (no zero
+/// padding needed — modular arithmetic has no remainder-lane hazards).
+fn batch_lanes<F>(polys: &mut [u64], tables: &NttTables, scalar: fn(&mut [u64], &NttTables), run: F)
+where
+    F: Fn(&mut [u64], usize, &NttTables, SimdLevel),
+{
+    let n = tables.degree();
+    assert_eq!(
+        polys.len() % n,
+        0,
+        "batch length must be a multiple of the ring degree"
+    );
+    let batch = polys.len() / n;
+    let level = simd::level();
+    let w = level.lanes();
+    if w == 1 || batch < 2 {
+        for chunk in polys.chunks_exact_mut(n) {
+            scalar(chunk, tables);
         }
-        t *= 2;
-        m = h;
+        return;
     }
-    // The eager N⁻¹ Shoup multiply fully reduces any u64 operand, so it
-    // doubles as the final normalization to [0, q).
-    let n_inv = tables.n_inv();
-    for x in a.iter_mut() {
-        *x = n_inv.mul(*x, q);
+    let mut soa = U64_SCRATCH.take(n * w);
+    let mut done = 0;
+    while done < batch {
+        let used = (batch - done).min(w);
+        let chunk = &mut polys[done * n..(done + used) * n];
+        if used == 1 {
+            scalar(chunk, tables);
+        } else {
+            let soa = &mut soa[..n * used];
+            for j in 0..n {
+                for l in 0..used {
+                    soa[j * used + l] = chunk[l * n + j];
+                }
+            }
+            run(soa, used, tables, level);
+            for j in 0..n {
+                for l in 0..used {
+                    chunk[l * n + j] = soa[j * used + l];
+                }
+            }
+        }
+        done += used;
     }
+}
+
+/// Batched in-place forward NTT over `polys.len() / n` consecutive
+/// polynomials. Blocks of `W = flash_runtime::simd::lanes()` polynomials
+/// share one butterfly cascade in lane-interleaved layout (one twiddle
+/// per `t·W` contiguous residues); outputs are **bit-identical** to
+/// per-polynomial [`forward`] calls at every lane width.
+///
+/// # Panics
+///
+/// Panics if `polys.len()` is not a multiple of the table degree.
+pub fn forward_batch(polys: &mut [u64], tables: &NttTables) {
+    batch_lanes(
+        polys,
+        tables,
+        forward,
+        |soa, lanes, tables, level| match level {
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Avx512 => unsafe { forward_lanes_avx512(soa, lanes, tables) },
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Avx2 => unsafe { forward_lanes_avx2(soa, lanes, tables) },
+            _ => {
+                forward_butterflies(soa, lanes, tables);
+                normalize_forward(soa, tables.modulus());
+            }
+        },
+    );
+}
+
+/// Batched in-place inverse NTT; same batching, layout, and bit-identity
+/// contract as [`forward_batch`].
+///
+/// # Panics
+///
+/// Panics if `polys.len()` is not a multiple of the table degree.
+pub fn inverse_batch(polys: &mut [u64], tables: &NttTables) {
+    batch_lanes(
+        polys,
+        tables,
+        inverse,
+        |soa, lanes, tables, level| match level {
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Avx512 => unsafe { inverse_lanes_avx512(soa, lanes, tables) },
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Avx2 => unsafe { inverse_lanes_avx2(soa, lanes, tables) },
+            _ => {
+                inverse_butterflies(soa, lanes, tables);
+                normalize_inverse(soa, tables);
+            }
+        },
+    );
 }
 
 /// Point-wise product of two NTT-domain vectors (the "point-wise

@@ -21,10 +21,15 @@
 //!   stays acyclic; this crate depends only on `std`.
 //! * [`ScratchPool`] — thread-local, size-classed buffer pools with RAII
 //!   checkout ([`Scratch`]), making the transform hot paths
-//!   allocation-free in steady state. Concrete pools follow the same
-//!   placement rule as the interners: [`U64_SCRATCH`] / [`F64_SCRATCH`] /
-//!   [`I128_SCRATCH`] live here, the `C64` pool lives in `flash-fft`, and
-//!   new ones are declared with [`scratch_pool!`].
+//!   allocation-free in steady state. Buffers are 64-byte aligned
+//!   ([`AlignedBuf`]) so SoA SIMD lane loads never straddle cache lines.
+//!   Concrete pools follow the same placement rule as the interners:
+//!   [`U64_SCRATCH`] / [`F64_SCRATCH`] / [`I128_SCRATCH`] live here, the
+//!   `C64` pool lives in `flash-fft`, and new ones are declared with
+//!   [`scratch_pool!`].
+//! * [`simd`] — runtime SIMD level detection and the process-wide lane
+//!   width decision the batched spectral kernels dispatch on
+//!   (`FLASH_SIMD` / [`simd::force_level`] override it for A/B runs).
 //!
 //! # Determinism contract
 //!
@@ -38,11 +43,12 @@ mod config;
 mod exec;
 mod interner;
 mod scratch;
+pub mod simd;
 
 pub use config::{max_threads, noise_margin, set_threads, ThreadOverrideGuard};
 pub use exec::{parallel_gen, parallel_gen_with, parallel_map, parallel_map_with};
 pub use interner::{CacheStats, Interner};
 pub use scratch::{
-    PoolShelves, PoolStats, Scratch, ScratchPool, F64_SCRATCH, I128_SCRATCH, MAX_BUFFERS_PER_CLASS,
-    U64_SCRATCH,
+    AlignedBuf, PoolShelves, PoolStats, Scratch, ScratchPool, F64_SCRATCH, I128_SCRATCH,
+    MAX_BUFFERS_PER_CLASS, SCRATCH_ALIGN, U64_SCRATCH,
 };

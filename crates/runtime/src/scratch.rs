@@ -4,9 +4,15 @@
 //! sparse execution) need short-lived working buffers of a handful of
 //! distinct sizes. Allocating them per call dominates once the arithmetic
 //! itself is cheap — the FLASH premise. A [`ScratchPool`] hands out
-//! recycled `Vec`s from a thread-local, size-classed free list behind an
+//! recycled buffers from a thread-local, size-classed free list behind an
 //! RAII [`Scratch`] guard: dropping the guard returns the buffer to the
 //! pool, so steady state performs zero allocator calls.
+//!
+//! Buffers are [`AlignedBuf`]s, allocated at [`SCRATCH_ALIGN`] (64-byte)
+//! boundaries: the SoA SIMD kernels load whole cache lines of lanes, and a
+//! pool that handed back 8-byte-aligned `Vec`s would make every batched
+//! load straddle lines. The guard dereferences to `[T]`, so call sites
+//! read exactly like slices.
 //!
 //! Concrete pools live next to the element types they serve ([`U64_SCRATCH`],
 //! [`F64_SCRATCH`], [`I128_SCRATCH`] here; a `C64` pool in `flash-fft`),
@@ -29,14 +35,20 @@
 //! style as [`crate::CacheStats`], so benchmarks can prove the recycling
 //! actually happens.
 
+use std::alloc::{alloc, dealloc, handle_alloc_error, Layout};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::ops::{Deref, DerefMut};
+use std::ptr::NonNull;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::thread::LocalKey;
 
 /// Retention cap: free buffers kept per size class per thread.
 pub const MAX_BUFFERS_PER_CLASS: usize = 8;
+
+/// Guaranteed minimum alignment (bytes) of every pooled buffer: one full
+/// cache line, so 512-bit SoA lane loads are always aligned.
+pub const SCRATCH_ALIGN: usize = 64;
 
 /// Hit/miss/recycling counters for one pool, readable at any time.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -61,16 +73,159 @@ impl PoolStats {
     }
 }
 
+/// A heap buffer of `Copy` elements whose storage is aligned to at least
+/// [`SCRATCH_ALIGN`] bytes. API is the `Vec` subset the scratch paths
+/// need (`len`/`capacity`/`clear`/`resize`/`extend_from_slice`) plus
+/// `Deref`/`DerefMut` to `[T]`.
+///
+/// `Vec` cannot provide this: its deallocation contract is tied to
+/// `Layout::array::<T>()`, so an over-aligned allocation smuggled into a
+/// `Vec` would be undefined behavior on drop. Restricting `T: Copy` keeps
+/// drop handling trivial (no element destructors to run on truncate).
+pub struct AlignedBuf<T: Copy> {
+    ptr: NonNull<T>,
+    len: usize,
+    cap: usize,
+}
+
+// The buffer is an owning pointer to plain `Copy` data; it is exactly as
+// thread-safe as the element type.
+unsafe impl<T: Copy + Send> Send for AlignedBuf<T> {}
+unsafe impl<T: Copy + Sync> Sync for AlignedBuf<T> {}
+
+impl<T: Copy> AlignedBuf<T> {
+    /// An empty buffer; does not allocate.
+    pub const fn new() -> Self {
+        AlignedBuf {
+            ptr: NonNull::dangling(),
+            len: 0,
+            cap: 0,
+        }
+    }
+
+    fn layout(cap: usize) -> Layout {
+        let align = SCRATCH_ALIGN.max(std::mem::align_of::<T>());
+        let bytes = cap
+            .checked_mul(std::mem::size_of::<T>())
+            .expect("scratch buffer size overflows usize");
+        Layout::from_size_align(bytes, align).expect("valid scratch layout")
+    }
+
+    /// An empty buffer with `cap` elements of aligned storage.
+    pub fn with_capacity(cap: usize) -> Self {
+        if cap == 0 || std::mem::size_of::<T>() == 0 {
+            let mut buf = Self::new();
+            buf.cap = cap;
+            return buf;
+        }
+        let layout = Self::layout(cap);
+        let raw = unsafe { alloc(layout) };
+        let Some(ptr) = NonNull::new(raw.cast::<T>()) else {
+            handle_alloc_error(layout)
+        };
+        AlignedBuf { ptr, len: 0, cap }
+    }
+
+    /// Number of initialized elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no elements are initialized.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Allocated element capacity.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Drops all elements (trivially — `T: Copy`), keeping the storage.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Grows storage to at least `min_cap` elements, preserving contents.
+    /// Allocation is fresh + copy (not `realloc`): over-aligned layouts
+    /// may not be preserved by in-place reallocation.
+    fn reserve_total(&mut self, min_cap: usize) {
+        if min_cap <= self.cap || std::mem::size_of::<T>() == 0 {
+            return;
+        }
+        let new_cap = min_cap.next_power_of_two();
+        let mut fresh = Self::with_capacity(new_cap);
+        unsafe {
+            std::ptr::copy_nonoverlapping(self.ptr.as_ptr(), fresh.ptr.as_ptr(), self.len);
+        }
+        fresh.len = self.len;
+        *self = fresh;
+    }
+
+    /// Resizes to `len` elements, filling any growth with `val`.
+    pub fn resize(&mut self, len: usize, val: T) {
+        if len > self.len {
+            self.reserve_total(len);
+            for i in self.len..len {
+                unsafe { self.ptr.as_ptr().add(i).write(val) };
+            }
+        }
+        self.len = len;
+    }
+
+    /// Appends a copy of `src`.
+    pub fn extend_from_slice(&mut self, src: &[T]) {
+        self.reserve_total(self.len + src.len());
+        unsafe {
+            std::ptr::copy_nonoverlapping(src.as_ptr(), self.ptr.as_ptr().add(self.len), src.len());
+        }
+        self.len += src.len();
+    }
+}
+
+impl<T: Copy> Default for AlignedBuf<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy> Deref for AlignedBuf<T> {
+    type Target = [T];
+    #[inline]
+    fn deref(&self) -> &[T] {
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl<T: Copy> DerefMut for AlignedBuf<T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [T] {
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl<T: Copy> Drop for AlignedBuf<T> {
+    fn drop(&mut self) {
+        if self.cap != 0 && std::mem::size_of::<T>() != 0 {
+            unsafe { dealloc(self.ptr.as_ptr().cast(), Self::layout(self.cap)) };
+        }
+    }
+}
+
 /// The thread-local free lists of one pool: size class (a power of two
 /// capacity) → stack of cleared buffers with at least that capacity.
 ///
 /// Only [`scratch_pool!`] and the pool statics below should need to name
 /// this type; user code interacts with [`ScratchPool`] and [`Scratch`].
-pub struct PoolShelves<T> {
-    classes: BTreeMap<usize, Vec<Vec<T>>>,
+pub struct PoolShelves<T: Copy> {
+    classes: BTreeMap<usize, Vec<AlignedBuf<T>>>,
 }
 
-impl<T> PoolShelves<T> {
+impl<T: Copy> PoolShelves<T> {
     /// Const constructor, usable in `thread_local!` initializers.
     pub const fn new() -> Self {
         PoolShelves {
@@ -79,7 +234,7 @@ impl<T> PoolShelves<T> {
     }
 }
 
-impl<T> Default for PoolShelves<T> {
+impl<T: Copy> Default for PoolShelves<T> {
     fn default() -> Self {
         Self::new()
     }
@@ -103,14 +258,14 @@ impl<T> Default for PoolShelves<T> {
 /// let again = DEMO_SCRATCH.take(80); // same size class: recycled
 /// assert!(DEMO_SCRATCH.stats().hits >= 1);
 /// ```
-pub struct ScratchPool<T: 'static> {
+pub struct ScratchPool<T: Copy + 'static> {
     shelves: &'static LocalKey<RefCell<PoolShelves<T>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     bytes_recycled: AtomicU64,
 }
 
-impl<T: 'static> ScratchPool<T> {
+impl<T: Copy + 'static> ScratchPool<T> {
     /// Const constructor over the pool's thread-local shelves; see
     /// [`scratch_pool!`] for the one-line declaration form.
     pub const fn new(shelves: &'static LocalKey<RefCell<PoolShelves<T>>>) -> Self {
@@ -129,7 +284,7 @@ impl<T: 'static> ScratchPool<T> {
     }
 
     /// Pops a cleared buffer of the right class, or allocates one.
-    fn checkout(&'static self, len: usize) -> Vec<T> {
+    fn checkout(&'static self, len: usize) -> AlignedBuf<T> {
         let class = Self::class_of(len);
         let reused = self
             .shelves
@@ -152,14 +307,14 @@ impl<T: 'static> ScratchPool<T> {
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
-                Vec::with_capacity(class)
+                AlignedBuf::with_capacity(class)
             }
         }
     }
 
     /// Returns a buffer to its size-class shelf (or drops it if the shelf
     /// is full or the thread is tearing down).
-    fn recycle(&self, mut buf: Vec<T>) {
+    fn recycle(&self, mut buf: AlignedBuf<T>) {
         let cap = buf.capacity();
         if cap == 0 {
             return;
@@ -185,7 +340,7 @@ impl<T: 'static> ScratchPool<T> {
     /// Checks out a buffer of exactly `len` default-initialized elements.
     pub fn take(&'static self, len: usize) -> Scratch<T>
     where
-        T: Copy + Default,
+        T: Default,
     {
         let mut buf = self.checkout(len);
         buf.resize(len, T::default());
@@ -196,10 +351,7 @@ impl<T: 'static> ScratchPool<T> {
     }
 
     /// Checks out a buffer initialized to a copy of `src`.
-    pub fn take_copied(&'static self, src: &[T]) -> Scratch<T>
-    where
-        T: Copy,
-    {
+    pub fn take_copied(&'static self, src: &[T]) -> Scratch<T> {
         let mut buf = self.checkout(src.len());
         buf.extend_from_slice(src);
         Scratch {
@@ -226,38 +378,38 @@ impl<T: 'static> ScratchPool<T> {
     }
 }
 
-/// RAII checkout of one scratch buffer; dereferences to the underlying
-/// `Vec<T>` and returns the buffer to its pool on drop.
-pub struct Scratch<T: 'static> {
+/// RAII checkout of one scratch buffer; dereferences (through
+/// [`AlignedBuf`]) to `[T]` and returns the buffer to its pool on drop.
+pub struct Scratch<T: Copy + 'static> {
     /// `Some` until dropped or [`Scratch::detach`]ed.
-    buf: Option<Vec<T>>,
+    buf: Option<AlignedBuf<T>>,
     pool: &'static ScratchPool<T>,
 }
 
-impl<T: 'static> Scratch<T> {
+impl<T: Copy + 'static> Scratch<T> {
     /// Takes permanent ownership of the buffer, skipping recycling. Use
     /// only when the buffer escapes as a return value.
-    pub fn detach(mut self) -> Vec<T> {
+    pub fn detach(mut self) -> AlignedBuf<T> {
         self.buf.take().expect("buffer present until detach/drop")
     }
 }
 
-impl<T: 'static> Deref for Scratch<T> {
-    type Target = Vec<T>;
+impl<T: Copy + 'static> Deref for Scratch<T> {
+    type Target = AlignedBuf<T>;
     #[inline]
-    fn deref(&self) -> &Vec<T> {
+    fn deref(&self) -> &AlignedBuf<T> {
         self.buf.as_ref().expect("buffer present until detach/drop")
     }
 }
 
-impl<T: 'static> DerefMut for Scratch<T> {
+impl<T: Copy + 'static> DerefMut for Scratch<T> {
     #[inline]
-    fn deref_mut(&mut self) -> &mut Vec<T> {
+    fn deref_mut(&mut self) -> &mut AlignedBuf<T> {
         self.buf.as_mut().expect("buffer present until detach/drop")
     }
 }
 
-impl<T: 'static> Drop for Scratch<T> {
+impl<T: Copy + 'static> Drop for Scratch<T> {
     fn drop(&mut self) {
         if let Some(buf) = self.buf.take() {
             self.pool.recycle(buf);
@@ -297,7 +449,8 @@ scratch_pool! {
 }
 
 scratch_pool! {
-    /// Process-wide `f64` scratch (center-lifted operands, FFT products).
+    /// Process-wide `f64` scratch (center-lifted operands, FFT products,
+    /// SoA lane-interleaved batches).
     pub static F64_SCRATCH: f64
 }
 
@@ -362,7 +515,7 @@ mod tests {
         scratch_pool! {
             static DETACH_POOL: u64
         }
-        let owned: Vec<u64> = DETACH_POOL.take(64).detach();
+        let owned: AlignedBuf<u64> = DETACH_POOL.take(64).detach();
         assert_eq!(owned.len(), 64);
         let s = DETACH_POOL.stats();
         // a fresh take after detach cannot hit (nothing was returned)
@@ -423,5 +576,51 @@ mod tests {
             bytes_recycled: 0,
         };
         assert_eq!(none.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn buffers_are_cache_line_aligned_across_classes_and_reuse() {
+        scratch_pool! {
+            static ALIGN_U64: u64
+        }
+        scratch_pool! {
+            static ALIGN_F64: f64
+        }
+        fn addr_of<T: Copy>(s: &[T]) -> usize {
+            s.as_ptr() as usize
+        }
+        // Fresh allocations, across many size classes (including lengths
+        // that are not powers of two).
+        for len in [1usize, 3, 7, 8, 31, 64, 100, 1000, 4096, 5000] {
+            let u = ALIGN_U64.take(len);
+            assert_eq!(addr_of(&u) % SCRATCH_ALIGN, 0, "u64 take({len})");
+            let f = ALIGN_F64.take(len);
+            assert_eq!(addr_of(&f) % SCRATCH_ALIGN, 0, "f64 take({len})");
+            let c = ALIGN_F64.take_copied(&vec![1.5; len]);
+            assert_eq!(addr_of(&c) % SCRATCH_ALIGN, 0, "f64 take_copied({len})");
+        }
+        // Recycled buffers keep the alignment guarantee.
+        ALIGN_U64.reset_stats();
+        for _ in 0..4 {
+            let u = ALIGN_U64.take(100);
+            assert_eq!(addr_of(&u) % SCRATCH_ALIGN, 0);
+        }
+        assert!(ALIGN_U64.stats().hits >= 3, "reuse must actually happen");
+        // Detached buffers are aligned too.
+        let owned = ALIGN_U64.take(77).detach();
+        assert_eq!(owned.as_ptr() as usize % SCRATCH_ALIGN, 0);
+    }
+
+    #[test]
+    fn aligned_buf_grows_preserving_contents() {
+        let mut buf = AlignedBuf::<u64>::with_capacity(4);
+        buf.extend_from_slice(&[1, 2, 3, 4]);
+        buf.extend_from_slice(&[5, 6, 7, 8, 9]); // forces regrowth
+        assert_eq!(&buf[..], &[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(buf.as_ptr() as usize % SCRATCH_ALIGN, 0);
+        buf.resize(3, 0);
+        assert_eq!(&buf[..], &[1, 2, 3]);
+        buf.resize(6, 42);
+        assert_eq!(&buf[..], &[1, 2, 3, 42, 42, 42]);
     }
 }

@@ -35,9 +35,10 @@
 
 use crate::pattern::SparsityPattern;
 use crate::symbolic::{analyze_cached, DataflowCounts};
+use flash_fft::simd::{self, C64x, F64x, SimdLevel, MAX_LANES};
 use flash_math::bitrev::{bit_reverse, log2_exact};
 use flash_math::C64;
-use flash_runtime::{CacheStats, Interner};
+use flash_runtime::{CacheStats, Interner, F64_SCRATCH};
 use std::sync::Arc;
 
 /// One fixed-size instruction of a compiled sparse transform.
@@ -366,10 +367,15 @@ impl SparsePlan {
         self.run_tape(|i| w[i], out);
     }
 
-    /// Batched entry point: runs the tape once per polynomial into
-    /// consecutive `m`-slot chunks of `out`. One hot tape (and one root
-    /// table) serves the whole batch — the per-layer case where every
-    /// kernel placement shares a pattern.
+    /// Batched entry point: runs the tape over blocks of
+    /// `W = flash_fft::simd::lanes()` polynomials at once in a
+    /// lane-interleaved structure-of-arrays arena, writing consecutive
+    /// `m`-slot chunks of `out`. One tape fetch and one root load serve
+    /// all `W` lanes of a block — the per-layer case where every kernel
+    /// placement shares a pattern. Remainder lanes are zero-padded at the
+    /// `Twist` loads (the only µop that reads the input), and per lane
+    /// the arithmetic sequence is exactly [`SparsePlan::execute_into`],
+    /// so outputs are bit-identical at every lane width.
     ///
     /// # Panics
     ///
@@ -384,18 +390,156 @@ impl SparsePlan {
             0,
             "output length must be a multiple of N/2"
         );
-        let mut chunks = out.chunks_exact_mut(self.m);
+        let level = simd::level();
+        let w = level.lanes();
         let mut used = 0usize;
-        for w in ws {
-            let chunk = chunks.next().expect("output buffer shorter than the batch");
-            self.execute_into(w, chunk);
-            used += 1;
+        if w == 1 {
+            // True scalar fallback: one tape pass per polynomial.
+            let mut chunks = out.chunks_exact_mut(self.m);
+            for poly in ws {
+                let chunk = chunks.next().expect("output buffer shorter than the batch");
+                self.execute_into(poly, chunk);
+                used += 1;
+            }
+        } else {
+            let mut lanes: [&[i64]; MAX_LANES] = [&[]; MAX_LANES];
+            let mut filled = 0usize;
+            for poly in ws {
+                assert_eq!(poly.len(), self.n, "weight length must equal ring degree");
+                lanes[filled] = poly;
+                filled += 1;
+                if filled == w {
+                    let end = (used + filled) * self.m;
+                    assert!(end <= out.len(), "output buffer shorter than the batch");
+                    self.run_tape_soa_dispatch(
+                        level,
+                        &lanes[..filled],
+                        &mut out[used * self.m..end],
+                    );
+                    used += filled;
+                    filled = 0;
+                }
+            }
+            if filled > 0 {
+                let end = (used + filled) * self.m;
+                assert!(end <= out.len(), "output buffer shorter than the batch");
+                self.run_tape_soa_dispatch(level, &lanes[..filled], &mut out[used * self.m..end]);
+                used += filled;
+            }
         }
         assert_eq!(
             used * self.m,
             out.len(),
             "output buffer longer than the batch"
         );
+    }
+
+    /// Routes a block of up to `lanes()` polynomials to the SoA
+    /// interpreter monomorphized for the dispatched feature level.
+    /// Narrow tails take the narrowest kernel that still covers them
+    /// (see [`SimdLevel::narrowed`]); a single polynomial skips the SoA
+    /// arena for one scalar tape pass.
+    fn run_tape_soa_dispatch(&self, level: SimdLevel, ws: &[&[i64]], out: &mut [C64]) {
+        if let [w] = ws {
+            self.execute_into(w, out);
+            return;
+        }
+        match level.narrowed(ws.len()) {
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Avx512 => unsafe { self.run_tape_soa_avx512(ws, out) },
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Avx2 => unsafe { self.run_tape_soa_avx2(ws, out) },
+            _ => self.run_tape_soa::<2>(ws, out),
+        }
+    }
+
+    /// AVX2 monomorphization of the SoA interpreter (`W = 4`).
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 (guaranteed by the `simd::level`
+    /// dispatch in [`SparsePlan::run_tape_soa_dispatch`]).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn run_tape_soa_avx2(&self, ws: &[&[i64]], out: &mut [C64]) {
+        self.run_tape_soa::<4>(ws, out);
+    }
+
+    /// AVX-512 monomorphization of the SoA interpreter (`W = 8`).
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX-512F/DQ (guaranteed by the dispatch).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f,avx512dq")]
+    unsafe fn run_tape_soa_avx512(&self, ws: &[&[i64]], out: &mut [C64]) {
+        self.run_tape_soa::<8>(ws, out);
+    }
+
+    /// One tape pass over `ws.len() ≤ W` polynomials in a lane-interleaved
+    /// SoA arena (slot `i` = `[re × W | im × W]` at offset `i·2W`, see
+    /// [`flash_fft::simd`]). `Twist` is the only µop that touches the
+    /// input, so zero-padding its loads covers the remainder lanes; all
+    /// other µops are slot-to-slot and operate on all `W` lanes at once.
+    #[inline(always)]
+    fn run_tape_soa<const W: usize>(&self, ws: &[&[i64]], out: &mut [C64]) {
+        let m = self.m;
+        let used = ws.len();
+        debug_assert!(0 < used && used <= W);
+        debug_assert_eq!(out.len(), used * m);
+        let roots: &[C64] = &self.roots;
+        let mut soa = F64_SCRATCH.take(2 * W * m);
+        for &op in &self.tape {
+            match op {
+                Uop::Twist { src, dst, exp } => {
+                    let s = src as usize;
+                    let mut re = [0.0f64; W];
+                    let mut im = [0.0f64; W];
+                    for (l, poly) in ws.iter().enumerate() {
+                        re[l] = poly[s] as f64;
+                        im[l] = poly[s + m] as f64;
+                    }
+                    let c = C64x {
+                        re: F64x(re),
+                        im: F64x(im),
+                    };
+                    c.mul_c(roots[exp as usize])
+                        .store_slot(&mut soa, dst as usize);
+                }
+                Uop::Butterfly { i, j, tw } => {
+                    let wv = C64x::<W>::load_slot(&soa, j as usize).mul_c(roots[tw as usize]);
+                    let u = C64x::<W>::load_slot(&soa, i as usize);
+                    u.add(wv).store_slot(&mut soa, i as usize);
+                    u.sub(wv).store_slot(&mut soa, j as usize);
+                }
+                Uop::AddSub { i, j } => {
+                    let v = C64x::<W>::load_slot(&soa, j as usize);
+                    let u = C64x::<W>::load_slot(&soa, i as usize);
+                    u.add(v).store_slot(&mut soa, i as usize);
+                    u.sub(v).store_slot(&mut soa, j as usize);
+                }
+                Uop::Rotate { i, j, tw } => {
+                    let wv = C64x::<W>::load_slot(&soa, j as usize).mul_c(roots[tw as usize]);
+                    wv.store_slot(&mut soa, i as usize);
+                    wv.neg().store_slot(&mut soa, j as usize);
+                }
+                Uop::Copy { src, dst } => {
+                    C64x::<W>::load_slot(&soa, src as usize).store_slot(&mut soa, dst as usize);
+                }
+                Uop::Negate { src, dst } => {
+                    C64x::<W>::load_slot(&soa, src as usize)
+                        .neg()
+                        .store_slot(&mut soa, dst as usize);
+                }
+                Uop::Zero { dst } => C64x::<W>::zero().store_slot(&mut soa, dst as usize),
+            }
+        }
+        for j in 0..m {
+            let base = j * 2 * W;
+            for (l, chunk) in out.chunks_exact_mut(m).enumerate() {
+                chunk[j] = C64::new(soa[base + l], soa[base + W + l]);
+            }
+        }
     }
 
     /// The interpreter: `out` doubles as the slot arena, every op writes

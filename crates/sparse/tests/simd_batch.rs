@@ -1,0 +1,156 @@
+//! SoA batched tape interpreter vs the scalar interpreter.
+//!
+//! The lane-interleaved batch path of [`SparsePlan::execute_batch_into`]
+//! promises outputs **bit-identical** to per-polynomial
+//! [`SparsePlan::execute_into`] runs at every dispatch level and batch
+//! width — per lane it evaluates the same expression sequence over the
+//! same interned roots (and Rust never contracts `a*b + c` into an FMA).
+//!
+//! `force_level` is process-global; this file is its own test process and
+//! serializes the flips behind a lock.
+
+use flash_fft::simd::{self, SimdLevel};
+use flash_math::C64;
+use flash_sparse::pattern::{cheetah_weight_pattern, SparsityPattern};
+use flash_sparse::plan::SparsePlan;
+use proptest::prelude::*;
+use std::sync::{Mutex, MutexGuard};
+
+static LEVEL_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    LEVEL_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn available_levels() -> Vec<SimdLevel> {
+    [
+        SimdLevel::Scalar,
+        SimdLevel::Portable,
+        SimdLevel::Avx2,
+        SimdLevel::Avx512,
+    ]
+    .into_iter()
+    .filter(|&l| l <= simd::detected_level())
+    .collect()
+}
+
+/// Batch widths worth testing at lane width `w`: empty, sub-width, exact,
+/// remainder one short / one over, multiple blocks.
+fn batch_widths(w: usize) -> Vec<usize> {
+    let mut v = vec![0, 1, w.saturating_sub(1), w, w + 1, 2 * w + 3];
+    v.dedup();
+    v
+}
+
+/// Deterministic signed weights restricted to the pattern's live slots.
+fn weights_for(pattern: &SparsityPattern, seed: u64) -> Vec<i64> {
+    let m = pattern.len();
+    let mut w = vec![0i64; 2 * m];
+    for (j, live) in pattern.mask().iter().enumerate() {
+        if *live {
+            let x = (j as u64 + 1).wrapping_mul(seed | 1);
+            let x = x ^ (x >> 29);
+            w[j] = (x % 255) as i64 - 127;
+            w[j + m] = ((x >> 8) % 255) as i64 - 127;
+        }
+    }
+    w
+}
+
+fn scalar_reference(plan: &SparsePlan, ws: &[Vec<i64>]) -> Vec<C64> {
+    let m = plan.size();
+    let mut want = vec![C64::ZERO; ws.len() * m];
+    for (b, w) in ws.iter().enumerate() {
+        plan.execute_into(w, &mut want[b * m..(b + 1) * m]);
+    }
+    want
+}
+
+fn assert_bits_eq(got: &[C64], want: &[C64], ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: length");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(
+            (g.re.to_bits(), g.im.to_bits()),
+            (w.re.to_bits(), w.im.to_bits()),
+            "{ctx}: slot {i}: {g:?} vs {w:?}"
+        );
+    }
+}
+
+fn check_pattern(pattern: &SparsityPattern, label: &str) {
+    let plan = SparsePlan::compile(pattern);
+    let m = plan.size();
+    for level in available_levels() {
+        let w = level.lanes();
+        for batch in batch_widths(w) {
+            let ws: Vec<Vec<i64>> = (0..batch)
+                .map(|b| weights_for(pattern, 31 * b as u64 + m as u64))
+                .collect();
+            let want = scalar_reference(&plan, &ws);
+            simd::force_level(Some(level));
+            let mut got = vec![C64::ZERO; batch * m];
+            plan.execute_batch_into(ws.iter().map(|v| v.as_slice()), &mut got);
+            simd::force_level(None);
+            assert_bits_eq(
+                &got,
+                &want,
+                &format!("{label} m={m} level={} batch={batch}", level.name()),
+            );
+        }
+    }
+}
+
+#[test]
+fn all_dense_pattern_bit_identical_at_every_level_and_width() {
+    let _guard = lock();
+    for m in [8usize, 64, 256] {
+        check_pattern(&SparsityPattern::dense(m), "dense");
+    }
+}
+
+#[test]
+fn single_nonzero_pattern_bit_identical_at_every_level_and_width() {
+    let _guard = lock();
+    let m = 128;
+    for src in [0usize, 1, 37, m - 1] {
+        check_pattern(&SparsityPattern::from_indices(m, [src]), "single");
+    }
+}
+
+#[test]
+fn cheetah_conv_pattern_bit_identical_at_every_level_and_width() {
+    let _guard = lock();
+    check_pattern(&cheetah_weight_pattern(128, 32, 8, 3), "cheetah-128");
+    check_pattern(&cheetah_weight_pattern(512, 64, 8, 3), "cheetah-512");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn random_pattern_batch_equivalence(
+        log_m in 2u32..9,
+        batch in 0usize..11,
+        seed in any::<u64>(),
+        density in 0u64..100,
+    ) {
+        let _guard = lock();
+        let m = 1usize << log_m;
+        let live: Vec<usize> = (0..m)
+            .filter(|&j| {
+                let x = (j as u64 + 3).wrapping_mul(seed | 1);
+                (x ^ (x >> 31)) % 100 < density
+            })
+            .collect();
+        let pattern = SparsityPattern::from_indices(m, live);
+        let plan = SparsePlan::compile(&pattern);
+        let ws: Vec<Vec<i64>> = (0..batch).map(|b| weights_for(&pattern, seed ^ b as u64)).collect();
+        let want = scalar_reference(&plan, &ws);
+        let mut got = vec![C64::ZERO; batch * m];
+        plan.execute_batch_into(ws.iter().map(|v| v.as_slice()), &mut got);
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert_eq!(g.re.to_bits(), w.re.to_bits());
+            prop_assert_eq!(g.im.to_bits(), w.im.to_bits());
+        }
+    }
+}

@@ -30,10 +30,12 @@ use crate::error::FlashError;
 use crate::shares::ShareRing;
 use crate::transport::{FaultPlan, InMemoryTransport, Transport, TransportConfig};
 use flash_fft::C64_SCRATCH;
+use flash_he::backend::{weight_residues_into, BandAccumulator};
 use flash_he::encoding::{ConvEncoder, ConvShape};
 use flash_he::noise::NoiseBound;
 use flash_he::truncate::TruncatedCiphertext;
 use flash_he::{serialize, Ciphertext, HeParams, Poly, PolyMulBackend, SecretKey};
+use flash_runtime::U64_SCRATCH;
 use flash_sparse::{SparsePlan, SparsityPattern};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -343,81 +345,133 @@ impl ConvProtocol {
         let band_plans: Vec<Option<Arc<SparsePlan>>> =
             (0..bands).map(|b| self.band_plan(b)).collect();
 
+        // Activation hoist: both components of every upload transform
+        // exactly once, in one lane-parallel batched sweep, shared by all
+        // `(oc, band)` jobs below. (`stats.activation_transforms` has
+        // always modeled this accounting — two per ciphertext — and the
+        // batched datapath now executes exactly that.)
+        let act_spectra = self.backend.activation_spectra(&cts_sum, p);
+
         // --- Server fan-out: each output channel transforms its weights
-        // and runs the per-band guard/multiply/accumulate/mask/serialize
-        // independently.
+        // and runs the per-band guard/MAC/mask/serialize independently.
+        // Per band the response accumulates in the spectral domain (one
+        // weight transform per channel group, no per-group inverses); the
+        // channel's responses then close through one batched inverse.
         let per_oc = flash_runtime::parallel_gen(shape.m, |oc| {
             let w_polys = enc.encode_weight(
                 &weights[oc * shape.kernel_len()..][..shape.kernel_len()],
                 oc,
             );
-            (0..bands)
-                .map(|b| {
-                    let mut band_stats = ProtocolStats::default();
-                    // Noise guard: refuse (exact overflow) or fall back
-                    // (approximate error too close to the ceiling) before
-                    // any spectra are computed.
-                    let (noise, w_sq) = self.band_noise_bound(&w_polys, b);
-                    noise.check()?;
-                    let fallback = match self.backend.error_model() {
-                        Some(model) => {
-                            let err = model.phase_error_bound(p, w_sq, w_polys.len());
-                            noise.bound() + err >= self.noise_margin * noise.ceiling()
-                        }
-                        None => false,
-                    };
+            let groups = w_polys.len();
+            let m_half = p.n / 2;
+            // Phase 1: noise guard + spectral multiply-accumulate.
+            // `None` marks a band whose ciphertext is still pending in
+            // `spectral`; guard fallbacks resolve immediately on the
+            // legacy exact path (which needs the coefficient-domain
+            // ciphertexts, not the hoisted spectra).
+            let mut resolved: Vec<(Option<Ciphertext>, ProtocolStats)> = Vec::with_capacity(bands);
+            let mut spectral: Vec<(usize, BandAccumulator)> = Vec::with_capacity(bands);
+            for b in 0..bands {
+                let mut band_stats = ProtocolStats::default();
+                // Noise guard: refuse (exact overflow) or fall back
+                // (approximate error too close to the ceiling) before
+                // any spectra are consumed.
+                let (noise, w_sq) = self.band_noise_bound(&w_polys, b);
+                noise.check()?;
+                let fallback = match self.backend.error_model() {
+                    Some(model) => {
+                        let err = model.phase_error_bound(p, w_sq, groups);
+                        noise.bound() + err >= self.noise_margin * noise.ceiling()
+                    }
+                    None => false,
+                };
+                band_stats.inverse_transforms += 2;
+                if fallback {
+                    band_stats.ntt_fallbacks += 1;
                     let exact = PolyMulBackend::Ntt;
-                    let backend = if fallback {
-                        band_stats.ntt_fallbacks += 1;
-                        &exact
-                    } else {
-                        &self.backend
-                    };
-                    // Fused multiply-accumulate: one resident accumulator,
-                    // one weight transform per channel group, no
-                    // intermediate ciphertexts.
                     let mut acc = Ciphertext::zero(p.n, p.q);
-                    match &band_plans[b] {
-                        // Sparse fast path: one µop tape transforms every
-                        // group's weight polynomial for this band in one
-                        // batched sweep, then the spectra feed the fused
-                        // ciphertext-side accumulate. (Tapes produce FFT
-                        // spectra, so a guard fallback takes the dense NTT
-                        // arm instead.)
-                        Some(plan) if !fallback => {
-                            let m_half = p.n / 2;
-                            let mut spectra = C64_SCRATCH.take(w_polys.len() * m_half);
+                    for (g, w_poly) in w_polys.iter().enumerate() {
+                        cts_sum[g * bands + b]
+                            .mul_plain_signed_acc(&w_poly[b], p, &exact, &mut acc);
+                        band_stats.weight_transforms += 1;
+                        band_stats.pointwise_muls += 2 * half_spectrum;
+                    }
+                    resolved.push((Some(acc), band_stats));
+                    continue;
+                }
+                let mut acc = act_spectra.accumulator(p.n);
+                match &band_plans[b] {
+                    // Sparse fast path: one µop tape transforms every
+                    // group's weight polynomial for this band in one
+                    // lane-parallel sweep, then the spectra MAC against
+                    // the hoisted activation spectra.
+                    Some(plan) => {
+                        let mut spectra = C64_SCRATCH.take(groups * m_half);
+                        {
+                            let _t = flash_telemetry::span!("hconv.weight_transform");
+                            plan.execute_batch_into(
+                                w_polys.iter().map(|w_poly| w_poly[b].as_slice()),
+                                &mut spectra,
+                            );
+                        }
+                        for (g, fw) in spectra.chunks_exact(m_half).enumerate() {
+                            act_spectra.mac_fft(g * bands + b, fw, &mut acc);
+                            band_stats.weight_transforms += 1;
+                            band_stats.sparse_weight_transforms += 1;
+                            band_stats.pointwise_muls += 2 * half_spectrum;
+                        }
+                    }
+                    // Dense weights: one batched forward per band (all
+                    // groups share the butterfly cascade W lanes wide).
+                    None => {
+                        let ws: Vec<&[i64]> =
+                            w_polys.iter().map(|w_poly| w_poly[b].as_slice()).collect();
+                        if matches!(self.backend, PolyMulBackend::Ntt) {
+                            let mut fw = U64_SCRATCH.take(groups * p.n);
                             {
                                 let _t = flash_telemetry::span!("hconv.weight_transform");
-                                plan.execute_batch_into(
-                                    w_polys.iter().map(|w_poly| w_poly[b].as_slice()),
-                                    &mut spectra,
-                                );
+                                weight_residues_into(&ws, &mut fw, p.ntt());
                             }
-                            for (g, fw) in spectra.chunks_exact(m_half).enumerate() {
-                                cts_sum[g * bands + b]
-                                    .mul_plain_spectrum_acc(fw, p, backend, &mut acc);
+                            for (g, fwg) in fw.chunks_exact(p.n).enumerate() {
+                                act_spectra.mac_ntt(g * bands + b, fwg, p.ntt(), &mut acc);
                                 band_stats.weight_transforms += 1;
-                                band_stats.sparse_weight_transforms += 1;
                                 band_stats.pointwise_muls += 2 * half_spectrum;
                             }
-                        }
-                        _ => {
-                            for (g, w_poly) in w_polys.iter().enumerate() {
-                                cts_sum[g * bands + b]
-                                    .mul_plain_signed_acc(&w_poly[b], p, backend, &mut acc);
+                        } else {
+                            let mut fw = C64_SCRATCH.take(groups * m_half);
+                            {
+                                let _t = flash_telemetry::span!("hconv.weight_transform");
+                                self.backend.weight_spectra_into(&ws, &mut fw, p.fft());
+                            }
+                            for (g, fwg) in fw.chunks_exact(m_half).enumerate() {
+                                act_spectra.mac_fft(g * bands + b, fwg, &mut acc);
                                 band_stats.weight_transforms += 1;
                                 band_stats.pointwise_muls += 2 * half_spectrum;
                             }
                         }
                     }
+                }
+                spectral.push((b, acc));
+                resolved.push((None, band_stats));
+            }
+            // Phase 2: one batched inverse for the channel's spectral
+            // bands — `2·k` polynomials through one lane-parallel call.
+            let (idxs, accs): (Vec<usize>, Vec<BandAccumulator>) = spectral.into_iter().unzip();
+            for (b, ct) in idxs.into_iter().zip(BandAccumulator::finish_bands(accs, p)) {
+                resolved[b].0 = Some(ct);
+            }
+            // Phase 3: mask and serialize per band, in band order.
+            resolved
+                .into_iter()
+                .enumerate()
+                .map(|(b, (acc, mut band_stats))| {
+                    let acc = acc.expect("every band resolved by phase 2");
                     // Fresh random mask: the server's output share.
                     let mut mask_rng = StdRng::seed_from_u64(mask_seeds[oc * bands + b]);
                     let mask_vals: Vec<u64> =
                         (0..p.n).map(|_| mask_rng.gen_range(0..p.t)).collect();
                     let mask = Poly::from_coeffs(mask_vals, p.t);
                     let masked = acc.sub_plain(&mask, p);
-                    band_stats.inverse_transforms += 2;
                     // Server keeps its share from the mask coefficients at
                     // the output positions.
                     let mask_signed: Vec<i64> = mask.coeffs().iter().map(|&v| v as i64).collect();

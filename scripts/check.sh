@@ -31,8 +31,26 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test (tier-1)"
+echo "==> cargo test (tier-1, portable baseline)"
 cargo test --workspace -q
+
+# The spectral kernels runtime-dispatch on detected target features
+# (scalar / portable / AVX2 / AVX-512); `FLASH_SIMD=off` clamps every
+# dispatcher to the per-polynomial scalar path so that fallback can
+# never silently rot on hosts where the wide tiers always win.
+echo "==> spectral-kernel tests with FLASH_SIMD=off (scalar fallback)"
+FLASH_SIMD=off cargo test -q -p flash-runtime -p flash-fft -p flash-ntt \
+    -p flash-sparse -p flash-he -p flash-accel
+
+# Second build+test of the whole workspace with the host's full ISA
+# baked in at compile time (separate target dir so the two builds never
+# evict each other). The portable pass above proves the code is correct
+# without any `-C target-cpu` help; this pass proves it stays correct —
+# and bit-identical — when the compiler is free to use every feature
+# the dispatcher would pick at runtime.
+echo "==> cargo test (tier-1, -C target-cpu=native)"
+RUSTFLAGS="-C target-cpu=native" CARGO_TARGET_DIR=target/native \
+    cargo test --workspace -q
 
 # The telemetry feature is default-off; build and test the instrumented
 # configuration too so span plumbing cannot rot unnoticed. The feature
