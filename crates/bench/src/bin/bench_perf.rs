@@ -22,9 +22,11 @@
 //! scalar fallback for the whole run (the external A/B switch).
 //!
 //! `--check-regression` measures nothing new: it re-times the hot-path,
-//! sparse-path, and SIMD-dispatch HConv medians and fails (exit 1) if
-//! any is more than 15 % slower than the committed `BENCH_hotpath.json`
-//! / `BENCH_sparse.json` / `BENCH_simd.json` baselines. The artifacts
+//! sparse-path, and SIMD-dispatch HConv medians plus the serving
+//! layer's batched cost per request (the `bench_serve` wave, same
+//! fixture) and fails (exit 1) if any is more than 15 % slower than
+//! the committed `BENCH_hotpath.json` / `BENCH_sparse.json` /
+//! `BENCH_simd.json` / `BENCH_serve.json` baselines. The artifacts
 //! carry a `calib_ms`
 //! field — the median of a fixed pure-ALU calibration loop measured in
 //! the same invocation — and the gate divides each ratio by the current
@@ -43,6 +45,10 @@ use flash_accel::config::FlashConfig;
 use flash_accel::hconv::FlashHconv;
 use flash_accel::inference::run_network;
 use flash_bench::banner;
+use flash_bench::perf::{
+    calibration_ms, git_revision, median_ms, parse_json_number, simd_json, warm_up,
+};
+use flash_bench::serving;
 use flash_dse::bayesopt::random_search;
 use flash_dse::{DesignSpace, Objective};
 use flash_he::encoding::{ConvEncoder, ConvShape};
@@ -53,74 +59,11 @@ use flash_nn::layers::ConvLayerSpec;
 use flash_nn::quant::Quantizer;
 use flash_nn::resnet18_conv_layers;
 use flash_runtime::simd::{self, SimdLevel};
+use flash_serve::BatchPolicy;
 use flash_sparse::schedule::PeModel;
 use flash_sparse::{SparsePlan, SparsityPattern};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::time::Instant;
-
-/// Runs `f` repeatedly for at least `ms` milliseconds (and at least
-/// `min_reps` times, capped at 4096). Sub-millisecond benches sample so
-/// briefly that a CPU still climbing out of its idle frequency state
-/// poisons every rep; burning a fixed wall-clock budget first keeps the
-/// timed region in steady state.
-fn warm_up(ms: u64, min_reps: usize, mut f: impl FnMut()) {
-    let t = Instant::now();
-    let mut n = 0usize;
-    while n < min_reps || (t.elapsed().as_millis() as u64) < ms {
-        f();
-        n += 1;
-        if n >= 4096 {
-            break;
-        }
-    }
-}
-
-/// Median wall-clock milliseconds of `reps` runs of `f`.
-fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
-    let mut samples: Vec<f64> = (0..reps)
-        .map(|_| {
-            let t = Instant::now();
-            f();
-            t.elapsed().as_secs_f64() * 1e3
-        })
-        .collect();
-    samples.sort_by(f64::total_cmp);
-    samples[samples.len() / 2]
-}
-
-/// Median milliseconds of a fixed pure-ALU calibration loop.
-///
-/// The loop is deterministic, allocation-free, and independent of every
-/// repo code path, so its runtime tracks only the host's effective clock
-/// speed. Recording it next to each benchmark median lets the
-/// regression gate compare *calibration-normalized* ratios: a host that
-/// throttles to half speed slows the calibration loop by the same
-/// factor as the benchmark, and the quotient is unchanged.
-fn calibration_ms() -> f64 {
-    // Eight independent multiply chains keep the integer-multiply ports
-    // saturated the way the NTT/fixed-FFT hot loops do. A single
-    // latency-bound chain would be blind to SMT-sibling port contention
-    // — the dominant interference on shared hosts — and report "full
-    // speed" while the benchmark itself runs 1.5x slower.
-    fn burn() -> u64 {
-        let mut a = [1u64, 3, 5, 7, 11, 13, 17, 19];
-        for i in 0..200_000u64 {
-            for (j, x) in a.iter_mut().enumerate() {
-                *x = x
-                    .wrapping_mul(6_364_136_223_846_793_005)
-                    .wrapping_add(i ^ j as u64);
-            }
-        }
-        a.iter().fold(0, |s, &x| s ^ x)
-    }
-    let mut sink = 0u64;
-    let ms = median_ms(9, || {
-        sink = sink.wrapping_add(std::hint::black_box(burn()));
-    });
-    std::hint::black_box(sink);
-    ms
-}
 
 /// A `(calib_ms, median_ms)` pair for the fixture layer: three
 /// alternating attempts, keeping each value's minimum *independently*.
@@ -145,41 +88,6 @@ struct Row {
     threads: usize,
     median_ms: f64,
     speedup: f64,
-}
-
-/// The git revision the artifact was produced from, or `"unknown"`
-/// outside a checkout.
-fn git_revision() -> String {
-    std::process::Command::new("git")
-        .args(["rev-parse", "--short", "HEAD"])
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .and_then(|o| String::from_utf8(o.stdout).ok())
-        .map(|s| s.trim().to_string())
-        .filter(|s| !s.is_empty())
-        .unwrap_or_else(|| "unknown".to_string())
-}
-
-/// First `"key": <number>` occurrence in a flat JSON artifact. The
-/// BENCH_*.json files are written by this binary with one field per
-/// line, so a line scanner is all the parsing they need.
-fn parse_json_number(text: &str, key: &str) -> Option<f64> {
-    let needle = format!("\"{key}\":");
-    for line in text.lines() {
-        if let Some(pos) = line.find(&needle) {
-            let rest = &line[pos + needle.len()..];
-            let num: String = rest
-                .chars()
-                .skip_while(|c| c.is_whitespace())
-                .take_while(|c| c.is_ascii_digit() || *c == '.')
-                .collect();
-            if let Ok(v) = num.parse() {
-                return Some(v);
-            }
-        }
-    }
-    None
 }
 
 /// The single-thread `hconv_layer` median recorded before the hot-path
@@ -207,23 +115,6 @@ fn baseline_hconv_ms() -> f64 {
         }
     }
     PRE_OPT_BASELINE_MS
-}
-
-/// The `"simd"` stanza every artifact carries next to
-/// `host_parallelism`/`git_revision`: the compile-time target features,
-/// the runtime-detected tier (after the `FLASH_SIMD` cap), and the tier
-/// the dispatchers actually used for this run (after `--no-simd` /
-/// `force_level`). A perf number is meaningless without knowing which
-/// kernels produced it.
-fn simd_json() -> String {
-    let active = simd::level();
-    format!(
-        "  \"simd\": {{\"target_features\": \"{}\", \"detected\": \"{}\", \"dispatch\": \"{}\", \"lanes\": {}}},\n",
-        simd::compile_target_features(),
-        simd::detected_level().name(),
-        active.name(),
-        active.lanes()
-    )
 }
 
 fn pool_stats_json(name: &str, s: flash_runtime::PoolStats) -> String {
@@ -362,75 +253,85 @@ fn check_regression() -> i32 {
     let simd_fixture = HconvFixture::simd();
     let simd_engine = FlashHconv::new(simd_fixture.cfg.clone());
     let mut failures = 0;
-    let mut check = |fixture: &HconvFixture,
-                     engine: &FlashHconv,
-                     name: &str,
-                     file: &str,
-                     key: &str| match std::fs::read_to_string(file) {
-        Err(_) => println!("{name:34} no baseline ({file} missing); skipped"),
-        Ok(text) => match parse_json_number(&text, key) {
-            None => println!("{name:34} no baseline ({file} missing {key}); skipped"),
-            Some(base) => {
-                let base_calib = parse_json_number(&text, "calib_ms").filter(|c| *c > 0.0);
-                // Each attempt pairs the benchmark measurement with a
-                // calibration run taken moments before it, and scores
-                // the *smaller* of the raw wall-clock ratio and the
-                // host-speed-normalized ratio. On a quiet host the raw
-                // ratio is exact; under shared-host contention the
-                // normalized ratio divides the slowdown out. (The two
-                // workloads don't slow by identical factors, so either
-                // alone false-fails; a genuine code regression inflates
-                // both, on every attempt.) Up to five attempts, spaced
-                // out so they sample different contention states —
-                // bursts here last seconds.
-                let (mut fresh, mut speed, mut ratio) = (f64::INFINITY, 1.0, f64::INFINITY);
-                for attempt in 0..5 {
-                    if attempt > 0 {
-                        std::thread::sleep(std::time::Duration::from_millis(500));
+    let mut check = |name: &str, file: &str, key: &str, measure: &mut dyn FnMut() -> f64| {
+        match std::fs::read_to_string(file) {
+            Err(_) => println!("{name:34} no baseline ({file} missing); skipped"),
+            Ok(text) => match parse_json_number(&text, key) {
+                None => println!("{name:34} no baseline ({file} missing {key}); skipped"),
+                Some(base) => {
+                    let base_calib = parse_json_number(&text, "calib_ms").filter(|c| *c > 0.0);
+                    // Each attempt pairs the benchmark measurement with a
+                    // calibration run taken moments before it, and scores
+                    // the *smaller* of the raw wall-clock ratio and the
+                    // host-speed-normalized ratio. On a quiet host the raw
+                    // ratio is exact; under shared-host contention the
+                    // normalized ratio divides the slowdown out. (The two
+                    // workloads don't slow by identical factors, so either
+                    // alone false-fails; a genuine code regression inflates
+                    // both, on every attempt.) Up to five attempts, spaced
+                    // out so they sample different contention states —
+                    // bursts here last seconds.
+                    let (mut fresh, mut speed, mut ratio) = (f64::INFINITY, 1.0, f64::INFINITY);
+                    for attempt in 0..5 {
+                        if attempt > 0 {
+                            std::thread::sleep(std::time::Duration::from_millis(500));
+                        }
+                        // Clamped at 1: a slower host is excused, a faster
+                        // host never flatters the ratio.
+                        let s = base_calib.map_or(1.0, |bc| calibration_ms() / bc).max(1.0);
+                        let f = measure();
+                        let r = f / base / s;
+                        if r < ratio {
+                            (fresh, speed, ratio) = (f, s, r);
+                        }
+                        if ratio <= TOLERANCE {
+                            break;
+                        }
                     }
-                    // Clamped at 1: a slower host is excused, a faster
-                    // host never flatters the ratio.
-                    let s = base_calib.map_or(1.0, |bc| calibration_ms() / bc).max(1.0);
-                    let f = fixture.median(engine, 5);
-                    let r = f / base / s;
-                    if r < ratio {
-                        (fresh, speed, ratio) = (f, s, r);
-                    }
-                    if ratio <= TOLERANCE {
-                        break;
-                    }
-                }
-                let ok = ratio <= TOLERANCE;
-                println!(
+                    let ok = ratio <= TOLERANCE;
+                    println!(
                     "{name:34} fresh {fresh:9.3} ms  baseline {base:9.3} ms  host speed {speed:5.2}x  ratio {ratio:5.2}  {}",
                     if ok { "OK" } else { "REGRESSION" }
                 );
-                if !ok {
-                    failures += 1;
+                    if !ok {
+                        failures += 1;
+                    }
                 }
-            }
-        },
+            },
+        }
     };
     check(
-        &fixture,
-        &engine,
         "hconv_layer_hotpath",
         "BENCH_hotpath.json",
         "median_ms",
+        &mut || fixture.median(&engine, 5),
     );
     check(
-        &fixture,
-        &engine,
         "hconv_layer_sparse",
         "BENCH_sparse.json",
         "hconv_sparse_median_ms",
+        &mut || fixture.median(&engine, 5),
     );
     check(
-        &simd_fixture,
-        &simd_engine,
         "hconv_layer_simd",
         "BENCH_simd.json",
         "hconv_simd_median_ms",
+        &mut || simd_fixture.median(&simd_engine, 5),
+    );
+    // The serving gate re-runs the exact wave shape the committed
+    // `BENCH_serve.json` was produced from (same fixture module, same
+    // fleet size parsed back out of the artifact) and compares the
+    // batched-mode cost per request.
+    let serve_clients = std::fs::read_to_string("BENCH_serve.json")
+        .ok()
+        .and_then(|t| parse_json_number(&t, "clients"))
+        .map_or(256, |c| c as u64)
+        .max(1);
+    check(
+        "serve_batched_per_request",
+        "BENCH_serve.json",
+        "batched_ms_per_req",
+        &mut || serving::run_wave(BatchPolicy::batched(), 1, serve_clients, 2, false).ms_per_req(),
     );
     flash_runtime::set_threads(0);
     if failures > 0 {
@@ -673,6 +574,29 @@ fn simd_bench(
     } else {
         0.0
     };
+    // Amdahl accounting: the two batched spectral stages are only a
+    // fraction of the scalar end-to-end (the rest is encode, MAC,
+    // mask, serialize — untouched by lane width), so a large stage
+    // speedup must shrink to a small end-to-end one. Stamping the
+    // shares and the predicted ceiling into the artifact makes that
+    // arithmetic auditable instead of looking like a measurement bug.
+    let share = |stage_ms: f64| {
+        if e2e_off > 0.0 {
+            stage_ms / e2e_off
+        } else {
+            0.0
+        }
+    };
+    let (act_share, inv_share) = (share(act_off), share(inv_off));
+    let stage_share = act_share + inv_share;
+    let amdahl_predicted = if e2e_off > 0.0 && stage_off > 0.0 {
+        // Serial-fraction form of Amdahl's law: only the stage time
+        // shrinks (by the measured stage speedup), everything else
+        // keeps its scalar cost.
+        e2e_off / (e2e_off - stage_off + stage_on)
+    } else {
+        0.0
+    };
     println!(
         "{:34} scalar {:9.3} ms  {} {:9.3} ms  speedup {:5.2}x (end-to-end)",
         "hconv_layer_simd_ab",
@@ -689,6 +613,11 @@ fn simd_bench(
             active.name(),
             stage_on,
             stage_speedup
+        );
+        println!(
+            "{:34} stages are {:.1}% of scalar e2e; {stage_speedup:.2}x stage speedup predicts {amdahl_predicted:.2}x e2e (measured {e2e_speedup:.2}x)",
+            "hconv_simd_amdahl",
+            stage_share * 100.0
         );
     } else {
         println!("note: built without `--features telemetry`; stage breakdown unavailable");
@@ -714,7 +643,19 @@ fn simd_bench(
     json.push_str(&format!("    \"inverse_fft_simd_ms\": {inv_on:.5},\n"));
     json.push_str(&format!("    \"combined_scalar_ms\": {stage_off:.5},\n"));
     json.push_str(&format!("    \"combined_simd_ms\": {stage_on:.5},\n"));
-    json.push_str(&format!("    \"combined_speedup\": {stage_speedup:.3}\n"));
+    json.push_str(&format!("    \"combined_speedup\": {stage_speedup:.3},\n"));
+    json.push_str(&format!(
+        "    \"activation_fft_share_of_scalar_e2e\": {act_share:.4},\n"
+    ));
+    json.push_str(&format!(
+        "    \"inverse_fft_share_of_scalar_e2e\": {inv_share:.4},\n"
+    ));
+    json.push_str(&format!(
+        "    \"combined_share_of_scalar_e2e\": {stage_share:.4},\n"
+    ));
+    json.push_str(&format!(
+        "    \"amdahl_predicted_e2e_speedup\": {amdahl_predicted:.3}\n"
+    ));
     json.push_str("  }\n");
     json.push_str("}\n");
     json

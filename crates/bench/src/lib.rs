@@ -7,6 +7,9 @@
 
 use std::fmt::Display;
 
+pub mod perf;
+pub mod serving;
+
 /// Prints a section banner.
 pub fn banner(title: &str) {
     println!();

@@ -1,0 +1,126 @@
+//! Measurement helpers shared by the perf binaries (`bench_perf`,
+//! `bench_serve`).
+//!
+//! Everything here is about making wall-clock numbers comparable: a
+//! steady-state warm-up, median estimators, a pure-ALU calibration loop
+//! that tracks only the host's effective clock speed (so regression
+//! gates can normalize out frequency drift), and the provenance stamps
+//! (`git_revision`, the SIMD stanza) every `BENCH_*.json` carries.
+
+use flash_runtime::simd;
+use std::time::Instant;
+
+/// Runs `f` repeatedly for at least `ms` milliseconds (and at least
+/// `min_reps` times, capped at 4096). Sub-millisecond benches sample so
+/// briefly that a CPU still climbing out of its idle frequency state
+/// poisons every rep; burning a fixed wall-clock budget first keeps the
+/// timed region in steady state.
+pub fn warm_up(ms: u64, min_reps: usize, mut f: impl FnMut()) {
+    let t = Instant::now();
+    let mut n = 0usize;
+    while n < min_reps || (t.elapsed().as_millis() as u64) < ms {
+        f();
+        n += 1;
+        if n >= 4096 {
+            break;
+        }
+    }
+}
+
+/// Median wall-clock milliseconds of `reps` runs of `f`.
+pub fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Median milliseconds of a fixed pure-ALU calibration loop.
+///
+/// The loop is deterministic, allocation-free, and independent of every
+/// repo code path, so its runtime tracks only the host's effective clock
+/// speed. Recording it next to each benchmark median lets the
+/// regression gate compare *calibration-normalized* ratios: a host that
+/// throttles to half speed slows the calibration loop by the same
+/// factor as the benchmark, and the quotient is unchanged.
+pub fn calibration_ms() -> f64 {
+    // Eight independent multiply chains keep the integer-multiply ports
+    // saturated the way the NTT/fixed-FFT hot loops do. A single
+    // latency-bound chain would be blind to SMT-sibling port contention
+    // — the dominant interference on shared hosts — and report "full
+    // speed" while the benchmark itself runs 1.5x slower.
+    fn burn() -> u64 {
+        let mut a = [1u64, 3, 5, 7, 11, 13, 17, 19];
+        for i in 0..200_000u64 {
+            for (j, x) in a.iter_mut().enumerate() {
+                *x = x
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(i ^ j as u64);
+            }
+        }
+        a.iter().fold(0, |s, &x| s ^ x)
+    }
+    let mut sink = 0u64;
+    let ms = median_ms(9, || {
+        sink = sink.wrapping_add(std::hint::black_box(burn()));
+    });
+    std::hint::black_box(sink);
+    ms
+}
+
+/// The git revision the artifact was produced from, or `"unknown"`
+/// outside a checkout.
+pub fn git_revision() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// First `"key": <number>` occurrence in a flat JSON artifact. The
+/// BENCH_*.json files are written by these binaries with one field per
+/// line, so a line scanner is all the parsing they need.
+pub fn parse_json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    for line in text.lines() {
+        if let Some(pos) = line.find(&needle) {
+            let rest = &line[pos + needle.len()..];
+            let num: String = rest
+                .chars()
+                .skip_while(|c| c.is_whitespace())
+                .take_while(|c| c.is_ascii_digit() || *c == '.')
+                .collect();
+            if let Ok(v) = num.parse() {
+                return Some(v);
+            }
+        }
+    }
+    None
+}
+
+/// The `"simd"` stanza every artifact carries next to
+/// `host_parallelism`/`git_revision`: the compile-time target features,
+/// the runtime-detected tier (after the `FLASH_SIMD` cap), and the tier
+/// the dispatchers actually used for this run (after `--no-simd` /
+/// `force_level`). A perf number is meaningless without knowing which
+/// kernels produced it.
+pub fn simd_json() -> String {
+    let active = simd::level();
+    format!(
+        "  \"simd\": {{\"target_features\": \"{}\", \"detected\": \"{}\", \"dispatch\": \"{}\", \"lanes\": {}}},\n",
+        simd::compile_target_features(),
+        simd::detected_level().name(),
+        active.name(),
+        active.lanes()
+    )
+}

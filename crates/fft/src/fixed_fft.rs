@@ -118,7 +118,7 @@ struct PlanKey {
 }
 
 /// Process-wide plan cache: one `FixedNegacyclicFft` per distinct config.
-static SHARED_PLANS: Interner<PlanKey, FixedNegacyclicFft> = Interner::new();
+static SHARED_PLANS: Interner<PlanKey, FixedNegacyclicFft> = Interner::bounded(64);
 
 /// A planned fixed-point negacyclic forward transform.
 #[derive(Debug, Clone)]

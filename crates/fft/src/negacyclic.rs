@@ -19,7 +19,7 @@ use crate::dft::Direction;
 use crate::fft64::FftPlan;
 use crate::simd::{self, tile, C64x, F64x, SimdLevel};
 use flash_math::bitrev::bit_reverse as bitrev;
-use flash_math::modular::{center_lift, from_signed_i128};
+use flash_math::modular::{center_lift, Barrett};
 use flash_math::C64;
 use flash_runtime::{CacheStats, Interner, F64_SCRATCH};
 use std::sync::Arc;
@@ -42,7 +42,7 @@ pub struct NegacyclicFft {
 }
 
 /// Process-wide plan cache: one `NegacyclicFft` per distinct degree.
-static SHARED_PLANS: Interner<usize, NegacyclicFft> = Interner::new();
+static SHARED_PLANS: Interner<usize, NegacyclicFft> = Interner::bounded(64);
 
 impl NegacyclicFft {
     /// Creates a plan for degree `n` (a power of two, at least 4).
@@ -623,8 +623,9 @@ impl NegacyclicFft {
         }
         let mut prod = F64_SCRATCH.take(self.n);
         self.polymul_f64_into(&af, &bf, &mut prod);
+        let br = Barrett::new(q);
         prod.iter()
-            .map(|&x| from_signed_i128(x.round_ties_even() as i128, q))
+            .map(|&x| br.from_signed_i128(x.round_ties_even() as i128))
             .collect()
     }
 }

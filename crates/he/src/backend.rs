@@ -19,11 +19,12 @@ use crate::params::HeParams;
 use crate::poly::Poly;
 use flash_fft::fixed_fft::FixedNegacyclicFft;
 use flash_fft::C64_SCRATCH;
-use flash_math::modular::{add_mod, center_lift, from_signed, from_signed_i128};
+use flash_math::modular::{add_mod, center_lift, from_signed, Barrett, Shoup};
 use flash_math::C64;
 use flash_ntt::polymul::negacyclic_mul_ntt;
 use flash_ntt::transform::{
-    forward, forward_batch, inverse, inverse_batch, pointwise_mul_acc, pointwise_mul_assign,
+    forward, forward_batch, inverse, inverse_batch, pointwise_mul_acc, pointwise_mul_acc_shoup,
+    pointwise_mul_acc_shoup_lazy, pointwise_mul_assign,
 };
 use flash_ntt::NttTables;
 use flash_runtime::{F64_SCRATCH, U64_SCRATCH};
@@ -133,9 +134,10 @@ impl PolyMulBackend {
                     .collect();
                 let wf: Vec<f64> = w_signed.iter().map(|&x| x as f64).collect();
                 let prod = fft.polymul_f64(&af, &wf);
+                let br = Barrett::new(q);
                 Poly::from_coeffs(
                     prod.iter()
-                        .map(|&x| from_signed_i128(x.round_ties_even() as i128, q))
+                        .map(|&x| br.from_signed_i128(x.round_ties_even() as i128))
                         .collect(),
                     q,
                 )
@@ -155,9 +157,10 @@ impl PolyMulBackend {
                 let fa = fft.forward(&af);
                 let spec: Vec<C64> = fa.iter().zip(&fw).map(|(x, y)| *x * *y).collect();
                 let prod = fft.inverse(&spec);
+                let br = Barrett::new(q);
                 Poly::from_coeffs(
                     prod.iter()
-                        .map(|&x| from_signed_i128(x.round_ties_even() as i128, q))
+                        .map(|&x| br.from_signed_i128(x.round_ties_even() as i128))
                         .collect(),
                     q,
                 )
@@ -378,12 +381,36 @@ impl PolyMulBackend {
     /// ([`flash_fft::NegacyclicFft::forward_batch_into`] or
     /// [`flash_ntt::transform::forward_batch`], `W` lanes per twiddle).
     pub fn activation_spectra(&self, cts: &[Ciphertext], params: &HeParams) -> ActivationSpectra {
+        self.activation_spectra_multi(&[cts], params)
+    }
+
+    /// Cross-session variant of [`PolyMulBackend::activation_spectra`]:
+    /// forward-transforms every ciphertext of every span in one batched
+    /// sweep, without copying the spans into a contiguous buffer first.
+    /// The serving layer uses this to pack activations from different
+    /// clients into a single SoA batch, so the lane-parallel kernels run
+    /// at full SIMD width instead of per-client width.
+    ///
+    /// Spectra are indexed by *global* ciphertext position — the order of
+    /// concatenation of the spans — so a caller holding requests from
+    /// several sessions addresses request `r`'s ciphertext `c` as
+    /// `idx = offset_of(r) + c` in [`ActivationSpectra::mac_fft`] /
+    /// [`ActivationSpectra::mac_ntt`].
+    pub fn activation_spectra_multi(
+        &self,
+        spans: &[&[Ciphertext]],
+        params: &HeParams,
+    ) -> ActivationSpectra {
         let n = params.n;
         let q = params.q;
-        let components = cts.iter().flat_map(|ct| [ct.c0(), ct.c1()]);
+        let total: usize = spans.iter().map(|s| s.len()).sum();
+        let components = spans
+            .iter()
+            .flat_map(|s| s.iter())
+            .flat_map(|ct| [ct.c0(), ct.c1()]);
         match self {
             PolyMulBackend::Ntt => {
-                let mut res = vec![0u64; 2 * cts.len() * n];
+                let mut res = vec![0u64; 2 * total * n];
                 for (chunk, poly) in res.chunks_exact_mut(n).zip(components) {
                     chunk.copy_from_slice(poly.coeffs());
                 }
@@ -392,13 +419,13 @@ impl PolyMulBackend {
                 ActivationSpectra::Ntt(res)
             }
             _ => {
-                let mut lifted = F64_SCRATCH.take(2 * cts.len() * n);
+                let mut lifted = F64_SCRATCH.take(2 * total * n);
                 for (chunk, poly) in lifted.chunks_exact_mut(n).zip(components) {
                     for (slot, &x) in chunk.iter_mut().zip(poly.coeffs()) {
                         *slot = center_lift(x, q) as f64;
                     }
                 }
-                let mut spectra = vec![C64::ZERO; cts.len() * n];
+                let mut spectra = vec![C64::ZERO; total * n];
                 let _t = flash_telemetry::span!("hconv.activation_fft");
                 params.fft().forward_batch_into(&lifted, &mut spectra);
                 ActivationSpectra::Fft(spectra)
@@ -513,6 +540,100 @@ impl ActivationSpectra {
         pointwise_mul_acc(&mut a[..n], &ct[..n], fw, tables);
         pointwise_mul_acc(&mut a[n..], &ct[n..], fw, tables);
     }
+
+    /// [`ActivationSpectra::mac_ntt`] against Shoup-precomputed weight
+    /// residues (see [`weight_residue_shoups`]): two multiplies per
+    /// coefficient instead of a widening remainder, bit-identical
+    /// output. This is the serving MAC — a registered model pays the
+    /// constant build once and every coalesced request reuses it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self` or `acc` is not NTT-domain, or on length
+    /// mismatches.
+    pub fn mac_ntt_shoup(
+        &self,
+        idx: usize,
+        fw: &[Shoup],
+        tables: &NttTables,
+        acc: &mut BandAccumulator,
+    ) {
+        let (ActivationSpectra::Ntt(sp), BandAccumulator::Ntt(a)) = (self, acc) else {
+            panic!("NTT MAC requires NTT-domain residues");
+        };
+        let n = fw.len();
+        assert_eq!(a.len(), 2 * n, "accumulator length mismatch");
+        let ct = &sp[idx * 2 * n..][..2 * n];
+        let _t = flash_telemetry::span!("hconv.pointwise_acc");
+        pointwise_mul_acc_shoup(&mut a[..n], &ct[..n], fw, tables);
+        pointwise_mul_acc_shoup(&mut a[n..], &ct[n..], fw, tables);
+    }
+
+    /// Lazy MAC into a raw `2·N` accumulator slice against one group's
+    /// split-stream Shoup residues (one [`WeightShoups`] group slice):
+    /// no per-element reduction — the accumulator carries raw integer
+    /// sums that [`BandAccumulator::finish_ntt_bands_in_place`] reduces
+    /// once before its inverse.
+    ///
+    /// A batch processor lays its accumulators out contiguously and MACs
+    /// through this entry point, so no per-accumulator staging copy is
+    /// ever needed. The caller owns the lazy-overflow budget: at most
+    /// `⌊(2^64 − 1)/2q⌋` MACs per accumulator between reductions (see
+    /// [`flash_ntt::transform::pointwise_mul_acc_shoup_lazy`]); the
+    /// model planner enforces this when it elects the NTT unit layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self` is not NTT-domain or on length mismatches.
+    pub fn mac_ntt_shoup_lazy_into(
+        &self,
+        idx: usize,
+        w: &[u64],
+        w_shoup: &[u64],
+        tables: &NttTables,
+        acc: &mut [u64],
+    ) {
+        let ActivationSpectra::Ntt(sp) = self else {
+            panic!("NTT MAC requires NTT-domain residues");
+        };
+        let n = w.len();
+        assert_eq!(acc.len(), 2 * n, "accumulator length mismatch");
+        let ct = &sp[idx * 2 * n..][..2 * n];
+        let _t = flash_telemetry::span!("hconv.pointwise_acc");
+        let (a0, a1) = acc.split_at_mut(n);
+        pointwise_mul_acc_shoup_lazy(a0, &ct[..n], w, w_shoup, tables);
+        pointwise_mul_acc_shoup_lazy(a1, &ct[n..], w, w_shoup, tables);
+    }
+}
+
+/// NTT-domain weight residues with their Shoup constants in split
+/// structure-of-arrays streams (`w[i]` and `w' = ⌊w·2^64/q⌋` in
+/// separate vectors, group-major like [`weight_residues_into`]), the
+/// layout [`pointwise_mul_acc_shoup_lazy`] vectorizes best.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightShoups {
+    /// Plain residues, `groups · N`.
+    pub w: Vec<u64>,
+    /// Shoup precomputed constants, `groups · N`.
+    pub shoup: Vec<u64>,
+}
+
+/// [`weight_residues_into`] followed by the per-coefficient Shoup
+/// constant build — the registration-time precompute that makes
+/// [`ActivationSpectra::mac_ntt_shoup_lazy_into`] division-free on the
+/// request path. One division per coefficient here buys two-multiply
+/// MACs for every request served afterwards; a per-request pipeline
+/// gains nothing from it, which is exactly the asymmetry a serving
+/// layer amortizes.
+pub fn weight_residue_shoups(ws: &[&[i64]], ntt: &NttTables) -> WeightShoups {
+    let q = ntt.modulus();
+    let mut w = vec![0u64; ws.len() * ntt.degree()];
+    weight_residues_into(ws, &mut w, ntt);
+    let shoup = w
+        .iter()
+        .map(|&r| (((r as u128) << 64) / q as u128) as u64)
+        .collect();
+    WeightShoups { w, shoup }
 }
 
 impl BandAccumulator {
@@ -556,10 +677,14 @@ impl BandAccumulator {
                     let _t = flash_telemetry::span!("hconv.inverse_fft");
                     params.fft().inverse_batch_into(&spec, &mut prod);
                 }
+                // One division-free reducer for every coefficient of the
+                // batch: the naive `rem_euclid` here is an i128 libcall
+                // that used to dominate the whole inverse-transform cost.
+                let br = Barrett::new(q);
                 let to_poly = |xs: &[f64]| {
                     Poly::from_coeffs(
                         xs.iter()
-                            .map(|&x| from_signed_i128(x.round_ties_even() as i128, q))
+                            .map(|&x| br.from_signed_i128(x.round_ties_even() as i128))
                             .collect(),
                         q,
                     )
@@ -576,20 +701,40 @@ impl BandAccumulator {
                     };
                     chunk.copy_from_slice(r);
                 }
-                {
-                    let _t = flash_telemetry::span!("hconv.inverse_fft");
-                    inverse_batch(&mut res, params.ntt());
-                }
-                res.chunks_exact(2 * n)
-                    .map(|pair| {
-                        Ciphertext::new(
-                            Poly::from_coeffs(pair[..n].to_vec(), q),
-                            Poly::from_coeffs(pair[n..].to_vec(), q),
-                        )
-                    })
-                    .collect()
+                BandAccumulator::finish_ntt_bands_in_place(&mut res, params)
             }
         }
+    }
+
+    /// [`BandAccumulator::finish_bands`] for NTT accumulators already
+    /// laid out contiguously (`k · 2N` residues, filled through
+    /// [`ActivationSpectra::mac_ntt_shoup_lazy_into`]): one Barrett
+    /// reduction pass drains the lazy sums, then the batched inverse
+    /// runs directly on `buf` with no staging copy. Bit-identical to
+    /// eagerly-reduced accumulators through the accumulator-vector form
+    /// (reducing an already-reduced residue is the identity, so both
+    /// kinds of caller may use this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len()` is not a multiple of `2N`.
+    pub fn finish_ntt_bands_in_place(buf: &mut [u64], params: &HeParams) -> Vec<Ciphertext> {
+        let n = params.n;
+        let q = params.q;
+        assert_eq!(buf.len() % (2 * n), 0, "accumulator buffer length");
+        Barrett::new(q).reduce_slice(buf);
+        {
+            let _t = flash_telemetry::span!("hconv.inverse_fft");
+            inverse_batch(buf, params.ntt());
+        }
+        buf.chunks_exact(2 * n)
+            .map(|pair| {
+                Ciphertext::new(
+                    Poly::from_coeffs(pair[..n].to_vec(), q),
+                    Poly::from_coeffs(pair[n..].to_vec(), q),
+                )
+            })
+            .collect()
     }
 }
 
@@ -610,6 +755,7 @@ fn accumulate_pair_fft(
     let mut af = F64_SCRATCH.take(n);
     let mut fa = C64_SCRATCH.take(n / 2);
     let mut prod = F64_SCRATCH.take(n);
+    let br = Barrett::new(q);
     for (acc, a) in [(acc0, a0), (acc1, a1)] {
         {
             let _t = flash_telemetry::span!("hconv.activation_fft");
@@ -627,7 +773,7 @@ fn accumulate_pair_fft(
         let _t = flash_telemetry::span!("hconv.inverse_fft");
         fft.inverse_into(&mut fa, &mut prod);
         for (dst, &x) in acc.coeffs_mut().iter_mut().zip(prod.iter()) {
-            *dst = add_mod(*dst, from_signed_i128(x.round_ties_even() as i128, q), q);
+            *dst = add_mod(*dst, br.from_signed_i128(x.round_ties_even() as i128), q);
         }
     }
 }

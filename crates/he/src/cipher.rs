@@ -9,6 +9,7 @@
 use crate::backend::PolyMulBackend;
 use crate::params::HeParams;
 use crate::poly::Poly;
+use flash_math::modular::{add_mod, center_lift, from_signed, sub_mod, Shoup};
 
 /// A BFV ciphertext `(c0, c1)` with `c0 + c1·s = Δ·m + e`.
 #[derive(Debug, Clone, PartialEq)]
@@ -99,22 +100,45 @@ impl Ciphertext {
 
     /// `ct ⊞ p`: adds a plaintext (`mod t`) into the message slot.
     pub fn add_plain(&self, p: &Poly, params: &HeParams) -> Ciphertext {
-        assert_eq!(p.modulus(), params.t, "plaintext must be mod t");
-        let scaled = p.lift_to(params.q).scale(params.delta());
-        Ciphertext {
-            c0: self.c0.add(&scaled),
-            c1: self.c1.clone(),
-        }
+        let mut out = self.clone();
+        out.add_plain_assign(p, params);
+        out
+    }
+
+    /// In-place [`Ciphertext::add_plain`]: folds the lift / Δ-scale /
+    /// add pipeline into one pass over `c0` — no intermediate
+    /// polynomials, one Shoup constant instead of a widening remainder
+    /// per coefficient. Bit-identical to the allocating form.
+    pub fn add_plain_assign(&mut self, p: &Poly, params: &HeParams) {
+        self.plain_op_assign(p, params, add_mod);
     }
 
     /// `ct ⊟ p`: subtracts a plaintext from the message slot (the random
     /// share mask of the protocol).
     pub fn sub_plain(&self, p: &Poly, params: &HeParams) -> Ciphertext {
+        let mut out = self.clone();
+        out.sub_plain_assign(p, params);
+        out
+    }
+
+    /// In-place [`Ciphertext::sub_plain`]; see
+    /// [`Ciphertext::add_plain_assign`] for the cost argument.
+    pub fn sub_plain_assign(&mut self, p: &Poly, params: &HeParams) {
+        self.plain_op_assign(p, params, sub_mod);
+    }
+
+    /// Shared body of the in-place plaintext add/sub: for every
+    /// coefficient, center-lift mod `t`, re-reduce mod `q`, scale by Δ
+    /// (Shoup-multiplied — Δ is fixed for the whole pass) and combine
+    /// into `c0`. `c1` is untouched, exactly as in the allocating forms.
+    fn plain_op_assign(&mut self, p: &Poly, params: &HeParams, op: fn(u64, u64, u64) -> u64) {
         assert_eq!(p.modulus(), params.t, "plaintext must be mod t");
-        let scaled = p.lift_to(params.q).scale(params.delta());
-        Ciphertext {
-            c0: self.c0.sub(&scaled),
-            c1: self.c1.clone(),
+        assert_eq!(p.len(), self.c0.len(), "plaintext length mismatch");
+        let (t, q) = (params.t, params.q);
+        let delta = Shoup::new(params.delta(), q);
+        for (c, &m) in self.c0.coeffs_mut().iter_mut().zip(p.coeffs()) {
+            let lifted = from_signed(center_lift(m, t), q);
+            *c = op(*c, delta.mul(lifted, q), q);
         }
     }
 
@@ -233,6 +257,28 @@ mod tests {
         let mask = Poly::uniform(p.n, p.t, &mut rng);
         let ct = sk.encrypt(&m1, &mut rng).sub_plain(&mask, &p);
         assert_eq!(sk.decrypt(&ct), m1.sub(&mask));
+    }
+
+    #[test]
+    fn plain_assign_forms_match_lift_scale_pipeline() {
+        // The fused in-place add/sub must be bit-identical to the
+        // original three-pass formulation (`lift_to` → `scale` → ring
+        // add/sub), which is what the wire fixtures were recorded with.
+        let (p, sk, mut rng) = setup();
+        let m = Poly::uniform(p.n, p.t, &mut rng);
+        let plain = Poly::uniform(p.n, p.t, &mut rng);
+        let ct = sk.encrypt(&m, &mut rng);
+        let scaled = plain.lift_to(p.q).scale(p.delta());
+        let added = Ciphertext::new(ct.c0().add(&scaled), ct.c1().clone());
+        let subbed = Ciphertext::new(ct.c0().sub(&scaled), ct.c1().clone());
+        assert_eq!(ct.add_plain(&plain, &p), added);
+        assert_eq!(ct.sub_plain(&plain, &p), subbed);
+        let mut inplace = ct.clone();
+        inplace.add_plain_assign(&plain, &p);
+        assert_eq!(inplace, added);
+        let mut inplace = ct.clone();
+        inplace.sub_plain_assign(&plain, &p);
+        assert_eq!(inplace, subbed);
     }
 
     #[test]

@@ -10,6 +10,11 @@
 //! * [`Shoup`] — Shoup's precomputed-constant multiplication for a fixed
 //!   multiplicand, the standard trick for twiddle factors.
 //!
+//! A fourth context, [`Barrett`], covers the remaining hot pattern:
+//! reducing *arbitrary* wide integers (not products of reduced residues)
+//! by a fixed modulus, as the FFT rounding paths must do for every
+//! output coefficient.
+//!
 //! All moduli are required to be less than `2^63` so that `a + b` never
 //! overflows `u64` for reduced operands.
 
@@ -123,6 +128,127 @@ pub fn from_signed(a: i64, q: u64) -> u64 {
 #[inline]
 pub fn from_signed_i128(a: i128, q: u64) -> u64 {
     a.rem_euclid(q as i128) as u64
+}
+
+/// Barrett-style division-free reduction for a fixed modulus.
+///
+/// Precomputes `m = ⌊2^128 / q⌋ + 1` once; [`Barrett::reduce`] then maps
+/// any `u64` into `[0, q)` with three wide multiplies and no hardware
+/// division (Lemire's "fastmod" in its 64-bit form). This matters on the
+/// paths that reduce *arbitrary* integers rather than products of
+/// already-reduced residues — above all the FFT rounding step, where a
+/// naive `i128::rem_euclid` per coefficient compiles to a libcall
+/// (`__umodti3`) and dominates the inverse-transform cost.
+///
+/// Every method is bit-identical to the corresponding
+/// `rem_euclid`-based helper for every input; this is a speed change
+/// only, and the unit tests pin that equivalence across the edge cases.
+///
+/// # Examples
+///
+/// ```
+/// use flash_math::modular::{from_signed_i128, Barrett};
+/// let b = Barrett::new(0x0000_000F_FFFF_FFEF);
+/// assert_eq!(b.reduce(u64::MAX), u64::MAX % 0x0000_000F_FFFF_FFEF);
+/// assert_eq!(b.from_signed_i128(-5), from_signed_i128(-5, b.modulus()));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Barrett {
+    q: u64,
+    /// `⌊2^128 / q⌋ + 1`, except for powers of two where the `+ 1` is
+    /// absorbed by the truncating division (the invariant that matters,
+    /// `(m - 1)·q < 2^128 ≤ m·q`, holds either way).
+    m: u128,
+}
+
+impl Barrett {
+    /// Precomputes the reduction constant for modulus `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q < 2` (reduction modulo 0 or 1 is degenerate) or if
+    /// `q > 2^63` — the module-wide modulus bound, and also exactly the
+    /// range for which the no-overflow argument in [`Barrett::reduce`]
+    /// holds (`⌊2^128/q⌋ + 1 > 2^64 + q` for `q ≤ 2^63`).
+    pub fn new(q: u64) -> Self {
+        assert!(q > 1, "Barrett modulus must be at least 2");
+        assert!(q <= 1 << 63, "Barrett modulus must not exceed 2^63");
+        Self {
+            q,
+            m: u128::MAX / q as u128 + 1,
+        }
+    }
+
+    /// The modulus this context reduces by.
+    #[inline]
+    pub fn modulus(&self) -> u64 {
+        self.q
+    }
+
+    /// Computes `a mod q` without a division.
+    ///
+    /// With `m·q ≥ 2^128 > (m - 1)·q`, the low 128 bits of `m·a` scaled
+    /// by `q/2^128` recover the remainder exactly for any `a < 2^64`
+    /// (Lemire, Kaser & Kurz, 2019): writing `a = k·q + r` and
+    /// `m·q = 2^128 + e` with `0 ≤ e ≤ q`, the low word is
+    /// `k·e + m·r` (no wraparound, since `k·e + m·r < 2^64 + q + 2^128
+    /// − m ≤ 2^128` for `q ≤ 2^63`), and scaling it by `q/2^128` yields
+    /// `r + ⌊e·a/2^128⌋ = r`.
+    #[inline]
+    pub fn reduce(&self, a: u64) -> u64 {
+        let low = self.m.wrapping_mul(a as u128);
+        // ⌊low·q / 2^128⌋ via two 64×64→128 partial products; dropping
+        // the fraction bits of the low partial cannot perturb the outer
+        // floor because the discarded part is < 1.
+        let hi = low >> 64;
+        let lo = low as u64 as u128;
+        let q = self.q as u128;
+        ((hi * q + ((lo * q) >> 64)) >> 64) as u64
+    }
+
+    /// Reduces every element of a slice in place — the bulk form of
+    /// [`Barrett::reduce`] for draining lazily-accumulated residue
+    /// vectors (sums held unreduced across many multiply-accumulates)
+    /// back into `[0, q)` in one vectorizable pass.
+    pub fn reduce_slice(&self, xs: &mut [u64]) {
+        for x in xs {
+            *x = self.reduce(*x);
+        }
+    }
+
+    /// Reduces a signed 64-bit integer into `[0, q)`; the division-free
+    /// twin of [`from_signed`].
+    #[inline]
+    pub fn from_signed(&self, a: i64) -> u64 {
+        let r = self.reduce(a.unsigned_abs());
+        if a < 0 && r != 0 {
+            self.q - r
+        } else {
+            r
+        }
+    }
+
+    /// Reduces a signed 128-bit integer into `[0, q)`; the division-free
+    /// twin of [`from_signed_i128`].
+    ///
+    /// Magnitudes that fit in a `u64` — every value the FFT rounding
+    /// paths produce within their proven coefficient bounds — take the
+    /// fast path; wider magnitudes fall back to the exact library
+    /// remainder so the function stays total.
+    #[inline]
+    pub fn from_signed_i128(&self, a: i128) -> u64 {
+        match u64::try_from(a.unsigned_abs()) {
+            Ok(mag) => {
+                let r = self.reduce(mag);
+                if a < 0 && r != 0 {
+                    self.q - r
+                } else {
+                    r
+                }
+            }
+            Err(_) => from_signed_i128(a, self.q),
+        }
+    }
 }
 
 /// Montgomery multiplication context for a fixed odd modulus `q < 2^63`.
@@ -272,6 +398,107 @@ mod tests {
     use super::*;
 
     const Q: u64 = 0x1FFF_FFFF_FFE0_0001; // 61-bit prime used by SEAL
+
+    #[test]
+    fn barrett_matches_rem_euclid_on_edges() {
+        // Moduli spanning the interesting shapes: tiny, odd, even,
+        // powers of two, primes near word boundaries, and the largest
+        // legal-for-arithmetic 63-bit values.
+        let moduli = [
+            2u64,
+            3,
+            5,
+            255,
+            256,
+            (1 << 13),
+            (1 << 16) + 1,
+            (1 << 36) - 5,
+            1 << 36,
+            Q,
+            (1 << 62) + 11,
+            (1 << 63) - 1,
+            1 << 63,
+        ];
+        for &q in &moduli {
+            let b = Barrett::new(q);
+            assert_eq!(b.modulus(), q);
+            for a in [
+                0u64,
+                1,
+                q - 1,
+                q,
+                q + 1,
+                q.wrapping_mul(3),
+                u64::MAX / 2,
+                u64::MAX - 1,
+                u64::MAX,
+            ] {
+                assert_eq!(b.reduce(a), a % q, "reduce({a}) mod {q}");
+            }
+            // `from_signed` itself casts `q` to `i64`, so its contract
+            // (and this comparison) stops at `2^63 - 1`.
+            if q < 1 << 63 {
+                for a in [
+                    0i64,
+                    1,
+                    -1,
+                    i64::MAX,
+                    i64::MIN,
+                    -(q.min(1 << 62) as i64),
+                    (q % (1 << 62)) as i64 + 7,
+                ] {
+                    assert_eq!(b.from_signed(a), from_signed(a, q), "signed {a} mod {q}");
+                }
+            }
+            for a in [
+                0i128,
+                -1,
+                i128::from(i64::MAX) + 1,
+                i128::from(i64::MIN) - 1,
+                1 << 100,
+                -(1 << 100),
+                i128::MAX,
+                i128::MIN,
+            ] {
+                assert_eq!(
+                    b.from_signed_i128(a),
+                    from_signed_i128(a, q),
+                    "signed wide {a} mod {q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn barrett_matches_rem_euclid_randomized() {
+        // Deterministic LCG sweep — no `rand` dependency in this crate's
+        // unit tests.
+        let mut x = 0x1234_5678_9ABC_DEF0u64;
+        let mut next = move || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            x
+        };
+        for _ in 0..64 {
+            let q = (next() >> 1) | 1; // odd, below the 2^63 contract bound
+            let b = Barrett::new(q.max(3));
+            for _ in 0..256 {
+                let a = next();
+                assert_eq!(b.reduce(a), a % b.modulus());
+                let s = a as i64;
+                assert_eq!(b.from_signed(s), from_signed(s, b.modulus()));
+                let w = ((next() as u128) << 64 | next() as u128) as i128;
+                assert_eq!(b.from_signed_i128(w), from_signed_i128(w, b.modulus()));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn barrett_rejects_trivial_modulus() {
+        let _ = Barrett::new(1);
+    }
 
     #[test]
     fn add_sub_neg_roundtrip() {

@@ -154,7 +154,7 @@ impl NttTables {
 }
 
 /// Process-wide table cache: one `NttTables` per distinct `(n, q)`.
-static SHARED_TABLES: Interner<(usize, u64), NttTables> = Interner::new();
+static SHARED_TABLES: Interner<(usize, u64), NttTables> = Interner::bounded(64);
 
 impl NttTables {
     /// Like [`NttTables::new`], but interned process-wide: every call

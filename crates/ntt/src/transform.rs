@@ -21,7 +21,7 @@
 //! hardware pipelines chain the two.
 
 use crate::tables::NttTables;
-use flash_math::modular::add_mod;
+use flash_math::modular::{add_mod, Shoup};
 use flash_runtime::simd::{self, SimdLevel};
 use flash_runtime::U64_SCRATCH;
 
@@ -372,6 +372,137 @@ pub fn pointwise_mul_acc(acc: &mut [u64], a: &[u64], b: &[u64], tables: &NttTabl
     }
 }
 
+/// [`pointwise_mul_acc`] with Shoup-precomputed right-hand residues:
+/// `acc += a ⊙ b` where `b` carries one [`Shoup`] constant per
+/// coefficient, so each product costs two multiplies instead of a
+/// widening remainder. Bit-identical to the plain form.
+///
+/// Precomputing the constants costs one division per coefficient — the
+/// win comes from reusing a *fixed* residue vector (a registered model's
+/// weights) across many activations.
+///
+/// # Panics
+///
+/// Panics on length mismatch with the tables.
+pub fn pointwise_mul_acc_shoup(acc: &mut [u64], a: &[u64], b: &[Shoup], tables: &NttTables) {
+    let n = tables.degree();
+    assert_eq!(acc.len(), n);
+    assert_eq!(a.len(), n);
+    assert_eq!(b.len(), n);
+    let q = tables.modulus();
+    match simd::level() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 => unsafe { acc_shoup_avx512(acc, a, b, q) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { acc_shoup_avx2(acc, a, b, q) },
+        _ => acc_shoup_scalar(acc, a, b, q),
+    }
+}
+
+/// The branchless Shoup MAC loop all [`pointwise_mul_acc_shoup`]
+/// dispatch targets share: compare-subtract selects instead of branches
+/// so the auto-vectorizer can turn the whole body into lane-parallel
+/// multiply/select chains.
+#[inline(always)]
+fn acc_shoup_scalar(acc: &mut [u64], a: &[u64], b: &[Shoup], q: u64) {
+    for i in 0..acc.len() {
+        let r = b[i].mul(a[i], q);
+        let s = acc[i] + r; // both < q < 2^63: no overflow
+        acc[i] = if s >= q { s - q } else { s };
+    }
+}
+
+/// # Safety
+///
+/// The CPU must support AVX2 (guaranteed by the dispatch).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn acc_shoup_avx2(acc: &mut [u64], a: &[u64], b: &[Shoup], q: u64) {
+    acc_shoup_scalar(acc, a, b, q);
+}
+
+/// # Safety
+///
+/// The CPU must support AVX-512F/DQ (guaranteed by the dispatch).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512dq")]
+unsafe fn acc_shoup_avx512(acc: &mut [u64], a: &[u64], b: &[Shoup], q: u64) {
+    acc_shoup_scalar(acc, a, b, q);
+}
+
+/// Lazy structure-of-arrays variant of [`pointwise_mul_acc_shoup`]:
+/// `acc[i] += a[i] · w[i]` with the Shoup constants split into plain
+/// (`w`) and precomputed (`w_shoup`) streams and **no reductions at
+/// all** — each call grows every accumulator entry by less than `2q`
+/// (Harvey's lazy product bound), and the caller reduces once at the
+/// end (e.g. [`flash_math::modular::Barrett::reduce_slice`]).
+///
+/// The split layout feeds the vectorizer contiguous full-width loads
+/// instead of interleaved `(w, w')` pairs, and dropping the per-element
+/// compare-subtracts shortens the lane dependency chains; together with
+/// the deferred reduction this is the fastest MAC form for a modulus
+/// with headroom.
+///
+/// The caller owns the overflow budget: at most
+/// `⌊(2^64 − 1) / 2q⌋` calls may target the same accumulator between
+/// reductions. Reducing afterwards recovers exactly the value the
+/// eager form computes — the unreduced entry is the true integer sum.
+///
+/// # Panics
+///
+/// Panics on length mismatch with the tables.
+pub fn pointwise_mul_acc_shoup_lazy(
+    acc: &mut [u64],
+    a: &[u64],
+    w: &[u64],
+    w_shoup: &[u64],
+    tables: &NttTables,
+) {
+    let n = tables.degree();
+    assert_eq!(acc.len(), n);
+    assert_eq!(a.len(), n);
+    assert_eq!(w.len(), n);
+    assert_eq!(w_shoup.len(), n);
+    let q = tables.modulus();
+    match simd::level() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 => unsafe { acc_shoup_lazy_avx512(acc, a, w, w_shoup, q) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { acc_shoup_lazy_avx2(acc, a, w, w_shoup, q) },
+        _ => acc_shoup_lazy_scalar(acc, a, w, w_shoup, q),
+    }
+}
+
+/// Shared loop of the [`pointwise_mul_acc_shoup_lazy`] dispatch targets;
+/// the body is [`Shoup::mul_lazy`] inlined over split streams.
+#[inline(always)]
+fn acc_shoup_lazy_scalar(acc: &mut [u64], a: &[u64], w: &[u64], w_shoup: &[u64], q: u64) {
+    for i in 0..acc.len() {
+        let ai = a[i];
+        let hi = ((w_shoup[i] as u128 * ai as u128) >> 64) as u64;
+        let r = w[i].wrapping_mul(ai).wrapping_sub(hi.wrapping_mul(q));
+        acc[i] = acc[i].wrapping_add(r);
+    }
+}
+
+/// # Safety
+///
+/// The CPU must support AVX2 (guaranteed by the dispatch).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn acc_shoup_lazy_avx2(acc: &mut [u64], a: &[u64], w: &[u64], w_shoup: &[u64], q: u64) {
+    acc_shoup_lazy_scalar(acc, a, w, w_shoup, q);
+}
+
+/// # Safety
+///
+/// The CPU must support AVX-512F/DQ (guaranteed by the dispatch).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512dq")]
+unsafe fn acc_shoup_lazy_avx512(acc: &mut [u64], a: &[u64], w: &[u64], w_shoup: &[u64], q: u64) {
+    acc_shoup_lazy_scalar(acc, a, w, w_shoup, q);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -472,6 +603,56 @@ mod tests {
         for (i, &ai) in acc.iter().enumerate() {
             assert_eq!(ai, (1 + 2 * (i as u64 + 1)) % q);
         }
+    }
+
+    #[test]
+    fn pointwise_shoup_matches_plain() {
+        let t = tables(64, 30);
+        let q = t.modulus();
+        let mut x = 1u64;
+        let mut next = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            x % q
+        };
+        let a: Vec<u64> = (0..64).map(|_| next()).collect();
+        let b: Vec<u64> = (0..64).map(|_| next()).collect();
+        let bs: Vec<Shoup> = b.iter().map(|&w| Shoup::new(w, q)).collect();
+        let mut acc_plain: Vec<u64> = (0..64).map(|_| next()).collect();
+        let mut acc_shoup = acc_plain.clone();
+        pointwise_mul_acc(&mut acc_plain, &a, &b, &t);
+        pointwise_mul_acc_shoup(&mut acc_shoup, &a, &bs, &t);
+        assert_eq!(acc_plain, acc_shoup);
+    }
+
+    #[test]
+    fn lazy_shoup_macs_match_eager_after_reduction() {
+        // Several stacked lazy MACs, reduced once at the end, must equal
+        // the eager per-call-reduced chain bit for bit.
+        let t = tables(64, 30);
+        let q = t.modulus();
+        let mut x = 9u64;
+        let mut next = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            x % q
+        };
+        let rounds = 8;
+        let mut acc_eager: Vec<u64> = (0..64).map(|_| next()).collect();
+        let mut acc_lazy = acc_eager.clone();
+        for _ in 0..rounds {
+            let a: Vec<u64> = (0..64).map(|_| next()).collect();
+            let w: Vec<u64> = (0..64).map(|_| next()).collect();
+            let ws: Vec<Shoup> = w.iter().map(|&v| Shoup::new(v, q)).collect();
+            // The raw precomputed constants, via Shoup::new's formula.
+            let w_shoup: Vec<u64> = w
+                .iter()
+                .map(|&v| (((v as u128) << 64) / q as u128) as u64)
+                .collect();
+            pointwise_mul_acc_shoup(&mut acc_eager, &a, &ws, &t);
+            pointwise_mul_acc_shoup_lazy(&mut acc_lazy, &a, &w, &w_shoup, &t);
+        }
+        let br = flash_math::modular::Barrett::new(q);
+        br.reduce_slice(&mut acc_lazy);
+        assert_eq!(acc_eager, acc_lazy);
     }
 
     #[test]

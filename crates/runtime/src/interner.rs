@@ -8,18 +8,32 @@
 //! concurrent first-builds of the same plan (by design: each plan is
 //! built exactly once) and of different plans (an accepted cost; plan
 //! construction is milliseconds at the sizes this workspace uses).
+//!
+//! A cache may be **bounded** ([`Interner::bounded`]): once it holds
+//! `cap` entries, inserting a new one evicts the least-recently-used
+//! entry (every hit refreshes recency). Outstanding `Arc`s to an evicted
+//! value stay valid — eviction only drops the cache's reference — so a
+//! long-lived session keeps its plans alive while thousands of
+//! one-request tenant configs can no longer grow memory without limit.
+//! Eviction is an `O(len)` scan for the minimum recency stamp, which is
+//! noise at the double-digit caps used here and keeps the const
+//! constructor (no heap-ordered index needs allocating).
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// Hit/miss counters for one cache, readable at any time.
+/// Hit/miss/eviction counters for one cache, readable at any time.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups that returned an already-interned plan.
     pub hits: u64,
     /// Lookups that had to build the plan.
     pub misses: u64,
+    /// Entries dropped to respect the capacity bound (0 when unbounded).
+    pub evictions: u64,
+    /// Entries currently held.
+    pub entries: u64,
 }
 
 impl CacheStats {
@@ -27,6 +41,12 @@ impl CacheStats {
     pub fn builds(&self) -> u64 {
         self.misses
     }
+}
+
+/// One cached value plus the recency stamp the LRU bound keys on.
+struct Slot<V> {
+    value: Arc<V>,
+    last_used: u64,
 }
 
 /// A process-wide cache of immutable plan objects keyed by `K`.
@@ -44,34 +64,87 @@ impl CacheStats {
 /// assert!(Arc::ptr_eq(&a, &b));
 /// ```
 pub struct Interner<K, V> {
-    map: Mutex<BTreeMap<K, Arc<V>>>,
+    map: Mutex<BTreeMap<K, Slot<V>>>,
+    /// LRU capacity; 0 means unbounded.
+    cap: usize,
+    /// Monotonic recency clock, bumped on every hit and insert.
+    tick: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl<K: Ord + Clone, V> Interner<K, V> {
-    /// Const constructor, usable in `static` items.
+    /// Const constructor for an unbounded cache, usable in `static` items.
     pub const fn new() -> Self {
+        Self::bounded(0)
+    }
+
+    /// Const constructor for a cache holding at most `cap` entries
+    /// (least-recently-used eviction; `cap == 0` means unbounded).
+    pub const fn bounded(cap: usize) -> Self {
         Interner {
             map: Mutex::new(BTreeMap::new()),
+            cap,
+            tick: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured capacity bound (0 = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Drops least-recently-used entries until the bound holds. Caller
+    /// holds the map lock.
+    fn enforce_cap(&self, map: &mut BTreeMap<K, Slot<V>>) {
+        if self.cap == 0 {
+            return;
+        }
+        while map.len() > self.cap {
+            let Some(oldest) = map
+                .iter()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                return;
+            };
+            map.remove(&oldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     /// Return the interned value for `key`, building it with `build` on
     /// first use. Every later call with an equal key returns a clone of
-    /// the same `Arc` (pointer-equal) without invoking `build`.
+    /// the same `Arc` (pointer-equal) without invoking `build` — unless
+    /// the entry was evicted by the capacity bound in between, in which
+    /// case it is rebuilt.
     pub fn intern_with(&self, key: K, build: impl FnOnce(&K) -> V) -> Arc<V> {
         let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some(v) = map.get(&key) {
+        let tick = self.next_tick();
+        if let Some(slot) = map.get_mut(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(v);
+            slot.last_used = tick;
+            return Arc::clone(&slot.value);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let v = Arc::new(build(&key));
-        map.insert(key, Arc::clone(&v));
-        v
+        let value = Arc::new(build(&key));
+        map.insert(
+            key,
+            Slot {
+                value: Arc::clone(&value),
+                last_used: tick,
+            },
+        );
+        self.enforce_cap(&mut map);
+        value
     }
 
     /// Fallible variant: `build` errors are returned without caching, so
@@ -82,25 +155,40 @@ impl<K: Ord + Clone, V> Interner<K, V> {
         build: impl FnOnce(&K) -> Result<V, E>,
     ) -> Result<Arc<V>, E> {
         let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some(v) = map.get(&key) {
+        let tick = self.next_tick();
+        if let Some(slot) = map.get_mut(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(v));
+            slot.last_used = tick;
+            return Ok(Arc::clone(&slot.value));
         }
-        let v = Arc::new(build(&key)?);
+        let value = Arc::new(build(&key)?);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        map.insert(key, Arc::clone(&v));
-        Ok(v)
+        map.insert(
+            key,
+            Slot {
+                value: Arc::clone(&value),
+                last_used: tick,
+            },
+        );
+        self.enforce_cap(&mut map);
+        Ok(value)
     }
 
-    /// Look up without building.
+    /// Look up without building (a hit still refreshes LRU recency).
     pub fn get(&self, key: &K) -> Option<Arc<V>> {
-        let map = self.map.lock().unwrap_or_else(|e| e.into_inner());
-        let found = map.get(key).cloned();
-        match found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
-        };
-        found
+        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        let tick = self.next_tick();
+        match map.get_mut(key) {
+            Some(slot) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                slot.last_used = tick;
+                Some(Arc::clone(&slot.value))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
     }
 
     /// Folds an accumulator over every interned value (for aggregate
@@ -108,7 +196,7 @@ impl<K: Ord + Clone, V> Interner<K, V> {
     /// the duration, so `f` must be cheap.
     pub fn fold_values<A>(&self, init: A, mut f: impl FnMut(A, &V) -> A) -> A {
         let map = self.map.lock().unwrap_or_else(|e| e.into_inner());
-        map.values().fold(init, |acc, v| f(acc, v))
+        map.values().fold(init, |acc, s| f(acc, &s.value))
     }
 
     /// Number of interned entries.
@@ -126,13 +214,16 @@ impl<K: Ord + Clone, V> Interner<K, V> {
         self.map.lock().unwrap_or_else(|e| e.into_inner()).clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
     }
 
-    /// Snapshot of the hit/miss counters.
+    /// Snapshot of the hit/miss/eviction counters and current size.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len() as u64,
         }
     }
 }
@@ -161,7 +252,15 @@ mod tests {
         });
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(builds, 1);
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0,
+                entries: 1
+            }
+        );
         assert_eq!(cache.len(), 1);
     }
 
@@ -191,8 +290,57 @@ mod tests {
         let kept = cache.intern_with(1, |_| 9);
         cache.clear();
         assert_eq!(cache.len(), 0);
-        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 0 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+                entries: 0
+            }
+        );
         assert_eq!(*kept, 9); // outstanding Arc unaffected
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used() {
+        let cache: Interner<u8, u8> = Interner::bounded(2);
+        assert_eq!(cache.capacity(), 2);
+        let kept = cache.intern_with(1, |_| 10);
+        cache.intern_with(2, |_| 20);
+        // Touch key 1 so key 2 becomes the LRU entry.
+        assert!(cache.get(&1).is_some());
+        cache.intern_with(3, |_| 30);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&1).is_some(), "recently used entry survives");
+        assert!(cache.get(&2).is_none(), "LRU entry was evicted");
+        assert!(cache.get(&3).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(*kept, 10, "outstanding Arc survives eviction");
+    }
+
+    #[test]
+    fn evicted_entries_rebuild_on_next_intern() {
+        let cache: Interner<u8, u8> = Interner::bounded(1);
+        cache.intern_with(1, |_| 1);
+        cache.intern_with(2, |_| 2); // evicts 1
+        let mut rebuilt = false;
+        cache.intern_with(1, |_| {
+            rebuilt = true;
+            1
+        });
+        assert!(rebuilt, "evicted key must rebuild");
+        assert_eq!(cache.stats().evictions, 2);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let cache: Interner<u32, u32> = Interner::new();
+        for k in 0..512 {
+            cache.intern_with(k, |&k| k);
+        }
+        assert_eq!(cache.len(), 512);
+        assert_eq!(cache.stats().evictions, 0);
     }
 
     #[test]

@@ -42,12 +42,14 @@
 mod config;
 mod exec;
 mod interner;
+pub mod queue;
 mod scratch;
 pub mod simd;
 
 pub use config::{max_threads, noise_margin, set_threads, ThreadOverrideGuard};
 pub use exec::{parallel_gen, parallel_gen_with, parallel_map, parallel_map_with};
 pub use interner::{CacheStats, Interner};
+pub use queue::{QueueClosed, WorkQueue};
 pub use scratch::{
     AlignedBuf, PoolShelves, PoolStats, Scratch, ScratchPool, F64_SCRATCH, I128_SCRATCH,
     MAX_BUFFERS_PER_CLASS, SCRATCH_ALIGN, U64_SCRATCH,

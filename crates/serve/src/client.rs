@@ -1,0 +1,210 @@
+//! The client side of a serving session.
+//!
+//! A [`Client`] owns the session's secret key and the two
+//! [`SharedTransport`] links. Request submission is split so callers
+//! control what sits on the hot path: [`Client::prepare`] does the
+//! client-local work (share split, encode, encrypt, serialize),
+//! [`Client::dispatch`] puts the bytes on the wire and drives the
+//! server's admission, and [`Client::collect`] drains one response
+//! (decrypt + decode into the client's output share).
+
+use crate::model::merge_band;
+use crate::server::InferenceServer;
+use crate::{wire, ServeError};
+use flash_2pc::transport::TransportConfig;
+use flash_2pc::{ShareRing, SharedTransport, Transport};
+use flash_he::encoding::{ConvEncoder, ConvShape};
+use flash_he::truncate::TruncatedCiphertext;
+use flash_he::{serialize, HeParams, Poly, SecretKey};
+use rand::Rng;
+use std::time::Duration;
+
+/// One encoded-and-encrypted request, ready to dispatch.
+///
+/// `server_share` is the server's additive share of the activation —
+/// 2PC state that in a real deployment the server already holds; the
+/// in-process driver hands it to [`InferenceServer::ingest`] alongside
+/// the wire bytes.
+#[derive(Debug, Clone)]
+pub struct PreparedRequest {
+    /// Client-chosen request id, echoed by the response.
+    pub req_id: u64,
+    /// The serialized REQUEST message.
+    pub upload: Vec<u8>,
+    /// The server's activation share (signed, `input_len`).
+    pub server_share: Vec<i64>,
+}
+
+/// A connected client session.
+#[derive(Debug)]
+pub struct Client {
+    session_id: u32,
+    sk: SecretKey,
+    params: HeParams,
+    encoder: ConvEncoder,
+    ring: ShareRing,
+    truncation: Option<(u32, u32)>,
+    uplink: SharedTransport,
+    downlink: SharedTransport,
+}
+
+impl Client {
+    /// Opens a session against an in-process server: builds the two
+    /// links from `cfg_up`/`cfg_down` (fault plans included — this is
+    /// where chaos tests attach their per-session schedules), sends
+    /// HELLO, drives [`InferenceServer::accept`], and verifies the
+    /// negotiated parameters against the locally derived tiling.
+    ///
+    /// # Errors
+    ///
+    /// Wire failures during the handshake, [`ServeError::UnknownModel`],
+    /// or [`ServeError::Malformed`] when the server's negotiated
+    /// parameters disagree with the local plan.
+    #[allow(clippy::too_many_arguments)]
+    pub fn connect<R: Rng>(
+        server: &InferenceServer,
+        model_id: u64,
+        client_tag: u64,
+        params: HeParams,
+        shape: ConvShape,
+        cfg_up: TransportConfig,
+        cfg_down: TransportConfig,
+        recv_timeout: Duration,
+        rng: &mut R,
+    ) -> Result<Client, ServeError> {
+        let uplink = SharedTransport::with_timeout(cfg_up, recv_timeout);
+        let downlink = SharedTransport::with_timeout(cfg_down, recv_timeout);
+        let sk = SecretKey::generate(&params, rng);
+        let encoder = ConvEncoder::new(shape, params.n);
+        let l = params.t.trailing_zeros();
+        assert!(params.t.is_power_of_two() && l >= 2, "t must be 2^l");
+
+        uplink
+            .clone()
+            .send(&wire::encode_hello(model_id, client_tag))?;
+        server.accept(uplink.clone(), downlink.clone())?;
+        let ack = wire::decode_ack(&downlink.clone().recv()?)?;
+        if ack.n as usize != params.n
+            || ack.t != params.t
+            || ack.c_polys as usize != encoder.activation_polys()
+            || ack.m as usize != shape.m
+            || ack.bands as usize != encoder.bands()
+        {
+            return Err(ServeError::Malformed("negotiated parameters"));
+        }
+        Ok(Client {
+            session_id: ack.session_id,
+            sk,
+            params,
+            encoder,
+            ring: ShareRing::new(l),
+            truncation: ack.truncation,
+            uplink,
+            downlink,
+        })
+    }
+
+    /// The server-assigned session id.
+    pub fn session_id(&self) -> u32 {
+        self.session_id
+    }
+
+    /// The share ring `Z_{2^l}`.
+    pub fn ring(&self) -> ShareRing {
+        self.ring
+    }
+
+    /// Client-local request construction: splits the cleartext
+    /// activation into shares, encodes and encrypts the client share,
+    /// and serializes the REQUEST message. No wire traffic.
+    pub fn prepare<R: Rng>(&self, req_id: u64, x: &[i64], rng: &mut R) -> PreparedRequest {
+        assert_eq!(
+            x.len(),
+            self.encoder.shape().input_len(),
+            "activation size mismatch"
+        );
+        let (x_client, x_server) = self.ring.share_vec(x, rng);
+        let xc_signed: Vec<i64> = x_client.iter().map(|&v| v as i64).collect();
+        let blobs: Vec<Vec<u8>> = self
+            .encoder
+            .encode_activation(&xc_signed)
+            .iter()
+            .map(|tile| {
+                let m = Poly::from_signed(tile, self.params.t);
+                serialize::ciphertext_to_bytes(&self.sk.encrypt(&m, rng))
+            })
+            .collect();
+        PreparedRequest {
+            req_id,
+            upload: wire::encode_request(req_id, &blobs),
+            server_share: x_server.iter().map(|&v| v as i64).collect(),
+        }
+    }
+
+    /// Puts a prepared request on the uplink and drives the server's
+    /// admission. Blocks under backpressure (session window or global
+    /// queue). `&mut self` serializes submissions per session — the
+    /// uplink is positional, so one session's requests must enter in
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Admission failures from [`InferenceServer::ingest`]; wire faults
+    /// on the uplink surface here (and poison this session only).
+    pub fn dispatch(
+        &mut self,
+        server: &InferenceServer,
+        prepared: &PreparedRequest,
+    ) -> Result<(), ServeError> {
+        self.uplink.clone().send(&prepared.upload)?;
+        server.ingest(self.session_id, prepared.req_id, &prepared.server_share)
+    }
+
+    /// Drains one response from the downlink: deserializes (undoing the
+    /// agreed truncation), decrypts, and decodes the client's output
+    /// share.
+    ///
+    /// Responses of pipelined requests arrive in server completion
+    /// order; the returned request id says which one this is.
+    ///
+    /// # Errors
+    ///
+    /// Wire faults on the downlink, [`ServeError::Rejected`] when the
+    /// server refused the request, or scheme-level failures during
+    /// decryption.
+    pub fn collect(&mut self) -> Result<(u64, Vec<u64>), ServeError> {
+        let msg = self.downlink.clone().recv()?;
+        let (req_id, blobs) = match wire::decode_response(&msg)? {
+            wire::Response::Ok { req_id, blobs } => (req_id, blobs),
+            wire::Response::Refused { req_id, reason } => {
+                return Err(ServeError::Rejected { req_id, reason })
+            }
+        };
+        let p = &self.params;
+        let shape = *self.encoder.shape();
+        let bands = self.encoder.bands();
+        if blobs.len() != shape.m * bands {
+            return Err(ServeError::Malformed("response ciphertext count"));
+        }
+        let out_len = shape.output_len();
+        let mut y_client = vec![0u64; out_len];
+        let mut band_vals = vec![0i64; out_len];
+        for (u, bytes) in blobs.iter().enumerate() {
+            let (oc, b) = (u / bands, u % bands);
+            let ct = match self.truncation {
+                None => {
+                    let ct = serialize::ciphertext_from_bytes(bytes, p.n, p.q)?;
+                    ct.validate_for(p)?;
+                    ct
+                }
+                Some((d0, d1)) => TruncatedCiphertext::from_bytes(bytes, d0, d1, p)?.reconstruct(p),
+            };
+            let m = self.sk.try_decrypt(&ct)?;
+            let coeffs: Vec<i64> = m.coeffs().iter().map(|&v| v as i64).collect();
+            band_vals.iter_mut().for_each(|v| *v = 0);
+            self.encoder.decode_band(&coeffs, b, oc, &mut band_vals);
+            merge_band(&self.encoder, &band_vals, b, oc, &mut y_client);
+        }
+        Ok((req_id, y_client))
+    }
+}

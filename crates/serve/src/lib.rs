@@ -1,0 +1,124 @@
+//! Multi-session inference serving for the hybrid HE/2PC pipeline.
+//!
+//! One [`InferenceServer`] multiplexes many concurrent client sessions
+//! over the wire transport of [`flash_2pc::transport`]: each session
+//! opens with a handshake + parameter negotiation over a
+//! [`flash_2pc::SharedTransport`] pair, holds its own client-side secret
+//! key, and submits requests through a bounded queue (backpressure at
+//! the submission call, per session and process-wide).
+//!
+//! The throughput lever is the **batching core**: requests against the
+//! same registered model are compatible, so a worker coalesces them —
+//!
+//! * weight spectra, sparse plans and noise-guard verdicts are computed
+//!   **once per model** at registration ([`ModelPlan`]) and shared by
+//!   every session, instead of once per request;
+//! * activations from different clients pack into one SoA batch
+//!   ([`flash_he::PolyMulBackend::activation_spectra_multi`]) and all
+//!   coalesced responses close through **one** batched inverse
+//!   ([`flash_he::backend::BandAccumulator::finish_bands`]) — so the
+//!   lane-parallel spectral kernels run at full SIMD width `W` instead
+//!   of per-client width.
+//!
+//! Batching never changes results: masks are derived from
+//! per-`(session, request, unit)` seeds and the batched kernels are
+//! bit-identical at every width, so N concurrent sessions produce
+//! exactly the bytes N serial runs would — for any worker count and any
+//! batch composition (the concurrency test suite asserts this).
+//!
+//! The seeded [`flash_2pc::transport::FaultInjector`-style] fault plans
+//! double as the server's chaos mode: each session's links carry their
+//! own schedule, and a fault on one session (recovered or terminal)
+//! can neither corrupt nor stall another — a wedged link fails *that*
+//! session typed ([`ServeError`]) while the rest keep serving.
+
+pub mod client;
+pub mod model;
+pub mod server;
+pub mod session;
+pub mod wire;
+
+pub use client::{Client, PreparedRequest};
+pub use model::{ModelPlan, ModelSpec};
+pub use server::{BatchPolicy, InferenceServer, ServerStats};
+pub use session::SessionSnapshot;
+
+use flash_2pc::error::{FlashError, ProtocolError};
+use std::fmt;
+
+/// Any failure of the serving layer, per session: wire/protocol/scheme
+/// errors bubbling up from the stack, plus serving-specific conditions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// A protocol-stack failure (wire decoding, transport recovery,
+    /// scheme-level validation) on this session's links.
+    Flash(FlashError),
+    /// The requested model id is not registered.
+    UnknownModel(u64),
+    /// The session id is not (or no longer) connected.
+    UnknownSession(u32),
+    /// The session was poisoned by an earlier unrecoverable wire failure;
+    /// later submissions fail fast instead of racing a wedged link.
+    SessionFailed(u32),
+    /// The server refused the request and relayed a typed reason.
+    Rejected {
+        /// The request the refusal applies to.
+        req_id: u64,
+        /// Human-readable server-side reason.
+        reason: String,
+    },
+    /// A framed message decoded but violated the serving wire format
+    /// (possible only with checksums disabled, or a version skew).
+    Malformed(&'static str),
+    /// The server is shutting down and no longer accepts work.
+    Shutdown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Flash(e) => write!(f, "{e}"),
+            ServeError::UnknownModel(id) => write!(f, "unknown model id {id}"),
+            ServeError::UnknownSession(id) => write!(f, "unknown session id {id}"),
+            ServeError::SessionFailed(id) => write!(f, "session {id} failed earlier"),
+            ServeError::Rejected { req_id, reason } => {
+                write!(f, "request {req_id} rejected: {reason}")
+            }
+            ServeError::Malformed(what) => write!(f, "malformed serve message: {what}"),
+            ServeError::Shutdown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Flash(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FlashError> for ServeError {
+    fn from(e: FlashError) -> Self {
+        ServeError::Flash(e)
+    }
+}
+
+impl From<ProtocolError> for ServeError {
+    fn from(e: ProtocolError) -> Self {
+        ServeError::Flash(FlashError::Protocol(e))
+    }
+}
+
+impl From<flash_he::serialize::WireError> for ServeError {
+    fn from(e: flash_he::serialize::WireError) -> Self {
+        ServeError::Flash(FlashError::Wire(e))
+    }
+}
+
+impl From<flash_he::HeError> for ServeError {
+    fn from(e: flash_he::HeError) -> Self {
+        ServeError::Flash(FlashError::He(e))
+    }
+}

@@ -1,0 +1,793 @@
+//! The multi-session inference server.
+//!
+//! Requests from all sessions funnel into one bounded [`WorkQueue`];
+//! worker threads drain it in batches ([`WorkQueue::pop_batch`]) and
+//! coalesce compatible tickets — same registered model — into one
+//! spectral pass:
+//!
+//! 1. every coalesced ticket's ciphertexts forward-transform in **one**
+//!    SoA sweep ([`PolyMulBackend::activation_spectra_multi`]),
+//! 2. each `(ticket, oc, band)` unit MACs the model's precomputed
+//!    weight spectra against its slice of the shared batch,
+//! 3. every spectral unit of the whole group closes through **one**
+//!    batched inverse ([`BandAccumulator::finish_bands`]).
+//!
+//! On a serial per-session baseline the same transforms run per request
+//! at width `2·c_polys` (activations) and `2·bands` (inverses); the
+//! coalesced pass runs them at up to `2·Σ c_polys` and `2·Σ units`, so
+//! the lane-parallel kernels fill all `W` SIMD lanes — that, plus the
+//! per-model amortization of [`ModelPlan`], is where the aggregate
+//! throughput comes from on a single-core host.
+//!
+//! Masks come from [`mask_seed`] — a pure function of
+//! `(server seed, session, request, unit)` — so outputs are bit-equal
+//! for any batch composition and worker count; `BatchPolicy::
+//! serial_baseline()` reuses the same seeds, which is what lets the
+//! determinism tests compare the two modes byte for byte.
+
+use crate::model::{mask_coeffs, mask_seed, merge_band, ModelPlan, ModelSpec, UnitWeights};
+use crate::session::{SessionSnapshot, SessionState};
+use crate::{wire, ServeError};
+use flash_2pc::{conv_band_noise_bound, conv_band_plan, SharedTransport, Transport};
+use flash_he::backend::{weight_residues_into, BandAccumulator};
+use flash_he::truncate::TruncatedCiphertext;
+use flash_he::{serialize, Ciphertext, Poly, PolyMulBackend};
+use flash_runtime::{CacheStats, Interner, WorkQueue};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Knobs of the batching core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchPolicy {
+    /// Most tickets one worker drains per queue visit (the coalescing
+    /// window).
+    pub max_batch: usize,
+    /// Bound of the process-wide ticket queue; submissions block when
+    /// it is full (global backpressure).
+    pub queue_depth: usize,
+    /// Per-session in-flight window; a session's submissions block when
+    /// it alone has this many requests pending.
+    pub per_session_inflight: usize,
+    /// Amortize per-model work across requests (the serving datapath).
+    /// With `false` every ticket re-derives the full per-request server
+    /// pipeline of [`flash_2pc::ConvProtocol`] — the per-session serial
+    /// baseline the speedup is measured against.
+    pub amortize: bool,
+}
+
+impl BatchPolicy {
+    /// The serving configuration: coalesce up to 16 tickets — wide
+    /// enough to amortize the shared forward sweep, small enough that
+    /// one batch's activation and accumulator buffers stay inside L2.
+    pub fn batched() -> Self {
+        BatchPolicy {
+            max_batch: 16,
+            queue_depth: 256,
+            per_session_inflight: 8,
+            amortize: true,
+        }
+    }
+
+    /// The per-session baseline: no coalescing, no amortization.
+    pub fn serial_baseline() -> Self {
+        BatchPolicy {
+            max_batch: 1,
+            queue_depth: 256,
+            per_session_inflight: 8,
+            amortize: false,
+        }
+    }
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy::batched()
+    }
+}
+
+/// One admitted request waiting for a worker: the share-folded upload
+/// ciphertexts plus routing/latency bookkeeping.
+struct Ticket {
+    session: Arc<SessionState>,
+    req_id: u64,
+    cts: Vec<Ciphertext>,
+    submitted: Instant,
+}
+
+struct ServerCore {
+    policy: BatchPolicy,
+    seed: u64,
+    /// Registered models, LRU-bounded: a serving process cycling
+    /// through many models sheds the cold plans (sessions keep their
+    /// own `Arc`, so an evicted plan stays alive until its last
+    /// session closes).
+    models: Interner<u64, ModelPlan>,
+    sessions: Mutex<BTreeMap<u32, Arc<SessionState>>>,
+    next_session: AtomicU32,
+    queue: WorkQueue<Ticket>,
+    /// Server output shares by `(session, request)` until collected.
+    results: Mutex<BTreeMap<(u32, u64), Vec<u64>>>,
+    /// Submission → response-send latency per answered request, µs.
+    latencies_us: Mutex<Vec<u64>>,
+    requests_ok: AtomicU64,
+    requests_failed: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    /// Polynomials fed to the batched spectral kernels…
+    kernel_polys: AtomicU64,
+    /// …and the SIMD lane-slots those calls occupied (`rounds × W`).
+    kernel_slots: AtomicU64,
+    /// Terminal outcomes (ok + failed), with a wakeup for waiters.
+    completed: Mutex<u64>,
+    done: Condvar,
+}
+
+impl ServerCore {
+    fn record_kernel(&self, polys: usize) {
+        let w = flash_runtime::simd::lanes().max(1);
+        let slots = polys.div_ceil(w) * w;
+        self.kernel_polys.fetch_add(polys as u64, Ordering::Relaxed);
+        self.kernel_slots.fetch_add(slots as u64, Ordering::Relaxed);
+    }
+
+    fn complete_one(&self) {
+        let mut n = self.completed.lock().unwrap_or_else(|e| e.into_inner());
+        *n += 1;
+        drop(n);
+        self.done.notify_all();
+    }
+}
+
+/// Aggregate serving accounting (see also [`SessionSnapshot`] for the
+/// per-session view).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests answered.
+    pub requests_ok: u64,
+    /// Requests that failed (wire, decode, or compute).
+    pub requests_failed: u64,
+    /// Worker queue visits that yielded at least one ticket.
+    pub batches: u64,
+    /// Tickets drained across those visits.
+    pub batched_requests: u64,
+    /// Polynomials fed to the batched spectral kernels.
+    pub kernel_polys: u64,
+    /// SIMD lane-slots those kernel calls occupied.
+    pub kernel_slots: u64,
+    /// Connected sessions.
+    pub sessions: usize,
+    /// Hit/miss/eviction accounting of the model-plan cache.
+    pub model_cache: CacheStats,
+}
+
+impl ServerStats {
+    /// Fraction of SIMD lane-slots the spectral kernel calls actually
+    /// filled (1.0 = every call ran at full width).
+    pub fn occupancy(&self) -> f64 {
+        if self.kernel_slots == 0 {
+            1.0
+        } else {
+            self.kernel_polys as f64 / self.kernel_slots as f64
+        }
+    }
+
+    /// Mean tickets per worker queue visit.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_requests as f64 / self.batches as f64
+        }
+    }
+}
+
+/// A running multi-session inference server.
+///
+/// Workers are real threads, but every path is deterministic in
+/// *content*: scheduling affects only the order work retires, never the
+/// bytes a session observes.
+pub struct InferenceServer {
+    core: Arc<ServerCore>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl InferenceServer {
+    /// Starts the server with `workers` worker threads (clamped to ≥ 1).
+    pub fn start(policy: BatchPolicy, seed: u64, workers: usize) -> Self {
+        let core = Arc::new(ServerCore {
+            policy,
+            seed,
+            models: Interner::bounded(32),
+            sessions: Mutex::new(BTreeMap::new()),
+            next_session: AtomicU32::new(1),
+            queue: WorkQueue::bounded(policy.queue_depth.max(1)),
+            results: Mutex::new(BTreeMap::new()),
+            latencies_us: Mutex::new(Vec::new()),
+            requests_ok: AtomicU64::new(0),
+            requests_failed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
+            kernel_polys: AtomicU64::new(0),
+            kernel_slots: AtomicU64::new(0),
+            completed: Mutex::new(0),
+            done: Condvar::new(),
+        });
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let core = Arc::clone(&core);
+                std::thread::Builder::new()
+                    .name(format!("flash-serve-{i}"))
+                    .spawn(move || worker_loop(&core))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        InferenceServer {
+            core,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Registers (and compiles) a model. Re-registering an id that is
+    /// still cached returns the existing plan untouched.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelPlan::build`] failures — a model whose noise
+    /// bound overflows the decryption ceiling is refused here, before
+    /// any session can name it.
+    pub fn register_model(&self, spec: ModelSpec) -> Result<Arc<ModelPlan>, ServeError> {
+        self.core
+            .models
+            .try_intern_with(spec.id, move |_| ModelPlan::build(spec))
+    }
+
+    /// Opens a session: receives the client's HELLO on `uplink`,
+    /// resolves the model, and answers the negotiated parameters on
+    /// `downlink`. Returns the assigned session id.
+    ///
+    /// # Errors
+    ///
+    /// Wire failures on either link, or [`ServeError::UnknownModel`].
+    pub fn accept(
+        &self,
+        uplink: SharedTransport,
+        downlink: SharedTransport,
+    ) -> Result<u32, ServeError> {
+        let hello = uplink.clone().recv()?;
+        let (model_id, client_tag) = wire::decode_hello(&hello)?;
+        let model = self
+            .core
+            .models
+            .get(&model_id)
+            .ok_or(ServeError::UnknownModel(model_id))?;
+        let p = model.params();
+        let ack = wire::SessionAck {
+            session_id: self.core.next_session.fetch_add(1, Ordering::Relaxed),
+            n: p.n as u32,
+            t: p.t,
+            c_polys: model.c_polys() as u32,
+            m: model.shape().m as u32,
+            bands: model.encoder().bands() as u32,
+            truncation: model.truncation(),
+        };
+        let session = Arc::new(SessionState::new(
+            ack.session_id,
+            client_tag,
+            model,
+            uplink,
+            downlink.clone(),
+            self.core.policy.per_session_inflight,
+        ));
+        self.core
+            .sessions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(ack.session_id, session);
+        downlink.clone().send(&wire::encode_ack(&ack))?;
+        Ok(ack.session_id)
+    }
+
+    /// Admits one request of a session: receives the REQUEST frame from
+    /// the session's uplink, validates and share-folds the ciphertexts,
+    /// and enqueues the ticket. Blocks for backpressure — on the
+    /// session's in-flight window and on the global queue bound.
+    ///
+    /// `server_share` is the server's additive share of the activation
+    /// (its 2PC state for this layer), folded into the upload exactly as
+    /// in [`flash_2pc::ConvProtocol`].
+    ///
+    /// # Errors
+    ///
+    /// Typed admission failures. Any error here poisons the session —
+    /// the frame layer is positional, so an unrecoverable fault
+    /// mid-stream makes every later frame on the link suspect — but
+    /// never touches other sessions.
+    pub fn ingest(
+        &self,
+        session_id: u32,
+        req_id: u64,
+        server_share: &[i64],
+    ) -> Result<(), ServeError> {
+        let session = self
+            .core
+            .sessions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&session_id)
+            .cloned()
+            .ok_or(ServeError::UnknownSession(session_id))?;
+        if session.is_failed() || !session.acquire() {
+            return Err(ServeError::SessionFailed(session_id));
+        }
+        match self.admit(&session, req_id, server_share) {
+            Ok(ticket) => match self.core.queue.push(ticket) {
+                Ok(()) => Ok(()),
+                Err(_) => {
+                    session.release();
+                    Err(ServeError::Shutdown)
+                }
+            },
+            Err(e) => {
+                session.release();
+                session.mark_failed();
+                session.requests_failed.fetch_add(1, Ordering::Relaxed);
+                self.core.requests_failed.fetch_add(1, Ordering::Relaxed);
+                flash_telemetry::counter!("serve.requests_failed").add(1);
+                self.core.complete_one();
+                Err(e)
+            }
+        }
+    }
+
+    fn admit(
+        &self,
+        session: &Arc<SessionState>,
+        req_id: u64,
+        server_share: &[i64],
+    ) -> Result<Ticket, ServeError> {
+        let submitted = Instant::now();
+        let _t = flash_telemetry::span!("serve.admit");
+        let model = &session.model;
+        let p = model.params();
+        if server_share.len() != model.shape().input_len() {
+            return Err(ServeError::Malformed("server share length"));
+        }
+        let msg = session.uplink.clone().recv()?;
+        let (got_req, blobs) = wire::decode_request_borrowed(&msg)?;
+        if got_req != req_id {
+            return Err(ServeError::Malformed("request id mismatch"));
+        }
+        if blobs.len() != model.c_polys() {
+            return Err(ServeError::Malformed("upload ciphertext count"));
+        }
+        let tiles = model.encoder().encode_activation(server_share);
+        let cts = blobs
+            .iter()
+            .zip(&tiles)
+            .map(|(bytes, tile)| {
+                let mut ct = serialize::ciphertext_from_bytes(bytes, p.n, p.q)?;
+                ct.validate_for(p)?;
+                ct.add_plain_assign(&Poly::from_signed(tile, p.t), p);
+                Ok(ct)
+            })
+            .collect::<Result<Vec<_>, ServeError>>()?;
+        Ok(Ticket {
+            session: Arc::clone(session),
+            req_id,
+            cts,
+            submitted,
+        })
+    }
+
+    /// Aggregate accounting so far.
+    pub fn stats(&self) -> ServerStats {
+        let core = &self.core;
+        ServerStats {
+            requests_ok: core.requests_ok.load(Ordering::Relaxed),
+            requests_failed: core.requests_failed.load(Ordering::Relaxed),
+            batches: core.batches.load(Ordering::Relaxed),
+            batched_requests: core.batched_requests.load(Ordering::Relaxed),
+            kernel_polys: core.kernel_polys.load(Ordering::Relaxed),
+            kernel_slots: core.kernel_slots.load(Ordering::Relaxed),
+            sessions: core
+                .sessions
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .len(),
+            model_cache: core.models.stats(),
+        }
+    }
+
+    /// Per-session accounting, in session-id order.
+    pub fn session_snapshots(&self) -> Vec<SessionSnapshot> {
+        self.core
+            .sessions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .map(|s| s.snapshot())
+            .collect()
+    }
+
+    /// Removes and returns the server's output share of one answered
+    /// request (the server's half of the 2PC result).
+    pub fn take_result(&self, session_id: u32, req_id: u64) -> Option<Vec<u64>> {
+        self.core
+            .results
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&(session_id, req_id))
+    }
+
+    /// Drains the recorded submission → response latencies (µs).
+    pub fn take_latencies_us(&self) -> Vec<u64> {
+        std::mem::take(
+            &mut *self
+                .core
+                .latencies_us
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()),
+        )
+    }
+
+    /// Blocks until at least `count` requests have reached a terminal
+    /// outcome (answered or failed) since the server started.
+    pub fn wait_for(&self, count: u64) {
+        let mut n = self
+            .core
+            .completed
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        while *n < count {
+            n = self.core.done.wait(n).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Stops accepting work, drains the queue, and joins the workers.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        self.core.queue.close();
+        let mut workers = self.workers.lock().unwrap_or_else(|e| e.into_inner());
+        for w in workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for InferenceServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(core: &Arc<ServerCore>) {
+    loop {
+        let batch = core.queue.pop_batch(core.policy.max_batch);
+        if batch.is_empty() {
+            return; // closed and drained
+        }
+        core.batches.fetch_add(1, Ordering::Relaxed);
+        core.batched_requests
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        flash_telemetry::counter!("serve.batches").add(1);
+        flash_telemetry::counter!("serve.batched_requests").add(batch.len() as u64);
+        // Coalesce by model *plan* (pointer identity, not id): tickets
+        // whose sessions pinned different generations of a re-registered
+        // id must not share spectra.
+        let mut groups: BTreeMap<usize, Vec<Ticket>> = BTreeMap::new();
+        for t in batch {
+            groups
+                .entry(Arc::as_ptr(&t.session.model) as usize)
+                .or_default()
+                .push(t);
+        }
+        for (_, tickets) in groups {
+            if core.policy.amortize {
+                process_group_batched(core, tickets);
+            } else {
+                for ticket in tickets {
+                    process_ticket_serial(core, ticket);
+                }
+            }
+        }
+    }
+}
+
+/// The coalesced datapath: one SoA forward sweep over every ticket's
+/// ciphertexts, per-unit MACs against the model's precomputed spectra,
+/// one group-wide batched inverse, then per-ticket mask/serialize.
+fn process_group_batched(core: &Arc<ServerCore>, tickets: Vec<Ticket>) {
+    let model = Arc::clone(&tickets[0].session.model);
+    let p = model.params();
+    let n = p.n;
+    let bands = model.encoder().bands();
+    let m = model.shape().m;
+    let units = model.units.len();
+
+    let spans: Vec<&[Ciphertext]> = tickets.iter().map(|t| t.cts.as_slice()).collect();
+    let total_cts: usize = spans.iter().map(|s| s.len()).sum();
+    let act = {
+        let _t = flash_telemetry::span!("serve.forward_fft");
+        model.spec.backend.activation_spectra_multi(&spans, p)
+    };
+    core.record_kernel(2 * total_cts);
+
+    let mac_span = flash_telemetry::span!("serve.mac");
+    let mut resolved: Vec<Vec<Option<Ciphertext>>> =
+        tickets.iter().map(|_| vec![None; units]).collect();
+    // Unit kinds are uniform across tickets (one model per group).
+    let ntt_units: Vec<usize> = (0..units)
+        .filter(|&u| matches!(model.units[u], UnitWeights::Ntt(_)))
+        .collect();
+    let fft_units: Vec<usize> = (0..units)
+        .filter(|&u| matches!(model.units[u], UnitWeights::Fft(_)))
+        .collect();
+    // NTT accumulators live in one contiguous buffer, ticket-major —
+    // MACs write straight into the slice the batched inverse will
+    // consume in place, with no per-accumulator staging copy.
+    let two_n = 2 * n;
+    let mut ntt_buf = vec![0u64; tickets.len() * ntt_units.len() * two_n];
+    let mut fft_accs: Vec<BandAccumulator> = Vec::new();
+    let mut fft_tags: Vec<(usize, usize)> = Vec::new();
+    let mut offset = 0usize;
+    for (ti, ticket) in tickets.iter().enumerate() {
+        let groups = ticket.cts.len() / bands;
+        for oc in 0..m {
+            for b in 0..bands {
+                let u = oc * bands + b;
+                if let UnitWeights::Fallback = &model.units[u] {
+                    // Exact coefficient-domain path; consumes the
+                    // ticket's own ciphertexts, not the hoisted spectra.
+                    let exact = PolyMulBackend::Ntt;
+                    let mut acc = Ciphertext::zero(n, p.q);
+                    for (g, wp) in model.w_polys[oc].iter().enumerate() {
+                        ticket.cts[g * bands + b].mul_plain_signed_acc(&wp[b], p, &exact, &mut acc);
+                    }
+                    resolved[ti][u] = Some(acc);
+                }
+            }
+        }
+        // Spectral units accumulate group-by-group with the unit loop
+        // *innermost*: one ciphertext slice of the shared SoA stays
+        // cache-hot while every unit MACs against it, instead of the
+        // whole activation span being re-streamed once per unit. Each
+        // accumulator still sees its groups in increasing order, so the
+        // result is bit-identical to the unit-major order for both
+        // domains.
+        let tbuf = &mut ntt_buf[ti * ntt_units.len() * two_n..][..ntt_units.len() * two_n];
+        for g in 0..groups {
+            for (slot, &u) in ntt_units.iter().enumerate() {
+                let UnitWeights::Ntt(residues) = &model.units[u] else {
+                    unreachable!("ntt_units holds only NTT units");
+                };
+                let b = u % bands;
+                act.mac_ntt_shoup_lazy_into(
+                    offset + g * bands + b,
+                    &residues.w[g * n..][..n],
+                    &residues.shoup[g * n..][..n],
+                    p.ntt(),
+                    &mut tbuf[slot * two_n..][..two_n],
+                );
+            }
+        }
+        for &u in &fft_units {
+            let UnitWeights::Fft(spectra) = &model.units[u] else {
+                unreachable!("fft_units holds only FFT units");
+            };
+            let b = u % bands;
+            let mut acc = act.accumulator(n);
+            for (g, fwg) in spectra.chunks_exact(n / 2).enumerate() {
+                act.mac_fft(offset + g * bands + b, fwg, &mut acc);
+            }
+            fft_accs.push(acc);
+            fft_tags.push((ti, u));
+        }
+        offset += ticket.cts.len();
+    }
+    drop(mac_span);
+    if !ntt_units.is_empty() {
+        let _t = flash_telemetry::span!("serve.inverse_fft");
+        core.record_kernel(ntt_buf.len() / n);
+        // One ticket's accumulators (`units · 2N` words) fit L2; the
+        // whole batch does not. Draining ticket-by-ticket keeps the
+        // reduce + inverse sweeps cache-resident without changing a
+        // single output bit (each accumulator is still reduced and
+        // inverted exactly once).
+        for (ti, tchunk) in ntt_buf.chunks_mut(ntt_units.len() * two_n).enumerate() {
+            let closed = BandAccumulator::finish_ntt_bands_in_place(tchunk, p);
+            for (slot, ct) in closed.into_iter().enumerate() {
+                resolved[ti][ntt_units[slot]] = Some(ct);
+            }
+        }
+    }
+    if !fft_accs.is_empty() {
+        let _t = flash_telemetry::span!("serve.inverse_fft");
+        core.record_kernel(2 * fft_accs.len());
+        let closed = BandAccumulator::finish_bands(fft_accs, p);
+        for ((ti, u), ct) in fft_tags.into_iter().zip(closed) {
+            resolved[ti][u] = Some(ct);
+        }
+    }
+    for (ticket, unit_cts) in tickets.into_iter().zip(resolved) {
+        finalize_ticket(core, &model, ticket, unit_cts);
+    }
+}
+
+/// The per-session baseline: the full per-request server pipeline of
+/// [`flash_2pc::ConvProtocol`] — weight re-encoding, per-request noise
+/// guard, per-request weight transforms, narrow activation batch, and
+/// per-channel inverses — with the serving layer's mask seeds, so its
+/// outputs are bit-identical to the coalesced path.
+fn process_ticket_serial(core: &Arc<ServerCore>, ticket: Ticket) {
+    let model = Arc::clone(&ticket.session.model);
+    match serial_units(core, &model, &ticket) {
+        Ok(unit_cts) => finalize_ticket(core, &model, ticket, unit_cts),
+        Err(e) => refuse_ticket(core, ticket, &e),
+    }
+}
+
+fn serial_units(
+    core: &Arc<ServerCore>,
+    model: &ModelPlan,
+    ticket: &Ticket,
+) -> Result<Vec<Option<Ciphertext>>, ServeError> {
+    let _t = flash_telemetry::span!("serve.serial_units");
+    let spec = &model.spec;
+    let p = model.params();
+    let enc = model.encoder();
+    let shape = *model.shape();
+    let bands = enc.bands();
+    let m_half = p.n / 2;
+    let is_ntt = matches!(spec.backend, PolyMulBackend::Ntt);
+
+    let act = spec.backend.activation_spectra(&ticket.cts, p);
+    core.record_kernel(2 * ticket.cts.len());
+
+    let band_plans: Vec<_> = (0..bands)
+        .map(|b| {
+            if !spec.sparse_weights || is_ntt {
+                return None;
+            }
+            let plan = conv_band_plan(enc, p.n, b);
+            plan.worthwhile().then_some(plan)
+        })
+        .collect();
+
+    let mut unit_cts: Vec<Option<Ciphertext>> = vec![None; shape.m * bands];
+    for oc in 0..shape.m {
+        let w_polys = enc.encode_weight(
+            &spec.weights[oc * shape.kernel_len()..][..shape.kernel_len()],
+            oc,
+        );
+        let groups = w_polys.len();
+        let mut accs: Vec<BandAccumulator> = Vec::new();
+        let mut idxs: Vec<usize> = Vec::new();
+        for b in 0..bands {
+            let (noise, w_sq) = conv_band_noise_bound(p, &w_polys, b, spec.truncation);
+            noise.check()?;
+            let fallback = match spec.backend.error_model() {
+                Some(em) => {
+                    let err = em.phase_error_bound(p, w_sq, groups);
+                    noise.bound() + err >= spec.noise_margin * noise.ceiling()
+                }
+                None => false,
+            };
+            if fallback {
+                let exact = PolyMulBackend::Ntt;
+                let mut acc = Ciphertext::zero(p.n, p.q);
+                for (g, wp) in w_polys.iter().enumerate() {
+                    ticket.cts[g * bands + b].mul_plain_signed_acc(&wp[b], p, &exact, &mut acc);
+                }
+                unit_cts[oc * bands + b] = Some(acc);
+                continue;
+            }
+            let ws: Vec<&[i64]> = w_polys.iter().map(|wp| wp[b].as_slice()).collect();
+            let mut acc = act.accumulator(p.n);
+            if is_ntt {
+                let mut fw = vec![0u64; groups * p.n];
+                weight_residues_into(&ws, &mut fw, p.ntt());
+                for (g, fwg) in fw.chunks_exact(p.n).enumerate() {
+                    act.mac_ntt(g * bands + b, fwg, p.ntt(), &mut acc);
+                }
+            } else {
+                let mut fw = vec![flash_math::C64::ZERO; groups * m_half];
+                match &band_plans[b] {
+                    Some(plan) => plan.execute_batch_into(ws.iter().copied(), &mut fw),
+                    None => spec.backend.weight_spectra_into(&ws, &mut fw, p.fft()),
+                }
+                for (g, fwg) in fw.chunks_exact(m_half).enumerate() {
+                    act.mac_fft(g * bands + b, fwg, &mut acc);
+                }
+            }
+            accs.push(acc);
+            idxs.push(b);
+        }
+        if !accs.is_empty() {
+            core.record_kernel(2 * accs.len());
+            let closed = BandAccumulator::finish_bands(accs, p);
+            for (b, ct) in idxs.into_iter().zip(closed) {
+                unit_cts[oc * bands + b] = Some(ct);
+            }
+        }
+    }
+    Ok(unit_cts)
+}
+
+/// Masks, decodes the server share, serializes and sends one ticket's
+/// response; shared by both datapaths so the bytes cannot diverge.
+fn finalize_ticket(
+    core: &Arc<ServerCore>,
+    model: &ModelPlan,
+    ticket: Ticket,
+    unit_cts: Vec<Option<Ciphertext>>,
+) {
+    let _t = flash_telemetry::span!("serve.finalize");
+    let p = model.params();
+    let enc = model.encoder();
+    let bands = enc.bands();
+    let out_len = model.shape().output_len();
+    let mut y_server = vec![0u64; out_len];
+    let mut blobs = Vec::with_capacity(unit_cts.len());
+    let mut band_vals = vec![0i64; out_len];
+    for (u, ct) in unit_cts.into_iter().enumerate() {
+        let mut ct = ct.expect("every unit resolved before finalize");
+        let (oc, b) = (u / bands, u % bands);
+        let seed = mask_seed(core.seed, ticket.session.id, ticket.req_id, u);
+        let mask_vals = mask_coeffs(seed, p.n, p.t);
+        let mask = Poly::from_coeffs(mask_vals, p.t);
+        ct.sub_plain_assign(&mask, p);
+        let mask_signed: Vec<i64> = mask.coeffs().iter().map(|&v| v as i64).collect();
+        band_vals.iter_mut().for_each(|v| *v = 0);
+        enc.decode_band(&mask_signed, b, oc, &mut band_vals);
+        merge_band(enc, &band_vals, b, oc, &mut y_server);
+        blobs.push(match model.truncation() {
+            None => serialize::ciphertext_to_bytes(&ct),
+            Some((d0, d1)) => TruncatedCiphertext::truncate(&ct, d0, d1, p).to_bytes(p),
+        });
+    }
+    let response = wire::encode_response(ticket.req_id, &blobs);
+    let sent = ticket.session.downlink.clone().send(&response);
+    core.results
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert((ticket.session.id, ticket.req_id), y_server);
+    core.latencies_us
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(ticket.submitted.elapsed().as_micros() as u64);
+    match sent {
+        Ok(()) => {
+            ticket.session.requests_ok.fetch_add(1, Ordering::Relaxed);
+            core.requests_ok.fetch_add(1, Ordering::Relaxed);
+            flash_telemetry::counter!("serve.requests_ok").add(1);
+        }
+        Err(_) => {
+            ticket.session.mark_failed();
+            ticket
+                .session
+                .requests_failed
+                .fetch_add(1, Ordering::Relaxed);
+            core.requests_failed.fetch_add(1, Ordering::Relaxed);
+            flash_telemetry::counter!("serve.requests_failed").add(1);
+        }
+    }
+    ticket.session.release();
+    core.complete_one();
+}
+
+/// Answers one ticket with a typed refusal instead of a result.
+fn refuse_ticket(core: &Arc<ServerCore>, ticket: Ticket, err: &ServeError) {
+    let refusal = wire::encode_refusal(ticket.req_id, &err.to_string());
+    let _ = ticket.session.downlink.clone().send(&refusal);
+    ticket
+        .session
+        .requests_failed
+        .fetch_add(1, Ordering::Relaxed);
+    core.requests_failed.fetch_add(1, Ordering::Relaxed);
+    flash_telemetry::counter!("serve.requests_failed").add(1);
+    ticket.session.release();
+    core.complete_one();
+}

@@ -1,0 +1,137 @@
+//! Per-session server-side state.
+
+use crate::model::ModelPlan;
+use flash_2pc::SharedTransport;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One connected client session.
+///
+/// The transports are [`SharedTransport`] handles: the submission path
+/// receives requests on `uplink` while workers answer on `downlink`,
+/// possibly from different threads per request. `failed` poisons the
+/// session after an unrecoverable wire fault — the frame layer is
+/// positional, so once recovery is exhausted mid-stream every later
+/// message on that link is suspect, and the session fails fast instead
+/// of serving corrupt state. Other sessions' links are independent
+/// objects and never observe the failure.
+#[derive(Debug)]
+pub(crate) struct SessionState {
+    pub(crate) id: u32,
+    pub(crate) client_tag: u64,
+    pub(crate) model: Arc<ModelPlan>,
+    pub(crate) uplink: SharedTransport,
+    pub(crate) downlink: SharedTransport,
+    failed: AtomicBool,
+    /// In-flight request window: submissions block once `cap` requests
+    /// of this session are queued or executing (per-session
+    /// backpressure, independent of the global queue bound).
+    in_flight: Mutex<usize>,
+    drained: Condvar,
+    cap: usize,
+    pub(crate) requests_ok: AtomicU64,
+    pub(crate) requests_failed: AtomicU64,
+}
+
+impl SessionState {
+    pub(crate) fn new(
+        id: u32,
+        client_tag: u64,
+        model: Arc<ModelPlan>,
+        uplink: SharedTransport,
+        downlink: SharedTransport,
+        cap: usize,
+    ) -> Self {
+        SessionState {
+            id,
+            client_tag,
+            model,
+            uplink,
+            downlink,
+            failed: AtomicBool::new(false),
+            in_flight: Mutex::new(0),
+            drained: Condvar::new(),
+            cap: cap.max(1),
+            requests_ok: AtomicU64::new(0),
+            requests_failed: AtomicU64::new(0),
+        }
+    }
+
+    /// Blocks until the session's in-flight window has room, then takes
+    /// a slot. Returns `false` if the session failed while waiting.
+    pub(crate) fn acquire(&self) -> bool {
+        let mut n = self.in_flight.lock().unwrap_or_else(|e| e.into_inner());
+        while *n >= self.cap && !self.is_failed() {
+            n = self.drained.wait(n).unwrap_or_else(|e| e.into_inner());
+        }
+        if self.is_failed() {
+            return false;
+        }
+        *n += 1;
+        true
+    }
+
+    /// Releases one in-flight slot.
+    pub(crate) fn release(&self) {
+        let mut n = self.in_flight.lock().unwrap_or_else(|e| e.into_inner());
+        *n = n.saturating_sub(1);
+        drop(n);
+        self.drained.notify_all();
+    }
+
+    /// Poisons the session and wakes any submission blocked on its
+    /// window.
+    pub(crate) fn mark_failed(&self) {
+        self.failed.store(true, Ordering::Release);
+        self.drained.notify_all();
+    }
+
+    pub(crate) fn is_failed(&self) -> bool {
+        self.failed.load(Ordering::Acquire)
+    }
+}
+
+/// Externally visible accounting of one session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionSnapshot {
+    /// Server-assigned session id.
+    pub session_id: u32,
+    /// The opaque tag the client sent in its HELLO.
+    pub client_tag: u64,
+    /// The model the session serves.
+    pub model_id: u64,
+    /// Requests answered.
+    pub requests_ok: u64,
+    /// Requests that failed (wire, decode, or compute).
+    pub requests_failed: u64,
+    /// Whether the session is poisoned.
+    pub failed: bool,
+    /// Payload bytes received on the uplink.
+    pub upload_bytes: u64,
+    /// Payload bytes sent on the downlink.
+    pub download_bytes: u64,
+    /// Faulted frames detected across both links.
+    pub faults_detected: u64,
+    /// Retransmissions requested across both links.
+    pub frames_retried: u64,
+}
+
+impl SessionState {
+    pub(crate) fn snapshot(&self) -> SessionSnapshot {
+        use flash_2pc::Transport;
+        let up = self.uplink.stats();
+        let down = self.downlink.stats();
+        SessionSnapshot {
+            session_id: self.id,
+            client_tag: self.client_tag,
+            model_id: self.model.id(),
+            requests_ok: self.requests_ok.load(Ordering::Relaxed),
+            requests_failed: self.requests_failed.load(Ordering::Relaxed),
+            failed: self.is_failed(),
+            upload_bytes: up.payload_bytes,
+            download_bytes: down.payload_bytes,
+            faults_detected: up.faults_detected + down.faults_detected,
+            frames_retried: up.frames_retried + down.frames_retried,
+        }
+    }
+}

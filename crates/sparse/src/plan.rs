@@ -100,10 +100,10 @@ pub struct SparsePlan {
 }
 
 /// Process-wide root tables, one per ring degree.
-static ROOT_TABLES: Interner<usize, Vec<C64>> = Interner::new();
+static ROOT_TABLES: Interner<usize, Vec<C64>> = Interner::bounded(64);
 
 /// Process-wide compiled-plan cache keyed by the pattern digest.
-static PLAN_CACHE: Interner<(usize, Vec<u64>), SparsePlan> = Interner::new();
+static PLAN_CACHE: Interner<(usize, Vec<u64>), SparsePlan> = Interner::bounded(256);
 
 fn root_table(n: usize) -> Arc<Vec<C64>> {
     ROOT_TABLES.intern_with(n, |&n| {

@@ -114,7 +114,8 @@ pub fn analyze(pattern_bitrev: &SparsityPattern) -> DataflowCounts {
 type PatternKey = (usize, Vec<u64>);
 
 /// Process-wide memo of symbolic analyses, keyed by the pattern digest.
-static ANALYSIS_CACHE: Interner<PatternKey, (DataflowCounts, StageProfile)> = Interner::new();
+static ANALYSIS_CACHE: Interner<PatternKey, (DataflowCounts, StageProfile)> =
+    Interner::bounded(256);
 
 /// Memoized [`analyze_with_profile`]: the symbolic interpretation runs
 /// once per distinct bit-reversed pattern per process, and every later

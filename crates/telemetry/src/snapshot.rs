@@ -10,7 +10,7 @@ use crate::metric::HistogramSnapshot;
 use crate::registry::REGISTRY;
 use flash_runtime::{CacheStats, PoolStats};
 
-/// Hit/miss counters of one plan cache.
+/// Hit/miss/eviction counters of one plan cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheSnapshot {
     /// Stable cache name (e.g. `ntt_tables`).
@@ -19,6 +19,10 @@ pub struct CacheSnapshot {
     pub hits: u64,
     /// Lookups that built a new entry.
     pub misses: u64,
+    /// Entries dropped by the cache's LRU capacity bound.
+    pub evictions: u64,
+    /// Entries currently held.
+    pub entries: u64,
 }
 
 /// Recycling counters of one scratch pool.
@@ -58,6 +62,8 @@ fn cache(name: &'static str, s: CacheStats) -> CacheSnapshot {
         name,
         hits: s.hits,
         misses: s.misses,
+        evictions: s.evictions,
+        entries: s.entries,
     }
 }
 
@@ -189,8 +195,9 @@ impl Snapshot {
             field(
                 &mut out,
                 &format!(
-                    "  \"{}\": {{\"hits\": {}, \"misses\": {}}}{comma}",
-                    c.name, c.hits, c.misses
+                    "  \"{}\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \
+                     \"entries\": {}}}{comma}",
+                    c.name, c.hits, c.misses, c.evictions, c.entries
                 ),
             );
         }

@@ -36,6 +36,14 @@ pub enum ProtocolError {
         /// Retransmissions attempted before giving up.
         attempts: u32,
     },
+    /// A blocking receive on a [`crate::transport::SharedTransport`] gave
+    /// up: no sender queued the expected message within the deadline.
+    RecvTimeout {
+        /// The sequence number the receiver was waiting for.
+        seq: u32,
+        /// Milliseconds waited before giving up.
+        waited_ms: u64,
+    },
 }
 
 impl fmt::Display for ProtocolError {
@@ -49,6 +57,9 @@ impl fmt::Display for ProtocolError {
                     f,
                     "frame seq {seq} undeliverable after {attempts} retransmissions"
                 )
+            }
+            ProtocolError::RecvTimeout { seq, waited_ms } => {
+                write!(f, "no sender queued frame seq {seq} within {waited_ms} ms")
             }
         }
     }

@@ -23,8 +23,11 @@ pub mod transport;
 
 pub use error::{FlashError, ProtocolError};
 pub use matvec::MatVecProtocol;
-pub use protocol::{ConvProtocol, ProtocolStats};
+pub use protocol::{
+    conv_band_noise_bound, conv_band_plan, expected_conv_mod, ConvProtocol, ProtocolStats,
+};
 pub use shares::ShareRing;
 pub use transport::{
-    FaultConfig, FaultOp, FaultPlan, InMemoryTransport, Transport, TransportConfig, TransportStats,
+    FaultConfig, FaultOp, FaultPlan, InMemoryTransport, SharedTransport, Transport,
+    TransportConfig, TransportStats,
 };

@@ -190,53 +190,18 @@ impl ConvProtocol {
     /// total `Σw²` of the band's weights (the input to the approximate
     /// backend's error model).
     fn band_noise_bound(&self, w_polys: &[Vec<Vec<i64>>], b: usize) -> (NoiseBound, f64) {
-        let p = &self.params;
-        let base = NoiseBound::fresh(p).after_plain_add();
-        let mut acc: Option<NoiseBound> = None;
-        let mut w_sq = 0.0;
-        for w_poly in w_polys {
-            let band = &w_poly[b];
-            let l1: f64 = band.iter().map(|&v| (v as f64).abs()).sum();
-            w_sq += band.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>();
-            let nb = base.after_plain_mul(l1);
-            acc = Some(match acc {
-                None => nb,
-                Some(a) => a.after_ct_add(&nb),
-            });
-        }
-        let mut nb = acc.unwrap_or(base).after_plain_add();
-        if let Some((d0, d1)) = self.truncation {
-            let pow = |d: u32| {
-                if d == 0 {
-                    0.0
-                } else {
-                    (2.0f64).powi(d as i32 - 1)
-                }
-            };
-            nb = nb.after_computation_error(pow(d0) + pow(d1) * p.n as f64);
-        }
-        (nb, w_sq)
+        conv_band_noise_bound(&self.params, w_polys, b, self.truncation)
     }
 
     /// Resolves the compiled weight-transform plan for band `b`, or
     /// `None` when the dense path should run: sparse path disabled, NTT
     /// backend (modular spectra, not FFT), or a pattern too dense to win
     /// ([`SparsePlan::worthwhile`]).
-    ///
-    /// The pattern comes from [`ConvEncoder::weight_indices`] — purely
-    /// structural, shared by every output channel and kernel placement of
-    /// the layer — folded into the `n/2`-slot negacyclic FFT domain, so
-    /// all `(oc, group)` jobs of a band share one interned tape.
     fn band_plan(&self, b: usize) -> Option<Arc<SparsePlan>> {
         if !self.sparse_weights || matches!(self.backend, PolyMulBackend::Ntt) {
             return None;
         }
-        let half = self.params.n / 2;
-        let mut mask = vec![false; half];
-        for idx in self.encoder.weight_indices(b) {
-            mask[idx % half] = true;
-        }
-        let plan = SparsePlan::shared(&SparsityPattern::from_mask(mask));
+        let plan = conv_band_plan(&self.encoder, self.params.n, b);
         plan.worthwhile().then_some(plan)
     }
 
@@ -590,6 +555,66 @@ impl ConvProtocol {
             }
         }
     }
+}
+
+/// The worst-case decryption-noise bound of one `(oc, band)` response on
+/// the exact pipeline — fresh encryption, server share fold, one weight
+/// multiply per channel group accumulated into the response, the output
+/// mask, and the agreed truncation — plus the total `Σw²` of the band's
+/// weights (the input to [`flash_he::backend::ApproxErrorModel`]).
+///
+/// `w_polys` is one output channel's encoding
+/// ([`ConvEncoder::encode_weight`]): `w_polys[group][band]` is a length-`N`
+/// polynomial. Shared by [`ConvProtocol`] (per run) and the serving layer
+/// (once per registered model — the bound depends only on the weights, so
+/// a server can hoist it out of the per-request path).
+pub fn conv_band_noise_bound(
+    params: &HeParams,
+    w_polys: &[Vec<Vec<i64>>],
+    b: usize,
+    truncation: Option<(u32, u32)>,
+) -> (NoiseBound, f64) {
+    let base = NoiseBound::fresh(params).after_plain_add();
+    let mut acc: Option<NoiseBound> = None;
+    let mut w_sq = 0.0;
+    for w_poly in w_polys {
+        let band = &w_poly[b];
+        let l1: f64 = band.iter().map(|&v| (v as f64).abs()).sum();
+        w_sq += band.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>();
+        let nb = base.after_plain_mul(l1);
+        acc = Some(match acc {
+            None => nb,
+            Some(a) => a.after_ct_add(&nb),
+        });
+    }
+    let mut nb = acc.unwrap_or(base).after_plain_add();
+    if let Some((d0, d1)) = truncation {
+        let pow = |d: u32| {
+            if d == 0 {
+                0.0
+            } else {
+                (2.0f64).powi(d as i32 - 1)
+            }
+        };
+        nb = nb.after_computation_error(pow(d0) + pow(d1) * params.n as f64);
+    }
+    (nb, w_sq)
+}
+
+/// The interned sparse weight-transform plan of band `b`.
+///
+/// The pattern comes from [`ConvEncoder::weight_indices`] — purely
+/// structural, shared by every output channel and kernel placement of the
+/// layer — folded into the `n/2`-slot negacyclic FFT domain, so all
+/// `(oc, group)` jobs of a band share one interned tape. Callers decide
+/// between the tape and the dense path via [`SparsePlan::worthwhile`].
+pub fn conv_band_plan(encoder: &ConvEncoder, n: usize, b: usize) -> Arc<SparsePlan> {
+    let half = n / 2;
+    let mut mask = vec![false; half];
+    for idx in encoder.weight_indices(b) {
+        mask[idx % half] = true;
+    }
+    SparsePlan::shared(&SparsityPattern::from_mask(mask))
 }
 
 /// Signed reference convolution reduced into `Z_{2^l}` (what the protocol

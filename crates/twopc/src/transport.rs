@@ -32,6 +32,8 @@ use crate::error::ProtocolError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Frame header size: `seq (4) + len (4) + hash (8)`.
 pub const FRAME_HEADER_BYTES: usize = 16;
@@ -349,6 +351,12 @@ impl InMemoryTransport {
         self.wire.push_back(frame);
     }
 
+    /// Whether a message the receiver has not yet consumed has been
+    /// queued (delivered, in flight, or recoverable from the outbox).
+    pub fn has_pending(&self) -> bool {
+        (self.next_recv as usize) < self.outbox.len()
+    }
+
     /// Frames (or re-frames) `outbox[seq]` and puts it on the wire,
     /// applying the injector's next fault op.
     fn transmit(&mut self, seq: u32) {
@@ -452,6 +460,104 @@ impl Transport for InMemoryTransport {
         self.stats
     }
 }
+
+/// Thread-safe handle over an [`InMemoryTransport`] so one direction of a
+/// session can be driven from different worker threads.
+///
+/// Cloned handles share the same link state (`Arc<Mutex>`): any clone may
+/// send, any clone may receive, and the full framing/recovery/fault
+/// machinery of the single-threaded transport applies unchanged. Unlike
+/// [`InMemoryTransport::recv`] — which errors immediately when nothing
+/// was sent — `recv` here *blocks* on a condition variable until a sender
+/// queues the expected message or `recv_timeout` elapses, failing typed
+/// with [`ProtocolError::RecvTimeout`] so a stalled peer can never hang a
+/// worker forever.
+///
+/// The single-threaded `InMemoryTransport` remains the fast path for
+/// in-process protocol runs (no lock, no wakeups); this wrapper exists
+/// for the serving layer, where sessions live on worker threads.
+#[derive(Debug, Clone)]
+pub struct SharedTransport {
+    link: Arc<SharedLink>,
+    recv_timeout: Duration,
+}
+
+#[derive(Debug)]
+struct SharedLink {
+    inner: Mutex<InMemoryTransport>,
+    sent: Condvar,
+}
+
+impl SharedTransport {
+    /// Builds the link with the default 10 s receive deadline.
+    pub fn new(cfg: TransportConfig) -> Self {
+        Self::with_timeout(cfg, Duration::from_secs(10))
+    }
+
+    /// Builds the link with an explicit blocking-receive deadline.
+    pub fn with_timeout(cfg: TransportConfig, recv_timeout: Duration) -> Self {
+        SharedTransport {
+            link: Arc::new(SharedLink {
+                inner: Mutex::new(InMemoryTransport::new(cfg)),
+                sent: Condvar::new(),
+            }),
+            recv_timeout,
+        }
+    }
+
+    /// A clean verifying link.
+    pub fn clean() -> Self {
+        Self::new(TransportConfig::default())
+    }
+}
+
+impl Transport for SharedTransport {
+    fn send(&mut self, payload: &[u8]) -> Result<(), ProtocolError> {
+        let mut t = self.link.inner.lock().unwrap_or_else(|e| e.into_inner());
+        t.send(payload)?;
+        self.link.sent.notify_all();
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, ProtocolError> {
+        let mut t = self.link.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let deadline = Instant::now() + self.recv_timeout;
+        while !t.has_pending() {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(ProtocolError::RecvTimeout {
+                    seq: t.next_recv,
+                    waited_ms: self.recv_timeout.as_millis() as u64,
+                });
+            }
+            t = self
+                .link
+                .sent
+                .wait_timeout(t, deadline - now)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+        t.recv()
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.link
+            .inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .stats()
+    }
+}
+
+// Compile-time guarantee that endpoints can move to worker threads: the
+// serving layer parks sessions on a pool, so `Send` (and `Sync` for the
+// shared handle) is part of the transport contract, not an accident.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send::<InMemoryTransport>();
+    assert_send_sync::<SharedTransport>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -573,6 +679,48 @@ mod tests {
             }
         }
         assert_eq!(decode_frame(&frame, true).unwrap(), (5, &payload[..]));
+    }
+
+    #[test]
+    fn shared_transport_crosses_threads_and_recovers() {
+        let cfg = TransportConfig::faulty(FaultPlan::Random(FaultConfig::moderate(7)));
+        let mut tx = SharedTransport::with_timeout(cfg, Duration::from_secs(5));
+        let mut rx = tx.clone();
+        let sent = payloads();
+        let expect = sent.clone();
+        let sender = std::thread::spawn(move || {
+            for p in &sent {
+                tx.send(p).unwrap();
+            }
+        });
+        let got: Vec<Vec<u8>> = (0..expect.len()).map(|_| rx.recv().unwrap()).collect();
+        sender.join().unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn shared_transport_recv_blocks_until_send() {
+        let mut tx =
+            SharedTransport::with_timeout(TransportConfig::default(), Duration::from_secs(5));
+        let mut rx = tx.clone();
+        let receiver = std::thread::spawn(move || rx.recv().unwrap());
+        // The receiver parks on the condvar; a late send must wake it.
+        std::thread::sleep(Duration::from_millis(20));
+        tx.send(b"late").unwrap();
+        assert_eq!(receiver.join().unwrap(), b"late");
+    }
+
+    #[test]
+    fn shared_transport_times_out_typed() {
+        let mut rx =
+            SharedTransport::with_timeout(TransportConfig::default(), Duration::from_millis(30));
+        assert_eq!(
+            rx.recv(),
+            Err(ProtocolError::RecvTimeout {
+                seq: 0,
+                waited_ms: 30
+            })
+        );
     }
 
     #[test]

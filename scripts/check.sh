@@ -22,6 +22,21 @@ if [[ "${1:-}" == "--faults" ]]; then
     exit 0
 fi
 
+# `--serve` runs only the serving-layer suite: the flash-serve unit and
+# integration tests (session lifecycle, batching determinism across
+# worker counts, chaos isolation) plus one quick 64-client wave of the
+# serving benchmark as an end-to-end smoke. The wave asserts batch
+# occupancy and spot-checks a reconstruction against the cleartext
+# convolution; the speedup is reported but only gated in the full
+# `bench_serve` run.
+if [[ "${1:-}" == "--serve" ]]; then
+    echo "==> serving-layer suite"
+    cargo test -q -p flash-serve
+    cargo run -q --release -p flash-bench --bin bench_serve -- --quick --chaos
+    echo "==> serving-layer suite passed"
+    exit 0
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -69,5 +84,8 @@ cargo run --release -p flash-bench --bin bench_perf -- --check-regression
 
 echo "==> bench_perf --quick (hot-path + sparse smoke, telemetry on)"
 cargo run --release -p flash-bench --features telemetry --bin bench_perf -- --quick
+
+echo "==> bench_serve --quick (64-client serving smoke)"
+cargo run -q --release -p flash-bench --bin bench_serve -- --quick
 
 echo "==> all checks passed"
