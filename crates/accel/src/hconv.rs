@@ -187,6 +187,7 @@ fn merge_stats(a: ProtocolStats, b: ProtocolStats) -> ProtocolStats {
         faults_detected: a.faults_detected + b.faults_detected,
         frames_retried: a.frames_retried + b.frames_retried,
         ntt_fallbacks: a.ntt_fallbacks + b.ntt_fallbacks,
+        pow2_fallbacks: a.pow2_fallbacks + b.pow2_fallbacks,
     }
 }
 

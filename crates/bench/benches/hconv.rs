@@ -26,9 +26,14 @@ fn bench_backends(c: &mut Criterion) {
         ("approx_fxp", approx),
     ] {
         group.bench_function(name, |b| {
-            b.iter(|| black_box(backend.mul_ct_pt(black_box(&a), black_box(&w), p.ntt(), p.fft())))
+            b.iter(|| black_box(backend.mul_ct_pt(black_box(&a), black_box(&w), &p)))
         });
     }
+    let p2 = HeParams::pow2_test_256();
+    let a2 = Poly::uniform(p2.n, p2.q, &mut rng);
+    group.bench_function("pow2_wrap", |b| {
+        b.iter(|| black_box(PolyMulBackend::Pow2.mul_ct_pt(black_box(&a2), black_box(&w), &p2)))
+    });
     group.finish();
 }
 

@@ -22,11 +22,12 @@
 //! scalar fallback for the whole run (the external A/B switch).
 //!
 //! `--check-regression` measures nothing new: it re-times the hot-path,
-//! sparse-path, and SIMD-dispatch HConv medians plus the serving
-//! layer's batched cost per request (the `bench_serve` wave, same
-//! fixture) and fails (exit 1) if any is more than 15 % slower than
-//! the committed `BENCH_hotpath.json` / `BENCH_sparse.json` /
-//! `BENCH_simd.json` / `BENCH_serve.json` baselines. The artifacts
+//! sparse-path, and SIMD-dispatch HConv medians, the power-of-two MAC
+//! kernel, and the serving layer's batched cost per request (the
+//! `bench_serve` wave, same fixture) and fails (exit 1) if any is more
+//! than 15 % slower than the committed `BENCH_hotpath.json` /
+//! `BENCH_sparse.json` / `BENCH_simd.json` / `BENCH_backends.json` /
+//! `BENCH_serve.json` baselines. The artifacts
 //! carry a `calib_ms`
 //! field — the median of a fixed pure-ALU calibration loop measured in
 //! the same invocation — and the gate divides each ratio by the current
@@ -40,7 +41,19 @@
 //! counters, and the plan-cache/scratch-pool statistics. `--stages`
 //! runs the warm single-thread HConv layer alone and prints the
 //! per-stage latency table.
+//!
+//! `--backends` runs the ciphertext-backend A/B suite instead of the
+//! thread-scaling benches and writes `BENCH_backends.json`: the
+//! MAC-kernel comparison (Harvey-lazy Shoup MAC + Barrett drain on the
+//! prime modulus vs the wrapping MAC + mask drain on `q = 2^62`, same
+//! degree and drain cadence — gated at ≥ 1.3× for the wrapping side)
+//! and the protocol-level matrix timing exact-NTT vs approx-FFT vs
+//! Pow2 end-to-end with the composed noise headroom and the guard's
+//! fallback counts per cell. `--backends --quick` runs the kernel plus
+//! the small matrix layer only, skips the speedup gate, and leaves the
+//! committed artifact untouched (the CI smoke).
 
+use flash_2pc::{conv_band_noise_bound, expected_conv_mod, ConvProtocol};
 use flash_accel::config::FlashConfig;
 use flash_accel::hconv::FlashHconv;
 use flash_accel::inference::run_network;
@@ -52,12 +65,15 @@ use flash_bench::serving;
 use flash_dse::bayesopt::random_search;
 use flash_dse::{DesignSpace, Objective};
 use flash_he::encoding::{ConvEncoder, ConvShape};
-use flash_he::{HeParams, SecretKey};
+use flash_he::{HeParams, PolyMulBackend, SecretKey};
 use flash_hw::arch::FlashArch;
+use flash_math::modular::Barrett;
+use flash_math::pow2;
 use flash_math::C64;
 use flash_nn::layers::ConvLayerSpec;
 use flash_nn::quant::Quantizer;
 use flash_nn::resnet18_conv_layers;
+use flash_ntt::transform::pointwise_mul_acc_shoup_lazy;
 use flash_runtime::simd::{self, SimdLevel};
 use flash_serve::BatchPolicy;
 use flash_sparse::schedule::PeModel;
@@ -317,6 +333,12 @@ fn check_regression() -> i32 {
         "BENCH_simd.json",
         "hconv_simd_median_ms",
         &mut || simd_fixture.median(&simd_engine, 5),
+    );
+    check(
+        "pow2_mac_kernel",
+        "BENCH_backends.json",
+        "pow2_mac_ms",
+        &mut || pow2_mac_ms(),
     );
     // The serving gate re-runs the exact wave shape the committed
     // `BENCH_serve.json` was produced from (same fixture module, same
@@ -761,11 +783,338 @@ fn stage_report() {
         "twopc.faults_detected",
         "twopc.frames_retried",
         "hconv.ntt_fallbacks",
+        "hconv.pow2_fallbacks",
     ] {
         let v = counter(name);
         println!("fault {name:22} {v:>9}");
         assert_eq!(v, 0, "{name} must stay zero on a clean bench run");
     }
+}
+
+/// MAC-kernel A/B fixture shared by `--backends` and the regression
+/// gate: `MAC_CALLS_PER_DRAIN` full-width lazy multiply-accumulates into
+/// one `MAC_N`-coefficient accumulator, then one drain — the per-
+/// `(oc, band)` cadence of the protocol's pointwise stage (one MAC per
+/// channel group, one reduction per response). Both sides run the exact
+/// loop shape; only the reduction strategy differs.
+const MAC_N: usize = 4096;
+const MAC_CALLS_PER_DRAIN: usize = 8;
+const MAC_ITERS: usize = 50;
+
+fn mac_operands(q: u64) -> (Vec<u64>, Vec<u64>) {
+    let mut rng = StdRng::seed_from_u64(29);
+    let a: Vec<u64> = (0..MAC_N).map(|_| rng.gen_range(0..q)).collect();
+    let w: Vec<u64> = (0..MAC_N).map(|_| rng.gen_range(0..q)).collect();
+    (a, w)
+}
+
+/// Median of one prime-modulus MAC batch: the Harvey-lazy split-stream
+/// Shoup kernel (no per-element reduction) with a Barrett drain per
+/// accumulation group — the fastest MAC form the prime ring has.
+fn prime_mac_ms() -> f64 {
+    let p = HeParams::flash_default();
+    let q = p.q;
+    let (a, w) = mac_operands(q);
+    let w_shoup: Vec<u64> = w
+        .iter()
+        .map(|&x| (((x as u128) << 64) / q as u128) as u64)
+        .collect();
+    let barrett = Barrett::new(q);
+    let mut acc = vec![0u64; MAC_N];
+    let mut batch = || {
+        for _ in 0..MAC_ITERS {
+            for _ in 0..MAC_CALLS_PER_DRAIN {
+                pointwise_mul_acc_shoup_lazy(&mut acc, &a, &w, &w_shoup, p.ntt());
+            }
+            barrett.reduce_slice(&mut acc);
+        }
+    };
+    batch(); // warm
+    median_ms(7, batch)
+}
+
+/// Median of one power-of-two MAC batch: plain wrapping multiply-add
+/// (`flash_math::pow2::mac_wrapping`, zero reduction work) with a
+/// one-AND-per-element mask drain, at `q = 2^62`.
+fn pow2_mac_ms() -> f64 {
+    let q = 1u64 << 62;
+    let (a, w) = mac_operands(q);
+    let mut acc = vec![0u64; MAC_N];
+    let mut batch = || {
+        for _ in 0..MAC_ITERS {
+            for _ in 0..MAC_CALLS_PER_DRAIN {
+                pow2::mac_wrapping(&mut acc, &a, &w);
+            }
+            pow2::reduce_slice(&mut acc, q);
+        }
+    };
+    batch(); // warm
+    median_ms(7, batch)
+}
+
+/// One cell of the backend matrix.
+struct BackendRow {
+    backend: &'static str,
+    layer: &'static str,
+    n: usize,
+    modulus_bits: u32,
+    median_ms: f64,
+    worst_bound_bits: f64,
+    ceiling_bits: f64,
+    headroom_bits: f64,
+    fallbacks: usize,
+}
+
+/// Runs one layer end-to-end under `backend`: verifies the decrypted
+/// reconstruction against the signed cleartext convolution (the
+/// acceptance condition — the recorded per-band bound keeps transform
+/// error below the decrypt rounding threshold), replays the runtime
+/// guard's worst-case composed noise bound over every `(oc, band)` job,
+/// and times the full protocol.
+fn backend_matrix_row(
+    backend_name: &'static str,
+    layer: &'static str,
+    params: HeParams,
+    backend: PolyMulBackend,
+    shape: ConvShape,
+    reps: usize,
+) -> BackendRow {
+    let mut rng = StdRng::seed_from_u64(17);
+    let sk = SecretKey::generate(&params, &mut rng);
+    let x: Vec<i64> = (0..shape.input_len())
+        .map(|_| rng.gen_range(-8..8))
+        .collect();
+    let w: Vec<i64> = (0..shape.m * shape.kernel_len())
+        .map(|_| rng.gen_range(-8..8))
+        .collect();
+    let proto = ConvProtocol::new(params.clone(), shape, backend.clone());
+
+    let (shares, stats) = proto.run(&sk, &x, &w, &mut rng).expect("matrix run failed");
+    let got = proto.reconstruct(&shares);
+    let want = expected_conv_mod(&x, &w, &shape, proto.ring());
+    assert_eq!(
+        got, want,
+        "{backend_name}/{layer}: decrypted output diverged from the exact reference"
+    );
+
+    // Worst-case composed bound over every (oc, band) job — exactly the
+    // expression the runtime noise guard evaluates (exact-pipeline bound
+    // plus the backend's analytical transform error).
+    let enc = proto.encoder();
+    let bands = enc.bands();
+    let mut worst = 0.0f64;
+    for oc in 0..shape.m {
+        let w_polys = enc.encode_weight(&w[oc * shape.kernel_len()..][..shape.kernel_len()], oc);
+        for b in 0..bands {
+            let (nb, w_sq) = conv_band_noise_bound(&params, &w_polys, b, None);
+            let err = backend
+                .error_model(&params)
+                .map_or(0.0, |m| m.phase_error_bound(&params, w_sq, w_polys.len()));
+            worst = worst.max(nb.bound() + err);
+        }
+    }
+    let ceiling = params.noise_ceiling() as f64;
+
+    let mut lrng = StdRng::seed_from_u64(23);
+    let median = median_ms(reps, || {
+        proto
+            .run(&sk, &x, &w, &mut lrng)
+            .expect("matrix run failed");
+    });
+    BackendRow {
+        backend: backend_name,
+        layer,
+        n: params.n,
+        modulus_bits: (params.q as f64).log2().ceil() as u32,
+        median_ms: median,
+        worst_bound_bits: worst.log2(),
+        ceiling_bits: ceiling.log2(),
+        headroom_bits: (ceiling / worst).log2(),
+        fallbacks: stats.ntt_fallbacks + stats.pow2_fallbacks,
+    }
+}
+
+/// `--backends`: the ciphertext-backend A/B suite. Kernel-level MAC
+/// comparison (gated at ≥ 1.3× for the wrapping side unless `quick`)
+/// plus the end-to-end backend matrix; writes `BENCH_backends.json`
+/// unless `quick`.
+fn backends_bench(quick: bool) {
+    banner("Backend A/B: prime Harvey-lazy MAC vs power-of-two wrapping MAC");
+    flash_runtime::set_threads(1);
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let rev = git_revision();
+
+    // --- Kernel A/B, calibration-paired (the regression gate divides a
+    // fresh calibration by `calib_ms`). Per-value minimum over spaced
+    // attempts: contention only ever adds time.
+    let (mut calib, mut prime_ms, mut pw2_ms) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for _ in 0..3 {
+        calib = calib.min(calibration_ms());
+        prime_ms = prime_ms.min(prime_mac_ms());
+        pw2_ms = pw2_ms.min(pow2_mac_ms());
+    }
+    let kernel_speedup = prime_ms / pw2_ms;
+    let macs = MAC_ITERS * MAC_CALLS_PER_DRAIN * MAC_N;
+    println!(
+        "{:34} n={MAC_N}  {macs} MACs/batch  shoup-lazy+barrett {prime_ms:8.3} ms  wrap+mask {pw2_ms:8.3} ms  speedup {kernel_speedup:5.2}x",
+        "pointwise_mac_kernel"
+    );
+    if quick {
+        println!("note: --quick smoke; kernel speedup is reported, not gated");
+    } else {
+        assert!(
+            kernel_speedup >= 1.3,
+            "pow2 MAC kernel speedup {kernel_speedup:.2}x fell below the 1.3x acceptance floor"
+        );
+    }
+
+    // --- Protocol matrix: exact-NTT vs approx-FFT vs Pow2, end to end.
+    // The approximate backend runs the generous 50-bit/k=30 datapath: on
+    // the small layer the guard keeps every band hot, while the
+    // 64-channel layer's Σw² pushes its composed bound past the 36-bit
+    // prime ceiling and the guard reroutes every band — exactly the
+    // regime where the power-of-two ring's 2^62 ceiling keeps the
+    // approximate path hot. The matrix records both, fallbacks included.
+    flash_telemetry::reset();
+    let small = ConvShape {
+        c: 4,
+        h: 8,
+        w: 8,
+        m: 4,
+        k: 3,
+    };
+    // ResNet-18 conv2_x-shaped: 64 channels over 16×16 maps, 3×3.
+    let conv2x = ConvShape {
+        c: 64,
+        h: 16,
+        w: 16,
+        m: 8,
+        k: 3,
+    };
+    let mut rows = Vec::new();
+    let mut layer_rows = |layer: &'static str, shape: ConvShape, n: usize, reps: usize| {
+        let prime = HeParams::new(n, 36, 1 << 13, 3.2);
+        let pw2 = HeParams::new_pow2(n, 62, 1 << 13, 3.2);
+        let approx = PolyMulBackend::approx(FlashConfig::numerics_for(n, 50, 30));
+        rows.push(backend_matrix_row(
+            "exact-ntt",
+            layer,
+            prime.clone(),
+            PolyMulBackend::Ntt,
+            shape,
+            reps,
+        ));
+        rows.push(backend_matrix_row(
+            "approx-fft",
+            layer,
+            prime,
+            approx,
+            shape,
+            reps,
+        ));
+        rows.push(backend_matrix_row(
+            "pow2-wrap",
+            layer,
+            pw2,
+            PolyMulBackend::Pow2,
+            shape,
+            reps,
+        ));
+    };
+    layer_rows("small-3x3", small, 256, 5);
+    if !quick {
+        layer_rows("conv2x-64ch", conv2x, 1024, 3);
+    }
+    for r in &rows {
+        println!(
+            "{:14} {:12} n={:5} q~2^{:2}  median {:9.3} ms  bound 2^{:5.1} / ceiling 2^{:4.1} (headroom {:5.1} bits)  fallbacks {}",
+            r.backend,
+            r.layer,
+            r.n,
+            r.modulus_bits,
+            r.median_ms,
+            r.worst_bound_bits,
+            r.ceiling_bits,
+            r.headroom_bits,
+            r.fallbacks
+        );
+    }
+    // The pow2 rows must have run hot: at q = 2^62 the composed bound
+    // sits dozens of bits under the ceiling, so a single guard reroute
+    // here means the bound composition regressed.
+    for r in rows.iter().filter(|r| r.backend == "pow2-wrap") {
+        assert_eq!(
+            r.fallbacks, 0,
+            "pow2 {} tripped the noise guard on a layer with 2^{:.1} bits of headroom",
+            r.layer, r.headroom_bits
+        );
+    }
+    for layer in ["small-3x3", "conv2x-64ch"] {
+        let of = |backend: &str| {
+            rows.iter()
+                .find(|r| r.backend == backend && r.layer == layer)
+                .map(|r| r.median_ms)
+        };
+        if let (Some(ntt), Some(fft), Some(p2)) =
+            (of("exact-ntt"), of("approx-fft"), of("pow2-wrap"))
+        {
+            println!(
+                "{:34} {layer:12} pow2 {:5.2}x vs exact-ntt, {:5.2}x vs approx-fft",
+                "backend_matrix_speedup",
+                ntt / p2,
+                fft / p2
+            );
+        }
+    }
+    flash_runtime::set_threads(0);
+
+    if quick {
+        println!("note: --quick leaves the committed BENCH_backends.json untouched");
+        return;
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"backend_matrix\",\n");
+    json.push_str(&format!("  \"host_parallelism\": {host},\n"));
+    json.push_str(&format!("  \"git_revision\": \"{rev}\",\n"));
+    json.push_str(&simd_json());
+    json.push_str(&format!("  \"calib_ms\": {calib:.4},\n"));
+    json.push_str("  \"kernel\": {\n");
+    json.push_str("    \"name\": \"pointwise_mac_drain\",\n");
+    json.push_str(&format!("    \"n\": {MAC_N},\n"));
+    json.push_str(&format!(
+        "    \"calls_per_drain\": {MAC_CALLS_PER_DRAIN},\n"
+    ));
+    json.push_str(&format!("    \"prime_lazy_shoup_ms\": {prime_ms:.4},\n"));
+    json.push_str(&format!("    \"pow2_mac_ms\": {pw2_ms:.4},\n"));
+    json.push_str(&format!("    \"speedup\": {kernel_speedup:.3}\n"));
+    json.push_str("  },\n");
+    json.push_str("  \"matrix\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"layer\": \"{}\", \"n\": {}, \"modulus_bits\": {}, \"median_ms\": {:.4}, \"worst_bound_bits\": {:.2}, \"noise_ceiling_bits\": {:.2}, \"headroom_bits\": {:.2}, \"fallbacks\": {}, \"output_exact\": true}}{}\n",
+            r.backend,
+            r.layer,
+            r.n,
+            r.modulus_bits,
+            r.median_ms,
+            r.worst_bound_bits,
+            r.ceiling_bits,
+            r.headroom_bits,
+            r.fallbacks,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"telemetry\": {}\n",
+        flash_telemetry::snapshot().to_json(2)
+    ));
+    json.push_str("}\n");
+    std::fs::write("BENCH_backends.json", &json).expect("write BENCH_backends.json");
+    println!("wrote BENCH_backends.json");
 }
 
 fn main() {
@@ -784,6 +1133,10 @@ fn main() {
     }
     if std::env::args().any(|a| a == "--stages") {
         stage_report();
+        return;
+    }
+    if std::env::args().any(|a| a == "--backends") {
+        backends_bench(quick);
         return;
     }
     banner("Runtime benchmark: parallel hot paths + plan cache");

@@ -14,6 +14,12 @@
 //! across sessions. On a single-core host that is the whole win —
 //! there is no thread parallelism to hide behind.
 //!
+//! The headline comparison runs at one worker — batching vs serial with
+//! no thread parallelism to hide behind. A separate worker sweep then
+//! re-runs the batched wave at 2 and `host_parallelism` workers (counts
+//! above the host's are skipped — they only measure scheduler noise) so
+//! the artifact separates the batching win from worker scaling.
+//!
 //! Flags: `--quick` shrinks the fleet to 64 clients and skips the
 //! artifact write (the CI smoke); `--chaos` adds a wave with moderate
 //! per-session fault plans on odd tags and checks isolation;
@@ -160,6 +166,48 @@ fn main() {
         return;
     }
 
+    // --- Worker sweep (batched mode only): the headline keys above stay
+    // at one worker; these rows isolate what extra workers add on this
+    // host. Every wave is content-deterministic, so the sweep reuses the
+    // headline wave for the workers=1 row.
+    let mut sweep: Vec<(usize, Wave)> = vec![(1, batched.clone())];
+    let mut skipped: Vec<usize> = Vec::new();
+    let mut counts = vec![2usize, host];
+    counts.sort_unstable();
+    counts.dedup();
+    for wk in counts {
+        if wk <= 1 {
+            continue;
+        }
+        if wk > host {
+            // Worker counts above the host's parallelism only measure
+            // scheduler noise (threads time-slice one core).
+            skipped.push(wk);
+            continue;
+        }
+        let w = serving::run_wave(BatchPolicy::batched(), wk, clients, REQS_PER_CLIENT, false);
+        assert_eq!(
+            w.answered, w.dispatched,
+            "clean batched wave answers everything at {wk} workers"
+        );
+        sweep.push((wk, w));
+    }
+    if !skipped.is_empty() {
+        println!(
+            "skipped worker counts {skipped:?}: host_parallelism={host} cannot run them in parallel"
+        );
+    }
+    let base_elapsed = sweep[0].1.elapsed_s;
+    for (wk, w) in sweep.iter().skip(1) {
+        println!(
+            "{:26} workers={wk:2}  {:8.1} req/s  {:7.2} ms/req  {:5.2}x vs 1 worker",
+            "serve_batched_workers",
+            w.throughput_rps(),
+            w.ms_per_req(),
+            base_elapsed / w.elapsed_s
+        );
+    }
+
     let mut json = String::from("{\n");
     json.push_str("  \"bench\": \"serve_multi_session\",\n");
     json.push_str(&format!("  \"host_parallelism\": {host},\n"));
@@ -195,6 +243,25 @@ fn main() {
         ));
     }
     json.push_str(&format!("  \"speedup\": {speedup:.3},\n"));
+    json.push_str("  \"worker_sweep\": [\n");
+    for (i, (wk, w)) in sweep.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workers\": {wk}, \"elapsed_ms\": {:.3}, \"ms_per_req\": {:.4}, \"throughput_rps\": {:.1}, \"speedup_vs_1_worker\": {:.3}}}{}\n",
+            w.elapsed_s * 1e3,
+            w.ms_per_req(),
+            w.throughput_rps(),
+            base_elapsed / w.elapsed_s,
+            if i + 1 < sweep.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    if !skipped.is_empty() {
+        let list: Vec<String> = skipped.iter().map(|w| w.to_string()).collect();
+        json.push_str(&format!(
+            "  \"skipped_oversubscribed_workers\": [{}],\n",
+            list.join(", ")
+        ));
+    }
     json.push_str(&format!(
         "  \"telemetry\": {}\n",
         flash_telemetry::snapshot().to_json(2)

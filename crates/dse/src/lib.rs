@@ -14,13 +14,17 @@
 //! * [`objective`] — (power, error-variance) evaluation.
 //! * [`bayesopt`] — a from-scratch GP/EI optimizer.
 //! * [`pareto`] — non-dominated filtering and hypervolume.
+//! * [`backend_axis`] — the orthogonal ciphertext-arithmetic lane choice
+//!   (modular prime vs power-of-two wrapping MAC).
 
+pub mod backend_axis;
 pub mod bayesopt;
 pub mod nsga2;
 pub mod objective;
 pub mod pareto;
 pub mod space;
 
+pub use backend_axis::{backend_axis, BackendPoint};
 pub use objective::{Evaluation, Objective};
 pub use pareto::pareto_front;
 pub use space::{DesignPoint, DesignSpace};

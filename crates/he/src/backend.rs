@@ -10,8 +10,18 @@
 //! * [`PolyMulBackend::ApproxFft`] — FLASH's approximate fixed-point
 //!   *weight* transform; the ciphertext-side transform, point-wise product
 //!   and inverse stay in floating point, as in the FLASH architecture.
+//! * [`PolyMulBackend::Pow2`] — Jaguar's axis: the ciphertext modulus is
+//!   a power of two, so coefficient-domain reduction is free (wrapping
+//!   arithmetic plus one mask, zero Barrett/Shoup/Montgomery work).
+//!   Products lift through the same `f64` transform machinery as the FFT
+//!   backends — SIMD batching and sparse tapes compose unchanged — and
+//!   the result wraps into `Z_{2^l}` by truncation. At `q = 2^62` the
+//!   lifted magnitudes exceed the 53-bit mantissa, so this backend is
+//!   *approximate* and carries an [`ApproxErrorModel`] for the runtime
+//!   noise guard; its exact fallback is the wrapping schoolbook over the
+//!   band's sparse taps (bit-exact, still reduction-free).
 //!
-//! For the approximate backend the *plaintext* operand must be small and
+//! For the approximate backends the *plaintext* operand must be small and
 //! signed (quantized weights); the ciphertext operand is center-lifted.
 
 use crate::cipher::Ciphertext;
@@ -40,6 +50,9 @@ pub enum PolyMulBackend {
     FftF64,
     /// Approximate fixed-point FFT for the plaintext (weight) transform.
     ApproxFft(Arc<FixedNegacyclicFft>),
+    /// Power-of-two ciphertext modulus: free wrapping reduction on the
+    /// coefficient path, `f64` FFT lift on the transform path.
+    Pow2,
 }
 
 /// Analytic error model of an approximate weight-transform backend,
@@ -87,10 +100,20 @@ impl PolyMulBackend {
         PolyMulBackend::ApproxFft(FixedNegacyclicFft::shared(&cfg))
     }
 
-    /// The analytic error model of this backend's weight transform, or
-    /// `None` for the backends that are exact in the protocol's operating
-    /// regime (`Ntt` by construction, `FftF64` at FLASH parameters).
-    pub fn error_model(&self) -> Option<ApproxErrorModel> {
+    /// The analytic error model of this backend, or `None` for the
+    /// backends that are exact in the protocol's operating regime (`Ntt`
+    /// by construction, `FftF64` at FLASH parameters).
+    ///
+    /// `Pow2` is approximate for a different reason than `ApproxFft`:
+    /// the weight transform itself is full-precision `f64`, but the
+    /// center-lifted ciphertext coefficients reach `q/2 ≈ 2^61`, beyond
+    /// the 53-bit mantissa, so the transform-lifted product carries
+    /// `O(ε·N·log₂N)` relative rounding error. The model prices that as
+    /// a spectrum error power affine in the weight variance with
+    /// `p0 = 0` (no weight-independent quantization floor — zero
+    /// weights are exact) and `slope = (4·ε·N·log₂N)²`, the standard
+    /// FFT forward/inverse error-growth bound with a safety factor 4.
+    pub fn error_model(&self, params: &HeParams) -> Option<ApproxErrorModel> {
         match self {
             PolyMulBackend::Ntt | PolyMulBackend::FftF64 => None,
             PolyMulBackend::ApproxFft(fixed) => {
@@ -101,6 +124,15 @@ impl PolyMulBackend {
                     n: fixed.config().degree() as f64,
                 })
             }
+            PolyMulBackend::Pow2 => {
+                let n = params.n as f64;
+                let per = 4.0 * f64::EPSILON * n * n.log2();
+                Some(ApproxErrorModel {
+                    p0: 0.0,
+                    slope: per * per,
+                    n,
+                })
+            }
         }
     }
 
@@ -109,24 +141,27 @@ impl PolyMulBackend {
     ///
     /// # Panics
     ///
-    /// Panics if the lengths differ or (for `Ntt`) the tables do not match
-    /// `a`'s modulus.
-    pub fn mul_ct_pt(
-        &self,
-        a: &Poly,
-        w_signed: &[i64],
-        ntt: &NttTables,
-        fft: &flash_fft::NegacyclicFft,
-    ) -> Poly {
+    /// Panics if the lengths differ, the modulus disagrees with `params`,
+    /// or the backend and the parameter set's ring family mismatch
+    /// (`Ntt` on a power-of-two ring, `Pow2` on a prime ring).
+    pub fn mul_ct_pt(&self, a: &Poly, w_signed: &[i64], params: &HeParams) -> Poly {
         let q = a.modulus();
+        assert_eq!(q, params.q, "operand modulus must match params");
         assert_eq!(a.len(), w_signed.len(), "operand lengths must match");
+        let fft = params.fft();
         match self {
             PolyMulBackend::Ntt => {
-                assert_eq!(ntt.modulus(), q, "NTT tables modulus mismatch");
+                let ntt = params.ntt();
                 let w = Poly::from_signed(w_signed, q);
                 Poly::from_coeffs(negacyclic_mul_ntt(a.coeffs(), w.coeffs(), ntt), q)
             }
-            PolyMulBackend::FftF64 => {
+            PolyMulBackend::FftF64 | PolyMulBackend::Pow2 => {
+                if matches!(self, PolyMulBackend::Pow2) {
+                    assert!(
+                        params.is_pow2(),
+                        "Pow2 backend requires a power-of-two ring"
+                    );
+                }
                 let af: Vec<f64> = a
                     .coeffs()
                     .iter()
@@ -134,13 +169,8 @@ impl PolyMulBackend {
                     .collect();
                 let wf: Vec<f64> = w_signed.iter().map(|&x| x as f64).collect();
                 let prod = fft.polymul_f64(&af, &wf);
-                let br = Barrett::new(q);
-                Poly::from_coeffs(
-                    prod.iter()
-                        .map(|&x| br.from_signed_i128(x.round_ties_even() as i128))
-                        .collect(),
-                    q,
-                )
+                let red = Reducer::new(q);
+                Poly::from_coeffs(prod.iter().map(|&x| red.reduce_f64(x)).collect(), q)
             }
             PolyMulBackend::ApproxFft(fixed) => {
                 assert_eq!(
@@ -157,13 +187,8 @@ impl PolyMulBackend {
                 let fa = fft.forward(&af);
                 let spec: Vec<C64> = fa.iter().zip(&fw).map(|(x, y)| *x * *y).collect();
                 let prod = fft.inverse(&spec);
-                let br = Barrett::new(q);
-                Poly::from_coeffs(
-                    prod.iter()
-                        .map(|&x| br.from_signed_i128(x.round_ties_even() as i128))
-                        .collect(),
-                    q,
-                )
+                let red = Reducer::new(q);
+                Poly::from_coeffs(prod.iter().map(|&x| red.reduce_f64(x)).collect(), q)
             }
         }
     }
@@ -183,7 +208,6 @@ impl PolyMulBackend {
     /// invariant of the callers (the protocol validates wire-derived
     /// ciphertexts before they reach this hot path), checked with
     /// `debug_assert!` only.
-    #[allow(clippy::too_many_arguments)]
     pub fn mul_ct_pt_acc(
         &self,
         acc0: &mut Poly,
@@ -191,11 +215,11 @@ impl PolyMulBackend {
         a0: &Poly,
         a1: &Poly,
         w_signed: &[i64],
-        ntt: &NttTables,
-        fft: &flash_fft::NegacyclicFft,
+        params: &HeParams,
     ) {
         let q = a0.modulus();
         let n = a0.len();
+        debug_assert_eq!(q, params.q, "operand modulus must match params");
         debug_assert_eq!(a1.modulus(), q, "component modulus mismatch");
         debug_assert_eq!(a1.len(), n, "component length mismatch");
         for acc in [&*acc0, &*acc1] {
@@ -203,9 +227,10 @@ impl PolyMulBackend {
             debug_assert_eq!(acc.len(), n, "accumulator length mismatch");
         }
         debug_assert_eq!(n, w_signed.len(), "operand lengths must match");
+        let fft = params.fft();
         match self {
             PolyMulBackend::Ntt => {
-                debug_assert_eq!(ntt.modulus(), q, "NTT tables modulus mismatch");
+                let ntt = params.ntt();
                 let mut fw = U64_SCRATCH.take(n);
                 {
                     let _t = flash_telemetry::span!("hconv.weight_transform");
@@ -231,7 +256,7 @@ impl PolyMulBackend {
                     }
                 }
             }
-            PolyMulBackend::FftF64 => {
+            PolyMulBackend::FftF64 | PolyMulBackend::Pow2 => {
                 let mut fw = C64_SCRATCH.take(n / 2);
                 {
                     let _t = flash_telemetry::span!("hconv.weight_transform");
@@ -280,8 +305,7 @@ impl PolyMulBackend {
         a0: &Poly,
         a1: &Poly,
         w_signed: &[i64],
-        ntt: &NttTables,
-        fft: &flash_fft::NegacyclicFft,
+        params: &HeParams,
         plan: Option<&SparsePlan>,
     ) -> bool {
         let sparse = match (self, plan) {
@@ -290,9 +314,10 @@ impl PolyMulBackend {
             (_, Some(p)) => Some(p),
         };
         let Some(plan) = sparse else {
-            self.mul_ct_pt_acc(acc0, acc1, a0, a1, w_signed, ntt, fft);
+            self.mul_ct_pt_acc(acc0, acc1, a0, a1, w_signed, params);
             return false;
         };
+        let fft = params.fft();
         let q = a0.modulus();
         let n = a0.len();
         debug_assert_eq!(plan.degree(), n, "sparse plan degree mismatch");
@@ -451,7 +476,7 @@ impl PolyMulBackend {
         assert_eq!(out.len(), ws.len() * (n / 2), "spectra length mismatch");
         match self {
             PolyMulBackend::Ntt => panic!("weight spectra require an FFT-family backend"),
-            PolyMulBackend::FftF64 => {
+            PolyMulBackend::FftF64 | PolyMulBackend::Pow2 => {
                 let mut staged = F64_SCRATCH.take(ws.len() * n);
                 for (chunk, w) in staged.chunks_exact_mut(n).zip(ws) {
                     for (slot, &x) in chunk.iter_mut().zip(*w) {
@@ -680,14 +705,11 @@ impl BandAccumulator {
                 // One division-free reducer for every coefficient of the
                 // batch: the naive `rem_euclid` here is an i128 libcall
                 // that used to dominate the whole inverse-transform cost.
-                let br = Barrett::new(q);
+                // (On a power-of-two ring the reducer degenerates to a
+                // truncating cast and a mask.)
+                let red = Reducer::new(q);
                 let to_poly = |xs: &[f64]| {
-                    Poly::from_coeffs(
-                        xs.iter()
-                            .map(|&x| br.from_signed_i128(x.round_ties_even() as i128))
-                            .collect(),
-                        q,
-                    )
+                    Poly::from_coeffs(xs.iter().map(|&x| red.reduce_f64(x)).collect(), q)
                 };
                 prod.chunks_exact(2 * n)
                     .map(|pair| Ciphertext::new(to_poly(&pair[..n]), to_poly(&pair[n..])))
@@ -738,10 +760,52 @@ impl BandAccumulator {
     }
 }
 
+/// Rounds an `f64` product coefficient into `[0, q)`, dispatching on the
+/// modulus family once per call batch: primes reduce through one Barrett
+/// pass, powers of two through a truncating cast plus a mask — the
+/// "free reduction" of the `Pow2` datapath (`i128 → u64` truncation *is*
+/// reduction mod `2^64`, and `2^l | 2^64` finishes the job).
+enum Reducer {
+    Barrett(Barrett),
+    Mask(u64),
+}
+
+impl Reducer {
+    fn new(q: u64) -> Self {
+        // A prime modulus (> 2) is never a power of two, so the existing
+        // backends always take the Barrett arm bit-identically.
+        if q.is_power_of_two() {
+            Reducer::Mask(q - 1)
+        } else {
+            Reducer::Barrett(Barrett::new(q))
+        }
+    }
+
+    #[inline]
+    fn reduce_f64(&self, x: f64) -> u64 {
+        match self {
+            // Products reach ~2^76 at q = 2^62 — beyond i64, within i128.
+            Reducer::Mask(m) => (x.round_ties_even() as i128) as u64 & m,
+            Reducer::Barrett(br) => br.from_signed_i128(x.round_ties_even() as i128),
+        }
+    }
+
+    #[inline]
+    fn add_assign(&self, dst: &mut u64, x: u64, q: u64) {
+        match self {
+            Reducer::Mask(m) => *dst = dst.wrapping_add(x) & m,
+            Reducer::Barrett(_) => *dst = add_mod(*dst, x, q),
+        }
+    }
+}
+
 /// The FFT-family ciphertext side of a fused multiply-accumulate: for
 /// each component, center-lift, forward-transform, point-wise multiply by
 /// the weight spectrum `fw`, inverse-transform, and accumulate mod `q`.
-/// All intermediates come from the thread-local scratch pools.
+/// All intermediates come from the thread-local scratch pools. The
+/// center lift fuses into the fold-and-twist stage
+/// ([`flash_fft::NegacyclicFft::forward_residues_into`]), so no staged
+/// `f64` copy of the ciphertext component is materialized.
 fn accumulate_pair_fft(
     acc0: &mut Poly,
     acc1: &mut Poly,
@@ -752,17 +816,13 @@ fn accumulate_pair_fft(
     q: u64,
 ) {
     let n = a0.len();
-    let mut af = F64_SCRATCH.take(n);
     let mut fa = C64_SCRATCH.take(n / 2);
     let mut prod = F64_SCRATCH.take(n);
-    let br = Barrett::new(q);
+    let red = Reducer::new(q);
     for (acc, a) in [(acc0, a0), (acc1, a1)] {
         {
             let _t = flash_telemetry::span!("hconv.activation_fft");
-            for (slot, &x) in af.iter_mut().zip(a.coeffs()) {
-                *slot = center_lift(x, q) as f64;
-            }
-            fft.forward_into(&af, &mut fa);
+            fft.forward_residues_into(a.coeffs(), q, &mut fa);
         }
         {
             let _t = flash_telemetry::span!("hconv.pointwise_acc");
@@ -773,7 +833,7 @@ fn accumulate_pair_fft(
         let _t = flash_telemetry::span!("hconv.inverse_fft");
         fft.inverse_into(&mut fa, &mut prod);
         for (dst, &x) in acc.coeffs_mut().iter_mut().zip(prod.iter()) {
-            *dst = add_mod(*dst, br.from_signed_i128(x.round_ties_even() as i128), q);
+            red.add_assign(dst, red.reduce_f64(x), q);
         }
     }
 }
@@ -800,8 +860,8 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let a = Poly::uniform(p.n, p.q, &mut rng);
         let w = small_weights(p.n, 9, &mut rng);
-        let exact = PolyMulBackend::Ntt.mul_ct_pt(&a, &w, p.ntt(), p.fft());
-        let viaf = PolyMulBackend::FftF64.mul_ct_pt(&a, &w, p.ntt(), p.fft());
+        let exact = PolyMulBackend::Ntt.mul_ct_pt(&a, &w, &p);
+        let viaf = PolyMulBackend::FftF64.mul_ct_pt(&a, &w, &p);
         assert_eq!(exact, viaf);
     }
 
@@ -816,8 +876,8 @@ mod tests {
         let mut cfg = ApproxFftConfig::uniform(p.n, FxpFormat::new(20, 60), 60);
         cfg.max_shift = 55;
         let b = PolyMulBackend::approx(cfg);
-        let exact = PolyMulBackend::Ntt.mul_ct_pt(&a, &w, p.ntt(), p.fft());
-        let approx = b.mul_ct_pt(&a, &w, p.ntt(), p.fft());
+        let exact = PolyMulBackend::Ntt.mul_ct_pt(&a, &w, &p);
+        let approx = b.mul_ct_pt(&a, &w, &p);
         assert_eq!(exact, approx);
     }
 
@@ -836,7 +896,7 @@ mod tests {
         let run = |b: &PolyMulBackend, plan: Option<&SparsePlan>| {
             let mut c0 = Poly::zero(p.n, p.q);
             let mut c1 = Poly::zero(p.n, p.q);
-            let used = b.mul_ct_pt_acc_plan(&mut c0, &mut c1, &a0, &a1, &w, p.ntt(), p.fft(), plan);
+            let used = b.mul_ct_pt_acc_plan(&mut c0, &mut c1, &a0, &a1, &w, &p, plan);
             (c0, c1, used)
         };
 
@@ -859,12 +919,127 @@ mod tests {
     }
 
     #[test]
-    fn error_model_exists_only_for_the_approximate_backend() {
-        assert!(PolyMulBackend::Ntt.error_model().is_none());
-        assert!(PolyMulBackend::FftF64.error_model().is_none());
+    fn error_model_exists_only_for_the_approximate_backends() {
         let p = HeParams::test_256();
+        assert!(PolyMulBackend::Ntt.error_model(&p).is_none());
+        assert!(PolyMulBackend::FftF64.error_model(&p).is_none());
         let cfg = ApproxFftConfig::uniform(p.n, FxpFormat::new(18, 34), 30);
-        assert!(PolyMulBackend::approx(cfg).error_model().is_some());
+        assert!(PolyMulBackend::approx(cfg).error_model(&p).is_some());
+        let p2 = HeParams::pow2_test_256();
+        assert!(PolyMulBackend::Pow2.error_model(&p2).is_some());
+    }
+
+    #[test]
+    fn pow2_backend_stays_within_its_error_model() {
+        // Kernel-level claim of the Pow2 datapath: the f64-lifted product
+        // differs from the exact wrapping schoolbook by far less than the
+        // model's phase bound, even against full-magnitude (≈2^61)
+        // ciphertext coefficients.
+        use flash_math::pow2::negacyclic_mul_wrapping;
+        let p = HeParams::pow2_test_256();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let a = Poly::uniform(p.n, p.q, &mut rng);
+        let w = small_weights(p.n, 9, &mut rng);
+        let got = PolyMulBackend::Pow2.mul_ct_pt(&a, &w, &p);
+        let w_res: Vec<u64> = w
+            .iter()
+            .map(|&x| flash_math::modular::from_signed(x, p.q))
+            .collect();
+        let want = negacyclic_mul_wrapping(a.coeffs(), &w_res, p.q);
+        let sq: f64 = w.iter().map(|&x| (x * x) as f64).sum();
+        let bound = PolyMulBackend::Pow2
+            .error_model(&p)
+            .unwrap()
+            .phase_error_bound(&p, sq, 1);
+        let err = got
+            .coeffs()
+            .iter()
+            .zip(&want)
+            .map(|(&g, &e)| center_lift(g.wrapping_sub(e) & (p.q - 1), p.q).unsigned_abs())
+            .max()
+            .unwrap();
+        assert!(err > 0, "2^61 magnitudes must exceed f64 exactness");
+        assert!(
+            (err as f64) < bound,
+            "err {err} must stay below the model bound {bound}"
+        );
+        assert!(bound < p.noise_ceiling() as f64 / 4.0);
+    }
+
+    #[test]
+    fn pow2_sparse_tape_and_spectrum_paths_stay_within_the_model() {
+        // The tape reorders the weight transform's float additions, so at
+        // 2^61 activation magnitudes its rounded output may differ from
+        // the dense path by a few low bits — both must stay inside the
+        // same error model vs the exact wrapping schoolbook (the property
+        // the noise guard relies on). The spectrum entry point shares the
+        // tape's weight spectrum and accumulate code, so it *is*
+        // bit-identical to the tape path.
+        use flash_math::pow2::negacyclic_mul_wrapping;
+        use flash_sparse::SparsityPattern;
+        let p = HeParams::pow2_test_256();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let a0 = Poly::uniform(p.n, p.q, &mut rng);
+        let a1 = Poly::uniform(p.n, p.q, &mut rng);
+        let w = small_weights(p.n, 9, &mut rng);
+        let pattern = SparsityPattern::fold_from_poly(&w);
+        let plan = SparsePlan::compile(&pattern);
+        assert!(plan.worthwhile());
+
+        let mut d0 = Poly::zero(p.n, p.q);
+        let mut d1 = Poly::zero(p.n, p.q);
+        let used_dense =
+            PolyMulBackend::Pow2.mul_ct_pt_acc_plan(&mut d0, &mut d1, &a0, &a1, &w, &p, None);
+        assert!(!used_dense);
+
+        let mut s0 = Poly::zero(p.n, p.q);
+        let mut s1 = Poly::zero(p.n, p.q);
+        let used = PolyMulBackend::Pow2.mul_ct_pt_acc_plan(
+            &mut s0,
+            &mut s1,
+            &a0,
+            &a1,
+            &w,
+            &p,
+            Some(&plan),
+        );
+        assert!(used, "Pow2 must compose with the sparse tape");
+
+        let sq: f64 = w.iter().map(|&x| (x * x) as f64).sum();
+        let bound = PolyMulBackend::Pow2
+            .error_model(&p)
+            .unwrap()
+            .phase_error_bound(&p, sq, 1);
+        let w_res: Vec<u64> = w
+            .iter()
+            .map(|&x| flash_math::modular::from_signed(x, p.q))
+            .collect();
+        for (a, got, path) in [
+            (&a0, &d0, "dense c0"),
+            (&a1, &d1, "dense c1"),
+            (&a0, &s0, "tape c0"),
+            (&a1, &s1, "tape c1"),
+        ] {
+            let want = negacyclic_mul_wrapping(a.coeffs(), &w_res, p.q);
+            let err = got
+                .coeffs()
+                .iter()
+                .zip(&want)
+                .map(|(&g, &e)| center_lift(g.wrapping_sub(e) & (p.q - 1), p.q).unsigned_abs())
+                .max()
+                .unwrap();
+            assert!(
+                (err as f64) < bound,
+                "{path}: err {err} above bound {bound}"
+            );
+        }
+
+        let mut fw = vec![flash_math::C64::ZERO; p.n / 2];
+        plan.execute_into(&w, &mut fw);
+        let mut c0 = Poly::zero(p.n, p.q);
+        let mut c1 = Poly::zero(p.n, p.q);
+        PolyMulBackend::Pow2.mul_ct_pt_acc_spectrum(&mut c0, &mut c1, &a0, &a1, &fw, p.fft());
+        assert_eq!((&c0, &c1), (&s0, &s1), "spectrum path diverged from tape");
     }
 
     #[test]
@@ -885,7 +1060,7 @@ mod tests {
             let mut cfg = ApproxFftConfig::uniform(p.n, FxpFormat::new(16, frac), k);
             cfg.max_shift = shift;
             let b = PolyMulBackend::approx(cfg);
-            let model = b.error_model().unwrap();
+            let model = b.error_model(&p).unwrap();
 
             let ct2 = ct.mul_plain_signed(&w, &p, &b);
             let w_t: Vec<u64> = w
@@ -920,8 +1095,8 @@ mod tests {
         let mut cfg = ApproxFftConfig::uniform(p.n, FxpFormat::new(16, 30), 24);
         cfg.max_shift = 26;
         let b = PolyMulBackend::approx(cfg);
-        let exact = PolyMulBackend::Ntt.mul_ct_pt(&a, &w, p.ntt(), p.fft());
-        let approx = b.mul_ct_pt(&a, &w, p.ntt(), p.fft());
+        let exact = PolyMulBackend::Ntt.mul_ct_pt(&a, &w, &p);
+        let approx = b.mul_ct_pt(&a, &w, &p);
         // errors exist but are small relative to the noise ceiling
         let diff = exact.sub(&approx);
         let err = diff.inf_norm();

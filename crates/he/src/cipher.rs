@@ -152,8 +152,8 @@ impl Ciphertext {
         backend: &PolyMulBackend,
     ) -> Ciphertext {
         Ciphertext {
-            c0: backend.mul_ct_pt(&self.c0, w_signed, params.ntt(), params.fft()),
-            c1: backend.mul_ct_pt(&self.c1, w_signed, params.ntt(), params.fft()),
+            c0: backend.mul_ct_pt(&self.c0, w_signed, params),
+            c1: backend.mul_ct_pt(&self.c1, w_signed, params),
         }
     }
 
@@ -176,9 +176,46 @@ impl Ciphertext {
             &self.c0,
             &self.c1,
             w_signed,
-            params.ntt(),
-            params.fft(),
+            params,
         );
+    }
+
+    /// Exact `acc ⊞= self ⊠ w` for the noise guard's fallback path,
+    /// dispatched on the ring family: the Shoup-NTT MAC on a prime ring,
+    /// the wrapping schoolbook over the weight's nonzero taps on a
+    /// power-of-two ring (where the prime NTT does not exist — and where
+    /// the schoolbook keeps the datapath's zero-reduction property while
+    /// being **bit-exact**). Quantized conv bands carry a handful of
+    /// taps, so the `taps·N` schoolbook stays comparable to a transform.
+    pub fn mul_plain_signed_acc_exact(
+        &self,
+        w_signed: &[i64],
+        params: &HeParams,
+        acc: &mut Ciphertext,
+    ) {
+        if params.is_pow2() {
+            let taps: Vec<(usize, i64)> = w_signed
+                .iter()
+                .enumerate()
+                .filter(|&(_, &w)| w != 0)
+                .map(|(j, &w)| (j, w))
+                .collect();
+            let _t = flash_telemetry::span!("hconv.pointwise_acc");
+            for (acc, a) in [(&mut acc.c0, &self.c0), (&mut acc.c1, &self.c1)] {
+                let dst = acc.coeffs_mut();
+                flash_math::pow2::negacyclic_mac_taps(dst, a.coeffs(), &taps);
+                flash_math::pow2::reduce_slice(dst, params.q);
+            }
+        } else {
+            PolyMulBackend::Ntt.mul_ct_pt_acc(
+                &mut acc.c0,
+                &mut acc.c1,
+                &self.c0,
+                &self.c1,
+                w_signed,
+                params,
+            );
+        }
     }
 
     /// Like [`Ciphertext::mul_plain_signed_acc`], but routes the weight
@@ -200,8 +237,7 @@ impl Ciphertext {
             &self.c0,
             &self.c1,
             w_signed,
-            params.ntt(),
-            params.fft(),
+            params,
             plan,
         )
     }
@@ -341,6 +377,87 @@ mod tests {
                     "fused MAC diverged at round {round}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn pow2_mul_plain_matches_ring_product() {
+        // The full ⊠ path on q = 2^62: FFT lift at 61-bit magnitudes,
+        // wrapping mask reduction, u128 decrypt rounding.
+        let p = HeParams::pow2_test_256();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let sk = SecretKey::generate(&p, &mut rng);
+        let m = Poly::uniform(p.n, p.t, &mut rng);
+        let mut w = vec![0i64; p.n];
+        for _ in 0..9 {
+            let i = rng.gen_range(0..p.n);
+            w[i] = rng.gen_range(-8..8);
+        }
+        let ct = sk
+            .encrypt(&m, &mut rng)
+            .mul_plain_signed(&w, &p, &PolyMulBackend::Pow2);
+        let w_t: Vec<u64> = w.iter().map(|&x| from_signed(x, p.t)).collect();
+        let expected = flash_ntt::polymul::negacyclic_mul_naive(m.coeffs(), &w_t, p.t);
+        assert_eq!(sk.decrypt(&ct).coeffs(), &expected[..]);
+    }
+
+    #[test]
+    fn pow2_fused_mul_acc_is_bit_identical_to_mul_then_add() {
+        let p = HeParams::pow2_test_256();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let sk = SecretKey::generate(&p, &mut rng);
+        let backend = PolyMulBackend::Pow2;
+        let mut acc = Ciphertext::zero(p.n, p.q);
+        let mut reference: Option<Ciphertext> = None;
+        for round in 0..3u64 {
+            let m = Poly::uniform(p.n, p.t, &mut rng);
+            let ct = sk.encrypt(&m, &mut rng);
+            let mut w = vec![0i64; p.n];
+            for _ in 0..9 {
+                let i = rng.gen_range(0..p.n);
+                w[i] = rng.gen_range(-8..8);
+            }
+            ct.mul_plain_signed_acc(&w, &p, &backend, &mut acc);
+            let term = ct.mul_plain_signed(&w, &p, &backend);
+            reference = Some(match reference {
+                None => term,
+                Some(r) => r.add_ct(&term),
+            });
+            assert_eq!(
+                acc,
+                reference.clone().unwrap(),
+                "fused pow2 MAC diverged at round {round}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_acc_is_bit_exact_on_both_rings() {
+        // The noise guard's fallback must land exactly on the ring
+        // product, whatever the ring family — uniform (worst-case)
+        // ciphertext components, accumulated twice to exercise the
+        // `acc += ...` form.
+        for p in [HeParams::test_256(), HeParams::pow2_test_256()] {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(14);
+            let mut w = vec![0i64; p.n];
+            for _ in 0..9 {
+                let i = rng.gen_range(0..p.n);
+                w[i] = rng.gen_range(-8..8);
+            }
+            let ct = Ciphertext::new(
+                Poly::uniform(p.n, p.q, &mut rng),
+                Poly::uniform(p.n, p.q, &mut rng),
+            );
+            let mut acc = Ciphertext::zero(p.n, p.q);
+            ct.mul_plain_signed_acc_exact(&w, &p, &mut acc);
+            ct.mul_plain_signed_acc_exact(&w, &p, &mut acc);
+            let w_q: Vec<u64> = w.iter().map(|&x| from_signed(x, p.q)).collect();
+            let expect = |a: &Poly| {
+                let prod = flash_ntt::polymul::negacyclic_mul_naive(a.coeffs(), &w_q, p.q);
+                prod.iter().map(|&x| add_mod(x, x, p.q)).collect::<Vec<_>>()
+            };
+            assert_eq!(acc.c0().coeffs(), &expect(ct.c0())[..], "c0, q={}", p.q);
+            assert_eq!(acc.c1().coeffs(), &expect(ct.c1())[..], "c1, q={}", p.q);
         }
     }
 

@@ -8,7 +8,6 @@ use crate::cipher::Ciphertext;
 use crate::params::HeParams;
 use crate::poly::Poly;
 use flash_math::modular::add_mod;
-use flash_ntt::polymul::{negacyclic_mul_ntt, negacyclic_mul_ntt_into};
 use flash_runtime::U64_SCRATCH;
 use rand::Rng;
 
@@ -51,17 +50,10 @@ impl PublicKey {
         let e1 = Poly::gaussian(p.n, p.q, p.noise_std, rng);
         let e2 = Poly::gaussian(p.n, p.q, p.noise_std, rng);
         let scaled_m = m.lift_to(p.q).scale(p.delta());
-        let c0 = Poly::from_coeffs(
-            negacyclic_mul_ntt(self.p0.coeffs(), u.coeffs(), p.ntt()),
-            p.q,
-        )
-        .add(&e1)
-        .add(&scaled_m);
-        let c1 = Poly::from_coeffs(
-            negacyclic_mul_ntt(self.p1.coeffs(), u.coeffs(), p.ntt()),
-            p.q,
-        )
-        .add(&e2);
+        let c0 = Poly::from_coeffs(p.key_mul(self.p0.coeffs(), u.coeffs()), p.q)
+            .add(&e1)
+            .add(&scaled_m);
+        let c1 = Poly::from_coeffs(p.key_mul(self.p1.coeffs(), u.coeffs()), p.q).add(&e2);
         Ciphertext::new(c0, c1)
     }
 }
@@ -86,10 +78,7 @@ impl SecretKey {
         let p = &self.params;
         let a = Poly::uniform(p.n, p.q, rng);
         let e = Poly::gaussian(p.n, p.q, p.noise_std, rng);
-        let a_s = Poly::from_coeffs(
-            negacyclic_mul_ntt(a.coeffs(), self.s.coeffs(), p.ntt()),
-            p.q,
-        );
+        let a_s = Poly::from_coeffs(p.key_mul(a.coeffs(), self.s.coeffs()), p.q);
         PublicKey {
             params: p.clone(),
             p0: e.sub(&a_s),
@@ -110,10 +99,7 @@ impl SecretKey {
         let a = Poly::uniform(p.n, p.q, rng);
         let e = Poly::gaussian(p.n, p.q, p.noise_std, rng);
         let scaled_m = m.lift_to(p.q).scale(p.delta());
-        let a_s = Poly::from_coeffs(
-            negacyclic_mul_ntt(a.coeffs(), self.s.coeffs(), p.ntt()),
-            p.q,
-        );
+        let a_s = Poly::from_coeffs(p.key_mul(a.coeffs(), self.s.coeffs()), p.q);
         let c0 = scaled_m.add(&e).sub(&a_s);
         Ciphertext::new(c0, a)
     }
@@ -126,7 +112,7 @@ impl SecretKey {
     pub fn phase(&self, ct: &Ciphertext) -> Poly {
         let p = &self.params;
         let mut c1_s = U64_SCRATCH.take(p.n);
-        negacyclic_mul_ntt_into(&mut c1_s, ct.c1().coeffs(), self.s.coeffs(), p.ntt());
+        p.key_mul_into(&mut c1_s, ct.c1().coeffs(), self.s.coeffs());
         let coeffs = ct
             .c0()
             .coeffs()
@@ -197,6 +183,27 @@ mod tests {
             let m = Poly::uniform(p.n, p.t, &mut mrng);
             let ct = sk.encrypt(&m, &mut rng);
             assert_eq!(sk.decrypt(&ct), m);
+        }
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip_pow2_ring() {
+        // The whole key path — ternary sampling, a·s / p·u products via
+        // the CRT lift, Δ·m scaling, u128 rounding — on q = 2^62.
+        let p = HeParams::pow2_test_256();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let sk = SecretKey::generate(&p, &mut rng);
+        let pk = sk.public_key(&mut rng);
+        for seed in 0..3u64 {
+            let mut mrng = rand::rngs::StdRng::seed_from_u64(seed);
+            let m = Poly::uniform(p.n, p.t, &mut mrng);
+            let ct = sk.encrypt(&m, &mut rng);
+            assert_eq!(sk.decrypt(&ct), m);
+            assert!(sk.noise(&ct, &m).inf_norm() < 40);
+            // The 2^62 modulus leaves a vast budget vs the 36-bit prime.
+            assert!(sk.noise_budget_bits(&ct, &m) > 30.0);
+            let ct_pk = pk.encrypt(&m, &mut rng);
+            assert_eq!(sk.decrypt(&ct_pk), m);
         }
     }
 

@@ -5,26 +5,50 @@
 //! ciphertext modulus (matching CHAM's 39-bit NTT datapath) and a
 //! power-of-two plaintext modulus sized to the convolution sum-product
 //! bit-width.
+//!
+//! Two ring families are supported:
+//!
+//! * **Prime** — `q` an NTT-friendly prime; exact arithmetic via the
+//!   Shoup NTT, approximate arithmetic via the `f64` FFT backends.
+//! * **Power-of-two** — `q = 2^l` (Jaguar-style): modular reduction on
+//!   the MAC path is a single AND and all accumulation is native
+//!   wrapping arithmetic, at the price of losing the ring's own NTT.
+//!   Exact key operations lift through a two-limb CRT of helper primes
+//!   ([`flash_ntt::pow2::Pow2Ring`]); the hot path lifts through the
+//!   shared FFT like the other approximate backends. Because both `t`
+//!   and `q` are powers of two, `Δ = q/t` is exact and plaintext-ring
+//!   wraparound carries vanish entirely (`q ≡ 0 (mod t)`).
 
 use flash_math::prime::ntt_prime;
 use std::fmt;
 use std::sync::Arc;
 
 use flash_fft::negacyclic::NegacyclicFft;
+use flash_ntt::pow2::Pow2Ring;
 use flash_ntt::NttTables;
+
+/// The coefficient-ring context: the modulus family decides which exact
+/// multiplication machinery key operations use.
+#[derive(Clone)]
+enum RingCtx {
+    /// NTT-friendly prime modulus with its transform tables.
+    Prime(Arc<NttTables>),
+    /// Power-of-two modulus with its CRT-NTT lift for key operations.
+    Pow2(Arc<Pow2Ring>),
+}
 
 /// BFV parameters plus shared transform plans for the ring.
 #[derive(Clone)]
 pub struct HeParams {
     /// Ring degree `N` (power of two).
     pub n: usize,
-    /// Ciphertext modulus `q` (NTT-friendly prime).
+    /// Ciphertext modulus `q` (NTT-friendly prime or a power of two).
     pub q: u64,
     /// Plaintext modulus `t` (a power of two, matching the 2PC share ring).
     pub t: u64,
     /// Standard deviation of the encryption error.
     pub noise_std: f64,
-    ntt: Arc<NttTables>,
+    ring: RingCtx,
     fft: Arc<NegacyclicFft>,
 }
 
@@ -35,6 +59,7 @@ impl fmt::Debug for HeParams {
             .field("q", &self.q)
             .field("t", &self.t)
             .field("noise_std", &self.noise_std)
+            .field("pow2", &self.is_pow2())
             .finish()
     }
 }
@@ -77,7 +102,42 @@ impl HeParams {
             q,
             t,
             noise_std,
-            ntt,
+            ring: RingCtx::Prime(ntt),
+            fft,
+        }
+    }
+
+    /// Builds a power-of-two parameter set with `q = 2^l`. All MAC-path
+    /// reduction degenerates to wrapping arithmetic plus one mask;
+    /// exact key operations run through the CRT-NTT lift.
+    ///
+    /// `l` is capped at 62 (the workspace-wide `q < 2^63` contract);
+    /// `2^62` already exceeds every prime modulus the NTT baseline can
+    /// reach, so the cap costs no headroom in practice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not a power of two, `t ≥ 2^l / 2`, or `l` is
+    /// outside `2..=62`.
+    pub fn new_pow2(n: usize, l: u32, t: u64, noise_std: f64) -> Self {
+        assert!(
+            t.is_power_of_two(),
+            "plaintext modulus must be a power of two"
+        );
+        assert!(
+            (2..=62).contains(&l),
+            "power-of-two modulus exponent {l} outside 2..=62"
+        );
+        let q = 1u64 << l;
+        assert!(t < q / 2, "plaintext modulus leaves no noise budget");
+        let ring = Arc::new(Pow2Ring::new(n, l));
+        let fft = NegacyclicFft::shared(n);
+        Self {
+            n,
+            q,
+            t,
+            noise_std,
+            ring: RingCtx::Pow2(ring),
             fft,
         }
     }
@@ -86,6 +146,13 @@ impl HeParams {
     /// `t = 2^21` (W4A4 convolution sum-products), σ = 3.2.
     pub fn flash_default() -> Self {
         Self::new(4096, 39, 1 << 21, 3.2)
+    }
+
+    /// The power-of-two twin of [`HeParams::flash_default`]: same ring
+    /// degree and plaintext modulus, `q = 2^62` — maximal noise ceiling
+    /// and free reduction.
+    pub fn flash_pow2() -> Self {
+        Self::new_pow2(4096, 62, 1 << 21, 3.2)
     }
 
     /// A tiny parameter set for unit tests and doc examples
@@ -97,6 +164,11 @@ impl HeParams {
     /// A mid-size set for integration tests (`N = 256`).
     pub fn test_256() -> Self {
         Self::new(256, 36, 1 << 16, 3.2)
+    }
+
+    /// The power-of-two twin of [`HeParams::test_256`] (`q = 2^62`).
+    pub fn pow2_test_256() -> Self {
+        Self::new_pow2(256, 62, 1 << 16, 3.2)
     }
 
     /// `Δ = ⌊q/t⌋`, the plaintext scaling factor.
@@ -112,16 +184,68 @@ impl HeParams {
         self.q / (2 * self.t)
     }
 
+    /// Whether the ciphertext modulus is a power of two.
+    #[inline]
+    pub fn is_pow2(&self) -> bool {
+        matches!(self.ring, RingCtx::Pow2(_))
+    }
+
     /// Shared exact-NTT tables for this ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a power-of-two ring — `2^l` admits no negacyclic NTT;
+    /// exact products go through [`HeParams::key_mul_into`] (dense, key
+    /// operations) or the wrapping schoolbook (sparse fallback) instead.
     #[inline]
     pub fn ntt(&self) -> &NttTables {
-        &self.ntt
+        match &self.ring {
+            RingCtx::Prime(t) => t,
+            RingCtx::Pow2(_) => panic!(
+                "power-of-two modulus {q} has no NTT; use key_mul_into or the \
+                 wrapping kernels",
+                q = self.q
+            ),
+        }
+    }
+
+    /// The power-of-two ring context.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a prime ring.
+    #[inline]
+    pub fn pow2_ring(&self) -> &Pow2Ring {
+        match &self.ring {
+            RingCtx::Pow2(r) => r,
+            RingCtx::Prime(_) => panic!("prime modulus {q} is not a power-of-two ring", q = self.q),
+        }
     }
 
     /// Shared `f64` negacyclic FFT plan for this ring.
     #[inline]
     pub fn fft(&self) -> &NegacyclicFft {
         &self.fft
+    }
+
+    /// Exact negacyclic product for key operations (`a·s`, `p·u`, …)
+    /// where the second operand is *small* (ternary secrets, encryption
+    /// randomness): Shoup-NTT on a prime ring, CRT-NTT lift on a
+    /// power-of-two ring. Never used on the MAC hot path.
+    pub fn key_mul_into(&self, out: &mut [u64], a: &[u64], b_small: &[u64]) {
+        match &self.ring {
+            RingCtx::Prime(t) => {
+                flash_ntt::polymul::negacyclic_mul_ntt_into(out, a, b_small, t);
+            }
+            RingCtx::Pow2(r) => r.negacyclic_mul_small_into(out, a, b_small),
+        }
+    }
+
+    /// Allocating convenience wrapper over [`HeParams::key_mul_into`].
+    pub fn key_mul(&self, a: &[u64], b_small: &[u64]) -> Vec<u64> {
+        let mut out = vec![0u64; self.n];
+        self.key_mul_into(&mut out, a, b_small);
+        out
     }
 }
 
@@ -138,6 +262,53 @@ mod tests {
         assert_eq!(p.t, 1 << 21);
         assert!(p.delta() > (1 << 17));
         assert!(p.noise_ceiling() >= (1 << 16));
+        assert!(!p.is_pow2());
+    }
+
+    #[test]
+    fn pow2_params_shape() {
+        let p = HeParams::flash_pow2();
+        assert_eq!(p.n, 4096);
+        assert_eq!(p.q, 1 << 62);
+        assert!(p.is_pow2());
+        // Δ is exact (no flooring remainder) and q ≡ 0 (mod t): the
+        // wraparound carry term of the noise analysis vanishes.
+        assert_eq!(p.delta() * p.t, p.q);
+        assert_eq!(p.q % p.t, 0);
+        // 2^62 beats the 39-bit prime's ceiling by >20 bits.
+        assert!(p.noise_ceiling() > HeParams::flash_default().noise_ceiling() << 20);
+        assert_eq!(p.pow2_ring().degree(), 4096);
+    }
+
+    #[test]
+    fn key_mul_agrees_across_rings_on_ternary() {
+        use rand::{Rng, SeedableRng};
+        let prime = HeParams::test_256();
+        let pow2 = HeParams::pow2_test_256();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        // Same signed inputs, per-ring residues: products must agree
+        // after center lift since no coefficient overflows either ring.
+        let a_signed: Vec<i64> = (0..256).map(|_| rng.gen_range(-128..128)).collect();
+        let s_signed: Vec<i64> = (0..256).map(|_| rng.gen_range(-1..=1)).collect();
+        let enc = |xs: &[i64], q: u64| -> Vec<u64> {
+            xs.iter()
+                .map(|&x| flash_math::modular::from_signed(x, q))
+                .collect()
+        };
+        let rp = prime.key_mul(&enc(&a_signed, prime.q), &enc(&s_signed, prime.q));
+        let r2 = pow2.key_mul(&enc(&a_signed, pow2.q), &enc(&s_signed, pow2.q));
+        for (x, y) in rp.iter().zip(&r2) {
+            assert_eq!(
+                flash_math::modular::center_lift(*x, prime.q),
+                flash_math::modular::center_lift(*y, pow2.q)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no NTT")]
+    fn pow2_ring_has_no_ntt_tables() {
+        let _ = HeParams::pow2_test_256().ntt();
     }
 
     #[test]

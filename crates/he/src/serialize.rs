@@ -163,6 +163,35 @@ mod tests {
     }
 
     #[test]
+    fn pow2_ring_ciphertext_roundtrip() {
+        // q = 2^62 needs 8-byte coefficient words (63-bit residue range);
+        // the serializer is modulus-generic, so the power-of-two ring
+        // must roundtrip bit-exactly including residues right below q.
+        let p = HeParams::pow2_test_256();
+        assert_eq!(coeff_bytes(p.q), 8);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let sk = SecretKey::generate(&p, &mut rng);
+        let m = Poly::uniform(p.n, p.t, &mut rng);
+        let ct = sk.encrypt(&m, &mut rng);
+        let bytes = ciphertext_to_bytes(&ct);
+        assert_eq!(bytes.len(), ct.byte_size());
+        let back = ciphertext_from_bytes(&bytes, p.n, p.q).unwrap();
+        assert_eq!(back, ct);
+        assert_eq!(sk.decrypt(&back), m);
+
+        let top = Poly::from_coeffs(vec![p.q - 1; p.n], p.q);
+        let round = poly_from_bytes(&poly_to_bytes(&top), p.n, p.q).unwrap();
+        assert_eq!(round, top);
+        // A residue at exactly q must still be rejected on this ring.
+        let mut bad = poly_to_bytes(&top);
+        bad[..8].copy_from_slice(&p.q.to_le_bytes());
+        assert!(matches!(
+            poly_from_bytes(&bad, p.n, p.q),
+            Err(WireError::CoefficientOutOfRange { index: 0 })
+        ));
+    }
+
+    #[test]
     fn truncated_buffers_rejected() {
         let p = HeParams::toy();
         let poly = Poly::zero(p.n, p.q);

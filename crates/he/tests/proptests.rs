@@ -7,6 +7,35 @@ use flash_he::{HeParams, Poly, PolyMulBackend, SecretKey};
 use proptest::prelude::*;
 use rand::SeedableRng;
 
+/// Independent oracle: negacyclic convolution of center-lifted operands
+/// in `i128` (no wraparound possible at N=256, 62-bit coefficients and
+/// 7-bit weights), reduced into `[0, modulus)` at the very end.
+fn signed_reference_conv(a: &[u64], w: &[i64], lift_mod: u64, out_mod: u64) -> Vec<u64> {
+    let n = a.len();
+    let mut acc = vec![0i128; n];
+    for (i, &ai) in a.iter().enumerate() {
+        let av = flash_math::modular::center_lift(ai, lift_mod) as i128;
+        if av == 0 {
+            continue;
+        }
+        for (j, &wj) in w.iter().enumerate() {
+            if wj == 0 {
+                continue;
+            }
+            let prod = av * wj as i128;
+            let k = i + j;
+            if k < n {
+                acc[k] += prod;
+            } else {
+                acc[k - n] -= prod;
+            }
+        }
+    }
+    acc.iter()
+        .map(|&x| x.rem_euclid(out_mod as i128) as u64)
+        .collect()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -54,9 +83,66 @@ proptest! {
             let i = rng.gen_range(0..p.n);
             w[i] = rng.gen_range(-8..8);
         }
-        let x = PolyMulBackend::Ntt.mul_ct_pt(&a, &w, p.ntt(), p.fft());
-        let y = PolyMulBackend::FftF64.mul_ct_pt(&a, &w, p.ntt(), p.fft());
+        let x = PolyMulBackend::Ntt.mul_ct_pt(&a, &w, &p);
+        let y = PolyMulBackend::FftF64.mul_ct_pt(&a, &w, &p);
         prop_assert_eq!(x, y);
+    }
+
+    #[test]
+    fn pow2_backend_decrypts_exactly_for_random_sparse_weights(
+        seed in any::<u64>(),
+        nnz in 1usize..16,
+    ) {
+        // End-to-end on q = 2^62: encrypt → ⊠w → decrypt must land on the
+        // exact plaintext-ring product for any weight sparsity, because
+        // the backend's float error sits far below the noise ceiling.
+        let p = HeParams::pow2_test_256();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let sk = SecretKey::generate(&p, &mut rng);
+        let m = Poly::uniform(p.n, p.t, &mut rng);
+        let mut w = vec![0i64; p.n];
+        for _ in 0..nnz {
+            let i = rng.gen_range(0..p.n);
+            w[i] = rng.gen_range(-8..8);
+        }
+        let ct = sk.encrypt(&m, &mut rng).mul_plain_signed(&w, &p, &PolyMulBackend::Pow2);
+        let want = signed_reference_conv(m.coeffs(), &w, p.t, p.t);
+        prop_assert_eq!(sk.decrypt(&ct).coeffs(), &want[..]);
+    }
+
+    #[test]
+    fn pow2_product_tracks_integer_reference_at_full_magnitude(
+        seed in any::<u64>(),
+        nnz in 1usize..16,
+        wmax in 1i64..128,
+    ) {
+        // Raw ring-level property at near-overflow operand magnitudes:
+        // uniform coefficients reach q/2 ≈ 2^61 (beyond f64 exactness),
+        // weights up to ±127. The wrapping product must stay within the
+        // declared error model of an exact signed-integer negacyclic
+        // convolution reduced mod 2^62.
+        let p = HeParams::pow2_test_256();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let a = Poly::uniform(p.n, p.q, &mut rng);
+        let mut w = vec![0i64; p.n];
+        for _ in 0..nnz {
+            let i = rng.gen_range(0..p.n);
+            w[i] = rng.gen_range(-wmax..=wmax);
+        }
+        let got = PolyMulBackend::Pow2.mul_ct_pt(&a, &w, &p);
+        let want = signed_reference_conv(a.coeffs(), &w, p.q, p.q);
+        let sq: f64 = w.iter().map(|&x| (x * x) as f64).sum();
+        let bound = PolyMulBackend::Pow2
+            .error_model(&p)
+            .expect("Pow2 is approximate")
+            .phase_error_bound(&p, sq, 1);
+        for (&g, &e) in got.coeffs().iter().zip(&want) {
+            let err = flash_math::modular::center_lift(g.wrapping_sub(e) & (p.q - 1), p.q)
+                .unsigned_abs();
+            prop_assert!((err as f64) < bound, "err {} above bound {}", err, bound);
+        }
     }
 
     #[test]

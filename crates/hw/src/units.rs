@@ -27,6 +27,12 @@ pub enum BuKind {
     Fp { exp: u32, mant: u32 },
     /// Modular (`bits`-wide ciphertext words), CHAM-style multiplier.
     Modular { bits: u32 },
+    /// Power-of-two-modulus MAC lane: a plain integer multiplier and two
+    /// plain adders. Reduction mod `2^bits` is wiring (keep the low
+    /// bits), so there is no reduction datapath at all — no shift-add
+    /// tree, no conditional subtract, no Barrett stages — and none of the
+    /// modular-path activity overhead.
+    Pow2Wrap { bits: u32 },
 }
 
 impl BuKind {
@@ -54,6 +60,12 @@ impl BuKind {
         BuKind::Modular { bits: 39 }
     }
 
+    /// The FLASH power-of-two MAC lane (62-bit ciphertext words,
+    /// `q = 2^62`).
+    pub fn flash_pow2() -> Self {
+        BuKind::Pow2Wrap { bits: 62 }
+    }
+
     /// Total cost of one butterfly unit.
     pub fn cost(&self, m: &CostModel) -> UnitCost {
         match *self {
@@ -78,6 +90,9 @@ impl BuKind {
             }
             BuKind::Modular { bits } => {
                 m.modular_mult_shiftadd(bits) + m.modular_adder(bits) * 2.0 + m.register(2 * bits)
+            }
+            BuKind::Pow2Wrap { bits } => {
+                m.int_mult(bits, bits) + m.adder(bits) * 2.0 + m.register(2 * bits)
             }
         }
     }
@@ -124,6 +139,39 @@ mod tests {
         assert!(approx < modular, "approx {approx} < modular {modular}");
         // the paper's magnitude: FP BU several times the approximate BU
         assert!(fp / approx > 4.0, "fp/approx = {}", fp / approx);
+    }
+
+    #[test]
+    fn pow2_wrap_lane_beats_modular_lanes_at_equal_width() {
+        // The wrapping MAC lane drops the whole reduction datapath, so at
+        // the same word width it must undercut both modular multiplier
+        // styles in energy and area.
+        let m = CostModel::cmos28();
+        for bits in [39u32, 62] {
+            let wrap = BuKind::Pow2Wrap { bits }.cost(&m);
+            let cham = BuKind::Modular { bits }.cost(&m);
+            let barrett =
+                m.modular_mult_barrett(bits) + m.modular_adder(bits) * 2.0 + m.register(2 * bits);
+            assert!(
+                wrap.energy_per_cycle_pj() < cham.energy_per_cycle_pj(),
+                "{bits}-bit wrap energy must beat shift-add modular"
+            );
+            assert!(
+                wrap.energy_per_cycle_pj() < barrett.energy_per_cycle_pj(),
+                "{bits}-bit wrap energy must beat Barrett modular"
+            );
+            assert!(wrap.area_mm2() < cham.area_mm2());
+        }
+        // Across widths the multiplier's quadratic area means a 62-bit
+        // lane can't undercut a 39-bit one outright; the honest metric is
+        // energy per bit of ciphertext modulus, where the wrap lane's
+        // missing reduction datapath wins.
+        let wrap62 = BuKind::flash_pow2().energy_per_op_pj(&m) / 62.0;
+        let cham39 = BuKind::cham_modular().energy_per_op_pj(&m) / 39.0;
+        assert!(
+            wrap62 < cham39,
+            "per modulus bit: wrap {wrap62} < modular {cham39}"
+        );
     }
 
     #[test]

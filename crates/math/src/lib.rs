@@ -14,6 +14,8 @@
 //!   and overflow behaviour, backing the approximate FFT simulator.
 //! * [`csd`] — canonical-signed-digit quantization of twiddle factors into
 //!   `k` signed power-of-two terms (the paper's shift-add multipliers).
+//! * [`pow2`] — wrapping arithmetic in power-of-two rings `Z_{2^l}`, where
+//!   modular reduction is a single AND (the `Pow2` ciphertext backend).
 //! * [`stats`] — running statistics (Welford) used by the error models.
 //!
 //! # Examples
@@ -30,6 +32,7 @@ pub mod crt;
 pub mod csd;
 pub mod fixed;
 pub mod modular;
+pub mod pow2;
 pub mod prime;
 pub mod stats;
 

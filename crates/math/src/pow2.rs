@@ -1,0 +1,301 @@
+//! Arithmetic in the power-of-two ring `Z_{2^l}` — free modular
+//! reduction.
+//!
+//! When the ciphertext modulus is `q = 2^l`, reduction modulo `q` is a
+//! single AND against `q − 1`, and — because `2^l` divides `2^64` — every
+//! intermediate may be carried in plain wrapping 64-bit arithmetic: for
+//! any integers `x, y`,
+//!
+//! ```text
+//! (x ⊙ y mod 2^64) mod 2^l  =  (x ⊙ y) mod 2^l      ⊙ ∈ {+, −, ×}
+//! ```
+//!
+//! so the multiply-accumulate inner loops below do **zero** reduction
+//! work per element (no Barrett multiplies, no Shoup constants, no
+//! compare-subtract) and drain once with a mask. This is the software
+//! image of the Jaguar-style hardware datapath where the modular
+//! reduction stage of every butterfly/MAC unit simply disappears; the
+//! kernels here are the coefficient-domain half of the `Pow2` ciphertext
+//! backend (the transform half lifts through the shared FFT machinery).
+//!
+//! Signed multipliers need no special casing either: two's-complement
+//! wrapping multiplication by `w as u64` is exact multiplication by `w`
+//! modulo `2^64`, hence modulo `2^l`.
+//!
+//! The modulus is capped at `2^62` (not `2^64`) because the rest of the
+//! workspace fixes `q < 2^63` — `add_mod` carries in `u64`,
+//! [`crate::modular::from_signed`] casts `q` to `i64` — and `2^62`
+//! already gives the scheme more noise ceiling than any prime the NTT
+//! baseline can use.
+
+/// Checks that `q` is a supported power-of-two modulus: `2^2 ..= 2^62`.
+#[inline]
+pub fn is_pow2_modulus(q: u64) -> bool {
+    q.is_power_of_two() && (4..=(1u64 << 62)).contains(&q)
+}
+
+/// The reduction mask `q − 1` for a power-of-two modulus.
+///
+/// # Panics
+///
+/// Debug-asserts that `q` is a supported power-of-two modulus.
+#[inline]
+pub fn mask(q: u64) -> u64 {
+    debug_assert!(is_pow2_modulus(q), "not a power-of-two modulus: {q}");
+    q - 1
+}
+
+/// Reduces one wrapped accumulator word into `[0, q)`: a single AND.
+#[inline]
+pub fn reduce(x: u64, q: u64) -> u64 {
+    x & mask(q)
+}
+
+/// Drains a lazily-accumulated slice into `[0, q)` — the power-of-two
+/// twin of [`crate::modular::Barrett::reduce_slice`], at one AND per
+/// element instead of three wide multiplies.
+pub fn reduce_slice(xs: &mut [u64], q: u64) {
+    let m = mask(q);
+    for x in xs {
+        *x &= m;
+    }
+}
+
+/// Element-wise lazy multiply-accumulate `acc[i] += a[i] · b[i]`, all in
+/// wrapping 64-bit arithmetic. The accumulator carries raw wrapped sums;
+/// [`reduce_slice`] drains it. This is the power-of-two counterpart of
+/// the Harvey-lazy Shoup MAC (`pointwise_mul_acc_shoup_lazy` + a Barrett
+/// drain): one multiply and one add per element, no reduction.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn mac_wrapping(acc: &mut [u64], a: &[u64], b: &[u64]) {
+    assert_eq!(acc.len(), a.len(), "operand length mismatch");
+    assert_eq!(acc.len(), b.len(), "operand length mismatch");
+    for ((d, &x), &y) in acc.iter_mut().zip(a).zip(b) {
+        *d = d.wrapping_add(x.wrapping_mul(y));
+    }
+}
+
+/// Scaled accumulate `acc[i] += a[i] · w` (wrapping) — the inner loop of
+/// one negacyclic weight tap.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+#[inline]
+pub fn axpy_wrapping(acc: &mut [u64], a: &[u64], w: u64) {
+    assert_eq!(acc.len(), a.len(), "operand length mismatch");
+    for (d, &x) in acc.iter_mut().zip(a) {
+        *d = d.wrapping_add(x.wrapping_mul(w));
+    }
+}
+
+/// Scaled wrapping subtract `acc[i] -= a[i] · w` — the sign-flipped tap
+/// half that crosses the negacyclic wrap boundary.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+#[inline]
+pub fn axpy_neg_wrapping(acc: &mut [u64], a: &[u64], w: u64) {
+    assert_eq!(acc.len(), a.len(), "operand length mismatch");
+    for (d, &x) in acc.iter_mut().zip(a) {
+        *d = d.wrapping_sub(x.wrapping_mul(w));
+    }
+}
+
+/// Sparse-tap negacyclic multiply-accumulate: for every tap `(j, w)`,
+/// `acc += a · w·X^j mod (X^N + 1)` in wrapping arithmetic. Signed tap
+/// values act through their two's-complement image (exact mod `2^l`).
+/// The accumulator is left *unreduced*; callers drain with
+/// [`reduce_slice`].
+///
+/// Cost is `N` wrapping multiply-adds per tap with zero reduction work —
+/// for the handful of taps a quantized conv band carries, this beats any
+/// transform and is **bit-exact**, which is why the runtime noise guard
+/// reroutes onto it when a power-of-two band runs out of error budget.
+///
+/// # Panics
+///
+/// Panics if `acc` and `a` differ in length or a tap index is out of
+/// range.
+pub fn negacyclic_mac_taps(acc: &mut [u64], a: &[u64], taps: &[(usize, i64)]) {
+    let n = a.len();
+    assert_eq!(acc.len(), n, "operand length mismatch");
+    for &(j, w) in taps {
+        assert!(j < n, "tap degree {j} out of range for N={n}");
+        let wu = w as u64;
+        // X^j shifts a[i] to position i + j; terms past N − 1 wrap with
+        // a sign flip (X^N = −1).
+        axpy_wrapping(&mut acc[j..], &a[..n - j], wu);
+        axpy_neg_wrapping(&mut acc[..j], &a[n - j..], wu);
+    }
+}
+
+/// Exact negacyclic product `a · b mod (X^N + 1, 2^l)` by wrapping
+/// schoolbook — the reference the transform-lifted power-of-two datapath
+/// is tested against, and the dense form of [`negacyclic_mac_taps`].
+///
+/// Operands are raw residues in `[0, q)`; correctness needs no center
+/// lift because wrapping arithmetic respects congruence mod `2^l`
+/// regardless of representative.
+///
+/// # Panics
+///
+/// Panics if the operand lengths differ or `q` is not a supported
+/// power-of-two modulus.
+pub fn negacyclic_mul_wrapping(a: &[u64], b: &[u64], q: u64) -> Vec<u64> {
+    assert_eq!(a.len(), b.len(), "operand length mismatch");
+    assert!(is_pow2_modulus(q), "not a power-of-two modulus: {q}");
+    let n = a.len();
+    let mut acc = vec![0u64; n];
+    for (j, &w) in b.iter().enumerate() {
+        if w == 0 {
+            continue;
+        }
+        axpy_wrapping(&mut acc[j..], &a[..n - j], w);
+        axpy_neg_wrapping(&mut acc[..j], &a[n - j..], w);
+    }
+    reduce_slice(&mut acc, q);
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const Q: u64 = 1 << 62;
+
+    /// Per-term-reduced schoolbook in `u128` — an independent oracle
+    /// that never relies on wrapping.
+    fn reference_mul(a: &[u64], b: &[u64], q: u64) -> Vec<u64> {
+        let n = a.len();
+        let q128 = q as u128;
+        let mut out = vec![0u128; n];
+        for (i, &x) in a.iter().enumerate() {
+            for (j, &y) in b.iter().enumerate() {
+                let term = (x as u128 % q128) * (y as u128 % q128) % q128;
+                let k = (i + j) % n;
+                if i + j < n {
+                    out[k] = (out[k] + term) % q128;
+                } else {
+                    out[k] = (out[k] + q128 - term) % q128;
+                }
+            }
+        }
+        out.into_iter().map(|x| x as u64).collect()
+    }
+
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *state
+    }
+
+    #[test]
+    fn modulus_classification() {
+        assert!(is_pow2_modulus(4));
+        assert!(is_pow2_modulus(1 << 13));
+        assert!(is_pow2_modulus(1 << 62));
+        assert!(!is_pow2_modulus(2));
+        assert!(!is_pow2_modulus(1 << 63));
+        assert!(!is_pow2_modulus(97));
+        assert_eq!(mask(Q), Q - 1);
+    }
+
+    #[test]
+    fn mac_wrapping_matches_per_element_modmul() {
+        let mut s = 0xD1CEu64;
+        for q in [1u64 << 13, 1 << 36, Q] {
+            let a: Vec<u64> = (0..64).map(|_| lcg(&mut s) & (q - 1)).collect();
+            let b: Vec<u64> = (0..64).map(|_| lcg(&mut s) & (q - 1)).collect();
+            let mut acc: Vec<u64> = (0..64).map(|_| lcg(&mut s) & (q - 1)).collect();
+            let want: Vec<u64> = acc
+                .iter()
+                .zip(a.iter().zip(&b))
+                .map(|(&d, (&x, &y))| ((d as u128 + x as u128 * y as u128) % q as u128) as u64)
+                .collect();
+            mac_wrapping(&mut acc, &a, &b);
+            reduce_slice(&mut acc, q);
+            assert_eq!(acc, want, "q={q}");
+        }
+    }
+
+    #[test]
+    fn wrapping_schoolbook_matches_reference_at_full_magnitude() {
+        // Near-overflow operands: coefficients right below q = 2^62, so
+        // single products reach ~2^124 and row sums wrap u64 thousands of
+        // times — exactly the regime where "wrapping is exact mod 2^l"
+        // must hold.
+        let n = 32;
+        let mut s = 0xFEED_F00Du64;
+        for round in 0..8 {
+            let a: Vec<u64> = (0..n)
+                .map(|_| {
+                    if round % 2 == 0 {
+                        lcg(&mut s) & (Q - 1)
+                    } else {
+                        Q - 1 - (lcg(&mut s) & 0xFF)
+                    }
+                })
+                .collect();
+            let b: Vec<u64> = (0..n)
+                .map(|_| {
+                    if round < 4 {
+                        lcg(&mut s) & (Q - 1)
+                    } else {
+                        Q - 1 - (lcg(&mut s) & 0x7)
+                    }
+                })
+                .collect();
+            assert_eq!(
+                negacyclic_mul_wrapping(&a, &b, Q),
+                reference_mul(&a, &b, Q),
+                "round {round}"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_taps_match_dense_schoolbook() {
+        let n = 64;
+        let mut s = 0xBEEFu64;
+        let a: Vec<u64> = (0..n).map(|_| lcg(&mut s) & (Q - 1)).collect();
+        // Signed taps, including the extremes of an 8-bit weight range.
+        let taps: Vec<(usize, i64)> = vec![(0, 127), (1, -128), (7, -1), (n - 1, 63), (13, -77)];
+        let mut b = vec![0u64; n];
+        for &(j, w) in &taps {
+            b[j] = w.rem_euclid(Q as i64) as u64;
+        }
+        let mut acc = vec![0u64; n];
+        negacyclic_mac_taps(&mut acc, &a, &taps);
+        reduce_slice(&mut acc, Q);
+        assert_eq!(acc, negacyclic_mul_wrapping(&a, &b, Q));
+    }
+
+    #[test]
+    fn taps_accumulate_on_top_of_existing_content() {
+        let n = 16;
+        let a: Vec<u64> = (0..n as u64).map(|i| (i * i) << 40).collect();
+        let taps = [(3usize, -5i64)];
+        let mut acc: Vec<u64> = (0..n as u64).map(|i| i << 50).collect();
+        let base = acc.clone();
+        negacyclic_mac_taps(&mut acc, &a, &taps);
+        reduce_slice(&mut acc, Q);
+        let mut prod = vec![0u64; n];
+        negacyclic_mac_taps(&mut prod, &a, &taps);
+        reduce_slice(&mut prod, Q);
+        for i in 0..n {
+            assert_eq!(acc[i], (base[i] + prod[i]) & (Q - 1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mac_rejects_mismatched_lengths() {
+        mac_wrapping(&mut [0; 4], &[0; 4], &[0; 3]);
+    }
+}

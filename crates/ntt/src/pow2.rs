@@ -1,0 +1,236 @@
+//! Exact negacyclic multiplication over a power-of-two ring `Z_{2^l}`.
+//!
+//! A power-of-two ciphertext modulus buys free reduction on the MAC path
+//! (see `flash_math::pow2`), but the NTT itself needs a prime with
+//! `q ≡ 1 (mod 2N)` — `2^l` has no roots of unity of the right order. The
+//! handful of places that still need an *exact* dense product on the
+//! power-of-two ring (key-side `a·s` and `p·u` multiplies during
+//! encryption/decryption, where the operands are too dense for the
+//! schoolbook fallback) lift instead through a two-limb CRT of
+//! NTT-friendly primes:
+//!
+//! 1. center-lift both operands out of `Z_{2^l}` into signed integers,
+//! 2. multiply exactly modulo each helper prime with the shared
+//!    Shoup-NTT kernels,
+//! 3. Garner-reconstruct the centered integer product and truncate it
+//!    back modulo `2^l` (a wrapping cast + mask).
+//!
+//! Exactness requires the true integer product to fit the CRT range:
+//! every coefficient of `a·b mod (X^N + 1)` is a sum of `N` terms bounded
+//! by `(q/2)·‖b‖_∞`, so the basis product `P ≈ 2^100` covers
+//! `N·(q/2)·‖b‖_∞ < P/2` — comfortable for the ternary secrets and
+//! encryption randomness this path serves (`‖b‖_∞ ≤ 1` leaves > 25 bits
+//! of slack at `N = 4096`, `q = 2^62`), but *not* for a product of two
+//! full-magnitude operands. The API is therefore named and guarded for a
+//! small second operand.
+
+use crate::polymul::negacyclic_mul_ntt_into;
+use crate::tables::NttTables;
+use flash_math::crt::CrtBasis;
+use flash_math::modular::{center_lift, from_signed};
+use flash_math::pow2::is_pow2_modulus;
+use flash_runtime::U64_SCRATCH;
+use std::sync::Arc;
+
+/// Bit width of the CRT helper primes. Two limbs give `P > 2^98`, enough
+/// for `N·(q/2)·‖b‖_∞` with `N ≤ 2^13`, `q ≤ 2^62` and small `b`.
+const LIMB_BITS: u32 = 50;
+
+/// Precomputed context for exact products on `Z_{2^l}[X]/(X^N + 1)`:
+/// the power-of-two modulus plus the two-limb CRT-NTT lift.
+#[derive(Debug)]
+pub struct Pow2Ring {
+    q: u64,
+    mask: u64,
+    limbs: Vec<Arc<NttTables>>,
+    crt: CrtBasis,
+    /// Largest `‖b‖_∞` for which the CRT lift is provably exact.
+    max_small: u64,
+}
+
+impl Pow2Ring {
+    /// Builds the ring context for degree `n` and modulus `2^l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a supported transform size or `l` is outside
+    /// `2..=62`.
+    pub fn new(n: usize, l: u32) -> Self {
+        assert!(
+            (2..=62).contains(&l),
+            "power-of-two modulus exponent {l} outside 2..=62"
+        );
+        let q = 1u64 << l;
+        let primes = flash_math::prime::ntt_primes(LIMB_BITS, n as u64, 2);
+        assert_eq!(primes.len(), 2, "no CRT helper primes for N = {n}");
+        let limbs: Vec<Arc<NttTables>> = primes
+            .iter()
+            .map(|&p| NttTables::shared(n, p).expect("helper prime admits an NTT"))
+            .collect();
+        let crt = CrtBasis::new(primes);
+        // N · (q/2) · max_small < P/2  ⇒  max_small < P / (N·q).
+        let max_small = (crt.product() / (n as u128 * q as u128) / 2) as u64;
+        assert!(max_small >= 1, "CRT range too small for N = {n}, q = 2^{l}");
+        Self {
+            q,
+            mask: q - 1,
+            limbs,
+            crt,
+            max_small,
+        }
+    }
+
+    /// The modulus `2^l`.
+    pub fn modulus(&self) -> u64 {
+        self.q
+    }
+
+    /// The reduction mask `2^l − 1`.
+    pub fn mask(&self) -> u64 {
+        self.mask
+    }
+
+    /// The ring degree `N`.
+    pub fn degree(&self) -> usize {
+        self.limbs[0].degree()
+    }
+
+    /// Largest `‖b‖_∞` (after center lift) accepted by
+    /// [`negacyclic_mul_small_into`](Self::negacyclic_mul_small_into).
+    pub fn max_small_norm(&self) -> u64 {
+        self.max_small
+    }
+
+    /// Exact negacyclic product `out = a · b mod (X^N + 1, 2^l)` where
+    /// `b` is *small*: its center-lifted coefficients must satisfy
+    /// `‖b‖_∞ ≤ max_small_norm()` (≈ `2^36` at `N = 4096`, `q = 2^62`)
+    /// so the integer product fits the CRT range. Ternary secrets and
+    /// encryption randomness always qualify.
+    ///
+    /// Cost: two Shoup-NTT multiplies plus a Garner recombination —
+    /// this runs once per key operation, never on the MAC path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch; debug-asserts the smallness bound and
+    /// operand reduction.
+    pub fn negacyclic_mul_small_into(&self, out: &mut [u64], a: &[u64], b: &[u64]) {
+        let n = self.degree();
+        assert_eq!(out.len(), n, "output length mismatch");
+        assert_eq!(a.len(), n, "operand length mismatch");
+        assert_eq!(b.len(), n, "operand length mismatch");
+        debug_assert!(
+            b.iter()
+                .all(|&x| center_lift(x & self.mask, self.q).unsigned_abs() <= self.max_small),
+            "second operand too large for an exact CRT lift"
+        );
+
+        let mut la = U64_SCRATCH.take(n);
+        let mut lb = U64_SCRATCH.take(n);
+        let mut prod0 = U64_SCRATCH.take(n);
+        let mut prod1 = U64_SCRATCH.take(n);
+        for (limb, prod) in self.limbs.iter().zip([&mut prod0[..], &mut prod1[..]]) {
+            let p = limb.modulus();
+            for ((la, lb), (&ai, &bi)) in la.iter_mut().zip(lb.iter_mut()).zip(a.iter().zip(b)) {
+                *la = from_signed(center_lift(ai & self.mask, self.q), p);
+                *lb = from_signed(center_lift(bi & self.mask, self.q), p);
+            }
+            negacyclic_mul_ntt_into(prod, &la, &lb, limb);
+        }
+        for ((o, &r0), &r1) in out.iter_mut().zip(prod0.iter()).zip(prod1.iter()) {
+            // i128 → u64 truncation is reduction mod 2^64; the mask
+            // finishes the reduction mod 2^l.
+            *o = (self.crt.reconstruct_centered(&[r0, r1]) as u64) & self.mask;
+        }
+    }
+
+    /// Allocating convenience wrapper over
+    /// [`negacyclic_mul_small_into`](Self::negacyclic_mul_small_into).
+    pub fn negacyclic_mul_small(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let mut out = vec![0u64; self.degree()];
+        self.negacyclic_mul_small_into(&mut out, a, b);
+        out
+    }
+}
+
+impl PartialEq for Pow2Ring {
+    fn eq(&self, other: &Self) -> bool {
+        self.q == other.q && self.degree() == other.degree()
+    }
+}
+
+/// Checks that `q` is a modulus [`Pow2Ring`] supports.
+pub fn supported_modulus(q: u64) -> bool {
+    is_pow2_modulus(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_math::pow2::negacyclic_mul_wrapping;
+
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *state
+    }
+
+    #[test]
+    fn matches_wrapping_schoolbook_for_ternary_operand() {
+        let ring = Pow2Ring::new(64, 62);
+        let q = ring.modulus();
+        let mut s = 0xABCDu64;
+        let a: Vec<u64> = (0..64).map(|_| lcg(&mut s) & (q - 1)).collect();
+        let b: Vec<u64> = (0..64)
+            .map(|_| match lcg(&mut s) % 3 {
+                0 => 0,
+                1 => 1,
+                _ => q - 1, // −1 mod 2^62
+            })
+            .collect();
+        assert_eq!(
+            ring.negacyclic_mul_small(&a, &b),
+            negacyclic_mul_wrapping(&a, &b, q)
+        );
+    }
+
+    #[test]
+    fn matches_wrapping_schoolbook_for_moderate_operand() {
+        // Exercise the full advertised smallness range at a modest
+        // degree, where max_small_norm is far above the weights the
+        // scheme actually uses.
+        let ring = Pow2Ring::new(32, 40);
+        let q = ring.modulus();
+        let bound = ring.max_small_norm().min(1 << 20);
+        let mut s = 0x77u64;
+        let a: Vec<u64> = (0..32).map(|_| lcg(&mut s) & (q - 1)).collect();
+        let b: Vec<u64> = (0..32)
+            .map(|_| {
+                let v = (lcg(&mut s) % (2 * bound + 1)) as i64 - bound as i64;
+                v.rem_euclid(q as i64) as u64
+            })
+            .collect();
+        assert_eq!(
+            ring.negacyclic_mul_small(&a, &b),
+            negacyclic_mul_wrapping(&a, &b, q)
+        );
+    }
+
+    #[test]
+    fn smallness_bound_is_generous_for_keys() {
+        let ring = Pow2Ring::new(4096, 62);
+        // Ternary secrets need ‖b‖ ≤ 1; the exactness bound must leave
+        // wide margin beyond that.
+        assert!(ring.max_small_norm() > 1 << 20);
+        assert_eq!(ring.degree(), 4096);
+        assert_eq!(ring.modulus(), 1 << 62);
+        assert_eq!(ring.mask(), (1 << 62) - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 2..=62")]
+    fn rejects_full_word_modulus() {
+        Pow2Ring::new(64, 63);
+    }
+}

@@ -141,6 +141,17 @@ impl ModelPlan {
         let p = &spec.params;
         let l = p.t.trailing_zeros();
         assert!(p.t.is_power_of_two() && l >= 2, "t must be 2^l");
+        match spec.backend {
+            PolyMulBackend::Pow2 => assert!(
+                p.is_pow2(),
+                "Pow2 backend requires a power-of-two ciphertext modulus"
+            ),
+            PolyMulBackend::Ntt => assert!(
+                !p.is_pow2(),
+                "exact NTT backend requires a prime ciphertext modulus"
+            ),
+            _ => {}
+        }
         let shape = spec.shape;
         assert_eq!(
             spec.weights.len(),
@@ -177,7 +188,7 @@ impl ModelPlan {
             for b in 0..bands {
                 let (noise, w_sq) = conv_band_noise_bound(p, &oc_polys, b, spec.truncation);
                 noise.check()?;
-                let fallback = match spec.backend.error_model() {
+                let fallback = match spec.backend.error_model(p) {
                     Some(model) => {
                         let err = model.phase_error_bound(p, w_sq, groups);
                         noise.bound() + err >= spec.noise_margin * noise.ceiling()
@@ -379,6 +390,53 @@ mod tests {
         assert_eq!(plan.sparse_units(), 0);
         assert!(plan.units.iter().all(|u| matches!(u, UnitWeights::Ntt(r)
                 if !r.w.is_empty() && r.shoup.len() == r.w.len())));
+    }
+
+    fn toy_spec_pow2() -> ModelSpec {
+        let shape = ConvShape {
+            c: 2,
+            h: 6,
+            w: 6,
+            m: 2,
+            k: 3,
+        };
+        let weights: Vec<i64> = (0..shape.m * shape.kernel_len())
+            .map(|i| ((i as i64 * 3) % 15) - 7)
+            .collect();
+        ModelSpec::new(
+            2,
+            HeParams::pow2_test_256(),
+            shape,
+            PolyMulBackend::Pow2,
+            weights,
+        )
+    }
+
+    #[test]
+    fn pow2_plan_precomputes_spectral_units() {
+        // At the default margin the error model clears the 2^62 ceiling
+        // easily, so every unit stays on the precomputed spectral path
+        // (with sparse tapes where worthwhile) — no per-unit fallbacks.
+        let plan = ModelPlan::build(toy_spec_pow2()).unwrap();
+        assert_eq!(plan.units.len(), plan.result_polys());
+        assert!(plan.sparse_units() > 0);
+        assert_eq!(plan.fallback_units(), 0);
+        assert!(plan
+            .units
+            .iter()
+            .all(|u| matches!(u, UnitWeights::Fft(s) if !s.is_empty())));
+    }
+
+    #[test]
+    fn pow2_zero_margin_pins_every_unit_to_fallback() {
+        let plan = ModelPlan::build(toy_spec_pow2().with_noise_margin(0.0)).unwrap();
+        assert_eq!(plan.fallback_units(), plan.result_polys());
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two ciphertext modulus")]
+    fn pow2_backend_rejects_prime_ring_at_registration() {
+        let _ = ModelPlan::build(toy_spec(PolyMulBackend::Pow2));
     }
 
     #[test]

@@ -539,12 +539,12 @@ fn process_group_batched(core: &Arc<ServerCore>, tickets: Vec<Ticket>) {
             for b in 0..bands {
                 let u = oc * bands + b;
                 if let UnitWeights::Fallback = &model.units[u] {
-                    // Exact coefficient-domain path; consumes the
-                    // ticket's own ciphertexts, not the hoisted spectra.
-                    let exact = PolyMulBackend::Ntt;
+                    // Exact coefficient-domain path (ring-dispatched);
+                    // consumes the ticket's own ciphertexts, not the
+                    // hoisted spectra.
                     let mut acc = Ciphertext::zero(n, p.q);
                     for (g, wp) in model.w_polys[oc].iter().enumerate() {
-                        ticket.cts[g * bands + b].mul_plain_signed_acc(&wp[b], p, &exact, &mut acc);
+                        ticket.cts[g * bands + b].mul_plain_signed_acc_exact(&wp[b], p, &mut acc);
                     }
                     resolved[ti][u] = Some(acc);
                 }
@@ -668,7 +668,7 @@ fn serial_units(
         for b in 0..bands {
             let (noise, w_sq) = conv_band_noise_bound(p, &w_polys, b, spec.truncation);
             noise.check()?;
-            let fallback = match spec.backend.error_model() {
+            let fallback = match spec.backend.error_model(p) {
                 Some(em) => {
                     let err = em.phase_error_bound(p, w_sq, groups);
                     noise.bound() + err >= spec.noise_margin * noise.ceiling()
@@ -676,10 +676,9 @@ fn serial_units(
                 None => false,
             };
             if fallback {
-                let exact = PolyMulBackend::Ntt;
                 let mut acc = Ciphertext::zero(p.n, p.q);
                 for (g, wp) in w_polys.iter().enumerate() {
-                    ticket.cts[g * bands + b].mul_plain_signed_acc(&wp[b], p, &exact, &mut acc);
+                    ticket.cts[g * bands + b].mul_plain_signed_acc_exact(&wp[b], p, &mut acc);
                 }
                 unit_cts[oc * bands + b] = Some(acc);
                 continue;

@@ -256,6 +256,70 @@ fn concurrent_batched_sessions_match_serial_baseline_bitwise() {
 }
 
 #[test]
+fn pow2_model_roundtrips_and_batched_matches_serial_bitwise() {
+    // The serving stack end-to-end on a power-of-two ciphertext modulus:
+    // HELLO/params handshake, 8-byte-coefficient serialization, the
+    // Pow2 spectral units of the batched core, and the serial baseline —
+    // identical shares from both scheduling policies.
+    let params = HeParams::pow2_test_256();
+    let shape = shape_a();
+    let weights = weights_for(&shape, 3);
+    let reqs = 3u64;
+    let run = |policy: BatchPolicy| {
+        let server = InferenceServer::start(policy, SERVER_SEED, 1);
+        server
+            .register_model(ModelSpec::new(
+                9,
+                params.clone(),
+                shape,
+                PolyMulBackend::Pow2,
+                weights.clone(),
+            ))
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(2024);
+        let mut client = Client::connect(
+            &server,
+            9,
+            0,
+            params.clone(),
+            shape,
+            TransportConfig::default(),
+            TransportConfig::default(),
+            Duration::from_secs(5),
+            &mut rng,
+        )
+        .unwrap();
+        let mut inputs = Vec::new();
+        for req_id in 0..reqs {
+            let x: Vec<i64> = (0..shape.input_len())
+                .map(|_| rng.gen_range(-8..8))
+                .collect();
+            let prepared = client.prepare(req_id, &x, &mut rng);
+            inputs.push(x);
+            client.dispatch(&server, &prepared).unwrap();
+        }
+        server.wait_for(reqs);
+        let mut shares = Vec::new();
+        for _ in 0..reqs {
+            let (req_id, y_client) = client.collect().unwrap();
+            let y_server = server.take_result(client.session_id(), req_id).unwrap();
+            shares.push((req_id, y_client, y_server));
+        }
+        server.shutdown();
+        (inputs, shares)
+    };
+    let (inputs, serial) = run(BatchPolicy::serial_baseline());
+    let ring = ShareRing::new(params.t.trailing_zeros());
+    for (req_id, y_client, y_server) in &serial {
+        let got = ring.reconstruct_vec(y_client, y_server);
+        let want = expected_conv_mod(&inputs[*req_id as usize], &weights, &shape, ring);
+        assert_eq!(got, want, "request {req_id}");
+    }
+    let (_, batched) = run(BatchPolicy::batched());
+    assert_eq!(batched, serial, "pow2 batched path must match serial");
+}
+
+#[test]
 fn model_cache_and_sessions_are_accounted() {
     let run = run_fleet(BatchPolicy::batched(), 2, 4, 2, &clean_cfg);
     assert!(run.errors.is_empty(), "{:?}", run.errors);

@@ -18,9 +18,11 @@
 //! encryption → share fold → per-group weight multiply → mask →
 //! truncation) and, on the approximate-FFT backend, adds the analytical
 //! error bound of the transform ([`ApproxErrorModel`]). If the total
-//! exceeds `margin × q/(2t)` the band transparently falls back to the
-//! exact NTT backend ([`ProtocolStats::ntt_fallbacks`]); if even the
-//! exact-path bound overflows the ceiling the run fails with
+//! exceeds `margin × q/(2t)` the band transparently falls back to an
+//! exact path dispatched on the ring family — the NTT backend on a prime
+//! modulus ([`ProtocolStats::ntt_fallbacks`]), the wrapping schoolbook on
+//! a power-of-two modulus ([`ProtocolStats::pow2_fallbacks`]); if even
+//! the exact-path bound overflows the ceiling the run fails with
 //! [`HeError::NoiseOverflow`] instead of decrypting garbage.
 //!
 //! [`ApproxErrorModel`]: flash_he::backend::ApproxErrorModel
@@ -78,8 +80,12 @@ pub struct ProtocolStats {
     pub faults_detected: usize,
     /// Retransmissions the transports requested.
     pub frames_retried: usize,
-    /// `(oc, band)` jobs the noise guard re-ran on the exact NTT backend.
+    /// `(oc, band)` jobs the noise guard re-ran on the exact NTT backend
+    /// (prime-modulus rings).
     pub ntt_fallbacks: usize,
+    /// `(oc, band)` jobs the noise guard re-ran on the exact wrapping
+    /// schoolbook (power-of-two-modulus rings).
+    pub pow2_fallbacks: usize,
 }
 
 /// The secret-shared output of one convolution.
@@ -119,10 +125,23 @@ impl ConvProtocol {
     /// # Panics
     ///
     /// Panics if `t` is not a power of two ≥ 4 (share/plaintext rings must
-    /// coincide).
+    /// coincide), or if the backend and the ring family disagree (the
+    /// `Pow2` backend needs a power-of-two ciphertext modulus; the exact
+    /// NTT backend needs a prime one).
     pub fn new(params: HeParams, shape: ConvShape, backend: PolyMulBackend) -> Self {
         let l = params.t.trailing_zeros();
         assert!(params.t.is_power_of_two() && l >= 2, "t must be 2^l");
+        match backend {
+            PolyMulBackend::Pow2 => assert!(
+                params.is_pow2(),
+                "Pow2 backend requires a power-of-two ciphertext modulus"
+            ),
+            PolyMulBackend::Ntt => assert!(
+                !params.is_pow2(),
+                "exact NTT backend requires a prime ciphertext modulus"
+            ),
+            _ => {}
+        }
         let encoder = ConvEncoder::new(shape, params.n);
         Self {
             ring: ShareRing::new(l),
@@ -343,7 +362,7 @@ impl ConvProtocol {
                 // any spectra are consumed.
                 let (noise, w_sq) = self.band_noise_bound(&w_polys, b);
                 noise.check()?;
-                let fallback = match self.backend.error_model() {
+                let fallback = match self.backend.error_model(p) {
                     Some(model) => {
                         let err = model.phase_error_bound(p, w_sq, groups);
                         noise.bound() + err >= self.noise_margin * noise.ceiling()
@@ -352,12 +371,14 @@ impl ConvProtocol {
                 };
                 band_stats.inverse_transforms += 2;
                 if fallback {
-                    band_stats.ntt_fallbacks += 1;
-                    let exact = PolyMulBackend::Ntt;
+                    if p.is_pow2() {
+                        band_stats.pow2_fallbacks += 1;
+                    } else {
+                        band_stats.ntt_fallbacks += 1;
+                    }
                     let mut acc = Ciphertext::zero(p.n, p.q);
                     for (g, w_poly) in w_polys.iter().enumerate() {
-                        cts_sum[g * bands + b]
-                            .mul_plain_signed_acc(&w_poly[b], p, &exact, &mut acc);
+                        cts_sum[g * bands + b].mul_plain_signed_acc_exact(&w_poly[b], p, &mut acc);
                         band_stats.weight_transforms += 1;
                         band_stats.pointwise_muls += 2 * half_spectrum;
                     }
@@ -468,6 +489,7 @@ impl ConvProtocol {
                 stats.inverse_transforms += band_stats.inverse_transforms;
                 stats.download_bytes += band_stats.download_bytes;
                 stats.ntt_fallbacks += band_stats.ntt_fallbacks;
+                stats.pow2_fallbacks += band_stats.pow2_fallbacks;
                 self.merge_band(&server_share, b, oc, &mut y_server);
                 down.send(&response)?;
                 order.push((b, oc));
@@ -528,6 +550,7 @@ impl ConvProtocol {
         flash_telemetry::counter!("twopc.faults_detected").add(stats.faults_detected as u64);
         flash_telemetry::counter!("twopc.frames_retried").add(stats.frames_retried as u64);
         flash_telemetry::counter!("hconv.ntt_fallbacks").add(stats.ntt_fallbacks as u64);
+        flash_telemetry::counter!("hconv.pow2_fallbacks").add(stats.pow2_fallbacks as u64);
 
         Ok((
             ConvOutputShares {
@@ -941,6 +964,103 @@ mod tests {
             proto.reconstruct(&shares),
             expected_conv_mod(&x, &w, &shape, proto.ring())
         );
+    }
+
+    #[test]
+    fn single_tile_protocol_pow2() {
+        let shape = ConvShape {
+            c: 2,
+            h: 6,
+            w: 6,
+            m: 2,
+            k: 3,
+        };
+        run_case(shape, HeParams::pow2_test_256(), PolyMulBackend::Pow2, 3);
+    }
+
+    #[test]
+    fn grouped_tiles_protocol_pow2() {
+        let shape = ConvShape {
+            c: 8,
+            h: 8,
+            w: 8,
+            m: 1,
+            k: 3,
+        };
+        run_case(shape, HeParams::pow2_test_256(), PolyMulBackend::Pow2, 4);
+    }
+
+    #[test]
+    fn pow2_zero_margin_falls_back_to_wrapping_schoolbook_with_equal_output() {
+        // The guard's pow2 arm: margin 0 trips the fallback on every
+        // band (the Pow2 backend always has a nonzero error bound), the
+        // exact path is the wrapping schoolbook (pow2_fallbacks, not
+        // ntt_fallbacks — there is no NTT on this ring), and the
+        // reconstructed output must equal both the direct reference and
+        // the hot path's output for the same seed.
+        let shape = ConvShape {
+            c: 2,
+            h: 6,
+            w: 6,
+            m: 2,
+            k: 3,
+        };
+        let params = HeParams::pow2_test_256();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(43);
+        let sk = SecretKey::generate(&params, &mut rng);
+        let x: Vec<i64> = (0..shape.input_len())
+            .map(|i| (i as i64 % 11) - 5)
+            .collect();
+        let w: Vec<i64> = (0..shape.m * shape.kernel_len())
+            .map(|i| (i as i64 % 11) - 5)
+            .collect();
+
+        let guarded =
+            ConvProtocol::new(params.clone(), shape, PolyMulBackend::Pow2).with_noise_margin(0.0);
+        let mut run_rng = rand::rngs::StdRng::seed_from_u64(47);
+        let (g_shares, g_stats) = guarded.run(&sk, &x, &w, &mut run_rng).unwrap();
+        assert_eq!(g_stats.pow2_fallbacks, g_stats.ciphertexts_down);
+        assert_eq!(g_stats.ntt_fallbacks, 0, "no NTT exists on a pow2 ring");
+        assert_eq!(g_stats.sparse_weight_transforms, 0);
+
+        let hot = ConvProtocol::new(params.clone(), shape, PolyMulBackend::Pow2);
+        let mut run_rng = rand::rngs::StdRng::seed_from_u64(47);
+        let (h_shares, h_stats) = hot.run(&sk, &x, &w, &mut run_rng).unwrap();
+        assert_eq!(h_stats.pow2_fallbacks, 0, "default margin keeps hot path");
+        assert!(h_stats.sparse_weight_transforms > 0);
+
+        let want = expected_conv_mod(&x, &w, &shape, guarded.ring());
+        assert_eq!(guarded.reconstruct(&g_shares), want);
+        assert_eq!(hot.reconstruct(&h_shares), want);
+        // Same seed → same masks → the exact and approximate paths agree
+        // share-for-share, not just after reconstruction.
+        assert_eq!(g_shares, h_shares);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two ciphertext modulus")]
+    fn pow2_backend_rejects_prime_ring() {
+        let shape = ConvShape {
+            c: 1,
+            h: 5,
+            w: 5,
+            m: 1,
+            k: 3,
+        };
+        ConvProtocol::new(HeParams::test_256(), shape, PolyMulBackend::Pow2);
+    }
+
+    #[test]
+    #[should_panic(expected = "prime ciphertext modulus")]
+    fn ntt_backend_rejects_pow2_ring() {
+        let shape = ConvShape {
+            c: 1,
+            h: 5,
+            w: 5,
+            m: 1,
+            k: 3,
+        };
+        ConvProtocol::new(HeParams::pow2_test_256(), shape, PolyMulBackend::Ntt);
     }
 
     #[test]
