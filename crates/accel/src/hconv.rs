@@ -16,6 +16,11 @@ use flash_nn::layers::ConvLayerSpec;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Output of [`FlashHconv::run_layer_shared`]: the still-secret
+/// `(client, server)` share pair of the conv output, plus the
+/// protocol's communication and fault statistics.
+pub type SharedLayerOutput = ((Vec<u64>, Vec<u64>), ProtocolStats);
+
 /// A functional FLASH HConv engine.
 #[derive(Debug, Clone)]
 pub struct FlashHconv {
@@ -165,6 +170,102 @@ impl FlashHconv {
                     }
                 }
                 Ok((out, stats))
+            }
+            s => panic!("unsupported stride {s}"),
+        }
+    }
+
+    /// Runs one quantized conv layer on an *already secret-shared*
+    /// activation and keeps the output secret-shared — the linear stage
+    /// of a full private pipeline, where the share pair chains into the
+    /// 2PC non-linear layer instead of being reconstructed.
+    ///
+    /// Padding and the stride-2 phase decomposition are pure reindexing,
+    /// so they apply to each share independently (`(0, 0)` is a valid
+    /// share of the zero padding); the four stride-2 phase outputs sum
+    /// share-wise in the ring.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::run_layer`].
+    ///
+    /// # Panics
+    ///
+    /// Panics for strides other than 1 or 2 or on size mismatches.
+    pub fn run_layer_shared<R: Rng>(
+        &self,
+        sk: &SecretKey,
+        spec: &ConvLayerSpec,
+        xc: &[u64],
+        xs: &[u64],
+        weights: &[i64],
+        rng: &mut R,
+    ) -> Result<SharedLayerOutput, FlashError> {
+        let _t = flash_telemetry::span!("hconv.layer");
+        assert_eq!(xc.len(), spec.c * spec.h * spec.w, "input size mismatch");
+        assert_eq!(xc.len(), xs.len(), "share length mismatch");
+        let as_raw = |share: &[u64]| -> Vec<i64> { share.iter().map(|&v| v as i64).collect() };
+        let xc_pad = pad_input(&as_raw(xc), spec.c, spec.h, spec.w, spec.pad);
+        let xs_pad = pad_input(&as_raw(xs), spec.c, spec.h, spec.w, spec.pad);
+        let back = |v: &[i64]| -> Vec<u64> { v.iter().map(|&x| x as u64).collect() };
+        let (hp, wp) = (spec.h + 2 * spec.pad, spec.w + 2 * spec.pad);
+        let shape = ConvShape {
+            c: spec.c,
+            h: hp,
+            w: wp,
+            m: spec.m,
+            k: spec.k,
+        };
+        match spec.stride {
+            1 => {
+                let proto = self.protocol(shape);
+                let (shares, stats) =
+                    proto.run_shared(sk, &back(&xc_pad), &back(&xs_pad), weights, rng)?;
+                Ok(((shares.client, shares.server), stats))
+            }
+            2 => {
+                // Decompose each share with the same weights: the phase
+                // kernels are identical, only the reindexed activations
+                // differ.
+                let (sub, parts_c) = stride2_decompose(&xc_pad, weights, &shape);
+                let (_, parts_s) = stride2_decompose(&xs_pad, weights, &shape);
+                let (oh, ow) = strided_out_dims(hp, wp, spec.k, 2);
+                let ring = self.ring();
+                let sub_len = spec.m * sub.out_h() * sub.out_w();
+                let mut sum_c = vec![0u64; sub_len];
+                let mut sum_s = vec![0u64; sub_len];
+                let mut stats = ProtocolStats::default();
+                let phase_seeds: Vec<u64> = parts_c.iter().map(|_| rng.next_u64()).collect();
+                let phase_results = flash_runtime::parallel_gen(parts_c.len(), |i| {
+                    let (pxc, fs) = &parts_c[i];
+                    let (pxs, _) = &parts_s[i];
+                    let proto = self.protocol(sub);
+                    let mut phase_rng = StdRng::seed_from_u64(phase_seeds[i]);
+                    proto.run_shared(sk, &back(pxc), &back(pxs), fs, &mut phase_rng)
+                });
+                for phase in phase_results {
+                    let (shares, s) = phase?;
+                    for (acc, v) in sum_c.iter_mut().zip(&shares.client) {
+                        *acc = ring.add(*acc, *v);
+                    }
+                    for (acc, v) in sum_s.iter_mut().zip(&shares.server) {
+                        *acc = ring.add(*acc, *v);
+                    }
+                    stats = merge_stats(stats, s);
+                }
+                let mut out_c = vec![0u64; spec.m * oh * ow];
+                let mut out_s = vec![0u64; spec.m * oh * ow];
+                for oc in 0..spec.m {
+                    for p in 0..oh {
+                        for q in 0..ow {
+                            let dst = (oc * oh + p) * ow + q;
+                            let src = (oc * sub.out_h() + p) * sub.out_w() + q;
+                            out_c[dst] = sum_c[src];
+                            out_s[dst] = sum_s[src];
+                        }
+                    }
+                }
+                Ok(((out_c, out_s), stats))
             }
             s => panic!("unsupported stride {s}"),
         }

@@ -1,0 +1,200 @@
+//! End-to-end private-inference benchmark: full networks through the
+//! hybrid HE/2PC protocol, written to `BENCH_e2e.json`.
+//!
+//! Two workloads run, both with every convolution homomorphic over
+//! additive shares and every non-linearity (ReLU, re-quantization,
+//! max/average pooling, classifier, argmax) on the executable 2PC
+//! suite:
+//!
+//! * the 3-conv synthetic CNN whose task is its own exact argmax — the
+//!   direct protocol-correctness measure (agreement must be ≥ 99 %);
+//! * a width/resolution-reduced ResNet-18 with the full residual
+//!   topology (stem, 3×3/2 max-pool, identity and projection shortcuts,
+//!   global average pooling, classifier).
+//!
+//! The artifact records the per-layer HE/non-linear/wire split —
+//! latency, ciphertext bytes, 2PC payload and framed bytes, fault
+//! recoveries — plus each layer's analytical `NonlinearModel` byte
+//! prediction; the run fails if measured non-linear payload drifts
+//! outside `[0.5×, 2×]` of the prediction or agreement drops below
+//! 99 %. The `fixture_ms` key is the committed baseline
+//! `bench_perf --check-regression` re-measures (calibration-normalized)
+//! on every gate run.
+//!
+//! `--quick` shrinks both runs and skips the artifact write (the CI
+//! smoke).
+
+use flash_accel::e2e::{
+    e2e_config, fixture_run_ms, run_resnet_e2e, run_synthetic_e2e, E2eOptions, E2eReport,
+};
+use flash_bench::banner;
+use flash_bench::perf::{calibration_ms, git_revision, simd_json};
+use flash_nn::resnet::QuantResnet;
+use flash_nn::synthetic::small_testnet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn print_report(r: &E2eReport) {
+    println!(
+        "\n{}: {} sample(s), agreement {:.1}%  (HE {:.1} ms, 2PC {:.1} ms, \
+         HE {:.1} KiB, 2PC payload {:.1} KiB, model ratio {:.2})",
+        r.network,
+        r.samples,
+        r.agreement * 100.0,
+        r.he_ms(),
+        r.nonlinear_ms(),
+        r.he_bytes() as f64 / 1024.0,
+        r.nonlinear_payload_bytes() as f64 / 1024.0,
+        r.byte_model_ratio(),
+    );
+    println!(
+        "{:22} {:7} {:>9} {:>9} {:>10} {:>10} {:>10} {:>6}",
+        "layer", "kind", "he_ms", "nl_ms", "he_KiB", "nl_KiB", "pred_KiB", "ratio"
+    );
+    for l in &r.layers {
+        let measured = l.nonlinear_payload_bytes as f64;
+        println!(
+            "{:22} {:7} {:9.2} {:9.2} {:10.1} {:10.1} {:10.1} {:6.2}",
+            l.name,
+            l.kind,
+            l.he_ms,
+            l.nonlinear_ms,
+            l.he_bytes as f64 / 1024.0,
+            measured / 1024.0,
+            l.predicted_bytes / 1024.0,
+            measured / l.predicted_bytes.max(1.0),
+        );
+    }
+}
+
+fn gate(r: &E2eReport) {
+    assert!(
+        r.agreement >= 0.99,
+        "{}: private/plaintext argmax agreement {:.3} below 99%",
+        r.network,
+        r.agreement
+    );
+    let ratio = r.byte_model_ratio();
+    assert!(
+        (0.5..=2.0).contains(&ratio),
+        "{}: measured 2PC payload is {ratio:.2}x the NonlinearModel prediction",
+        r.network
+    );
+}
+
+fn report_json(r: &E2eReport) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{{\n    \"network\": \"{}\",\n    \"samples\": {},\n    \"agreement\": {:.4},\n",
+        r.network, r.samples, r.agreement
+    ));
+    s.push_str(&format!(
+        "    \"he_ms\": {:.3},\n    \"nonlinear_ms\": {:.3},\n    \"he_bytes\": {},\n",
+        r.he_ms(),
+        r.nonlinear_ms(),
+        r.he_bytes()
+    ));
+    s.push_str(&format!(
+        "    \"nonlinear_payload_bytes\": {},\n    \"nonlinear_wire_bytes\": {},\n",
+        r.nonlinear_payload_bytes(),
+        r.nonlinear_wire_bytes()
+    ));
+    s.push_str(&format!(
+        "    \"predicted_bytes\": {:.1},\n    \"byte_model_ratio\": {:.4},\n",
+        r.predicted_bytes(),
+        r.byte_model_ratio()
+    ));
+    s.push_str(&format!(
+        "    \"faults_detected\": {},\n    \"frames_retried\": {},\n    \"layers\": [\n",
+        r.faults_detected(),
+        r.frames_retried()
+    ));
+    for (i, l) in r.layers.iter().enumerate() {
+        s.push_str(&format!(
+            "      {{\"name\": \"{}\", \"kind\": \"{}\", \"he_ms\": {:.3}, \"nonlinear_ms\": {:.3}, \
+             \"he_bytes\": {}, \"nonlinear_payload_bytes\": {}, \"nonlinear_wire_bytes\": {}, \
+             \"predicted_bytes\": {:.1}, \"elems\": {}}}{}\n",
+            l.name,
+            l.kind,
+            l.he_ms,
+            l.nonlinear_ms,
+            l.he_bytes,
+            l.nonlinear_payload_bytes,
+            l.nonlinear_wire_bytes,
+            l.predicted_bytes,
+            l.elems,
+            if i + 1 < r.layers.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("    ]\n  }");
+    s
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    banner("End-to-end private inference: HE convolutions + 2PC non-linear layers");
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let rev = git_revision();
+    let cfg = e2e_config();
+    println!(
+        "operating point: N = {}, q = 2^62 (pow2 backend), l = {} share ring",
+        cfg.he.n,
+        cfg.he.t.trailing_zeros()
+    );
+
+    // Regression fixture paired with calibration: per-value minimum
+    // over spaced attempts, so a contention burst cannot bake into the
+    // committed baseline (contention only ever adds time).
+    let (mut calib, mut fixture) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..3 {
+        calib = calib.min(calibration_ms());
+        fixture = fixture.min(fixture_run_ms());
+    }
+    println!("fixture: {fixture:.1} ms  (calibration {calib:.4} ms)");
+
+    // The synthetic CNN: the network's labels are its own exact argmax,
+    // so agreement is pure protocol correctness.
+    let mut rng = StdRng::seed_from_u64(0xe2e_0001);
+    let synthetic = small_testnet(&mut rng);
+    let syn_opts = E2eOptions {
+        samples: if quick { 3 } else { 20 },
+        ..E2eOptions::default()
+    };
+    let syn = run_synthetic_e2e(&synthetic, &cfg, &syn_opts).expect("synthetic e2e");
+    print_report(&syn);
+    gate(&syn);
+
+    // The reduced ResNet-18: full residual topology from the
+    // flash_nn::resnet table at 1/8 width on 32x32 inputs.
+    let mut rng = StdRng::seed_from_u64(0xe2e_0002);
+    let (div, input_h) = if quick { (16, 16) } else { (8, 32) };
+    let resnet = QuantResnet::reduced_resnet18(div, input_h, 10, &mut rng);
+    let res_opts = E2eOptions {
+        samples: if quick { 1 } else { 2 },
+        ..E2eOptions::default()
+    };
+    let res = run_resnet_e2e(&resnet, &cfg, &res_opts).expect("resnet e2e");
+    print_report(&res);
+    gate(&res);
+
+    if quick {
+        println!("\n--quick: skipping BENCH_e2e.json write");
+        return;
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"e2e_private_inference\",\n  \"host_parallelism\": {host},\n  \
+         \"git_revision\": \"{rev}\",\n{}  \"calib_ms\": {calib:.4},\n  \
+         \"fixture_ms\": {fixture:.3},\n  \"he_n\": {},\n  \"share_bits\": {},\n  \
+         \"synthetic\": {},\n  \"resnet18_reduced\": {}\n}}\n",
+        simd_json(),
+        cfg.he.n,
+        cfg.he.t.trailing_zeros(),
+        report_json(&syn),
+        report_json(&res),
+    );
+    std::fs::write("BENCH_e2e.json", &json).expect("write BENCH_e2e.json");
+    println!("\nwrote BENCH_e2e.json");
+}

@@ -23,11 +23,13 @@
 //!
 //! `--check-regression` measures nothing new: it re-times the hot-path,
 //! sparse-path, and SIMD-dispatch HConv medians, the power-of-two MAC
-//! kernel, and the serving layer's batched cost per request (the
-//! `bench_serve` wave, same fixture) and fails (exit 1) if any is more
-//! than 15 % slower than the committed `BENCH_hotpath.json` /
-//! `BENCH_sparse.json` / `BENCH_simd.json` / `BENCH_backends.json` /
-//! `BENCH_serve.json` baselines. The artifacts
+//! kernel, the serving layer's batched cost per request (the
+//! `bench_serve` wave, same fixture), and the end-to-end private
+//! inference fixture (the `bench_e2e` synthetic sample) and fails
+//! (exit 1) if any is more than 15 % slower than the committed
+//! `BENCH_hotpath.json` / `BENCH_sparse.json` / `BENCH_simd.json` /
+//! `BENCH_backends.json` / `BENCH_serve.json` / `BENCH_e2e.json`
+//! baselines. The artifacts
 //! carry a `calib_ms`
 //! field — the median of a fixed pure-ALU calibration loop measured in
 //! the same invocation — and the gate divides each ratio by the current
@@ -339,6 +341,16 @@ fn check_regression() -> i32 {
         "BENCH_backends.json",
         "pow2_mac_ms",
         &mut || pow2_mac_ms(),
+    );
+    // The end-to-end gate re-runs the `bench_e2e` fixture (one private
+    // inference of the fixed synthetic CNN: HE convolutions over shares
+    // plus the full 2PC non-linear stack) against the committed
+    // `BENCH_e2e.json` baseline.
+    check(
+        "e2e_private_fixture",
+        "BENCH_e2e.json",
+        "fixture_ms",
+        &mut flash_accel::e2e::fixture_run_ms,
     );
     // The serving gate re-runs the exact wave shape the committed
     // `BENCH_serve.json` was produced from (same fixture module, same

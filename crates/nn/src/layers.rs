@@ -118,6 +118,47 @@ pub fn conv_reference(x: &[i64], f: &[i64], spec: &ConvLayerSpec) -> Vec<i64> {
     y
 }
 
+/// Plaintext max-pooling reference. Out-of-bounds (padded) positions
+/// contribute 0 — the after-ReLU identity, matching the secure pooling's
+/// window rule.
+///
+/// # Panics
+///
+/// Panics when the input length does not match `c·h·w`.
+pub fn maxpool_reference(
+    x: &[i64],
+    (c, h, w): (usize, usize, usize),
+    k: usize,
+    stride: usize,
+    pad: usize,
+) -> Vec<i64> {
+    assert_eq!(x.len(), c * h * w, "input size mismatch");
+    let oh = (h + 2 * pad - k) / stride + 1;
+    let ow = (w + 2 * pad - k) / stride + 1;
+    let mut out = Vec::with_capacity(c * oh * ow);
+    for ch in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = i64::MIN;
+                for dy in 0..k {
+                    for dx in 0..k {
+                        let iy = (oy * stride + dy) as isize - pad as isize;
+                        let ix = (ox * stride + dx) as isize - pad as isize;
+                        let v = if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                            x[(ch * h + iy as usize) * w + ix as usize]
+                        } else {
+                            0
+                        };
+                        best = best.max(v);
+                    }
+                }
+                out.push(best);
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

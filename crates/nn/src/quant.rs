@@ -115,6 +115,26 @@ impl Requantizer {
     }
 }
 
+/// Integer division rounding to nearest, ties away from zero — the same
+/// rounding rule [`Requantizer::apply`] uses for its power-of-two shift.
+/// Average pooling divides channel sums by the (generally non-power-of-
+/// two) spatial size and must agree with the requantizer on negative
+/// sums, or the pooled features drift by one LSB between the plaintext
+/// reference and the 2PC execution path.
+///
+/// # Panics
+///
+/// Panics for `d <= 0`.
+#[inline]
+pub fn div_round_half_away(n: i64, d: i64) -> i64 {
+    assert!(d > 0, "divisor must be positive");
+    if n >= 0 {
+        (n + d / 2) / d
+    } else {
+        -((-n + d / 2) / d)
+    }
+}
+
 /// The maximum possible absolute sum-product of a conv layer:
 /// `C·k² · max|w| · max|x|` — sizes the plaintext modulus `t`.
 pub fn max_sum_product(c: usize, k: usize, w_bits: u32, a_bits: u32) -> i64 {
@@ -189,6 +209,27 @@ mod tests {
         );
         // Errors comparable to the step always can.
         assert!(r.flips(511, 1024));
+    }
+
+    #[test]
+    fn div_round_half_away_matches_requantizer_shift() {
+        // For power-of-two divisors the helper must be bit-identical to
+        // the requantizer's rounding shift (wide out_bits disable the
+        // clamp so only the rounding rule is compared).
+        let r = Requantizer {
+            shift: 3,
+            out_bits: 16,
+        };
+        for sp in -2000..2000 {
+            assert_eq!(div_round_half_away(sp, 8), r.apply(sp), "sp={sp}");
+        }
+        // Non-power-of-two divisors: nearest, ties away from zero.
+        assert_eq!(div_round_half_away(7, 3), 2);
+        assert_eq!(div_round_half_away(-7, 3), -2);
+        assert_eq!(div_round_half_away(3, 2), 2);
+        assert_eq!(div_round_half_away(-3, 2), -2);
+        // Truncating division would round -1/2 up to 0.
+        assert_eq!(div_round_half_away(-1, 2), -1);
     }
 
     #[test]

@@ -5,7 +5,10 @@
 //! enumerate every convolution in execution order with its exact input
 //! geometry, matching torchvision's reference models.
 
-use crate::layers::ConvLayerSpec;
+use crate::layers::{conv_reference, maxpool_reference, ConvLayerSpec};
+use crate::quant::{div_round_half_away, Quantizer, Requantizer};
+use flash_he::matvec::matvec_reference;
+use rand::Rng;
 
 /// A network's linear-layer inventory.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -223,6 +226,253 @@ pub fn vgg16_conv_layers() -> Network {
     }
 }
 
+/// One quantized convolution of the executable ResNet: reduced geometry
+/// (the torchvision name is kept from the full table), W4 weights and
+/// the calibrated re-quantizer of the stage that follows it.
+#[derive(Debug, Clone)]
+pub struct ConvUnit {
+    /// Layer geometry.
+    pub spec: ConvLayerSpec,
+    /// Row-major quantized weights (`m·c·k·k`).
+    pub weights: Vec<i64>,
+    /// Re-quantizer applied after this convolution — after ReLU for the
+    /// stem and `conv1` units, on the raw sum-product for `conv2` and
+    /// `downsample` units (their ReLU comes after the residual add).
+    pub rq: Requantizer,
+}
+
+/// One basic block: two 3×3 convolutions plus the optional 1×1
+/// projection on the identity path.
+#[derive(Debug, Clone)]
+pub struct ResBlock {
+    /// First 3×3 (carries the block's stride).
+    pub conv1: ConvUnit,
+    /// Second 3×3 (stride 1).
+    pub conv2: ConvUnit,
+    /// 1×1 stride-2 projection on stage boundaries, absent otherwise.
+    pub down: Option<ConvUnit>,
+}
+
+/// An *executable* quantized ResNet-18 with the full residual topology —
+/// stem, 3×3/2 max-pool, eight basic blocks with identity/projection
+/// shortcuts, global average pooling and the classifier — instantiated
+/// at reduced width/resolution so the hybrid HE/2PC protocol can run it
+/// end to end in test time. The topology (layer names, kernel sizes,
+/// strides, channel ratios, downsample placement) is derived from
+/// [`resnet18_conv_layers`]; only channel counts and spatial resolution
+/// shrink.
+#[derive(Debug, Clone)]
+pub struct QuantResnet {
+    /// Model name, e.g. `"resnet18-w8-h32"`.
+    pub name: String,
+    /// The 7×7/2 stem convolution.
+    pub stem: ConvUnit,
+    /// Stem max-pool `(k, stride, pad)` — 3×3/2, pad 1.
+    pub pool: (usize, usize, usize),
+    /// The eight basic blocks in execution order.
+    pub blocks: Vec<ResBlock>,
+    /// Classifier dimensions `(in_features, classes)`.
+    pub fc: (usize, usize),
+    /// Row-major `classes × in_features` classifier weights.
+    pub fc_weights: Vec<i64>,
+}
+
+impl QuantResnet {
+    /// Builds a width/resolution-reduced quantized ResNet-18: channel
+    /// counts divide by `channel_div` (the 3-channel input stays), the
+    /// input is `input_h × input_h`, and every re-quantizer is
+    /// calibrated by a cleartext forward pass on random data.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero divisor, `input_h < 8` (five stride-2 stages
+    /// need the room) or fewer than two classes.
+    pub fn reduced_resnet18<R: Rng>(
+        channel_div: usize,
+        input_h: usize,
+        classes: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(channel_div >= 1, "channel divisor must be positive");
+        assert!(input_h >= 8, "five stride-2 stages need input_h >= 8");
+        assert!(classes >= 2, "need at least two classes");
+        let full = resnet18_conv_layers();
+        let wq = Quantizer::w4();
+        let ch = |c: usize| if c == 3 { 3 } else { (c / channel_div).max(1) };
+        let unit = |spec: &ConvLayerSpec, c: usize, h: usize, w: usize, rng: &mut R| {
+            let spec = ConvLayerSpec {
+                name: spec.name.clone(),
+                c,
+                h,
+                w,
+                m: ch(spec.m),
+                k: spec.k,
+                stride: spec.stride,
+                pad: spec.pad,
+            };
+            let weights = spec.sample_weights(wq, rng);
+            // placeholder; the calibration pass below overwrites it
+            let rq = Requantizer {
+                shift: 0,
+                out_bits: 4,
+            };
+            ConvUnit { spec, weights, rq }
+        };
+
+        // Group the full table into stem + (conv1, conv2, downsample?)
+        // triples, then rebuild each with reduced channels and spatial
+        // dimensions propagated from the reduced input.
+        let convs = &full.convs;
+        let stem = unit(&convs[0], 3, input_h, input_h, rng);
+        let (mut c, mut h, mut w) = (stem.spec.m, stem.spec.out_h(), stem.spec.out_w());
+        let pool = (3usize, 2usize, 1usize);
+        h = (h + 2 * pool.2 - pool.0) / pool.1 + 1;
+        w = (w + 2 * pool.2 - pool.0) / pool.1 + 1;
+        let mut blocks = Vec::new();
+        let mut i = 1;
+        while i < convs.len() {
+            let conv1 = unit(&convs[i], c, h, w, rng);
+            let (m1, h1, w1) = (conv1.spec.m, conv1.spec.out_h(), conv1.spec.out_w());
+            let conv2 = unit(&convs[i + 1], m1, h1, w1, rng);
+            let down = convs
+                .get(i + 2)
+                .filter(|s| s.name.ends_with("downsample"))
+                .map(|s| unit(s, c, h, w, rng));
+            i += if down.is_some() { 3 } else { 2 };
+            (c, h, w) = (conv2.spec.m, conv2.spec.out_h(), conv2.spec.out_w());
+            blocks.push(ResBlock { conv1, conv2, down });
+        }
+        let fc_weights = (0..classes * c).map(|_| wq.sample(rng)).collect();
+        let mut net = Self {
+            name: format!("resnet18-w{channel_div}-h{input_h}"),
+            stem,
+            pool,
+            blocks,
+            fc: (c, classes),
+            fc_weights,
+        };
+        let x = net.stem.spec.sample_input(Quantizer::a4(), rng);
+        let rqs = net.calibrate_rqs(&x);
+        for (u, rq) in net.units_mut().into_iter().zip(rqs) {
+            u.rq = rq;
+        }
+        net
+    }
+
+    /// The input tensor size (`3 · input_h²`).
+    pub fn input_len(&self) -> usize {
+        let s = &self.stem.spec;
+        s.c * s.h * s.w
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.fc.1
+    }
+
+    /// Every convolution in execution order (stem, then per block
+    /// `conv1`, `conv2`, `downsample?`) — the order re-quantizers are
+    /// consumed in during a forward pass.
+    pub fn units_in_order(&self) -> Vec<&ConvUnit> {
+        let mut v = vec![&self.stem];
+        for b in &self.blocks {
+            v.push(&b.conv1);
+            v.push(&b.conv2);
+            if let Some(d) = &b.down {
+                v.push(d);
+            }
+        }
+        v
+    }
+
+    fn units_mut(&mut self) -> Vec<&mut ConvUnit> {
+        let mut v = vec![&mut self.stem];
+        for b in &mut self.blocks {
+            v.push(&mut b.conv1);
+            v.push(&mut b.conv2);
+            if let Some(d) = &mut b.down {
+                v.push(d);
+            }
+        }
+        v
+    }
+
+    /// Exact integer inference; returns the logits.
+    pub fn logits(&self, x: &[i64]) -> Vec<i64> {
+        let units = self.units_in_order();
+        let mut next = 0;
+        self.forward_with(x, |_| {
+            let rq = units[next].rq;
+            next += 1;
+            rq
+        })
+    }
+
+    /// One calibration pass: re-quantizers are derived from each conv's
+    /// raw sum-products *in execution order*, so every layer calibrates
+    /// on properly re-quantized upstream activations.
+    fn calibrate_rqs(&self, x: &[i64]) -> Vec<Requantizer> {
+        let mut rqs = Vec::new();
+        self.forward_with(x, |y| {
+            let max_sp = y.iter().map(|v| v.abs()).max().unwrap_or(1).max(1);
+            let rq = Requantizer::calibrate(max_sp, 4);
+            rqs.push(rq);
+            rq
+        });
+        rqs
+    }
+
+    /// The single forward implementation both [`Self::logits`] and
+    /// calibration share. `rq_for` is called once per convolution, in
+    /// execution order, with the raw sum-products, and returns the
+    /// re-quantizer to apply — so the plaintext reference and the
+    /// private execution can only ever disagree if the shared topology
+    /// itself is wrong.
+    fn forward_with(&self, x: &[i64], mut rq_for: impl FnMut(&[i64]) -> Requantizer) -> Vec<i64> {
+        let s = &self.stem;
+        assert_eq!(x.len(), self.input_len(), "input size mismatch");
+        let y = conv_reference(x, &s.weights, &s.spec);
+        let rq = rq_for(&y);
+        let mut a: Vec<i64> = y.iter().map(|&v| rq.apply(v.max(0))).collect();
+        let (mut c, mut h, mut w) = (s.spec.m, s.spec.out_h(), s.spec.out_w());
+        let (pk, ps, pp) = self.pool;
+        a = maxpool_reference(&a, (c, h, w), pk, ps, pp);
+        h = (h + 2 * pp - pk) / ps + 1;
+        w = (w + 2 * pp - pk) / ps + 1;
+        for b in &self.blocks {
+            let y1 = conv_reference(&a, &b.conv1.weights, &b.conv1.spec);
+            let rq1 = rq_for(&y1);
+            let t: Vec<i64> = y1.iter().map(|&v| rq1.apply(v.max(0))).collect();
+            let y2 = conv_reference(&t, &b.conv2.weights, &b.conv2.spec);
+            let rq2 = rq_for(&y2);
+            let shortcut: Vec<i64> = match &b.down {
+                Some(d) => {
+                    let yd = conv_reference(&a, &d.weights, &d.spec);
+                    let rqd = rq_for(&yd);
+                    yd.iter().map(|&v| rqd.apply(v)).collect()
+                }
+                None => a.clone(),
+            };
+            a = y2
+                .iter()
+                .zip(&shortcut)
+                .map(|(&p, &q)| (rq2.apply(p) + q).max(0))
+                .collect();
+            (c, h, w) = (b.conv2.spec.m, b.conv2.spec.out_h(), b.conv2.spec.out_w());
+        }
+        let spatial = h * w;
+        let pooled: Vec<i64> = (0..c)
+            .map(|ch| {
+                div_round_half_away(
+                    a[ch * spatial..(ch + 1) * spatial].iter().sum::<i64>(),
+                    spatial as i64,
+                )
+            })
+            .collect();
+        matvec_reference(&self.fc_weights, &pooled, self.fc.0, self.fc.1)
+    }
+}
+
 /// The three convolutions of one ResNet-50 stage-1 residual block
 /// (the Figure-1 profiling workload).
 pub fn resnet50_residual_block() -> Vec<ConvLayerSpec> {
@@ -236,6 +486,7 @@ pub fn resnet50_residual_block() -> Vec<ConvLayerSpec> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::SeedableRng;
 
     #[test]
     fn resnet18_inventory() {
@@ -316,6 +567,72 @@ mod tests {
         for l in &block {
             assert_eq!(l.out_h(), 56);
         }
+    }
+
+    #[test]
+    fn reduced_resnet18_topology_matches_table() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let net = QuantResnet::reduced_resnet18(8, 32, 10, &mut rng);
+        // 8 basic blocks, projections on the three stage boundaries
+        assert_eq!(net.blocks.len(), 8);
+        let downs: Vec<usize> = net
+            .blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.down.is_some())
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(downs, vec![2, 4, 6]);
+        // 20 convolutions total, same names as the full table
+        let units = net.units_in_order();
+        assert_eq!(units.len(), 20);
+        let full = resnet18_conv_layers();
+        // table order is conv1/conv2/downsample per block, execution
+        // order is the same — names must match one-to-one
+        for (u, f) in units.iter().zip(&full.convs) {
+            assert_eq!(u.spec.name, f.name);
+            assert_eq!(u.spec.k, f.k, "{}", f.name);
+            assert_eq!(u.spec.stride, f.stride, "{}", f.name);
+            assert_eq!(u.spec.pad, f.pad, "{}", f.name);
+        }
+        // channels divide by 8: stem 64 -> 8, final stage 512 -> 64
+        assert_eq!(net.stem.spec.m, 8);
+        assert_eq!(net.fc, (64, 10));
+    }
+
+    #[test]
+    fn reduced_resnet18_geometry_chains() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let net = QuantResnet::reduced_resnet18(16, 16, 6, &mut rng);
+        for b in &net.blocks {
+            // conv1 -> conv2 channel/spatial flow
+            assert_eq!(b.conv1.spec.m, b.conv2.spec.c);
+            assert_eq!(b.conv1.spec.out_h(), b.conv2.spec.h);
+            // shortcut dims agree with the residual branch output
+            if let Some(d) = &b.down {
+                assert_eq!(d.spec.m, b.conv2.spec.m);
+                assert_eq!(d.spec.out_h(), b.conv2.spec.out_h());
+                assert_eq!(d.spec.out_w(), b.conv2.spec.out_w());
+            } else {
+                assert_eq!(b.conv1.spec.c, b.conv2.spec.m);
+                assert_eq!(b.conv1.spec.h, b.conv2.spec.out_h());
+            }
+        }
+    }
+
+    #[test]
+    fn reduced_resnet18_inference_is_deterministic_and_bounded() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let net = QuantResnet::reduced_resnet18(16, 16, 6, &mut rng);
+        let x: Vec<i64> = (0..net.input_len())
+            .map(|i| ((i as i64) % 15) - 7)
+            .collect();
+        let logits = net.logits(&x);
+        assert_eq!(logits.len(), 6);
+        assert_eq!(net.logits(&x), logits);
+        // activations are 4-bit re-quantized throughout, so logits stay
+        // far inside the l = 21 share ring's signed range
+        assert!(logits.iter().all(|v| v.abs() < 1 << 20), "{logits:?}");
     }
 
     #[test]

@@ -23,6 +23,8 @@ pub mod transport;
 
 pub use error::{FlashError, ProtocolError};
 pub use matvec::MatVecProtocol;
+pub use nonlinear::exec::{maxpool_reference, NonlinearSession, NonlinearStats};
+pub use nonlinear::NonlinearModel;
 pub use protocol::{
     conv_band_noise_bound, conv_band_plan, expected_conv_mod, ConvProtocol, ProtocolStats,
 };

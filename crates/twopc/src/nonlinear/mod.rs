@@ -8,6 +8,8 @@
 //! *cost*: bytes and rounds per element, parameterized on published
 //! Cheetah measurements.
 
+pub mod exec;
+
 /// Per-element communication of one non-linear primitive.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PrimitiveCost {
@@ -38,10 +40,14 @@ impl NonlinearModel {
         let l = share_bits as f64;
         Self {
             share_bits,
-            // ~λ-free silent-OT comparison: a few bits per share bit
+            // ~λ-free silent-OT comparison: a few bits per share bit.
+            // The comparison tree needs ⌈log2 l⌉ rounds — `ilog2(l) + 1`
+            // overcounts by one whenever `l` is a power of two, and a
+            // zero-width share (a degenerate but reachable request) must
+            // cost zero rounds instead of panicking in `ilog2`.
             compare: PrimitiveCost {
                 bytes_per_elem: 4.0 * l / 8.0,
-                rounds: (share_bits.ilog2() + 1),
+                rounds: ceil_log2(share_bits),
             },
             select: PrimitiveCost {
                 bytes_per_elem: 2.0 * l / 8.0,
@@ -78,6 +84,16 @@ impl NonlinearModel {
     }
 }
 
+/// `⌈log2 v⌉`, with the zero-width guard `ceil_log2(0) = 0` (a
+/// degenerate share width costs nothing rather than panicking).
+pub(crate) fn ceil_log2(v: u32) -> u32 {
+    if v <= 1 {
+        0
+    } else {
+        32 - (v - 1).leading_zeros()
+    }
+}
+
 /// Non-linear cost of a whole network: Σ over conv outputs.
 pub fn network_nonlinear_bytes(
     model: &NonlinearModel,
@@ -108,8 +124,25 @@ mod tests {
     }
 
     #[test]
+    fn compare_rounds_are_ceil_log2() {
+        // Power-of-two widths: exactly log2, not log2 + 1.
+        assert_eq!(NonlinearModel::cheetah(16).compare.rounds, 4);
+        assert_eq!(NonlinearModel::cheetah(32).compare.rounds, 5);
+        // Non-powers round up.
+        assert_eq!(NonlinearModel::cheetah(21).compare.rounds, 5);
+        assert_eq!(NonlinearModel::cheetah(17).compare.rounds, 5);
+        // The zero-width guard: no panic, no rounds, no bytes.
+        let z = NonlinearModel::cheetah(0);
+        assert_eq!(z.compare.rounds, 0);
+        assert_eq!(z.compare.bytes_per_elem, 0.0);
+    }
+
+    #[test]
     fn latency_decomposes_into_transfer_and_rounds() {
         let m = NonlinearModel::cheetah(21);
+        // 21-bit shares: a 5-level comparison tree (⌈log2 21⌉), then the
+        // 2-round select and 2-round truncation.
+        assert_eq!(m.relu().rounds + m.truncation.rounds, 5 + 2 + 2);
         // infinite bandwidth leaves only round latency
         let rounds_only = m.layer_latency_s(1_000_000, 1e9, 10.0);
         let expected_rounds = (m.relu().rounds + m.truncation.rounds) as f64 * 0.010;

@@ -258,8 +258,40 @@ impl ConvProtocol {
         weights: &[i64],
         rng: &mut R,
     ) -> Result<(ConvOutputShares, ProtocolStats), FlashError> {
+        assert_eq!(
+            x.len(),
+            self.encoder.shape().input_len(),
+            "activation size mismatch"
+        );
+        // --- Secret-share the activation (normally pre-existing state).
+        let (x_client, x_server) = self.ring.share_vec(x, rng);
+        self.run_shared(sk, &x_client, &x_server, weights, rng)
+    }
+
+    /// Runs the protocol on an *already secret-shared* activation — the
+    /// entry point of a full private-inference pipeline, where each conv
+    /// layer's input arrives as the share pair the previous non-linear
+    /// stage produced. Shares are ring elements of [`Self::ring`]; the
+    /// output is again secret-shared.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on size mismatches with the planned shape.
+    pub fn run_shared<R: Rng>(
+        &self,
+        sk: &SecretKey,
+        x_client: &[u64],
+        x_server: &[u64],
+        weights: &[i64],
+        rng: &mut R,
+    ) -> Result<(ConvOutputShares, ProtocolStats), FlashError> {
         let shape = *self.encoder.shape();
-        assert_eq!(x.len(), shape.input_len(), "activation size mismatch");
+        assert_eq!(x_client.len(), shape.input_len(), "share size mismatch");
+        assert_eq!(x_client.len(), x_server.len(), "share length mismatch");
         assert_eq!(
             weights.len(),
             shape.m * shape.kernel_len(),
@@ -270,8 +302,6 @@ impl ConvProtocol {
         let mut up = InMemoryTransport::new(self.direction_config(UP_LINK_SALT));
         let mut down = InMemoryTransport::new(self.direction_config(DOWN_LINK_SALT));
 
-        // --- Secret-share the activation (normally pre-existing state).
-        let (x_client, x_server) = self.ring.share_vec(x, rng);
         let xc_signed: Vec<i64> = x_client.iter().map(|&v| v as i64).collect();
         let xs_signed: Vec<i64> = x_server.iter().map(|&v| v as i64).collect();
 

@@ -1,0 +1,200 @@
+//! Property-based tests of the executable 2PC non-linear suite: every
+//! primitive against its plaintext reference over adversarial inputs —
+//! negatives, exact ties, and values at the edge of the share ring's
+//! signed range — plus wire-fault behavior (bit-identical recovery or a
+//! typed error, never a silently wrong share).
+
+use flash_2pc::nonlinear::exec::maxpool_reference;
+use flash_2pc::shares::ShareRing;
+use flash_2pc::transport::{FaultConfig, FaultPlan, TransportConfig};
+use flash_2pc::{FlashError, NonlinearSession};
+use flash_nn::quant::{div_round_half_away, Requantizer};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn session(l: u32, seed: u64) -> NonlinearSession {
+    NonlinearSession::new(ShareRing::new(l), TransportConfig::default(), seed)
+}
+
+/// Signed values spanning half the `l`-bit centered range (so pairwise
+/// *differences* still fit the signed range — the comparison tree's
+/// contract), biased toward the edges (0, ±1, ±2^{l-2}) where the
+/// comparison logic breaks first.
+fn comparable_values(l: u32, len: usize) -> impl Strategy<Value = Vec<i64>> {
+    let quarter = 1i64 << (l - 2);
+    prop::collection::vec((0u8..12, any::<i64>()), 1..=len).prop_map(move |pairs| {
+        pairs
+            .into_iter()
+            .map(|(pick, raw)| match pick {
+                0 => 0,
+                1 => 1,
+                2 => -1,
+                3 => quarter - 1,
+                4 => -quarter,
+                5 => -(quarter - 1),
+                _ => raw.rem_euclid(2 * quarter) - quarter,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// DReLU equals the plaintext sign test (`x ≥ 0`, so `drelu(0) = 1`)
+    /// for every ring width, including at the exact extremes of the
+    /// signed range.
+    #[test]
+    fn drelu_matches_sign_reference(l in 4u32..24, seed in 0u64..1000) {
+        let half = 1i64 << (l - 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sess = session(l, seed ^ 0xd1);
+        let ring = sess.ring();
+        use rand::Rng;
+        let mut x: Vec<i64> = (0..17).map(|_| rng.gen_range(-half..half)).collect();
+        x.extend_from_slice(&[0, 1, -1, half - 1, -half, -(half - 1)]);
+        let (xc, xs) = ring.share_vec(&x, &mut rng);
+        let (dc, ds) = sess.drelu(&xc, &xs, &mut rng).unwrap();
+        for (i, &v) in x.iter().enumerate() {
+            let got = dc[i] ^ ds[i];
+            prop_assert_eq!(got, u8::from(v >= 0), "x = {} at l = {}", v, l);
+        }
+    }
+
+    /// The truncation primitive is bit-exact against
+    /// [`Requantizer::apply`]: shift rounding half away from zero, then
+    /// clamp — for negative inputs and at the ring edge too.
+    #[test]
+    fn truncation_matches_requantizer(
+        l in 8u32..24,
+        shift in 0u32..12,
+        out_bits in 2u32..8,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sess = session(l, seed ^ 0x7c);
+        let ring = sess.ring();
+        let rq = Requantizer { shift, out_bits };
+        let half = 1i64 << (l - 1);
+        use rand::Rng;
+        let mut x: Vec<i64> = (0..13).map(|_| rng.gen_range(-half..half)).collect();
+        x.extend_from_slice(&[0, -1, half - 1, -half]);
+        let (xc, xs) = ring.share_vec(&x, &mut rng);
+        let (yc, ys) = sess.requant(&xc, &xs, rq, &mut rng).unwrap();
+        let got = ring.reconstruct_vec(&yc, &ys);
+        for (i, &v) in x.iter().enumerate() {
+            prop_assert_eq!(got[i], rq.apply(v), "x = {}, shift {}, bits {}", v, shift, out_bits);
+        }
+    }
+
+    /// Secret-shared max pooling equals the plaintext reference over
+    /// random geometry, with negatives and exact ties in the windows.
+    #[test]
+    fn maxpool_matches_reference(
+        c in 1usize..3,
+        h in 2usize..6,
+        w in 2usize..6,
+        k in 1usize..3,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(h + 2 * pad >= k && w + 2 * pad >= k);
+        let l = 16;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sess = session(l, seed ^ 0x3a);
+        let ring = sess.ring();
+        use rand::Rng;
+        // small magnitudes make in-window ties frequent
+        let x: Vec<i64> = (0..c * h * w).map(|_| rng.gen_range(-3..4)).collect();
+        let (xc, xs) = ring.share_vec(&x, &mut rng);
+        let (yc, ys) = sess.maxpool(&xc, &xs, (c, h, w), k, stride, pad, &mut rng).unwrap();
+        let got = ring.reconstruct_vec(&yc, &ys);
+        prop_assert_eq!(got, maxpool_reference(&x, (c, h, w), k, stride, pad));
+    }
+
+    /// Global average pooling rounds half away from zero — the
+    /// requantizer's rule, not truncating division.
+    #[test]
+    fn avgpool_matches_rounding_reference(
+        channels in 1usize..4,
+        spatial in 1usize..9,
+        seed in 0u64..1000,
+    ) {
+        let l = 16;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sess = session(l, seed ^ 0xa7);
+        let ring = sess.ring();
+        use rand::Rng;
+        let x: Vec<i64> = (0..channels * spatial).map(|_| rng.gen_range(-50..50)).collect();
+        let (xc, xs) = ring.share_vec(&x, &mut rng);
+        let (yc, ys) = sess.avgpool_global(&xc, &xs, channels, spatial, &mut rng).unwrap();
+        let got = ring.reconstruct_vec(&yc, &ys);
+        for ch in 0..channels {
+            let sum: i64 = x[ch * spatial..(ch + 1) * spatial].iter().sum();
+            prop_assert_eq!(got[ch], div_round_half_away(sum, spatial as i64));
+        }
+    }
+
+    /// The secure argmax reveals the *first* maximal index on ties.
+    #[test]
+    fn argmax_reveals_first_max(logits in comparable_values(16, 12), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sess = session(16, seed ^ 0x9e);
+        let ring = sess.ring();
+        let (xc, xs) = ring.share_vec(&logits, &mut rng);
+        let got = sess.argmax(&xc, &xs, &mut rng).unwrap();
+        let mut want = 0;
+        for (i, &v) in logits.iter().enumerate().skip(1) {
+            if v > logits[want] {
+                want = i;
+            }
+        }
+        prop_assert_eq!(got, want, "logits {:?}", logits);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Under a random fault plan the non-linear stack either recovers
+    /// *bit-identically* to the clean session (detections must come
+    /// with retransmissions) or fails with a typed protocol error —
+    /// never a silently different share.
+    #[test]
+    fn faulty_wire_recovers_bit_identically_or_fails_typed(seed in 0u64..500) {
+        let l = 16;
+        let rq = Requantizer { shift: 3, out_bits: 4 };
+        type RunOut = (Vec<i64>, u64, u64);
+        let run = |transport: TransportConfig| -> Result<RunOut, FlashError> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut sess = NonlinearSession::new(ShareRing::new(l), transport, 0x5eed);
+            let ring = sess.ring();
+            use rand::Rng;
+            let x: Vec<i64> = (0..40).map(|_| rng.gen_range(-4000..4000)).collect();
+            let (xc, xs) = ring.share_vec(&x, &mut rng);
+            let (yc, ys) = sess.relu_requant(&xc, &xs, rq, &mut rng)?;
+            let winner = sess.argmax(&yc, &ys, &mut rng)?;
+            let mut out = ring.reconstruct_vec(&yc, &ys);
+            out.push(winner as i64);
+            let stats = sess.stats();
+            Ok((out, stats.faults_detected, stats.frames_retried))
+        };
+        let (clean, clean_faults, _) =
+            run(TransportConfig::default()).expect("clean run cannot fail");
+        prop_assert_eq!(clean_faults, 0, "clean wire must detect nothing");
+        let plan = FaultPlan::Random(FaultConfig::moderate(seed ^ 0xfa17));
+        match run(TransportConfig::faulty(plan)) {
+            Ok((chaotic, faults, retried)) => {
+                prop_assert_eq!(chaotic, clean, "recovery must be bit-identical");
+                prop_assert!(
+                    faults == 0 || retried > 0,
+                    "detections without retransmissions cannot succeed"
+                );
+            }
+            Err(FlashError::Protocol(_)) | Err(FlashError::Wire(_)) => {}
+            Err(other) => prop_assert!(false, "unexpected error class: {other}"),
+        }
+    }
+}
