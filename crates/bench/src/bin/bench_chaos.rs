@@ -1,0 +1,302 @@
+//! Chaos SLO harness: drives the serving layer through a fault-rate ×
+//! overload grid plus a worker-poison cell and gates the resilience
+//! SLOs, written to `BENCH_chaos.json`.
+//!
+//! Grid cells (all on the `bench_serve` fixture, one worker, every
+//! schedule a pure function of fixed seeds):
+//!
+//! * `baseline`     — clean links, queue sized to the wave;
+//! * `faults`       — 25 % of sessions on moderate uplink fault plans;
+//! * `overload`     — clean links, queue capacity ¼ of demand (the
+//!   admission gate must shed, the `High`-priority session must not
+//!   be);
+//! * `faults+overload` — both at once (the SLO cell);
+//! * `poison`       — one injected worker panic (containment must
+//!   bisect the poisoned ticket out and answer everything else).
+//!
+//! Invariants asserted *inside every cell* (see [`flash_bench::chaos`]):
+//! terminal-outcome dichotomy (every `Ok` dispatch answered xor
+//! refused, exactly once) and clean-session agreement 1.0 against the
+//! cleartext convolution — chaos may cost availability, never silent
+//! corruption. Gated here on top:
+//!
+//! * fault cells detect faults, overload cells shed, the poison cell
+//!   refuses exactly the poisoned request;
+//! * **SLO**: clean-session p99 latency of each faulted cell stays
+//!   within 3× of its fault-free twin at the same overload level —
+//!   faulted sessions must not drag clean ones down.
+//!
+//! Flags: `--quick` shrinks the grid to 64 sessions per cell and skips
+//! the artifact write (the CI smoke); `--sessions N` overrides the
+//! fleet size (floor 4).
+
+use flash_bench::banner;
+use flash_bench::chaos::{run_cell, CellOutcome, CellSpec};
+use flash_bench::perf::{calibration_ms, git_revision, simd_json};
+use flash_bench::serving;
+
+const REQS_PER_SESSION: u64 = 2;
+const WORKERS: usize = 1;
+const SLO_P99_FACTOR: f64 = 3.0;
+
+const GRID: [CellSpec; 5] = [
+    CellSpec {
+        name: "baseline",
+        fault_fraction: 0.0,
+        overload_x: 1.0,
+        poison: false,
+    },
+    CellSpec {
+        name: "faults",
+        fault_fraction: 0.25,
+        overload_x: 1.0,
+        poison: false,
+    },
+    CellSpec {
+        name: "overload",
+        fault_fraction: 0.0,
+        overload_x: 4.0,
+        poison: false,
+    },
+    CellSpec {
+        name: "faults+overload",
+        fault_fraction: 0.25,
+        overload_x: 4.0,
+        poison: false,
+    },
+    CellSpec {
+        name: "poison",
+        fault_fraction: 0.0,
+        overload_x: 1.0,
+        poison: true,
+    },
+];
+
+/// Silences the intentional worker panics (the containment boundary
+/// catches them; the default hook would spray a backtrace per injected
+/// panic into the report). Everything else still reaches the default
+/// hook.
+fn install_panic_filter() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|s| s.contains("chaos: injected panic"))
+            || info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.contains("chaos: injected panic"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+}
+
+fn cell_line(spec: &CellSpec, c: &CellOutcome) {
+    let refusals: Vec<String> = c
+        .refusals
+        .iter()
+        .map(|(class, n)| format!("{n} {class}"))
+        .collect();
+    println!(
+        "{:18} {:4} sessions ({:3} faulty)  {:5} dispatched  {:5} answered  {:4} refused [{}]  clean p50 {:7.2} ms  p99 {:8.2} ms  {:6.2} ms/req",
+        spec.name,
+        c.connected,
+        c.faulty_sessions,
+        c.dispatched,
+        c.answered,
+        c.refused,
+        refusals.join(", "),
+        c.clean_p50_ms,
+        c.clean_p99_ms,
+        c.ms_per_req(),
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut sessions: u64 = if quick { 64 } else { 192 };
+    if let Some(pos) = args.iter().position(|a| a == "--sessions") {
+        sessions = args
+            .get(pos + 1)
+            .and_then(|v| v.parse().ok())
+            .expect("--sessions takes a number");
+    }
+    sessions = sessions.max(4);
+    install_panic_filter();
+
+    banner("Chaos SLO harness: fault-rate x overload grid + worker poison");
+    println!(
+        "grid: {} cells x {sessions} sessions x {REQS_PER_SESSION} requests, {WORKERS} worker(s), model N={} {:?}",
+        GRID.len(),
+        serving::params().n,
+        serving::shape(),
+    );
+
+    let calib = calibration_ms();
+    // One discarded full-size wave: the first wave in a process pays
+    // the cold start (allocator growth, scratch pools, plan cache) —
+    // at this fleet size several times the warm cost — which would
+    // otherwise land entirely on the first grid cell and skew both the
+    // committed clean-path figure and the warm twin each SLO ratio
+    // divides by.
+    let _ = run_cell(&GRID[0], sessions, REQS_PER_SESSION, WORKERS);
+    let mut cells: Vec<(&CellSpec, CellOutcome)> = Vec::with_capacity(GRID.len());
+    for spec in GRID.iter() {
+        let c = run_cell(spec, sessions, REQS_PER_SESSION, WORKERS);
+        cell_line(spec, &c);
+        cells.push((spec, c));
+    }
+    let by_name = |name: &str| {
+        &cells
+            .iter()
+            .find(|(s, _)| s.name == name)
+            .expect("grid cell ran")
+            .1
+    };
+
+    // --- Per-cell gates (the dichotomy and agreement invariants were
+    // already asserted inside each run).
+    let demand = sessions * REQS_PER_SESSION;
+    let baseline = by_name("baseline");
+    assert_eq!(
+        baseline.answered, demand,
+        "baseline cell must answer the whole wave"
+    );
+    assert_eq!(baseline.refused, 0, "baseline cell must refuse nothing");
+    assert_eq!(baseline.faults_detected, 0, "baseline links are clean");
+    for name in ["faults", "faults+overload"] {
+        let c = by_name(name);
+        assert!(c.faults_detected > 0, "{name}: the fault plans never fired");
+    }
+    for name in ["overload", "faults+overload"] {
+        let c = by_name(name);
+        assert!(
+            c.stats.shed > 0,
+            "{name}: a 4x-overloaded queue never shed — admission control is inert"
+        );
+    }
+    let poison = by_name("poison");
+    assert_eq!(
+        poison.stats.poisoned, 1,
+        "poison cell must contain exactly the injected panic"
+    );
+    assert_eq!(
+        poison.refusals.get("poisoned"),
+        Some(&1),
+        "the poisoned ticket must be refused typed"
+    );
+    assert_eq!(
+        poison.answered,
+        poison.dispatched - 1,
+        "containment must answer every co-batched ticket"
+    );
+
+    // --- The SLO: clean-session p99 of each faulted cell vs its
+    // fault-free twin at the same overload level.
+    let mut slo = Vec::new();
+    for (chaotic, twin) in [("faults", "baseline"), ("faults+overload", "overload")] {
+        let (c, t) = (by_name(chaotic), by_name(twin));
+        let ratio = if t.clean_p99_ms > 0.0 {
+            c.clean_p99_ms / t.clean_p99_ms
+        } else {
+            1.0
+        };
+        println!(
+            "{:18} clean p99 {:8.2} ms vs {twin} {:8.2} ms  ratio {ratio:5.2} (SLO <= {SLO_P99_FACTOR})",
+            format!("slo:{chaotic}"),
+            c.clean_p99_ms,
+            t.clean_p99_ms,
+        );
+        assert!(
+            ratio <= SLO_P99_FACTOR,
+            "SLO violated: {chaotic} clean-session p99 is {ratio:.2}x its fault-free twin"
+        );
+        slo.push((chaotic, twin, ratio));
+    }
+    println!(
+        "{:18} every dispatched request reached exactly one terminal outcome in every cell",
+        "dichotomy"
+    );
+
+    if quick {
+        println!("note: --quick smoke; BENCH_chaos.json left untouched");
+        return;
+    }
+
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"serve_chaos_slo\",\n");
+    json.push_str(&format!("  \"host_parallelism\": {host},\n"));
+    json.push_str(&format!("  \"git_revision\": \"{}\",\n", git_revision()));
+    json.push_str(&simd_json());
+    json.push_str(&format!("  \"calib_ms\": {calib:.4},\n"));
+    json.push_str(&format!("  \"sessions\": {sessions},\n"));
+    json.push_str(&format!("  \"reqs_per_session\": {REQS_PER_SESSION},\n"));
+    json.push_str(&format!("  \"workers\": {WORKERS},\n"));
+    json.push_str(&format!(
+        "  \"clean_ms_per_req\": {:.4},\n",
+        baseline.ms_per_req()
+    ));
+    json.push_str(&format!("  \"slo_p99_factor\": {SLO_P99_FACTOR},\n"));
+    json.push_str("  \"slo\": [\n");
+    for (i, (chaotic, twin, ratio)) in slo.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"cell\": \"{chaotic}\", \"twin\": \"{twin}\", \"clean_p99_ratio\": {ratio:.3}}}{}\n",
+            if i + 1 < slo.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"cells\": [\n");
+    for (i, (spec, c)) in cells.iter().enumerate() {
+        let refusals: Vec<String> = c
+            .refusals
+            .iter()
+            .map(|(class, n)| format!("\"{class}\": {n}"))
+            .collect();
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"fault_fraction\": {}, \"overload_x\": {}, \"poison\": {}, \"sessions\": {}, \"faulty_sessions\": {}, \"dispatched\": {}, \"dispatch_errors\": {}, \"answered\": {}, \"refused\": {}, \"refusals\": {{{}}}, \"collect_errors\": {}, \"clean_answered\": {}, \"clean_agreement\": {:.4}, \"clean_p50_ms\": {:.3}, \"clean_p99_ms\": {:.3}, \"ms_per_req\": {:.4}, \"elapsed_ms\": {:.3}, \"requests_ok\": {}, \"requests_refused\": {}, \"shed\": {}, \"expired\": {}, \"quarantined\": {}, \"poisoned\": {}, \"retries\": {}, \"watchdog_kicks\": {}, \"failed_sessions\": {}, \"faults_detected\": {}}}{}\n",
+            spec.name,
+            spec.fault_fraction,
+            spec.overload_x,
+            spec.poison,
+            c.connected,
+            c.faulty_sessions,
+            c.dispatched,
+            c.dispatch_errors,
+            c.answered,
+            c.refused,
+            refusals.join(", "),
+            c.collect_errors,
+            c.clean_answered,
+            c.clean_agreement,
+            c.clean_p50_ms,
+            c.clean_p99_ms,
+            c.ms_per_req(),
+            c.elapsed_s * 1e3,
+            c.stats.requests_ok,
+            c.stats.requests_refused,
+            c.stats.shed,
+            c.stats.expired,
+            c.stats.quarantined,
+            c.stats.poisoned,
+            c.stats.retries,
+            c.stats.watchdog_kicks,
+            c.failed_sessions,
+            c.faults_detected,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"telemetry\": {}\n",
+        flash_telemetry::snapshot().to_json(2)
+    ));
+    json.push_str("}\n");
+    std::fs::write("BENCH_chaos.json", &json).expect("write BENCH_chaos.json");
+    println!("wrote BENCH_chaos.json");
+}

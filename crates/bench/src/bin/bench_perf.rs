@@ -63,7 +63,7 @@ use flash_bench::banner;
 use flash_bench::perf::{
     calibration_ms, git_revision, median_ms, parse_json_number, simd_json, warm_up,
 };
-use flash_bench::serving;
+use flash_bench::{chaos, serving};
 use flash_dse::bayesopt::random_search;
 use flash_dse::{DesignSpace, Objective};
 use flash_he::encoding::{ConvEncoder, ConvShape};
@@ -366,6 +366,35 @@ fn check_regression() -> i32 {
         "BENCH_serve.json",
         "batched_ms_per_req",
         &mut || serving::run_wave(BatchPolicy::batched(), 1, serve_clients, 2, false).ms_per_req(),
+    );
+    // The chaos gate re-runs the clean baseline cell of the committed
+    // `BENCH_chaos.json` grid (no faults, no overload, no poison, fleet
+    // size parsed back out of the artifact): the cost per request of
+    // the fully-armed resilience path — deadline checks, admission
+    // gate, containment boundary, watchdog — on healthy traffic.
+    let chaos_sessions = std::fs::read_to_string("BENCH_chaos.json")
+        .ok()
+        .and_then(|t| parse_json_number(&t, "sessions"))
+        .map_or(192, |c| c as u64)
+        .max(4);
+    check(
+        "serve_chaos_clean_path",
+        "BENCH_chaos.json",
+        "clean_ms_per_req",
+        &mut || {
+            chaos::run_cell(
+                &chaos::CellSpec {
+                    name: "baseline",
+                    fault_fraction: 0.0,
+                    overload_x: 1.0,
+                    poison: false,
+                },
+                chaos_sessions,
+                2,
+                1,
+            )
+            .ms_per_req()
+        },
     );
     flash_runtime::set_threads(0);
     if failures > 0 {

@@ -136,6 +136,45 @@ fn main() {
         );
     }
 
+    // A clean wave must never exercise the resilience machinery: every
+    // shed, expiry, quarantine, retransmission or watchdog kick on
+    // healthy links and an unexpired-deadline policy is a false
+    // positive that would refuse real traffic in production. Checked
+    // both per-wave (server accounting) and process-wide (telemetry).
+    for (name, w) in [("serial", &serial), ("batched", &batched)] {
+        let s = &w.stats;
+        for (counter, v) in [
+            ("shed", s.shed),
+            ("expired", s.expired),
+            ("quarantined", s.quarantined),
+            ("poisoned", s.poisoned),
+            ("retries", s.retries),
+            ("watchdog_kicks", s.watchdog_kicks),
+            ("requests_refused", s.requests_refused),
+        ] {
+            assert_eq!(v, 0, "clean {name} wave bumped serve.{counter} to {v}");
+        }
+    }
+    let snap = flash_telemetry::snapshot();
+    for name in [
+        "serve.shed",
+        "serve.expired",
+        "serve.quarantined",
+        "serve.retries",
+        "serve.watchdog_kicks",
+    ] {
+        let v = snap
+            .counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |&(_, v)| v);
+        assert_eq!(v, 0, "{name} must stay zero across clean bench_serve waves");
+    }
+    println!(
+        "{:26} shed/expired/quarantined/retries/watchdog_kicks all zero on clean waves",
+        "serve_clean_counters"
+    );
+
     if chaos {
         let w = serving::run_wave(
             BatchPolicy::batched(),

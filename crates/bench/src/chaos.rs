@@ -1,0 +1,379 @@
+//! The chaos SLO harness: one grid cell = one serving wave under a
+//! controlled mix of link faults, queue overload and injected worker
+//! panics, with the resilience invariants asserted inside the run.
+//!
+//! Each cell reuses the [`serving`] fixture (same model, same wire
+//! stack) and measures three things the resilience layer promises:
+//!
+//! 1. **Terminal-outcome dichotomy** — every `Ok` dispatch is answered
+//!    by exactly one response *xor* one typed refusal
+//!    (`requests_ok + requests_refused == dispatched`, and no clean
+//!    session ever sees a duplicate or missing outcome);
+//! 2. **Correctness under chaos** — every *answered* clean-session
+//!    request reconstructs bit-exactly to the cleartext convolution
+//!    (`agreement == 1.0`), so chaos can degrade availability but
+//!    never silently corrupt a result;
+//! 3. **Blast-radius containment** — clean-session latency percentiles
+//!    are computed with faulted sessions excluded, so `bench_chaos`
+//!    can gate them against the matching fault-free cell.
+//!
+//! Faulted sessions carry seeded moderate fault plans on the **uplink
+//! only**: uplink chaos exercises the retransmission, breaker and
+//! poison paths, while a clean downlink keeps the server-side outcome
+//! ledger exact (a faulted downlink can eat the final frame *after*
+//! the server counted it, which turns invariant 1 into an inequality).
+//! Everything is a pure function of the cell spec — fault plans, client
+//! keys and activations all derive from fixed seeds.
+
+use crate::serving::{self, MODEL_ID, SERVER_SEED};
+use flash_2pc::transport::{FaultConfig, FaultPlan, TransportConfig};
+use flash_2pc::{expected_conv_mod, ShareRing};
+use flash_serve::{
+    BatchPolicy, ChaosAction, Client, InferenceServer, Priority, RefusalReason, ResiliencePolicy,
+    ServeError, ServerStats,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One cell of the fault-rate × overload grid.
+#[derive(Debug, Clone, Copy)]
+pub struct CellSpec {
+    /// Grid label (also the artifact key).
+    pub name: &'static str,
+    /// Fraction of sessions given a seeded moderate uplink fault plan.
+    pub fault_fraction: f64,
+    /// Demand over queue capacity: `1.0` sizes the queue to hold the
+    /// whole wave (no shedding possible), `2.0` halves it so the
+    /// admission gate must shed under the dispatch burst.
+    pub overload_x: f64,
+    /// Inject one worker panic (first request of the last session) to
+    /// drive the containment/bisection path.
+    pub poison: bool,
+}
+
+/// The measured outcome of one cell.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// Sessions that connected (faulted handshakes may lose theirs).
+    pub connected: usize,
+    /// Sessions running a faulted uplink.
+    pub faulty_sessions: u64,
+    /// Dispatches that returned `Ok` — each owes one terminal outcome.
+    pub dispatched: u64,
+    /// Dispatches that returned a typed error (terminal at the call).
+    pub dispatch_errors: u64,
+    /// Outcomes the clients collected as responses.
+    pub answered: u64,
+    /// Outcomes the clients collected as typed refusals, by class.
+    pub refused: u64,
+    /// Refusal counts keyed by reason class.
+    pub refusals: BTreeMap<&'static str, u64>,
+    /// Collects that failed on the client's own faulted link.
+    pub collect_errors: u64,
+    /// Answered requests from clean sessions (the agreement base).
+    pub clean_answered: u64,
+    /// Fraction of `clean_answered` matching the cleartext conv.
+    pub clean_agreement: f64,
+    /// Clean-session latency percentiles, ms.
+    pub clean_p50_ms: f64,
+    /// 99th percentile over clean sessions only, ms.
+    pub clean_p99_ms: f64,
+    /// Timed region: dispatch through last terminal outcome, seconds.
+    pub elapsed_s: f64,
+    /// Aggregate server accounting.
+    pub stats: ServerStats,
+    /// Sessions the server poisoned.
+    pub failed_sessions: usize,
+    /// Wire faults detected across all sessions.
+    pub faults_detected: u64,
+}
+
+impl CellOutcome {
+    /// Mean timed cost per `Ok`-dispatched request, ms.
+    pub fn ms_per_req(&self) -> f64 {
+        if self.dispatched > 0 {
+            self.elapsed_s * 1e3 / self.dispatched as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+fn reason_class(reason: &RefusalReason) -> &'static str {
+    match reason {
+        RefusalReason::Expired => "expired",
+        RefusalReason::Shed => "shed",
+        RefusalReason::Quarantined => "quarantined",
+        RefusalReason::Poisoned => "poisoned",
+        RefusalReason::Shutdown => "shutdown",
+        RefusalReason::Invalid(_) => "invalid",
+    }
+}
+
+/// Runs one grid cell: `sessions` clients × `reqs` requests against
+/// `workers` workers under the cell's fault/overload/poison mix, with
+/// the dichotomy and agreement invariants asserted before returning.
+pub fn run_cell(spec: &CellSpec, sessions: u64, reqs: u64, workers: usize) -> CellOutcome {
+    let demand = sessions * reqs;
+    let queue_depth = if spec.overload_x > 1.0 {
+        ((demand as f64 / spec.overload_x).ceil() as usize).max(1)
+    } else {
+        demand as usize
+    };
+    let mut policy = BatchPolicy::batched();
+    policy.queue_depth = queue_depth;
+    let policy = policy.with_resilience(ResiliencePolicy {
+        // Generous: present so the eviction path is armed, long enough
+        // that only a genuinely wedged wave trips it.
+        request_deadline: Some(Duration::from_secs(10)),
+        shed: true,
+        ..ResiliencePolicy::default()
+    });
+    let faulty_n = (spec.fault_fraction * sessions as f64).round() as u64;
+    // The protected tag: last session, always clean. It is the poison
+    // target in poison cells and runs at `High` priority in overload
+    // cells (the priority knob must exempt it from shedding).
+    let protected_tag = sessions - 1;
+    assert!(
+        faulty_n < sessions,
+        "the grid needs at least one clean session"
+    );
+
+    let server = InferenceServer::start(policy, SERVER_SEED, workers);
+    server
+        .register_model(serving::spec())
+        .expect("fixture model registers");
+    let p = serving::params();
+    let shape = serving::shape();
+    let weights = serving::weights();
+    let ring = ShareRing::new(p.t.trailing_zeros());
+    let timeout = Duration::from_secs(10);
+
+    let mut clients: Vec<(u64, Client, StdRng)> = Vec::new();
+    for tag in 0..sessions {
+        let up = if tag < faulty_n {
+            TransportConfig::faulty(FaultPlan::Random(FaultConfig::moderate(0xC4A0 + 3 * tag)))
+        } else {
+            TransportConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(0xC0DE + tag);
+        match Client::connect(
+            &server,
+            MODEL_ID,
+            tag,
+            p.clone(),
+            shape,
+            up,
+            TransportConfig::default(),
+            timeout,
+            &mut rng,
+        ) {
+            Ok(c) => clients.push((tag, c, rng)),
+            Err(_) if tag < faulty_n => {} // a faulted handshake only loses that session
+            Err(e) => panic!("clean connect failed for tag {tag}: {e}"),
+        }
+    }
+    let connected = clients.len();
+    let sid_of: BTreeMap<u64, u32> = clients
+        .iter()
+        .map(|(tag, c, _)| (*tag, c.session_id()))
+        .collect();
+
+    if spec.poison {
+        let sid = sid_of[&protected_tag];
+        server.set_chaos_hook(Some(Arc::new(move |s: u32, req: u64| {
+            if s == sid && req == 0 {
+                ChaosAction::Panic
+            } else {
+                ChaosAction::None
+            }
+        })));
+    }
+    if spec.overload_x > 1.0 {
+        assert!(
+            server.set_session_priority(sid_of[&protected_tag], Priority::High),
+            "priority knob targets a live session"
+        );
+    }
+
+    // Untimed client-local prepare; inputs are kept for the agreement
+    // check against the cleartext convolution.
+    let input_len = shape.input_len();
+    let mut prepared: Vec<Vec<flash_serve::PreparedRequest>> = Vec::with_capacity(connected);
+    let mut inputs: Vec<Vec<Vec<i64>>> = Vec::with_capacity(connected);
+    for (_, client, rng) in clients.iter_mut() {
+        let mut per_client = Vec::with_capacity(reqs as usize);
+        let mut per_inputs = Vec::with_capacity(reqs as usize);
+        for req_id in 0..reqs {
+            let x: Vec<i64> = (0..input_len).map(|_| rng.gen_range(-8..8)).collect();
+            per_client.push(client.prepare(req_id, &x, rng));
+            per_inputs.push(x);
+        }
+        prepared.push(per_client);
+        inputs.push(per_inputs);
+    }
+
+    // Timed region: round-robin dispatch + drain. Only an `Ok`
+    // dispatch owes a terminal outcome; an `Err` is itself terminal
+    // and retires the session (the uplink is positional).
+    let mut live: Vec<bool> = vec![true; connected];
+    let mut ok_reqs: Vec<Vec<u64>> = vec![Vec::new(); connected];
+    let mut dispatch_errors = 0u64;
+    let t0 = Instant::now();
+    #[allow(clippy::needless_range_loop)]
+    for r in 0..reqs as usize {
+        for (i, (_, client, _)) in clients.iter_mut().enumerate() {
+            if !live[i] {
+                continue;
+            }
+            match client.dispatch(&server, &prepared[i][r]) {
+                Ok(()) => ok_reqs[i].push(r as u64),
+                Err(_) => {
+                    dispatch_errors += 1;
+                    live[i] = false;
+                }
+            }
+        }
+    }
+    let dispatched: u64 = ok_reqs.iter().map(|r| r.len() as u64).sum();
+    assert!(
+        server.wait_for_timeout(dispatched, Duration::from_secs(300)),
+        "{}: wave stalled before {dispatched} terminal outcomes",
+        spec.name
+    );
+    let elapsed_s = t0.elapsed().as_secs_f64();
+
+    // Untimed drain. Every clean session must observe exactly one
+    // outcome per `Ok` dispatch, no duplicates, no leftovers; faulted
+    // sessions may lose their link mid-drain (their remaining outcomes
+    // stay in the server-side ledger checked below).
+    let mut answered = 0u64;
+    let mut refused = 0u64;
+    let mut collect_errors = 0u64;
+    let mut clean_answered = 0u64;
+    let mut clean_matches = 0u64;
+    let mut refusals: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for (i, (tag, client, _)) in clients.iter_mut().enumerate() {
+        let clean = *tag >= faulty_n;
+        let mut seen: BTreeSet<u64> = BTreeSet::new();
+        for _ in 0..ok_reqs[i].len() {
+            match client.collect() {
+                Ok((req_id, y_client)) => {
+                    assert!(
+                        seen.insert(req_id),
+                        "{}: tag {tag} req {req_id} answered twice",
+                        spec.name
+                    );
+                    answered += 1;
+                    if clean {
+                        clean_answered += 1;
+                        let y_server = server
+                            .take_result(client.session_id(), req_id)
+                            .expect("answered request leaves a server share");
+                        let got = ring.reconstruct_vec(&y_client, &y_server);
+                        let want =
+                            expected_conv_mod(&inputs[i][req_id as usize], &weights, &shape, ring);
+                        if got == want {
+                            clean_matches += 1;
+                        }
+                    }
+                }
+                Err(ServeError::Refused { req_id, reason }) => {
+                    assert!(
+                        seen.insert(req_id),
+                        "{}: tag {tag} req {req_id} refused after an earlier outcome",
+                        spec.name
+                    );
+                    if *tag == protected_tag && spec.overload_x > 1.0 {
+                        assert!(
+                            !matches!(reason, RefusalReason::Shed),
+                            "{}: high-priority session was shed",
+                            spec.name
+                        );
+                    }
+                    refused += 1;
+                    *refusals.entry(reason_class(&reason)).or_default() += 1;
+                }
+                Err(_) => {
+                    assert!(!clean, "{}: clean tag {tag} lost its downlink", spec.name);
+                    collect_errors += 1;
+                    break;
+                }
+            }
+        }
+        if clean {
+            assert_eq!(
+                seen.len(),
+                ok_reqs[i].len(),
+                "{}: clean tag {tag} is missing terminal outcomes",
+                spec.name
+            );
+        }
+    }
+
+    let stats = server.stats();
+    // The dichotomy ledger: with clean downlinks every `Ok` dispatch is
+    // answered or refused exactly once, server-side.
+    assert_eq!(
+        stats.requests_ok + stats.requests_refused,
+        dispatched,
+        "{}: terminal-outcome ledger does not balance",
+        spec.name
+    );
+    let clean_agreement = if clean_answered == 0 {
+        1.0
+    } else {
+        clean_matches as f64 / clean_answered as f64
+    };
+    assert_eq!(
+        clean_agreement, 1.0,
+        "{}: {clean_matches}/{clean_answered} clean answers matched the cleartext conv",
+        spec.name
+    );
+
+    let clean_sids: BTreeSet<u32> = sid_of
+        .iter()
+        .filter(|(tag, _)| **tag >= faulty_n)
+        .map(|(_, sid)| *sid)
+        .collect();
+    let mut lat: Vec<u64> = server
+        .take_latencies_tagged()
+        .into_iter()
+        .filter(|(sid, _)| clean_sids.contains(sid))
+        .map(|(_, us)| us)
+        .collect();
+    lat.sort_unstable();
+    let pctl = |q: f64| {
+        if lat.is_empty() {
+            0.0
+        } else {
+            lat[((lat.len() - 1) as f64 * q) as usize] as f64 / 1e3
+        }
+    };
+    let (clean_p50_ms, clean_p99_ms) = (pctl(0.5), pctl(0.99));
+
+    let snapshots = server.session_snapshots();
+    let outcome = CellOutcome {
+        connected,
+        faulty_sessions: faulty_n,
+        dispatched,
+        dispatch_errors,
+        answered,
+        refused,
+        refusals,
+        collect_errors,
+        clean_answered,
+        clean_agreement,
+        clean_p50_ms,
+        clean_p99_ms,
+        elapsed_s,
+        stats,
+        failed_sessions: snapshots.iter().filter(|s| s.failed).count(),
+        faults_detected: snapshots.iter().map(|s| s.faults_detected).sum(),
+    };
+    server.shutdown();
+    outcome
+}

@@ -7,6 +7,7 @@
 
 use std::fmt::Display;
 
+pub mod chaos;
 pub mod perf;
 pub mod serving;
 

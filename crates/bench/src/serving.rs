@@ -206,13 +206,20 @@ pub fn run_wave(
             if !live[i] {
                 continue;
             }
-            dispatched += 1;
-            if client.dispatch(&server, &prepared[i][r]).is_err() {
+            // Only an `Ok` dispatch owes a terminal outcome (response
+            // or refusal); an `Err` return *is* the terminal outcome,
+            // so counting it would stall the drain below forever.
+            if client.dispatch(&server, &prepared[i][r]).is_ok() {
+                dispatched += 1;
+            } else {
                 live[i] = false;
             }
         }
     }
-    server.wait_for(dispatched);
+    assert!(
+        server.wait_for_timeout(dispatched, Duration::from_secs(300)),
+        "wave stalled: server never reached {dispatched} terminal outcomes"
+    );
     let elapsed_s = t0.elapsed().as_secs_f64();
 
     // Untimed: drain responses, spot-check one reconstruction.

@@ -33,6 +33,10 @@ pub struct PreparedRequest {
     pub upload: Vec<u8>,
     /// The server's activation share (signed, `input_len`).
     pub server_share: Vec<i64>,
+    /// The cleartext activation, kept so a refused request can be
+    /// re-prepared ([`Client::retry_prepare`]) without the caller
+    /// holding on to its inputs.
+    pub activation: Vec<i64>,
 }
 
 /// A connected client session.
@@ -138,7 +142,18 @@ impl Client {
             req_id,
             upload: wire::encode_request(req_id, &blobs),
             server_share: x_server.iter().map(|&v| v as i64).collect(),
+            activation: x.to_vec(),
         }
+    }
+
+    /// Re-prepares a refused (or otherwise terminally failed) request
+    /// for resubmission under the same `req_id`: a fresh share split and
+    /// fresh encryption randomness, so the retry leaks nothing about the
+    /// first attempt — and, because the server derives its response
+    /// masks from `(session, req_id, unit)` seeds, the resubmission is
+    /// answered exactly as the original would have been.
+    pub fn retry_prepare<R: Rng>(&self, prev: &PreparedRequest, rng: &mut R) -> PreparedRequest {
+        self.prepare(prev.req_id, &prev.activation, rng)
     }
 
     /// Puts a prepared request on the uplink and drives the server's
@@ -169,15 +184,15 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// Wire faults on the downlink, [`ServeError::Rejected`] when the
-    /// server refused the request, or scheme-level failures during
-    /// decryption.
+    /// Wire faults on the downlink, [`ServeError::Refused`] carrying the
+    /// typed [`wire::RefusalReason`] when the server refused the
+    /// request, or scheme-level failures during decryption.
     pub fn collect(&mut self) -> Result<(u64, Vec<u64>), ServeError> {
         let msg = self.downlink.clone().recv()?;
         let (req_id, blobs) = match wire::decode_response(&msg)? {
             wire::Response::Ok { req_id, blobs } => (req_id, blobs),
             wire::Response::Refused { req_id, reason } => {
-                return Err(ServeError::Rejected { req_id, reason })
+                return Err(ServeError::Refused { req_id, reason })
             }
         };
         let p = &self.params;

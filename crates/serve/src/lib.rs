@@ -40,8 +40,11 @@ pub mod wire;
 
 pub use client::{Client, PreparedRequest};
 pub use model::{ModelPlan, ModelSpec};
-pub use server::{BatchPolicy, InferenceServer, ServerStats};
-pub use session::SessionSnapshot;
+pub use server::{
+    BatchPolicy, ChaosAction, ChaosHook, InferenceServer, ResiliencePolicy, ServerStats,
+};
+pub use session::{Priority, SessionHealth, SessionSnapshot};
+pub use wire::RefusalReason;
 
 use flash_2pc::error::{FlashError, ProtocolError};
 use std::fmt;
@@ -61,11 +64,11 @@ pub enum ServeError {
     /// later submissions fail fast instead of racing a wedged link.
     SessionFailed(u32),
     /// The server refused the request and relayed a typed reason.
-    Rejected {
+    Refused {
         /// The request the refusal applies to.
         req_id: u64,
-        /// Human-readable server-side reason.
-        reason: String,
+        /// Typed server-side reason (decoded from the REFUSED frame).
+        reason: wire::RefusalReason,
     },
     /// A framed message decoded but violated the serving wire format
     /// (possible only with checksums disabled, or a version skew).
@@ -81,8 +84,8 @@ impl fmt::Display for ServeError {
             ServeError::UnknownModel(id) => write!(f, "unknown model id {id}"),
             ServeError::UnknownSession(id) => write!(f, "unknown session id {id}"),
             ServeError::SessionFailed(id) => write!(f, "session {id} failed earlier"),
-            ServeError::Rejected { req_id, reason } => {
-                write!(f, "request {req_id} rejected: {reason}")
+            ServeError::Refused { req_id, reason } => {
+                write!(f, "request {req_id} refused: {reason}")
             }
             ServeError::Malformed(what) => write!(f, "malformed serve message: {what}"),
             ServeError::Shutdown => write!(f, "server is shutting down"),

@@ -24,20 +24,115 @@
 //! for any batch composition and worker count; `BatchPolicy::
 //! serial_baseline()` reuses the same seeds, which is what lets the
 //! determinism tests compare the two modes byte for byte.
+//!
+//! # Resilience
+//!
+//! The [`ResiliencePolicy`] wraps the batching core in a fault policy
+//! with one invariant — the **terminal-outcome contract**: every
+//! request whose [`InferenceServer::ingest`] returns `Ok` is answered
+//! by exactly one RESPONSE xor one REFUSED frame; every `Err` return is
+//! itself the request's single terminal outcome and no frame follows.
+//!
+//! * **Deadlines** — a ticket older than `request_deadline` is evicted
+//!   before batching and refused [`RefusalReason::Expired`], so a
+//!   backed-up queue sheds stale work instead of computing answers
+//!   nobody is waiting for.
+//! * **Quarantine** — each session runs an error-rate circuit breaker
+//!   ([`crate::session::SessionHealth`]); a chronically faulty session
+//!   is refused [`RefusalReason::Quarantined`] at admission instead of
+//!   burning worker time, and an unrecoverable wire fault quarantines
+//!   immediately.
+//! * **Shedding** — when the global queue is at its watermark, new
+//!   `Normal`-priority requests are refused [`RefusalReason::Shed`]
+//!   instead of blocking (degraded sessions shed at half watermark;
+//!   [`Priority::High`] sessions block for a slot instead).
+//! * **Panic containment** — the batch core runs under `catch_unwind`;
+//!   a panicking group is bisected until the poisoned ticket fails
+//!   alone ([`RefusalReason::Poisoned`]) while its clean co-batched
+//!   tickets recompute bit-exactly (masks are per-`(session, req,
+//!   unit)`, and the batched kernels are width-invariant).
+//! * **Watchdog** — a supervisor thread respawns dead workers and
+//!   counts stall alarms, so even an uncontained worker death degrades
+//!   capacity instead of wedging the queue.
 
 use crate::model::{mask_coeffs, mask_seed, merge_band, ModelPlan, ModelSpec, UnitWeights};
-use crate::session::{SessionSnapshot, SessionState};
+use crate::session::{Priority, SessionHealth, SessionSnapshot, SessionState};
+use crate::wire::RefusalReason;
 use crate::{wire, ServeError};
+use flash_2pc::error::FlashError;
 use flash_2pc::{conv_band_noise_bound, conv_band_plan, SharedTransport, Transport};
 use flash_he::backend::{weight_residues_into, BandAccumulator};
 use flash_he::truncate::TruncatedCiphertext;
 use flash_he::{serialize, Ciphertext, Poly, PolyMulBackend};
 use flash_runtime::{CacheStats, Interner, WorkQueue};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// A fault-injection verdict for one ticket inside the batch core, from
+/// a hook installed with [`InferenceServer::set_chaos_hook`]. Chaos
+/// tests use it to poison or stall specific `(session, req_id)` pairs
+/// inside the compute path — the production build never installs one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Compute normally.
+    None,
+    /// Panic inside the batch core (exercises containment/bisection).
+    Panic,
+    /// Sleep this long before computing (exercises the stall watchdog).
+    Stall(Duration),
+}
+
+/// A chaos hook: `(session_id, req_id) → action`, consulted for every
+/// ticket entering the batch core.
+pub type ChaosHook = Arc<dyn Fn(u32, u64) -> ChaosAction + Send + Sync>;
+
+/// Knobs of the resilience layer; [`ResiliencePolicy::default`] is the
+/// serving configuration (containment + breaker on, no deadline, no
+/// shedding — the two knobs that change clean-path semantics are opt-in).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResiliencePolicy {
+    /// Refuse tickets older than this at the worker instead of
+    /// computing them ([`RefusalReason::Expired`]). `None` = no
+    /// deadline.
+    pub request_deadline: Option<Duration>,
+    /// Refuse `Normal`-priority admissions while the global queue is at
+    /// its watermark ([`RefusalReason::Shed`]) instead of blocking.
+    pub shed: bool,
+    /// Circuit-breaker sliding window, requests (≤ 64).
+    pub health_window: u32,
+    /// Failures in the window that degrade the session.
+    pub degrade_after: u32,
+    /// Failures in the window that quarantine it (sticky).
+    pub quarantine_after: u32,
+    /// Watchdog scan period.
+    pub watchdog_interval: Duration,
+    /// Busy time after which a worker counts as stalled (one alarm per
+    /// batch).
+    pub watchdog_stall: Duration,
+    /// Run the batch core under `catch_unwind` and bisect panicking
+    /// groups. Off, a poisoned ticket kills its worker (the watchdog
+    /// respawns it) and the batch's tickets never terminate.
+    pub contain_panics: bool,
+}
+
+impl Default for ResiliencePolicy {
+    fn default() -> Self {
+        ResiliencePolicy {
+            request_deadline: None,
+            shed: false,
+            health_window: 16,
+            degrade_after: 4,
+            quarantine_after: 8,
+            watchdog_interval: Duration::from_millis(25),
+            watchdog_stall: Duration::from_secs(5),
+            contain_panics: true,
+        }
+    }
+}
 
 /// Knobs of the batching core.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -56,6 +151,8 @@ pub struct BatchPolicy {
     /// pipeline of [`flash_2pc::ConvProtocol`] — the per-session serial
     /// baseline the speedup is measured against.
     pub amortize: bool,
+    /// The fault policy wrapped around the core.
+    pub resilience: ResiliencePolicy,
 }
 
 impl BatchPolicy {
@@ -68,6 +165,7 @@ impl BatchPolicy {
             queue_depth: 256,
             per_session_inflight: 8,
             amortize: true,
+            resilience: ResiliencePolicy::default(),
         }
     }
 
@@ -78,7 +176,14 @@ impl BatchPolicy {
             queue_depth: 256,
             per_session_inflight: 8,
             amortize: false,
+            resilience: ResiliencePolicy::default(),
         }
+    }
+
+    /// The same policy with a different resilience configuration.
+    pub fn with_resilience(mut self, resilience: ResiliencePolicy) -> Self {
+        self.resilience = resilience;
+        self
     }
 }
 
@@ -95,6 +200,20 @@ struct Ticket {
     req_id: u64,
     cts: Vec<Ciphertext>,
     submitted: Instant,
+    /// Evict-and-refuse after this instant ([`RefusalReason::Expired`]).
+    deadline: Option<Instant>,
+}
+
+/// Per-worker liveness slot read by the watchdog.
+#[derive(Debug, Default)]
+struct Heartbeat {
+    /// Microseconds since server start at which the current batch began;
+    /// 0 = idle.
+    busy_since_us: AtomicU64,
+    /// Batches started (the stall alarm fires once per generation).
+    generation: AtomicU64,
+    /// Last generation the watchdog raised a stall alarm for.
+    alarmed_generation: AtomicU64,
 }
 
 struct ServerCore {
@@ -110,10 +229,21 @@ struct ServerCore {
     queue: WorkQueue<Ticket>,
     /// Server output shares by `(session, request)` until collected.
     results: Mutex<BTreeMap<(u32, u64), Vec<u64>>>,
-    /// Submission → response-send latency per answered request, µs.
-    latencies_us: Mutex<Vec<u64>>,
+    /// Submission → response-send latency per answered request,
+    /// tagged with the session id, µs.
+    latencies_us: Mutex<Vec<(u32, u64)>>,
     requests_ok: AtomicU64,
     requests_failed: AtomicU64,
+    /// Requests answered with a typed REFUSED frame, by class.
+    requests_refused: AtomicU64,
+    shed: AtomicU64,
+    expired: AtomicU64,
+    quarantined: AtomicU64,
+    poisoned: AtomicU64,
+    /// Transport retransmissions observed during admission receives.
+    retries: AtomicU64,
+    /// Dead workers respawned + stall alarms raised.
+    watchdog_kicks: AtomicU64,
     batches: AtomicU64,
     batched_requests: AtomicU64,
     /// Polynomials fed to the batched spectral kernels…
@@ -123,6 +253,16 @@ struct ServerCore {
     /// Terminal outcomes (ok + failed), with a wakeup for waiters.
     completed: Mutex<u64>,
     done: Condvar,
+    /// Cleared by [`InferenceServer::shutdown`]: admissions fail fast
+    /// with [`ServeError::Shutdown`] while in-flight work drains.
+    accepting: AtomicBool,
+    shutting_down: AtomicBool,
+    /// Worker handles live in the core so the watchdog can respawn a
+    /// dead worker; `None` marks a slot mid-respawn or joined.
+    workers: Mutex<Vec<Option<JoinHandle<()>>>>,
+    heartbeats: Vec<Heartbeat>,
+    epoch: Instant,
+    chaos: Mutex<Option<ChaosHook>>,
 }
 
 impl ServerCore {
@@ -139,6 +279,14 @@ impl ServerCore {
         drop(n);
         self.done.notify_all();
     }
+
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    fn chaos_hook(&self) -> Option<ChaosHook> {
+        self.chaos.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
 }
 
 /// Aggregate serving accounting (see also [`SessionSnapshot`] for the
@@ -149,6 +297,20 @@ pub struct ServerStats {
     pub requests_ok: u64,
     /// Requests that failed (wire, decode, or compute).
     pub requests_failed: u64,
+    /// Requests answered with a typed REFUSED frame (all classes).
+    pub requests_refused: u64,
+    /// Refusals: admission overload ([`RefusalReason::Shed`]).
+    pub shed: u64,
+    /// Refusals: deadline eviction ([`RefusalReason::Expired`]).
+    pub expired: u64,
+    /// Refusals: circuit breaker ([`RefusalReason::Quarantined`]).
+    pub quarantined: u64,
+    /// Refusals: panic containment ([`RefusalReason::Poisoned`]).
+    pub poisoned: u64,
+    /// Transport retransmissions observed during admission receives.
+    pub retries: u64,
+    /// Dead workers respawned plus stall alarms raised.
+    pub watchdog_kicks: u64,
     /// Worker queue visits that yielded at least one ticket.
     pub batches: u64,
     /// Tickets drained across those visits.
@@ -191,12 +353,22 @@ impl ServerStats {
 /// bytes a session observes.
 pub struct InferenceServer {
     core: Arc<ServerCore>,
-    workers: Mutex<Vec<JoinHandle<()>>>,
+    watchdog: Mutex<Option<JoinHandle<()>>>,
+}
+
+fn spawn_worker(core: &Arc<ServerCore>, slot: usize) -> JoinHandle<()> {
+    let core = Arc::clone(core);
+    std::thread::Builder::new()
+        .name(format!("flash-serve-{slot}"))
+        .spawn(move || worker_loop(&core, slot))
+        .expect("spawn serve worker")
 }
 
 impl InferenceServer {
-    /// Starts the server with `workers` worker threads (clamped to ≥ 1).
+    /// Starts the server with `workers` worker threads (clamped to ≥ 1)
+    /// plus the watchdog supervisor.
     pub fn start(policy: BatchPolicy, seed: u64, workers: usize) -> Self {
+        let workers = workers.max(1);
         let core = Arc::new(ServerCore {
             policy,
             seed,
@@ -208,25 +380,49 @@ impl InferenceServer {
             latencies_us: Mutex::new(Vec::new()),
             requests_ok: AtomicU64::new(0),
             requests_failed: AtomicU64::new(0),
+            requests_refused: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            poisoned: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            watchdog_kicks: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batched_requests: AtomicU64::new(0),
             kernel_polys: AtomicU64::new(0),
             kernel_slots: AtomicU64::new(0),
             completed: Mutex::new(0),
             done: Condvar::new(),
+            accepting: AtomicBool::new(true),
+            shutting_down: AtomicBool::new(false),
+            workers: Mutex::new(Vec::new()),
+            heartbeats: (0..workers).map(|_| Heartbeat::default()).collect(),
+            epoch: Instant::now(),
+            chaos: Mutex::new(None),
         });
-        let workers = (0..workers.max(1))
-            .map(|i| {
-                let core = Arc::clone(&core);
-                std::thread::Builder::new()
-                    .name(format!("flash-serve-{i}"))
-                    .spawn(move || worker_loop(&core))
-                    .expect("spawn serve worker")
-            })
-            .collect();
+        // Register the resilience counters so a clean run's snapshot
+        // carries them at zero (the all-zero assertion of bench_serve).
+        flash_telemetry::counter!("serve.shed").add(0);
+        flash_telemetry::counter!("serve.expired").add(0);
+        flash_telemetry::counter!("serve.quarantined").add(0);
+        flash_telemetry::counter!("serve.retries").add(0);
+        flash_telemetry::counter!("serve.watchdog_kicks").add(0);
+        {
+            let mut slots = core.workers.lock().unwrap_or_else(|e| e.into_inner());
+            for i in 0..workers {
+                slots.push(Some(spawn_worker(&core, i)));
+            }
+        }
+        let watchdog = {
+            let core = Arc::clone(&core);
+            std::thread::Builder::new()
+                .name("flash-serve-watchdog".into())
+                .spawn(move || watchdog_loop(&core))
+                .expect("spawn serve watchdog")
+        };
         InferenceServer {
             core,
-            workers: Mutex::new(workers),
+            watchdog: Mutex::new(Some(watchdog)),
         }
     }
 
@@ -256,6 +452,9 @@ impl InferenceServer {
         uplink: SharedTransport,
         downlink: SharedTransport,
     ) -> Result<u32, ServeError> {
+        if !self.core.accepting.load(Ordering::Acquire) {
+            return Err(ServeError::Shutdown);
+        }
         let hello = uplink.clone().recv()?;
         let (model_id, client_tag) = wire::decode_hello(&hello)?;
         let model = self
@@ -273,6 +472,7 @@ impl InferenceServer {
             bands: model.encoder().bands() as u32,
             truncation: model.truncation(),
         };
+        let r = self.core.policy.resilience;
         let session = Arc::new(SessionState::new(
             ack.session_id,
             client_tag,
@@ -280,6 +480,9 @@ impl InferenceServer {
             uplink,
             downlink.clone(),
             self.core.policy.per_session_inflight,
+            r.health_window,
+            r.degrade_after,
+            r.quarantine_after,
         ));
         self.core
             .sessions
@@ -290,27 +493,54 @@ impl InferenceServer {
         Ok(ack.session_id)
     }
 
+    /// Sets a session's admission priority under load shedding.
+    pub fn set_session_priority(&self, session_id: u32, priority: Priority) -> bool {
+        let sessions = self.core.sessions.lock().unwrap_or_else(|e| e.into_inner());
+        match sessions.get(&session_id) {
+            Some(s) => {
+                s.set_priority(priority);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Installs (or clears) the per-ticket chaos hook — fault injection
+    /// for the batch core, used by the chaos tests and `bench_chaos`.
+    pub fn set_chaos_hook(&self, hook: Option<ChaosHook>) {
+        *self.core.chaos.lock().unwrap_or_else(|e| e.into_inner()) = hook;
+    }
+
     /// Admits one request of a session: receives the REQUEST frame from
     /// the session's uplink, validates and share-folds the ciphertexts,
     /// and enqueues the ticket. Blocks for backpressure — on the
-    /// session's in-flight window and on the global queue bound.
+    /// session's in-flight window and on the global queue bound —
+    /// unless the resilience policy sheds instead.
     ///
     /// `server_share` is the server's additive share of the activation
     /// (its 2PC state for this layer), folded into the upload exactly as
     /// in [`flash_2pc::ConvProtocol`].
     ///
-    /// # Errors
+    /// # Terminal-outcome contract
     ///
-    /// Typed admission failures. Any error here poisons the session —
-    /// the frame layer is positional, so an unrecoverable fault
-    /// mid-stream makes every later frame on the link suspect — but
-    /// never touches other sessions.
+    /// `Ok(())` promises exactly one later frame on the downlink — a
+    /// RESPONSE or a typed REFUSED (quarantine/shed refusals send it
+    /// before returning). An `Err` is itself the request's terminal
+    /// outcome and no frame follows. Wire-class failures (the uplink's
+    /// recovery gave up mid-stream) poison and quarantine the session —
+    /// the frame layer is positional, so every later frame on that link
+    /// is suspect — but never touch other sessions. Validation failures
+    /// after a clean receive refuse typed and strike the session's
+    /// circuit breaker instead of poisoning.
     pub fn ingest(
         &self,
         session_id: u32,
         req_id: u64,
         server_share: &[i64],
     ) -> Result<(), ServeError> {
+        if !self.core.accepting.load(Ordering::Acquire) {
+            return Err(ServeError::Shutdown);
+        }
         let session = self
             .core
             .sessions
@@ -319,6 +549,21 @@ impl InferenceServer {
             .get(&session_id)
             .cloned()
             .ok_or(ServeError::UnknownSession(session_id))?;
+        if session.is_failed() {
+            return Err(ServeError::SessionFailed(session_id));
+        }
+        if let Some(reason) = self.admission_gate(&session) {
+            // The client has already queued its REQUEST frame; drain it
+            // so the positional uplink stays aligned for later requests,
+            // then answer the typed refusal.
+            match session.uplink.clone().recv() {
+                Ok(_) => {
+                    self.refuse_admission(&session, req_id, reason);
+                    return Ok(());
+                }
+                Err(e) => return Err(self.poison(&session, e.into())),
+            }
+        }
         if session.is_failed() || !session.acquire() {
             return Err(ServeError::SessionFailed(session_id));
         }
@@ -332,14 +577,64 @@ impl InferenceServer {
             },
             Err(e) => {
                 session.release();
-                session.mark_failed();
-                session.requests_failed.fetch_add(1, Ordering::Relaxed);
-                self.core.requests_failed.fetch_add(1, Ordering::Relaxed);
-                flash_telemetry::counter!("serve.requests_failed").add(1);
-                self.core.complete_one();
-                Err(e)
+                if matches!(e, ServeError::Flash(FlashError::Protocol(_))) {
+                    // The receive itself failed: the stream is broken.
+                    Err(self.poison(&session, e))
+                } else {
+                    // The frame arrived clean but its content failed
+                    // validation: the stream is still aligned, so the
+                    // request refuses typed and the breaker strikes.
+                    session.record_outcome(false);
+                    self.refuse_admission(&session, req_id, RefusalReason::Invalid(e.to_string()));
+                    Ok(())
+                }
             }
         }
+    }
+
+    /// The admission-time refusal verdict, if any.
+    fn admission_gate(&self, session: &Arc<SessionState>) -> Option<RefusalReason> {
+        let health = session.health();
+        if health == SessionHealth::Quarantined {
+            return Some(RefusalReason::Quarantined);
+        }
+        let r = &self.core.policy.resilience;
+        if r.shed && session.priority() == Priority::Normal {
+            let depth = self.core.queue.capacity();
+            let watermark = match health {
+                SessionHealth::Degraded => (depth / 2).max(1),
+                _ => depth,
+            };
+            if self.core.queue.len() >= watermark {
+                return Some(RefusalReason::Shed);
+            }
+        }
+        None
+    }
+
+    /// Sends an admission-time REFUSED frame and records the terminal
+    /// outcome. A downlink failure here poisons the session (the client
+    /// can no longer be answered at all).
+    fn refuse_admission(&self, session: &Arc<SessionState>, req_id: u64, reason: RefusalReason) {
+        let core = &self.core;
+        record_refusal(core, session, &reason);
+        let frame = wire::encode_refusal(req_id, &reason);
+        if session.downlink.clone().send(&frame).is_err() {
+            session.mark_failed();
+            session.quarantine();
+        }
+        core.complete_one();
+    }
+
+    /// Marks a session unrecoverable: poisoned (fail-fast submissions)
+    /// and quarantined (health reporting), with failure accounting.
+    fn poison(&self, session: &Arc<SessionState>, e: ServeError) -> ServeError {
+        session.mark_failed();
+        session.quarantine();
+        session.requests_failed.fetch_add(1, Ordering::Relaxed);
+        self.core.requests_failed.fetch_add(1, Ordering::Relaxed);
+        flash_telemetry::counter!("serve.requests_failed").add(1);
+        e
     }
 
     fn admit(
@@ -355,7 +650,17 @@ impl InferenceServer {
         if server_share.len() != model.shape().input_len() {
             return Err(ServeError::Malformed("server share length"));
         }
+        let retried_before = session.uplink.stats().frames_retried;
         let msg = session.uplink.clone().recv()?;
+        let retried = session
+            .uplink
+            .stats()
+            .frames_retried
+            .saturating_sub(retried_before);
+        if retried > 0 {
+            self.core.retries.fetch_add(retried, Ordering::Relaxed);
+            flash_telemetry::counter!("serve.retries").add(retried);
+        }
         let (got_req, blobs) = wire::decode_request_borrowed(&msg)?;
         if got_req != req_id {
             return Err(ServeError::Malformed("request id mismatch"));
@@ -379,6 +684,12 @@ impl InferenceServer {
             req_id,
             cts,
             submitted,
+            deadline: self
+                .core
+                .policy
+                .resilience
+                .request_deadline
+                .map(|d| submitted + d),
         })
     }
 
@@ -388,6 +699,13 @@ impl InferenceServer {
         ServerStats {
             requests_ok: core.requests_ok.load(Ordering::Relaxed),
             requests_failed: core.requests_failed.load(Ordering::Relaxed),
+            requests_refused: core.requests_refused.load(Ordering::Relaxed),
+            shed: core.shed.load(Ordering::Relaxed),
+            expired: core.expired.load(Ordering::Relaxed),
+            quarantined: core.quarantined.load(Ordering::Relaxed),
+            poisoned: core.poisoned.load(Ordering::Relaxed),
+            retries: core.retries.load(Ordering::Relaxed),
+            watchdog_kicks: core.watchdog_kicks.load(Ordering::Relaxed),
             batches: core.batches.load(Ordering::Relaxed),
             batched_requests: core.batched_requests.load(Ordering::Relaxed),
             kernel_polys: core.kernel_polys.load(Ordering::Relaxed),
@@ -424,6 +742,17 @@ impl InferenceServer {
 
     /// Drains the recorded submission → response latencies (µs).
     pub fn take_latencies_us(&self) -> Vec<u64> {
+        self.take_latencies_tagged()
+            .into_iter()
+            .map(|(_, us)| us)
+            .collect()
+    }
+
+    /// Drains the recorded latencies tagged with the answering
+    /// session's id — `(session_id, µs)` per answered request. The
+    /// chaos harness uses the tag to compute clean-session percentiles
+    /// with faulted sessions excluded.
+    pub fn take_latencies_tagged(&self) -> Vec<(u32, u64)> {
         std::mem::take(
             &mut *self
                 .core
@@ -434,7 +763,10 @@ impl InferenceServer {
     }
 
     /// Blocks until at least `count` requests have reached a terminal
-    /// outcome (answered or failed) since the server started.
+    /// outcome (answered or refused) since the server started.
+    ///
+    /// Prefer [`InferenceServer::wait_for_timeout`]: this variant blocks
+    /// forever if a worker is wedged or a request was lost.
     pub fn wait_for(&self, count: u64) {
         let mut n = self
             .core
@@ -446,13 +778,53 @@ impl InferenceServer {
         }
     }
 
-    /// Stops accepting work, drains the queue, and joins the workers.
-    /// Idempotent; also runs on drop.
+    /// Bounded variant of [`InferenceServer::wait_for`]: returns `true`
+    /// once `count` terminal outcomes are reached, `false` if `dur`
+    /// elapses first — so a hung worker fails the caller's run instead
+    /// of wedging it.
+    pub fn wait_for_timeout(&self, count: u64, dur: Duration) -> bool {
+        let deadline = Instant::now() + dur;
+        let mut n = self
+            .core
+            .completed
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        while *n < count {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            n = self
+                .core
+                .done
+                .wait_timeout(n, deadline - now)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+        true
+    }
+
+    /// Draining shutdown: stops accepting work (admissions fail fast
+    /// with [`ServeError::Shutdown`]), completes every ticket already
+    /// queued, then joins the workers and the watchdog. Idempotent;
+    /// also runs on drop.
     pub fn shutdown(&self) {
+        self.core.accepting.store(false, Ordering::Release);
+        self.core.shutting_down.store(true, Ordering::Release);
         self.core.queue.close();
-        let mut workers = self.workers.lock().unwrap_or_else(|e| e.into_inner());
-        for w in workers.drain(..) {
+        if let Some(w) = self
+            .watchdog
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+        {
             let _ = w.join();
+        }
+        let mut workers = self.core.workers.lock().unwrap_or_else(|e| e.into_inner());
+        for slot in workers.iter_mut() {
+            if let Some(h) = slot.take() {
+                let _ = h.join();
+            }
         }
     }
 }
@@ -463,17 +835,83 @@ impl Drop for InferenceServer {
     }
 }
 
-fn worker_loop(core: &Arc<ServerCore>) {
+/// Supervises the workers: a finished worker thread (uncontained panic)
+/// is joined and respawned; a worker busy on one batch longer than the
+/// stall bound raises one alarm per batch. Both count as
+/// `serve.watchdog_kicks`.
+fn watchdog_loop(core: &Arc<ServerCore>) {
+    let interval = core
+        .policy
+        .resilience
+        .watchdog_interval
+        .max(Duration::from_millis(1));
+    let stall_us = core.policy.resilience.watchdog_stall.as_micros() as u64;
+    let slice = Duration::from_millis(2).min(interval);
+    while !core.shutting_down.load(Ordering::Acquire) {
+        // Sleep in small slices so shutdown joins promptly.
+        let wake = Instant::now() + interval;
+        while Instant::now() < wake {
+            if core.shutting_down.load(Ordering::Acquire) {
+                return;
+            }
+            std::thread::sleep(slice);
+        }
+        let mut kicks = 0u64;
+        let mut workers = core.workers.lock().unwrap_or_else(|e| e.into_inner());
+        for (i, slot) in workers.iter_mut().enumerate() {
+            let dead = slot.as_ref().is_some_and(|h| h.is_finished());
+            if dead && !core.shutting_down.load(Ordering::Acquire) {
+                if let Some(h) = slot.take() {
+                    let _ = h.join();
+                }
+                core.heartbeats[i].busy_since_us.store(0, Ordering::Relaxed);
+                *slot = Some(spawn_worker(core, i));
+                kicks += 1;
+                continue;
+            }
+            let hb = &core.heartbeats[i];
+            let busy = hb.busy_since_us.load(Ordering::Relaxed);
+            let generation = hb.generation.load(Ordering::Relaxed);
+            if busy != 0
+                && core.now_us().saturating_sub(busy) > stall_us
+                && hb.alarmed_generation.load(Ordering::Relaxed) != generation
+            {
+                hb.alarmed_generation.store(generation, Ordering::Relaxed);
+                kicks += 1;
+            }
+        }
+        drop(workers);
+        if kicks > 0 {
+            core.watchdog_kicks.fetch_add(kicks, Ordering::Relaxed);
+            flash_telemetry::counter!("serve.watchdog_kicks").add(kicks);
+        }
+    }
+}
+
+fn worker_loop(core: &Arc<ServerCore>, slot: usize) {
+    let hb = &core.heartbeats[slot];
     loop {
         let batch = core.queue.pop_batch(core.policy.max_batch);
         if batch.is_empty() {
             return; // closed and drained
         }
+        hb.generation.fetch_add(1, Ordering::Relaxed);
+        hb.busy_since_us
+            .store(core.now_us().max(1), Ordering::Relaxed);
         core.batches.fetch_add(1, Ordering::Relaxed);
         core.batched_requests
             .fetch_add(batch.len() as u64, Ordering::Relaxed);
         flash_telemetry::counter!("serve.batches").add(1);
         flash_telemetry::counter!("serve.batched_requests").add(batch.len() as u64);
+        // Evict expired tickets before batching: refuse typed instead of
+        // computing answers whose deadline already passed.
+        let now = Instant::now();
+        let (batch, stale): (Vec<Ticket>, Vec<Ticket>) = batch
+            .into_iter()
+            .partition(|t| t.deadline.is_none_or(|d| now < d));
+        for ticket in stale {
+            refuse_ticket(core, ticket, RefusalReason::Expired);
+        }
         // Coalesce by model *plan* (pointer identity, not id): tickets
         // whose sessions pinned different generations of a re-registered
         // id must not share spectra.
@@ -484,23 +922,110 @@ fn worker_loop(core: &Arc<ServerCore>) {
                 .or_default()
                 .push(t);
         }
+        let chaos = core.chaos_hook();
         for (_, tickets) in groups {
             if core.policy.amortize {
-                process_group_batched(core, tickets);
+                run_group(core, tickets, chaos.as_ref());
             } else {
                 for ticket in tickets {
-                    process_ticket_serial(core, ticket);
+                    run_serial(core, ticket, chaos.as_ref());
                 }
             }
+        }
+        hb.busy_since_us.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Fires the chaos hook for every ticket in the slice. `Panic` unwinds
+/// here — inside the containment boundary of the caller — and `Stall`
+/// sleeps, tripping the watchdog's stall alarm.
+fn apply_chaos(chaos: Option<&ChaosHook>, tickets: &[Ticket]) {
+    let Some(hook) = chaos else { return };
+    for t in tickets {
+        match hook(t.session.id, t.req_id) {
+            ChaosAction::None => {}
+            ChaosAction::Panic => panic!("chaos: injected panic"),
+            ChaosAction::Stall(d) => std::thread::sleep(d),
+        }
+    }
+}
+
+/// Runs one coalesced group under panic containment: a panic anywhere in
+/// the compute path bisects the group until the poisoned ticket stands
+/// alone and is refused [`RefusalReason::Poisoned`] — its co-batched
+/// tickets recompute in smaller groups with bit-identical results
+/// (masks are per-`(session, req, unit)` and the batched kernels are
+/// width-invariant, so batch composition never changes bytes).
+fn run_group(core: &Arc<ServerCore>, mut tickets: Vec<Ticket>, chaos: Option<&ChaosHook>) {
+    if tickets.is_empty() {
+        return;
+    }
+    let model = Arc::clone(&tickets[0].session.model);
+    if !core.policy.resilience.contain_panics {
+        apply_chaos(chaos, &tickets);
+        let resolved = compute_group(core, &model, &tickets);
+        for (ticket, unit_cts) in tickets.into_iter().zip(resolved) {
+            finalize_ticket(core, &model, ticket, unit_cts);
+        }
+        return;
+    }
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        apply_chaos(chaos, &tickets);
+        compute_group(core, &model, &tickets)
+    }));
+    match outcome {
+        Ok(resolved) => {
+            for (ticket, unit_cts) in tickets.into_iter().zip(resolved) {
+                finalize_ticket(core, &model, ticket, unit_cts);
+            }
+        }
+        Err(_) if tickets.len() == 1 => {
+            let ticket = tickets.pop().expect("len checked");
+            ticket.session.record_outcome(false);
+            refuse_ticket(core, ticket, RefusalReason::Poisoned);
+        }
+        Err(_) => {
+            let right = tickets.split_off(tickets.len() / 2);
+            run_group(core, tickets, chaos);
+            run_group(core, right, chaos);
+        }
+    }
+}
+
+/// The serial-baseline ticket path under the same containment contract.
+fn run_serial(core: &Arc<ServerCore>, ticket: Ticket, chaos: Option<&ChaosHook>) {
+    let model = Arc::clone(&ticket.session.model);
+    if !core.policy.resilience.contain_panics {
+        apply_chaos(chaos, std::slice::from_ref(&ticket));
+        process_ticket_serial(core, ticket);
+        return;
+    }
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        apply_chaos(chaos, std::slice::from_ref(&ticket));
+        serial_units(core, &model, &ticket)
+    }));
+    match outcome {
+        Ok(Ok(unit_cts)) => finalize_ticket(core, &model, ticket, unit_cts),
+        Ok(Err(e)) => {
+            ticket.session.record_outcome(false);
+            refuse_ticket(core, ticket, RefusalReason::Invalid(e.to_string()));
+        }
+        Err(_) => {
+            ticket.session.record_outcome(false);
+            refuse_ticket(core, ticket, RefusalReason::Poisoned);
         }
     }
 }
 
 /// The coalesced datapath: one SoA forward sweep over every ticket's
 /// ciphertexts, per-unit MACs against the model's precomputed spectra,
-/// one group-wide batched inverse, then per-ticket mask/serialize.
-fn process_group_batched(core: &Arc<ServerCore>, tickets: Vec<Ticket>) {
-    let model = Arc::clone(&tickets[0].session.model);
+/// one group-wide batched inverse. Borrows the tickets — the caller
+/// finalizes (or, on a contained panic, retries in smaller groups).
+fn compute_group(
+    core: &Arc<ServerCore>,
+    model: &Arc<ModelPlan>,
+    tickets: &[Ticket],
+) -> Vec<Vec<Option<Ciphertext>>> {
     let p = model.params();
     let n = p.n;
     let bands = model.encoder().bands();
@@ -611,9 +1136,7 @@ fn process_group_batched(core: &Arc<ServerCore>, tickets: Vec<Ticket>) {
             resolved[ti][u] = Some(ct);
         }
     }
-    for (ticket, unit_cts) in tickets.into_iter().zip(resolved) {
-        finalize_ticket(core, &model, ticket, unit_cts);
-    }
+    resolved
 }
 
 /// The per-session baseline: the full per-request server pipeline of
@@ -625,7 +1148,10 @@ fn process_ticket_serial(core: &Arc<ServerCore>, ticket: Ticket) {
     let model = Arc::clone(&ticket.session.model);
     match serial_units(core, &model, &ticket) {
         Ok(unit_cts) => finalize_ticket(core, &model, ticket, unit_cts),
-        Err(e) => refuse_ticket(core, ticket, &e),
+        Err(e) => {
+            ticket.session.record_outcome(false);
+            refuse_ticket(core, ticket, RefusalReason::Invalid(e.to_string()));
+        }
     }
 }
 
@@ -756,15 +1282,20 @@ fn finalize_ticket(
     core.latencies_us
         .lock()
         .unwrap_or_else(|e| e.into_inner())
-        .push(ticket.submitted.elapsed().as_micros() as u64);
+        .push((
+            ticket.session.id,
+            ticket.submitted.elapsed().as_micros() as u64,
+        ));
     match sent {
         Ok(()) => {
+            ticket.session.record_outcome(true);
             ticket.session.requests_ok.fetch_add(1, Ordering::Relaxed);
             core.requests_ok.fetch_add(1, Ordering::Relaxed);
             flash_telemetry::counter!("serve.requests_ok").add(1);
         }
         Err(_) => {
             ticket.session.mark_failed();
+            ticket.session.quarantine();
             ticket
                 .session
                 .requests_failed
@@ -777,16 +1308,43 @@ fn finalize_ticket(
     core.complete_one();
 }
 
-/// Answers one ticket with a typed refusal instead of a result.
-fn refuse_ticket(core: &Arc<ServerCore>, ticket: Ticket, err: &ServeError) {
-    let refusal = wire::encode_refusal(ticket.req_id, &err.to_string());
-    let _ = ticket.session.downlink.clone().send(&refusal);
-    ticket
-        .session
-        .requests_failed
-        .fetch_add(1, Ordering::Relaxed);
-    core.requests_failed.fetch_add(1, Ordering::Relaxed);
-    flash_telemetry::counter!("serve.requests_failed").add(1);
+/// Bumps the per-class refusal accounting (core + session + telemetry).
+fn record_refusal(core: &ServerCore, session: &SessionState, reason: &RefusalReason) {
+    session.requests_refused.fetch_add(1, Ordering::Relaxed);
+    core.requests_refused.fetch_add(1, Ordering::Relaxed);
+    flash_telemetry::counter!("serve.requests_refused").add(1);
+    match reason {
+        RefusalReason::Shed => {
+            core.shed.fetch_add(1, Ordering::Relaxed);
+            flash_telemetry::counter!("serve.shed").add(1);
+        }
+        RefusalReason::Expired => {
+            core.expired.fetch_add(1, Ordering::Relaxed);
+            flash_telemetry::counter!("serve.expired").add(1);
+        }
+        RefusalReason::Quarantined => {
+            core.quarantined.fetch_add(1, Ordering::Relaxed);
+            flash_telemetry::counter!("serve.quarantined").add(1);
+        }
+        RefusalReason::Poisoned => {
+            core.poisoned.fetch_add(1, Ordering::Relaxed);
+            flash_telemetry::counter!("serve.poisoned").add(1);
+        }
+        RefusalReason::Shutdown | RefusalReason::Invalid(_) => {}
+    }
+}
+
+/// Answers one queued ticket with a typed refusal instead of a result.
+/// The breaker strike, if the refusal class warrants one, is the
+/// caller's job ([`crate::session::SessionState::record_outcome`]) —
+/// shed/expired refusals are the server's condition and must not strike.
+fn refuse_ticket(core: &Arc<ServerCore>, ticket: Ticket, reason: RefusalReason) {
+    record_refusal(core, &ticket.session, &reason);
+    let refusal = wire::encode_refusal(ticket.req_id, &reason);
+    if ticket.session.downlink.clone().send(&refusal).is_err() {
+        ticket.session.mark_failed();
+        ticket.session.quarantine();
+    }
     ticket.session.release();
     core.complete_one();
 }

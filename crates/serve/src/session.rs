@@ -2,8 +2,53 @@
 
 use crate::model::ModelPlan;
 use flash_2pc::SharedTransport;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+
+/// Admission priority of a session under load shedding.
+///
+/// When the global queue crosses its shed watermark, `Normal` requests
+/// are refused ([`crate::wire::RefusalReason::Shed`]) while `High`
+/// requests fall back to blocking backpressure — they wait for a slot
+/// instead of being turned away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Shed under overload (the default).
+    #[default]
+    Normal,
+    /// Never shed; block for a queue slot instead.
+    High,
+}
+
+/// The session health state machine driven by the error-rate circuit
+/// breaker: `Healthy → Degraded → Quarantined`.
+///
+/// Outcomes that are the *session's* fault (invalid requests, poisoned
+/// compute) strike a sliding window; crossing `degrade_after` failures
+/// in the window degrades the session (it sheds earlier under load),
+/// crossing `quarantine_after` quarantines it — every later request is
+/// refused without burning worker time. Quarantine is sticky: the
+/// breaker never half-opens, because the positional wire format gives a
+/// chronically faulty client no way to resynchronize mid-session.
+/// Server-side refusals (shed, expired, shutdown) never strike.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionHealth {
+    /// Serving normally.
+    Healthy,
+    /// Error rate elevated: sheds at half the normal watermark.
+    Degraded,
+    /// Circuit open: all requests refused, sticky.
+    Quarantined,
+}
+
+/// Sliding-window outcome history: one bit per request, newest at bit 0.
+#[derive(Debug)]
+struct HealthWindow {
+    /// Outcome bits, 1 = failure.
+    bits: u64,
+    /// Requests recorded (saturates at the window size).
+    len: u32,
+}
 
 /// One connected client session.
 ///
@@ -31,9 +76,21 @@ pub(crate) struct SessionState {
     cap: usize,
     pub(crate) requests_ok: AtomicU64,
     pub(crate) requests_failed: AtomicU64,
+    /// Requests answered with a typed REFUSED frame.
+    pub(crate) requests_refused: AtomicU64,
+    /// Admission priority under load shedding ([`Priority`] as u8).
+    priority: AtomicU8,
+    /// Circuit-breaker window; thresholds fixed at session creation
+    /// from the server's [`crate::server::ResiliencePolicy`].
+    health: Mutex<HealthWindow>,
+    quarantined: AtomicBool,
+    health_window: u32,
+    degrade_after: u32,
+    quarantine_after: u32,
 }
 
 impl SessionState {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         id: u32,
         client_tag: u64,
@@ -41,6 +98,9 @@ impl SessionState {
         uplink: SharedTransport,
         downlink: SharedTransport,
         cap: usize,
+        health_window: u32,
+        degrade_after: u32,
+        quarantine_after: u32,
     ) -> Self {
         SessionState {
             id,
@@ -54,6 +114,69 @@ impl SessionState {
             cap: cap.max(1),
             requests_ok: AtomicU64::new(0),
             requests_failed: AtomicU64::new(0),
+            requests_refused: AtomicU64::new(0),
+            priority: AtomicU8::new(0),
+            health: Mutex::new(HealthWindow { bits: 0, len: 0 }),
+            quarantined: AtomicBool::new(false),
+            health_window: health_window.clamp(1, 64),
+            degrade_after: degrade_after.max(1),
+            quarantine_after: quarantine_after.max(1),
+        }
+    }
+
+    pub(crate) fn priority(&self) -> Priority {
+        if self.priority.load(Ordering::Relaxed) == 1 {
+            Priority::High
+        } else {
+            Priority::Normal
+        }
+    }
+
+    pub(crate) fn set_priority(&self, p: Priority) {
+        self.priority
+            .store(matches!(p, Priority::High) as u8, Ordering::Relaxed);
+    }
+
+    /// Records one outcome the session is accountable for (`ok` = the
+    /// request was answered; `!ok` = invalid request or poisoned
+    /// compute) and advances the circuit breaker. Shed/expired/shutdown
+    /// refusals are the server's condition, not the session's, and must
+    /// not be recorded here.
+    pub(crate) fn record_outcome(&self, ok: bool) {
+        let mut w = self.health.lock().unwrap_or_else(|e| e.into_inner());
+        w.bits = (w.bits << 1) | (!ok as u64);
+        if self.health_window < 64 {
+            w.bits &= (1u64 << self.health_window) - 1;
+        }
+        w.len = (w.len + 1).min(self.health_window);
+        let fails = w.bits.count_ones();
+        drop(w);
+        if fails >= self.quarantine_after {
+            self.quarantined.store(true, Ordering::Release);
+        }
+    }
+
+    /// Forces the circuit open (unrecoverable wire fault, shutdown of a
+    /// chronically faulty peer).
+    pub(crate) fn quarantine(&self) {
+        self.quarantined.store(true, Ordering::Release);
+    }
+
+    /// The breaker's current verdict.
+    pub(crate) fn health(&self) -> SessionHealth {
+        if self.quarantined.load(Ordering::Acquire) {
+            return SessionHealth::Quarantined;
+        }
+        let fails = self
+            .health
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .bits
+            .count_ones();
+        if fails >= self.degrade_after {
+            SessionHealth::Degraded
+        } else {
+            SessionHealth::Healthy
         }
     }
 
@@ -104,8 +227,12 @@ pub struct SessionSnapshot {
     pub requests_ok: u64,
     /// Requests that failed (wire, decode, or compute).
     pub requests_failed: u64,
+    /// Requests answered with a typed REFUSED frame.
+    pub requests_refused: u64,
     /// Whether the session is poisoned.
     pub failed: bool,
+    /// The circuit breaker's verdict at snapshot time.
+    pub health: SessionHealth,
     /// Payload bytes received on the uplink.
     pub upload_bytes: u64,
     /// Payload bytes sent on the downlink.
@@ -127,7 +254,9 @@ impl SessionState {
             model_id: self.model.id(),
             requests_ok: self.requests_ok.load(Ordering::Relaxed),
             requests_failed: self.requests_failed.load(Ordering::Relaxed),
+            requests_refused: self.requests_refused.load(Ordering::Relaxed),
             failed: self.is_failed(),
+            health: self.health(),
             upload_bytes: up.payload_bytes,
             download_bytes: down.payload_bytes,
             faults_detected: up.faults_detected + down.faults_detected,

@@ -11,9 +11,10 @@
 //! | 0x02 | ACK      | `session_id u32, n u32, t u64, c_polys u32, m u32, bands u32, trunc u8 [, d0 u32, d1 u32]` |
 //! | 0x03 | REQUEST  | `req_id u64, count u32, count × (len u32, ciphertext bytes)` |
 //! | 0x04 | RESPONSE | `req_id u64, count u32, count × (len u32, ciphertext bytes)` — unit order `oc·bands + b` |
-//! | 0x05 | REFUSED  | `req_id u64, len u32, utf-8 reason` |
+//! | 0x05 | REFUSED  | `req_id u64, code u8, len u32, utf-8 detail` |
 
 use crate::ServeError;
+use std::fmt;
 
 /// Session-open request, client → server.
 pub const TAG_HELLO: u8 = 0x01;
@@ -242,13 +243,87 @@ pub fn encode_response(req_id: u64, blobs: &[Vec<u8>]) -> Vec<u8> {
     encode_blob_list(TAG_RESPONSE, req_id, blobs)
 }
 
+/// Why the server refused a request — the typed half of the
+/// terminal-outcome contract (every admitted or refused request gets
+/// exactly one RESPONSE xor one REFUSED frame).
+///
+/// The wire carries a one-byte code plus an optional UTF-8 detail
+/// string; only [`RefusalReason::Invalid`] uses the detail (the
+/// admission error's rendering), so policy code can match on the enum
+/// without string comparisons.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RefusalReason {
+    /// The request's deadline expired before a worker reached it.
+    Expired,
+    /// Admission control shed the request under queue overload.
+    Shed,
+    /// The session is quarantined by its error-rate circuit breaker.
+    Quarantined,
+    /// Panic containment isolated this request; co-batched requests
+    /// were unaffected.
+    Poisoned,
+    /// The server is draining for shutdown and admits no new work.
+    Shutdown,
+    /// The request failed admission validation (bad ciphertext count,
+    /// undecodable blob, noise-budget overflow, …); the detail is the
+    /// underlying error's rendering.
+    Invalid(String),
+}
+
+impl RefusalReason {
+    fn code(&self) -> u8 {
+        match self {
+            RefusalReason::Expired => 1,
+            RefusalReason::Shed => 2,
+            RefusalReason::Quarantined => 3,
+            RefusalReason::Poisoned => 4,
+            RefusalReason::Shutdown => 5,
+            RefusalReason::Invalid(_) => 6,
+        }
+    }
+
+    fn detail(&self) -> &str {
+        match self {
+            RefusalReason::Invalid(d) => d,
+            _ => "",
+        }
+    }
+
+    fn from_wire(code: u8, detail: String) -> Result<Self, ServeError> {
+        Ok(match code {
+            1 => RefusalReason::Expired,
+            2 => RefusalReason::Shed,
+            3 => RefusalReason::Quarantined,
+            4 => RefusalReason::Poisoned,
+            5 => RefusalReason::Shutdown,
+            6 => RefusalReason::Invalid(detail),
+            _ => return Err(ServeError::Malformed("refusal code")),
+        })
+    }
+}
+
+impl fmt::Display for RefusalReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RefusalReason::Expired => write!(f, "deadline expired before execution"),
+            RefusalReason::Shed => write!(f, "shed under admission overload"),
+            RefusalReason::Quarantined => write!(f, "session quarantined by circuit breaker"),
+            RefusalReason::Poisoned => write!(f, "request poisoned the batch core"),
+            RefusalReason::Shutdown => write!(f, "server draining for shutdown"),
+            RefusalReason::Invalid(d) => write!(f, "invalid request: {d}"),
+        }
+    }
+}
+
 /// Encodes a typed refusal for one request.
-pub fn encode_refusal(req_id: u64, reason: &str) -> Vec<u8> {
-    let mut out = Vec::with_capacity(13 + reason.len());
+pub fn encode_refusal(req_id: u64, reason: &RefusalReason) -> Vec<u8> {
+    let detail = reason.detail();
+    let mut out = Vec::with_capacity(14 + detail.len());
     out.push(TAG_REFUSED);
     out.extend_from_slice(&req_id.to_le_bytes());
-    out.extend_from_slice(&(reason.len() as u32).to_le_bytes());
-    out.extend_from_slice(reason.as_bytes());
+    out.push(reason.code());
+    out.extend_from_slice(&(detail.len() as u32).to_le_bytes());
+    out.extend_from_slice(detail.as_bytes());
     out
 }
 
@@ -266,8 +341,8 @@ pub enum Response {
     Refused {
         /// The refused request.
         req_id: u64,
-        /// Server-side reason.
-        reason: String,
+        /// Typed server-side reason.
+        reason: RefusalReason,
     },
 }
 
@@ -282,11 +357,15 @@ pub fn decode_response(buf: &[u8]) -> Result<Response, ServeError> {
             let mut r = Reader::new(buf);
             expect_tag(&mut r, TAG_REFUSED, "refusal tag")?;
             let req_id = r.u64("refusal request id")?;
-            let len = r.u32("refusal reason length")? as usize;
-            let reason = String::from_utf8(r.bytes(len, "refusal reason")?.to_vec())
-                .map_err(|_| ServeError::Malformed("refusal reason utf-8"))?;
+            let code = r.u8("refusal code")?;
+            let len = r.u32("refusal detail length")? as usize;
+            let detail = String::from_utf8(r.bytes(len, "refusal detail")?.to_vec())
+                .map_err(|_| ServeError::Malformed("refusal detail utf-8"))?;
             r.finish("refusal trailing bytes")?;
-            Ok(Response::Refused { req_id, reason })
+            Ok(Response::Refused {
+                req_id,
+                reason: RefusalReason::from_wire(code, detail)?,
+            })
         }
         _ => Err(ServeError::Malformed("response tag")),
     }
@@ -331,15 +410,28 @@ mod tests {
     }
 
     #[test]
-    fn refusal_roundtrip() {
-        let resp = decode_response(&encode_refusal(5, "noise overflow")).unwrap();
-        assert_eq!(
-            resp,
-            Response::Refused {
-                req_id: 5,
-                reason: "noise overflow".into()
-            }
-        );
+    fn refusal_roundtrip_every_reason() {
+        for reason in [
+            RefusalReason::Expired,
+            RefusalReason::Shed,
+            RefusalReason::Quarantined,
+            RefusalReason::Poisoned,
+            RefusalReason::Shutdown,
+            RefusalReason::Invalid("noise overflow".into()),
+        ] {
+            let resp = decode_response(&encode_refusal(5, &reason)).unwrap();
+            assert_eq!(resp, Response::Refused { req_id: 5, reason });
+        }
+    }
+
+    #[test]
+    fn forged_refusal_code_fails_typed() {
+        let mut bytes = encode_refusal(5, &RefusalReason::Shed);
+        bytes[9] = 0xEE;
+        assert!(matches!(
+            decode_response(&bytes),
+            Err(ServeError::Malformed("refusal code"))
+        ));
     }
 
     #[test]

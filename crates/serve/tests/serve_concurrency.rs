@@ -156,14 +156,21 @@ fn run_fleet(
                 .collect();
             let prepared = client.prepare(req_id, &x, rng);
             inputs.insert((*tag, req_id), x);
-            dispatched += 1;
-            if let Err(e) = client.dispatch(&server, &prepared) {
-                errors.insert(*tag, e);
-                *slot = None;
+            match client.dispatch(&server, &prepared) {
+                // Ok promises exactly one terminal outcome per the
+                // server's contract; an Err *is* the terminal outcome.
+                Ok(()) => dispatched += 1,
+                Err(e) => {
+                    errors.insert(*tag, e);
+                    *slot = None;
+                }
             }
         }
     }
-    server.wait_for(dispatched);
+    assert!(
+        server.wait_for_timeout(dispatched, Duration::from_secs(120)),
+        "server must reach {dispatched} terminal outcomes"
+    );
 
     let mut outputs = FleetOutputs::default();
     for slot in clients.iter_mut() {
@@ -298,7 +305,7 @@ fn pow2_model_roundtrips_and_batched_matches_serial_bitwise() {
             inputs.push(x);
             client.dispatch(&server, &prepared).unwrap();
         }
-        server.wait_for(reqs);
+        assert!(server.wait_for_timeout(reqs, Duration::from_secs(120)));
         let mut shares = Vec::new();
         for _ in 0..reqs {
             let (req_id, y_client) = client.collect().unwrap();
@@ -348,6 +355,7 @@ fn doomed_cfg() -> (TransportConfig, TransportConfig) {
         faults: Some(FaultPlan::Scripted(ops)),
         max_retries: 3,
         verify_checksums: true,
+        backoff: Default::default(),
     };
     (up, TransportConfig::default())
 }

@@ -44,6 +44,17 @@ pub enum ProtocolError {
         /// Milliseconds waited before giving up.
         waited_ms: u64,
     },
+    /// The retransmission backoff schedule exhausted the frame's
+    /// receive-deadline budget ([`crate::transport::BackoffConfig`])
+    /// before a clean copy arrived.
+    DeadlineExceeded {
+        /// The sequence number that could not be delivered in budget.
+        seq: u32,
+        /// The configured budget, µs.
+        budget_us: u64,
+        /// Virtual backoff charged when the receiver gave up, µs.
+        spent_us: u64,
+    },
 }
 
 impl fmt::Display for ProtocolError {
@@ -60,6 +71,16 @@ impl fmt::Display for ProtocolError {
             }
             ProtocolError::RecvTimeout { seq, waited_ms } => {
                 write!(f, "no sender queued frame seq {seq} within {waited_ms} ms")
+            }
+            ProtocolError::DeadlineExceeded {
+                seq,
+                budget_us,
+                spent_us,
+            } => {
+                write!(
+                    f,
+                    "frame seq {seq} exceeded its receive deadline ({spent_us} of {budget_us} µs backoff budget spent)"
+                )
             }
         }
     }

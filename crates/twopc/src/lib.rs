@@ -30,6 +30,6 @@ pub use protocol::{
 };
 pub use shares::ShareRing;
 pub use transport::{
-    FaultConfig, FaultOp, FaultPlan, InMemoryTransport, SharedTransport, Transport,
+    BackoffConfig, FaultConfig, FaultOp, FaultPlan, InMemoryTransport, SharedTransport, Transport,
     TransportConfig, TransportStats,
 };

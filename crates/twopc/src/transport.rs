@@ -218,17 +218,82 @@ impl Injector {
     }
 }
 
+/// Deterministic retransmission pacing: exponential backoff with seeded
+/// jitter, charged against a per-frame receive-deadline budget.
+///
+/// The in-memory link never actually sleeps — delays are *virtual*, a
+/// model of what a real NIC-level retransmitter would wait — but the
+/// accounting is real: each retry of frame `i` charges
+/// `min(base · 2^attempt, max)` microseconds, jittered by a factor drawn
+/// from a dedicated seeded RNG (so two links with the same seed charge
+/// identical schedules, and the protocol's RNG is never touched). Once a
+/// frame's cumulative charge exceeds `budget_us` the receiver gives up
+/// with [`ProtocolError::DeadlineExceeded`] — the budgeted replacement
+/// for the old attempts-only bound (which is kept, as a hard cap, for
+/// pathologically cheap schedules).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackoffConfig {
+    /// First-retry delay, µs.
+    pub base_us: u64,
+    /// Per-retry delay ceiling, µs.
+    pub max_us: u64,
+    /// Jitter as a fraction of the delay: each charge is scaled by a
+    /// factor uniform in `[1 - jitter, 1 + jitter]`. Clamped to `[0, 1)`.
+    pub jitter: f64,
+    /// Total virtual retransmission budget per frame, µs (the receive
+    /// deadline). Exceeding it fails typed with
+    /// [`ProtocolError::DeadlineExceeded`].
+    pub budget_us: u64,
+    /// Seed of the jitter RNG (independent of the fault injector's).
+    pub seed: u64,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> Self {
+        Self {
+            base_us: 100,
+            max_us: 20_000,
+            jitter: 0.5,
+            budget_us: 500_000,
+            seed: 0xBAC0_FF5E,
+        }
+    }
+}
+
+impl BackoffConfig {
+    /// A tight budget for tests that want the deadline to fire quickly.
+    pub fn tight(budget_us: u64) -> Self {
+        Self {
+            budget_us,
+            ..Self::default()
+        }
+    }
+
+    /// The virtual delay charged for retransmission `attempt` (1-based),
+    /// before jitter: `min(base · 2^(attempt-1), max)`.
+    fn raw_delay_us(&self, attempt: u32) -> u64 {
+        let shifted = self
+            .base_us
+            .checked_shl(attempt.saturating_sub(1))
+            .unwrap_or(u64::MAX);
+        shifted.min(self.max_us.max(self.base_us))
+    }
+}
+
 /// Configuration of one transport direction.
 #[derive(Debug, Clone)]
 pub struct TransportConfig {
     /// Faults injected into transmitted frames (testing only).
     pub faults: Option<FaultPlan>,
-    /// Retransmissions the receiver may request per frame before failing
-    /// with [`ProtocolError::RetriesExhausted`].
+    /// Hard cap on retransmissions per frame (kept alongside the
+    /// budgeted deadline of [`BackoffConfig`]; whichever bound trips
+    /// first fails the receive, typed).
     pub max_retries: u32,
     /// Enforce frame checksums (on in production; the robustness tests
     /// turn it off to measure undetected-corruption behavior).
     pub verify_checksums: bool,
+    /// Retransmission pacing and the per-frame receive-deadline budget.
+    pub backoff: BackoffConfig,
 }
 
 impl Default for TransportConfig {
@@ -237,6 +302,7 @@ impl Default for TransportConfig {
             faults: None,
             max_retries: 8,
             verify_checksums: true,
+            backoff: BackoffConfig::default(),
         }
     }
 }
@@ -253,6 +319,12 @@ impl TransportConfig {
             faults: Some(plan),
             ..Self::default()
         }
+    }
+
+    /// The same transport with a different backoff/deadline schedule.
+    pub fn with_backoff(mut self, backoff: BackoffConfig) -> Self {
+        self.backoff = backoff;
+        self
     }
 }
 
@@ -272,6 +344,9 @@ pub struct TransportStats {
     pub faults_detected: u64,
     /// Retransmissions the receiver requested.
     pub frames_retried: u64,
+    /// Virtual backoff charged across all retransmissions, µs (the
+    /// receive-deadline budget each frame's retries draw from).
+    pub retry_backoff_us: u64,
 }
 
 impl TransportStats {
@@ -283,6 +358,7 @@ impl TransportStats {
             wire_bytes: self.wire_bytes + other.wire_bytes,
             faults_detected: self.faults_detected + other.faults_detected,
             frames_retried: self.frames_retried + other.frames_retried,
+            retry_backoff_us: self.retry_backoff_us + other.retry_backoff_us,
         }
     }
 }
@@ -315,6 +391,9 @@ pub trait Transport {
 pub struct InMemoryTransport {
     cfg: TransportConfig,
     injector: Option<Injector>,
+    /// Jitter RNG of the backoff schedule — its own stream, so retry
+    /// pacing perturbs neither the fault injector nor the protocol.
+    backoff_rng: Box<StdRng>,
     /// Clean payloads by sequence number (retransmission source).
     outbox: Vec<Vec<u8>>,
     /// Frames in flight.
@@ -330,15 +409,33 @@ impl InMemoryTransport {
     /// Builds the link from a configuration.
     pub fn new(cfg: TransportConfig) -> Self {
         let injector = cfg.faults.as_ref().map(Injector::new);
+        let backoff_rng = Box::new(StdRng::seed_from_u64(cfg.backoff.seed));
         Self {
             cfg,
             injector,
+            backoff_rng,
             outbox: Vec::new(),
             wire: VecDeque::new(),
             stash: BTreeMap::new(),
             next_recv: 0,
             stats: TransportStats::default(),
         }
+    }
+
+    /// Charges one retransmission's virtual backoff: exponential in the
+    /// attempt number, jittered deterministically. Returns the charge.
+    fn charge_backoff(&mut self, attempt: u32) -> u64 {
+        let b = &self.cfg.backoff;
+        let raw = b.raw_delay_us(attempt) as f64;
+        let j = b.jitter.clamp(0.0, 0.999);
+        let factor = if j > 0.0 {
+            1.0 - j + 2.0 * j * self.backoff_rng.gen_range(0.0f64..1.0)
+        } else {
+            1.0
+        };
+        let charged = (raw * factor).round().max(1.0) as u64;
+        self.stats.retry_backoff_us += charged;
+        charged
     }
 
     /// A clean verifying link.
@@ -406,6 +503,7 @@ impl Transport for InMemoryTransport {
             return Err(ProtocolError::UnknownFrame { seq: want });
         }
         let mut attempts = 0u32;
+        let mut spent_us = 0u64;
         loop {
             if let Some(p) = self.stash.remove(&want) {
                 self.next_recv += 1;
@@ -413,8 +511,10 @@ impl Transport for InMemoryTransport {
             }
             let Some(frame) = self.wire.pop_front() else {
                 // The expected frame is gone (dropped, or consumed as a
-                // corrupt arrival): re-request it from the outbox. The
-                // retransmission passes through the injector again.
+                // corrupt arrival): re-request it from the outbox after
+                // charging this attempt's backoff against the frame's
+                // receive-deadline budget. The retransmission passes
+                // through the injector again.
                 if attempts >= self.cfg.max_retries {
                     return Err(ProtocolError::RetriesExhausted {
                         seq: want,
@@ -422,6 +522,14 @@ impl Transport for InMemoryTransport {
                     });
                 }
                 attempts += 1;
+                spent_us += self.charge_backoff(attempts);
+                if spent_us > self.cfg.backoff.budget_us {
+                    return Err(ProtocolError::DeadlineExceeded {
+                        seq: want,
+                        budget_us: self.cfg.backoff.budget_us,
+                        spent_us,
+                    });
+                }
                 self.stats.frames_retried += 1;
                 self.transmit(want);
                 continue;
@@ -646,6 +754,7 @@ mod tests {
             })),
             max_retries: 3,
             verify_checksums: true,
+            backoff: BackoffConfig::default(),
         };
         let mut t = InMemoryTransport::new(cfg);
         t.send(b"hello").unwrap();
@@ -656,6 +765,91 @@ mod tests {
                 attempts: 3
             })
         );
+    }
+
+    #[test]
+    fn exhausted_deadline_budget_returns_typed_error() {
+        // A generous retry cap but a budget two retries cannot fit: the
+        // deadline trips first. jitter = 0 makes the charges exact
+        // (100 µs + 200 µs > 250 µs on the second retry).
+        let cfg = TransportConfig {
+            faults: Some(FaultPlan::Random(FaultConfig {
+                seed: 1,
+                flip: 0.0,
+                truncate: 0.0,
+                drop: 1.0,
+                duplicate: 0.0,
+                reorder: 0.0,
+            })),
+            max_retries: 1000,
+            verify_checksums: true,
+            backoff: BackoffConfig {
+                jitter: 0.0,
+                ..BackoffConfig::tight(250)
+            },
+        };
+        let mut t = InMemoryTransport::new(cfg);
+        t.send(b"hello").unwrap();
+        assert_eq!(
+            t.recv(),
+            Err(ProtocolError::DeadlineExceeded {
+                seq: 0,
+                budget_us: 250,
+                spent_us: 300,
+            })
+        );
+        // Only the first retry crossed the wire request path; the second
+        // was charged and aborted before retransmission.
+        assert_eq!(t.stats().frames_retried, 1);
+        assert_eq!(t.stats().retry_backoff_us, 300);
+    }
+
+    #[test]
+    fn backoff_delays_are_exponential_up_to_the_cap() {
+        let b = BackoffConfig {
+            base_us: 100,
+            max_us: 800,
+            jitter: 0.0,
+            budget_us: u64::MAX,
+            seed: 0,
+        };
+        let delays: Vec<u64> = (1..=6).map(|a| b.raw_delay_us(a)).collect();
+        assert_eq!(delays, vec![100, 200, 400, 800, 800, 800]);
+        // Huge attempt counts must saturate, not overflow.
+        assert_eq!(b.raw_delay_us(200), 800);
+    }
+
+    #[test]
+    fn jittered_backoff_charges_are_reproducible_and_bounded() {
+        let charge = |seed: u64| {
+            let cfg = TransportConfig {
+                faults: Some(FaultPlan::Random(FaultConfig {
+                    seed: 9,
+                    flip: 0.0,
+                    truncate: 0.0,
+                    drop: 0.5,
+                    duplicate: 0.0,
+                    reorder: 0.0,
+                })),
+                max_retries: 64,
+                verify_checksums: true,
+                backoff: BackoffConfig {
+                    seed,
+                    ..BackoffConfig::default()
+                },
+            };
+            let (got, stats) = roundtrip(cfg);
+            assert_eq!(got, payloads());
+            stats.retry_backoff_us
+        };
+        // Same jitter seed ⇒ identical virtual schedule; the charge is
+        // nonzero because half the transmissions are dropped.
+        let a = charge(3);
+        assert!(a > 0);
+        assert_eq!(a, charge(3));
+        // Different jitter seeds perturb the charges but nothing else.
+        let differs = (0..8).any(|s| charge(s) != a);
+        assert!(differs, "jitter should vary with its seed");
     }
 
     #[test]

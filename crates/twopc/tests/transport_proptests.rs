@@ -128,6 +128,7 @@ proptest! {
             })),
             max_retries: 6,
             verify_checksums: true,
+            backoff: Default::default(),
         };
         let mut t = InMemoryTransport::new(cfg);
         let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
@@ -142,7 +143,11 @@ proptest! {
                 Ok(got) => prop_assert_eq!(&got, p, "message {} corrupted", i),
                 Err(e) => {
                     prop_assert!(
-                        matches!(e, ProtocolError::RetriesExhausted { .. }),
+                        matches!(
+                            e,
+                            ProtocolError::RetriesExhausted { .. }
+                                | ProtocolError::DeadlineExceeded { .. }
+                        ),
                         "unexpected error {:?}", e
                     );
                     break;
